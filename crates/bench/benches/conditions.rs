@@ -1,0 +1,88 @@
+//! Per-point predicate costs: necessary vs sufficient sector conditions
+//! vs full-view coverage, plus the shared `analyze_point` amortization
+//! the dense-grid sweep relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fullview_bench::bench_network;
+use fullview_core::{
+    analyze_point, is_full_view_covered, meets_necessary_condition,
+    meets_sufficient_condition, EffectiveAngle, SectorPartition,
+};
+use fullview_geom::{Angle, Point};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench_conditions(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let net = bench_network(2000, 0.03, 9);
+    let probes: Vec<Point> = (0..64)
+        .map(|i| {
+            Point::new(
+                (i as f64 * 0.618_033_98) % 1.0,
+                (i as f64 * 0.414_213_56) % 1.0,
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("conditions");
+
+    group.bench_function("necessary", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if meets_necessary_condition(black_box(&net), *p, theta, Angle::ZERO) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("sufficient", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if meets_sufficient_condition(black_box(&net), *p, theta, Angle::ZERO) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("full_view", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if is_full_view_covered(black_box(&net), *p, theta) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    // Amortized: one analyze_point feeding all three predicates, the way
+    // evaluate_grid does it.
+    group.bench_function("all_shared_analysis", |b| {
+        let necessary = SectorPartition::necessary(theta, Angle::ZERO);
+        let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                let cov = analyze_point(black_box(&net), *p);
+                if necessary.is_satisfied(&cov) {
+                    hits += 1;
+                }
+                if cov.is_full_view(theta) {
+                    hits += 1;
+                }
+                if sufficient.is_satisfied(&cov) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditions);
+criterion_main!(benches);

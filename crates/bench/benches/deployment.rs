@@ -1,0 +1,57 @@
+//! Deployment-engine throughput: uniform vs Poisson vs lattice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fullview_deploy::{deploy_poisson, deploy_uniform, LatticeDeployment, LatticeKind};
+use fullview_geom::Torus;
+use fullview_model::{NetworkProfile, SensorSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench_deploy(c: &mut Criterion) {
+    let profile = NetworkProfile::builder()
+        .group(SensorSpec::new(0.06, PI).expect("valid"), 0.5)
+        .group(SensorSpec::new(0.08, PI / 2.0).expect("valid"), 0.3)
+        .group(SensorSpec::new(0.1, PI / 4.0).expect("valid"), 0.2)
+        .build()
+        .expect("fractions sum to 1");
+    let torus = Torus::unit();
+    let mut group = c.benchmark_group("deployment");
+
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(
+                    deploy_uniform(torus, &profile, n, &mut rng).expect("profile fits"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("poisson", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                black_box(
+                    deploy_poisson(torus, &profile, n as f64, &mut rng)
+                        .expect("profile fits"),
+                )
+            });
+        });
+    }
+
+    let spec = SensorSpec::new(0.12, PI / 2.0).expect("valid");
+    for &spacing in &[0.1f64, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("triangular_lattice", format!("{spacing}")),
+            &spacing,
+            |b, &spacing| {
+                let d = LatticeDeployment::covering_fan(LatticeKind::Triangular, spacing, &spec);
+                b.iter(|| black_box(d.deploy(torus, &spec).expect("fits")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deploy);
+criterion_main!(benches);

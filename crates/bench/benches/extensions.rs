@@ -1,0 +1,65 @@
+//! Benchmarks for the beyond-the-paper modules: the exact Stevens
+//! mixture, view-multiplicity sweeps, and hole analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fullview_bench::bench_network;
+use fullview_core::{
+    find_holes, prob_point_full_view_uniform, stevens_coverage_probability, view_multiplicity,
+    EffectiveAngle,
+};
+use fullview_geom::Point;
+use fullview_model::{NetworkProfile, SensorSpec};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let mut group = c.benchmark_group("extensions");
+
+    for &n_arcs in &[10usize, 100, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("stevens", n_arcs),
+            &n_arcs,
+            |b, &n_arcs| {
+                b.iter(|| black_box(stevens_coverage_probability(n_arcs, black_box(0.25))));
+            },
+        );
+    }
+
+    let profile = NetworkProfile::homogeneous(
+        SensorSpec::with_sensing_area(0.01, PI / 2.0).expect("valid"),
+    );
+    for &n in &[500usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("exact_mixture", n), &n, |b, &n| {
+            b.iter(|| black_box(prob_point_full_view_uniform(&profile, n, theta)));
+        });
+    }
+
+    let net = bench_network(2000, 0.05, 21);
+    let probes: Vec<Point> = (0..64)
+        .map(|i| {
+            Point::new(
+                (i as f64 * 0.618_033_98) % 1.0,
+                (i as f64 * 0.414_213_56) % 1.0,
+            )
+        })
+        .collect();
+    group.bench_function("view_multiplicity", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &probes {
+                total += view_multiplicity(black_box(&net), *p, theta);
+            }
+            black_box(total)
+        });
+    });
+
+    group.sample_size(20);
+    group.bench_function("find_holes_24", |b| {
+        b.iter(|| black_box(find_holes(black_box(&net), theta, 24)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

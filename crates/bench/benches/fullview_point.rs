@@ -1,0 +1,60 @@
+//! Ablation: angular-gap vs arc-set full-view algorithms.
+//!
+//! Both algorithms are exact; the gap method is the hot path and this
+//! bench quantifies its advantage (the arc-set method allocates and
+//! merges interval lists, the gap method sorts a small direction vector).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fullview_bench::bench_network;
+use fullview_core::{is_full_view_covered, is_full_view_covered_arcset, EffectiveAngle};
+use fullview_geom::Point;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn probe_points(count: usize) -> Vec<Point> {
+    (0..count)
+        .map(|i| {
+            Point::new(
+                (i as f64 * 0.618_033_98) % 1.0,
+                (i as f64 * 0.414_213_56) % 1.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_point_checks(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let probes = probe_points(64);
+    let mut group = c.benchmark_group("fullview_point");
+    for &n in &[500usize, 2000, 8000] {
+        // Budget ~1.5x the sufficient CSA at n=1000 scaled by n — a dense,
+        // realistic regime where many cameras cover each point.
+        let net = bench_network(n, 0.06 * (1000.0 / n as f64), 42);
+        group.bench_with_input(BenchmarkId::new("angular_gap", n), &n, |b, _| {
+            b.iter(|| {
+                let mut covered = 0usize;
+                for p in &probes {
+                    if is_full_view_covered(black_box(&net), *p, theta) {
+                        covered += 1;
+                    }
+                }
+                black_box(covered)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("arc_set", n), &n, |b, _| {
+            b.iter(|| {
+                let mut covered = 0usize;
+                for p in &probes {
+                    if is_full_view_covered_arcset(black_box(&net), *p, theta) {
+                        covered += 1;
+                    }
+                }
+                black_box(covered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_checks);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: dense-grid sweep with the spatial hash index vs brute force.
+//!
+//! The dense grid has `m = n ln n` points; a brute-force "which cameras
+//! cover P" scan makes the sweep `O(m·n)`, while the torus bucket grid
+//! keeps it `O(m·local)`. This bench justifies the index (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fullview_bench::bench_network;
+use fullview_core::{evaluate_grid, EffectiveAngle};
+use fullview_geom::{Angle, Torus, UnitGrid};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let torus = Torus::unit();
+    let grid = UnitGrid::new(torus, 40); // fixed 1600-point grid
+    let mut group = c.benchmark_group("grid_coverage");
+    group.sample_size(20);
+
+    for &n in &[500usize, 2000] {
+        let net = bench_network(n, 0.05 * (1000.0 / n as f64), 7);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_grid(&net, theta, &grid, Angle::ZERO)));
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| {
+                // Brute force: per grid point, scan every camera.
+                let mut full_view = 0usize;
+                for p in grid.iter() {
+                    let mut dirs: Vec<f64> = Vec::new();
+                    let mut colocated = false;
+                    for cam in net.cameras() {
+                        if cam.covers(net.torus(), p) {
+                            match cam.viewed_direction(net.torus(), p) {
+                                Some(d) => dirs.push(d.radians()),
+                                None => colocated = true,
+                            }
+                        }
+                    }
+                    dirs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    let covered = if colocated {
+                        true
+                    } else if dirs.is_empty() {
+                        false
+                    } else {
+                        let mut max_gap =
+                            dirs[0] + 2.0 * PI - dirs[dirs.len() - 1];
+                        for w in dirs.windows(2) {
+                            max_gap = max_gap.max(w[1] - w[0]);
+                        }
+                        max_gap <= 2.0 * theta.radians() + 1e-9
+                    };
+                    if covered {
+                        full_view += 1;
+                    }
+                }
+                black_box(full_view)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

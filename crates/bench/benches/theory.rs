@@ -1,0 +1,82 @@
+//! Theory-formula evaluation throughput, including the Poisson series vs
+//! closed-form ablation (the series is the paper's stated form; the
+//! closed form is what the library evaluates by default).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fullview_core::{
+    csa_necessary, csa_sufficient, prob_point_fails_necessary,
+    prob_point_meets_necessary_poisson, q_closed_form, q_series, Condition, EffectiveAngle,
+};
+use fullview_model::{NetworkProfile, SensorSpec};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench_theory(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let profile = NetworkProfile::builder()
+        .group(SensorSpec::new(0.06, PI).expect("valid"), 0.5)
+        .group(SensorSpec::new(0.08, PI / 2.0).expect("valid"), 0.3)
+        .group(SensorSpec::new(0.1, PI / 4.0).expect("valid"), 0.2)
+        .build()
+        .expect("fractions sum to 1");
+
+    let mut group = c.benchmark_group("theory");
+
+    group.bench_function("csa_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [100usize, 1000, 10_000, 100_000] {
+                acc += csa_necessary(black_box(n), theta) + csa_sufficient(black_box(n), theta);
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("uniform_failure_probability", |b| {
+        b.iter(|| black_box(prob_point_fails_necessary(&profile, black_box(1000), theta)));
+    });
+
+    group.bench_function("poisson_p_n_closed", |b| {
+        b.iter(|| {
+            black_box(prob_point_meets_necessary_poisson(
+                &profile,
+                black_box(1000.0),
+                theta,
+            ))
+        });
+    });
+
+    for &terms in &[50usize, 500, 5000] {
+        group.bench_with_input(
+            BenchmarkId::new("q_series_terms", terms),
+            &terms,
+            |b, &terms| {
+                b.iter(|| {
+                    black_box(q_series(
+                        Condition::Necessary,
+                        theta,
+                        black_box(500.0),
+                        0.08,
+                        PI / 2.0,
+                        terms,
+                    ))
+                });
+            },
+        );
+    }
+    group.bench_function("q_closed_form", |b| {
+        b.iter(|| {
+            black_box(q_closed_form(
+                Condition::Necessary,
+                theta,
+                black_box(500.0),
+                0.08,
+                PI / 2.0,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

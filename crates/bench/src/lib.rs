@@ -1,0 +1,65 @@
+//! # fullview-bench
+//!
+//! Criterion benchmarks and performance ablations for the full-view
+//! coverage library. The benches double as the design-choice ablations
+//! called out in DESIGN.md:
+//!
+//! * `fullview_point` — angular-gap vs arc-set full-view algorithms;
+//! * `grid_coverage` — dense-grid sweep with the spatial hash index vs a
+//!   brute-force scan;
+//! * `deployment` — uniform vs Poisson vs lattice generation throughput;
+//! * `theory` — CSA / `P_N` / `P_S` formula evaluation, series vs closed
+//!   form;
+//! * `conditions` — necessary vs sufficient vs full-view per-point
+//!   predicates.
+//!
+//! This crate intentionally exports shared fixture builders only.
+
+use fullview_deploy::deploy_uniform;
+use fullview_geom::Torus;
+use fullview_model::{CameraNetwork, NetworkProfile, SensorSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+/// A reproducible uniformly deployed benchmark network of `n` cameras
+/// with weighted sensing area `s_c`.
+///
+/// # Panics
+///
+/// Panics if the implied radii do not fit the unit torus.
+#[must_use]
+pub fn bench_network(n: usize, s_c: f64, seed: u64) -> CameraNetwork {
+    let profile = NetworkProfile::builder()
+        .group(
+            SensorSpec::with_sensing_area(1.2, PI).expect("valid spec"),
+            0.5,
+        )
+        .group(
+            SensorSpec::with_sensing_area(1.0, PI / 2.0).expect("valid spec"),
+            0.3,
+        )
+        .group(
+            SensorSpec::with_sensing_area(0.5, PI / 4.0).expect("valid spec"),
+            0.2,
+        )
+        .build()
+        .expect("fractions sum to 1")
+        .scale_to_weighted_area(s_c)
+        .expect("positive area");
+    let mut rng = StdRng::seed_from_u64(seed);
+    deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("profile fits torus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_network_is_reproducible() {
+        let a = bench_network(100, 0.01, 1);
+        let b = bench_network(100, 0.01, 1);
+        assert_eq!(a.cameras(), b.cameras());
+        assert_eq!(a.len(), 100);
+    }
+}

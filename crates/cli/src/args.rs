@@ -1,0 +1,134 @@
+//! Minimal `--key value` argument parsing for `fvc`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: a subcommand plus `--key value` options and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Cli {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for stray positional arguments after the
+    /// subcommand.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cli = Cli::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                cli.subcommand = iter.next();
+            }
+        }
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument '{arg}'")));
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    cli.options.insert(name.to_string(), value);
+                }
+                _ => cli.flags.push(name.to_string()),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The subcommand, if given.
+    #[must_use]
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// Whether a bare flag is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A typed option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if the value is present but unparseable.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgError(format!("bad value for --{name}: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_options_flags() {
+        let cli = Cli::parse(["csa", "--n", "500", "--verbose", "--theta-deg", "30"]).unwrap();
+        assert_eq!(cli.subcommand(), Some("csa"));
+        assert_eq!(cli.get("n", 0usize).unwrap(), 500);
+        assert!((cli.get("theta-deg", 0.0f64).unwrap() - 30.0).abs() < 1e-12);
+        assert!(cli.flag("verbose"));
+        assert!(!cli.flag("quiet"));
+    }
+
+    #[test]
+    fn no_subcommand() {
+        let cli = Cli::parse(["--n", "5"]).unwrap();
+        assert_eq!(cli.subcommand(), None);
+        assert_eq!(cli.get("n", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cli = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.get("n", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        let cli = Cli::parse(["csa", "--n", "abc"]).unwrap();
+        assert!(cli.get("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn stray_positional_is_error() {
+        assert!(Cli::parse(["csa", "oops"]).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let cli = Cli::parse(["map", "--csv"]).unwrap();
+        assert!(cli.flag("csv"));
+    }
+}

@@ -1,0 +1,506 @@
+//! The `fvc` subcommand implementations.
+//!
+//! Each command builds its inputs from [`Cli`], runs the corresponding
+//! library functionality, and prints a human-readable report. All
+//! commands accept `--theta-deg` (default 45) and, where relevant,
+//! `--radius`, `--aov-deg`, `--n`, and `--seed`.
+
+use crate::args::{ArgError, Cli};
+use fullview_core::{
+    analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
+    evaluate_dense_grid, find_holes, is_full_view_covered, max_cameras_below_necessary,
+    min_cameras_for_guarantee, prob_point_full_view_poisson, prob_point_full_view_uniform,
+    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
+    required_area_for_expected_fraction, unsafe_directions, EffectiveAngle, SectorPartition,
+};
+use fullview_core::{evaluate_path, Path};
+use fullview_deploy::{deploy_poisson, deploy_uniform};
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
+use fullview_model::{
+    empirical_profile, network_from_text, network_to_text, profile_from_text, CameraNetwork,
+    NetworkProfile, SensorSpec,
+};
+use fullview_plan::{greedy_place, optimize_orientations, GreedyPlacer, OrientationPlanner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+/// Runs the parsed command line; returns a process exit code message.
+///
+/// # Errors
+///
+/// Propagates argument and model errors with readable messages.
+pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    match cli.subcommand() {
+        Some("csa") => cmd_csa(cli),
+        Some("check") => cmd_check(cli),
+        Some("poisson") => cmd_poisson(cli),
+        Some("map") => cmd_map(cli),
+        Some("holes") => cmd_holes(cli),
+        Some("plan") => cmd_plan(cli),
+        Some("aim") => cmd_aim(cli),
+        Some("point") => cmd_point(cli),
+        Some("size") => cmd_size(cli),
+        Some("route") => cmd_route(cli),
+        Some("failures") => cmd_failures(cli),
+        Some("save") => cmd_save(cli),
+        Some(other) => Err(Box::new(ArgError(format!(
+            "unknown subcommand '{other}'\n{USAGE}"
+        )))),
+        None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fvc — full-view coverage analysis (Wu & Wang, ICDCS 2012)
+
+USAGE: fvc <COMMAND> [--key value ...]
+
+COMMANDS:
+  csa      critical sensing areas and regime classification
+             --n 1000 --theta-deg 45 [--area S]
+  check    deploy uniformly at random and evaluate the dense grid
+             --n 1000 --theta-deg 45 --radius 0.1 --aov-deg 90 [--seed 0]
+  poisson  Theorems 3-4 + exact probability under Poisson deployment
+             --density 800 --theta-deg 45 --radius 0.1 --aov-deg 90
+  map      ASCII coverage map of a random deployment
+             --n 900 --theta-deg 45 --radius 0.1 --aov-deg 90 [--side 48]
+  holes    spatial full-view coverage holes of a random deployment
+             --n 900 --theta-deg 45 --radius 0.1 --aov-deg 90 [--grid 24]
+  plan     greedy deliberate placement to full-view cover the region
+             --theta-deg 45 --radius 0.15 --aov-deg 90
+  aim      re-orient a random deployment's cameras (fixed positions)
+             --n 400 --theta-deg 45 --radius 0.15 --aov-deg 90
+  point    analyse one point of a random deployment
+             --x 0.5 --y 0.5 --n 1000 --theta-deg 45 --radius 0.1 --aov-deg 90
+  size     fleet sizing: Theorem 1/2 bounds and exact-fraction targets
+             --radius 0.1 --aov-deg 90 --theta-deg 45 [--n 1000 --fraction 0.95]
+  failures what-if: random camera failures on a deployment
+             --n 1000 --p 0.3 --radius 0.1 --aov-deg 90 [--load net.txt]
+  route    full-view coverage along a patrol route
+             --route 0.1,0.1:0.9,0.1:0.9,0.9 [--step 0.01] [--load net.txt]
+  save     write a generated deployment to the text format
+             --out net.txt --n 1000 --radius 0.1 --aov-deg 90 [--seed 0]
+
+Most commands accept --load FILE to analyse a saved network (see `save`)
+instead of generating a random one, and --profile FILE to use a
+heterogeneous mix (text format: one 'fraction radius aov_rad' per line).";
+
+fn theta_of(cli: &Cli) -> Result<EffectiveAngle, Box<dyn Error>> {
+    let deg: f64 = cli.get("theta-deg", 45.0)?;
+    Ok(EffectiveAngle::new(deg.to_radians())?)
+}
+
+fn spec_of(cli: &Cli) -> Result<SensorSpec, Box<dyn Error>> {
+    let radius: f64 = cli.get("radius", 0.1)?;
+    let aov: f64 = cli.get("aov-deg", 90.0)?;
+    Ok(SensorSpec::new(radius, aov.to_radians())?)
+}
+
+/// The heterogeneous profile in effect: `--profile FILE` if given,
+/// otherwise homogeneous from `--radius`/`--aov-deg`.
+fn profile_of(cli: &Cli) -> Result<NetworkProfile, Box<dyn Error>> {
+    let path: String = cli.get("profile", String::new())?;
+    if path.is_empty() {
+        return Ok(NetworkProfile::homogeneous(spec_of(cli)?));
+    }
+    let text = std::fs::read_to_string(&path)?;
+    Ok(profile_from_text(&text)?)
+}
+
+fn network_of(cli: &Cli) -> Result<(NetworkProfile, CameraNetwork), Box<dyn Error>> {
+    let load: String = cli.get("load", String::new())?;
+    if !load.is_empty() {
+        let text = std::fs::read_to_string(&load)?;
+        let net = network_from_text(Torus::unit(), &text)?;
+        // Prefer the as-built composition when it is recoverable.
+        let profile = empirical_profile(&net)
+            .map_or_else(|| profile_of(cli), Ok)?;
+        return Ok((profile, net));
+    }
+    let profile = profile_of(cli)?;
+    let n: usize = cli.get("n", 1000)?;
+    let seed: u64 = cli.get("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)?;
+    Ok((profile, net))
+}
+
+fn parse_route(raw: &str) -> Result<Path, Box<dyn Error>> {
+    let mut waypoints = Vec::new();
+    for (i, part) in raw.split(':').enumerate() {
+        let (x, y) = part.split_once(',').ok_or_else(|| {
+            ArgError(format!("waypoint {} '{part}' is not 'x,y'", i + 1))
+        })?;
+        waypoints.push(Point::new(x.trim().parse()?, y.trim().parse()?));
+    }
+    if waypoints.len() < 2 {
+        return Err(Box::new(ArgError("route needs at least two waypoints".into())));
+    }
+    Ok(Path::new(waypoints))
+}
+
+fn cmd_route(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let raw: String = cli.get("route", "0.1,0.1:0.9,0.9".to_string())?;
+    let step: f64 = cli.get("step", 0.01)?;
+    let path = parse_route(&raw)?;
+    let report = evaluate_path(&net, &path, theta, step);
+    println!("{report}");
+    for (i, stretch) in report.exposed.iter().take(10).enumerate() {
+        println!(
+            "  exposed stretch {}: {} samples from index {}, ~{:.4} long",
+            i + 1,
+            stretch.samples,
+            stretch.start_index,
+            stretch.length
+        );
+    }
+    Ok(())
+}
+
+fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let p: f64 = cli.get("p", 0.3)?;
+    let seed: u64 = cli.get("fail-seed", 1)?;
+    let before = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let failed = fullview_sim::with_random_failures(&net, p, &mut rng);
+    let after = evaluate_dense_grid(&failed, theta, Angle::ZERO);
+    println!("before: {} cameras, {before}", net.len());
+    println!("after p={p} failures: {} cameras, {after}", failed.len());
+    println!(
+        "full-view fraction {:.4} -> {:.4}",
+        before.full_view_fraction(),
+        after.full_view_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_save(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let out: String = cli.get("out", String::new())?;
+    if out.is_empty() {
+        return Err(Box::new(ArgError("--out FILE is required".into())));
+    }
+    let (_, net) = network_of(cli)?;
+    std::fs::write(&out, network_to_text(&net))?;
+    println!("wrote {} cameras to {out}", net.len());
+    Ok(())
+}
+
+fn cmd_csa(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let n: usize = cli.get("n", 1000)?;
+    let theta = theta_of(cli)?;
+    let s_nc = csa_necessary(n, theta);
+    let s_sc = csa_sufficient(n, theta);
+    println!("n = {n}, {theta}");
+    println!("  necessary CSA  s_Nc(n) = {s_nc:.6}");
+    println!("  sufficient CSA s_Sc(n) = {s_sc:.6}  (ratio {:.2})", s_sc / s_nc);
+    println!("  1-coverage CSA          = {:.6}", csa_one_coverage(n));
+    println!("  critical ESR            = {:.6}", critical_esr(n));
+    let area: f64 = cli.get("area", f64::NAN)?;
+    if area.is_finite() {
+        println!(
+            "  your weighted area {area:.6} → regime {:?}",
+            classify_csa(area, n, theta)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (profile, net) = network_of(cli)?;
+    let s_c = profile.weighted_sensing_area();
+    println!(
+        "deployed {} cameras (s_c = {s_c:.6}, regime {:?})",
+        net.len(),
+        classify_csa(s_c, net.len().max(3), theta)
+    );
+    let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    println!("{report}");
+    println!(
+        "exact per-point full-view probability (theory): {:.4}",
+        prob_point_full_view_uniform(&profile, net.len(), theta)
+    );
+    Ok(())
+}
+
+fn cmd_poisson(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let density: f64 = cli.get("density", 800.0)?;
+    let seed: u64 = cli.get("seed", 0)?;
+    let profile = profile_of(cli)?;
+    println!("density {density}, {theta}");
+    println!(
+        "  P_N (Theorem 3) = {:.4}",
+        prob_point_meets_necessary_poisson(&profile, density, theta)
+    );
+    println!(
+        "  P_S (Theorem 4) = {:.4}",
+        prob_point_meets_sufficient_poisson(&profile, density, theta)
+    );
+    println!(
+        "  exact P(full-view) = {:.4}",
+        prob_point_full_view_poisson(&profile, density, theta)
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = deploy_poisson(Torus::unit(), &profile, density, &mut rng)?;
+    let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    println!("one sampled drop ({} cameras): {report}", net.len());
+    Ok(())
+}
+
+fn cmd_map(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let side: usize = cli.get("side", 48)?;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    let necessary = SectorPartition::necessary(theta, Angle::ZERO);
+    let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
+    println!("legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare\n");
+    for j in (0..side).rev() {
+        let mut row = String::with_capacity(side);
+        for i in 0..side {
+            let analysis = analyze_point(&net, grid.point(j * side + i));
+            row.push(if sufficient.is_satisfied(&analysis) {
+                '#'
+            } else if analysis.is_full_view(theta) {
+                'F'
+            } else if necessary.is_satisfied(&analysis) {
+                'n'
+            } else if analysis.covering_cameras > 0 {
+                '.'
+            } else {
+                ' '
+            });
+        }
+        println!("|{row}|");
+    }
+    Ok(())
+}
+
+fn cmd_holes(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let grid: usize = cli.get("grid", 24)?;
+    let report = find_holes(&net, theta, grid);
+    println!("{report}");
+    for (i, hole) in report.holes.iter().take(10).enumerate() {
+        println!(
+            "  hole {}: {} cells (~{:.4} area) around {}",
+            i + 1,
+            hole.cells,
+            hole.area,
+            hole.centroid
+        );
+    }
+    if report.hole_count() > 10 {
+        println!("  … and {} more", report.hole_count() - 10);
+    }
+    Ok(())
+}
+
+fn cmd_plan(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let spec = spec_of(cli)?;
+    let mut placer = GreedyPlacer::for_spec(spec);
+    placer.grid_side = cli.get("grid", 16)?;
+    placer.max_cameras = cli.get("budget", 2000)?;
+    let outcome = greedy_place(Torus::unit(), theta, placer);
+    println!("{outcome}");
+    println!(
+        "for comparison, Theorem 2 random deployment needs s >= s_Sc(n): try `fvc csa`"
+    );
+    Ok(())
+}
+
+fn cmd_aim(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let planner = OrientationPlanner {
+        grid_side: cli.get("grid", 20)?,
+        candidates: cli.get("candidates", 16)?,
+        max_rounds: cli.get("rounds", 3)?,
+    };
+    let outcome = optimize_orientations(&net, theta, planner);
+    println!("{outcome}");
+    let eval_points = (planner.grid_side * planner.grid_side) as f64;
+    println!(
+        "covered fraction: {:.4} -> {:.4}",
+        outcome.before.covered as f64 / eval_points,
+        outcome.after.covered as f64 / eval_points
+    );
+    Ok(())
+}
+
+fn cmd_size(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let spec = spec_of(cli)?;
+    let s = spec.sensing_area();
+    println!("camera: {spec}, {theta}");
+    match min_cameras_for_guarantee(s, theta) {
+        Ok(n) => println!("  Theorem 2 guarantee:   n ≥ {n}"),
+        Err(e) => println!("  Theorem 2 guarantee:   {e}"),
+    }
+    match max_cameras_below_necessary(s, theta)? {
+        Some(n) => println!("  Theorem 1 impossible:  n ≤ {n}"),
+        None => println!("  Theorem 1 impossible:  never (budget above the necessary CSA)"),
+    }
+    let n: usize = cli.get("n", 1000)?;
+    let fraction: f64 = cli.get("fraction", 0.95)?;
+    let profile = profile_of(cli)?;
+    let s_needed = required_area_for_expected_fraction(&profile, n, theta, fraction)?;
+    let per_camera_ratio = s_needed / s;
+    println!(
+        "  expected fraction ≥ {fraction} at n = {n}: total weighted area {s_needed:.5} \
+         ({per_camera_ratio:.2}x this camera)"
+    );
+    Ok(())
+}
+
+fn cmd_point(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let x: f64 = cli.get("x", 0.5)?;
+    let y: f64 = cli.get("y", 0.5)?;
+    let p = Point::new(x, y);
+    let analysis = analyze_point(&net, p);
+    println!(
+        "point {p}: {} covering cameras, largest gap {:.4} rad",
+        analysis.covering_cameras, analysis.largest_gap
+    );
+    println!("full-view covered: {}", is_full_view_covered(&net, p, theta));
+    if let Some(t) = analysis.critical_theta() {
+        println!("critical effective angle here: {t:.4} rad");
+    }
+    let limit = if cli.flag("verbose") { usize::MAX } else { 8 };
+    for hole in unsafe_directions(&net, p, theta).iter().take(limit) {
+        println!(
+            "  unsafe facing arc: centre {}, width {:.4} rad",
+            hole.bisector(),
+            hole.width()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn csa_command_runs() {
+        run(&cli(&["csa", "--n", "500", "--theta-deg", "45", "--area", "0.02"])).unwrap();
+    }
+
+    #[test]
+    fn check_command_runs_small() {
+        run(&cli(&["check", "--n", "80", "--radius", "0.12", "--aov-deg", "120"])).unwrap();
+    }
+
+    #[test]
+    fn poisson_command_runs_small() {
+        run(&cli(&["poisson", "--density", "60", "--radius", "0.12"])).unwrap();
+    }
+
+    #[test]
+    fn map_command_runs_small() {
+        run(&cli(&["map", "--n", "60", "--side", "12"])).unwrap();
+    }
+
+    #[test]
+    fn holes_command_runs_small() {
+        run(&cli(&["holes", "--n", "60", "--grid", "8"])).unwrap();
+    }
+
+    #[test]
+    fn point_command_runs_small() {
+        run(&cli(&["point", "--n", "60", "--x", "0.3", "--y", "0.7"])).unwrap();
+    }
+
+    #[test]
+    fn aim_command_runs_small() {
+        run(&cli(&[
+            "aim", "--n", "25", "--radius", "0.2", "--grid", "8", "--candidates", "6",
+            "--rounds", "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn plan_command_runs_small() {
+        run(&cli(&[
+            "plan", "--radius", "0.3", "--aov-deg", "180", "--grid", "6", "--budget", "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn route_command_runs_small() {
+        run(&cli(&[
+            "route", "--n", "60", "--route", "0.1,0.1:0.9,0.9", "--step", "0.05",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("fvc-test-net.txt");
+        let path = dir.to_string_lossy().to_string();
+        run(&cli(&["save", "--out", &path, "--n", "40", "--radius", "0.12"])).unwrap();
+        run(&cli(&["holes", "--load", &path, "--grid", "6"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failures_command_runs_small() {
+        run(&cli(&["failures", "--n", "60", "--p", "0.5", "--radius", "0.12"])).unwrap();
+    }
+
+    #[test]
+    fn save_requires_out() {
+        assert!(run(&cli(&["save", "--n", "5"])).is_err());
+    }
+
+    #[test]
+    fn bad_route_is_error() {
+        assert!(run(&cli(&["route", "--n", "10", "--route", "0.5"])).is_err());
+        assert!(run(&cli(&["route", "--n", "10", "--route", "nope,0:0.2,0.3"])).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_profile_file_supported() {
+        let dir = std::env::temp_dir().join("fvc-test-profile.txt");
+        std::fs::write(&dir, "0.7 0.1 1.5708\n0.3 0.18 0.5236\n").unwrap();
+        let path = dir.to_string_lossy().to_string();
+        run(&cli(&["check", "--n", "80", "--profile", &path])).unwrap();
+        run(&cli(&["csa", "--n", "500"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn size_command_runs() {
+        run(&cli(&["size", "--radius", "0.15", "--aov-deg", "120", "--n", "300"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&cli(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn no_subcommand_prints_usage() {
+        run(&cli(&[])).unwrap();
+    }
+}

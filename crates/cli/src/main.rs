@@ -1,0 +1,26 @@
+//! `fvc` — command-line full-view coverage analysis.
+//!
+//! See [`commands::USAGE`] or run `fvc` with no arguments.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cli = match args::Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The geometric necessary and sufficient conditions (§III, §IV).
+//!
+//! Both conditions partition the directions around a point `P` into closed
+//! sectors and require a covering camera to be *located* in each sector
+//! (equivalently: each sector must contain a viewed direction):
+//!
+//! * **necessary** (§III, Fig. 4): `⌊π/θ⌋` sectors of width `2θ` swept
+//!   from the start line, plus — when `2θ` does not divide `2π` — one
+//!   extra sector of width `2θ` whose bisector is the bisector of the
+//!   leftover wedge `T_α`. If any sector is empty, its bisector is an
+//!   unsafe facing direction, so full-view coverage fails.
+//! * **sufficient** (§IV, Fig. 6): `⌊2π/θ⌋` sectors of width `θ` plus the
+//!   analogous extra sector. If every sector holds a viewed direction,
+//!   every facing direction is within `θ` of one of them, so full-view
+//!   coverage holds.
+
+use crate::fullview::PointCoverage;
+use crate::numeric::tolerant_floor;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Angle, Arc, ANGLE_EPS};
+use fullview_model::CameraNetwork;
+use fullview_geom::Point;
+use std::f64::consts::TAU;
+
+/// The sector partition used by one of the paper's two geometric
+/// conditions: a list of closed arcs, each of which must contain at least
+/// one viewed direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectorPartition {
+    sectors: Vec<Arc>,
+    kind: ConditionKind,
+}
+
+/// Which geometric condition a partition encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConditionKind {
+    /// §III construction: sectors of width `2θ`.
+    Necessary,
+    /// §IV construction: sectors of width `θ`.
+    Sufficient,
+}
+
+impl SectorPartition {
+    /// Builds the §III *necessary*-condition partition for effective angle
+    /// `theta`, sweeping counter-clockwise from `start_line` (the paper's
+    /// dashed radius `r_P`; the construction's validity does not depend on
+    /// its choice, which the `conditions` property tests exercise).
+    #[must_use]
+    pub fn necessary(theta: EffectiveAngle, start_line: Angle) -> Self {
+        SectorPartition {
+            sectors: build_sectors(2.0 * theta.radians(), start_line),
+            kind: ConditionKind::Necessary,
+        }
+    }
+
+    /// Builds the §IV *sufficient*-condition partition (sector width `θ`).
+    #[must_use]
+    pub fn sufficient(theta: EffectiveAngle, start_line: Angle) -> Self {
+        SectorPartition {
+            sectors: build_sectors(theta.radians(), start_line),
+            kind: ConditionKind::Sufficient,
+        }
+    }
+
+    /// The partition's sectors.
+    #[must_use]
+    pub fn sectors(&self) -> &[Arc] {
+        &self.sectors
+    }
+
+    /// Which condition this partition encodes.
+    #[must_use]
+    pub fn kind(&self) -> ConditionKind {
+        self.kind
+    }
+
+    /// Whether every sector contains at least one of `directions`
+    /// (plus `colocated` granting all sectors at once — a camera at the
+    /// point itself can be "in" any sector).
+    #[must_use]
+    pub fn is_satisfied_by(&self, directions: &[Angle], colocated: bool) -> bool {
+        if colocated {
+            return true;
+        }
+        self.sectors
+            .iter()
+            .all(|s| directions.iter().any(|d| s.contains(*d)))
+    }
+
+    /// Evaluates the partition against an analysed point.
+    #[must_use]
+    pub fn is_satisfied(&self, coverage: &PointCoverage) -> bool {
+        self.is_satisfied_by(&coverage.viewed_directions, coverage.has_colocated_camera)
+    }
+}
+
+/// The common §III/§IV construction: `⌊2π/w⌋` sectors of width `w` swept
+/// from `start`, plus — if a leftover wedge `T_α` of width `α ∈ (0, w)`
+/// remains — an extra sector of width `w` sharing `T_α`'s bisector.
+fn build_sectors(width: f64, start: Angle) -> Vec<Arc> {
+    debug_assert!(width > 0.0 && width <= TAU + ANGLE_EPS);
+    let width = width.min(TAU);
+    let k = tolerant_floor(TAU / width);
+    let mut sectors = Vec::with_capacity(k + 1);
+    for j in 0..k {
+        sectors.push(Arc::new(start.rotate(j as f64 * width), width));
+    }
+    let alpha = TAU - k as f64 * width;
+    if alpha > ANGLE_EPS {
+        // Bisector of the leftover wedge [k·w, 2π) (relative to start).
+        let bisector = start.rotate(k as f64 * width + alpha / 2.0);
+        sectors.push(Arc::centered(bisector, width / 2.0));
+    }
+    sectors
+}
+
+/// Whether `point` meets the §III **necessary** condition of full-view
+/// coverage in `net`: every `2θ`-sector around it (swept from
+/// `start_line`) contains a covering camera.
+///
+/// Full-view coverage implies this condition; the converse fails (Fig. 9,
+/// left). With `θ = π` the condition degenerates to 1-coverage (§VII-A).
+#[must_use]
+pub fn meets_necessary_condition(
+    net: &CameraNetwork,
+    point: Point,
+    theta: EffectiveAngle,
+    start_line: Angle,
+) -> bool {
+    let coverage = crate::fullview::analyze_point(net, point);
+    SectorPartition::necessary(theta, start_line).is_satisfied(&coverage)
+}
+
+/// Whether `point` meets the §IV **sufficient** condition of full-view
+/// coverage in `net`: every `θ`-sector around it contains a covering
+/// camera.
+///
+/// This condition implies full-view coverage; the converse fails (Fig. 9,
+/// right — close camera pairs make one of them redundant).
+#[must_use]
+pub fn meets_sufficient_condition(
+    net: &CameraNetwork,
+    point: Point,
+    theta: EffectiveAngle,
+    start_line: Angle,
+) -> bool {
+    let coverage = crate::fullview::analyze_point(net, point);
+    SectorPartition::sufficient(theta, start_line).is_satisfied(&coverage)
+}
+
+/// Minimum number of cameras full-view coverage demands: `⌈π/θ⌉`
+/// (§III: "at least `⌈π/θ⌉` sensors are needed to achieve full view
+/// coverage of a point" — using the corrected sector count, see
+/// DESIGN.md).
+///
+/// Derivation: with `c` covering cameras the circular gaps between viewed
+/// directions sum to `2π` and each must be at most `2θ`, so `c ≥ π/θ`.
+/// Note the bound follows from full-view coverage itself; the
+/// sector-occupancy form of the necessary condition can be met by fewer
+/// cameras when `θ > π/2` makes the overlap sector intersect sector 1.
+#[must_use]
+pub fn min_cameras_necessary(theta: EffectiveAngle) -> usize {
+    theta.necessary_sector_count()
+}
+
+/// Number of cameras that *suffice* when ideally placed: `⌈2π/θ⌉` (§IV).
+#[must_use]
+pub fn cameras_sufficient(theta: EffectiveAngle) -> usize {
+    theta.sufficient_sector_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Torus;
+    use std::f64::consts::PI;
+    use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    fn angles(v: &[f64]) -> Vec<Angle> {
+        v.iter().map(|&a| Angle::new(a)).collect()
+    }
+
+    #[test]
+    fn necessary_partition_exact_division() {
+        // θ = π/4: four sectors of width π/2, no extra.
+        let p = SectorPartition::necessary(theta(PI / 4.0), Angle::ZERO);
+        assert_eq!(p.sectors().len(), 4);
+        let total: f64 = p.sectors().iter().map(Arc::width).sum();
+        assert!((total - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn necessary_partition_with_remainder() {
+        // θ = 0.3π: 2θ = 0.6π, ⌊2π/0.6π⌋ = 3 sectors + extra = 4 = ⌈π/θ⌉.
+        let th = theta(0.3 * PI);
+        let p = SectorPartition::necessary(th, Angle::ZERO);
+        assert_eq!(p.sectors().len(), th.necessary_sector_count());
+        assert_eq!(p.sectors().len(), 4);
+        // Extra sector bisector = bisector of the leftover [1.8π, 2π).
+        let extra = p.sectors()[3];
+        assert!(extra.bisector().approx_eq(Angle::new(1.9 * PI)));
+        assert!((extra.width() - 0.6 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sufficient_partition_counts() {
+        let th = theta(0.3 * PI);
+        let p = SectorPartition::sufficient(th, Angle::ZERO);
+        assert_eq!(p.sectors().len(), th.sufficient_sector_count());
+        assert_eq!(p.sectors().len(), 7); // ⌈2π/0.3π⌉ = ⌈6.67⌉
+    }
+
+    #[test]
+    fn theta_pi_necessary_is_single_full_sector() {
+        let p = SectorPartition::necessary(theta(PI), Angle::new(1.0));
+        assert_eq!(p.sectors().len(), 1);
+        assert!(p.sectors()[0].is_full_circle());
+        // Any single direction satisfies it — 1-coverage (§VII-A).
+        assert!(p.is_satisfied_by(&angles(&[2.0]), false));
+        assert!(!p.is_satisfied_by(&[], false));
+    }
+
+    #[test]
+    fn satisfaction_requires_every_sector() {
+        let th = theta(PI / 4.0);
+        let p = SectorPartition::necessary(th, Angle::ZERO);
+        // Directions in sectors 0, 1, 2 only (missing [1.5π, 2π)).
+        assert!(!p.is_satisfied_by(&angles(&[0.1, 1.7, 3.2]), false));
+        assert!(p.is_satisfied_by(&angles(&[0.1, 1.7, 3.2, 5.0]), false));
+    }
+
+    #[test]
+    fn colocated_satisfies_everything() {
+        let p = SectorPartition::sufficient(theta(0.1), Angle::ZERO);
+        assert!(p.is_satisfied_by(&[], true));
+    }
+
+    #[test]
+    fn boundary_direction_counts_for_both_adjacent_sectors() {
+        let th = theta(PI / 4.0);
+        let p = SectorPartition::necessary(th, Angle::ZERO);
+        // A direction exactly on the boundary π/2 belongs to sectors 0 and 1
+        // (closed sectors), so 3 remaining directions can finish the job.
+        let dirs = angles(&[PI / 2.0, PI + 0.1, 1.6 * PI, 0.2]);
+        assert!(p.is_satisfied_by(&dirs, false));
+    }
+
+    #[test]
+    fn rotating_start_line_changes_verdict_possibly() {
+        // The *condition* is defined relative to a start line; an uneven
+        // direction set can pass for one start line and fail for another —
+        // that is exactly why the necessary condition is not sufficient.
+        let th = theta(PI / 2.0);
+        // Necessary partition: sectors [0, π) and [π, 2π).
+        let p0 = SectorPartition::necessary(th, Angle::ZERO);
+        let dirs = angles(&[0.1, PI - 0.1]);
+        assert!(!p0.is_satisfied_by(&dirs, false)); // both in [0, π)
+        let p_rot = SectorPartition::necessary(th, Angle::new(PI / 2.0));
+        assert!(p_rot.is_satisfied_by(&dirs, false)); // now split across sectors
+    }
+
+    // --- end-to-end against a network ---
+
+    fn ring(target: Point, dirs: &[f64]) -> CameraNetwork {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.3, PI).unwrap();
+        let cams: Vec<Camera> = dirs
+            .iter()
+            .map(|&d| {
+                let dir = Angle::new(d);
+                Camera::new(torus.offset(target, dir, 0.1), dir.opposite(), spec, GroupId(0))
+            })
+            .collect();
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn network_conditions_and_fullview_sandwich() {
+        let p = Point::new(0.5, 0.5);
+        let th = theta(PI / 4.0);
+        // 8 evenly spaced cameras: sufficient condition holds.
+        let dirs: Vec<f64> = (0..8).map(|i| i as f64 * TAU / 8.0 + 0.05).collect();
+        let net = ring(p, &dirs);
+        assert!(meets_sufficient_condition(&net, p, th, Angle::ZERO));
+        assert!(crate::fullview::is_full_view_covered(&net, p, th));
+        assert!(meets_necessary_condition(&net, p, th, Angle::ZERO));
+
+        // 4 cameras at sector bisectors: necessary holds (one per 2θ-sector),
+        // but gaps are π/2 = 2θ — full-view *just* holds (closed condition);
+        // push one camera to create a wide gap: necessary may still hold but
+        // full-view fails.
+        let dirs = [0.4, PI / 2.0 + 0.4, PI + 0.4, 1.5 * PI + 1.2];
+        let net = ring(p, &dirs);
+        assert!(meets_necessary_condition(&net, p, th, Angle::ZERO));
+        assert!(!crate::fullview::is_full_view_covered(&net, p, th));
+        assert!(!meets_sufficient_condition(&net, p, th, Angle::ZERO));
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let th = theta(PI / 4.0);
+        assert_eq!(min_cameras_necessary(th), 4);
+        assert_eq!(cameras_sufficient(th), 8);
+    }
+}

@@ -1,0 +1,321 @@
+//! Critical sensing areas (Definition 2, Theorems 1 and 2) and the
+//! related-work formulas of §VII.
+//!
+//! The CSA is the centralized threshold on the weighted sensing area
+//! `s_c = Σ_y c_y s_y` of a heterogeneous network: with `s_c` a constant
+//! factor above the CSA the condition holds asymptotically almost surely;
+//! a constant factor below, it fails with probability bounded away from
+//! zero.
+//!
+//! Formula provenance: the displayed equations in the available text are
+//! OCR-corrupted; the forms implemented here are the unique reconstruction
+//! consistent with every internal check in the paper (the `θ = π`
+//! degeneration to `(ln n + ln ln n)/n`, the ×2 necessary/sufficient gap
+//! of §VI-C, and the `Θ((ln n + ln ln n)/n)` order of Lemma 3). See
+//! DESIGN.md §2.
+
+use crate::numeric::{ln_ln, one_minus_root_complement};
+use crate::theta::EffectiveAngle;
+use std::f64::consts::PI;
+
+/// Validates the population size for the asymptotic formulas.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (`ln ln n` would be non-positive).
+fn checked_n(n: usize) -> f64 {
+    assert!(n >= 3, "asymptotic CSA formulas need n >= 3, got {n}");
+    n as f64
+}
+
+/// `δ(n) = 1/(n ln n)` — the per-grid-point failure budget when the dense
+/// grid has `m = n ln n` points.
+fn delta(n: f64) -> f64 {
+    1.0 / (n * n.ln())
+}
+
+/// **Theorem 1.** The critical sensing area for the *necessary* condition
+/// of full-view coverage under uniform deployment:
+///
+/// `s_{N,c}(n) = −(π/(θn)) · ln(1 − (1 − 1/(n ln n))^{1/K_N})`,
+/// with `K_N = ⌈π/θ⌉`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_core::{csa_necessary, EffectiveAngle};
+/// use std::f64::consts::PI;
+///
+/// let theta = EffectiveAngle::new(PI / 4.0)?;
+/// // CSA shrinks as the network grows (Lemma 3 / Fig. 8):
+/// assert!(csa_necessary(10_000, theta) < csa_necessary(1_000, theta));
+/// # Ok::<(), fullview_core::CoreError>(())
+/// ```
+#[must_use]
+pub fn csa_necessary(n: usize, theta: EffectiveAngle) -> f64 {
+    let nf = checked_n(n);
+    let k = theta.necessary_sector_count();
+    let inner = one_minus_root_complement(delta(nf), k);
+    -(PI / (theta.radians() * nf)) * inner.ln()
+}
+
+/// **Theorem 2.** The critical sensing area for the *sufficient* condition
+/// of full-view coverage under uniform deployment:
+///
+/// `s_{S,c}(n) = −(2π/(θn)) · ln(1 − (1 − 1/(n ln n))^{1/K_S})`,
+/// with `K_S = ⌈2π/θ⌉`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn csa_sufficient(n: usize, theta: EffectiveAngle) -> f64 {
+    let nf = checked_n(n);
+    let k = theta.sufficient_sector_count();
+    let inner = one_minus_root_complement(delta(nf), k);
+    -(2.0 * PI / (theta.radians() * nf)) * inner.ln()
+}
+
+/// The CSA for plain 1-coverage, `(ln n + ln ln n)/n` — both the `θ = π`
+/// degeneration of [`csa_necessary`] (§VII-A) and `π R²(n)` for the
+/// critical ESR `R(n)` of Wang et al. \[18\].
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn csa_one_coverage(n: usize) -> f64 {
+    let nf = checked_n(n);
+    (nf.ln() + ln_ln(n)) / nf
+}
+
+/// The critical equivalent sensing radius of \[18\], Theorem 4.1:
+/// `R(n) = sqrt((ln n + ln ln n)/(π n))`. A disc sensor with this radius
+/// has sensing area exactly [`csa_one_coverage`]`(n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn critical_esr(n: usize) -> f64 {
+    (csa_one_coverage(n) / PI).sqrt()
+}
+
+/// Kumar et al.'s sufficient per-sensor sensing area for asymptotic
+/// `k`-coverage by disc sensors (§VII-B, eq. (21) with `u(n)` dropped):
+/// `s_K(n) = (ln n + k ln ln n)/n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `k == 0`.
+#[must_use]
+pub fn kumar_k_coverage_area(n: usize, k: usize) -> f64 {
+    assert!(k >= 1, "coverage multiplicity must be at least 1");
+    let nf = checked_n(n);
+    (nf.ln() + k as f64 * ln_ln(n)) / nf
+}
+
+/// Definition 2 as a predicate family: how a measured weighted sensing
+/// area `s_c` relates to the necessary/sufficient CSA thresholds at
+/// `(n, θ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsaRegime {
+    /// `s_c < s_{N,c}` — full-view coverage asymptotically fails.
+    BelowNecessary,
+    /// `s_{N,c} ≤ s_c < s_{S,c}` — the indeterminate band of §VI-C, where
+    /// the outcome depends on the actual deployment.
+    Indeterminate,
+    /// `s_c ≥ s_{S,c}` — full-view coverage asymptotically guaranteed.
+    AboveSufficient,
+}
+
+/// Classifies a weighted sensing area against the two CSA thresholds —
+/// the paper's headline design guidance (§VI-C): below `s_{N,c}` the
+/// region cannot be full-view covered, above `s_{S,c}` it surely is, and
+/// in between "whether the area is full view covered is a random event".
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn classify_csa(s_c: f64, n: usize, theta: EffectiveAngle) -> CsaRegime {
+    if s_c < csa_necessary(n, theta) {
+        CsaRegime::BelowNecessary
+    } else if s_c < csa_sufficient(n, theta) {
+        CsaRegime::Indeterminate
+    } else {
+        CsaRegime::AboveSufficient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    #[test]
+    fn theta_pi_degenerates_to_one_coverage() {
+        // §VII-A: s_{N,c}(n) at θ = π equals (ln n + ln ln n)/n exactly.
+        for n in [10, 100, 1000, 100_000] {
+            let a = csa_necessary(n, theta(PI));
+            let b = csa_one_coverage(n);
+            assert!((a - b).abs() / b < 1e-12, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn esr_matches_one_coverage_area() {
+        for n in [10, 1000, 1_000_000] {
+            let r = critical_esr(n);
+            assert!((PI * r * r - csa_one_coverage(n)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sufficient_roughly_double_necessary() {
+        // §VI-C: "Approximately, s_{S,c}(n) is two times of s_{N,c}(n)".
+        for n in [1000usize, 10_000, 100_000] {
+            for t in [0.1 * PI, 0.25 * PI, 0.5 * PI] {
+                let th = theta(t);
+                let ratio = csa_sufficient(n, th) / csa_necessary(n, th);
+                assert!(
+                    (1.6..2.4).contains(&ratio),
+                    "n={n}, θ={t}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn necessary_strictly_below_sufficient() {
+        for n in [10usize, 100, 1000, 10_000] {
+            for i in 1..=10 {
+                let th = theta(i as f64 * PI / 10.0);
+                assert!(
+                    csa_necessary(n, th) < csa_sufficient(n, th),
+                    "n={n}, θ={th}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csa_decreases_in_n() {
+        // Fig. 8: CSA falls as the network grows.
+        let th = theta(PI / 4.0);
+        let mut prev_n = f64::INFINITY;
+        let mut prev_s = f64::INFINITY;
+        for n in [100usize, 300, 1000, 3000, 10_000, 100_000] {
+            let sn = csa_necessary(n, th);
+            let ss = csa_sufficient(n, th);
+            assert!(sn < prev_n && ss < prev_s, "not decreasing at n={n}");
+            prev_n = sn;
+            prev_s = ss;
+        }
+    }
+
+    #[test]
+    fn csa_decreases_in_theta() {
+        // Fig. 7: smaller effective angle (stricter frontal-view demand)
+        // requires larger sensing area.
+        let n = 1000;
+        let mut prev_n = f64::INFINITY;
+        let mut prev_s = f64::INFINITY;
+        for i in 1..=10 {
+            let th = theta(i as f64 * 0.05 * PI);
+            let sn = csa_necessary(n, th);
+            let ss = csa_sufficient(n, th);
+            assert!(sn < prev_n && ss <= prev_s, "not decreasing at θ={th}");
+            prev_n = sn;
+            prev_s = ss;
+        }
+    }
+
+    #[test]
+    fn csa_inverse_proportional_to_theta_for_large_n() {
+        // §VI-B: s_c(n) ∝ 1/θ when n is large. Compare θ and θ/2 at fixed
+        // large n, away from ceil discontinuities.
+        let n = 10_000_000;
+        let t1 = theta(0.4 * PI);
+        let t2 = theta(0.2 * PI);
+        let ratio = csa_necessary(n, t2) / csa_necessary(n, t1);
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn csa_order_matches_lemma3() {
+        // Lemma 3: s_c = Θ((ln n + ln ln n)/n). Check the ratio to that
+        // order stays bounded over four decades.
+        let th = theta(PI / 4.0);
+        for n in [100usize, 1000, 10_000, 100_000, 1_000_000] {
+            let order = csa_one_coverage(n);
+            let ratio = csa_necessary(n, th) / order;
+            assert!(
+                (0.5..=10.0).contains(&ratio),
+                "n={n}: ratio {ratio} escapes Θ-band"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_anchor_sufficient_csa_near_half_at_n_100() {
+        // §VI-B / Fig. 8: "the requirement ... is extremely large when
+        // n = 100 (about 0.5 in sufficient condition ...)" at θ = π/4.
+        let s = csa_sufficient(100, theta(PI / 4.0));
+        assert!((0.3..0.7).contains(&s), "s_S(100) = {s}");
+    }
+
+    #[test]
+    fn kumar_area_reproduces_eq21() {
+        let n = 1000;
+        let got = kumar_k_coverage_area(n, 3);
+        let nf = n as f64;
+        let want = (nf.ln() + 3.0 * nf.ln().ln()) / nf;
+        assert!((got - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn necessary_csa_dominates_kumar_k_coverage() {
+        // §VII-B: s_{N,c}(n) ≥ s_K(n) with k = ⌈π/θ⌉ — full-view coverage
+        // is more demanding than the matching k-coverage.
+        for n in [100usize, 1000, 10_000, 100_000] {
+            for t in [0.1 * PI, 0.25 * PI, 0.4 * PI, 0.5 * PI, PI] {
+                let th = theta(t);
+                let k = th.necessary_sector_count();
+                assert!(
+                    csa_necessary(n, th) >= kumar_k_coverage_area(n, k) * 0.999,
+                    "n={n}, θ={t}: {} < {}",
+                    csa_necessary(n, th),
+                    kumar_k_coverage_area(n, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_bands() {
+        let n = 1000;
+        let th = theta(PI / 4.0);
+        let sn = csa_necessary(n, th);
+        let ss = csa_sufficient(n, th);
+        assert_eq!(classify_csa(sn * 0.5, n, th), CsaRegime::BelowNecessary);
+        assert_eq!(
+            classify_csa((sn + ss) / 2.0, n, th),
+            CsaRegime::Indeterminate
+        );
+        assert_eq!(classify_csa(ss * 1.5, n, th), CsaRegime::AboveSufficient);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn small_n_panics() {
+        let _ = csa_necessary(2, theta(PI / 4.0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Dense-grid area coverage (§III-A).
+//!
+//! Following Kumar et al. [6], the paper reduces area coverage of the unit
+//! square to coverage of a `√m × √m` dense grid with `m = n log n` points:
+//! conditions achieving full-view coverage of the grid also cover the
+//! square (for `lim φ(n) > 0`), while grid coverage is trivially necessary.
+//! [`GridCoverageReport`] evaluates **all** per-point predicates in a
+//! single sweep, sharing the camera query and viewed-direction computation
+//! per grid point.
+
+use crate::conditions::SectorPartition;
+use crate::fullview::analyze_point;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Angle, Torus, UnitGrid};
+use fullview_model::CameraNetwork;
+use std::fmt;
+
+/// The paper's dense-grid size `m = ⌈n ln n⌉`, floored at 4 so degenerate
+/// populations still produce a usable grid.
+#[must_use]
+pub fn dense_grid_point_count(n: usize) -> usize {
+    if n < 2 {
+        return 4;
+    }
+    let m = (n as f64 * (n as f64).ln()).ceil() as usize;
+    m.max(4)
+}
+
+/// The dense evaluation grid for a network of `n` sensors on `torus`.
+#[must_use]
+pub fn dense_grid(torus: Torus, n: usize) -> UnitGrid {
+    UnitGrid::with_at_least(torus, dense_grid_point_count(n))
+}
+
+/// Per-grid-point coverage tallies from one sweep of a dense grid.
+///
+/// All predicates are evaluated with the same effective angle and (for the
+/// sector conditions) the same start line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GridCoverageReport {
+    /// Total number of grid points evaluated.
+    pub total_points: usize,
+    /// Points covered by at least one camera (1-coverage).
+    pub covered: usize,
+    /// Points covered by at least `⌈π/θ⌉` cameras (the k-coverage
+    /// full-view coverage implies, §VII-B).
+    pub k_covered: usize,
+    /// Points meeting the §III necessary condition.
+    pub necessary: usize,
+    /// Points full-view covered (Definition 1).
+    pub full_view: usize,
+    /// Points meeting the §IV sufficient condition.
+    pub sufficient: usize,
+}
+
+impl GridCoverageReport {
+    /// Fraction of grid points covered by at least one camera.
+    #[must_use]
+    pub fn covered_fraction(&self) -> f64 {
+        self.fraction(self.covered)
+    }
+
+    /// Fraction of grid points with `⌈π/θ⌉`-coverage.
+    #[must_use]
+    pub fn k_covered_fraction(&self) -> f64 {
+        self.fraction(self.k_covered)
+    }
+
+    /// Fraction of grid points meeting the necessary condition.
+    #[must_use]
+    pub fn necessary_fraction(&self) -> f64 {
+        self.fraction(self.necessary)
+    }
+
+    /// Fraction of grid points that are full-view covered.
+    #[must_use]
+    pub fn full_view_fraction(&self) -> f64 {
+        self.fraction(self.full_view)
+    }
+
+    /// Fraction of grid points meeting the sufficient condition.
+    #[must_use]
+    pub fn sufficient_fraction(&self) -> f64 {
+        self.fraction(self.sufficient)
+    }
+
+    /// Whether every grid point is full-view covered — the event `H` of
+    /// Definition 2 instantiated for full-view coverage.
+    #[must_use]
+    pub fn all_full_view(&self) -> bool {
+        self.full_view == self.total_points
+    }
+
+    /// Whether every grid point meets the necessary condition — the event
+    /// `H_N` of §III.
+    #[must_use]
+    pub fn all_necessary(&self) -> bool {
+        self.necessary == self.total_points
+    }
+
+    /// Whether every grid point meets the sufficient condition — the event
+    /// `H_S` of §IV.
+    #[must_use]
+    pub fn all_sufficient(&self) -> bool {
+        self.sufficient == self.total_points
+    }
+
+    fn fraction(&self, count: usize) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            count as f64 / self.total_points as f64
+        }
+    }
+}
+
+impl fmt::Display for GridCoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid[{}]: covered {:.4}, k-cov {:.4}, necessary {:.4}, full-view {:.4}, sufficient {:.4}",
+            self.total_points,
+            self.covered_fraction(),
+            self.k_covered_fraction(),
+            self.necessary_fraction(),
+            self.full_view_fraction(),
+            self.sufficient_fraction()
+        )
+    }
+}
+
+/// Sweeps `grid`, evaluating every coverage predicate at each point.
+///
+/// The sector conditions use `start_line` for their constructions
+/// (the paper's dashed radius; [`Angle::ZERO`] is the conventional
+/// choice).
+#[must_use]
+pub fn evaluate_grid(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    grid: &UnitGrid,
+    start_line: Angle,
+) -> GridCoverageReport {
+    let necessary_partition = SectorPartition::necessary(theta, start_line);
+    let sufficient_partition = SectorPartition::sufficient(theta, start_line);
+    let k = theta.necessary_sector_count();
+    let mut report = GridCoverageReport {
+        total_points: grid.len(),
+        ..GridCoverageReport::default()
+    };
+    for p in grid.iter() {
+        let coverage = analyze_point(net, p);
+        if coverage.covering_cameras >= 1 {
+            report.covered += 1;
+        }
+        if coverage.covering_cameras >= k {
+            report.k_covered += 1;
+        }
+        if necessary_partition.is_satisfied(&coverage) {
+            report.necessary += 1;
+        }
+        if coverage.is_full_view(theta) {
+            report.full_view += 1;
+        }
+        if sufficient_partition.is_satisfied(&coverage) {
+            report.sufficient += 1;
+        }
+    }
+    report
+}
+
+/// Convenience wrapper: evaluates the paper's dense grid
+/// (`m = ⌈n ln n⌉` with `n = net.len()`) over the network's torus.
+#[must_use]
+pub fn evaluate_dense_grid(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    start_line: Angle,
+) -> GridCoverageReport {
+    let grid = dense_grid(*net.torus(), net.len());
+    evaluate_grid(net, theta, &grid, start_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Point;
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    #[test]
+    fn dense_grid_size_formula() {
+        assert_eq!(dense_grid_point_count(0), 4);
+        assert_eq!(dense_grid_point_count(1), 4);
+        let m = dense_grid_point_count(1000);
+        let expect = (1000.0 * 1000f64.ln()).ceil() as usize;
+        assert_eq!(m, expect);
+        let grid = dense_grid(Torus::unit(), 1000);
+        assert!(grid.len() >= m);
+    }
+
+    #[test]
+    fn empty_network_report_is_all_zero() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 5);
+        let r = evaluate_grid(&net, theta(PI / 4.0), &grid, Angle::ZERO);
+        assert_eq!(r.total_points, 25);
+        assert_eq!(r.covered, 0);
+        assert_eq!(r.full_view, 0);
+        assert!(!r.all_full_view());
+        assert_eq!(r.covered_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_invariant_chain() {
+        // sufficient ≤ full_view ≤ necessary ≤ k_covered ≤ covered·(k≥1).
+        // Build a medium-density deterministic network.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.22, PI).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..150 {
+            let x = (i as f64 * 0.618_033_98) % 1.0;
+            let y = (i as f64 * 0.414_213_56) % 1.0;
+            let facing = Angle::new((i as f64 * 2.399_963) % (2.0 * PI));
+            cams.push(Camera::new(Point::new(x, y), facing, spec, GroupId(0)));
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let grid = UnitGrid::new(torus, 20);
+        let r = evaluate_grid(&net, theta(PI / 3.0), &grid, Angle::ZERO);
+        assert!(r.sufficient <= r.full_view, "{r}");
+        assert!(r.full_view <= r.necessary, "{r}");
+        assert!(r.necessary <= r.k_covered, "{r}");
+        assert!(r.k_covered <= r.covered, "{r}");
+        // Sanity: such a dense network covers most of the grid.
+        assert!(r.covered_fraction() > 0.9, "{r}");
+    }
+
+    #[test]
+    fn saturated_network_everything_full_view() {
+        // Blanket the square with omnidirectional-ish rings of cameras so
+        // every grid point is sufficiently surrounded.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.3, 2.0 * PI).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                cams.push(Camera::new(
+                    Point::new(i as f64 / 12.0, j as f64 / 12.0),
+                    Angle::ZERO,
+                    spec,
+                    GroupId(0),
+                ));
+            }
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let grid = UnitGrid::new(torus, 10);
+        let th = theta(PI / 4.0);
+        let r = evaluate_grid(&net, th, &grid, Angle::ZERO);
+        assert!(r.all_full_view(), "{r}");
+        assert!(r.all_necessary(), "{r}");
+        assert!(r.all_sufficient(), "{r}");
+        assert_eq!(r.full_view_fraction(), 1.0);
+    }
+
+    #[test]
+    fn theta_pi_full_view_equals_coverage() {
+        // §VII-A degeneration on a whole grid: at θ = π the full-view count
+        // must equal the 1-coverage count.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.15, PI / 2.0).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..60 {
+            let x = (i as f64 * 0.754_877) % 1.0;
+            let y = (i as f64 * 0.569_840) % 1.0;
+            cams.push(Camera::new(
+                Point::new(x, y),
+                Angle::new((i as f64 * 1.234_567) % (2.0 * PI)),
+                spec,
+                GroupId(0),
+            ));
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let grid = UnitGrid::new(torus, 15);
+        let r = evaluate_grid(&net, theta(PI), &grid, Angle::ZERO);
+        assert_eq!(r.full_view, r.covered, "{r}");
+        assert_eq!(r.necessary, r.covered, "{r}");
+        assert_eq!(r.k_covered, r.covered, "{r}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = GridCoverageReport {
+            total_points: 100,
+            covered: 90,
+            k_covered: 70,
+            necessary: 60,
+            full_view: 50,
+            sufficient: 40,
+        };
+        let s = r.to_string();
+        assert!(s.contains("0.9") && s.contains("0.5"));
+    }
+}

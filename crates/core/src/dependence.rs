@@ -1,0 +1,214 @@
+//! Sector-dependence-aware condition probabilities — quantifying the
+//! paper's independence approximation.
+//!
+//! Equation (2) treats "sector `T_j` holds a covering camera" as
+//! independent across sectors, noting the correlation "is negligible as
+//! `n → ∞`" (a camera that landed in one sector cannot land in another).
+//! Wang & Cao [4] keep the dependence, which §VII-C credits as "more
+//! rigorous". When the sector partition is *disjoint* (exact division,
+//! `2π mod w = 0`), the dependent probability has an exact
+//! inclusion–exclusion form: for `K` disjoint sectors with per-camera,
+//! per-sector hit probability `q_y` in group `G_y`,
+//!
+//! `P(every sector hit) = Σ_{j=0}^{K} (−1)^j C(K,j) Π_y (1 − j·q_y)^{n_y}`.
+//!
+//! This module provides that form, letting the `dependence` experiment
+//! measure exactly how much the paper's approximation gives away at
+//! finite `n` (spoiler: almost nothing, and the error vanishes as the
+//! paper claims).
+
+use crate::poisson_theory::Condition;
+use crate::theta::EffectiveAngle;
+use fullview_model::NetworkProfile;
+use std::f64::consts::{PI, TAU};
+
+/// Whether the condition's sector construction for this `θ` tiles the
+/// circle exactly (no overlap sector), which is when the
+/// inclusion–exclusion form is exact.
+#[must_use]
+pub fn partition_is_disjoint(condition: Condition, theta: EffectiveAngle) -> bool {
+    let w = match condition {
+        Condition::Necessary => 2.0 * theta.radians(),
+        Condition::Sufficient => theta.radians(),
+    };
+    let ratio = TAU / w;
+    (ratio - ratio.round()).abs() < 1e-9
+}
+
+/// Exact (dependence-aware) probability that an arbitrary point meets the
+/// given condition under uniform deployment, by inclusion–exclusion over
+/// the `K` sectors.
+///
+/// For a `θ` whose construction needs the overlap sector, the formula
+/// still treats the `K = ⌈·⌉` sectors as disjoint and is then itself an
+/// approximation (flagged by [`partition_is_disjoint`]); for exact
+/// divisions it is exact up to the isotropy of the deployment.
+#[must_use]
+pub fn prob_point_meets_dependent(
+    condition: Condition,
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    let (k, coeff) = match condition {
+        Condition::Necessary => (theta.necessary_sector_count(), theta.radians() / PI),
+        Condition::Sufficient => (theta.sufficient_sector_count(), theta.radians() / TAU),
+    };
+    let counts = profile.counts(n);
+    // q_y: probability one G_y camera lands in a given sector AND covers
+    // the point (the paper's θ·s_y/π or θ·s_y/2π).
+    let qs: Vec<f64> = profile
+        .groups()
+        .iter()
+        .map(|g| (coeff * g.spec().sensing_area()).clamp(0.0, 1.0))
+        .collect();
+
+    let mut sum = 0.0f64;
+    let mut binom = 1.0f64;
+    for j in 0..=k {
+        if j > 0 {
+            binom *= (k as f64 - (j as f64 - 1.0)) / j as f64;
+        }
+        let mut product = 1.0f64;
+        for (q, &n_y) in qs.iter().zip(&counts) {
+            let miss = (1.0 - j as f64 * q).max(0.0);
+            product *= miss.powi(n_y as i32);
+        }
+        let term = binom * product;
+        if j % 2 == 0 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// The signed error of the paper's independence approximation:
+/// `P_indep − P_dependent` for the necessary condition.
+#[must_use]
+pub fn independence_approximation_error(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    let indep = 1.0 - crate::uniform_theory::prob_point_fails_necessary(profile, n, theta);
+    let dep = prob_point_meets_dependent(Condition::Necessary, profile, n, theta);
+    indep - dep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    fn homogeneous(s: f64) -> NetworkProfile {
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI / 2.0).unwrap())
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        // θ = π/4: necessary sectors 2θ = π/2 tile exactly; sufficient θ too.
+        assert!(partition_is_disjoint(Condition::Necessary, theta(PI / 4.0)));
+        assert!(partition_is_disjoint(Condition::Sufficient, theta(PI / 4.0)));
+        // θ = 0.3π: 2θ = 0.6π does not divide 2π.
+        assert!(!partition_is_disjoint(Condition::Necessary, theta(0.3 * PI)));
+    }
+
+    #[test]
+    fn dependent_probability_in_unit_interval_and_monotone() {
+        let th = theta(PI / 4.0);
+        let mut prev = 0.0;
+        for s in [0.001, 0.005, 0.02, 0.06] {
+            let p = prob_point_meets_dependent(Condition::Necessary, &homogeneous(s), 800, th);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-12, "not monotone at s={s}");
+            prev = p;
+        }
+        assert!(prev > 0.5);
+    }
+
+    #[test]
+    fn k_equals_one_matches_simple_coverage() {
+        // θ = π: single sector, inclusion–exclusion collapses to
+        // 1 − (1 − s)^n.
+        let th = theta(PI);
+        let s = 0.01;
+        let n = 600;
+        let p = prob_point_meets_dependent(Condition::Necessary, &homogeneous(s), n, th);
+        let expect = 1.0 - (1.0f64 - s).powi(n as i32);
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_error_is_positive_and_vanishes() {
+        // Negative association of sector occupancy means the independent
+        // form overestimates; the error shrinks with n (paper's claim).
+        let th = theta(PI / 4.0);
+        let mut prev_err = f64::INFINITY;
+        for n in [50usize, 200, 800, 3200] {
+            // Budget scaled so the probability stays mid-range.
+            let s = 10.0 / n as f64;
+            let err = independence_approximation_error(&homogeneous(s), n, th);
+            assert!(err >= -1e-9, "independence underestimated at n={n}: {err}");
+            assert!(err <= prev_err + 1e-9, "error grew at n={n}");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.01, "error did not vanish: {prev_err}");
+    }
+
+    #[test]
+    fn dependent_matches_monte_carlo_multinomial() {
+        // Validate the inclusion–exclusion against a direct multinomial
+        // simulation of the sector-occupancy model (no geometry).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let k = 4usize;
+        let q = 0.02f64;
+        let n = 120usize;
+        let profile = homogeneous(q * PI / (PI / 4.0)); // s with θs/π = q at θ=π/4
+        let th = theta(PI / 4.0);
+        let analytic = prob_point_meets_dependent(Condition::Necessary, &profile, n, th);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let mut occupied = [false; 4];
+            for _ in 0..n {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                if u < k as f64 * q {
+                    occupied[(u / q) as usize] = true;
+                }
+            }
+            if occupied.iter().all(|o| *o) {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / trials as f64;
+        let sigma = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+        assert!(
+            (mc - analytic).abs() < 5.0 * sigma + 0.005,
+            "incl-excl {analytic} vs multinomial MC {mc}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_groups_supported() {
+        let th = theta(PI / 4.0);
+        let profile = NetworkProfile::builder()
+            .group(SensorSpec::with_sensing_area(0.02, PI).unwrap(), 0.5)
+            .group(SensorSpec::with_sensing_area(0.01, PI / 3.0).unwrap(), 0.5)
+            .build()
+            .unwrap();
+        let p = prob_point_meets_dependent(Condition::Necessary, &profile, 500, th);
+        assert!((0.0..=1.0).contains(&p));
+        // Dependence-aware ≤ independent.
+        let indep = 1.0 - crate::uniform_theory::prob_point_fails_necessary(&profile, 500, th);
+        assert!(p <= indep + 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Fleet-sizing helpers: the paper's theorems turned into design
+//! queries.
+//!
+//! A network designer holds some quantities fixed (the camera catalogue,
+//! a coverage target) and asks for the rest. These functions invert the
+//! CSA formulas and the exact per-point probability:
+//!
+//! * *"I have cameras worth `s_c` of weighted sensing area — how many do
+//!   I need before Theorem 2 guarantees full-view coverage?"* →
+//!   [`min_cameras_for_guarantee`];
+//! * *"Below how many cameras is coverage impossible (Theorem 1)?"* →
+//!   [`max_cameras_below_necessary`];
+//! * *"What weighted sensing area gives an expected full-view covered
+//!   fraction of at least `f` at `n` cameras?"* →
+//!   [`required_area_for_expected_fraction`].
+
+use crate::csa::{csa_necessary, csa_sufficient};
+use crate::error::CoreError;
+use crate::exact::prob_point_full_view_uniform;
+use crate::theta::EffectiveAngle;
+use fullview_model::NetworkProfile;
+
+/// Upper bound on fleet sizes the search functions will consider.
+const MAX_FLEET: usize = 1 << 30;
+
+/// The smallest `n ≥ 3` for which `s_c ≥ s_{S,c}(n)` — deploying at
+/// least this many cameras of total weighted sensing area `s_c` makes
+/// full-view coverage asymptotically guaranteed (Theorem 2).
+///
+/// `s_{S,c}` is strictly decreasing in `n`, so binary search applies.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SearchFailed`] if even `2^30` cameras would not
+/// reach the guarantee (i.e. `s_c` is absurdly small), and
+/// [`CoreError::InvalidProbability`]-style validation is delegated to
+/// the CSA functions' own contracts.
+pub fn min_cameras_for_guarantee(
+    s_c: f64,
+    theta: EffectiveAngle,
+) -> Result<usize, CoreError> {
+    if !s_c.is_finite() || s_c <= 0.0 {
+        return Err(CoreError::SearchFailed {
+            what: "weighted sensing area must be positive",
+        });
+    }
+    if csa_sufficient(3, theta) <= s_c {
+        return Ok(3);
+    }
+    let mut hi = 3usize;
+    while csa_sufficient(hi, theta) > s_c {
+        if hi >= MAX_FLEET {
+            return Err(CoreError::SearchFailed {
+                what: "no fleet size up to 2^30 reaches the sufficient CSA",
+            });
+        }
+        hi *= 2;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if csa_sufficient(mid, theta) > s_c {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// The largest `n ≥ 3` for which `s_c < s_{N,c}(n)` — at or below this
+/// fleet size, Theorem 1 says full-view coverage fails with probability
+/// bounded away from one... precisely: the weighted sensing area is
+/// below even the *necessary* threshold, so coverage is asymptotically
+/// impossible. Returns `None` when `s_c ≥ s_{N,c}(3)` never holds, i.e.
+/// the budget is already above the necessary CSA for every `n ≥ 3`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SearchFailed`] for a non-positive `s_c`.
+pub fn max_cameras_below_necessary(
+    s_c: f64,
+    theta: EffectiveAngle,
+) -> Result<Option<usize>, CoreError> {
+    if !s_c.is_finite() || s_c <= 0.0 {
+        return Err(CoreError::SearchFailed {
+            what: "weighted sensing area must be positive",
+        });
+    }
+    if s_c >= csa_necessary(3, theta) {
+        return Ok(None);
+    }
+    // s_Nc decreases in n; find the last n with s_c < s_Nc(n).
+    let mut hi = 3usize;
+    while s_c < csa_necessary(hi, theta) {
+        if hi >= MAX_FLEET {
+            return Err(CoreError::SearchFailed {
+                what: "necessary CSA stays above the budget up to 2^30 cameras",
+            });
+        }
+        hi *= 2;
+    }
+    let mut lo = hi / 2; // s_c < s_Nc(lo), s_c >= s_Nc(hi)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if s_c < csa_necessary(mid, theta) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// The smallest weighted sensing area `s_c` such that the *exact*
+/// per-point full-view probability (see
+/// [`prob_point_full_view_uniform`]) reaches `fraction`, for `n`
+/// uniformly deployed cameras with the heterogeneous *shape* of
+/// `profile` (relative areas, angles, fractions preserved; overall scale
+/// adjusted).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] for `fraction ∉ (0, 1)` and
+/// [`CoreError::SearchFailed`] if the target is unreachable within
+/// physically meaningful areas (`s_c ≤ 4`, beyond which sectors dwarf
+/// the region).
+pub fn required_area_for_expected_fraction(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+    fraction: f64,
+) -> Result<f64, CoreError> {
+    if !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
+        return Err(CoreError::InvalidProbability {
+            name: "fraction",
+            value: fraction,
+        });
+    }
+    let prob_at = |s_c: f64| -> f64 {
+        let scaled = profile
+            .scale_to_weighted_area(s_c)
+            .expect("positive target area");
+        prob_point_full_view_uniform(&scaled, n, theta)
+    };
+    let mut lo = 1e-9;
+    let mut hi = 1e-3;
+    while prob_at(hi) < fraction {
+        hi *= 2.0;
+        if hi > 4.0 {
+            return Err(CoreError::SearchFailed {
+                what: "target fraction unreachable at any physical sensing area",
+            });
+        }
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if prob_at(mid) < fraction {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+    use std::f64::consts::PI;
+
+    fn theta() -> EffectiveAngle {
+        EffectiveAngle::new(PI / 4.0).unwrap()
+    }
+
+    #[test]
+    fn min_cameras_is_tight() {
+        let s_c = 0.02;
+        let n = min_cameras_for_guarantee(s_c, theta()).unwrap();
+        assert!(csa_sufficient(n, theta()) <= s_c);
+        assert!(n == 3 || csa_sufficient(n - 1, theta()) > s_c, "not minimal: {n}");
+    }
+
+    #[test]
+    fn min_cameras_monotone_in_budget() {
+        let n_small = min_cameras_for_guarantee(0.005, theta()).unwrap();
+        let n_big = min_cameras_for_guarantee(0.05, theta()).unwrap();
+        assert!(n_big < n_small, "{n_big} !< {n_small}");
+    }
+
+    #[test]
+    fn min_cameras_huge_budget_is_three() {
+        assert_eq!(min_cameras_for_guarantee(10.0, theta()).unwrap(), 3);
+    }
+
+    #[test]
+    fn min_cameras_rejects_bad_budget() {
+        assert!(min_cameras_for_guarantee(0.0, theta()).is_err());
+        assert!(min_cameras_for_guarantee(f64::NAN, theta()).is_err());
+    }
+
+    #[test]
+    fn below_necessary_is_tight() {
+        let s_c = 0.01;
+        let floor = max_cameras_below_necessary(s_c, theta())
+            .unwrap()
+            .expect("small budget has a floor");
+        assert!(s_c < csa_necessary(floor, theta()));
+        assert!(s_c >= csa_necessary(floor + 1, theta()));
+    }
+
+    #[test]
+    fn below_necessary_none_for_large_budget() {
+        assert_eq!(max_cameras_below_necessary(10.0, theta()).unwrap(), None);
+    }
+
+    #[test]
+    fn floor_below_guarantee() {
+        // The impossible-floor is always below the guaranteed size.
+        let s_c = 0.015;
+        let floor = max_cameras_below_necessary(s_c, theta())
+            .unwrap()
+            .expect("floor exists");
+        let need = min_cameras_for_guarantee(s_c, theta()).unwrap();
+        assert!(floor < need, "floor {floor} >= need {need}");
+    }
+
+    #[test]
+    fn required_area_reaches_target() {
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI / 2.0).unwrap());
+        let n = 800;
+        let target = 0.95;
+        let s = required_area_for_expected_fraction(&profile, n, theta(), target).unwrap();
+        let scaled = profile.scale_to_weighted_area(s).unwrap();
+        let p = prob_point_full_view_uniform(&scaled, n, theta());
+        assert!(p >= target - 1e-6, "p={p} below target at s={s}");
+        // And roughly tight: 1% less area misses the target.
+        let scaled = profile.scale_to_weighted_area(s * 0.9).unwrap();
+        assert!(prob_point_full_view_uniform(&scaled, n, theta()) < target);
+    }
+
+    #[test]
+    fn required_area_monotone_in_target() {
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
+        let s50 = required_area_for_expected_fraction(&profile, 500, theta(), 0.5).unwrap();
+        let s99 = required_area_for_expected_fraction(&profile, 500, theta(), 0.99).unwrap();
+        assert!(s99 > s50);
+    }
+
+    #[test]
+    fn required_area_rejects_bad_fraction() {
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
+        assert!(required_area_for_expected_fraction(&profile, 100, theta(), 0.0).is_err());
+        assert!(required_area_for_expected_fraction(&profile, 100, theta(), 1.0).is_err());
+        assert!(required_area_for_expected_fraction(&profile, 100, theta(), -0.5).is_err());
+    }
+}

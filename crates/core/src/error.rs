@@ -1,0 +1,78 @@
+//! Error types for the coverage theory and algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the full-view coverage algorithms and formulas.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The effective angle `θ` was outside `(0, π]`.
+    InvalidEffectiveAngle {
+        /// The offending value.
+        theta: f64,
+    },
+    /// A population size too small for the asymptotic formulas
+    /// (which involve `ln ln n` and therefore need `n ≥ 3`).
+    PopulationTooSmall {
+        /// The offending value.
+        n: usize,
+    },
+    /// A probability-like parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A numeric search (e.g. for a critical spacing or count) failed to
+    /// bracket a solution.
+    SearchFailed {
+        /// Human-readable description of the search.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidEffectiveAngle { theta } => {
+                write!(f, "effective angle must lie in (0, π], got {theta}")
+            }
+            CoreError::PopulationTooSmall { n } => {
+                write!(f, "asymptotic formulas need n >= 3, got {n}")
+            }
+            CoreError::InvalidProbability { name, value } => {
+                write!(f, "{name} must lie in [0, 1], got {value}")
+            }
+            CoreError::SearchFailed { what } => write!(f, "search failed: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(CoreError::InvalidEffectiveAngle { theta: 4.0 }
+            .to_string()
+            .contains('4'));
+        assert!(CoreError::PopulationTooSmall { n: 1 }.to_string().contains('1'));
+        assert!(CoreError::InvalidProbability {
+            name: "gamma",
+            value: 2.0
+        }
+        .to_string()
+        .contains("gamma"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

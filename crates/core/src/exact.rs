@@ -1,0 +1,437 @@
+//! Exact per-point full-view coverage probability under random
+//! deployment — going beyond the paper's bounds.
+//!
+//! The paper brackets full-view coverage between the §III necessary and
+//! §IV sufficient conditions and notes (§VI-C) that the truth lies
+//! strictly between, conjecturing that no CSA captures it exactly. For a
+//! *single point*, however, the probability can be computed in closed
+//! form:
+//!
+//! 1. Conditional on `N` cameras covering the point, their viewed
+//!    directions are i.i.d. uniform on the circle (by the isotropy of
+//!    uniform/Poisson deployment with uniform orientations).
+//! 2. The point is full-view covered iff the `N` arcs of width `2θ`
+//!    centred on those directions cover the circle, whose probability is
+//!    **Stevens' formula** (W. L. Stevens, *Solution to a Geometrical
+//!    Problem in Probability*, Ann. Eugenics 9, 1939):
+//!    `P(cover) = Σ_{j=0}^{⌊1/a⌋} (−1)^j · C(N,j) · (1 − j·a)^{N−1}`,
+//!    with `a = θ/π` the fractional arc length.
+//! 3. Mix over the distribution of `N`: exactly `Binomial(n_y, s_y)` per
+//!    group under uniform deployment (per-camera coverage probability =
+//!    sensing area, §VI-A), `Poisson(Σ_y n_y s_y)` under Poisson
+//!    deployment.
+//!
+//! The `exact` experiment verifies this against Monte Carlo and shows how
+//! the paper's two conditions sandwich it.
+
+use crate::numeric::PoissonPmf;
+use crate::theta::EffectiveAngle;
+use fullview_model::NetworkProfile;
+use std::f64::consts::PI;
+
+/// Stevens' formula: probability that `n_arcs` arcs of fractional length
+/// `arc_fraction` (of the whole circle), with i.i.d. uniform start
+/// points, cover the circle.
+///
+/// Edge cases: zero arcs cover nothing (probability 0, unless the arc
+/// fraction is ≥ 1 in which case there are still no arcs — still 0);
+/// `arc_fraction ≥ 1` with at least one arc covers surely.
+///
+/// # Panics
+///
+/// Panics if `arc_fraction` is negative or not finite.
+#[must_use]
+pub fn stevens_coverage_probability(n_arcs: usize, arc_fraction: f64) -> f64 {
+    assert!(
+        arc_fraction.is_finite() && arc_fraction >= 0.0,
+        "arc fraction must be finite and non-negative, got {arc_fraction}"
+    );
+    if n_arcs == 0 {
+        return 0.0;
+    }
+    if arc_fraction >= 1.0 {
+        return 1.0;
+    }
+    if arc_fraction == 0.0 {
+        return 0.0;
+    }
+    let n = n_arcs as f64;
+    // Below (or at) the deterministic threshold N·a ≤ 1, the arcs cannot
+    // cover (total length ≤ circumference, and exact tiling has measure
+    // zero): the formula is identically 0 there, but evaluating its
+    // alternating sum would be pure cancellation noise.
+    if n * arc_fraction <= 1.0 {
+        return 0.0;
+    }
+    // Σ (-1)^j C(N,j) (1-ja)^{N-1} over j with 1 - ja > 0, with a running
+    // binomial coefficient. The alternating terms can dwarf the result
+    // (e.g. large N with a barely above 1/N), so track the largest term
+    // and treat any |sum| below its float-noise floor as exactly 0.
+    let mut sum = 0.0f64;
+    let mut binom = 1.0f64; // C(N, j)
+    let mut max_term = 0.0f64;
+    let j_max = (1.0 / arc_fraction).floor() as usize;
+    for j in 0..=j_max.min(n_arcs) {
+        if j > 0 {
+            binom *= (n - (j as f64 - 1.0)) / j as f64;
+        }
+        let base = 1.0 - j as f64 * arc_fraction;
+        if base <= 0.0 {
+            break;
+        }
+        let term = binom * base.powi(n_arcs as i32 - 1);
+        max_term = max_term.max(term);
+        if j % 2 == 0 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+    }
+    if sum.abs() < max_term * 1e-11 {
+        return 0.0;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Probability mass function of the number of cameras covering an
+/// arbitrary point, under uniform deployment of `profile` with `n`
+/// cameras: the convolution of per-group `Binomial(n_y, s_y)`
+/// distributions, truncated once the tail mass drops below `1e-12`.
+///
+/// The per-camera coverage probability equals the camera's sensing area
+/// `s_y` (§VI-A) — clamped to 1 for (non-physical) areas above the
+/// region.
+#[must_use]
+pub fn covering_count_pmf_uniform(profile: &NetworkProfile, n: usize) -> Vec<f64> {
+    let counts = profile.counts(n);
+    let mut pmf = vec![1.0f64];
+    for (group, &n_y) in profile.groups().iter().zip(&counts) {
+        let p = group.spec().sensing_area().clamp(0.0, 1.0);
+        let binom = binomial_pmf(n_y, p);
+        pmf = convolve(&pmf, &binom);
+    }
+    truncate_tail(pmf)
+}
+
+/// Probability mass function of the covering count under Poisson
+/// deployment with overall density `density`: `Poisson(Σ_y c_y·density·s_y)`,
+/// truncated at `1e-12` tail mass.
+#[must_use]
+pub fn covering_count_pmf_poisson(profile: &NetworkProfile, density: f64) -> Vec<f64> {
+    let lambda: f64 = profile
+        .groups()
+        .iter()
+        .map(|g| g.fraction() * density * g.spec().sensing_area())
+        .sum();
+    let mut pmf = Vec::new();
+    let mut cumulative = 0.0;
+    for p in PoissonPmf::new(lambda) {
+        pmf.push(p);
+        cumulative += p;
+        if 1.0 - cumulative < 1e-12 && pmf.len() > 1 {
+            break;
+        }
+        if pmf.len() > 100_000 {
+            break; // defensive cap; unreachable for sane densities
+        }
+    }
+    pmf
+}
+
+/// **Exact** probability that an arbitrary point is full-view covered
+/// under uniform deployment — the quantity the paper brackets with
+/// `1 − P(F_{S,P}) ≤ P(full-view) ≤ 1 − P(F_{N,P})`.
+#[must_use]
+pub fn prob_point_full_view_uniform(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    mix_over_counts(&covering_count_pmf_uniform(profile, n), theta)
+}
+
+/// Exact probability that an arbitrary point is full-view covered under
+/// Poisson deployment with overall density `density`.
+#[must_use]
+pub fn prob_point_full_view_poisson(
+    profile: &NetworkProfile,
+    density: f64,
+    theta: EffectiveAngle,
+) -> f64 {
+    mix_over_counts(&covering_count_pmf_poisson(profile, density), theta)
+}
+
+fn mix_over_counts(pmf: &[f64], theta: EffectiveAngle) -> f64 {
+    let a = theta.radians() / PI;
+    pmf.iter()
+        .enumerate()
+        .map(|(count, p)| p * stevens_coverage_probability(count, a))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    // Recurrence pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/(1-p), started from
+    // (1-p)^n; for p extremely close to 1 fall back to the reversed case.
+    if p <= 0.0 {
+        return vec![1.0];
+    }
+    if p >= 1.0 {
+        let mut v = vec![0.0; n + 1];
+        v[n] = 1.0;
+        return v;
+    }
+    let mut v = Vec::with_capacity(n + 1);
+    let ratio = p / (1.0 - p);
+    let mut cur = (1.0 - p).powi(n as i32);
+    if cur == 0.0 {
+        // Underflow (huge n·p): build from the mode via normalization.
+        // For this library's parameter ranges (s_y ≤ 0.2, n_y ≤ 10^6 with
+        // n_y·s_y ≤ ~200) the direct recurrence in log space is enough:
+        let log_ratio = ratio.ln();
+        let log_start = (n as f64) * (1.0 - p).ln();
+        let mut logs = Vec::with_capacity(n + 1);
+        let mut cur_log = log_start;
+        logs.push(cur_log);
+        for k in 0..n {
+            cur_log += ((n - k) as f64 / (k + 1) as f64).ln() + log_ratio;
+            logs.push(cur_log);
+        }
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut exps: Vec<f64> = logs.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        for e in &mut exps {
+            *e /= total;
+        }
+        return truncate_tail(exps);
+    }
+    v.push(cur);
+    for k in 0..n {
+        cur *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        v.push(cur);
+    }
+    truncate_tail(v)
+}
+
+fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Drops a vanishing high-count tail to keep convolutions small.
+fn truncate_tail(mut pmf: Vec<f64>) -> Vec<f64> {
+    let mut cumulative = 0.0;
+    let mut keep = pmf.len();
+    for (i, p) in pmf.iter().enumerate() {
+        cumulative += p;
+        if 1.0 - cumulative < 1e-12 {
+            keep = i + 1;
+            break;
+        }
+    }
+    pmf.truncate(keep.max(1));
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    #[test]
+    fn stevens_edge_cases() {
+        assert_eq!(stevens_coverage_probability(0, 0.5), 0.0);
+        assert_eq!(stevens_coverage_probability(5, 0.0), 0.0);
+        assert_eq!(stevens_coverage_probability(1, 1.0), 1.0);
+        assert_eq!(stevens_coverage_probability(3, 2.0), 1.0);
+        // One arc shorter than the circle never covers.
+        assert_eq!(stevens_coverage_probability(1, 0.9), 0.0);
+        // Fewer arcs than 1/a can never cover: N·a < 1.
+        assert_eq!(stevens_coverage_probability(3, 0.25), 0.0);
+    }
+
+    #[test]
+    fn stevens_two_half_arcs() {
+        // Two arcs of exactly half the circle cover iff they start exactly
+        // opposite — probability 0.
+        assert!(stevens_coverage_probability(2, 0.5) < 1e-12);
+        // Two arcs of 3/4 circle: formula gives 1 - 2(1/4) = 1/2.
+        assert!((stevens_coverage_probability(2, 0.75) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stevens_monotone_in_n_and_a() {
+        let mut prev = 0.0;
+        for n in 1..40 {
+            let p = stevens_coverage_probability(n, 0.2);
+            assert!(p >= prev - 1e-12, "not monotone in N at {n}");
+            prev = p;
+        }
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let a = i as f64 / 20.0;
+            let p = stevens_coverage_probability(10, a);
+            assert!(p >= prev - 1e-9, "not monotone in a at {a}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn stevens_matches_monte_carlo() {
+        // Brute-force the arc coverage probability for a few (N, a).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n_arcs, a) in &[(4usize, 0.3f64), (6, 0.25), (10, 0.15)] {
+            let formula = stevens_coverage_probability(n_arcs, a);
+            let trials = 20_000;
+            let mut covered = 0usize;
+            for _ in 0..trials {
+                let mut starts: Vec<f64> =
+                    (0..n_arcs).map(|_| rng.gen_range(0.0..1.0)).collect();
+                starts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let mut ok = true;
+                for i in 0..n_arcs {
+                    let next = if i + 1 == n_arcs {
+                        starts[0] + 1.0
+                    } else {
+                        starts[i + 1]
+                    };
+                    if next - starts[i] > a + 1e-12 {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    covered += 1;
+                }
+            }
+            let mc = covered as f64 / trials as f64;
+            let sigma = (formula * (1.0 - formula) / trials as f64).sqrt();
+            assert!(
+                (mc - formula).abs() < 5.0 * sigma + 0.005,
+                "N={n_arcs}, a={a}: formula {formula} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one_with_correct_mean() {
+        for &(n, p) in &[(10usize, 0.3f64), (100, 0.02), (1000, 0.001)] {
+            let pmf = binomial_pmf(n, p);
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}, p={p}: sum {total}");
+            let mean: f64 = pmf.iter().enumerate().map(|(k, q)| k as f64 * q).sum();
+            assert!((mean - n as f64 * p).abs() < 1e-6, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn binomial_underflow_path() {
+        // (1-p)^n underflows for n=50_000, p=0.05 — exercise the log path.
+        let pmf = binomial_pmf(50_000, 0.05);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, q)| k as f64 * q).sum();
+        assert!((mean - 2500.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn covering_count_pmf_mean_matches_n_times_s() {
+        let profile = NetworkProfile::builder()
+            .group(SensorSpec::with_sensing_area(0.02, PI).unwrap(), 0.5)
+            .group(SensorSpec::with_sensing_area(0.01, PI / 2.0).unwrap(), 0.5)
+            .build()
+            .unwrap();
+        let n = 800;
+        let pmf = covering_count_pmf_uniform(&profile, n);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        // E[N] = Σ n_y·s_y = n·s_c for equal fractions here.
+        let expect = n as f64 * profile.weighted_sensing_area();
+        assert!((mean - expect).abs() < 1e-6, "{mean} vs {expect}");
+    }
+
+    #[test]
+    fn poisson_count_pmf_mean() {
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.015, PI).unwrap());
+        let pmf = covering_count_pmf_poisson(&profile, 1000.0);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((mean - 15.0).abs() < 1e-6, "{mean}");
+    }
+
+    #[test]
+    fn exact_probability_sandwiched_by_conditions() {
+        // 1 − P(F_S) ≤ P(full-view) ≤ 1 − P(F_N): the paper's bracket must
+        // hold for the exact value across parameters.
+        let th = theta(PI / 4.0);
+        for &s in &[0.005f64, 0.01, 0.02, 0.04] {
+            let profile =
+                NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI).unwrap());
+            for &n in &[200usize, 800, 2000] {
+                let exact = prob_point_full_view_uniform(&profile, n, th);
+                let lower = 1.0 - crate::uniform_theory::prob_point_fails_sufficient(
+                    &profile, n, th,
+                );
+                let upper = 1.0 - crate::uniform_theory::prob_point_fails_necessary(
+                    &profile, n, th,
+                );
+                assert!(
+                    lower <= exact + 1e-9 && exact <= upper + 1e-9,
+                    "s={s}, n={n}: {lower} ≤ {exact} ≤ {upper} violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_uniform_close_to_poisson_at_scale() {
+        // Binomial mixing converges to Poisson mixing for large n.
+        let th = theta(PI / 3.0);
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
+        let u = prob_point_full_view_uniform(&profile, 2000, th);
+        let p = prob_point_full_view_poisson(&profile, 2000.0, th);
+        assert!((u - p).abs() < 0.01, "uniform {u} vs poisson {p}");
+    }
+
+    #[test]
+    fn theta_pi_exact_reduces_to_coverage_probability() {
+        // At θ = π one covering camera suffices: exact = P(N ≥ 1).
+        let th = theta(PI);
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
+        let n = 500;
+        let exact = prob_point_full_view_uniform(&profile, n, th);
+        let expect = 1.0 - (1.0f64 - 0.01).powi(n as i32);
+        assert!((exact - expect).abs() < 1e-9, "{exact} vs {expect}");
+    }
+
+    #[test]
+    fn exact_monotone_in_budget() {
+        let th = theta(PI / 4.0);
+        let mut prev = 0.0;
+        for &s in &[0.002f64, 0.005, 0.01, 0.02, 0.05] {
+            let profile =
+                NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI).unwrap());
+            let p = prob_point_full_view_uniform(&profile, 1000, th);
+            assert!(p >= prev - 1e-12, "not monotone at s={s}");
+            prev = p;
+        }
+        assert!(prev > 0.9);
+    }
+}

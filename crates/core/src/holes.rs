@@ -1,0 +1,235 @@
+//! Spatial coverage-hole analysis.
+//!
+//! §VI-C explains failures of full-view coverage through "hole
+//! directions"; operators care about the *spatial* holes those create:
+//! connected regions of the area where an object can face somewhere
+//! unwatched. This module discretizes the region, marks full-view
+//! covered cells, and reports the connected components of the remainder
+//! (4-connected, with torus wrap on both axes).
+
+use crate::fullview::is_full_view_covered;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Point, UnitGrid};
+use fullview_model::CameraNetwork;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One connected hole: a maximal 4-connected set of grid cells whose
+/// centres are not full-view covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hole {
+    /// Number of grid cells in the hole.
+    pub cells: usize,
+    /// Area estimate (cells × cell area).
+    pub area: f64,
+    /// Centroid of the hole's cells (computed in the torus' fundamental
+    /// domain; for holes wrapping the seam this is the arithmetic
+    /// centroid of representatives, adequate for reporting).
+    pub centroid: Point,
+}
+
+/// Summary of the spatial holes of a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoleReport {
+    /// Grid side used for the analysis.
+    pub grid_side: usize,
+    /// All holes, largest first.
+    pub holes: Vec<Hole>,
+    /// Fraction of cells that are full-view covered.
+    pub covered_fraction: f64,
+}
+
+impl HoleReport {
+    /// Number of distinct holes.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// The largest hole, if any.
+    #[must_use]
+    pub fn largest(&self) -> Option<&Hole> {
+        self.holes.first()
+    }
+
+    /// Total uncovered area estimate.
+    #[must_use]
+    pub fn total_hole_area(&self) -> f64 {
+        self.holes.iter().map(|h| h.area).sum()
+    }
+}
+
+impl fmt::Display for HoleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "holes[{}×{}]: {} holes, covered {:.4}, largest {}",
+            self.grid_side,
+            self.grid_side,
+            self.hole_count(),
+            self.covered_fraction,
+            self.largest().map_or(0, |h| h.cells)
+        )
+    }
+}
+
+/// Finds the full-view coverage holes of `net` on a `grid_side ×
+/// grid_side` discretization.
+///
+/// # Panics
+///
+/// Panics if `grid_side == 0`.
+#[must_use]
+pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) -> HoleReport {
+    assert!(grid_side > 0, "grid side must be positive");
+    let grid = UnitGrid::new(*net.torus(), grid_side);
+    let k = grid_side;
+    let covered: Vec<bool> = (0..grid.len())
+        .map(|i| is_full_view_covered(net, grid.point(i), theta))
+        .collect();
+    let covered_count = covered.iter().filter(|c| **c).count();
+
+    let cell_area = net.torus().area() / (k * k) as f64;
+    let mut visited = vec![false; covered.len()];
+    let mut holes: Vec<Hole> = Vec::new();
+    for start in 0..covered.len() {
+        if covered[start] || visited[start] {
+            continue;
+        }
+        // BFS this hole.
+        let mut cells = 0usize;
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        let mut queue = VecDeque::from([start]);
+        visited[start] = true;
+        while let Some(idx) = queue.pop_front() {
+            cells += 1;
+            let p = grid.point(idx);
+            sum_x += p.x;
+            sum_y += p.y;
+            let (i, j) = (idx % k, idx / k);
+            for (ni, nj) in [
+                ((i + 1) % k, j),
+                ((i + k - 1) % k, j),
+                (i, (j + 1) % k),
+                (i, (j + k - 1) % k),
+            ] {
+                let nidx = nj * k + ni;
+                if !covered[nidx] && !visited[nidx] {
+                    visited[nidx] = true;
+                    queue.push_back(nidx);
+                }
+            }
+        }
+        holes.push(Hole {
+            cells,
+            area: cells as f64 * cell_area,
+            centroid: Point::new(sum_x / cells as f64, sum_y / cells as f64),
+        });
+    }
+    holes.sort_by_key(|h| std::cmp::Reverse(h.cells));
+    HoleReport {
+        grid_side,
+        holes,
+        covered_fraction: covered_count as f64 / covered.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::{Angle, Torus};
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    /// Rings of omni cameras full-view covering neighbourhoods of their
+    /// anchors only.
+    fn spotty_network(anchors: &[(f64, f64)]) -> CameraNetwork {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.12, 2.0 * PI).unwrap();
+        let mut cams = Vec::new();
+        for &(x, y) in anchors {
+            for k in 0..6 {
+                let dir = Angle::new(k as f64 * PI / 3.0);
+                let pos = torus.offset(Point::new(x, y), dir, 0.04);
+                cams.push(Camera::new(pos, dir.opposite(), spec, GroupId(0)));
+            }
+        }
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn empty_network_single_full_hole() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let r = find_holes(&net, theta(PI / 2.0), 10);
+        assert_eq!(r.hole_count(), 1);
+        assert_eq!(r.largest().unwrap().cells, 100);
+        assert_eq!(r.covered_fraction, 0.0);
+        assert!((r.total_hole_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spotty_coverage_leaves_holes() {
+        let net = spotty_network(&[(0.25, 0.25), (0.75, 0.75)]);
+        let r = find_holes(&net, theta(PI / 2.0), 20);
+        assert!(r.covered_fraction > 0.0 && r.covered_fraction < 1.0, "{r}");
+        assert!(r.hole_count() >= 1);
+        // Cells and area are consistent.
+        let total_cells: usize = r.holes.iter().map(|h| h.cells).sum();
+        assert_eq!(
+            total_cells,
+            (400.0 * (1.0 - r.covered_fraction)).round() as usize
+        );
+    }
+
+    #[test]
+    fn holes_sorted_descending() {
+        let net = spotty_network(&[(0.2, 0.2)]);
+        let r = find_holes(&net, theta(PI / 2.0), 16);
+        for w in r.holes.windows(2) {
+            assert!(w[0].cells >= w[1].cells);
+        }
+    }
+
+    #[test]
+    fn dense_network_no_holes() {
+        let anchors: Vec<(f64, f64)> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i as f64 / 6.0 + 0.08, j as f64 / 6.0 + 0.08)))
+            .collect();
+        let net = spotty_network(&anchors);
+        let r = find_holes(&net, theta(PI / 2.0), 12);
+        assert_eq!(r.hole_count(), 0, "{r}");
+        assert_eq!(r.covered_fraction, 1.0);
+        assert!(r.largest().is_none());
+    }
+
+    #[test]
+    fn wrapping_hole_is_one_component() {
+        // Cover only a central vertical band; the hole wraps through the
+        // x-seam and must count once.
+        let anchors: Vec<(f64, f64)> = (0..8).map(|j| (0.5, j as f64 / 8.0)).collect();
+        let net = spotty_network(&anchors);
+        let r = find_holes(&net, theta(PI / 2.0), 16);
+        assert_eq!(r.hole_count(), 1, "{r}");
+    }
+
+    #[test]
+    fn centroid_inside_domain() {
+        let net = spotty_network(&[(0.5, 0.5)]);
+        let r = find_holes(&net, theta(PI / 2.0), 14);
+        for h in &r.holes {
+            assert!(Torus::unit().contains(h.centroid), "{:?}", h.centroid);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let _ = find_holes(&net, theta(PI / 2.0), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Traditional k-coverage (§VII-B's comparison baseline).
+//!
+//! A point is `k`-covered when at least `k` cameras cover it. Full-view
+//! coverage with effective angle `θ` implies `⌈π/θ⌉`-coverage, but not
+//! conversely — `k`-coverage imposes no constraint on *where* the cameras
+//! sit around the object, and a one-sided cluster satisfies it while
+//! leaving the far side unwatchable. The `kcov` experiment searches for
+//! exactly such counterexamples.
+
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Point, UnitGrid};
+use fullview_model::CameraNetwork;
+
+/// Whether at least `k` cameras cover `point`.
+///
+/// `k = 0` is trivially true for any point.
+#[must_use]
+pub fn is_k_covered(net: &CameraNetwork, point: Point, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    // Early-exit count: stop scanning once k coverers are found would need
+    // a short-circuiting query; coverage_count is already local thanks to
+    // the spatial index, so the simple form is fine.
+    net.coverage_count(point) >= k
+}
+
+/// The k-coverage multiplicity full-view coverage implies: `k = ⌈π/θ⌉`
+/// (§VII-B).
+#[must_use]
+pub fn implied_k(theta: EffectiveAngle) -> usize {
+    theta.necessary_sector_count()
+}
+
+/// The minimum coverage multiplicity over a grid — the largest `k` for
+/// which the whole grid is `k`-covered.
+#[must_use]
+pub fn min_coverage_over_grid(net: &CameraNetwork, grid: &UnitGrid) -> usize {
+    grid.iter()
+        .map(|p| net.coverage_count(p))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Fraction of grid points that are `k`-covered.
+#[must_use]
+pub fn k_covered_fraction(net: &CameraNetwork, grid: &UnitGrid, k: usize) -> f64 {
+    if grid.is_empty() {
+        return 0.0;
+    }
+    let hit = grid.iter().filter(|p| is_k_covered(net, *p, k)).count();
+    hit as f64 / grid.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::{Angle, Torus};
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn net_with_cluster(target: Point, count: usize) -> CameraNetwork {
+        // All cameras clustered on one side of the target, facing it.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.3, PI).unwrap();
+        let cams: Vec<Camera> = (0..count)
+            .map(|i| {
+                let dir = Angle::new(0.2 + 0.01 * i as f64);
+                Camera::new(torus.offset(target, dir, 0.15), dir.opposite(), spec, GroupId(0))
+            })
+            .collect();
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn zero_k_always_true() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        assert!(is_k_covered(&net, Point::new(0.5, 0.5), 0));
+        assert!(!is_k_covered(&net, Point::new(0.5, 0.5), 1));
+    }
+
+    #[test]
+    fn cluster_is_k_covered_but_not_full_view() {
+        // The §VII-B separation: 4-coverage without full-view coverage.
+        let p = Point::new(0.5, 0.5);
+        let net = net_with_cluster(p, 4);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        assert!(is_k_covered(&net, p, implied_k(theta)));
+        assert!(!crate::fullview::is_full_view_covered(&net, p, theta));
+    }
+
+    #[test]
+    fn full_view_implies_k_coverage() {
+        // Ring of ⌈π/θ⌉ cameras evenly spread: full-view covered and
+        // therefore k-covered.
+        let torus = Torus::unit();
+        let p = Point::new(0.5, 0.5);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let k = implied_k(theta);
+        let spec = SensorSpec::new(0.3, PI).unwrap();
+        let cams: Vec<Camera> = (0..k)
+            .map(|i| {
+                let dir = Angle::new(i as f64 * 2.0 * PI / k as f64);
+                Camera::new(torus.offset(p, dir, 0.15), dir.opposite(), spec, GroupId(0))
+            })
+            .collect();
+        let net = CameraNetwork::new(torus, cams);
+        assert!(crate::fullview::is_full_view_covered(&net, p, theta));
+        assert!(is_k_covered(&net, p, k));
+    }
+
+    #[test]
+    fn min_coverage_over_grid_empty_network() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 4);
+        assert_eq!(min_coverage_over_grid(&net, &grid), 0);
+    }
+
+    #[test]
+    fn k_covered_fraction_monotone_in_k() {
+        let p = Point::new(0.5, 0.5);
+        let net = net_with_cluster(p, 6);
+        let grid = UnitGrid::new(Torus::unit(), 8);
+        let mut prev = 1.1;
+        for k in 0..5 {
+            let f = k_covered_fraction(&net, &grid, k);
+            assert!(f <= prev, "k={k}");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Numerically careful helpers shared by the theory formulas.
+//!
+//! The paper's critical-sensing-area expressions combine quantities of the
+//! form `1 − (1 − δ)^{1/K}` with `δ = 1/(n ln n)` shrinking to zero; naive
+//! evaluation loses all precision long before the asymptotic regime is
+//! reachable. This module provides the stable building blocks, plus the
+//! tolerant integer roundings needed to count sectors when `θ` divides `π`
+//! exactly.
+
+/// Relative tolerance used by [`tolerant_ceil`] / [`tolerant_floor`] to
+/// absorb float error in ratios like `π / (π/4)`.
+const RATIO_EPS: f64 = 1e-9;
+
+/// Ceiling that treats values within `RATIO_EPS` (1e-9) *above* an integer as
+/// that integer, so `⌈4.0000000001⌉ = 4` but `⌈4.1⌉ = 5`.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite and positive.
+#[must_use]
+pub fn tolerant_ceil(x: f64) -> usize {
+    assert!(x.is_finite() && x > 0.0, "expected finite positive ratio, got {x}");
+    let f = x.floor();
+    if x - f <= RATIO_EPS {
+        f as usize
+    } else {
+        f as usize + 1
+    }
+}
+
+/// Floor that treats values within `RATIO_EPS` (1e-9) *below* an integer as
+/// that integer, so `⌊3.9999999999⌋ = 4` but `⌊3.9⌋ = 3`.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite and positive.
+#[must_use]
+pub fn tolerant_floor(x: f64) -> usize {
+    assert!(x.is_finite() && x > 0.0, "expected finite positive ratio, got {x}");
+    let f = x.floor();
+    if x - f >= 1.0 - RATIO_EPS {
+        f as usize + 1
+    } else {
+        f as usize
+    }
+}
+
+/// Computes `1 − (1 − δ)^{1/k}` without catastrophic cancellation.
+///
+/// For small `δ` the result is `≈ δ/k`, far below `f64` granularity around
+/// 1.0; evaluating through `ln_1p`/`exp_m1` keeps full relative precision:
+/// `1 − exp(ln(1−δ)/k) = −expm1(ln_1p(−δ)/k)`.
+///
+/// # Panics
+///
+/// Panics if `δ ∉ [0, 1]` or `k == 0`.
+#[must_use]
+pub fn one_minus_root_complement(delta: f64, k: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&delta),
+        "delta must lie in [0, 1], got {delta}"
+    );
+    assert!(k > 0, "root order must be positive");
+    if delta >= 1.0 {
+        return 1.0;
+    }
+    -((-delta).ln_1p() / k as f64).exp_m1()
+}
+
+/// Iterator over the Poisson pmf `P(k; λ)` for `k = 0, 1, 2, …`, computed
+/// by the stable multiplicative recurrence `P(k) = P(k−1)·λ/k`.
+///
+/// For large `λ` the `k = 0` term underflows to zero in `f64`; terms near
+/// the mode are then reconstructed... they are **not** — instead callers
+/// needing large-`λ` sums should use the closed forms in
+/// the Poisson-theory module. This iterator is intended for the truncated
+/// series of Theorems 3–4 at the moderate `λ = θ n_y r_y²` values arising
+/// in the experiments (≲ 50), where the recurrence is exact to working
+/// precision.
+#[derive(Debug, Clone)]
+pub struct PoissonPmf {
+    lambda: f64,
+    k: u64,
+    current: f64,
+}
+
+impl PoissonPmf {
+    /// Creates the pmf iterator for mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson mean must be finite and non-negative, got {lambda}"
+        );
+        PoissonPmf {
+            lambda,
+            k: 0,
+            current: (-lambda).exp(),
+        }
+    }
+}
+
+impl Iterator for PoissonPmf {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let out = self.current;
+        self.k += 1;
+        self.current *= self.lambda / self.k as f64;
+        Some(out)
+    }
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection, assuming
+/// `f(lo)` and `f(hi)` have opposite signs.
+///
+/// Returns the midpoint of the final bracket after `iters` halvings
+/// (64 halvings resolve any `f64` interval to machine precision).
+///
+/// # Panics
+///
+/// Panics if the bracket is invalid (`lo >= hi`) or if `f(lo)` and
+/// `f(hi)` have the same sign.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, mut lo: f64, mut hi: f64, iters: usize) -> f64 {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    let flo = f(lo);
+    let fhi = f(hi);
+    assert!(
+        flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+        "f(lo)={flo} and f(hi)={fhi} do not bracket a root"
+    );
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    let lo_negative = flo < 0.0;
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if (fm < 0.0) == lo_negative {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// `ln(ln(n))` for integer populations, the recurring factor of the
+/// paper's asymptotic orders.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (where `ln ln n` would be non-positive and the
+/// asymptotic formulas meaningless).
+#[must_use]
+pub fn ln_ln(n: usize) -> f64 {
+    assert!(n >= 3, "ln ln n needs n >= 3, got {n}");
+    (n as f64).ln().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn tolerant_ceil_behaviour() {
+        assert_eq!(tolerant_ceil(4.0), 4);
+        assert_eq!(tolerant_ceil(4.0 + 1e-12), 4);
+        assert_eq!(tolerant_ceil(4.1), 5);
+        assert_eq!(tolerant_ceil(PI / (PI / 6.0)), 6);
+        assert_eq!(tolerant_ceil(0.5), 1);
+    }
+
+    #[test]
+    fn tolerant_floor_behaviour() {
+        assert_eq!(tolerant_floor(4.0), 4);
+        assert_eq!(tolerant_floor(4.0 - 1e-12), 4);
+        assert_eq!(tolerant_floor(3.9), 3);
+        assert_eq!(tolerant_floor(2.0 * PI / (PI / 4.0)), 8);
+    }
+
+    #[test]
+    fn one_minus_root_small_delta_no_cancellation() {
+        // Exact asymptotics: 1 - (1-δ)^{1/k} ≈ δ/k for tiny δ.
+        let delta = 1e-17;
+        let k = 4;
+        let got = one_minus_root_complement(delta, k);
+        assert!((got - delta / k as f64).abs() / (delta / k as f64) < 1e-6);
+        // Naive evaluation returns exactly 0 here (1 − 1e-17 rounds to 1):
+        let naive = 1.0 - (1.0f64 - delta).powf(1.0 / k as f64);
+        assert_eq!(naive, 0.0);
+    }
+
+    #[test]
+    fn one_minus_root_moderate_delta_matches_naive() {
+        let got = one_minus_root_complement(0.3, 3);
+        let naive = 1.0 - 0.7f64.powf(1.0 / 3.0);
+        assert!((got - naive).abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_minus_root_edges() {
+        assert_eq!(one_minus_root_complement(0.0, 5), 0.0);
+        assert_eq!(one_minus_root_complement(1.0, 5), 1.0);
+        assert!((one_minus_root_complement(0.5, 1) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for lambda in [0.0, 0.5, 2.0, 10.0, 40.0] {
+            let total: f64 = PoissonPmf::new(lambda).take(300).sum();
+            assert!((total - 1.0).abs() < 1e-9, "λ={lambda}: {total}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_known_values() {
+        let pmf: Vec<f64> = PoissonPmf::new(2.0).take(4).collect();
+        let e2 = (-2.0f64).exp();
+        assert!((pmf[0] - e2).abs() < 1e-15);
+        assert!((pmf[1] - 2.0 * e2).abs() < 1e-15);
+        assert!((pmf[2] - 2.0 * e2).abs() < 1e-15);
+        assert!((pmf[3] - 4.0 / 3.0 * e2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn poisson_pmf_mean() {
+        let lambda = 7.5;
+        let mean: f64 = PoissonPmf::new(lambda)
+            .take(200)
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum();
+        assert!((mean - lambda).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 80);
+        assert!((root - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_handles_decreasing_function() {
+        let root = bisect(|x| 1.0 - x, 0.0, 5.0, 80);
+        assert!((root - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn bisect_rejects_unbracketed() {
+        let _ = bisect(|x| x * x + 1.0, -1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn ln_ln_values() {
+        assert!((ln_ln(3) - (3f64).ln().ln()).abs() < 1e-15);
+        assert!(ln_ln(1000) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn ln_ln_small_n_panics() {
+        let _ = ln_ln(2);
+    }
+}

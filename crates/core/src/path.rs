@@ -1,0 +1,323 @@
+//! Trajectory (path) full-view coverage.
+//!
+//! Barrier coverage (§VIII) asks whether *some* belt stops every
+//! crossing; the dual operational question is about a *known* route: a
+//! patrol path, a wildlife corridor, a vehicle lane. This module samples
+//! a polyline at a fixed arc-length step and reports how much of the
+//! route is full-view covered, where the exposed stretches are, and the
+//! worst (longest) exposed stretch — the window in which a subject could
+//! traverse unidentified.
+
+use crate::fullview::is_full_view_covered;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Point, Torus};
+use fullview_model::CameraNetwork;
+use std::fmt;
+
+/// A polyline route across the region. Segments are geodesics on the
+/// torus (shortest wrap-aware straight lines between waypoints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    waypoints: Vec<Point>,
+}
+
+impl Path {
+    /// Creates a path from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two waypoints are given.
+    #[must_use]
+    pub fn new(waypoints: Vec<Point>) -> Self {
+        assert!(waypoints.len() >= 2, "a path needs at least two waypoints");
+        Path { waypoints }
+    }
+
+    /// The waypoints.
+    #[must_use]
+    pub fn waypoints(&self) -> &[Point] {
+        &self.waypoints
+    }
+
+    /// Total torus arc length of the path.
+    #[must_use]
+    pub fn length(&self, torus: &Torus) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| torus.distance(w[0], w[1]))
+            .sum()
+    }
+
+    /// Samples the path at (approximately) `step` arc-length intervals,
+    /// always including both endpoints of each segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not finite and strictly positive.
+    #[must_use]
+    pub fn sample(&self, torus: &Torus, step: f64) -> Vec<Point> {
+        assert!(
+            step.is_finite() && step > 0.0,
+            "sample step must be finite and positive, got {step}"
+        );
+        let mut samples = Vec::new();
+        for w in self.waypoints.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let d = torus.distance(a, b);
+            let (dx, dy) = torus.displacement(a, b);
+            let pieces = (d / step).ceil().max(1.0) as usize;
+            for i in 0..pieces {
+                let t = i as f64 / pieces as f64;
+                samples.push(torus.wrap(a.translate(dx * t, dy * t)));
+            }
+        }
+        samples.push(*self.waypoints.last().expect("≥ 2 waypoints"));
+        samples
+    }
+}
+
+/// One maximal exposed (not full-view covered) stretch of a sampled
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposedStretch {
+    /// Index of the first exposed sample.
+    pub start_index: usize,
+    /// Number of consecutive exposed samples.
+    pub samples: usize,
+    /// Estimated arc length of the stretch.
+    pub length: f64,
+}
+
+/// Coverage report for a sampled path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathCoverageReport {
+    /// Number of path samples evaluated.
+    pub total_samples: usize,
+    /// Samples that are full-view covered.
+    pub covered_samples: usize,
+    /// Total path length.
+    pub path_length: f64,
+    /// Maximal exposed stretches, in path order.
+    pub exposed: Vec<ExposedStretch>,
+}
+
+impl PathCoverageReport {
+    /// Fraction of samples full-view covered.
+    #[must_use]
+    pub fn covered_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.covered_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    /// The longest exposed stretch, if any.
+    #[must_use]
+    pub fn worst_exposure(&self) -> Option<&ExposedStretch> {
+        self.exposed
+            .iter()
+            .max_by(|a, b| a.length.partial_cmp(&b.length).expect("finite lengths"))
+    }
+
+    /// Whether the whole sampled path is full-view covered.
+    #[must_use]
+    pub fn fully_covered(&self) -> bool {
+        self.covered_samples == self.total_samples
+    }
+}
+
+impl fmt::Display for PathCoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path[{} samples, length {:.4}]: {:.4} covered, {} exposed stretches, worst {:.4}",
+            self.total_samples,
+            self.path_length,
+            self.covered_fraction(),
+            self.exposed.len(),
+            self.worst_exposure().map_or(0.0, |e| e.length)
+        )
+    }
+}
+
+/// Evaluates full-view coverage along `path`, sampled every `step` of
+/// arc length.
+///
+/// # Panics
+///
+/// Panics if `step` is not finite and strictly positive.
+#[must_use]
+pub fn evaluate_path(
+    net: &CameraNetwork,
+    path: &Path,
+    theta: EffectiveAngle,
+    step: f64,
+) -> PathCoverageReport {
+    let torus = net.torus();
+    let samples = path.sample(torus, step);
+    let verdicts: Vec<bool> = samples
+        .iter()
+        .map(|p| is_full_view_covered(net, *p, theta))
+        .collect();
+    let covered_samples = verdicts.iter().filter(|v| **v).count();
+
+    let mut exposed = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, covered) in verdicts.iter().enumerate() {
+        match (covered, run_start) {
+            (false, None) => run_start = Some(i),
+            (true, Some(start)) => {
+                exposed.push(make_stretch(&samples, torus, start, i - start));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = run_start {
+        exposed.push(make_stretch(&samples, torus, start, verdicts.len() - start));
+    }
+
+    PathCoverageReport {
+        total_samples: samples.len(),
+        covered_samples,
+        path_length: path.length(torus),
+        exposed,
+    }
+}
+
+fn make_stretch(samples: &[Point], torus: &Torus, start: usize, count: usize) -> ExposedStretch {
+    let mut length = 0.0;
+    for i in start..(start + count).min(samples.len()) - 1 {
+        length += torus.distance(samples[i], samples[i + 1]);
+    }
+    ExposedStretch {
+        start_index: start,
+        samples: count,
+        length,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Angle;
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta() -> EffectiveAngle {
+        EffectiveAngle::new(PI / 2.0).unwrap()
+    }
+
+    /// Omni-camera rings full-view covering discs around the anchors.
+    fn covered_at(anchors: &[(f64, f64)]) -> CameraNetwork {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.15, 2.0 * PI).unwrap();
+        let mut cams = Vec::new();
+        for &(x, y) in anchors {
+            for k in 0..6 {
+                let dir = Angle::new(k as f64 * PI / 3.0);
+                cams.push(Camera::new(
+                    torus.offset(Point::new(x, y), dir, 0.05),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                ));
+            }
+        }
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn path_length_and_sampling() {
+        let torus = Torus::unit();
+        let path = Path::new(vec![Point::new(0.1, 0.5), Point::new(0.4, 0.5)]);
+        assert!((path.length(&torus) - 0.3).abs() < 1e-12);
+        let samples = path.sample(&torus, 0.05);
+        assert!(samples.len() >= 7);
+        // Samples advance monotonically along x.
+        for w in samples.windows(2) {
+            assert!(w[1].x >= w[0].x - 1e-12);
+        }
+        assert_eq!(*samples.last().unwrap(), Point::new(0.4, 0.5));
+    }
+
+    #[test]
+    fn path_crosses_seam_geodesically() {
+        let torus = Torus::unit();
+        let path = Path::new(vec![Point::new(0.9, 0.5), Point::new(0.1, 0.5)]);
+        // Geodesic goes through the seam: length 0.2, not 0.8.
+        assert!((path.length(&torus) - 0.2).abs() < 1e-12);
+        let samples = path.sample(&torus, 0.05);
+        for p in &samples {
+            assert!(torus.contains(*p), "{p}");
+            assert!(p.x >= 0.85 || p.x <= 0.15, "sample {p} left the seam corridor");
+        }
+    }
+
+    #[test]
+    fn fully_covered_path() {
+        let net = covered_at(&[(0.3, 0.5), (0.5, 0.5), (0.7, 0.5)]);
+        let path = Path::new(vec![Point::new(0.3, 0.5), Point::new(0.7, 0.5)]);
+        let r = evaluate_path(&net, &path, theta(), 0.02);
+        assert!(r.fully_covered(), "{r}");
+        assert!(r.exposed.is_empty());
+        assert_eq!(r.covered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn gap_in_the_middle_detected() {
+        // Coverage at both ends, nothing in the middle of the route.
+        let net = covered_at(&[(0.1, 0.5), (0.9, 0.5)]);
+        let path = Path::new(vec![
+            Point::new(0.1, 0.5),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.5),
+        ]);
+        let r = evaluate_path(&net, &path, theta(), 0.02);
+        assert!(!r.fully_covered());
+        assert!(r.covered_fraction() > 0.0 && r.covered_fraction() < 1.0);
+        assert_eq!(r.exposed.len(), 1, "{r}");
+        let worst = r.worst_exposure().unwrap();
+        // The uncovered middle is roughly 0.8 − 2·(ring reach ≈ 0.2).
+        assert!(worst.length > 0.2, "worst stretch {:.3}", worst.length);
+    }
+
+    #[test]
+    fn uncovered_run_at_path_end_counted() {
+        let net = covered_at(&[(0.1, 0.5)]);
+        let path = Path::new(vec![Point::new(0.1, 0.5), Point::new(0.6, 0.5)]);
+        let r = evaluate_path(&net, &path, theta(), 0.02);
+        assert!(!r.fully_covered());
+        let last = r.exposed.last().unwrap();
+        assert_eq!(
+            last.start_index + last.samples,
+            r.total_samples,
+            "final exposed run must reach the path end"
+        );
+    }
+
+    #[test]
+    fn empty_network_everything_exposed() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let path = Path::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.5)]);
+        let r = evaluate_path(&net, &path, theta(), 0.05);
+        assert_eq!(r.covered_samples, 0);
+        assert_eq!(r.exposed.len(), 1);
+        assert!((r.worst_exposure().unwrap().length - r.path_length).abs() < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn single_waypoint_panics() {
+        let _ = Path::new(vec![Point::new(0.5, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let path = Path::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.5)]);
+        let _ = evaluate_path(&net, &path, theta(), 0.0);
+    }
+}

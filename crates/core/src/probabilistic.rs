@@ -1,0 +1,272 @@
+//! Probabilistic sensing extension — the paper's other future-work item
+//! (§VIII: "extending our results in probabilistic sensing models").
+//!
+//! The binary sector model detects perfectly inside the sector. Real
+//! cameras degrade with distance: we adopt the standard exponential-decay
+//! model used throughout the probabilistic-coverage literature — detection
+//! is certain within an inner fraction of the range and decays as
+//! `exp(−β·(d − r_inner))` beyond it, reaching the sector edge with a
+//! configurable floor. Full-view coverage generalizes to *confidence-`γ`*
+//! full-view coverage: every facing direction must be watched, within the
+//! effective angle, by a camera whose detection probability at the target
+//! is at least `γ`.
+
+use crate::error::CoreError;
+use crate::fullview::PointCoverage;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Angle, Point, ANGLE_EPS};
+use fullview_model::{Camera, CameraNetwork};
+use std::f64::consts::TAU;
+
+/// An exponential-decay probabilistic sensing model layered over the
+/// binary sector geometry.
+///
+/// Detection probability of a camera at torus distance `d` from a target
+/// in its sector of radius `r`:
+///
+/// * `1` for `d ≤ inner_fraction·r`;
+/// * `exp(−decay·(d − inner_fraction·r)/r)` for
+///   `inner_fraction·r < d ≤ r`;
+/// * `0` outside the sector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilisticModel {
+    inner_fraction: f64,
+    decay: f64,
+}
+
+impl ProbabilisticModel {
+    /// Creates a model with certain detection inside `inner_fraction` of
+    /// the range and decay rate `decay` (per unit of normalized distance)
+    /// beyond it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProbability`] if `inner_fraction` is
+    /// outside `[0, 1]` or `decay` is negative or non-finite.
+    pub fn new(inner_fraction: f64, decay: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&inner_fraction) || !inner_fraction.is_finite() {
+            return Err(CoreError::InvalidProbability {
+                name: "inner_fraction",
+                value: inner_fraction,
+            });
+        }
+        if !decay.is_finite() || decay < 0.0 {
+            return Err(CoreError::InvalidProbability {
+                name: "decay",
+                value: decay,
+            });
+        }
+        Ok(ProbabilisticModel {
+            inner_fraction,
+            decay,
+        })
+    }
+
+    /// The binary sector model expressed in this family (`inner_fraction
+    /// = 1`): detection is certain everywhere in the sector.
+    #[must_use]
+    pub fn binary() -> Self {
+        ProbabilisticModel {
+            inner_fraction: 1.0,
+            decay: 0.0,
+        }
+    }
+
+    /// Detection probability of `camera` for `target` on the network
+    /// torus: zero outside the camera's sector, the decay profile inside.
+    #[must_use]
+    pub fn detection_probability(
+        &self,
+        net: &CameraNetwork,
+        camera: &Camera,
+        target: Point,
+    ) -> f64 {
+        if !camera.covers(net.torus(), target) {
+            return 0.0;
+        }
+        let r = camera.spec().radius();
+        let d = net.torus().distance(camera.position(), target);
+        let inner = self.inner_fraction * r;
+        if d <= inner {
+            1.0
+        } else {
+            (-self.decay * (d - inner) / r).exp()
+        }
+    }
+}
+
+/// Whether `point` is full-view covered with confidence `gamma`: every
+/// facing direction has, within effective angle `theta`, a camera whose
+/// detection probability at `point` is at least `gamma`.
+///
+/// With `gamma = 0` (or the [`ProbabilisticModel::binary`] model and any
+/// `gamma ≤ 1`), this coincides with plain full-view coverage.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] if `gamma ∉ [0, 1]`.
+pub fn is_full_view_covered_with_confidence(
+    net: &CameraNetwork,
+    point: Point,
+    theta: EffectiveAngle,
+    model: &ProbabilisticModel,
+    gamma: f64,
+) -> Result<bool, CoreError> {
+    let coverage = confident_point_coverage(net, point, model, gamma)?;
+    Ok(coverage.is_full_view(theta))
+}
+
+/// Analyses `point` keeping only cameras whose detection probability
+/// reaches `gamma` — the probabilistic analogue of
+/// [`crate::analyze_point`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] if `gamma ∉ [0, 1]`.
+pub fn confident_point_coverage(
+    net: &CameraNetwork,
+    point: Point,
+    model: &ProbabilisticModel,
+    gamma: f64,
+) -> Result<PointCoverage, CoreError> {
+    if !(0.0..=1.0).contains(&gamma) || !gamma.is_finite() {
+        return Err(CoreError::InvalidProbability {
+            name: "gamma",
+            value: gamma,
+        });
+    }
+    let mut dirs: Vec<Angle> = Vec::new();
+    let mut covering = 0usize;
+    let mut colocated = false;
+    net.for_each_covering(point, |cam| {
+        if model.detection_probability(net, cam, point) + ANGLE_EPS < gamma {
+            return;
+        }
+        covering += 1;
+        match cam.viewed_direction(net.torus(), point) {
+            Some(d) => dirs.push(d),
+            None => colocated = true,
+        }
+    });
+    dirs.sort_by(Angle::cmp_by_radians);
+    let largest_gap = if dirs.len() < 2 {
+        TAU
+    } else {
+        let mut max_gap = dirs[0].radians() + TAU - dirs[dirs.len() - 1].radians();
+        for w in dirs.windows(2) {
+            max_gap = max_gap.max(w[1].radians() - w[0].radians());
+        }
+        max_gap
+    };
+    Ok(PointCoverage {
+        covering_cameras: covering,
+        has_colocated_camera: colocated,
+        viewed_directions: dirs,
+        largest_gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Torus;
+    use fullview_model::{GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    fn ring(target: Point, dist: f64, count: usize) -> CameraNetwork {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.3, PI).unwrap();
+        let cams: Vec<Camera> = (0..count)
+            .map(|i| {
+                let dir = Angle::new(i as f64 * TAU / count as f64);
+                Camera::new(torus.offset(target, dir, dist), dir.opposite(), spec, GroupId(0))
+            })
+            .collect();
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn binary_model_matches_plain_full_view() {
+        let p = Point::new(0.5, 0.5);
+        let net = ring(p, 0.12, 5);
+        let th = theta(PI / 4.0);
+        let plain = crate::fullview::is_full_view_covered(&net, p, th);
+        let prob = is_full_view_covered_with_confidence(
+            &net,
+            p,
+            th,
+            &ProbabilisticModel::binary(),
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(plain, prob);
+    }
+
+    #[test]
+    fn detection_decays_with_distance() {
+        let p = Point::new(0.5, 0.5);
+        let net = ring(p, 0.2, 1);
+        let model = ProbabilisticModel::new(0.3, 3.0).unwrap();
+        let cam = &net.cameras()[0];
+        // Target at distance 0.2 of radius 0.3: beyond the inner 0.09.
+        let prob = model.detection_probability(&net, cam, p);
+        assert!(prob > 0.0 && prob < 1.0);
+        // A closer target inside the inner zone is certain.
+        let close = net.torus().offset(cam.position(), net.torus().direction(cam.position(), p).unwrap(), 0.05);
+        let prob_close = model.detection_probability(&net, cam, close);
+        assert_eq!(prob_close, 1.0);
+        // Out of sector: zero.
+        let behind = net
+            .torus()
+            .offset(cam.position(), net.torus().direction(cam.position(), p).unwrap().opposite(), 0.05);
+        assert_eq!(model.detection_probability(&net, cam, behind), 0.0);
+    }
+
+    #[test]
+    fn higher_confidence_loses_far_cameras() {
+        let p = Point::new(0.5, 0.5);
+        // 5 cameras at a far ring: detection prob at p is modest.
+        let net = ring(p, 0.25, 5);
+        let th = theta(PI / 4.0);
+        let model = ProbabilisticModel::new(0.2, 3.0).unwrap();
+        let cam = &net.cameras()[0];
+        let det = model.detection_probability(&net, cam, p);
+        assert!(det < 0.9 && det > 0.1, "detection {det}");
+        // Low confidence: all five count → full-view covered (gaps 2π/5 ≤ 2θ).
+        let low = is_full_view_covered_with_confidence(&net, p, th, &model, det - 0.01).unwrap();
+        assert!(low);
+        // Confidence above the ring's detection prob: nobody counts.
+        let high = is_full_view_covered_with_confidence(&net, p, th, &model, det + 0.01).unwrap();
+        assert!(!high);
+    }
+
+    #[test]
+    fn gamma_zero_counts_every_covering_camera() {
+        let p = Point::new(0.5, 0.5);
+        let net = ring(p, 0.28, 6);
+        let model = ProbabilisticModel::new(0.1, 10.0).unwrap();
+        let cov = confident_point_coverage(&net, p, &model, 0.0).unwrap();
+        assert_eq!(cov.covering_cameras, 6);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ProbabilisticModel::new(-0.1, 1.0).is_err());
+        assert!(ProbabilisticModel::new(1.1, 1.0).is_err());
+        assert!(ProbabilisticModel::new(0.5, -1.0).is_err());
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let model = ProbabilisticModel::binary();
+        assert!(is_full_view_covered_with_confidence(
+            &net,
+            Point::new(0.5, 0.5),
+            theta(PI / 2.0),
+            &model,
+            1.5
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The effective angle `θ` of full-view coverage.
+
+use crate::error::CoreError;
+use crate::numeric::tolerant_ceil;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// The effective angle `θ ∈ (0, π]` of Definition 1: a facing direction
+/// `d⃗` is safe if some covering camera's viewed direction lies within `θ`
+/// of `d⃗`.
+///
+/// Small `θ` demands near-frontal captures (high recognition quality);
+/// `θ = π` degenerates full-view coverage into plain 1-coverage (§VII-A).
+/// The type enforces the valid range once, so every downstream formula can
+/// take it by value without re-validating.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_core::EffectiveAngle;
+/// use std::f64::consts::PI;
+///
+/// let theta = EffectiveAngle::new(PI / 4.0)?;
+/// // The paper's sector counts: ⌈π/θ⌉ for the necessary condition,
+/// // ⌈2π/θ⌉ for the sufficient one.
+/// assert_eq!(theta.necessary_sector_count(), 4);
+/// assert_eq!(theta.sufficient_sector_count(), 8);
+/// # Ok::<(), fullview_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct EffectiveAngle(f64);
+
+impl EffectiveAngle {
+    /// Creates an effective angle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidEffectiveAngle`] unless
+    /// `theta ∈ (0, π]`.
+    pub fn new(theta: f64) -> Result<Self, CoreError> {
+        if !theta.is_finite() || theta <= 0.0 || theta > PI + 1e-12 {
+            return Err(CoreError::InvalidEffectiveAngle { theta });
+        }
+        Ok(EffectiveAngle(theta.min(PI)))
+    }
+
+    /// The angle in radians, guaranteed in `(0, π]`.
+    #[must_use]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Number of sectors in the *necessary*-condition construction of
+    /// §III: `⌈π/θ⌉` closed sectors of width `2θ` (including the
+    /// bisector-aligned overlap sector when `2θ` does not divide `2π`).
+    ///
+    /// This is also the minimum number of cameras that must cover a
+    /// full-view-covered point, linking full-view coverage to
+    /// `⌈π/θ⌉`-coverage (§VII-B).
+    #[must_use]
+    pub fn necessary_sector_count(self) -> usize {
+        tolerant_ceil(PI / self.0)
+    }
+
+    /// Number of sectors in the *sufficient*-condition construction of
+    /// §IV: `⌈2π/θ⌉` closed sectors of width `θ`.
+    #[must_use]
+    pub fn sufficient_sector_count(self) -> usize {
+        tolerant_ceil(2.0 * PI / self.0)
+    }
+
+    /// The maximal angular width `2θ` a gap between consecutive viewed
+    /// directions may have around a full-view covered point.
+    #[must_use]
+    pub fn max_gap(self) -> f64 {
+        2.0 * self.0
+    }
+}
+
+impl fmt::Display for EffectiveAngle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "θ={:.6}rad", self.0)
+    }
+}
+
+impl TryFrom<f64> for EffectiveAngle {
+    type Error = CoreError;
+
+    fn try_from(theta: f64) -> Result<Self, CoreError> {
+        EffectiveAngle::new(theta)
+    }
+}
+
+impl From<EffectiveAngle> for f64 {
+    fn from(t: EffectiveAngle) -> f64 {
+        t.radians()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(EffectiveAngle::new(0.01).is_ok());
+        assert!(EffectiveAngle::new(PI).is_ok());
+        assert!(EffectiveAngle::new(PI / 2.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(EffectiveAngle::new(0.0).is_err());
+        assert!(EffectiveAngle::new(-0.1).is_err());
+        assert!(EffectiveAngle::new(PI + 0.01).is_err());
+        assert!(EffectiveAngle::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sector_counts_match_paper_examples() {
+        // θ = π: necessary degenerates to a single sector (§VII-A).
+        let t = EffectiveAngle::new(PI).unwrap();
+        assert_eq!(t.necessary_sector_count(), 1);
+        assert_eq!(t.sufficient_sector_count(), 2);
+
+        // θ = π/4 divides evenly: ⌈π/θ⌉ = 4, ⌈2π/θ⌉ = 8.
+        let t = EffectiveAngle::new(PI / 4.0).unwrap();
+        assert_eq!(t.necessary_sector_count(), 4);
+        assert_eq!(t.sufficient_sector_count(), 8);
+
+        // θ = 0.3π: π/θ = 3.33… → 4 sectors; 2π/θ = 6.67… → 7.
+        let t = EffectiveAngle::new(0.3 * PI).unwrap();
+        assert_eq!(t.necessary_sector_count(), 4);
+        assert_eq!(t.sufficient_sector_count(), 7);
+    }
+
+    #[test]
+    fn exact_division_has_no_phantom_extra_sector() {
+        // π/(π/6) = 6 exactly up to float error; the tolerant ceiling must
+        // not return 7.
+        let t = EffectiveAngle::new(PI / 6.0).unwrap();
+        assert_eq!(t.necessary_sector_count(), 6);
+        assert_eq!(t.sufficient_sector_count(), 12);
+    }
+
+    #[test]
+    fn conversions() {
+        let t: EffectiveAngle = (PI / 3.0).try_into().unwrap();
+        let back: f64 = t.into();
+        assert!((back - PI / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_gap_is_two_theta() {
+        let t = EffectiveAngle::new(0.5).unwrap();
+        assert!((t.max_gap() - 1.0).abs() < 1e-15);
+    }
+}

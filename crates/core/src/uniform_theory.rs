@@ -1,0 +1,296 @@
+//! Per-point probability theory under uniform deployment (§III–§IV).
+//!
+//! For a heterogeneous network of `n` uniformly deployed cameras, the
+//! probability that one camera of group `G_y` lands in a given sector of
+//! central angle `w` around `P` *and* is oriented to cover `P` is
+//! `(w/2π)·π r_y²·(φ_y/2π) = (w/2π)·s_y·... = w·s_y/(2π)` — for the
+//! necessary condition's `w = 2θ` sectors this is `θ s_y/π`, for the
+//! sufficient condition's `w = θ` sectors it is `θ s_y/(2π)` (both derived
+//! explicitly in the paper).
+//!
+//! The module evaluates the exact finite-`n` failure probabilities
+//! (eqs. (2) and (13)), the Bonferroni grid bounds (eqs. (3)–(4) and
+//! (14)–(15)), and the expected covered area fractions they induce.
+
+use crate::theta::EffectiveAngle;
+use fullview_model::NetworkProfile;
+use std::f64::consts::PI;
+
+/// Probability that one sector of the §III (necessary) construction around
+/// a point receives **no** covering camera: `Π_y (1 − θ s_y/π)^{n_y}`.
+///
+/// `counts` must give the per-group camera counts (see
+/// [`NetworkProfile::counts`]).
+#[must_use]
+pub fn sector_miss_probability_necessary(
+    profile: &NetworkProfile,
+    counts: &[usize],
+    theta: EffectiveAngle,
+) -> f64 {
+    sector_miss_probability(profile, counts, theta.radians() / PI)
+}
+
+/// Probability that one sector of the §IV (sufficient) construction around
+/// a point receives no covering camera: `Π_y (1 − θ s_y/(2π))^{n_y}`.
+#[must_use]
+pub fn sector_miss_probability_sufficient(
+    profile: &NetworkProfile,
+    counts: &[usize],
+    theta: EffectiveAngle,
+) -> f64 {
+    sector_miss_probability(profile, counts, theta.radians() / (2.0 * PI))
+}
+
+/// Common kernel: `Π_y (1 − coeff·s_y)^{n_y}`, with the per-camera hit
+/// probability clamped into `[0, 1]` (a sensing area so large that
+/// `coeff·s_y > 1` hits the sector with certainty).
+fn sector_miss_probability(profile: &NetworkProfile, counts: &[usize], coeff: f64) -> f64 {
+    assert_eq!(
+        counts.len(),
+        profile.group_count(),
+        "counts must have one entry per group"
+    );
+    let mut miss = 1.0f64;
+    for (group, &n_y) in profile.groups().iter().zip(counts) {
+        let hit = (coeff * group.spec().sensing_area()).clamp(0.0, 1.0);
+        miss *= (1.0 - hit).powi(n_y as i32);
+    }
+    miss
+}
+
+/// Equation (2): the probability `P(F_{N,P})` that an arbitrary point
+/// fails the §III necessary condition,
+/// `1 − [1 − Π_y (1 − θ s_y/π)^{n_y}]^{K_N}` with `K_N = ⌈π/θ⌉`.
+///
+/// As the paper notes, the sector events are treated as independent — the
+/// correlation vanishes as `n → ∞`.
+#[must_use]
+pub fn prob_point_fails_necessary(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    let counts = profile.counts(n);
+    let miss = sector_miss_probability_necessary(profile, &counts, theta);
+    1.0 - (1.0 - miss).powi(theta.necessary_sector_count() as i32)
+}
+
+/// Equation (13): the probability `P(F_{S,P})` that an arbitrary point
+/// fails the §IV sufficient condition,
+/// `1 − [1 − Π_y (1 − θ s_y/(2π))^{n_y}]^{K_S}` with `K_S = ⌈2π/θ⌉`.
+#[must_use]
+pub fn prob_point_fails_sufficient(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    let counts = profile.counts(n);
+    let miss = sector_miss_probability_sufficient(profile, &counts, theta);
+    1.0 - (1.0 - miss).powi(theta.sufficient_sector_count() as i32)
+}
+
+/// Expected fraction of the operational region meeting the necessary
+/// condition, `1 − P(F_{N,P})`.
+///
+/// §V: "the probability that an arbitrary point is covered equals the
+/// expectation of the fraction of area which is covered" (edge effects
+/// vanish on the torus), so this is directly comparable to measured grid
+/// fractions.
+#[must_use]
+pub fn expected_necessary_fraction(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    1.0 - prob_point_fails_necessary(profile, n, theta)
+}
+
+/// Expected fraction of the region meeting the sufficient condition,
+/// `1 − P(F_{S,P})`.
+#[must_use]
+pub fn expected_sufficient_fraction(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+) -> f64 {
+    1.0 - prob_point_fails_sufficient(profile, n, theta)
+}
+
+/// Bonferroni bounds (eqs. (3)–(4) / (14)–(15)) on the probability that
+/// **some** point of an `m`-point dense grid fails a per-point condition
+/// whose failure probability is `p_fail`, under the paper's asymptotic
+/// independence approximation for the second-order term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridFailureBounds {
+    /// Union (upper) bound `min(1, m·p)`.
+    pub upper: f64,
+    /// Second-order (lower) bound `max(0, m·p − (m·p)²)`.
+    pub lower: f64,
+}
+
+/// Computes the Bonferroni grid-failure bounds for an `m`-point grid.
+///
+/// # Panics
+///
+/// Panics if `p_fail ∉ [0, 1]`.
+#[must_use]
+pub fn grid_failure_bounds(m: usize, p_fail: f64) -> GridFailureBounds {
+    assert!(
+        (0.0..=1.0).contains(&p_fail),
+        "failure probability must lie in [0, 1], got {p_fail}"
+    );
+    let mp = m as f64 * p_fail;
+    GridFailureBounds {
+        upper: mp.min(1.0),
+        lower: (mp - mp * mp).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    fn homogeneous(s: f64) -> NetworkProfile {
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI / 2.0).unwrap())
+    }
+
+    #[test]
+    fn miss_probability_homogeneous_closed_form() {
+        let profile = homogeneous(0.01);
+        let th = theta(PI / 4.0);
+        let n = 500;
+        let counts = profile.counts(n);
+        let got = sector_miss_probability_necessary(&profile, &counts, th);
+        let want = (1.0 - th.radians() * 0.01 / PI).powi(n as i32);
+        assert!((got - want).abs() < 1e-12);
+        let got_s = sector_miss_probability_sufficient(&profile, &counts, th);
+        let want_s = (1.0 - th.radians() * 0.01 / (2.0 * PI)).powi(n as i32);
+        assert!((got_s - want_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_miss_is_product_over_groups() {
+        let profile = NetworkProfile::builder()
+            .group(SensorSpec::with_sensing_area(0.02, PI / 2.0).unwrap(), 0.5)
+            .group(SensorSpec::with_sensing_area(0.005, PI / 8.0).unwrap(), 0.5)
+            .build()
+            .unwrap();
+        let th = theta(PI / 3.0);
+        let counts = profile.counts(100);
+        let got = sector_miss_probability_necessary(&profile, &counts, th);
+        let p0 = th.radians() * 0.02 / PI;
+        let p1 = th.radians() * 0.005 / PI;
+        let want = (1.0 - p0).powi(50) * (1.0 - p1).powi(50);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_probability_in_unit_interval_and_monotone_in_area() {
+        let th = theta(PI / 4.0);
+        let mut prev = 1.0;
+        for s in [0.001, 0.005, 0.01, 0.05, 0.1] {
+            let p = prob_point_fails_necessary(&homogeneous(s), 1000, th);
+            assert!((0.0..=1.0).contains(&p), "s={s}: {p}");
+            assert!(p <= prev + 1e-12, "not monotone at s={s}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sufficient_failure_dominates_necessary_failure() {
+        // Failing the (weaker) necessary condition is harder than failing
+        // the (stronger) sufficient one.
+        let th = theta(PI / 4.0);
+        for s in [0.002, 0.01, 0.05] {
+            for n in [200usize, 1000, 5000] {
+                let p_nec = prob_point_fails_necessary(&homogeneous(s), n, th);
+                let p_suf = prob_point_fails_sufficient(&homogeneous(s), n, th);
+                assert!(p_nec <= p_suf + 1e-12, "s={s}, n={n}: {p_nec} > {p_suf}");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_pi_necessary_failure_equals_one_coverage_miss() {
+        // With θ = π there is a single full-circle sector; failing the
+        // necessary condition = no camera covers P at all. The per-camera
+        // coverage probability is its sensing area (§VI-A).
+        let s = 0.01;
+        let n = 800;
+        let p = prob_point_fails_necessary(&homogeneous(s), n, theta(PI));
+        let want = (1.0 - s).powi(n as i32);
+        assert!((p - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_cameras_reduce_failure() {
+        let th = theta(PI / 3.0);
+        let profile = homogeneous(0.01);
+        let mut prev = 1.0;
+        for n in [50usize, 200, 800, 3200] {
+            let p = prob_point_fails_necessary(&profile, n, th);
+            assert!(p < prev, "n={n}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn csa_scaled_profile_hits_target_failure_budget() {
+        // Deploy exactly at the Theorem-1 CSA: the per-point failure
+        // probability should be ≈ 1/(m·K correction)... precisely, the CSA
+        // is calibrated so that P(F_{N,P}) ≈ 1/(n ln n) = 1/m.
+        let n = 2000;
+        let th = theta(PI / 4.0);
+        let s_nc = crate::csa::csa_necessary(n, th);
+        let profile = homogeneous(1.0).scale_to_weighted_area(s_nc).unwrap();
+        let p = prob_point_fails_necessary(&profile, n, th);
+        let m = n as f64 * (n as f64).ln();
+        let ratio = p * m;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "m·P(F) = {ratio}, expected ≈ 1"
+        );
+    }
+
+    #[test]
+    fn expected_fractions_complement_failures() {
+        let profile = homogeneous(0.01);
+        let th = theta(PI / 4.0);
+        let f = expected_necessary_fraction(&profile, 1000, th);
+        let p = prob_point_fails_necessary(&profile, 1000, th);
+        assert!((f + p - 1.0).abs() < 1e-15);
+        let f = expected_sufficient_fraction(&profile, 1000, th);
+        let p = prob_point_fails_sufficient(&profile, 1000, th);
+        assert!((f + p - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grid_bounds_ordering_and_clamps() {
+        let b = grid_failure_bounds(1000, 1e-4);
+        assert!(b.lower <= b.upper);
+        assert!((b.upper - 0.1).abs() < 1e-12);
+        assert!((b.lower - (0.1 - 0.01)).abs() < 1e-12);
+        // Saturation.
+        let b = grid_failure_bounds(1000, 0.5);
+        assert_eq!(b.upper, 1.0);
+        assert_eq!(b.lower, 0.0);
+        let b = grid_failure_bounds(0, 0.3);
+        assert_eq!(b.upper, 0.0);
+        assert_eq!(b.lower, 0.0);
+    }
+
+    #[test]
+    fn huge_sensing_area_saturates_hit_probability() {
+        // coeff·s_y > 1 must clamp, not produce a negative miss factor.
+        let profile = homogeneous(10.0);
+        let th = theta(PI);
+        let counts = profile.counts(5);
+        let miss = sector_miss_probability_necessary(&profile, &counts, th);
+        assert_eq!(miss, 0.0);
+    }
+}

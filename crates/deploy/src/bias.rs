@@ -1,0 +1,243 @@
+//! Biased orientation sampling — stress-testing the paper's
+//! uniform-orientation assumption.
+//!
+//! §II-A assumes a deployed camera's orientation "faces towards all
+//! possible directions with equal probability". Real drops are often
+//! biased: cameras self-right towards downhill, or installers loosely
+//! aim at a landmark. This module samples orientations from a **von
+//! Mises** distribution (the circular analogue of a Gaussian) centred on
+//! a position-dependent preferred direction, with concentration `κ`
+//! interpolating from the paper's model (`κ = 0`, uniform) to rigidly
+//! aimed (`κ → ∞`). The `bias` experiment measures how full-view
+//! coverage degrades as `κ` grows — orientation diversity, not just
+//! sensing area, is load-bearing for full-view coverage.
+
+use crate::error::DeployError;
+use crate::uniform::random_point;
+use fullview_geom::{Angle, Point, Torus};
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile};
+use rand::Rng;
+use std::f64::consts::{PI, TAU};
+
+/// Samples from the von Mises distribution with mean direction `mu` and
+/// concentration `kappa ≥ 0`, via the Best–Fisher (1979) rejection
+/// algorithm.
+///
+/// `kappa = 0` is the uniform distribution on the circle; larger `kappa`
+/// concentrates mass around `mu` (circular variance ≈ `1/κ` for large
+/// `κ`).
+///
+/// # Panics
+///
+/// Panics if `kappa` is negative or not finite.
+#[must_use]
+pub fn sample_von_mises<R: Rng + ?Sized>(mu: Angle, kappa: f64, rng: &mut R) -> Angle {
+    assert!(
+        kappa.is_finite() && kappa >= 0.0,
+        "concentration must be finite and non-negative, got {kappa}"
+    );
+    if kappa < 1e-9 {
+        return Angle::new(rng.gen_range(0.0..TAU));
+    }
+    // Best & Fisher 1979.
+    let tau = 1.0 + (1.0 + 4.0 * kappa * kappa).sqrt();
+    let rho = (tau - (2.0 * tau).sqrt()) / (2.0 * kappa);
+    let r = (1.0 + rho * rho) / (2.0 * rho);
+    loop {
+        let u1: f64 = rng.gen_range(0.0..1.0);
+        let z = (PI * u1).cos();
+        let f = (1.0 + r * z) / (r + z);
+        let c = kappa * (r - f);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        if c * (2.0 - c) - u2 > 0.0 || (c / u2).ln() + 1.0 - c >= 0.0 {
+            let u3: f64 = rng.gen_range(0.0..1.0);
+            let sign = if u3 > 0.5 { 1.0 } else { -1.0 };
+            return mu.rotate(sign * f.acos());
+        }
+    }
+}
+
+/// A position-dependent preferred orientation.
+///
+/// The closure receives the camera's position and returns the mean
+/// direction its orientation is biased towards.
+pub type OrientationField<'a> = &'a dyn Fn(Point) -> Angle;
+
+/// Deploys `n` cameras uniformly at random with von-Mises-biased
+/// orientations: camera at position `p` faces
+/// `VonMises(field(p), kappa)`.
+///
+/// With `kappa = 0` this is exactly [`crate::deploy_uniform`].
+///
+/// # Errors
+///
+/// Returns [`DeployError::Model`] if a radius does not fit the torus and
+/// [`DeployError::InvalidDensity`] for a bad `kappa`.
+pub fn deploy_uniform_biased<R: Rng + ?Sized>(
+    torus: Torus,
+    profile: &NetworkProfile,
+    n: usize,
+    field: OrientationField<'_>,
+    kappa: f64,
+    rng: &mut R,
+) -> Result<CameraNetwork, DeployError> {
+    if !kappa.is_finite() || kappa < 0.0 {
+        return Err(DeployError::InvalidDensity { density: kappa });
+    }
+    profile.check_fits_torus(torus.side())?;
+    let counts = profile.counts(n);
+    let mut cameras = Vec::with_capacity(n);
+    for (gid, (count, group)) in counts.iter().zip(profile.groups()).enumerate() {
+        for _ in 0..*count {
+            let position = random_point(&torus, rng);
+            let orientation = sample_von_mises(field(position), kappa, rng);
+            cameras.push(Camera::new(position, orientation, *group.spec(), GroupId(gid)));
+        }
+    }
+    Ok(CameraNetwork::new(torus, cameras))
+}
+
+/// The constant orientation field: every camera is biased towards the
+/// same direction (e.g. downhill on a uniform slope).
+pub fn constant_field(direction: Angle) -> impl Fn(Point) -> Angle {
+    move |_| direction
+}
+
+/// The inward field: cameras are biased to face a focal point (e.g. a
+/// watering hole or gate), from wherever they landed.
+pub fn inward_field(torus: Torus, focus: Point) -> impl Fn(Point) -> Angle {
+    move |p| torus.direction(p, focus).unwrap_or(Angle::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> NetworkProfile {
+        NetworkProfile::homogeneous(SensorSpec::new(0.1, PI / 2.0).unwrap())
+    }
+
+    /// Circular mean direction and resultant length of samples.
+    fn circular_stats(samples: &[Angle]) -> (Angle, f64) {
+        let (mut c, mut s) = (0.0, 0.0);
+        for a in samples {
+            c += a.radians().cos();
+            s += a.radians().sin();
+        }
+        let n = samples.len() as f64;
+        let r = (c * c + s * s).sqrt() / n;
+        (Angle::from_vector(c, s).unwrap_or(Angle::ZERO), r)
+    }
+
+    #[test]
+    fn kappa_zero_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<Angle> = (0..4000)
+            .map(|_| sample_von_mises(Angle::new(1.0), 0.0, &mut rng))
+            .collect();
+        let (_, r) = circular_stats(&samples);
+        // Uniform circular data: resultant length ~ 1/√n ≈ 0.016.
+        assert!(r < 0.05, "resultant length {r} too large for uniform");
+    }
+
+    #[test]
+    fn concentration_centres_on_mu() {
+        let mu = Angle::new(2.5);
+        for kappa in [1.0, 4.0, 20.0] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let samples: Vec<Angle> = (0..4000)
+                .map(|_| sample_von_mises(mu, kappa, &mut rng))
+                .collect();
+            let (mean, r) = circular_stats(&samples);
+            assert!(
+                mean.distance(mu) < 0.1,
+                "κ={kappa}: mean {mean} far from {mu}"
+            );
+            // Resultant length grows with concentration.
+            assert!(r > 0.4, "κ={kappa}: resultant {r}");
+        }
+    }
+
+    #[test]
+    fn higher_kappa_is_more_concentrated() {
+        let mu = Angle::new(0.7);
+        let resultant = |kappa: f64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let samples: Vec<Angle> = (0..3000)
+                .map(|_| sample_von_mises(mu, kappa, &mut rng))
+                .collect();
+            circular_stats(&samples).1
+        };
+        let r1 = resultant(0.5);
+        let r2 = resultant(2.0);
+        let r3 = resultant(10.0);
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn biased_deployment_counts_and_determinism() {
+        let field = constant_field(Angle::new(PI));
+        let a = deploy_uniform_biased(
+            Torus::unit(),
+            &profile(),
+            120,
+            &field,
+            3.0,
+            &mut StdRng::seed_from_u64(4),
+        )
+        .unwrap();
+        assert_eq!(a.len(), 120);
+        let b = deploy_uniform_biased(
+            Torus::unit(),
+            &profile(),
+            120,
+            &field,
+            3.0,
+            &mut StdRng::seed_from_u64(4),
+        )
+        .unwrap();
+        assert_eq!(a.cameras(), b.cameras());
+    }
+
+    #[test]
+    fn constant_field_bias_shows_in_orientations() {
+        let mu = Angle::new(PI / 2.0);
+        let field = constant_field(mu);
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = deploy_uniform_biased(Torus::unit(), &profile(), 800, &field, 8.0, &mut rng)
+            .unwrap();
+        let orientations: Vec<Angle> = net.cameras().iter().map(|c| c.orientation()).collect();
+        let (mean, r) = circular_stats(&orientations);
+        assert!(mean.distance(mu) < 0.15, "mean {mean}");
+        assert!(r > 0.8, "resultant {r}");
+    }
+
+    #[test]
+    fn inward_field_points_at_focus() {
+        let torus = Torus::unit();
+        let focus = Point::new(0.5, 0.5);
+        let field = inward_field(torus, focus);
+        assert!(field(Point::new(0.1, 0.5)).approx_eq(Angle::ZERO));
+        assert!(field(Point::new(0.9, 0.5)).approx_eq(Angle::new(PI)));
+        // At the focus itself: falls back without panicking.
+        let _ = field(focus);
+    }
+
+    #[test]
+    fn invalid_kappa_rejected() {
+        let field = constant_field(Angle::ZERO);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(deploy_uniform_biased(
+            Torus::unit(),
+            &profile(),
+            10,
+            &field,
+            -1.0,
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for deployment.
+
+use fullview_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while deploying camera networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The sensor model rejected the configuration.
+    Model(ModelError),
+    /// The Poisson density was not finite and non-negative.
+    InvalidDensity {
+        /// The offending value.
+        density: f64,
+    },
+    /// A lattice deployment requested zero cameras per vertex.
+    EmptyOrientationFan,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Model(e) => write!(f, "invalid sensor model: {e}"),
+            DeployError::InvalidDensity { density } => {
+                write!(f, "Poisson density must be finite and non-negative, got {density}")
+            }
+            DeployError::EmptyOrientationFan => {
+                write!(f, "lattice deployment needs at least one camera per vertex")
+            }
+        }
+    }
+}
+
+impl Error for DeployError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeployError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for DeployError {
+    fn from(e: ModelError) -> Self {
+        DeployError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = DeployError::from(ModelError::EmptyProfile);
+        assert!(e.to_string().contains("invalid sensor model"));
+        assert!(e.source().is_some());
+        let e = DeployError::InvalidDensity { density: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        assert!(e.source().is_none());
+    }
+}

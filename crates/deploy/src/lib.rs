@@ -1,0 +1,58 @@
+//! # fullview-deploy
+//!
+//! Deployment engines for camera sensor networks, covering both random
+//! schemes of the paper (§II-A) and the deterministic comparator (§VII-C):
+//!
+//! * [`deploy_uniform`] — exactly `n` cameras, uniform i.i.d. positions
+//!   and orientations, heterogeneous group split by largest remainder;
+//! * [`deploy_poisson`] — 2-D Poisson point process with given density
+//!   (random total count), per-group thinning;
+//! * [`LatticeDeployment`] — deterministic square/triangular lattices with
+//!   per-vertex orientation fans, in the style of Wang & Cao \[4\];
+//! * [`derive_seed`] — deterministic per-trial seed derivation so that
+//!   every experiment is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use fullview_deploy::{deploy_uniform, derive_seed};
+//! use fullview_geom::Torus;
+//! use fullview_model::{NetworkProfile, SensorSpec};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::f64::consts::PI;
+//!
+//! let profile = NetworkProfile::builder()
+//!     .group(SensorSpec::new(0.08, PI / 2.0)?, 0.7)
+//!     .group(SensorSpec::new(0.15, PI / 6.0)?, 0.3)
+//!     .build()?;
+//! // Trial 3 of the experiment with master seed 42:
+//! let mut rng = StdRng::seed_from_u64(derive_seed(42, 3));
+//! let net = deploy_uniform(Torus::unit(), &profile, 1000, &mut rng)?;
+//! assert_eq!(net.len(), 1000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bias;
+mod error;
+mod lattice;
+mod mobility;
+mod orientation;
+mod poisson;
+mod seed;
+mod stratified;
+mod uniform;
+
+pub use bias::{
+    constant_field, deploy_uniform_biased, inward_field, sample_von_mises, OrientationField,
+};
+pub use error::DeployError;
+pub use lattice::{LatticeDeployment, LatticeKind};
+pub use mobility::{deploy_mobile, MobileCamera, MobileNetwork};
+pub use orientation::{orientation_fan, random_orientation};
+pub use poisson::{deploy_poisson, sample_poisson_count};
+pub use seed::{derive_seed, splitmix64};
+pub use stratified::deploy_stratified;
+pub use uniform::{deploy_uniform, random_point};

@@ -1,0 +1,284 @@
+//! Mobile camera networks: constant-velocity drift and panning.
+//!
+//! The paper's intro places mobility among the classic coverage
+//! considerations ([10][18]) but fixes cameras for its own analysis.
+//! This module provides the minimal mobile extension: each camera moves
+//! with a constant velocity on the torus and may pan (rotate) at a
+//! constant angular rate; [`MobileNetwork::snapshot`] materializes the
+//! network at any time for the static analyses of `fullview-core`
+//! (see `fullview_core`'s temporal helpers for time-aggregated
+//! coverage).
+
+use crate::error::DeployError;
+use crate::orientation::random_orientation;
+use crate::uniform::random_point;
+use fullview_geom::Torus;
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile};
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// A camera with linear and angular velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobileCamera {
+    /// Pose and sensing parameters at time 0.
+    pub initial: Camera,
+    /// Velocity in region units per unit time.
+    pub velocity: (f64, f64),
+    /// Pan rate in radians per unit time (positive = counter-clockwise).
+    pub angular_velocity: f64,
+}
+
+impl MobileCamera {
+    /// The camera's pose at time `t` (position drifts on the torus,
+    /// orientation pans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not finite.
+    #[must_use]
+    pub fn at(&self, torus: &Torus, t: f64) -> Camera {
+        assert!(t.is_finite(), "time must be finite, got {t}");
+        let position = torus.wrap(
+            self.initial
+                .position()
+                .translate(self.velocity.0 * t, self.velocity.1 * t),
+        );
+        let orientation = self.initial.orientation().rotate(self.angular_velocity * t);
+        Camera::new(
+            position,
+            orientation,
+            *self.initial.spec(),
+            self.initial.group(),
+        )
+    }
+}
+
+/// A time-parameterized camera network.
+#[derive(Debug, Clone)]
+pub struct MobileNetwork {
+    torus: Torus,
+    cameras: Vec<MobileCamera>,
+}
+
+impl MobileNetwork {
+    /// Builds a mobile network from explicit mobile cameras.
+    #[must_use]
+    pub fn new(torus: Torus, cameras: Vec<MobileCamera>) -> Self {
+        MobileNetwork { torus, cameras }
+    }
+
+    /// Number of cameras.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Whether there are no cameras.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+
+    /// The mobile cameras.
+    #[must_use]
+    pub fn cameras(&self) -> &[MobileCamera] {
+        &self.cameras
+    }
+
+    /// The static network at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not finite.
+    #[must_use]
+    pub fn snapshot(&self, t: f64) -> CameraNetwork {
+        let cams: Vec<Camera> = self.cameras.iter().map(|m| m.at(&self.torus, t)).collect();
+        CameraNetwork::new(self.torus, cams)
+    }
+
+    /// Evenly spaced snapshots over `[0, duration]` (inclusive of both
+    /// ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `duration` is not finite and positive.
+    #[must_use]
+    pub fn snapshots(&self, duration: f64, steps: usize) -> Vec<CameraNetwork> {
+        assert!(steps > 0, "need at least one step");
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "duration must be finite and positive, got {duration}"
+        );
+        (0..=steps)
+            .map(|i| self.snapshot(duration * i as f64 / steps as f64))
+            .collect()
+    }
+}
+
+/// Deploys a mobile network: uniform initial poses, random directions of
+/// travel at speed up to `max_speed`, pan rates uniform in
+/// `[-max_pan_rate, max_pan_rate]`.
+///
+/// # Errors
+///
+/// Returns [`DeployError::Model`] if a radius does not fit the torus and
+/// [`DeployError::InvalidDensity`] if a rate parameter is negative or
+/// non-finite.
+pub fn deploy_mobile<R: Rng + ?Sized>(
+    torus: Torus,
+    profile: &NetworkProfile,
+    n: usize,
+    max_speed: f64,
+    max_pan_rate: f64,
+    rng: &mut R,
+) -> Result<MobileNetwork, DeployError> {
+    if !max_speed.is_finite() || max_speed < 0.0 {
+        return Err(DeployError::InvalidDensity { density: max_speed });
+    }
+    if !max_pan_rate.is_finite() || max_pan_rate < 0.0 {
+        return Err(DeployError::InvalidDensity {
+            density: max_pan_rate,
+        });
+    }
+    profile.check_fits_torus(torus.side())?;
+    let counts = profile.counts(n);
+    let mut cameras = Vec::with_capacity(n);
+    for (gid, (count, group)) in counts.iter().zip(profile.groups()).enumerate() {
+        for _ in 0..*count {
+            let heading = rng.gen_range(0.0..TAU);
+            let speed = rng.gen_range(0.0..=max_speed);
+            let pan = if max_pan_rate == 0.0 {
+                0.0
+            } else {
+                rng.gen_range(-max_pan_rate..=max_pan_rate)
+            };
+            cameras.push(MobileCamera {
+                initial: Camera::new(
+                    random_point(&torus, rng),
+                    random_orientation(rng),
+                    *group.spec(),
+                    GroupId(gid),
+                ),
+                velocity: (heading.cos() * speed, heading.sin() * speed),
+                angular_velocity: pan,
+            });
+        }
+    }
+    Ok(MobileNetwork::new(torus, cameras))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::{Angle, Point};
+    use fullview_model::SensorSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn spec() -> SensorSpec {
+        SensorSpec::new(0.1, PI / 2.0).unwrap()
+    }
+
+    #[test]
+    fn snapshot_at_zero_is_initial() {
+        let m = MobileCamera {
+            initial: Camera::new(Point::new(0.2, 0.3), Angle::new(1.0), spec(), GroupId(0)),
+            velocity: (0.1, -0.2),
+            angular_velocity: 0.5,
+        };
+        let t = Torus::unit();
+        assert_eq!(m.at(&t, 0.0), m.initial);
+    }
+
+    #[test]
+    fn position_drifts_and_wraps() {
+        let m = MobileCamera {
+            initial: Camera::new(Point::new(0.9, 0.5), Angle::ZERO, spec(), GroupId(0)),
+            velocity: (0.3, 0.0),
+            angular_velocity: 0.0,
+        };
+        let t = Torus::unit();
+        let cam = m.at(&t, 1.0);
+        assert!((cam.position().x - 0.2).abs() < 1e-12, "{}", cam.position());
+        assert!(t.contains(cam.position()));
+    }
+
+    #[test]
+    fn orientation_pans() {
+        let m = MobileCamera {
+            initial: Camera::new(Point::new(0.5, 0.5), Angle::ZERO, spec(), GroupId(0)),
+            velocity: (0.0, 0.0),
+            angular_velocity: PI / 2.0,
+        };
+        let t = Torus::unit();
+        assert!(m.at(&t, 1.0).orientation().approx_eq(Angle::new(PI / 2.0)));
+        assert!(m.at(&t, 4.0).orientation().approx_eq(Angle::ZERO));
+    }
+
+    #[test]
+    fn deploy_mobile_counts_and_determinism() {
+        let profile = NetworkProfile::homogeneous(spec());
+        let a = deploy_mobile(
+            Torus::unit(),
+            &profile,
+            50,
+            0.1,
+            0.5,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        assert_eq!(a.len(), 50);
+        let b = deploy_mobile(
+            Torus::unit(),
+            &profile,
+            50,
+            0.1,
+            0.5,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        assert_eq!(a.snapshot(0.7).cameras(), b.snapshot(0.7).cameras());
+    }
+
+    #[test]
+    fn snapshots_count_and_endpoints() {
+        let profile = NetworkProfile::homogeneous(spec());
+        let m = deploy_mobile(
+            Torus::unit(),
+            &profile,
+            10,
+            0.2,
+            0.0,
+            &mut StdRng::seed_from_u64(4),
+        )
+        .unwrap();
+        let snaps = m.snapshots(2.0, 4);
+        assert_eq!(snaps.len(), 5);
+        assert_eq!(snaps[0].cameras(), m.snapshot(0.0).cameras());
+        assert_eq!(snaps[4].cameras(), m.snapshot(2.0).cameras());
+    }
+
+    #[test]
+    fn zero_speed_network_is_static() {
+        let profile = NetworkProfile::homogeneous(spec());
+        let m = deploy_mobile(
+            Torus::unit(),
+            &profile,
+            20,
+            0.0,
+            0.0,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert_eq!(m.snapshot(0.0).cameras(), m.snapshot(9.0).cameras());
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let profile = NetworkProfile::homogeneous(spec());
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(deploy_mobile(Torus::unit(), &profile, 5, -1.0, 0.0, &mut rng).is_err());
+        assert!(deploy_mobile(Torus::unit(), &profile, 5, 0.1, f64::NAN, &mut rng).is_err());
+    }
+}

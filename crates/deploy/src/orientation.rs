@@ -1,0 +1,94 @@
+//! Orientation sampling and deterministic orientation fans.
+
+use fullview_geom::Angle;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Samples an orientation uniformly over all directions — the paper's
+/// assumption that a deployed camera's orientation "faces towards all
+/// possible directions with equal probability" (§II-A).
+#[must_use]
+pub fn random_orientation<R: Rng + ?Sized>(rng: &mut R) -> Angle {
+    Angle::new(rng.gen_range(0.0..TAU))
+}
+
+/// `k` evenly spaced orientations starting at `offset` — the per-vertex
+/// camera fan used by deterministic lattice deployments, chosen so that
+/// every direction lies within `π/k` of some camera's orientation.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_deploy::orientation_fan;
+/// use fullview_geom::Angle;
+///
+/// let fan = orientation_fan(4, Angle::ZERO);
+/// assert_eq!(fan.len(), 4);
+/// // Every direction is within π/4 of some fan orientation.
+/// let probe = Angle::new(1.0);
+/// let best = fan.iter().map(|o| o.distance(probe)).fold(f64::INFINITY, f64::min);
+/// assert!(best <= std::f64::consts::PI / 4.0 + 1e-12);
+/// ```
+#[must_use]
+pub fn orientation_fan(k: usize, offset: Angle) -> Vec<Angle> {
+    assert!(k > 0, "orientation fan needs at least one camera");
+    (0..k)
+        .map(|i| offset.rotate(i as f64 * TAU / k as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn random_orientation_in_range_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut quadrants = [0usize; 4];
+        for _ in 0..4000 {
+            let a = random_orientation(&mut rng);
+            assert!(a.radians() >= 0.0 && a.radians() < TAU);
+            quadrants[(a.radians() / (TAU / 4.0)) as usize % 4] += 1;
+        }
+        // Roughly uniform: each quadrant within 4σ of 1000.
+        for q in quadrants {
+            assert!((q as f64 - 1000.0).abs() < 4.0 * (4000.0f64 * 0.25 * 0.75).sqrt(), "{quadrants:?}");
+        }
+    }
+
+    #[test]
+    fn fan_is_evenly_spaced() {
+        let fan = orientation_fan(6, Angle::new(0.1));
+        for w in fan.windows(2) {
+            assert!((w[0].ccw_delta(w[1]) - TAU / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fan_covers_directions_within_pi_over_k() {
+        for k in 1..10 {
+            let fan = orientation_fan(k, Angle::ZERO);
+            for p in 0..100 {
+                let probe = Angle::new(p as f64 * TAU / 100.0);
+                let best = fan
+                    .iter()
+                    .map(|o| o.distance(probe))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(best <= PI / k as f64 + 1e-9, "k={k}, probe={probe}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_fan_panics() {
+        let _ = orientation_fan(0, Angle::ZERO);
+    }
+}

@@ -1,0 +1,205 @@
+//! 2-D Poisson point process deployment (§II-A, §V).
+//!
+//! Under Poisson deployment with density `λ = n`, the number of sensors in
+//! any region of area `A` is `Poisson(λA)` and, conditional on the count,
+//! positions are uniform. For a heterogeneous network, each group `G_y` is
+//! itself a Poisson process with density `n_y = c_y·n` (the thinning
+//! property the paper uses in the proof of Theorem 3).
+
+use crate::error::DeployError;
+use crate::orientation::random_orientation;
+use crate::uniform::random_point;
+use fullview_geom::Torus;
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile};
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses the exponential inter-arrival construction (count arrivals of a
+/// unit-rate Poisson process until total waiting time exceeds `lambda`),
+/// which is numerically stable for the large means (`λ = n` up to `10^5`)
+/// used in the experiments. Runtime is `O(λ)`.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+#[must_use]
+pub fn sample_poisson_count<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson mean must be finite and non-negative, got {lambda}"
+    );
+    let mut count = 0usize;
+    let mut acc = 0.0f64;
+    loop {
+        // Exp(1) arrival; 1 - u avoids ln(0).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        acc += -(1.0 - u).ln();
+        if acc > lambda {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Deploys a heterogeneous camera network by a 2-D Poisson point process
+/// with overall density `density` sensors per unit area: group `G_y`
+/// receives `Poisson(c_y · density · area)` cameras at uniform positions
+/// with uniform orientations.
+///
+/// Unlike [`deploy_uniform`](crate::deploy_uniform), the total camera
+/// count is random; its expectation is `density · torus.area()`.
+///
+/// # Errors
+///
+/// Returns [`DeployError::InvalidDensity`] for a negative or non-finite
+/// density and [`DeployError::Model`] if a sensing radius does not fit the
+/// torus.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_deploy::deploy_poisson;
+/// use fullview_geom::Torus;
+/// use fullview_model::{NetworkProfile, SensorSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use std::f64::consts::PI;
+///
+/// let profile = NetworkProfile::homogeneous(SensorSpec::new(0.1, PI / 2.0)?);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let net = deploy_poisson(Torus::unit(), &profile, 500.0, &mut rng)?;
+/// // The count is Poisson(500): almost surely within ±5√500 of the mean.
+/// assert!((net.len() as f64 - 500.0).abs() < 5.0 * 500f64.sqrt());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn deploy_poisson<R: Rng + ?Sized>(
+    torus: Torus,
+    profile: &NetworkProfile,
+    density: f64,
+    rng: &mut R,
+) -> Result<CameraNetwork, DeployError> {
+    if !density.is_finite() || density < 0.0 {
+        return Err(DeployError::InvalidDensity { density });
+    }
+    profile.check_fits_torus(torus.side())?;
+    let area = torus.area();
+    let mut cameras = Vec::new();
+    for (gid, group) in profile.groups().iter().enumerate() {
+        let mean = group.fraction() * density * area;
+        let count = sample_poisson_count(mean, rng);
+        cameras.reserve(count);
+        for _ in 0..count {
+            cameras.push(Camera::new(
+                random_point(&torus, rng),
+                random_orientation(rng),
+                *group.spec(),
+                GroupId(gid),
+            ));
+        }
+    }
+    Ok(CameraNetwork::new(torus, cameras))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn poisson_count_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson_count(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_count_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 50.0;
+        let trials = 4000;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_poisson_count(lambda, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+        // Poisson: mean = variance = λ. Std-error of the mean ≈ 0.11.
+        assert!((mean - lambda).abs() < 0.6, "mean {mean}");
+        assert!((var - lambda).abs() < 5.0, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_count_small_mean_pmf() {
+        // P(N = 0) = e^{-λ}; check the empirical frequency for λ = 1.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let zeros = (0..trials)
+            .filter(|_| sample_poisson_count(1.0, &mut rng) == 0)
+            .count();
+        let freq = zeros as f64 / trials as f64;
+        let expect = (-1.0f64).exp();
+        assert!((freq - expect).abs() < 0.01, "freq {freq} vs {expect}");
+    }
+
+    #[test]
+    fn deploy_counts_fluctuate_around_density() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.05, PI).unwrap());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0usize;
+        let reps = 50;
+        for _ in 0..reps {
+            total += deploy_poisson(Torus::unit(), &profile, 200.0, &mut rng)
+                .unwrap()
+                .len();
+        }
+        let mean = total as f64 / reps as f64;
+        // SE ≈ √(200/50) = 2.
+        assert!((mean - 200.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn group_split_respects_fractions_on_average() {
+        let profile = NetworkProfile::builder()
+            .group(SensorSpec::new(0.05, PI).unwrap(), 0.25)
+            .group(SensorSpec::new(0.08, PI / 2.0).unwrap(), 0.75)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g0 = 0usize;
+        let mut g1 = 0usize;
+        for _ in 0..40 {
+            let net = deploy_poisson(Torus::unit(), &profile, 400.0, &mut rng).unwrap();
+            g0 += net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
+            g1 += net.cameras().iter().filter(|c| c.group() == GroupId(1)).count();
+        }
+        let ratio = g0 as f64 / (g0 + g1) as f64;
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_bad_density() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.05, PI).unwrap());
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            deploy_poisson(Torus::unit(), &profile, -1.0, &mut rng),
+            Err(DeployError::InvalidDensity { .. })
+        ));
+        assert!(matches!(
+            deploy_poisson(Torus::unit(), &profile, f64::NAN, &mut rng),
+            Err(DeployError::InvalidDensity { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.05, PI).unwrap());
+        let a = deploy_poisson(Torus::unit(), &profile, 100.0, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = deploy_poisson(Torus::unit(), &profile, 100.0, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a.cameras(), b.cameras());
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic seed derivation for reproducible experiments.
+//!
+//! Every Monte-Carlo experiment in the reproduction derives the RNG of
+//! trial `i` from a single master seed, so that results are exactly
+//! reproducible, trials are independent of execution order, and parallel
+//! runners need no shared RNG state.
+
+/// A SplitMix64 step: the standard 64-bit finalizer-based generator used
+/// here purely as a seed-mixing function.
+///
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014 (the same mixer `rand` uses to seed from
+/// `u64`).
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of stream `index` from a `master` seed.
+///
+/// Distinct `(master, index)` pairs map to well-separated seeds; equal
+/// pairs always map to the same seed. Use one stream per Monte-Carlo
+/// trial.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_deploy::derive_seed;
+/// let a = derive_seed(42, 0);
+/// let b = derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, 0));
+/// ```
+#[must_use]
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    // Two mixing rounds: one to decorrelate the index, one to fold in the
+    // master seed. A single xor of raw inputs would leave low-bit
+    // correlations between adjacent indices.
+    splitmix64(splitmix64(index).wrapping_add(master))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+    }
+
+    #[test]
+    fn distinct_indices_distinct_seeds() {
+        let seeds: HashSet<u64> = (0..10_000).map(|i| derive_seed(123, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn distinct_masters_distinct_streams() {
+        let a: Vec<u64> = (0..100).map(|i| derive_seed(1, i)).collect();
+        let b: Vec<u64> = (0..100).map(|i| derive_seed(2, i)).collect();
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // First outputs of the reference SplitMix64 with seed 0 are obtained
+        // by mixing successive counter values; at minimum the mixer must not
+        // be the identity and must differ across inputs.
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(0), splitmix64(1));
+    }
+
+    #[test]
+    fn adjacent_indices_differ_in_many_bits() {
+        // Avalanche sanity: consecutive indices should flip ~32 bits.
+        let mut total = 0u32;
+        for i in 0..100u64 {
+            let x = derive_seed(99, i);
+            let y = derive_seed(99, i + 1);
+            total += (x ^ y).count_ones();
+        }
+        let avg = total as f64 / 100.0;
+        assert!(avg > 24.0 && avg < 40.0, "average flipped bits {avg}");
+    }
+}

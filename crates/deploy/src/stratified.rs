@@ -1,0 +1,176 @@
+//! Stratified (jittered-grid) random deployment.
+//!
+//! The paper's introduction motivates random deployment by logistics
+//! (air drops, inaccessible terrain); when deployment is *partially*
+//! controllable — e.g. a drone can aim each drop at a grid cell but not
+//! at an exact point — the natural model is stratified sampling: one
+//! camera per cell of a √n×√n grid, uniform within its cell (leftover
+//! cameras fill cells round-robin). Stratification removes the clumping
+//! of plain uniform deployment, so the same weighted sensing area
+//! achieves whole-region full-view coverage noticeably more often — the
+//! `stratified` experiment quantifies the gap against the Theorem-1/2
+//! thresholds, which are derived for the *unstratified* case.
+
+use crate::error::DeployError;
+use crate::orientation::random_orientation;
+use fullview_geom::{Point, Torus};
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile};
+use rand::Rng;
+
+/// Deploys `n` cameras by stratified sampling: the region is divided
+/// into `⌈√n⌉²` cells, cameras are assigned to cells round-robin (so
+/// every cell gets `⌊n/cells⌋` or `⌈n/cells⌉` cameras), and each camera
+/// lands uniformly inside its cell with a uniformly random orientation.
+///
+/// Heterogeneous groups are interleaved across cells so no region is
+/// systematically served by one group only.
+///
+/// # Errors
+///
+/// Returns [`DeployError::Model`] if a sensing radius does not fit the
+/// torus.
+pub fn deploy_stratified<R: Rng + ?Sized>(
+    torus: Torus,
+    profile: &NetworkProfile,
+    n: usize,
+    rng: &mut R,
+) -> Result<CameraNetwork, DeployError> {
+    profile.check_fits_torus(torus.side())?;
+    if n == 0 {
+        return Ok(CameraNetwork::new(torus, Vec::new()));
+    }
+    let cells = (n as f64).sqrt().ceil() as usize;
+    let cell_len = torus.side() / cells as f64;
+
+    // Build the per-camera group assignment (largest remainder), then
+    // shuffle deterministically-by-rng so groups interleave across cells.
+    let counts = profile.counts(n);
+    let mut groups: Vec<usize> = Vec::with_capacity(n);
+    for (gid, &count) in counts.iter().enumerate() {
+        groups.extend(std::iter::repeat_n(gid, count));
+    }
+    // Fisher–Yates with the caller's RNG.
+    for i in (1..groups.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        groups.swap(i, j);
+    }
+
+    let mut cameras = Vec::with_capacity(n);
+    for (k, &gid) in groups.iter().enumerate() {
+        let cell = k % (cells * cells);
+        let (ci, cj) = (cell % cells, cell / cells);
+        let x = (ci as f64 + rng.gen_range(0.0..1.0)) * cell_len;
+        let y = (cj as f64 + rng.gen_range(0.0..1.0)) * cell_len;
+        cameras.push(Camera::new(
+            torus.wrap(Point::new(x, y)),
+            random_orientation(rng),
+            *profile.groups()[gid].spec(),
+            GroupId(gid),
+        ));
+    }
+    Ok(CameraNetwork::new(torus, cameras))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn profile() -> NetworkProfile {
+        NetworkProfile::builder()
+            .group(SensorSpec::new(0.08, PI / 2.0).unwrap(), 0.7)
+            .group(SensorSpec::new(0.15, PI / 6.0).unwrap(), 0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_count_and_group_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = deploy_stratified(Torus::unit(), &profile(), 1000, &mut rng).unwrap();
+        assert_eq!(net.len(), 1000);
+        let g0 = net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
+        assert_eq!(g0, 700);
+    }
+
+    #[test]
+    fn zero_cameras() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = deploy_stratified(Torus::unit(), &profile(), 0, &mut rng).unwrap();
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn every_cell_occupied_at_square_counts() {
+        // n = cells²: exactly one camera per cell.
+        let n = 16 * 16;
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = deploy_stratified(Torus::unit(), &profile(), n, &mut rng).unwrap();
+        let mut occupancy = vec![0usize; n];
+        for cam in net.cameras() {
+            let ci = (cam.position().x * 16.0) as usize % 16;
+            let cj = (cam.position().y * 16.0) as usize % 16;
+            occupancy[cj * 16 + ci] += 1;
+        }
+        assert!(occupancy.iter().all(|&c| c == 1), "stratification violated");
+    }
+
+    #[test]
+    fn spread_is_tighter_than_uniform() {
+        // Count cameras per quadrant over many draws: the stratified
+        // variance must be below the uniform (multinomial) variance.
+        let n = 256;
+        let reps = 60;
+        let count_q = |net: &CameraNetwork| {
+            net.cameras()
+                .iter()
+                .filter(|c| c.position().x < 0.5 && c.position().y < 0.5)
+                .count() as f64
+        };
+        let mut strat = Vec::new();
+        let mut unif = Vec::new();
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            strat.push(count_q(
+                &deploy_stratified(Torus::unit(), &profile(), n, &mut rng).unwrap(),
+            ));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xffff);
+            unif.push(count_q(
+                &crate::uniform::deploy_uniform(Torus::unit(), &profile(), n, &mut rng)
+                    .unwrap(),
+            ));
+        }
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64
+        };
+        assert!(
+            var(&strat) < var(&unif),
+            "stratified variance {} not below uniform {}",
+            var(&strat),
+            var(&unif)
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = deploy_stratified(Torus::unit(), &profile(), 100, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = deploy_stratified(Torus::unit(), &profile(), 100, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a.cameras(), b.cameras());
+    }
+
+    #[test]
+    fn oversized_radius_rejected() {
+        let huge = NetworkProfile::homogeneous(SensorSpec::new(0.7, PI).unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(matches!(
+            deploy_stratified(Torus::unit(), &huge, 10, &mut rng),
+            Err(DeployError::Model(_))
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Uniform random deployment (§II-A).
+//!
+//! "Total `n` sensors are deployed in the operational region randomly,
+//! uniformly and independently", with per-group counts `n_y = c_y·n` and
+//! uniformly random fixed orientations.
+
+use crate::error::DeployError;
+use crate::orientation::random_orientation;
+use fullview_geom::{Point, Torus};
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile};
+use rand::Rng;
+
+/// Samples a point uniformly over the fundamental domain of `torus`.
+#[must_use]
+pub fn random_point<R: Rng + ?Sized>(torus: &Torus, rng: &mut R) -> Point {
+    Point::new(
+        rng.gen_range(0.0..torus.side()),
+        rng.gen_range(0.0..torus.side()),
+    )
+}
+
+/// Deploys exactly `n` cameras uniformly at random over `torus`, split
+/// across the heterogeneous groups of `profile` by largest-remainder
+/// apportionment, each with an independent uniformly random orientation.
+///
+/// # Errors
+///
+/// Returns [`DeployError::Model`] if any group's sensing radius reaches
+/// half the torus side (making minimal-image coverage ambiguous).
+///
+/// # Examples
+///
+/// ```
+/// use fullview_deploy::deploy_uniform;
+/// use fullview_geom::Torus;
+/// use fullview_model::{NetworkProfile, SensorSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use std::f64::consts::PI;
+///
+/// let profile = NetworkProfile::homogeneous(SensorSpec::new(0.1, PI / 2.0)?);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let net = deploy_uniform(Torus::unit(), &profile, 500, &mut rng)?;
+/// assert_eq!(net.len(), 500);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn deploy_uniform<R: Rng + ?Sized>(
+    torus: Torus,
+    profile: &NetworkProfile,
+    n: usize,
+    rng: &mut R,
+) -> Result<CameraNetwork, DeployError> {
+    profile.check_fits_torus(torus.side())?;
+    let counts = profile.counts(n);
+    let mut cameras = Vec::with_capacity(n);
+    for (gid, (count, group)) in counts.iter().zip(profile.groups()).enumerate() {
+        for _ in 0..*count {
+            cameras.push(Camera::new(
+                random_point(&torus, rng),
+                random_orientation(rng),
+                *group.spec(),
+                GroupId(gid),
+            ));
+        }
+    }
+    Ok(CameraNetwork::new(torus, cameras))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_model::SensorSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn profile() -> NetworkProfile {
+        NetworkProfile::builder()
+            .group(SensorSpec::new(0.08, PI / 2.0).unwrap(), 0.7)
+            .group(SensorSpec::new(0.15, PI / 6.0).unwrap(), 0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deploys_exact_count_with_group_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = deploy_uniform(Torus::unit(), &profile(), 1000, &mut rng).unwrap();
+        assert_eq!(net.len(), 1000);
+        let g0 = net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
+        let g1 = net.cameras().iter().filter(|c| c.group() == GroupId(1)).count();
+        assert_eq!(g0, 700);
+        assert_eq!(g1, 300);
+    }
+
+    #[test]
+    fn positions_inside_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Torus::unit();
+        let net = deploy_uniform(t, &profile(), 300, &mut rng).unwrap();
+        for c in net.cameras() {
+            assert!(t.contains(c.position()), "{}", c.position());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = deploy_uniform(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(42),
+        )
+        .unwrap();
+        let b = deploy_uniform(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(42),
+        )
+        .unwrap();
+        assert_eq!(a.cameras(), b.cameras());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = deploy_uniform(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let b = deploy_uniform(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert_ne!(a.cameras(), b.cameras());
+    }
+
+    #[test]
+    fn positions_look_uniform() {
+        // Chi-square-ish sanity check over a 4x4 partition.
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = deploy_uniform(
+            Torus::unit(),
+            &NetworkProfile::homogeneous(SensorSpec::new(0.05, PI).unwrap()),
+            4000,
+            &mut rng,
+        )
+        .unwrap();
+        let mut cells = [0usize; 16];
+        for c in net.cameras() {
+            let i = (c.position().x * 4.0) as usize % 4;
+            let j = (c.position().y * 4.0) as usize % 4;
+            cells[j * 4 + i] += 1;
+        }
+        for count in cells {
+            // Expected 250 per cell; allow ±5σ (σ ≈ 15.3).
+            assert!((count as f64 - 250.0).abs() < 77.0, "{cells:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cameras_ok() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = deploy_uniform(Torus::unit(), &profile(), 0, &mut rng).unwrap();
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn oversized_radius_rejected() {
+        let huge = NetworkProfile::homogeneous(SensorSpec::new(0.6, PI).unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(matches!(
+            deploy_uniform(Torus::unit(), &huge, 10, &mut rng),
+            Err(DeployError::Model(_))
+        ));
+    }
+}

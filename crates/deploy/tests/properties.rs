@@ -1,0 +1,163 @@
+//! Property-based tests for the deployment engines.
+
+use fullview_deploy::{
+    deploy_mobile, deploy_poisson, deploy_stratified, deploy_uniform, derive_seed,
+    sample_poisson_count,
+};
+use fullview_geom::Torus;
+use fullview_model::{NetworkProfile, SensorSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn profile_strategy() -> impl Strategy<Value = NetworkProfile> {
+    // 1–4 groups with random specs; fractions normalized.
+    prop::collection::vec((0.02..0.3f64, 0.2..2.0 * PI, 0.05..1.0f64), 1..5).prop_map(
+        |groups| {
+            let total: f64 = groups.iter().map(|(_, _, c)| c).sum();
+            let mut b = NetworkProfile::builder();
+            for (r, phi, c) in &groups {
+                b = b.group(SensorSpec::new(*r, *phi).unwrap(), c / total);
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_deployment_invariants(
+        profile in profile_strategy(),
+        n in 0usize..400,
+        seed in 0u64..1000,
+    ) {
+        let torus = Torus::unit();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = deploy_uniform(torus, &profile, n, &mut rng);
+        if profile.max_radius() >= 0.5 {
+            prop_assert!(result.is_err());
+            return Ok(());
+        }
+        let net = result.unwrap();
+        prop_assert_eq!(net.len(), n);
+        for cam in net.cameras() {
+            prop_assert!(torus.contains(cam.position()));
+            prop_assert!(cam.group().0 < profile.group_count());
+        }
+        // Group counts match largest-remainder apportionment.
+        let counts = profile.counts(n);
+        for (gid, &expect) in counts.iter().enumerate() {
+            let got = net
+                .cameras()
+                .iter()
+                .filter(|c| c.group().0 == gid)
+                .count();
+            prop_assert_eq!(got, expect, "group {} count", gid);
+        }
+    }
+
+    #[test]
+    fn stratified_matches_uniform_contract(
+        profile in profile_strategy(),
+        n in 0usize..400,
+        seed in 0u64..1000,
+    ) {
+        let torus = Torus::unit();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = deploy_stratified(torus, &profile, n, &mut rng);
+        if profile.max_radius() >= 0.5 {
+            prop_assert!(result.is_err());
+            return Ok(());
+        }
+        let net = result.unwrap();
+        prop_assert_eq!(net.len(), n);
+        let counts = profile.counts(n);
+        for (gid, &expect) in counts.iter().enumerate() {
+            let got = net
+                .cameras()
+                .iter()
+                .filter(|c| c.group().0 == gid)
+                .count();
+            prop_assert_eq!(got, expect);
+        }
+        // Stratification: no cell holds more than ceil(n/cells)+? — with
+        // round-robin assignment, max cell load is ⌈n/cells²⌉.
+        if n > 0 {
+            let cells = (n as f64).sqrt().ceil() as usize;
+            let cap = n.div_ceil(cells * cells);
+            let mut occupancy = vec![0usize; cells * cells];
+            for cam in net.cameras() {
+                let ci = ((cam.position().x * cells as f64) as usize).min(cells - 1);
+                let cj = ((cam.position().y * cells as f64) as usize).min(cells - 1);
+                occupancy[cj * cells + ci] += 1;
+            }
+            prop_assert!(occupancy.iter().all(|&c| c <= cap),
+                "cell load exceeded {} in {:?}", cap, occupancy);
+        }
+    }
+
+    #[test]
+    fn deployments_deterministic_per_seed(
+        profile in profile_strategy(),
+        n in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(profile.max_radius() < 0.5);
+        let torus = Torus::unit();
+        let a = deploy_uniform(torus, &profile, n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = deploy_uniform(torus, &profile, n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.cameras(), b.cameras());
+        let a = deploy_stratified(torus, &profile, n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = deploy_stratified(torus, &profile, n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.cameras(), b.cameras());
+        let a = deploy_poisson(torus, &profile, n as f64, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = deploy_poisson(torus, &profile, n as f64, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.cameras(), b.cameras());
+    }
+
+    #[test]
+    fn poisson_count_sane(lambda in 0.0..300.0f64, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = sample_poisson_count(lambda, &mut rng);
+        // 10σ-and-slack bound: overwhelmingly unlikely to trip for a
+        // correct sampler, certain to trip for a broken one.
+        prop_assert!((k as f64) <= lambda + 10.0 * lambda.sqrt() + 20.0);
+    }
+
+    #[test]
+    fn mobile_snapshots_stay_on_torus(
+        profile in profile_strategy(),
+        n in 1usize..60,
+        speed in 0.0..0.5f64,
+        pan in 0.0..3.0f64,
+        t in 0.0..50.0f64,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(profile.max_radius() < 0.5);
+        let torus = Torus::unit();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mobile = deploy_mobile(torus, &profile, n, speed, pan, &mut rng).unwrap();
+        let snap = mobile.snapshot(t);
+        prop_assert_eq!(snap.len(), n);
+        for cam in snap.cameras() {
+            prop_assert!(torus.contains(cam.position()), "{} at t={}", cam.position(), t);
+        }
+        // Specs and groups are invariant over time.
+        for (m, c) in mobile.cameras().iter().zip(snap.cameras()) {
+            prop_assert_eq!(m.initial.spec(), c.spec());
+            prop_assert_eq!(m.initial.group(), c.group());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_unique_within_run(master in 0u64..10_000) {
+        let seeds: Vec<u64> = (0..200).map(|i| derive_seed(master, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seeds.len());
+    }
+}

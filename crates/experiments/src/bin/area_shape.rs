@@ -1,0 +1,110 @@
+//! §VI-A: the decisive role of sensing *area* under uniform deployment.
+//!
+//! Deploys homogeneous networks whose cameras share the same sensing area
+//! `s = φ r²/2` but have very different shapes (narrow-and-long vs
+//! wide-and-short), and shows their coverage statistics are statistically
+//! indistinguishable: "cameras with different r and φ but own the same s
+//! will perform all the same in the network".
+//!
+//! Methodology note: dense-grid points within one deployment are
+//! spatially correlated (correlation length ≈ sensing radius), so a
+//! pooled per-point proportion test would use the wrong variance. The
+//! comparison therefore treats whole deployments as the sampling unit: a
+//! Welch z-test on per-trial covered fractions.
+
+use fullview_experiments::{banner, standard_theta, Args};
+use fullview_core::evaluate_dense_grid;
+use fullview_deploy::deploy_uniform;
+use fullview_geom::{Angle, Torus};
+use fullview_model::{NetworkProfile, SensorSpec};
+use fullview_sim::{run_trials_map, standard_normal_cdf, MeanEstimate, RunConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 10 } else { 60 });
+    let s: f64 = args.get("area", 0.012);
+    let theta = standard_theta();
+
+    banner(
+        "area_shape",
+        "equal sensing area, different shape → identical performance",
+        "§VI-A",
+    );
+    println!("n = {n}, θ = π/4, common sensing area s = {s}, {trials} trials per shape\n");
+
+    let shapes: &[(&str, f64)] = &[
+        ("very wide (φ=π)", PI),
+        ("wide (φ=π/2)", PI / 2.0),
+        ("medium (φ=π/4)", PI / 4.0),
+        ("narrow (φ=π/8)", PI / 8.0),
+    ];
+
+    // Per-trial full-view and necessary fractions, per shape.
+    let mut results: Vec<(String, f64, MeanEstimate, MeanEstimate)> = Vec::new();
+    for (label, phi) in shapes {
+        let spec = SensorSpec::with_sensing_area(s, *phi).expect("valid spec");
+        let profile = NetworkProfile::homogeneous(spec);
+        let per_trial = run_trials_map(
+            RunConfig::new(trials).with_seed(0xa5ea),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)
+                    .expect("spec fits torus");
+                let r = evaluate_dense_grid(&net, theta, Angle::ZERO);
+                (r.full_view_fraction(), r.necessary_fraction())
+            },
+        );
+        let fv: MeanEstimate = per_trial.iter().map(|(f, _)| *f).collect();
+        let nec: MeanEstimate = per_trial.iter().map(|(_, n)| *n).collect();
+        results.push(((*label).to_string(), spec.radius(), fv, nec));
+    }
+
+    let mut table = Table::new([
+        "shape",
+        "radius",
+        "full-view frac",
+        "necessary frac",
+        "z vs baseline",
+        "p-value",
+        "distinct at 1%?",
+    ]);
+    let baseline = results[0].2;
+    for (label, radius, fv, nec) in &results {
+        // Welch z on trial means: valid because deployments are i.i.d.
+        let se = (fv.std_error().powi(2) + baseline.std_error().powi(2)).sqrt();
+        let z = if se == 0.0 {
+            0.0
+        } else {
+            (fv.mean() - baseline.mean()) / se
+        };
+        let p = 2.0 * (1.0 - standard_normal_cdf(z.abs()));
+        table.push_row([
+            label.clone(),
+            format!("{radius:.4}"),
+            format!("{:.4} ±{:.4}", fv.mean(), fv.std_error()),
+            format!("{:.4}", nec.mean()),
+            format!("{z:.2}"),
+            format!("{p:.3}"),
+            if p < 0.01 { "YES (!)" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("reading (§VI-A):");
+    println!(
+        "  all shapes share s = φr²/2 = {s}; radii differ by ~{:.1}x end to end,",
+        results.last().expect("nonempty").1 / results[0].1
+    );
+    println!("  yet per-deployment coverage fractions agree within Monte-Carlo noise —");
+    println!("  the sensing area, not the shape, determines sensing ability under");
+    println!("  uniform deployment (the per-camera coverage probability of any point");
+    println!("  is exactly its sensing area, and viewed directions are uniform by");
+    println!("  symmetry for every shape).");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

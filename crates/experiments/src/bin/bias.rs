@@ -1,0 +1,102 @@
+//! Orientation-bias sensitivity: how load-bearing is the paper's
+//! uniform-orientation assumption?
+//!
+//! §II-A assumes deployed orientations are uniform. Here orientations
+//! follow a von Mises distribution of concentration `κ` (κ = 0 is the
+//! paper's model) around two realistic bias fields — "everything faces
+//! the same way" (a slope) and "everything faces the watering hole"
+//! (a focal point) — at a sensing budget that comfortably covers the
+//! region under the uniform assumption. Full-view coverage needs viewed
+//! directions spread *around* each point, so constant bias collapses it
+//! quickly; inward bias preserves diversity near the focus but kills it
+//! far away.
+
+use fullview_core::{csa_sufficient, evaluate_dense_grid, safe_fraction};
+use fullview_deploy::{constant_field, deploy_uniform_biased, inward_field};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
+use fullview_geom::{Angle, Point, Torus};
+use fullview_sim::{run_trials_map, MeanEstimate, RunConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 5 } else { 15 });
+    let theta = standard_theta();
+    let s_c = 1.2 * csa_sufficient(n, theta);
+    let profile = heterogeneous_profile(s_c);
+
+    banner(
+        "bias",
+        "full-view coverage under von-Mises-biased orientations",
+        "§II-A assumption sensitivity (extension)",
+    );
+    println!(
+        "n = {n}, θ = π/4, s_c = 1.2·s_Sc (ample under the uniform assumption),\n\
+         {trials} trials per cell; κ = 0 is the paper's model\n"
+    );
+
+    let mut table = Table::new([
+        "kappa",
+        "constant-bias full-view frac",
+        "constant-bias safe frac",
+        "inward-bias full-view frac",
+        "inward-bias safe frac",
+    ]);
+    let kappas: &[f64] = if quick { &[0.0, 4.0, 16.0] } else { &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0] };
+    for &kappa in kappas {
+        let per_trial = run_trials_map(
+            RunConfig::new(trials).with_seed(0xb1a5 ^ (kappa * 10.0) as u64),
+            |seed| {
+                let torus = Torus::unit();
+                let slope = constant_field(Angle::new(0.9));
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net_c =
+                    deploy_uniform_biased(torus, &profile, n, &slope, kappa, &mut rng)
+                        .expect("profile fits");
+                let hole = inward_field(torus, Point::new(0.5, 0.5));
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x7);
+                let net_i =
+                    deploy_uniform_biased(torus, &profile, n, &hole, kappa, &mut rng)
+                        .expect("profile fits");
+                let fv_c = evaluate_dense_grid(&net_c, theta, Angle::ZERO).full_view_fraction();
+                let fv_i = evaluate_dense_grid(&net_i, theta, Angle::ZERO).full_view_fraction();
+                // Mean safe-direction fraction over a probe set: the soft score.
+                let mut safe_c = MeanEstimate::new();
+                let mut safe_i = MeanEstimate::new();
+                for k in 0..49 {
+                    let p = Point::new(
+                        (k as f64 * 0.618_033_98 + 0.13) % 1.0,
+                        (k as f64 * 0.414_213_56 + 0.77) % 1.0,
+                    );
+                    safe_c.push(safe_fraction(&net_c, p, theta));
+                    safe_i.push(safe_fraction(&net_i, p, theta));
+                }
+                (fv_c, safe_c.mean(), fv_i, safe_i.mean())
+            },
+        );
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+            per_trial.iter().map(f).sum::<f64>() / per_trial.len() as f64
+        };
+        table.push_row([
+            format!("{kappa:.1}"),
+            format!("{:.4}", col(|t| t.0)),
+            format!("{:.4}", col(|t| t.1)),
+            format!("{:.4}", col(|t| t.2)),
+            format!("{:.4}", col(|t| t.3)),
+        ]);
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  κ = 0 reproduces the paper's near-certain coverage at this budget. As κ");
+    println!("  grows, the *same* sensing area collapses: under constant bias every point");
+    println!("  loses the view directions behind the cameras (safe fraction → ~2θ·density");
+    println!("  share); inward bias keeps the focal point covered but abandons the rest.");
+    println!("  Orientation diversity is as load-bearing as sensing area — a deployment");
+    println!("  assumption worth verifying before trusting the CSAs in the field.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

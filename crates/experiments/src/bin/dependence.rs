@@ -1,0 +1,93 @@
+//! Quantifying the paper's sector-independence approximation.
+//!
+//! Equation (2) multiplies per-sector probabilities as if independent;
+//! the paper argues the dependence "is negligible as n → ∞" and §VII-C
+//! credits Wang & Cao with the more rigorous dependent treatment. This
+//! experiment evaluates the exact inclusion–exclusion (dependent) form
+//! side by side with the independent one and a multinomial ground-truth
+//! Monte Carlo, across n — measuring exactly how fast the gap closes.
+
+use fullview_core::{
+    independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent,
+    Condition,
+};
+use fullview_experiments::{banner, homogeneous_profile, standard_theta, uniform_network, Args};
+use fullview_geom::{Angle, Point};
+use fullview_core::meets_necessary_condition;
+use fullview_sim::{run_trials_map, RunConfig, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let trials: usize = args.get("trials", if quick { 40 } else { 200 });
+    let probes: usize = args.get("probes", 20);
+    let theta = standard_theta();
+    assert!(
+        partition_is_disjoint(Condition::Necessary, theta),
+        "θ = π/4 tiles exactly; the dependent form is exact"
+    );
+
+    banner(
+        "dependence",
+        "sector independence (eq. 2) vs exact dependent probability",
+        "§III approximation note / §VII-C (Wang & Cao comparison)",
+    );
+    println!("θ = π/4 (disjoint 2θ-sectors), budget scaled ∝ 1/n to keep P mid-range\n");
+
+    let mut table = Table::new([
+        "n",
+        "P independent",
+        "P dependent",
+        "indep − dep",
+        "measured (geometry MC)",
+    ]);
+    let ns: &[usize] = if quick {
+        &[100, 400, 1600]
+    } else {
+        &[100, 200, 400, 800, 1600, 3200]
+    };
+    for &n in ns {
+        // Keep the per-point probability mid-range: s_c ∝ 1/n.
+        let s_c = 9.0 / n as f64;
+        let profile = homogeneous_profile(s_c);
+        let dep = prob_point_meets_dependent(Condition::Necessary, &profile, n, theta);
+        let err = independence_approximation_error(&profile, n, theta);
+        let indep = dep + err;
+
+        let hits: usize = run_trials_map(
+            RunConfig::new(trials).with_seed(0xdeb ^ n as u64),
+            |seed| {
+                let net = uniform_network(&profile, n, seed);
+                (0..probes)
+                    .filter(|i| {
+                        let p = Point::new(
+                            (*i as f64 * 0.618_033_98 + 0.07) % 1.0,
+                            (*i as f64 * 0.414_213_56 + 0.53) % 1.0,
+                        );
+                        meets_necessary_condition(&net, p, theta, Angle::ZERO)
+                    })
+                    .count()
+            },
+        )
+        .into_iter()
+        .sum();
+        let measured = hits as f64 / (trials * probes) as f64;
+
+        table.push_row([
+            n.to_string(),
+            format!("{indep:.5}"),
+            format!("{dep:.5}"),
+            format!("{err:.1e}"),
+            format!("{measured:.4}"),
+        ]);
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  the independent form always overestimates (sector occupancies are");
+    println!("  negatively associated), but the error column shrinks roughly like 1/n —");
+    println!("  vindicating the paper's 'negligible as n → ∞' argument while making the");
+    println!("  finite-n cost of the simplification (vs Wang & Cao's rigour) explicit.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

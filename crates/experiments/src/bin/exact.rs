@@ -1,0 +1,98 @@
+//! Beyond the paper: the exact per-point full-view probability
+//! (Stevens' circle-covering formula mixed over the covering-count
+//! distribution) against the paper's necessary/sufficient bracket and
+//! Monte Carlo.
+//!
+//! The paper (§VI-C) can only say the truth lies between
+//! `1 − P(F_{S,P})` and `1 − P(F_{N,P})`; the exact value shows *where*
+//! in the band it sits, and Monte Carlo confirms the formula.
+
+use fullview_core::{
+    is_full_view_covered, prob_point_fails_necessary, prob_point_fails_sufficient,
+    prob_point_full_view_uniform,
+};
+use fullview_experiments::{banner, standard_theta, uniform_network, Args};
+use fullview_model::{NetworkProfile, SensorSpec};
+use fullview_geom::Point;
+use fullview_sim::{linspace, run_trials_map, RunConfig, Table};
+use std::f64::consts::PI;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 30 } else { 150 });
+    let probes: usize = args.get("probes", 20);
+    let theta = standard_theta();
+
+    banner(
+        "exact",
+        "exact per-point full-view probability inside the §VI-C bracket",
+        "extension of §VI-C (Stevens 1939 mixture)",
+    );
+    println!(
+        "homogeneous φ = π/2 cameras, n = {n}, θ = π/4, {trials} deployments × {probes} probes\n"
+    );
+
+    let mut table = Table::new([
+        "s (area)",
+        "lower 1-P(F_S)",
+        "exact P(fv)",
+        "upper 1-P(F_N)",
+        "measured",
+        "band position",
+    ]);
+    for s in linspace(0.004, 0.04, if quick { 5 } else { 9 }) {
+        let profile = NetworkProfile::homogeneous(
+            SensorSpec::with_sensing_area(s, PI / 2.0).expect("valid"),
+        );
+        let lower = 1.0 - prob_point_fails_sufficient(&profile, n, theta);
+        let upper = 1.0 - prob_point_fails_necessary(&profile, n, theta);
+        let exact = prob_point_full_view_uniform(&profile, n, theta);
+
+        let hits: usize = run_trials_map(
+            RunConfig::new(trials).with_seed(0xe4ac ^ (s * 10_000.0) as u64),
+            |seed| {
+                let net = uniform_network(&profile, n, seed);
+                (0..probes)
+                    .filter(|i| {
+                        let p = Point::new(
+                            (*i as f64 * 0.618_033_98 + 0.11) % 1.0,
+                            (*i as f64 * 0.414_213_56 + 0.29) % 1.0,
+                        );
+                        is_full_view_covered(&net, p, theta)
+                    })
+                    .count()
+            },
+        )
+        .into_iter()
+        .sum();
+        let measured = hits as f64 / (trials * probes) as f64;
+        let band = if upper > lower + 1e-12 {
+            (exact - lower) / (upper - lower)
+        } else {
+            0.5
+        };
+        table.push_row([
+            format!("{s:.4}"),
+            format!("{lower:.4}"),
+            format!("{exact:.4}"),
+            format!("{upper:.4}"),
+            format!("{measured:.4}"),
+            format!("{band:.2}"),
+        ]);
+        assert!(
+            lower <= exact + 1e-9 && exact <= upper + 1e-9,
+            "bracket violated at s={s}"
+        );
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  the exact probability always sits inside the paper's bracket (asserted),");
+    println!("  and Monte Carlo tracks the exact column, not the bounds;");
+    println!("  'band position' ∈ [0,1] shows the truth living in the upper part of the");
+    println!("  band — the sufficient condition is conservative, as Fig. 9 suggests.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

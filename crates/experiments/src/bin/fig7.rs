@@ -1,0 +1,71 @@
+//! Figure 7: critical sensing areas vs effective angle `θ`.
+//!
+//! Reproduces the paper's Figure 7 — `s_{N,c}` and `s_{S,c}` for
+//! `θ ∈ [0.1π, 0.5π]` at `n = 1000` — and verifies the two claims the
+//! paper reads off the plot: the decrease is approximately inverse
+//! proportional in `θ` (§VI-B), and the sufficient curve sits roughly a
+//! factor 2 above the necessary one (§VI-C).
+
+use fullview_core::{csa_necessary, csa_sufficient, EffectiveAngle};
+use fullview_experiments::{banner, Args};
+use fullview_sim::asciiplot::{render, PlotConfig, Series};
+use fullview_sim::{fmt_g, linspace, Table};
+use std::f64::consts::PI;
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get("n", 1000);
+    let samples: usize = args.get("samples", 17);
+    banner("fig7", "critical sensing area vs effective angle", "Figure 7");
+    println!("parameters: n = {n}, θ ∈ [0.1π, 0.5π], {samples} samples\n");
+
+    let mut table = Table::new(["theta/pi", "s_Nc(n)", "s_Sc(n)", "ratio S/N", "theta*s_Nc"]);
+    let mut nec = Vec::new();
+    let mut suf = Vec::new();
+    for f in linspace(0.1, 0.5, samples) {
+        let theta = EffectiveAngle::new(f * PI).expect("θ in (0, π]");
+        let sn = csa_necessary(n, theta);
+        let ss = csa_sufficient(n, theta);
+        table.push_row([
+            format!("{f:.3}"),
+            fmt_g(sn),
+            fmt_g(ss),
+            format!("{:.3}", ss / sn),
+            fmt_g(theta.radians() * sn),
+        ]);
+        nec.push((f, sn));
+        suf.push((f, ss));
+    }
+    println!("{table}");
+    println!(
+        "{}",
+        render(
+            &[
+                Series::new("necessary s_Nc", nec.clone()),
+                Series::new("sufficient s_Sc", suf.clone()),
+            ],
+            PlotConfig::default(),
+        )
+    );
+
+    // Shape checks the paper states in prose.
+    let first = &nec[0];
+    let last = nec.last().expect("nonempty sweep");
+    println!("shape checks:");
+    println!(
+        "  monotone decreasing in θ: {}",
+        nec.windows(2).all(|w| w[1].1 < w[0].1) && suf.windows(2).all(|w| w[1].1 <= w[0].1)
+    );
+    // Inverse proportionality: θ·s_c should stay roughly constant.
+    let prod_ratio = (last.0 * last.1) / (first.0 * first.1);
+    println!(
+        "  θ·s_Nc(0.5π) / θ·s_Nc(0.1π) = {prod_ratio:.3}  (≈ 1 would be exact inverse proportionality)"
+    );
+    let mean_ratio: f64 =
+        nec.iter().zip(&suf).map(|(a, b)| b.1 / a.1).sum::<f64>() / nec.len() as f64;
+    println!("  mean s_Sc/s_Nc = {mean_ratio:.3}  (paper: \"approximately two times\")");
+
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 8: critical sensing areas vs number of cameras `n`.
+//!
+//! Reproduces the paper's Figure 8 — `s_{N,c}(n)` and `s_{S,c}(n)` for
+//! `θ = π/4` over a log-spaced range of `n` — and verifies the anchors
+//! the paper reads off the plot (§VI-B): the sufficient-condition CSA is
+//! "about 0.5" at `n = 100`, and the decline flattens beyond `n ≈ 1000`.
+
+use fullview_core::{csa_necessary, csa_one_coverage, csa_sufficient};
+use fullview_experiments::{banner, standard_theta, Args};
+use fullview_sim::asciiplot::{render, PlotConfig, Series};
+use fullview_sim::{fmt_g, logspace_counts, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let n_min: usize = args.get("n-min", 100);
+    let n_max: usize = args.get("n-max", 100_000);
+    let samples: usize = args.get("samples", 16);
+    let theta = standard_theta();
+    banner("fig8", "critical sensing area vs number of cameras", "Figure 8");
+    println!("parameters: θ = π/4, n ∈ [{n_min}, {n_max}] (log-spaced)\n");
+
+    let mut table = Table::new(["n", "s_Nc(n)", "s_Sc(n)", "ratio S/N", "order (ln n+ln ln n)/n"]);
+    let mut nec = Vec::new();
+    let mut suf = Vec::new();
+    for n in logspace_counts(n_min, n_max, samples) {
+        let sn = csa_necessary(n, theta);
+        let ss = csa_sufficient(n, theta);
+        table.push_row([
+            n.to_string(),
+            fmt_g(sn),
+            fmt_g(ss),
+            format!("{:.3}", ss / sn),
+            fmt_g(csa_one_coverage(n)),
+        ]);
+        nec.push((n as f64, sn));
+        suf.push((n as f64, ss));
+    }
+    println!("{table}");
+    println!(
+        "{}",
+        render(
+            &[
+                Series::new("necessary s_Nc", nec.clone()),
+                Series::new("sufficient s_Sc", suf.clone()),
+            ],
+            PlotConfig {
+                log_x: true,
+                log_y: true,
+                ..PlotConfig::default()
+            },
+        )
+    );
+
+    println!("shape checks:");
+    let s100 = csa_sufficient(100, theta);
+    println!("  s_Sc(100) = {} (paper: \"about 0.5\", half the unit square)", fmt_g(s100));
+    println!(
+        "  monotone decreasing in n: {}",
+        nec.windows(2).all(|w| w[1].1 < w[0].1)
+    );
+    // "Decline slows after n exceeds 1000": compare decade drop factors.
+    let drop_1 = csa_sufficient(100, theta) - csa_sufficient(1000, theta);
+    let drop_2 = csa_sufficient(1000, theta) - csa_sufficient(10_000, theta);
+    println!(
+        "  absolute drop 100→1000: {}; 1000→10000: {} (slowing: {})",
+        fmt_g(drop_1),
+        fmt_g(drop_2),
+        drop_2 < drop_1 / 4.0
+    );
+
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,102 @@
+//! k-full-view coverage: the fault-tolerant extension.
+//!
+//! Measures how much extra sensing budget buys surviving camera
+//! failures: the fraction of the region that is k-full-view covered
+//! (every facing direction watched by ≥ k cameras within θ) as the
+//! budget sweeps upward, plus the Poisson analytic prediction for the
+//! k-necessary condition.
+
+use fullview_core::{
+    csa_necessary, prob_point_meets_necessary_k_poisson, view_multiplicity,
+};
+use fullview_experiments::{
+    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
+};
+use fullview_geom::UnitGrid;
+use fullview_geom::Torus;
+use fullview_sim::{run_trials_map, MeanEstimate, RunConfig, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 5 } else { 15 });
+    let theta = standard_theta();
+    let s_nc = csa_necessary(n, theta);
+
+    banner(
+        "kfull",
+        "k-full-view coverage vs sensing budget",
+        "fault-tolerance extension (§VII-B motivation applied to full-view)",
+    );
+    println!("n = {n}, θ = π/4, s_Nc = {s_nc:.5}, {trials} trials per cell\n");
+
+    let ks = [1usize, 2, 3];
+    let mut header = vec!["s_c/s_Nc".to_string()];
+    for k in ks {
+        header.push(format!("k={k} measured"));
+    }
+    for k in ks {
+        header.push(format!("k={k} Poisson theory"));
+    }
+    let mut table = Table::new(header);
+
+    // Per-point k-full-view fractions saturate well below the whole-grid
+    // CSAs, so the sweep is anchored at the *necessary* CSA and reaches
+    // below it, where the k = 1/2/3 curves separate.
+    let ratios: &[f64] = if quick { &[0.35, 1.0] } else { &[0.2, 0.35, 0.5, 0.75, 1.0, 1.5] };
+    for &ratio in ratios {
+        let s_c = ratio * s_nc;
+        let profile = heterogeneous_profile(s_c);
+        let fractions: Vec<MeanEstimate> = {
+            let per_trial = run_trials_map(
+                RunConfig::new(trials).with_seed(0x6f11 ^ (ratio * 100.0) as u64),
+                |seed| {
+                    let net = uniform_network(&profile, n, seed);
+                    let grid = UnitGrid::new(Torus::unit(), 24);
+                    let mut counts = [0usize; 3];
+                    for p in grid.iter() {
+                        let m = view_multiplicity(&net, p, theta);
+                        for (slot, &k) in counts.iter_mut().zip(&ks) {
+                            if m >= k {
+                                *slot += 1;
+                            }
+                        }
+                    }
+                    counts.map(|c| c as f64 / grid.len() as f64)
+                },
+            );
+            (0..3)
+                .map(|i| per_trial.iter().map(|row| row[i]).collect())
+                .collect()
+        };
+
+        let mut row = vec![format!("{ratio:.2}")];
+        for est in &fractions {
+            row.push(format!("{:.4}", est.mean()));
+        }
+        for &k in &ks {
+            // Poisson k-necessary is an upper-bound-flavoured analytic
+            // reference (necessary condition, independence approx).
+            let p = prob_point_meets_necessary_k_poisson(&profile, n as f64, theta, k);
+            row.push(format!("{p:.4}"));
+        }
+        table.push_row(row);
+        // Monotone in k.
+        for w in fractions.windows(2) {
+            assert!(
+                w[1].mean() <= w[0].mean() + 1e-9,
+                "k-coverage fraction must decrease in k"
+            );
+        }
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  k = 1 is plain full-view coverage; each additional unit of k costs a");
+    println!("  visible chunk of budget (compare columns at fixed ratio). The Poisson");
+    println!("  k-necessary theory tracks the measured k-full-view fractions from above,");
+    println!("  as the necessary condition must.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,132 @@
+//! §VII-C comparator: deterministic lattice deployment à la Wang & Cao.
+//!
+//! Searches for the loosest square and triangular lattice (with
+//! per-vertex orientation fans) whose full dense grid is full-view
+//! covered, using the exact checker — then compares the camera budget
+//! with what uniform random deployment needs per Theorem 2 (the smallest
+//! `n` whose sufficient CSA drops below the camera's sensing area).
+
+use fullview_core::{csa_sufficient, evaluate_grid, EffectiveAngle};
+use fullview_deploy::{LatticeDeployment, LatticeKind};
+use fullview_experiments::{banner, standard_theta, Args};
+use fullview_geom::{Angle, Torus, UnitGrid};
+use fullview_model::SensorSpec;
+use fullview_sim::Table;
+use std::f64::consts::PI;
+
+/// Whether the lattice deployment at `spacing` full-view covers an
+/// evaluation grid.
+fn covers(kind: LatticeKind, spacing: f64, spec: &SensorSpec, theta: EffectiveAngle) -> bool {
+    let torus = Torus::unit();
+    let deployment = LatticeDeployment::covering_fan(kind, spacing, spec);
+    let net = match deployment.deploy(torus, spec) {
+        Ok(net) => net,
+        Err(_) => return false,
+    };
+    let grid = UnitGrid::new(torus, 40);
+    evaluate_grid(&net, theta, &grid, Angle::ZERO).all_full_view()
+}
+
+/// Bisects for the critical spacing: largest spacing that still covers.
+fn critical_spacing(kind: LatticeKind, spec: &SensorSpec, theta: EffectiveAngle) -> Option<f64> {
+    let mut lo = 0.01; // assumed covering
+    let mut hi = spec.radius(); // assumed not covering at full radius... verify
+    if !covers(kind, lo, spec, theta) {
+        return None;
+    }
+    if covers(kind, hi, spec, theta) {
+        return Some(hi);
+    }
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        if covers(kind, mid, spec, theta) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let theta = standard_theta();
+    let r: f64 = args.get("radius", 0.12);
+    let phi: f64 = args.get("aov", PI / 2.0);
+    let spec = SensorSpec::new(r, phi).expect("valid spec");
+
+    banner(
+        "lattice",
+        "deterministic lattice deployment vs random deployment budget",
+        "§VII-C (Wang & Cao [4] comparator)",
+    );
+    println!(
+        "camera: r = {r}, φ = {phi:.4}, s = {:.5}; θ = π/4; fan = {} cameras/vertex\n",
+        spec.sensing_area(),
+        LatticeDeployment::covering_fan(LatticeKind::Square, 0.1, &spec).cameras_per_vertex
+    );
+
+    let mut table = Table::new([
+        "deployment",
+        "critical spacing",
+        "vertices",
+        "cameras used",
+    ]);
+    let mut lattice_budget = None;
+    for (label, kind) in [
+        ("square lattice", LatticeKind::Square),
+        ("triangular lattice", LatticeKind::Triangular),
+    ] {
+        match critical_spacing(kind, &spec, theta) {
+            Some(spacing) => {
+                let d = LatticeDeployment::covering_fan(kind, spacing, &spec);
+                let net = d
+                    .deploy(Torus::unit(), &spec)
+                    .expect("critical spacing deploys");
+                let vertices = net.len() / d.cameras_per_vertex;
+                lattice_budget =
+                    Some(lattice_budget.map_or(net.len(), |b: usize| b.min(net.len())));
+                table.push_row([
+                    label.to_string(),
+                    format!("{spacing:.4}"),
+                    vertices.to_string(),
+                    net.len().to_string(),
+                ]);
+            }
+            None => table.push_row([
+                label.to_string(),
+                "none found".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+    }
+    println!("{table}");
+
+    // Random-deployment budget: smallest n with s ≥ s_Sc(n) (Theorem 2
+    // guarantee), by scan over a doubling-then-linear search.
+    let s = spec.sensing_area();
+    let mut n = 8usize;
+    while n < 100_000_000 && csa_sufficient(n.max(3), theta) > s {
+        n *= 2;
+    }
+    let mut lo = n / 2;
+    while lo < n {
+        let mid = (lo + n) / 2;
+        if csa_sufficient(mid.max(3), theta) > s {
+            lo = mid + 1;
+        } else {
+            n = mid;
+        }
+    }
+    println!("random uniform deployment needs n ≈ {n} for the Theorem-2 guarantee");
+    if let Some(budget) = lattice_budget {
+        println!(
+            "deterministic lattice achieves full-view coverage with {budget} cameras — {:.1}x fewer",
+            n as f64 / budget as f64
+        );
+        println!("\nreading: careful placement beats random deployment by a large constant");
+        println!("factor (the paper's motivation for studying the random case is that");
+        println!("careful placement is often impossible — hostile or inaccessible areas).");
+    }
+}

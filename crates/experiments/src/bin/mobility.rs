@@ -1,0 +1,106 @@
+//! Mobility extension: moving cameras trade instantaneous guarantees
+//! for time-aggregated coverage.
+//!
+//! The classic observation from the mobile-coverage literature the
+//! paper's intro cites (\[10\]): a fleet too sparse for static coverage
+//! still covers everything *over time* once it moves. Here a fleet
+//! provisioned below the static full-view threshold drifts and pans; we
+//! sweep the speed and measure, over a fixed window, the fraction of
+//! time a typical point is full-view covered and the fraction of points
+//! that are covered at least once (eventually).
+
+use fullview_core::{
+    csa_necessary, eventually_full_view, fraction_of_time_full_view, EffectiveAngle,
+};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
+use fullview_geom::{Point, Torus};
+use fullview_sim::{run_trials_map, MeanEstimate, RunConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 600);
+    let trials: usize = args.get("trials", if quick { 4 } else { 12 });
+    let window: f64 = args.get("window", 5.0);
+    let steps: usize = args.get("steps", 10);
+    let theta: EffectiveAngle = standard_theta();
+    // Provision below the static necessary CSA: static coverage must fail
+    // somewhere, so any "eventually" gain is attributable to motion.
+    let s_c = 0.3 * csa_necessary(n, theta);
+    let profile = heterogeneous_profile(s_c);
+
+    banner(
+        "mobility",
+        "time-aggregated full-view coverage of a moving fleet",
+        "mobility extension (intro refs [10][18])",
+    );
+    println!(
+        "n = {n}, θ = π/4, s_c = 0.3·s_Nc (statically insufficient), window {window} \
+         ({steps} snapshots), pan rate up to π/2 per unit time, {trials} trials\n"
+    );
+
+    let mut table = Table::new([
+        "max speed",
+        "mean time-covered fraction",
+        "eventually-covered fraction",
+    ]);
+    let speeds: &[f64] = if quick {
+        &[0.0, 0.1, 0.3]
+    } else {
+        &[0.0, 0.02, 0.05, 0.1, 0.2, 0.3]
+    };
+    for &speed in speeds {
+        let per_trial = run_trials_map(
+            RunConfig::new(trials).with_seed(0x30b ^ (speed * 1000.0) as u64),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Pan only when moving, so speed 0 is the paper's truly
+                // static model.
+                let pan = if speed > 0.0 { std::f64::consts::PI / 2.0 } else { 0.0 };
+                let mobile = fullview_deploy::deploy_mobile(
+                    Torus::unit(),
+                    &profile,
+                    n,
+                    speed,
+                    pan,
+                    &mut rng,
+                )
+                .expect("profile fits");
+                let snapshots = mobile.snapshots(window, steps);
+                let mut time_frac = MeanEstimate::new();
+                let mut eventually = 0usize;
+                let probes = 64usize;
+                for i in 0..probes {
+                    let p = Point::new(
+                        (i as f64 * 0.618_033_98 + 0.09) % 1.0,
+                        (i as f64 * 0.414_213_56 + 0.37) % 1.0,
+                    );
+                    time_frac.push(fraction_of_time_full_view(&snapshots, p, theta));
+                    if eventually_full_view(&snapshots, p, theta) {
+                        eventually += 1;
+                    }
+                }
+                (time_frac.mean(), eventually as f64 / probes as f64)
+            },
+        );
+        let tf: MeanEstimate = per_trial.iter().map(|(t, _)| *t).collect();
+        let ev: MeanEstimate = per_trial.iter().map(|(_, e)| *e).collect();
+        table.push_row([
+            format!("{speed:.2}"),
+            format!("{:.4}", tf.mean()),
+            format!("{:.4}", ev.mean()),
+        ]);
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  speed 0 is the paper's static model: the time-fraction equals the static");
+    println!("  per-point coverage and 'eventually' barely exceeds it. As speed grows the");
+    println!("  instantaneous fraction stays flat (motion does not add sensing area) but");
+    println!("  the eventually-covered fraction climbs towards 1: mobility converts a");
+    println!("  static coverage deficit into a detection-delay cost.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

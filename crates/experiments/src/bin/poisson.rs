@@ -1,0 +1,125 @@
+//! Theorems 3 & 4: Poisson per-point probabilities vs Monte Carlo.
+//!
+//! For a heterogeneous mix under 2-D Poisson deployment, compares the
+//! analytic `P_N` / `P_S` (both the paper's truncated series and the
+//! closed form) with the Monte-Carlo frequency of probe points meeting
+//! the necessary / sufficient conditions, across a density sweep.
+
+use fullview_core::{
+    meets_necessary_condition, meets_sufficient_condition,
+    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson, q_closed_form,
+    q_series, Condition,
+};
+use fullview_deploy::deploy_poisson;
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
+use fullview_geom::{Angle, Point, Torus};
+use fullview_sim::{run_trials_map, RunConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let trials: usize = args.get("trials", if quick { 40 } else { 200 });
+    let probes: usize = args.get("probes", 25);
+    let theta = standard_theta();
+    let profile = heterogeneous_profile(0.01);
+
+    banner(
+        "poisson",
+        "P_N and P_S under Poisson deployment: theory vs Monte Carlo",
+        "Theorems 3 & 4 (§V)",
+    );
+    println!(
+        "heterogeneous mix (s_c = 0.01), θ = π/4, {trials} deployments × {probes} probe points\n"
+    );
+
+    let densities: &[f64] = if quick {
+        &[200.0, 600.0, 1800.0]
+    } else {
+        &[100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0]
+    };
+
+    let mut table = Table::new([
+        "density",
+        "P_N theory",
+        "P_N measured",
+        "P_S theory",
+        "P_S measured",
+        "series-closed gap",
+    ]);
+
+    for &density in densities {
+        let pn = prob_point_meets_necessary_poisson(&profile, density, theta);
+        let ps = prob_point_meets_sufficient_poisson(&profile, density, theta);
+
+        // The paper's truncated series vs the closed form, worst group.
+        let mut series_gap = 0.0f64;
+        for g in profile.groups() {
+            for cond in [Condition::Necessary, Condition::Sufficient] {
+                let closed = q_closed_form(
+                    cond,
+                    theta,
+                    g.fraction() * density,
+                    g.spec().radius(),
+                    g.spec().angle_of_view(),
+                );
+                let series = q_series(
+                    cond,
+                    theta,
+                    g.fraction() * density,
+                    g.spec().radius(),
+                    g.spec().angle_of_view(),
+                    2000,
+                );
+                series_gap = series_gap.max((closed - series).abs());
+            }
+        }
+
+        let counts = run_trials_map(
+            RunConfig::new(trials).with_seed(0x9015 ^ density as u64),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = deploy_poisson(Torus::unit(), &profile, density, &mut rng)
+                    .expect("profile fits torus");
+                let mut nec = 0usize;
+                let mut suf = 0usize;
+                for i in 0..probes {
+                    let p = Point::new(
+                        (i as f64 * 0.618_033_98 + 0.1) % 1.0,
+                        (i as f64 * 0.414_213_56 + 0.2) % 1.0,
+                    );
+                    if meets_necessary_condition(&net, p, theta, Angle::ZERO) {
+                        nec += 1;
+                    }
+                    if meets_sufficient_condition(&net, p, theta, Angle::ZERO) {
+                        suf += 1;
+                    }
+                }
+                (nec, suf)
+            },
+        );
+        let total = (trials * probes) as f64;
+        let measured_n = counts.iter().map(|(n, _)| n).sum::<usize>() as f64 / total;
+        let measured_s = counts.iter().map(|(_, s)| s).sum::<usize>() as f64 / total;
+
+        table.push_row([
+            format!("{density:.0}"),
+            format!("{pn:.4}"),
+            format!("{measured_n:.4}"),
+            format!("{ps:.4}"),
+            format!("{measured_s:.4}"),
+            format!("{series_gap:.2e}"),
+        ]);
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  measured frequencies should track the theory columns within Monte-Carlo noise;");
+    println!("  P_N ≥ P_S at every density; both → 1 as density grows;");
+    println!("  the truncated series of Theorems 3–4 agrees with the closed form");
+    println!("  (reproduction note: the series collapses exactly to 1 − exp(−(θ/π)·n_y·s_y),");
+    println!("   so sensing area stays decisive under Poisson deployment too — see EXPERIMENTS.md).");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,81 @@
+//! §VIII future work: full-view coverage in a probabilistic sensing
+//! model.
+//!
+//! Layers exponential detection decay over the binary sector geometry and
+//! sweeps the required confidence `γ`: as `γ` rises, distant cameras stop
+//! counting and the effective full-view coverage erodes — smoothly
+//! interpolating between the binary model (`γ → 0`) and an inner-zone-only
+//! model (`γ → 1`).
+
+use fullview_core::{
+    csa_sufficient, is_full_view_covered_with_confidence, ProbabilisticModel,
+};
+use fullview_geom::UnitGrid;
+use fullview_experiments::{
+    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
+};
+use fullview_sim::{linspace, run_trials_map, MeanEstimate, RunConfig, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 4 } else { 12 });
+    let theta = standard_theta();
+    let s_c = 1.2 * csa_sufficient(n, theta);
+    let profile = heterogeneous_profile(s_c);
+
+    banner(
+        "probabilistic",
+        "full-view coverage with detection confidence γ",
+        "§VIII future work (probabilistic sensing models)",
+    );
+    println!(
+        "n = {n}, θ = π/4, s_c = 1.2·s_Sc, decay model: certain within 30% of range,\n\
+         exp decay beyond; {trials} trials per (γ, decay) cell\n"
+    );
+
+    let decays = [2.0, 5.0, 10.0];
+    let mut header = vec!["gamma".to_string()];
+    header.extend(decays.iter().map(|d| format!("decay={d}")));
+    let mut table = Table::new(header);
+
+    for gamma in linspace(0.0, 0.95, if quick { 5 } else { 9 }) {
+        let mut row = vec![format!("{gamma:.2}")];
+        for &decay in &decays {
+            let model = ProbabilisticModel::new(0.3, decay).expect("valid model");
+            let est: MeanEstimate = run_trials_map(
+                RunConfig::new(trials).with_seed(0x9b0b ^ (gamma * 100.0) as u64),
+                |seed| {
+                    let net = uniform_network(&profile, n, seed);
+                    // Sample a sub-grid (the full dense grid × these sweeps
+                    // would be needlessly slow; 30×30 is statistically ample).
+                    let grid = UnitGrid::new(*net.torus(), 30);
+                    let mut hit = 0usize;
+                    let mut total = 0usize;
+                    for p in grid.iter() {
+                        total += 1;
+                        if is_full_view_covered_with_confidence(&net, p, theta, &model, gamma)
+                            .expect("gamma in range")
+                        {
+                            hit += 1;
+                        }
+                    }
+                    hit as f64 / total as f64
+                },
+            )
+            .into_iter()
+            .collect();
+            row.push(format!("{:.4}", est.mean()));
+        }
+        table.push_row(row);
+    }
+    println!("{table}");
+    println!("reading: γ = 0 reproduces the binary-model coverage (≈ 1 at this budget);");
+    println!("higher confidence demands and faster decay shrink the usable range and");
+    println!("erode full-view coverage — quantifying the gap the paper's future-work");
+    println!("note (§VIII) points at: binary-model CSAs underestimate probabilistic needs.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

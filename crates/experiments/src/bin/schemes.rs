@@ -1,0 +1,81 @@
+//! Deployment-scheme comparison: uniform vs Poisson vs stratified.
+//!
+//! The paper analyses uniform and Poisson deployment (§II-A); both
+//! exhibit clumping, which is exactly what makes whole-region full-view
+//! coverage expensive (one sparse pocket fails the grid). Stratified
+//! (jittered-grid) deployment — realistic when drops can be aimed at
+//! cells — removes the clumping. This experiment measures, at equal
+//! weighted sensing area, how much earlier the whole-grid full-view
+//! event saturates under stratification, with the Theorem-1/2 thresholds
+//! (derived for unstratified deployment) as the reference frame.
+
+use fullview_core::{csa_necessary, csa_sufficient, evaluate_dense_grid};
+use fullview_deploy::{deploy_poisson, deploy_stratified, deploy_uniform};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
+use fullview_geom::{Angle, Torus};
+use fullview_sim::{linspace, run_trials_map, RunConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get("n", 1000);
+    let trials: usize = args.get("trials", if quick { 8 } else { 25 });
+    let theta = standard_theta();
+    let s_nc = csa_necessary(n, theta);
+    let s_sc = csa_sufficient(n, theta);
+
+    banner(
+        "schemes",
+        "whole-grid full-view coverage: uniform vs Poisson vs stratified",
+        "§II-A deployment schemes (+ stratified extension)",
+    );
+    println!(
+        "n = {n}, θ = π/4, s_Nc = {s_nc:.5}, s_Sc = {s_sc:.5}, {trials} trials/cell\n\
+         cells show P(every dense-grid point full-view covered)\n"
+    );
+
+    let mut table = Table::new(["s_c/s_Nc", "uniform", "poisson", "stratified"]);
+    let ratios = linspace(0.6, 1.6, if quick { 4 } else { 9 });
+    for &ratio in &ratios {
+        let profile = heterogeneous_profile(ratio * s_nc);
+        let outcomes = run_trials_map(
+            RunConfig::new(trials).with_seed(0x5c4e ^ (ratio * 100.0) as u64),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let u = deploy_uniform(Torus::unit(), &profile, n, &mut rng)
+                    .expect("profile fits");
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x1);
+                let p = deploy_poisson(Torus::unit(), &profile, n as f64, &mut rng)
+                    .expect("profile fits");
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x2);
+                let s = deploy_stratified(Torus::unit(), &profile, n, &mut rng)
+                    .expect("profile fits");
+                (
+                    evaluate_dense_grid(&u, theta, Angle::ZERO).all_full_view(),
+                    evaluate_dense_grid(&p, theta, Angle::ZERO).all_full_view(),
+                    evaluate_dense_grid(&s, theta, Angle::ZERO).all_full_view(),
+                )
+            },
+        );
+        let frac = |sel: fn(&(bool, bool, bool)) -> bool| {
+            outcomes.iter().filter(|o| sel(o)).count() as f64 / outcomes.len() as f64
+        };
+        table.push_row([
+            format!("{ratio:.2}"),
+            format!("{:.2}", frac(|o| o.0)),
+            format!("{:.2}", frac(|o| o.1)),
+            format!("{:.2}", frac(|o| o.2)),
+        ]);
+    }
+    println!("{table}");
+    println!("reading:");
+    println!("  uniform and Poisson transition together (Poisson is uniform with a random");
+    println!("  count), while the stratified column saturates at a smaller budget: cell-");
+    println!("  aimed drops avoid the sparse pockets that dominate the whole-grid failure");
+    println!("  probability. The paper's CSAs are exactly the unstratified thresholds.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

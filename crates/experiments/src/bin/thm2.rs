@@ -1,0 +1,77 @@
+//! Theorem 2 validation: the sufficient-condition transition at
+//! `s_c = s_{S,c}(n)` — and the full-view guarantee above it.
+//!
+//! Same Monte-Carlo design as `thm1`, but the event is `H_S` (every
+//! dense-grid point meets the §IV sufficient condition). Because the
+//! sufficient condition implies full-view coverage, the table also
+//! reports `P(grid fully full-view covered)`: above the threshold both
+//! probabilities must rise to 1 together, with full-view at least as
+//! large.
+
+use fullview_experiments::{
+    banner, heterogeneous_profile, standard_theta, uniform_grid_trial, Args,
+};
+use fullview_core::csa_sufficient;
+use fullview_sim::{run_trials_map, RunConfig, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let trials: usize = args.get("trials", if quick { 8 } else { 20 });
+    // n starts at 1000: s_Sc is ~2x s_Nc, so q = 2 at smaller n would
+    // demand radii beyond the torus half-side.
+    let ns: Vec<usize> = if quick {
+        vec![1000, 2000]
+    } else {
+        vec![1000, 2000, 4000]
+    };
+    let qs = [0.5, 0.8, 1.0, 1.25, 2.0];
+    let theta = standard_theta();
+
+    banner(
+        "thm2",
+        "sufficient-condition transition around s_Sc(n)",
+        "Theorem 2 (§IV)",
+    );
+    println!(
+        "cells show P(H_S) / P(full-view), θ = π/4, heterogeneous mix, \
+         {trials} trials per cell\n"
+    );
+
+    let mut header = vec!["q = s_c/s_Sc".to_string()];
+    header.extend(ns.iter().map(|n| format!("n={n}")));
+    let mut table = Table::new(header);
+
+    for q in qs {
+        let mut row = vec![format!("{q:.2}")];
+        for &n in &ns {
+            let s_c = q * csa_sufficient(n, theta);
+            let profile = heterogeneous_profile(s_c);
+            let outcomes = run_trials_map(
+                RunConfig::new(trials).with_seed(0x7432 ^ n as u64),
+                |seed| {
+                    let r = uniform_grid_trial(&profile, n, theta, seed);
+                    (r.all_sufficient(), r.all_full_view())
+                },
+            );
+            let p_hs =
+                outcomes.iter().filter(|(s, _)| *s).count() as f64 / outcomes.len() as f64;
+            let p_fv =
+                outcomes.iter().filter(|(_, f)| *f).count() as f64 / outcomes.len() as f64;
+            assert!(
+                p_fv >= p_hs - 1e-12,
+                "sufficient condition held without full-view coverage"
+            );
+            row.push(format!("{p_hs:.3}/{p_fv:.3}"));
+        }
+        table.push_row(row);
+    }
+    println!("{table}");
+    println!("expected shape (Theorem 2):");
+    println!("  q < 1 rows → P(H_S) falling with n; q > 1 rows → rising to 1");
+    println!("  full-view probability ≥ P(H_S) everywhere (sufficiency), and");
+    println!("  full-view already saturates at smaller q — the §VI-C slack.");
+    if args.flag("csv") {
+        println!("\nCSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,318 @@
+//! Circular arcs: contiguous ranges of directions.
+//!
+//! The paper's geometric conditions partition the circle around a point into
+//! sectors of angular width `2θ` (necessary condition, §III) or `θ`
+//! (sufficient condition, §IV); the set of *safe* facing directions around a
+//! point is a union of arcs of width `2θ` centred on viewed directions.
+//! [`Arc`] is the common currency for all of these.
+
+use crate::angle::{Angle, ANGLE_EPS};
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// A counter-clockwise circular arc: all directions reached by rotating
+/// counter-clockwise from [`start`](Arc::start) by up to
+/// [`width`](Arc::width) radians.
+///
+/// The width is clamped to `[0, 2π]`; a width of `2π` denotes the full
+/// circle. Arcs are closed: both endpoints are contained.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Angle, Arc};
+/// use std::f64::consts::PI;
+///
+/// // An arc crossing the 0/2π seam.
+/// let arc = Arc::new(Angle::new(1.75 * PI), 0.5 * PI);
+/// assert!(arc.contains(Angle::new(0.0)));
+/// assert!(arc.contains(Angle::new(1.9 * PI)));
+/// assert!(!arc.contains(Angle::new(PI)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    start: Angle,
+    width: f64,
+}
+
+impl Arc {
+    /// Creates an arc starting at `start` spanning `width` radians
+    /// counter-clockwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is negative, not finite, or greater than `2π`
+    /// (beyond tolerance).
+    #[must_use]
+    pub fn new(start: Angle, width: f64) -> Self {
+        assert!(
+            width.is_finite() && width >= 0.0,
+            "arc width must be finite and non-negative, got {width}"
+        );
+        assert!(
+            width <= TAU + ANGLE_EPS,
+            "arc width must not exceed 2π, got {width}"
+        );
+        Arc {
+            start,
+            width: width.min(TAU),
+        }
+    }
+
+    /// Creates the arc of all directions within `half_width` of `center`
+    /// (circular distance). This is the "safe arc" of the paper: the facing
+    /// directions protected by a camera viewed from direction `center`, with
+    /// effective angle `θ = half_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_width` is negative, not finite, or greater than `π`
+    /// (beyond tolerance).
+    #[must_use]
+    pub fn centered(center: Angle, half_width: f64) -> Self {
+        assert!(
+            half_width.is_finite() && half_width >= 0.0,
+            "half-width must be finite and non-negative, got {half_width}"
+        );
+        assert!(
+            half_width <= TAU / 2.0 + ANGLE_EPS,
+            "half-width must not exceed π, got {half_width}"
+        );
+        let half_width = half_width.min(TAU / 2.0);
+        Arc::new(center.rotate(-half_width), 2.0 * half_width)
+    }
+
+    /// The full circle.
+    #[must_use]
+    pub fn full_circle() -> Self {
+        Arc {
+            start: Angle::ZERO,
+            width: TAU,
+        }
+    }
+
+    /// The arc's starting direction.
+    #[must_use]
+    pub fn start(&self) -> Angle {
+        self.start
+    }
+
+    /// The arc's angular width in radians, in `[0, 2π]`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The arc's end direction (`start` rotated counter-clockwise by
+    /// `width`).
+    #[must_use]
+    pub fn end(&self) -> Angle {
+        self.start.rotate(self.width)
+    }
+
+    /// The direction at the middle of the arc (its angular bisector, in the
+    /// paper's terminology).
+    #[must_use]
+    pub fn bisector(&self) -> Angle {
+        self.start.rotate(self.width / 2.0)
+    }
+
+    /// Whether this arc is the whole circle (within tolerance).
+    #[must_use]
+    pub fn is_full_circle(&self) -> bool {
+        self.width >= TAU - ANGLE_EPS
+    }
+
+    /// Whether this arc has (numerically) zero width.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.width <= ANGLE_EPS
+    }
+
+    /// Whether `angle` lies on the closed arc (with [`ANGLE_EPS`] slack at
+    /// the endpoints).
+    #[must_use]
+    pub fn contains(&self, angle: Angle) -> bool {
+        if self.is_full_circle() {
+            return true;
+        }
+        self.start.ccw_delta(angle) <= self.width + ANGLE_EPS
+    }
+
+    /// Rotates the whole arc by `delta` radians counter-clockwise.
+    #[must_use]
+    pub fn rotate(&self, delta: f64) -> Self {
+        Arc {
+            start: self.start.rotate(delta),
+            width: self.width,
+        }
+    }
+
+    /// Splits the arc at the `0 / 2π` seam into linear segments over
+    /// `[0, 2π]`.
+    ///
+    /// Returns one segment if the arc does not cross the seam, two if it
+    /// does. Segments are `(lo, hi)` with `0 ≤ lo < hi ≤ 2π`. Degenerate
+    /// (zero-width) arcs yield a single zero-length segment.
+    #[must_use]
+    pub fn to_segments(&self) -> SegmentPair {
+        let s = self.start.radians();
+        let e = s + self.width;
+        if e <= TAU {
+            SegmentPair::one(s, e)
+        } else {
+            SegmentPair::two((s, TAU), (0.0, e - TAU))
+        }
+    }
+}
+
+impl fmt::Display for Arc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} +{:.6}rad)", self.start, self.width)
+    }
+}
+
+/// One or two linear segments over `[0, 2π]`, produced by
+/// [`Arc::to_segments`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentPair {
+    first: (f64, f64),
+    second: Option<(f64, f64)>,
+}
+
+impl SegmentPair {
+    fn one(lo: f64, hi: f64) -> Self {
+        SegmentPair {
+            first: (lo, hi),
+            second: None,
+        }
+    }
+
+    fn two(a: (f64, f64), b: (f64, f64)) -> Self {
+        SegmentPair {
+            first: a,
+            second: Some(b),
+        }
+    }
+
+    /// Iterates over the (one or two) segments.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        std::iter::once(self.first).chain(self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn contains_interior_and_endpoints() {
+        let arc = Arc::new(Angle::new(1.0), 1.0);
+        assert!(arc.contains(Angle::new(1.0)));
+        assert!(arc.contains(Angle::new(1.5)));
+        assert!(arc.contains(Angle::new(2.0)));
+        assert!(!arc.contains(Angle::new(0.99)));
+        assert!(!arc.contains(Angle::new(2.01)));
+    }
+
+    #[test]
+    fn contains_across_seam() {
+        let arc = Arc::new(Angle::new(TAU - 0.5), 1.0);
+        assert!(arc.contains(Angle::new(0.0)));
+        assert!(arc.contains(Angle::new(0.49)));
+        assert!(arc.contains(Angle::new(TAU - 0.49)));
+        assert!(!arc.contains(Angle::new(1.0)));
+        assert!(!arc.contains(Angle::new(PI)));
+    }
+
+    #[test]
+    fn full_circle_contains_everything() {
+        let arc = Arc::full_circle();
+        for i in 0..16 {
+            assert!(arc.contains(Angle::new(i as f64 * TAU / 16.0)));
+        }
+        assert!(arc.is_full_circle());
+    }
+
+    #[test]
+    fn degenerate_arc_contains_only_its_point() {
+        let arc = Arc::new(Angle::new(2.0), 0.0);
+        assert!(arc.is_degenerate());
+        assert!(arc.contains(Angle::new(2.0)));
+        assert!(!arc.contains(Angle::new(2.1)));
+    }
+
+    #[test]
+    fn centered_symmetric_about_center() {
+        let arc = Arc::centered(Angle::new(0.1), 0.5);
+        assert!(arc.contains(Angle::new(0.1)));
+        assert!(arc.contains(Angle::new(0.1 + 0.49)));
+        assert!(arc.contains(Angle::new(TAU + 0.1 - 0.49)));
+        assert!(!arc.contains(Angle::new(0.1 + 0.6)));
+        assert!(arc.bisector().approx_eq(Angle::new(0.1)));
+    }
+
+    #[test]
+    fn centered_with_half_width_pi_is_full_circle() {
+        let arc = Arc::centered(Angle::new(1.0), PI);
+        assert!(arc.is_full_circle());
+    }
+
+    #[test]
+    fn bisector_of_plain_arc() {
+        let arc = Arc::new(Angle::new(1.0), 2.0);
+        assert!(arc.bisector().approx_eq(Angle::new(2.0)));
+    }
+
+    #[test]
+    fn end_wraps() {
+        let arc = Arc::new(Angle::new(TAU - 1.0), 2.0);
+        assert!(arc.end().approx_eq(Angle::new(1.0)));
+    }
+
+    #[test]
+    fn segments_no_wrap() {
+        let arc = Arc::new(Angle::new(1.0), 2.0);
+        let segs: Vec<_> = arc.to_segments().iter().collect();
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].0 - 1.0).abs() < 1e-12 && (segs[0].1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_wrap() {
+        let arc = Arc::new(Angle::new(TAU - 1.0), 2.0);
+        let segs: Vec<_> = arc.to_segments().iter().collect();
+        assert_eq!(segs.len(), 2);
+        assert!((segs[0].1 - TAU).abs() < 1e-12);
+        assert!((segs[1].0).abs() < 1e-12 && (segs[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_total_width_preserved() {
+        for (start, width) in [(0.0, 1.0), (5.0, 3.0), (6.0, TAU - 0.01), (0.0, TAU)] {
+            let arc = Arc::new(Angle::new(start), width);
+            let total: f64 = arc.to_segments().iter().map(|(lo, hi)| hi - lo).sum();
+            assert!((total - arc.width()).abs() < 1e-12, "{arc}");
+        }
+    }
+
+    #[test]
+    fn rotate_preserves_width() {
+        let arc = Arc::new(Angle::new(1.0), 0.7).rotate(4.0);
+        assert!((arc.width() - 0.7).abs() < 1e-12);
+        assert!(arc.start().approx_eq(Angle::new(5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_width_panics() {
+        let _ = Arc::new(Angle::ZERO, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_width_panics() {
+        let _ = Arc::new(Angle::ZERO, TAU + 0.1);
+    }
+}

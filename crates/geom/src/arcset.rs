@@ -1,0 +1,570 @@
+//! Unions of circular arcs with exact set algebra.
+//!
+//! The set of *safe* facing directions around a point `P` (Definition 1 of
+//! the paper) is the union, over all cameras `S` covering `P`, of the arcs
+//! of width `2θ` centred on the viewed directions `P→S`. `P` is full-view
+//! covered exactly when that union is the whole circle. [`ArcSet`] maintains
+//! such a union in normalized form and answers coverage, measure, and gap
+//! queries.
+
+use crate::angle::{Angle, ANGLE_EPS};
+use crate::arc::Arc;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// A set of directions on the circle, stored as a sorted union of disjoint
+/// maximal arcs.
+///
+/// Invariants (maintained by every operation):
+///
+/// * internal segments live on the line `[0, 2π]`, sorted by start;
+/// * segments are pairwise disjoint and separated by more than
+///   [`ANGLE_EPS`]; adjacent/overlapping inserts are merged;
+/// * the full circle is represented canonically by a flag, so
+///   `covers_circle` is exact even after many lossy float merges.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Angle, Arc, ArcSet};
+/// use std::f64::consts::PI;
+///
+/// let mut safe = ArcSet::new();
+/// // Cameras viewed from the four cardinal directions, effective angle θ = π/4:
+/// for k in 0..4 {
+///     let viewed = Angle::new(k as f64 * PI / 2.0);
+///     safe.insert(Arc::centered(viewed, PI / 4.0));
+/// }
+/// assert!(safe.covers_circle()); // 4 arcs of width π/2 tile the circle
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArcSet {
+    /// Sorted disjoint segments `(lo, hi)` with `0 <= lo < hi <= 2π`.
+    segments: Vec<(f64, f64)>,
+    /// Canonical full-circle flag.
+    full: bool,
+}
+
+impl ArcSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ArcSet::default()
+    }
+
+    /// Creates a set already covering the whole circle.
+    #[must_use]
+    pub fn full_circle() -> Self {
+        ArcSet {
+            segments: Vec::new(),
+            full: true,
+        }
+    }
+
+    /// Builds a set from the arcs of width `2·half_width` centred on each
+    /// direction in `centers` — the safe-direction set induced by cameras
+    /// viewed from those directions with effective angle `half_width`.
+    #[must_use]
+    pub fn from_centered_arcs<I>(centers: I, half_width: f64) -> Self
+    where
+        I: IntoIterator<Item = Angle>,
+    {
+        let mut set = ArcSet::new();
+        for c in centers {
+            set.insert(Arc::centered(c, half_width));
+            if set.full {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.segments.is_empty()
+    }
+
+    /// Whether the set covers the entire circle.
+    #[must_use]
+    pub fn covers_circle(&self) -> bool {
+        self.full
+    }
+
+    /// Total angular measure of the set, in `[0, 2π]`.
+    #[must_use]
+    pub fn measure(&self) -> f64 {
+        if self.full {
+            TAU
+        } else {
+            self.segments.iter().map(|(lo, hi)| hi - lo).sum()
+        }
+    }
+
+    /// Number of disjoint maximal arcs in the set.
+    ///
+    /// Note that an arc crossing the `0/2π` seam counts as one arc (its two
+    /// internal segments are stitched back together).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        if self.full {
+            return 1;
+        }
+        let n = self.segments.len();
+        if n >= 2 && self.wraps() {
+            n - 1
+        } else {
+            n
+        }
+    }
+
+    /// Whether `angle` belongs to the set.
+    #[must_use]
+    pub fn contains(&self, angle: Angle) -> bool {
+        if self.full {
+            return true;
+        }
+        let x = angle.radians();
+        // Binary search on segment starts, then check the candidate and the
+        // seam-wrapping possibility.
+        let idx = self.segments.partition_point(|&(lo, _)| lo <= x + ANGLE_EPS);
+        if idx > 0 {
+            let (lo, hi) = self.segments[idx - 1];
+            if x >= lo - ANGLE_EPS && x <= hi + ANGLE_EPS {
+                return true;
+            }
+        }
+        // A point near 0 may be covered by a segment ending at 2π.
+        if let Some(&(_, hi)) = self.segments.last() {
+            if hi >= TAU - ANGLE_EPS && x <= ANGLE_EPS {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `arc` into the set, merging with existing arcs.
+    pub fn insert(&mut self, arc: Arc) {
+        if self.full {
+            return;
+        }
+        if arc.is_full_circle() {
+            self.segments.clear();
+            self.full = true;
+            return;
+        }
+        for (lo, hi) in arc.to_segments().iter() {
+            if hi - lo > 0.0 || arc.is_degenerate() {
+                self.insert_segment(lo, hi);
+            }
+        }
+        self.check_full();
+    }
+
+    /// Inserts a linear segment `(lo, hi)` on `[0, 2π]`, merging as needed.
+    fn insert_segment(&mut self, lo: f64, hi: f64) {
+        debug_assert!((0.0..=TAU + ANGLE_EPS).contains(&lo));
+        debug_assert!(hi >= lo && hi <= TAU + ANGLE_EPS);
+        let hi = hi.min(TAU);
+        let lo = lo.min(TAU);
+
+        // Find the run of existing segments that touch [lo, hi].
+        let first = self
+            .segments
+            .partition_point(|&(_, shi)| shi < lo - ANGLE_EPS);
+        let last = self
+            .segments
+            .partition_point(|&(slo, _)| slo <= hi + ANGLE_EPS);
+        if first >= last {
+            // No overlap: plain insert.
+            self.segments.insert(first, (lo, hi));
+            return;
+        }
+        let merged_lo = lo.min(self.segments[first].0);
+        let merged_hi = hi.max(self.segments[last - 1].1);
+        self.segments.drain(first..last);
+        self.segments.insert(first, (merged_lo, merged_hi));
+    }
+
+    /// Collapses to the canonical full representation when the segments
+    /// cover `[0, 2π]`.
+    fn check_full(&mut self) {
+        if self.segments.len() == 1 {
+            let (lo, hi) = self.segments[0];
+            if lo <= ANGLE_EPS && hi >= TAU - ANGLE_EPS {
+                self.segments.clear();
+                self.full = true;
+            }
+        }
+    }
+
+    /// Whether the set has segments touching both ends of the seam (i.e.
+    /// contains an arc that logically wraps through 0).
+    fn wraps(&self) -> bool {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(&(first_lo, _)), Some(&(_, last_hi))) => {
+                first_lo <= ANGLE_EPS && last_hi >= TAU - ANGLE_EPS
+            }
+            _ => false,
+        }
+    }
+
+    /// The maximal arcs of the *complement* of the set — the "hole"
+    /// directions in the paper's terminology (§VI-C): facing directions that
+    /// remain unsafe.
+    ///
+    /// Returned arcs are disjoint and sorted by start; the seam-crossing gap
+    /// (if any) is returned as a single wrapped arc.
+    #[must_use]
+    pub fn gaps(&self) -> Vec<Arc> {
+        if self.full {
+            return Vec::new();
+        }
+        if self.segments.is_empty() {
+            return vec![Arc::full_circle()];
+        }
+        let mut gaps = Vec::with_capacity(self.segments.len() + 1);
+        // Interior gaps between consecutive segments.
+        for w in self.segments.windows(2) {
+            let (_, hi) = w[0];
+            let (lo, _) = w[1];
+            if lo - hi > ANGLE_EPS {
+                gaps.push(Arc::new(Angle::new(hi), lo - hi));
+            }
+        }
+        // Seam gap: from the last segment's end, wrapping to the first
+        // segment's start.
+        let (first_lo, _) = self.segments[0];
+        let (_, last_hi) = *self.segments.last().expect("nonempty");
+        let seam_width = (TAU - last_hi) + first_lo;
+        if seam_width > ANGLE_EPS {
+            gaps.push(Arc::new(Angle::new(last_hi), seam_width));
+        }
+        gaps
+    }
+
+    /// Width of the largest gap (complement arc), or `0` if the circle is
+    /// covered. The circle is covered iff this is `0`; a point fails
+    /// full-view coverage iff its safe-direction set has a positive largest
+    /// gap.
+    #[must_use]
+    pub fn largest_gap(&self) -> f64 {
+        self.gaps().iter().map(Arc::width).fold(0.0, f64::max)
+    }
+
+    /// The complement set: exactly the [`gaps`](Self::gaps) as an
+    /// [`ArcSet`].
+    ///
+    /// ```
+    /// use fullview_geom::{Angle, Arc, ArcSet};
+    /// let mut s = ArcSet::new();
+    /// s.insert(Arc::new(Angle::new(1.0), 2.0));
+    /// let c = s.complement();
+    /// assert!((s.measure() + c.measure() - std::f64::consts::TAU).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn complement(&self) -> ArcSet {
+        if self.full {
+            return ArcSet::new();
+        }
+        if self.segments.is_empty() {
+            return ArcSet::full_circle();
+        }
+        self.gaps().into_iter().collect()
+    }
+
+    /// The intersection with `other`, via De Morgan on the exact
+    /// complement/union primitives.
+    #[must_use]
+    pub fn intersect(&self, other: &ArcSet) -> ArcSet {
+        let mut union_of_complements = self.complement();
+        union_of_complements.extend(other.complement().arcs());
+        union_of_complements.complement()
+    }
+
+    /// Whether `other` is a subset of `self` (within tolerance):
+    /// everything in `other` is also in `self`.
+    #[must_use]
+    pub fn contains_set(&self, other: &ArcSet) -> bool {
+        let inter = self.intersect(other);
+        (inter.measure() - other.measure()).abs() <= 1e-6
+    }
+
+    /// Iterates over the maximal arcs of the set (seam-crossing arcs are
+    /// stitched into a single wrapped [`Arc`]).
+    #[must_use]
+    pub fn arcs(&self) -> Vec<Arc> {
+        if self.full {
+            return vec![Arc::full_circle()];
+        }
+        if self.segments.is_empty() {
+            return Vec::new();
+        }
+        let mut segs = self.segments.clone();
+        let mut wrapped: Option<(f64, f64)> = None;
+        if self.wraps() && segs.len() >= 2 {
+            let (_, first_hi) = segs.remove(0);
+            let (last_lo, _) = segs.pop().expect("len >= 2");
+            wrapped = Some((last_lo, first_hi + TAU));
+        }
+        let mut arcs: Vec<Arc> = segs
+            .into_iter()
+            .map(|(lo, hi)| Arc::new(Angle::new(lo), hi - lo))
+            .collect();
+        if let Some((lo, hi)) = wrapped {
+            arcs.push(Arc::new(Angle::new(lo), hi - lo));
+        }
+        arcs
+    }
+}
+
+impl FromIterator<Arc> for ArcSet {
+    fn from_iter<I: IntoIterator<Item = Arc>>(iter: I) -> Self {
+        let mut set = ArcSet::new();
+        set.extend(iter);
+        set
+    }
+}
+
+impl Extend<Arc> for ArcSet {
+    fn extend<I: IntoIterator<Item = Arc>>(&mut self, iter: I) {
+        for arc in iter {
+            self.insert(arc);
+            if self.full {
+                break;
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.full {
+            return write!(f, "ArcSet(full circle)");
+        }
+        write!(f, "ArcSet({} arcs, measure {:.6})", self.arc_count(), self.measure())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn arc(start: f64, width: f64) -> Arc {
+        Arc::new(Angle::new(start), width)
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ArcSet::new();
+        assert!(s.is_empty());
+        assert!(!s.covers_circle());
+        assert_eq!(s.measure(), 0.0);
+        assert_eq!(s.gaps().len(), 1);
+        assert!(s.gaps()[0].is_full_circle());
+        assert!((s.largest_gap() - TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_arc() {
+        let mut s = ArcSet::new();
+        s.insert(arc(1.0, 0.5));
+        assert!((s.measure() - 0.5).abs() < 1e-12);
+        assert!(s.contains(Angle::new(1.25)));
+        assert!(!s.contains(Angle::new(0.5)));
+        assert_eq!(s.arc_count(), 1);
+        assert_eq!(s.gaps().len(), 1);
+        assert!((s.largest_gap() - (TAU - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_arcs_accumulate_measure() {
+        let mut s = ArcSet::new();
+        s.insert(arc(0.0, 0.5));
+        s.insert(arc(2.0, 0.5));
+        s.insert(arc(4.0, 0.5));
+        assert!((s.measure() - 1.5).abs() < 1e-12);
+        assert_eq!(s.arc_count(), 3);
+        assert_eq!(s.gaps().len(), 3);
+    }
+
+    #[test]
+    fn overlapping_arcs_merge() {
+        let mut s = ArcSet::new();
+        s.insert(arc(1.0, 1.0));
+        s.insert(arc(1.5, 1.0));
+        assert!((s.measure() - 1.5).abs() < 1e-12);
+        assert_eq!(s.arc_count(), 1);
+    }
+
+    #[test]
+    fn touching_arcs_merge() {
+        let mut s = ArcSet::new();
+        s.insert(arc(1.0, 1.0));
+        s.insert(arc(2.0, 1.0));
+        assert_eq!(s.arc_count(), 1);
+        assert!((s.measure() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_spanning_multiple_existing() {
+        let mut s = ArcSet::new();
+        s.insert(arc(1.0, 0.2));
+        s.insert(arc(2.0, 0.2));
+        s.insert(arc(3.0, 0.2));
+        s.insert(arc(0.5, 3.0)); // swallows all three
+        assert_eq!(s.arc_count(), 1);
+        assert!((s.measure() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapping_arc_counts_once() {
+        let mut s = ArcSet::new();
+        s.insert(arc(TAU - 0.5, 1.0));
+        assert_eq!(s.arc_count(), 1);
+        assert!((s.measure() - 1.0).abs() < 1e-12);
+        assert!(s.contains(Angle::new(0.0)));
+        assert!(s.contains(Angle::new(0.4)));
+        assert!(s.contains(Angle::new(TAU - 0.4)));
+        assert!(!s.contains(Angle::new(1.0)));
+        let arcs = s.arcs();
+        assert_eq!(arcs.len(), 1);
+        assert!((arcs[0].width() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cover_circle_with_tiles() {
+        let mut s = ArcSet::new();
+        for k in 0..8 {
+            s.insert(arc(k as f64 * TAU / 8.0, TAU / 8.0));
+        }
+        assert!(s.covers_circle());
+        assert!((s.measure() - TAU).abs() < 1e-12);
+        assert!(s.gaps().is_empty());
+        assert_eq!(s.largest_gap(), 0.0);
+    }
+
+    #[test]
+    fn cover_circle_with_centered_arcs() {
+        let centers = (0..4).map(|k| Angle::new(k as f64 * PI / 2.0));
+        let s = ArcSet::from_centered_arcs(centers, PI / 4.0);
+        assert!(s.covers_circle());
+    }
+
+    #[test]
+    fn just_misses_full_circle() {
+        let centers = (0..4).map(|k| Angle::new(k as f64 * PI / 2.0));
+        // Slightly smaller half-width leaves 4 pinholes.
+        let s = ArcSet::from_centered_arcs(centers, PI / 4.0 - 0.01);
+        assert!(!s.covers_circle());
+        assert_eq!(s.gaps().len(), 4);
+        assert!((s.largest_gap() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_circle_arc_insert() {
+        let mut s = ArcSet::new();
+        s.insert(Arc::full_circle());
+        assert!(s.covers_circle());
+        s.insert(arc(1.0, 0.1)); // no-op
+        assert!(s.covers_circle());
+    }
+
+    #[test]
+    fn gap_across_seam() {
+        let mut s = ArcSet::new();
+        s.insert(arc(0.5, TAU - 1.0)); // covers [0.5, 2π-0.5]
+        let gaps = s.gaps();
+        assert_eq!(gaps.len(), 1);
+        assert!((gaps[0].width() - 1.0).abs() < 1e-12);
+        assert!(gaps[0].contains(Angle::ZERO));
+    }
+
+    #[test]
+    fn measure_plus_gaps_is_tau() {
+        let mut s = ArcSet::new();
+        s.insert(arc(0.3, 0.7));
+        s.insert(arc(2.0, 1.1));
+        s.insert(arc(5.5, 1.0)); // wraps
+        let gap_total: f64 = s.gaps().iter().map(Arc::width).sum();
+        assert!((s.measure() + gap_total - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_near_seam_boundaries() {
+        let mut s = ArcSet::new();
+        s.insert(arc(TAU - 0.2, 0.2)); // segment ending exactly at 2π
+        assert!(s.contains(Angle::new(0.0)));
+        assert!(s.contains(Angle::new(TAU - 0.1)));
+        assert!(!s.contains(Angle::new(0.1)));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ArcSet = vec![arc(0.0, 1.0), arc(3.0, 1.0)].into_iter().collect();
+        assert_eq!(s.arc_count(), 2);
+    }
+
+    #[test]
+    fn degenerate_insert_is_harmless() {
+        let mut s = ArcSet::new();
+        s.insert(arc(1.0, 0.0));
+        assert!(s.measure() <= ANGLE_EPS);
+        assert!(s.contains(Angle::new(1.0)));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let mut s = ArcSet::new();
+        s.insert(arc(0.5, 1.0));
+        s.insert(arc(4.0, 1.5));
+        let c = s.complement();
+        assert!((s.measure() + c.measure() - TAU).abs() < 1e-9);
+        let cc = c.complement();
+        assert!((cc.measure() - s.measure()).abs() < 1e-6);
+        // Complement of empty/full.
+        assert!(ArcSet::new().complement().covers_circle());
+        assert!(ArcSet::full_circle().complement().is_empty());
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let a: ArcSet = vec![arc(0.0, 2.0)].into_iter().collect();
+        let b: ArcSet = vec![arc(1.0, 2.0)].into_iter().collect();
+        let i = a.intersect(&b);
+        assert!((i.measure() - 1.0).abs() < 1e-6, "{}", i.measure());
+        assert!(i.contains(Angle::new(1.5)));
+        assert!(!i.contains(Angle::new(0.5)));
+        assert!(!i.contains(Angle::new(2.5)));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a: ArcSet = vec![arc(0.0, 1.0)].into_iter().collect();
+        let b: ArcSet = vec![arc(3.0, 1.0)].into_iter().collect();
+        assert!(a.intersect(&b).measure() < 1e-6);
+    }
+
+    #[test]
+    fn intersect_with_full_is_identity() {
+        let a: ArcSet = vec![arc(0.3, 1.7), arc(4.0, 0.5)].into_iter().collect();
+        let i = a.intersect(&ArcSet::full_circle());
+        assert!((i.measure() - a.measure()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contains_set_behaviour() {
+        let big: ArcSet = vec![arc(0.0, 3.0)].into_iter().collect();
+        let small: ArcSet = vec![arc(1.0, 1.0)].into_iter().collect();
+        assert!(big.contains_set(&small));
+        assert!(!small.contains_set(&big));
+        assert!(ArcSet::full_circle().contains_set(&big));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(format!("{}", ArcSet::full_circle()).contains("full"));
+        assert!(format!("{}", ArcSet::new()).contains("0 arcs"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Torus-aware spatial hashing for neighbourhood queries.
+//!
+//! Area-coverage evaluation sweeps a dense grid of `m = n log n` points and,
+//! for each point, needs the cameras within sensing range. A uniform
+//! bucket grid over the torus turns that from `O(m·n)` into `O(m·local)`;
+//! the `grid_coverage` bench quantifies the win.
+
+use crate::point::Point;
+use crate::torus::Torus;
+
+/// A uniform bucket grid over a torus, indexing a fixed set of points
+/// (typically camera locations) for radius queries.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Point, SpatialGrid, Torus};
+///
+/// let t = Torus::unit();
+/// let pts = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9), Point::new(0.5, 0.5)];
+/// let idx = SpatialGrid::build(t, &pts, 0.25);
+/// // Query wraps through the torus seam: (0.95, 0.95) is near both corners.
+/// let mut hits = idx.query_within(Point::new(0.95, 0.95), 0.25);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    torus: Torus,
+    /// Number of cells per axis.
+    cells: usize,
+    /// Cell side length (`torus.side() / cells`).
+    cell_len: f64,
+    /// `cells × cells` buckets of point indices, row-major.
+    buckets: Vec<Vec<u32>>,
+    /// The indexed points (owned copy, used for the exact distance filter).
+    points: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Builds an index over `points` with bucket size at least
+    /// `min_cell_len` (typically the largest sensing radius, so that a
+    /// radius query only needs the 3×3 neighbourhood).
+    ///
+    /// Points are wrapped into the torus fundamental domain before
+    /// bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cell_len` is not finite and strictly positive, or if
+    /// more than `u32::MAX` points are indexed.
+    #[must_use]
+    pub fn build(torus: Torus, points: &[Point], min_cell_len: f64) -> Self {
+        assert!(
+            min_cell_len.is_finite() && min_cell_len > 0.0,
+            "cell length must be finite and positive, got {min_cell_len}"
+        );
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "spatial grid supports at most u32::MAX points"
+        );
+        let cells = ((torus.side() / min_cell_len).floor() as usize).max(1);
+        let cell_len = torus.side() / cells as f64;
+        let mut buckets = vec![Vec::new(); cells * cells];
+        let wrapped: Vec<Point> = points.iter().map(|&p| torus.wrap(p)).collect();
+        for (i, p) in wrapped.iter().enumerate() {
+            let (cx, cy) = bucket_of(p, cell_len, cells);
+            buckets[cy * cells + cx].push(i as u32);
+        }
+        SpatialGrid {
+            torus,
+            cells,
+            cell_len,
+            buckets,
+            points: wrapped,
+        }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The torus this index lives on.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Number of cells per axis.
+    #[must_use]
+    pub fn cells_per_axis(&self) -> usize {
+        self.cells
+    }
+
+    /// Indices of all points within torus distance `radius` of `center`
+    /// (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    #[must_use]
+    pub fn query_within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` with the index of every point within torus distance
+    /// `radius` of `center` (inclusive). Allocation-free variant of
+    /// [`query_within`](Self::query_within) for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        let center = self.torus.wrap(center);
+        let r2 = radius * radius;
+        let reach = (radius / self.cell_len).ceil() as isize + 1;
+        // If the reach covers the whole grid, scan every bucket once instead
+        // of double-visiting wrapped cells.
+        if reach * 2 + 1 >= self.cells as isize {
+            for (i, p) in self.points.iter().enumerate() {
+                if self.torus.distance_squared(center, *p) <= r2 {
+                    f(i);
+                }
+            }
+            return;
+        }
+        let (cx, cy) = bucket_of(&center, self.cell_len, self.cells);
+        let n = self.cells as isize;
+        for dy in -reach..=reach {
+            let by = (cy as isize + dy).rem_euclid(n) as usize;
+            for dx in -reach..=reach {
+                let bx = (cx as isize + dx).rem_euclid(n) as usize;
+                for &i in &self.buckets[by * self.cells + bx] {
+                    let p = self.points[i as usize];
+                    if self.torus.distance_squared(center, p) <= r2 {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The indexed (wrapped) point with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn point(&self, i: usize) -> Point {
+        self.points[i]
+    }
+}
+
+fn bucket_of(p: &Point, cell_len: f64, cells: usize) -> (usize, usize) {
+    let cx = ((p.x / cell_len) as usize).min(cells - 1);
+    let cy = ((p.y / cell_len) as usize).min(cells - 1);
+    (cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(torus: &Torus, pts: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        pts.iter()
+            .enumerate()
+            .filter(|(_, p)| torus.distance(center, **p) <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = SpatialGrid::build(Torus::unit(), &[], 0.1);
+        assert!(idx.is_empty());
+        assert!(idx.query_within(Point::new(0.5, 0.5), 0.3).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_regular_points() {
+        let t = Torus::unit();
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(Point::new(i as f64 / 20.0, j as f64 / 20.0));
+            }
+        }
+        let idx = SpatialGrid::build(t, &pts, 0.07);
+        for &(cx, cy, r) in &[
+            (0.5, 0.5, 0.1),
+            (0.0, 0.0, 0.15),
+            (0.97, 0.03, 0.2),
+            (0.5, 0.5, 0.0),
+        ] {
+            let c = Point::new(cx, cy);
+            let mut got = idx.query_within(c, r);
+            got.sort_unstable();
+            let mut want = brute_force(&t, &pts, c, r);
+            want.sort_unstable();
+            assert_eq!(got, want, "center ({cx},{cy}) radius {r}");
+        }
+    }
+
+    #[test]
+    fn query_wraps_seam() {
+        let t = Torus::unit();
+        let pts = vec![Point::new(0.01, 0.5), Point::new(0.99, 0.5)];
+        let idx = SpatialGrid::build(t, &pts, 0.05);
+        let mut hits = idx.query_within(Point::new(0.995, 0.5), 0.03);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn large_radius_falls_back_to_scan() {
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0))
+            .collect();
+        let idx = SpatialGrid::build(t, &pts, 0.05);
+        // Radius covering the whole torus: everything is a hit.
+        let hits = idx.query_within(Point::new(0.5, 0.5), 1.0);
+        assert_eq!(hits.len(), 50);
+    }
+
+    #[test]
+    fn unwrapped_input_points_are_wrapped() {
+        let t = Torus::unit();
+        let pts = vec![Point::new(1.25, -0.25)]; // wraps to (0.25, 0.75)
+        let idx = SpatialGrid::build(t, &pts, 0.1);
+        let hits = idx.query_within(Point::new(0.25, 0.75), 0.01);
+        assert_eq!(hits, vec![0]);
+        assert!((idx.point(0).x - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_point() {
+        let t = Torus::unit();
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.5)];
+        let idx = SpatialGrid::build(t, &pts, 0.1);
+        assert_eq!(idx.query_within(Point::new(0.5, 0.5), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn for_each_within_agrees_with_query() {
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i as f64 * 0.13) % 1.0, (i as f64 * 0.29) % 1.0))
+            .collect();
+        let idx = SpatialGrid::build(t, &pts, 0.12);
+        let mut via_cb = Vec::new();
+        idx.for_each_within(Point::new(0.3, 0.7), 0.25, |i| via_cb.push(i));
+        via_cb.sort_unstable();
+        let mut via_q = idx.query_within(Point::new(0.3, 0.7), 0.25);
+        via_q.sort_unstable();
+        assert_eq!(via_cb, via_q);
+    }
+
+    #[test]
+    fn cell_count_respects_min_len() {
+        let idx = SpatialGrid::build(Torus::unit(), &[], 0.3);
+        assert_eq!(idx.cells_per_axis(), 3); // floor(1/0.3)
+        let idx = SpatialGrid::build(Torus::unit(), &[], 5.0);
+        assert_eq!(idx.cells_per_axis(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_len_panics() {
+        let _ = SpatialGrid::build(Torus::unit(), &[], 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Regular lattices of points over a torus.
+//!
+//! Two uses in this project: the *dense grid* `M` used to discretize area
+//! coverage (§III-A, following Kumar et al. [6]), and the deterministic
+//! deployment baselines (square and triangular lattices, the latter being
+//! the structure used by Wang & Cao [4] in the comparator discussed in
+//! §VII-C).
+
+use crate::point::Point;
+use crate::torus::Torus;
+
+/// A `k × k` uniform grid of points over a torus — the dense grid `M` of
+/// §III-A (with `m = k²` points).
+///
+/// Points are placed at cell centres so that the grid is invariant under
+/// the torus identification (no doubled row at the seam).
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Torus, UnitGrid};
+///
+/// let grid = UnitGrid::new(Torus::unit(), 4);
+/// assert_eq!(grid.len(), 16);
+/// let pts: Vec<_> = grid.iter().collect();
+/// assert!((pts[0].x - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitGrid {
+    torus: Torus,
+    k: usize,
+}
+
+impl UnitGrid {
+    /// Creates a `k × k` grid over `torus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(torus: Torus, k: usize) -> Self {
+        assert!(k > 0, "grid side must be positive");
+        UnitGrid { torus, k }
+    }
+
+    /// Creates the smallest square grid with at least `m` points — the
+    /// paper's `√m × √m` dense grid with `m = n log n` (§III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn with_at_least(torus: Torus, m: usize) -> Self {
+        assert!(m > 0, "grid must have at least one point");
+        let mut k = (m as f64).sqrt().floor() as usize;
+        while k * k < m {
+            k += 1;
+        }
+        UnitGrid::new(torus, k)
+    }
+
+    /// Grid side (points per row).
+    #[must_use]
+    pub fn side_count(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of grid points, `k²`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// Whether the grid is empty (never true: construction requires
+    /// `k > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Spacing between adjacent grid points.
+    #[must_use]
+    pub fn spacing(&self) -> f64 {
+        self.torus.side() / self.k as f64
+    }
+
+    /// The grid point with row-major index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    pub fn point(&self, idx: usize) -> Point {
+        assert!(idx < self.len(), "grid index {idx} out of range");
+        let (i, j) = (idx % self.k, idx / self.k);
+        let step = self.spacing();
+        Point::new((i as f64 + 0.5) * step, (j as f64 + 0.5) * step)
+    }
+
+    /// Iterates over all grid points in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len()).map(move |i| self.point(i))
+    }
+}
+
+/// Generates the points of a square lattice of the given `spacing` covering
+/// the fundamental domain of `torus`.
+///
+/// The spacing is adjusted down to the nearest value dividing the torus side
+/// evenly, so that the lattice is seam-consistent.
+///
+/// # Panics
+///
+/// Panics if `spacing` is not finite and strictly positive, or larger than
+/// the torus side.
+#[must_use]
+pub fn square_lattice(torus: &Torus, spacing: f64) -> Vec<Point> {
+    assert!(
+        spacing.is_finite() && spacing > 0.0,
+        "lattice spacing must be finite and positive, got {spacing}"
+    );
+    assert!(
+        spacing <= torus.side(),
+        "lattice spacing {spacing} exceeds torus side {}",
+        torus.side()
+    );
+    let k = (torus.side() / spacing).ceil() as usize;
+    let step = torus.side() / k as f64;
+    let mut pts = Vec::with_capacity(k * k);
+    for j in 0..k {
+        for i in 0..k {
+            pts.push(Point::new(i as f64 * step, j as f64 * step));
+        }
+    }
+    pts
+}
+
+/// Generates the points of a triangular (hexagonal-packing) lattice with
+/// edge length ~`spacing` covering the fundamental domain of `torus`.
+///
+/// Rows are spaced `spacing·√3/2` apart with alternate rows offset by half
+/// a spacing — the classic triangular lattice used by Wang & Cao \[4\] for
+/// deterministic full-view deployment. Both the horizontal spacing and the
+/// row height are adjusted to divide the torus side evenly (and the row
+/// count is rounded to an even number) so the pattern closes seamlessly
+/// around the torus.
+///
+/// # Panics
+///
+/// Panics if `spacing` is not finite and strictly positive, or larger than
+/// the torus side.
+#[must_use]
+pub fn triangular_lattice(torus: &Torus, spacing: f64) -> Vec<Point> {
+    assert!(
+        spacing.is_finite() && spacing > 0.0,
+        "lattice spacing must be finite and positive, got {spacing}"
+    );
+    assert!(
+        spacing <= torus.side(),
+        "lattice spacing {spacing} exceeds torus side {}",
+        torus.side()
+    );
+    let side = torus.side();
+    let cols = (side / spacing).ceil().max(1.0) as usize;
+    let dx = side / cols as f64;
+    let row_height = spacing * 3f64.sqrt() / 2.0;
+    // Round rows to the nearest even count so offset rows alternate cleanly
+    // around the seam.
+    let mut rows = (side / row_height).round().max(2.0) as usize;
+    if rows % 2 == 1 {
+        rows += 1;
+    }
+    let dy = side / rows as f64;
+    let mut pts = Vec::with_capacity(cols * rows);
+    for j in 0..rows {
+        let offset = if j % 2 == 0 { 0.0 } else { dx / 2.0 };
+        for i in 0..cols {
+            pts.push(torus.wrap(Point::new(i as f64 * dx + offset, j as f64 * dy)));
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_len_and_spacing() {
+        let g = UnitGrid::new(Torus::unit(), 10);
+        assert_eq!(g.len(), 100);
+        assert!((g.spacing() - 0.1).abs() < 1e-12);
+        assert_eq!(g.iter().count(), 100);
+    }
+
+    #[test]
+    fn grid_points_inside_domain() {
+        let t = Torus::unit();
+        let g = UnitGrid::new(t, 7);
+        for p in g.iter() {
+            assert!(t.contains(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn grid_points_are_cell_centers() {
+        let g = UnitGrid::new(Torus::unit(), 2);
+        let pts: Vec<_> = g.iter().collect();
+        assert_eq!(pts.len(), 4);
+        assert!((pts[0].x - 0.25).abs() < 1e-12 && (pts[0].y - 0.25).abs() < 1e-12);
+        assert!((pts[3].x - 0.75).abs() < 1e-12 && (pts[3].y - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_at_least_meets_request() {
+        for m in [1, 2, 5, 99, 100, 101, 6907] {
+            let g = UnitGrid::with_at_least(Torus::unit(), m);
+            assert!(g.len() >= m, "m={m} -> {}", g.len());
+            let k = g.side_count();
+            assert!(k == 1 || (k - 1) * (k - 1) < m, "grid not minimal for m={m}");
+        }
+    }
+
+    #[test]
+    fn grid_nearest_neighbour_distance_is_spacing() {
+        let t = Torus::unit();
+        let g = UnitGrid::new(t, 5);
+        let p0 = g.point(0);
+        let p1 = g.point(1);
+        assert!((t.distance(p0, p1) - g.spacing()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        let _ = UnitGrid::new(Torus::unit(), 0);
+    }
+
+    #[test]
+    fn square_lattice_count_and_domain() {
+        let t = Torus::unit();
+        let pts = square_lattice(&t, 0.25);
+        assert_eq!(pts.len(), 16);
+        for p in &pts {
+            assert!(t.contains(*p));
+        }
+    }
+
+    #[test]
+    fn square_lattice_rounds_spacing_down() {
+        let t = Torus::unit();
+        // 0.3 doesn't divide 1; expect ceil(1/0.3)=4 columns at step 0.25.
+        let pts = square_lattice(&t, 0.3);
+        assert_eq!(pts.len(), 16);
+    }
+
+    #[test]
+    fn triangular_lattice_in_domain_and_offset_rows() {
+        let t = Torus::unit();
+        let pts = triangular_lattice(&t, 0.2);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(t.contains(*p), "{p}");
+        }
+        // Rows alternate between offset 0 and dx/2: x of first point of two
+        // consecutive rows must differ.
+        let cols = (1.0f64 / 0.2).ceil() as usize;
+        assert!((pts[0].x - pts[cols].x).abs() > 1e-6);
+    }
+
+    #[test]
+    fn triangular_lattice_denser_spacing_gives_more_points() {
+        let t = Torus::unit();
+        let coarse = triangular_lattice(&t, 0.25).len();
+        let fine = triangular_lattice(&t, 0.1).len();
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn triangular_lattice_nearest_neighbour_close_to_spacing() {
+        let t = Torus::unit();
+        let spacing = 0.2;
+        let pts = triangular_lattice(&t, spacing);
+        // Nearest-neighbour distance should be within 25% of the requested
+        // spacing despite the seam-rounding adjustments.
+        let p = pts[0];
+        let mut best = f64::INFINITY;
+        for q in pts.iter().skip(1) {
+            best = best.min(t.distance(p, *q));
+        }
+        assert!(
+            (best - spacing).abs() / spacing < 0.25,
+            "nearest neighbour {best} vs spacing {spacing}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_spacing_panics() {
+        let _ = square_lattice(&Torus::unit(), 2.0);
+    }
+}

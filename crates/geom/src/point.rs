@@ -1,0 +1,115 @@
+//! Points in the plane.
+
+use std::fmt;
+
+/// A point in the plane, used both for camera locations and for the targets
+/// whose coverage is analysed.
+///
+/// Coordinates are plain Euclidean; wrap-around semantics (the paper's
+/// torus assumption, §II-A) live in [`crate::Torus`], which interprets
+/// points modulo its side length.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "point coordinates must be finite, got ({x}, {y})"
+        );
+        Point { x, y }
+    }
+
+    /// Euclidean (non-torus) distance to `other`.
+    ///
+    /// ```
+    /// use fullview_geom::Point;
+    /// let d = Point::new(0.0, 0.0).euclidean_distance(Point::new(3.0, 4.0));
+    /// assert!((d - 5.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Translates by the vector `(dx, dy)`.
+    #[must_use]
+    pub fn translate(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_symmetric() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.7, 0.2);
+        assert!((a.euclidean_distance(b) - b.euclidean_distance(a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(0.5, 0.5);
+        assert_eq!(a.euclidean_distance(a), 0.0);
+    }
+
+    #[test]
+    fn translate_adds() {
+        let p = Point::new(1.0, 2.0).translate(-0.5, 0.25);
+        assert_eq!(p, Point::new(0.5, 2.25));
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let p: Point = (0.25, 0.75).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (0.25, 0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_coordinates_panic() {
+        let _ = Point::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn display_contains_coordinates() {
+        let s = format!("{}", Point::new(0.5, 0.25));
+        assert!(s.contains("0.5") && s.contains("0.25"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Circular sectors — the binary sector sensing region.
+//!
+//! A camera sensor in the paper's model (§II-A) "can sense perfectly in a
+//! sector of radius `r` and angle `φ`, but will not sense outside the
+//! sector". [`Sector`] is that region, evaluated on a torus.
+
+use crate::angle::{Angle, ANGLE_EPS};
+use crate::point::Point;
+use crate::torus::Torus;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// A closed circular sector with apex `apex`, radius `radius`, facing
+/// direction `facing` (the angular bisector — the paper's orientation
+/// `f⃗`), and full angular width `width` (the paper's angle of view `φ`).
+///
+/// Membership is evaluated with torus geometry, so a sector near an edge
+/// of the operational region wraps around.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Angle, Point, Sector, Torus};
+/// use std::f64::consts::PI;
+///
+/// let t = Torus::unit();
+/// let s = Sector::new(Point::new(0.5, 0.5), 0.2, Angle::ZERO, PI / 2.0);
+/// assert!(s.contains(&t, Point::new(0.6, 0.5)));   // straight ahead
+/// assert!(!s.contains(&t, Point::new(0.4, 0.5)));  // behind
+/// assert!(!s.contains(&t, Point::new(0.9, 0.5)));  // too far
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sector {
+    apex: Point,
+    radius: f64,
+    facing: Angle,
+    width: f64,
+}
+
+impl Sector {
+    /// Creates a sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and strictly positive, or if
+    /// `width` is not in `(0, 2π]`.
+    #[must_use]
+    pub fn new(apex: Point, radius: f64, facing: Angle, width: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "sector radius must be finite and positive, got {radius}"
+        );
+        assert!(
+            width.is_finite() && width > 0.0 && width <= TAU + ANGLE_EPS,
+            "sector width must lie in (0, 2π], got {width}"
+        );
+        Sector {
+            apex,
+            radius,
+            facing,
+            width: width.min(TAU),
+        }
+    }
+
+    /// The apex (camera location).
+    #[must_use]
+    pub fn apex(&self) -> Point {
+        self.apex
+    }
+
+    /// The sensing radius.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The facing direction (angular bisector of the sector).
+    #[must_use]
+    pub fn facing(&self) -> Angle {
+        self.facing
+    }
+
+    /// The full angular width `φ`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The sector's area, `φ r² / 2` — the paper's *sensing area* `s`,
+    /// which §VI-A shows is the decisive sensing parameter under uniform
+    /// deployment.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.radius * self.radius / 2.0
+    }
+
+    /// Whether the sector is a full disc (`φ = 2π`), i.e. an
+    /// omnidirectional (scalar) sensor.
+    #[must_use]
+    pub fn is_disc(&self) -> bool {
+        self.width >= TAU - ANGLE_EPS
+    }
+
+    /// Whether point `p` lies in the closed sector, with distances and
+    /// directions taken on `torus`.
+    ///
+    /// A point coincident with the apex is considered contained (it is at
+    /// distance 0, inside the closed region).
+    #[must_use]
+    pub fn contains(&self, torus: &Torus, p: Point) -> bool {
+        let (dx, dy) = torus.displacement(self.apex, p);
+        let dist2 = dx * dx + dy * dy;
+        if dist2 > self.radius * self.radius {
+            return false;
+        }
+        if self.is_disc() {
+            return true;
+        }
+        match Angle::from_vector(dx, dy) {
+            None => true, // coincident with the apex
+            Some(dir) => self.facing.distance(dir) <= self.width / 2.0 + ANGLE_EPS,
+        }
+    }
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sector(apex={}, r={:.4}, facing={}, φ={:.4})",
+            self.apex, self.radius, self.facing, self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn unit() -> Torus {
+        Torus::unit()
+    }
+
+    #[test]
+    fn area_formula() {
+        let s = Sector::new(Point::ORIGIN, 0.2, Angle::ZERO, PI / 2.0);
+        assert!((s.area() - PI / 2.0 * 0.04 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disc_sector_area_is_pi_r_squared() {
+        let s = Sector::new(Point::ORIGIN, 0.25, Angle::ZERO, TAU);
+        assert!(s.is_disc());
+        assert!((s.area() - PI * 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_respects_radius() {
+        let t = unit();
+        let s = Sector::new(Point::new(0.5, 0.5), 0.1, Angle::ZERO, PI);
+        assert!(s.contains(&t, Point::new(0.59, 0.5)));
+        assert!(!s.contains(&t, Point::new(0.61, 0.5)));
+    }
+
+    #[test]
+    fn contains_respects_angle() {
+        let t = unit();
+        // Facing +x with a 90° field of view: covers directions in [-45°, 45°].
+        let s = Sector::new(Point::new(0.5, 0.5), 0.2, Angle::ZERO, PI / 2.0);
+        assert!(s.contains(&t, Point::new(0.6, 0.55))); // ~26° off-axis
+        assert!(!s.contains(&t, Point::new(0.55, 0.65))); // ~63° off-axis
+        assert!(!s.contains(&t, Point::new(0.4, 0.5))); // behind
+    }
+
+    #[test]
+    fn boundary_direction_is_contained() {
+        let t = unit();
+        let s = Sector::new(Point::new(0.5, 0.5), 0.2, Angle::ZERO, PI / 2.0);
+        // Exactly 45° off axis, on the sector edge.
+        let p = Point::new(0.5 + 0.1, 0.5 + 0.1);
+        assert!(s.contains(&t, p));
+    }
+
+    #[test]
+    fn apex_is_contained() {
+        let t = unit();
+        let s = Sector::new(Point::new(0.3, 0.3), 0.1, Angle::new(1.0), 0.5);
+        assert!(s.contains(&t, Point::new(0.3, 0.3)));
+    }
+
+    #[test]
+    fn wraps_around_torus_edge() {
+        let t = unit();
+        // Camera at the right edge facing +x sees across the seam.
+        let s = Sector::new(Point::new(0.95, 0.5), 0.2, Angle::ZERO, PI / 2.0);
+        assert!(s.contains(&t, Point::new(0.05, 0.5)));
+        assert!(!s.contains(&t, Point::new(0.75, 0.5))); // behind, not through seam
+    }
+
+    #[test]
+    fn disc_ignores_facing() {
+        let t = unit();
+        let s = Sector::new(Point::new(0.5, 0.5), 0.15, Angle::new(3.0), TAU);
+        for k in 0..12 {
+            let dir = Angle::new(k as f64 * TAU / 12.0);
+            let p = t.offset(Point::new(0.5, 0.5), dir, 0.1);
+            assert!(s.contains(&t, p), "direction {dir}");
+        }
+    }
+
+    #[test]
+    fn narrow_sector_is_selective() {
+        let t = unit();
+        let s = Sector::new(Point::new(0.5, 0.5), 0.3, Angle::new(PI / 2.0), 0.1);
+        assert!(s.contains(&t, Point::new(0.5, 0.7)));
+        assert!(!s.contains(&t, Point::new(0.52, 0.7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_panics() {
+        let _ = Sector::new(Point::ORIGIN, 0.0, Angle::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = Sector::new(Point::ORIGIN, 0.1, Angle::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Individual deployed camera sensors.
+
+use crate::spec::SensorSpec;
+use fullview_geom::{Angle, Point, Sector, Torus};
+use std::fmt;
+
+/// Identifier of the heterogeneous group (`G_y` in the paper) a camera
+/// belongs to.
+///
+/// Group ids index into the network's
+/// [`NetworkProfile`](crate::NetworkProfile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub usize);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A deployed camera sensor: a location, a fixed orientation `f⃗`, and the
+/// sensing parameters of its group.
+///
+/// Per §II-A, the orientation is chosen at deployment time and "stays the
+/// same once a sensor is deployed" — cameras cannot steer, which is why
+/// the orientation is an immutable field here.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_geom::{Angle, Point, Torus};
+/// use fullview_model::{Camera, GroupId, SensorSpec};
+/// use std::f64::consts::PI;
+///
+/// let spec = SensorSpec::new(0.2, PI / 2.0)?;
+/// let cam = Camera::new(Point::new(0.5, 0.5), Angle::ZERO, spec, GroupId(0));
+/// let torus = Torus::unit();
+/// assert!(cam.covers(&torus, Point::new(0.6, 0.5)));
+/// // The viewed direction of a covered target points back at the camera:
+/// let viewed = cam.viewed_direction(&torus, Point::new(0.6, 0.5)).unwrap();
+/// assert!(viewed.approx_eq(Angle::new(PI)));
+/// # Ok::<(), fullview_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    position: Point,
+    orientation: Angle,
+    spec: SensorSpec,
+    group: GroupId,
+}
+
+impl Camera {
+    /// Creates a camera at `position` facing `orientation` with the sensing
+    /// parameters of `spec`, belonging to group `group`.
+    #[must_use]
+    pub fn new(position: Point, orientation: Angle, spec: SensorSpec, group: GroupId) -> Self {
+        Camera {
+            position,
+            orientation,
+            spec,
+            group,
+        }
+    }
+
+    /// The camera's location.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// The camera's orientation `f⃗` (angular bisector of its field of
+    /// view).
+    #[must_use]
+    pub fn orientation(&self) -> Angle {
+        self.orientation
+    }
+
+    /// The camera's sensing parameters.
+    #[must_use]
+    pub fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    /// The heterogeneous group this camera belongs to.
+    #[must_use]
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The camera's sensing region as a geometric [`Sector`].
+    #[must_use]
+    pub fn sector(&self) -> Sector {
+        Sector::new(
+            self.position,
+            self.spec.radius(),
+            self.orientation,
+            self.spec.angle_of_view(),
+        )
+    }
+
+    /// Whether the camera covers `target` (target lies in the camera's
+    /// sensing sector, evaluated on `torus`).
+    #[must_use]
+    pub fn covers(&self, torus: &Torus, target: Point) -> bool {
+        self.sector().contains(torus, target)
+    }
+
+    /// The paper's *viewed direction* `P→S`: the direction from `target`
+    /// towards this camera, or `None` if the two coincide (in which case
+    /// every viewing direction is available).
+    ///
+    /// This does **not** check coverage; combine with
+    /// [`covers`](Self::covers).
+    #[must_use]
+    pub fn viewed_direction(&self, torus: &Torus, target: Point) -> Option<Angle> {
+        torus.direction(target, self.position)
+    }
+}
+
+impl fmt::Display for Camera {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Camera({} @ {}, facing {}, {})",
+            self.group, self.position, self.orientation, self.spec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn cam(x: f64, y: f64, facing: f64) -> Camera {
+        Camera::new(
+            Point::new(x, y),
+            Angle::new(facing),
+            SensorSpec::new(0.2, PI / 2.0).unwrap(),
+            GroupId(0),
+        )
+    }
+
+    #[test]
+    fn covers_matches_sector_semantics() {
+        let t = Torus::unit();
+        let c = cam(0.5, 0.5, 0.0);
+        assert!(c.covers(&t, Point::new(0.65, 0.5)));
+        assert!(!c.covers(&t, Point::new(0.5, 0.8)));
+        assert!(!c.covers(&t, Point::new(0.3, 0.5)));
+    }
+
+    #[test]
+    fn viewed_direction_points_at_camera() {
+        let t = Torus::unit();
+        let c = cam(0.5, 0.5, 0.0);
+        let target = Point::new(0.5, 0.3);
+        let dir = c.viewed_direction(&t, target).unwrap();
+        assert!(dir.approx_eq(Angle::new(PI / 2.0)), "{dir}");
+    }
+
+    #[test]
+    fn viewed_direction_of_colocated_target_is_none() {
+        let t = Torus::unit();
+        let c = cam(0.5, 0.5, 0.0);
+        assert!(c.viewed_direction(&t, Point::new(0.5, 0.5)).is_none());
+        // ... but the camera still covers the colocated target.
+        assert!(c.covers(&t, Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn viewed_direction_wraps_seam() {
+        let t = Torus::unit();
+        let c = cam(0.05, 0.5, PI);
+        let target = Point::new(0.95, 0.5);
+        let dir = c.viewed_direction(&t, target).unwrap();
+        assert!(dir.approx_eq(Angle::ZERO), "{dir}");
+        assert!(c.covers(&t, target));
+    }
+
+    #[test]
+    fn group_id_display() {
+        assert_eq!(GroupId(2).to_string(), "G2");
+    }
+
+    #[test]
+    fn sector_reflects_spec() {
+        let c = cam(0.1, 0.2, 1.0);
+        let s = c.sector();
+        assert_eq!(s.apex(), Point::new(0.1, 0.2));
+        assert!((s.radius() - 0.2).abs() < 1e-15);
+        assert!((s.width() - PI / 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing sensor specifications, group
+/// profiles, or camera networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The sensing radius was not finite and strictly positive.
+    InvalidRadius {
+        /// The offending value.
+        radius: f64,
+    },
+    /// The angle of view was outside `(0, 2π]`.
+    InvalidAngleOfView {
+        /// The offending value.
+        angle: f64,
+    },
+    /// The requested sensing area was not finite and strictly positive.
+    InvalidSensingArea {
+        /// The offending value.
+        area: f64,
+    },
+    /// A group population fraction was outside `(0, 1]`.
+    InvalidFraction {
+        /// Index of the offending group.
+        group: usize,
+        /// The offending value.
+        fraction: f64,
+    },
+    /// The group fractions did not sum to 1.
+    FractionsNotNormalized {
+        /// The actual sum of fractions.
+        sum: f64,
+    },
+    /// A profile must contain at least one group.
+    EmptyProfile,
+    /// A sensing radius reached or exceeded half the torus side, making the
+    /// minimal-image geometry ambiguous.
+    RadiusExceedsHalfSide {
+        /// The offending radius.
+        radius: f64,
+        /// Half the torus side length.
+        half_side: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidRadius { radius } => {
+                write!(f, "sensing radius must be finite and positive, got {radius}")
+            }
+            ModelError::InvalidAngleOfView { angle } => {
+                write!(f, "angle of view must lie in (0, 2π], got {angle}")
+            }
+            ModelError::InvalidSensingArea { area } => {
+                write!(f, "sensing area must be finite and positive, got {area}")
+            }
+            ModelError::InvalidFraction { group, fraction } => {
+                write!(f, "group {group} fraction must lie in (0, 1], got {fraction}")
+            }
+            ModelError::FractionsNotNormalized { sum } => {
+                write!(f, "group fractions must sum to 1, got {sum}")
+            }
+            ModelError::EmptyProfile => write!(f, "profile must contain at least one group"),
+            ModelError::RadiusExceedsHalfSide { radius, half_side } => write!(
+                f,
+                "sensing radius {radius} reaches half the torus side {half_side}; torus geometry would be ambiguous"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_values() {
+        let e = ModelError::InvalidRadius { radius: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = ModelError::InvalidFraction {
+            group: 3,
+            fraction: 1.5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains("1.5"));
+        let e = ModelError::FractionsNotNormalized { sum: 0.9 };
+        assert!(e.to_string().contains("0.9"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

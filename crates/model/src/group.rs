@@ -1,0 +1,388 @@
+//! Heterogeneous group profiles (`G_1, …, G_u` of §II-A).
+//!
+//! The paper partitions the `n` sensors into a constant number `u` of
+//! groups; group `G_y` holds `n_y = c_y·n` sensors, all with radius `r_y`
+//! and angle of view `φ_y`. [`NetworkProfile`] captures the `(c_y, r_y,
+//! φ_y)` table and derives the paper's centralized quantity
+//! `s_c = Σ_y c_y s_y` (the weighted sensing area of Definition 2).
+
+use crate::error::ModelError;
+use crate::spec::SensorSpec;
+use std::fmt;
+
+/// Tolerance for requiring group fractions to sum to 1.
+const FRACTION_SUM_EPS: f64 = 1e-9;
+
+/// One heterogeneous group: a sensor specification plus the fraction `c_y`
+/// of the population it accounts for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupProfile {
+    spec: SensorSpec,
+    fraction: f64,
+}
+
+impl GroupProfile {
+    /// The group's sensing parameters `(r_y, φ_y)`.
+    #[must_use]
+    pub fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    /// The group's population fraction `c_y ∈ (0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+/// The composition of a heterogeneous camera network: groups `G_y` with
+/// fractions `c_y` summing to 1 (§II-A).
+///
+/// # Examples
+///
+/// ```
+/// use fullview_model::{NetworkProfile, SensorSpec};
+/// use std::f64::consts::PI;
+///
+/// // 70% mid-range cameras, 30% long-range narrow cameras.
+/// let profile = NetworkProfile::builder()
+///     .group(SensorSpec::new(0.08, PI / 2.0)?, 0.7)
+///     .group(SensorSpec::new(0.15, PI / 6.0)?, 0.3)
+///     .build()?;
+/// assert_eq!(profile.group_count(), 2);
+/// // The weighted sensing area s_c = Σ c_y · φ_y r_y² / 2:
+/// let expected = 0.7 * (PI / 2.0 * 0.08f64.powi(2) / 2.0)
+///     + 0.3 * (PI / 6.0 * 0.15f64.powi(2) / 2.0);
+/// assert!((profile.weighted_sensing_area() - expected).abs() < 1e-12);
+/// # Ok::<(), fullview_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    groups: Vec<GroupProfile>,
+}
+
+impl NetworkProfile {
+    /// Starts building a profile group by group.
+    #[must_use]
+    pub fn builder() -> NetworkProfileBuilder {
+        NetworkProfileBuilder { groups: Vec::new() }
+    }
+
+    /// Creates a homogeneous profile: a single group containing every
+    /// sensor.
+    #[must_use]
+    pub fn homogeneous(spec: SensorSpec) -> Self {
+        NetworkProfile {
+            groups: vec![GroupProfile {
+                spec,
+                fraction: 1.0,
+            }],
+        }
+    }
+
+    /// Number of groups `u`.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The groups, in declaration order (`G_0`, `G_1`, …).
+    #[must_use]
+    pub fn groups(&self) -> &[GroupProfile] {
+        &self.groups
+    }
+
+    /// The paper's weighted sensing area `s_c = Σ_y c_y s_y` — the quantity
+    /// compared against critical sensing areas in Definition 2.
+    #[must_use]
+    pub fn weighted_sensing_area(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.fraction * g.spec.sensing_area())
+            .sum()
+    }
+
+    /// The largest sensing radius over all groups — the spatial-index cell
+    /// size needed to answer "which cameras can possibly cover `P`".
+    #[must_use]
+    pub fn max_radius(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.spec.radius())
+            .fold(0.0, f64::max)
+    }
+
+    /// Splits a population of `n` sensors into per-group counts
+    /// `n_y ≈ c_y·n` that sum exactly to `n` (largest-remainder
+    /// apportionment).
+    ///
+    /// The paper treats `c_y·n` as exact; for finite simulations the counts
+    /// must be integers, and largest-remainder keeps every group within one
+    /// sensor of its ideal share.
+    #[must_use]
+    pub fn counts(&self, n: usize) -> Vec<usize> {
+        let mut counts: Vec<usize> = Vec::with_capacity(self.groups.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(self.groups.len());
+        let mut assigned = 0usize;
+        for (i, g) in self.groups.iter().enumerate() {
+            let ideal = g.fraction * n as f64;
+            let floor = ideal.floor() as usize;
+            counts.push(floor);
+            assigned += floor;
+            remainders.push((i, ideal - floor as f64));
+        }
+        let mut leftover = n - assigned.min(n);
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        for (i, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            counts[i] += 1;
+            leftover -= 1;
+        }
+        counts
+    }
+
+    /// Returns a profile with identical shape (same `φ_y`, same `c_y`, same
+    /// *ratios* of sensing areas) whose weighted sensing area equals
+    /// `target` — every radius is scaled by the same `√(target/current)`.
+    ///
+    /// This is the workhorse of the CSA experiments: fix a heterogeneous
+    /// mix, then sweep its `s_c` across the critical thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSensingArea`] if `target` is not finite
+    /// and strictly positive.
+    pub fn scale_to_weighted_area(&self, target: f64) -> Result<Self, ModelError> {
+        if !target.is_finite() || target <= 0.0 {
+            return Err(ModelError::InvalidSensingArea { area: target });
+        }
+        let current = self.weighted_sensing_area();
+        let factor = target / current;
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                Ok(GroupProfile {
+                    spec: g.spec.scale_area(factor)?,
+                    fraction: g.fraction,
+                })
+            })
+            .collect::<Result<Vec<_>, ModelError>>()?;
+        Ok(NetworkProfile { groups })
+    }
+
+    /// Validates that no group's radius reaches half the side of a torus
+    /// with side `side` (which would make minimal-image coverage geometry
+    /// ambiguous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RadiusExceedsHalfSide`] naming the offending
+    /// radius.
+    pub fn check_fits_torus(&self, side: f64) -> Result<(), ModelError> {
+        let half = side / 2.0;
+        for g in &self.groups {
+            if g.spec.radius() >= half {
+                return Err(ModelError::RadiusExceedsHalfSide {
+                    radius: g.spec.radius(),
+                    half_side: half,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NetworkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NetworkProfile({} groups, s_c={:.6})",
+            self.group_count(),
+            self.weighted_sensing_area()
+        )
+    }
+}
+
+/// Incremental builder for [`NetworkProfile`] (one call per group).
+#[derive(Debug, Clone, Default)]
+pub struct NetworkProfileBuilder {
+    groups: Vec<(SensorSpec, f64)>,
+}
+
+impl NetworkProfileBuilder {
+    /// Adds a group with the given spec and population fraction.
+    #[must_use]
+    pub fn group(mut self, spec: SensorSpec, fraction: f64) -> Self {
+        self.groups.push((spec, fraction));
+        self
+    }
+
+    /// Finalizes the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyProfile`] if no groups were added,
+    /// [`ModelError::InvalidFraction`] if any fraction lies outside
+    /// `(0, 1]`, and [`ModelError::FractionsNotNormalized`] if the
+    /// fractions do not sum to 1 (within `1e-9`).
+    pub fn build(self) -> Result<NetworkProfile, ModelError> {
+        if self.groups.is_empty() {
+            return Err(ModelError::EmptyProfile);
+        }
+        for (i, (_, fraction)) in self.groups.iter().enumerate() {
+            if !fraction.is_finite() || *fraction <= 0.0 || *fraction > 1.0 {
+                return Err(ModelError::InvalidFraction {
+                    group: i,
+                    fraction: *fraction,
+                });
+            }
+        }
+        let sum: f64 = self.groups.iter().map(|(_, c)| c).sum();
+        if (sum - 1.0).abs() > FRACTION_SUM_EPS {
+            return Err(ModelError::FractionsNotNormalized { sum });
+        }
+        Ok(NetworkProfile {
+            groups: self
+                .groups
+                .into_iter()
+                .map(|(spec, fraction)| GroupProfile { spec, fraction })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn spec(r: f64, phi: f64) -> SensorSpec {
+        SensorSpec::new(r, phi).unwrap()
+    }
+
+    fn two_group() -> NetworkProfile {
+        NetworkProfile::builder()
+            .group(spec(0.08, PI / 2.0), 0.7)
+            .group(spec(0.15, PI / 6.0), 0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn homogeneous_profile() {
+        let p = NetworkProfile::homogeneous(spec(0.1, PI));
+        assert_eq!(p.group_count(), 1);
+        assert!((p.weighted_sensing_area() - PI * 0.01 / 2.0).abs() < 1e-15);
+        assert_eq!(p.counts(123), vec![123]);
+    }
+
+    #[test]
+    fn weighted_area_is_convex_combination() {
+        let p = two_group();
+        let s0 = p.groups()[0].spec().sensing_area();
+        let s1 = p.groups()[1].spec().sensing_area();
+        let expected = 0.7 * s0 + 0.3 * s1;
+        assert!((p.weighted_sensing_area() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn counts_sum_to_n_and_respect_fractions() {
+        let p = two_group();
+        for n in [0, 1, 3, 10, 999, 1000, 12345] {
+            let counts = p.counts(n);
+            assert_eq!(counts.iter().sum::<usize>(), n, "n={n}");
+            for (c, g) in counts.iter().zip(p.groups()) {
+                let ideal = g.fraction() * n as f64;
+                assert!(
+                    (*c as f64 - ideal).abs() <= 1.0,
+                    "count {c} too far from ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_with_three_awkward_fractions() {
+        let p = NetworkProfile::builder()
+            .group(spec(0.1, 1.0), 1.0 / 3.0)
+            .group(spec(0.1, 1.0), 1.0 / 3.0)
+            .group(spec(0.1, 1.0), 1.0 / 3.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.counts(10).iter().sum::<usize>(), 10);
+        assert_eq!(p.counts(2).iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn scale_to_weighted_area_hits_target() {
+        let p = two_group();
+        let scaled = p.scale_to_weighted_area(0.005).unwrap();
+        assert!((scaled.weighted_sensing_area() - 0.005).abs() < 1e-12);
+        // Shape preserved: angles of view and fractions unchanged.
+        for (a, b) in scaled.groups().iter().zip(p.groups()) {
+            assert!((a.spec().angle_of_view() - b.spec().angle_of_view()).abs() < 1e-15);
+            assert!((a.fraction() - b.fraction()).abs() < 1e-15);
+        }
+        // Area ratio between groups preserved.
+        let r0 = scaled.groups()[0].spec().sensing_area() / p.groups()[0].spec().sensing_area();
+        let r1 = scaled.groups()[1].spec().sensing_area() / p.groups()[1].spec().sensing_area();
+        assert!((r0 - r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_radius() {
+        assert!((two_group().max_radius() - 0.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(matches!(
+            NetworkProfile::builder().build(),
+            Err(ModelError::EmptyProfile)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_fraction() {
+        let err = NetworkProfile::builder()
+            .group(spec(0.1, 1.0), 0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFraction { group: 0, .. }));
+        let err = NetworkProfile::builder()
+            .group(spec(0.1, 1.0), 0.5)
+            .group(spec(0.1, 1.0), 1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFraction { group: 1, .. }));
+    }
+
+    #[test]
+    fn builder_rejects_unnormalized() {
+        let err = NetworkProfile::builder()
+            .group(spec(0.1, 1.0), 0.5)
+            .group(spec(0.1, 1.0), 0.4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::FractionsNotNormalized { .. }));
+    }
+
+    #[test]
+    fn fits_torus_check() {
+        let p = two_group();
+        assert!(p.check_fits_torus(1.0).is_ok());
+        assert!(matches!(
+            p.check_fits_torus(0.3),
+            Err(ModelError::RadiusExceedsHalfSide { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_rejects_bad_target() {
+        assert!(two_group().scale_to_weighted_area(0.0).is_err());
+        assert!(two_group().scale_to_weighted_area(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Plain-text serialization of deployed camera networks.
+//!
+//! Real deployments come from survey spreadsheets or installer logs;
+//! this module reads and writes a minimal line-oriented format so the
+//! library (and the `fvc` CLI) can analyse as-built networks rather
+//! than only synthetic ones.
+//!
+//! Format, one camera per line, whitespace-separated:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! # x y orientation_rad radius aov_rad group
+//! 0.25 0.75 1.5708 0.12 1.5708 0
+//! ```
+
+use crate::camera::{Camera, GroupId};
+use crate::error::ModelError;
+use crate::network::CameraNetwork;
+use crate::spec::SensorSpec;
+use fullview_geom::{Angle, Point, Torus};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from parsing the network text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetworkError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetworkError {}
+
+impl From<(usize, ModelError)> for ParseNetworkError {
+    fn from((line, e): (usize, ModelError)) -> Self {
+        ParseNetworkError {
+            line,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Serializes a network to the text format (with a header comment).
+#[must_use]
+pub fn network_to_text(net: &CameraNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# fullview camera network: {} cameras", net.len());
+    let _ = writeln!(out, "# x y orientation_rad radius aov_rad group");
+    for cam in net.cameras() {
+        let _ = writeln!(
+            out,
+            "{:.9} {:.9} {:.9} {:.9} {:.9} {}",
+            cam.position().x,
+            cam.position().y,
+            cam.orientation().radians(),
+            cam.spec().radius(),
+            cam.spec().angle_of_view(),
+            cam.group().0
+        );
+    }
+    out
+}
+
+/// Parses a network from the text format onto `torus`.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] naming the first malformed line: wrong
+/// field count, unparseable numbers, or sensor parameters the model
+/// rejects.
+pub fn network_from_text(torus: Torus, text: &str) -> Result<CameraNetwork, ParseNetworkError> {
+    let mut cameras = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 {
+            return Err(ParseNetworkError {
+                line: line_no,
+                message: format!("expected 6 fields, found {}", fields.len()),
+            });
+        }
+        let parse_f64 = |i: usize, name: &str| -> Result<f64, ParseNetworkError> {
+            fields[i].parse().map_err(|e| ParseNetworkError {
+                line: line_no,
+                message: format!("bad {name} '{}': {e}", fields[i]),
+            })
+        };
+        let x = parse_f64(0, "x")?;
+        let y = parse_f64(1, "y")?;
+        let orientation = parse_f64(2, "orientation")?;
+        let radius = parse_f64(3, "radius")?;
+        let aov = parse_f64(4, "aov")?;
+        let group: usize = fields[5].parse().map_err(|e| ParseNetworkError {
+            line: line_no,
+            message: format!("bad group '{}': {e}", fields[5]),
+        })?;
+        if !x.is_finite() || !y.is_finite() || !orientation.is_finite() {
+            return Err(ParseNetworkError {
+                line: line_no,
+                message: "coordinates and orientation must be finite".to_string(),
+            });
+        }
+        let spec = SensorSpec::new(radius, aov).map_err(|e| (line_no, e))?;
+        cameras.push(Camera::new(
+            torus.wrap(Point::new(x, y)),
+            Angle::new(orientation),
+            spec,
+            GroupId(group),
+        ));
+    }
+    Ok(CameraNetwork::new(torus, cameras))
+}
+
+/// Serializes a heterogeneous profile to a text format: one group per
+/// line, `fraction radius aov_rad`.
+#[must_use]
+pub fn profile_to_text(profile: &crate::NetworkProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# fullview network profile: {} groups", profile.group_count());
+    let _ = writeln!(out, "# fraction radius aov_rad");
+    for g in profile.groups() {
+        let _ = writeln!(
+            out,
+            "{:.9} {:.9} {:.9}",
+            g.fraction(),
+            g.spec().radius(),
+            g.spec().angle_of_view()
+        );
+    }
+    out
+}
+
+/// Parses a heterogeneous profile from the text format written by
+/// [`profile_to_text`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] naming the first malformed line, or
+/// carrying the model's own rejection (bad spec, fractions not summing
+/// to 1, empty profile — reported against the last line).
+pub fn profile_from_text(text: &str) -> Result<crate::NetworkProfile, ParseNetworkError> {
+    let mut builder = crate::NetworkProfile::builder();
+    let mut last_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        last_line = line_no;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseNetworkError {
+                line: line_no,
+                message: format!("expected 3 fields, found {}", fields.len()),
+            });
+        }
+        let parse = |i: usize, name: &str| -> Result<f64, ParseNetworkError> {
+            fields[i].parse().map_err(|e| ParseNetworkError {
+                line: line_no,
+                message: format!("bad {name} '{}': {e}", fields[i]),
+            })
+        };
+        let fraction = parse(0, "fraction")?;
+        let radius = parse(1, "radius")?;
+        let aov = parse(2, "aov")?;
+        let spec = SensorSpec::new(radius, aov).map_err(|e| (line_no, e))?;
+        builder = builder.group(spec, fraction);
+    }
+    builder.build().map_err(|e| (last_line.max(1), e).into())
+}
+
+/// Reconstructs the heterogeneous profile of an as-built network: one
+/// group per distinct [`GroupId`], with fraction = population share and
+/// spec taken from the group's first camera.
+///
+/// Returns `None` for an empty network, or when a group's cameras carry
+/// inconsistent specs (which would make "the group's spec" meaningless).
+#[must_use]
+pub fn empirical_profile(net: &CameraNetwork) -> Option<crate::NetworkProfile> {
+    if net.is_empty() {
+        return None;
+    }
+    // Group cameras by id, preserving first-seen order.
+    let mut order: Vec<usize> = Vec::new();
+    let mut specs: Vec<Option<SensorSpec>> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for cam in net.cameras() {
+        let gid = cam.group().0;
+        if gid >= specs.len() {
+            specs.resize(gid + 1, None);
+            counts.resize(gid + 1, 0);
+        }
+        match &specs[gid] {
+            None => {
+                specs[gid] = Some(*cam.spec());
+                order.push(gid);
+            }
+            Some(existing) if existing != cam.spec() => return None,
+            Some(_) => {}
+        }
+        counts[gid] += 1;
+    }
+    let n = net.len() as f64;
+    let mut builder = crate::NetworkProfile::builder();
+    for gid in order {
+        let spec = specs[gid].expect("recorded above");
+        builder = builder.group(spec, counts[gid] as f64 / n);
+    }
+    builder.build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sample_network() -> CameraNetwork {
+        let spec_a = SensorSpec::new(0.1, PI / 2.0).unwrap();
+        let spec_b = SensorSpec::new(0.2, PI / 4.0).unwrap();
+        CameraNetwork::new(
+            Torus::unit(),
+            vec![
+                Camera::new(Point::new(0.25, 0.75), Angle::new(1.0), spec_a, GroupId(0)),
+                Camera::new(Point::new(0.5, 0.5), Angle::new(4.5), spec_b, GroupId(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_cameras() {
+        let net = sample_network();
+        let text = network_to_text(&net);
+        let back = network_from_text(Torus::unit(), &text).unwrap();
+        assert_eq!(back.len(), net.len());
+        for (a, b) in back.cameras().iter().zip(net.cameras()) {
+            assert!((a.position().x - b.position().x).abs() < 1e-8);
+            assert!((a.position().y - b.position().y).abs() < 1e-8);
+            assert!(a.orientation().distance(b.orientation()) < 1e-8);
+            assert!((a.spec().radius() - b.spec().radius()).abs() < 1e-8);
+            assert!((a.spec().angle_of_view() - b.spec().angle_of_view()).abs() < 1e-8);
+            assert_eq!(a.group(), b.group());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n  \n0.1 0.2 0.3 0.1 1.0 0\n# trailing\n";
+        let net = network_from_text(Torus::unit(), text).unwrap();
+        assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn positions_wrapped_into_domain() {
+        let text = "1.25 -0.25 0.0 0.1 1.0 0";
+        let net = network_from_text(Torus::unit(), text).unwrap();
+        let p = net.cameras()[0].position();
+        assert!((p.x - 0.25).abs() < 1e-12);
+        assert!((p.y - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_field_count_reports_line() {
+        let text = "# ok\n0.1 0.2 0.3 0.1 1.0\n";
+        let err = network_from_text(Torus::unit(), text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("6 fields"));
+    }
+
+    #[test]
+    fn bad_number_reports_field() {
+        let text = "0.1 oops 0.3 0.1 1.0 0";
+        let err = network_from_text(Torus::unit(), text).unwrap_err();
+        assert!(err.message.contains('y'), "{err}");
+    }
+
+    #[test]
+    fn invalid_spec_rejected_with_line() {
+        let text = "0.1 0.2 0.3 -0.5 1.0 0";
+        let err = network_from_text(Torus::unit(), text).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("radius"));
+    }
+
+    #[test]
+    fn empty_text_gives_empty_network() {
+        let net = network_from_text(Torus::unit(), "# nothing\n").unwrap();
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        let profile = crate::NetworkProfile::builder()
+            .group(SensorSpec::new(0.08, PI / 2.0).unwrap(), 0.7)
+            .group(SensorSpec::new(0.15, PI / 6.0).unwrap(), 0.3)
+            .build()
+            .unwrap();
+        let text = profile_to_text(&profile);
+        let back = profile_from_text(&text).unwrap();
+        assert_eq!(back.group_count(), 2);
+        for (a, b) in back.groups().iter().zip(profile.groups()) {
+            assert!((a.fraction() - b.fraction()).abs() < 1e-8);
+            assert!((a.spec().radius() - b.spec().radius()).abs() < 1e-8);
+            assert!((a.spec().angle_of_view() - b.spec().angle_of_view()).abs() < 1e-8);
+        }
+        assert!(
+            (back.weighted_sensing_area() - profile.weighted_sensing_area()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn profile_parse_errors_report_lines() {
+        let err = profile_from_text("0.5 0.1").unwrap_err();
+        assert_eq!(err.line, 1);
+        // Fractions not summing to 1: rejected with the last group's line.
+        let err = profile_from_text("0.5 0.1 1.0\n0.4 0.1 1.0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("sum"));
+        // Empty profile.
+        assert!(profile_from_text("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn empirical_profile_recovers_groups() {
+        let spec_a = SensorSpec::new(0.1, PI / 2.0).unwrap();
+        let spec_b = SensorSpec::new(0.2, PI / 4.0).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..7 {
+            cams.push(Camera::new(
+                Point::new(0.1 * i as f64 % 1.0, 0.3),
+                Angle::new(1.0),
+                spec_a,
+                GroupId(0),
+            ));
+        }
+        for i in 0..3 {
+            cams.push(Camera::new(
+                Point::new(0.13 * i as f64 % 1.0, 0.7),
+                Angle::new(2.0),
+                spec_b,
+                GroupId(1),
+            ));
+        }
+        let net = CameraNetwork::new(Torus::unit(), cams);
+        let profile = empirical_profile(&net).expect("consistent groups");
+        assert_eq!(profile.group_count(), 2);
+        assert!((profile.groups()[0].fraction() - 0.7).abs() < 1e-12);
+        assert!((profile.groups()[1].fraction() - 0.3).abs() < 1e-12);
+        let expect_sc = 0.7 * spec_a.sensing_area() + 0.3 * spec_b.sensing_area();
+        assert!((profile.weighted_sensing_area() - expect_sc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_profile_edge_cases() {
+        assert!(empirical_profile(&CameraNetwork::new(Torus::unit(), Vec::new())).is_none());
+        // Inconsistent specs within one group id.
+        let cams = vec![
+            Camera::new(
+                Point::new(0.1, 0.1),
+                Angle::ZERO,
+                SensorSpec::new(0.1, 1.0).unwrap(),
+                GroupId(0),
+            ),
+            Camera::new(
+                Point::new(0.2, 0.2),
+                Angle::ZERO,
+                SensorSpec::new(0.2, 1.0).unwrap(),
+                GroupId(0),
+            ),
+        ];
+        assert!(empirical_profile(&CameraNetwork::new(Torus::unit(), cams)).is_none());
+    }
+
+    #[test]
+    fn text_is_stable_for_empty_network() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let text = network_to_text(&net);
+        assert!(text.starts_with("# fullview camera network: 0 cameras"));
+        let back = network_from_text(Torus::unit(), &text).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Sensor specifications: the `(r, φ)` pair of the binary sector model.
+
+use crate::error::ModelError;
+use fullview_geom::ANGLE_EPS;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// The sensing parameters of one camera class: sensing radius `r` and angle
+/// of view `φ` (§II-A of the paper).
+///
+/// The derived quantity `s = φ r² / 2` — the *sensing area* — is, per
+/// §VI-A, the decisive parameter under uniform deployment: two specs with
+/// equal sensing area "perform all the same in the network" regardless of
+/// shape.
+///
+/// # Examples
+///
+/// ```
+/// use fullview_model::SensorSpec;
+/// use std::f64::consts::PI;
+///
+/// let wide = SensorSpec::new(0.1, PI / 2.0)?;
+/// // A narrower camera with the same sensing area must see farther:
+/// let narrow = SensorSpec::with_sensing_area(wide.sensing_area(), PI / 8.0)?;
+/// assert!(narrow.radius() > wide.radius());
+/// assert!((narrow.sensing_area() - wide.sensing_area()).abs() < 1e-12);
+/// # Ok::<(), fullview_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorSpec {
+    radius: f64,
+    angle_of_view: f64,
+}
+
+impl SensorSpec {
+    /// Creates a spec from sensing radius `r` and angle of view `φ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRadius`] if `radius` is not finite and
+    /// strictly positive, and [`ModelError::InvalidAngleOfView`] if
+    /// `angle_of_view` is outside `(0, 2π]`.
+    pub fn new(radius: f64, angle_of_view: f64) -> Result<Self, ModelError> {
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(ModelError::InvalidRadius { radius });
+        }
+        if !angle_of_view.is_finite()
+            || angle_of_view <= 0.0
+            || angle_of_view > TAU + ANGLE_EPS
+        {
+            return Err(ModelError::InvalidAngleOfView {
+                angle: angle_of_view,
+            });
+        }
+        Ok(SensorSpec {
+            radius,
+            angle_of_view: angle_of_view.min(TAU),
+        })
+    }
+
+    /// Creates an omnidirectional ("disc", `φ = 2π`) spec — the traditional
+    /// scalar sensor used in §VII-A's comparison with 1-coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRadius`] if `radius` is not finite and
+    /// strictly positive.
+    pub fn disc(radius: f64) -> Result<Self, ModelError> {
+        SensorSpec::new(radius, TAU)
+    }
+
+    /// Creates the spec with the given sensing area `s` and angle of view
+    /// `φ`, solving `r = sqrt(2 s / φ)`.
+    ///
+    /// This is the natural constructor for §VI-A experiments, where shape
+    /// varies at constant area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSensingArea`] if `area` is not finite
+    /// and strictly positive, and [`ModelError::InvalidAngleOfView`] for a
+    /// bad `φ`.
+    pub fn with_sensing_area(area: f64, angle_of_view: f64) -> Result<Self, ModelError> {
+        if !area.is_finite() || area <= 0.0 {
+            return Err(ModelError::InvalidSensingArea { area });
+        }
+        if !angle_of_view.is_finite()
+            || angle_of_view <= 0.0
+            || angle_of_view > TAU + ANGLE_EPS
+        {
+            return Err(ModelError::InvalidAngleOfView {
+                angle: angle_of_view,
+            });
+        }
+        let radius = (2.0 * area / angle_of_view).sqrt();
+        SensorSpec::new(radius, angle_of_view)
+    }
+
+    /// The sensing radius `r`.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The angle of view `φ`, in `(0, 2π]` radians.
+    #[must_use]
+    pub fn angle_of_view(&self) -> f64 {
+        self.angle_of_view
+    }
+
+    /// The sensing area `s = φ r² / 2`.
+    #[must_use]
+    pub fn sensing_area(&self) -> f64 {
+        self.angle_of_view * self.radius * self.radius / 2.0
+    }
+
+    /// Whether this is an omnidirectional (disc) sensor.
+    #[must_use]
+    pub fn is_disc(&self) -> bool {
+        self.angle_of_view >= TAU - ANGLE_EPS
+    }
+
+    /// Returns a spec with the same angle of view whose sensing area equals
+    /// `self.sensing_area() * factor` (radius scaled by `√factor`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSensingArea`] if `factor` is not finite
+    /// and strictly positive.
+    pub fn scale_area(&self, factor: f64) -> Result<Self, ModelError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(ModelError::InvalidSensingArea {
+                area: self.sensing_area() * factor,
+            });
+        }
+        SensorSpec::new(self.radius * factor.sqrt(), self.angle_of_view)
+    }
+}
+
+impl fmt::Display for SensorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SensorSpec(r={:.4}, φ={:.4}, s={:.6})",
+            self.radius,
+            self.angle_of_view,
+            self.sensing_area()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn sensing_area_formula() {
+        let s = SensorSpec::new(0.2, PI / 2.0).unwrap();
+        assert!((s.sensing_area() - PI / 2.0 * 0.04 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disc_has_full_angle() {
+        let s = SensorSpec::disc(0.3).unwrap();
+        assert!(s.is_disc());
+        assert!((s.sensing_area() - PI * 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_sensing_area_roundtrip() {
+        let s = SensorSpec::with_sensing_area(0.01, PI / 3.0).unwrap();
+        assert!((s.sensing_area() - 0.01).abs() < 1e-12);
+        assert!((s.angle_of_view() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_area_different_shape() {
+        let a = SensorSpec::with_sensing_area(0.02, PI / 2.0).unwrap();
+        let b = SensorSpec::with_sensing_area(0.02, PI / 8.0).unwrap();
+        assert!((a.sensing_area() - b.sensing_area()).abs() < 1e-12);
+        assert!(b.radius() > a.radius());
+    }
+
+    #[test]
+    fn scale_area_scales_radius_by_sqrt() {
+        let s = SensorSpec::new(0.1, 1.0).unwrap();
+        let doubled = s.scale_area(4.0).unwrap();
+        assert!((doubled.radius() - 0.2).abs() < 1e-12);
+        assert!((doubled.sensing_area() - 4.0 * s.sensing_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_radius() {
+        assert!(matches!(
+            SensorSpec::new(0.0, 1.0),
+            Err(ModelError::InvalidRadius { .. })
+        ));
+        assert!(matches!(
+            SensorSpec::new(f64::NAN, 1.0),
+            Err(ModelError::InvalidRadius { .. })
+        ));
+        assert!(matches!(
+            SensorSpec::new(-0.5, 1.0),
+            Err(ModelError::InvalidRadius { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_angle() {
+        assert!(matches!(
+            SensorSpec::new(0.1, 0.0),
+            Err(ModelError::InvalidAngleOfView { .. })
+        ));
+        assert!(matches!(
+            SensorSpec::new(0.1, TAU + 0.1),
+            Err(ModelError::InvalidAngleOfView { .. })
+        ));
+        assert!(matches!(
+            SensorSpec::new(0.1, -1.0),
+            Err(ModelError::InvalidAngleOfView { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_area() {
+        assert!(matches!(
+            SensorSpec::with_sensing_area(0.0, 1.0),
+            Err(ModelError::InvalidSensingArea { .. })
+        ));
+        assert!(matches!(
+            SensorSpec::new(0.1, 1.0).unwrap().scale_area(-1.0),
+            Err(ModelError::InvalidSensingArea { .. })
+        ));
+    }
+
+    #[test]
+    fn angle_slightly_over_tau_is_clamped() {
+        let s = SensorSpec::new(0.1, TAU + 1e-12).unwrap();
+        assert!(s.is_disc());
+        assert!(s.angle_of_view() <= TAU);
+    }
+}

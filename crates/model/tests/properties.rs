@@ -1,0 +1,134 @@
+//! Property-based tests for the sensor model.
+
+use fullview_geom::{Angle, Point, Torus};
+use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile, SensorSpec};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn spec_strategy() -> impl Strategy<Value = SensorSpec> {
+    (0.01..0.45f64, 0.05..TAU).prop_map(|(r, phi)| SensorSpec::new(r, phi).unwrap())
+}
+
+fn camera_strategy() -> impl Strategy<Value = Camera> {
+    (
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0.0..TAU,
+        spec_strategy(),
+        0usize..4,
+    )
+        .prop_map(|(x, y, facing, spec, g)| {
+            Camera::new(Point::new(x, y), Angle::new(facing), spec, GroupId(g))
+        })
+}
+
+proptest! {
+    #[test]
+    fn sensing_area_positive_and_bounded(spec in spec_strategy()) {
+        let s = spec.sensing_area();
+        prop_assert!(s > 0.0);
+        // s = φ r² / 2 ≤ π r².
+        prop_assert!(s <= std::f64::consts::PI * spec.radius() * spec.radius() + 1e-12);
+    }
+
+    #[test]
+    fn with_sensing_area_inverts_sensing_area(area in 1e-6..0.5f64, phi in 0.05..TAU) {
+        let spec = SensorSpec::with_sensing_area(area, phi).unwrap();
+        prop_assert!((spec.sensing_area() - area).abs() < 1e-9 * area.max(1.0));
+    }
+
+    #[test]
+    fn covered_targets_are_within_radius_and_aov(
+        cam in camera_strategy(),
+        tx in 0.0..1.0f64,
+        ty in 0.0..1.0f64,
+    ) {
+        let t = Torus::unit();
+        let target = Point::new(tx, ty);
+        if cam.covers(&t, target) {
+            let d = t.distance(cam.position(), target);
+            prop_assert!(d <= cam.spec().radius() + 1e-9);
+            if let Some(dir) = t.direction(cam.position(), target) {
+                prop_assert!(
+                    cam.orientation().distance(dir) <= cam.spec().angle_of_view() / 2.0 + 1e-6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn viewed_direction_is_reverse_of_camera_to_target(
+        cam in camera_strategy(),
+        tx in 0.0..1.0f64,
+        ty in 0.0..1.0f64,
+    ) {
+        let t = Torus::unit();
+        let target = Point::new(tx, ty);
+        let d = t.distance(cam.position(), target);
+        prop_assume!(d > 1e-6);
+        let (dx, dy) = t.displacement(target, cam.position());
+        prop_assume!(dx.abs() < 0.5 - 1e-6 && dy.abs() < 0.5 - 1e-6);
+        let viewed = cam.viewed_direction(&t, target).unwrap();
+        let outgoing = t.direction(cam.position(), target).unwrap();
+        prop_assert!(viewed.distance(outgoing.opposite()) < 1e-6);
+    }
+
+    #[test]
+    fn network_count_matches_brute_force(
+        cams in prop::collection::vec(camera_strategy(), 0..40),
+        tx in 0.0..1.0f64,
+        ty in 0.0..1.0f64,
+    ) {
+        let t = Torus::unit();
+        let target = Point::new(tx, ty);
+        let brute = cams.iter().filter(|c| c.covers(&t, target)).count();
+        let net = CameraNetwork::new(t, cams);
+        prop_assert_eq!(net.coverage_count(target), brute);
+    }
+
+    #[test]
+    fn viewed_directions_len_equals_coverage_count(
+        cams in prop::collection::vec(camera_strategy(), 0..40),
+        tx in 0.0..1.0f64,
+        ty in 0.0..1.0f64,
+    ) {
+        let t = Torus::unit();
+        let target = Point::new(tx, ty);
+        let net = CameraNetwork::new(t, cams);
+        prop_assert_eq!(net.viewed_directions(target).len(), net.coverage_count(target));
+    }
+
+    #[test]
+    fn profile_counts_sum_and_stay_close(
+        fracs in prop::collection::vec(0.05..1.0f64, 1..6),
+        n in 0usize..20_000,
+    ) {
+        let total: f64 = fracs.iter().sum();
+        let mut builder = NetworkProfile::builder();
+        for f in &fracs {
+            builder = builder.group(SensorSpec::new(0.1, 1.0).unwrap(), f / total);
+        }
+        let profile = builder.build().unwrap();
+        let counts = profile.counts(n);
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        for (c, g) in counts.iter().zip(profile.groups()) {
+            prop_assert!((*c as f64 - g.fraction() * n as f64).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn scale_to_weighted_area_is_exact(
+        fracs in prop::collection::vec(0.05..1.0f64, 1..5),
+        target in 1e-6..0.2f64,
+    ) {
+        let total: f64 = fracs.iter().sum();
+        let mut builder = NetworkProfile::builder();
+        for (i, f) in fracs.iter().enumerate() {
+            let spec = SensorSpec::new(0.05 + 0.02 * i as f64, 0.5 + 0.3 * i as f64).unwrap();
+            builder = builder.group(spec, f / total);
+        }
+        let profile = builder.build().unwrap();
+        let scaled = profile.scale_to_weighted_area(target).unwrap();
+        prop_assert!((scaled.weighted_sensing_area() - target).abs() < 1e-9 * target.max(1.0));
+    }
+}

@@ -1,0 +1,50 @@
+//! # fullview-plan
+//!
+//! Deployment planning on top of the full-view coverage checkers:
+//!
+//! * [`optimize_orientations`] — fixed positions, hill-climbed
+//!   orientations: recovers coverage when installers can aim cameras
+//!   after (random) placement;
+//! * [`greedy_place`] — incremental best-gain camera placement: how few
+//!   cameras of a model full-view cover the region when every mounting
+//!   point is accessible (the deliberate-deployment counterpoint to the
+//!   paper's random-deployment theory, complementing the §VII-C lattice
+//!   constructions);
+//! * [`Evaluation`] / [`Objective`] — the shared grid-based objective
+//!   with an angular-slack tie-breaker.
+//!
+//! # Example
+//!
+//! ```
+//! use fullview_core::EffectiveAngle;
+//! use fullview_geom::Torus;
+//! use fullview_model::SensorSpec;
+//! use fullview_plan::{greedy_place, GreedyPlacer};
+//! use std::f64::consts::PI;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let theta = EffectiveAngle::new(PI / 2.0)?;
+//! let spec = SensorSpec::new(0.35, PI)?;
+//! let mut placer = GreedyPlacer::for_spec(spec);
+//! placer.grid_side = 8; // coarse demo resolution
+//! placer.position_candidates_side = 8;
+//! let outcome = greedy_place(Torus::unit(), theta, placer);
+//! assert!(outcome.covered_fraction > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod objective;
+mod orient;
+mod placement;
+mod procurement;
+
+pub use objective::{Evaluation, Objective};
+pub use orient::{optimize_orientations, OrientationOutcome, OrientationPlanner};
+pub use placement::{greedy_place, GreedyPlacer, PlacementOutcome};
+pub use procurement::{
+    cheapest_fraction_plan, cheapest_guaranteed_plan, CatalogueEntry, ProcurementPlan,
+};

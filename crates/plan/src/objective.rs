@@ -1,0 +1,209 @@
+//! The shared planning objective: grid-based full-view coverage with a
+//! partial-credit tie-breaker.
+//!
+//! Planners compare candidate moves by (1) the number of evaluation-grid
+//! points that are full-view covered and (2), as a tie-breaker, the total
+//! *angular slack* — how far below the `2θ` limit the largest gaps sit —
+//! so that moves which do not immediately flip a point still make
+//! measurable progress.
+
+use fullview_core::{analyze_point, EffectiveAngle};
+use fullview_geom::{Point, Torus, UnitGrid};
+use fullview_model::CameraNetwork;
+use std::f64::consts::TAU;
+
+/// A planning objective value: lexicographic (covered points, slack).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Number of evaluation points that are full-view covered.
+    pub covered: usize,
+    /// Total clamped slack `Σ max(0, 2π − largest_gap)` over uncovered
+    /// points — higher means closer to flipping more points.
+    pub slack: f64,
+}
+
+impl Objective {
+    /// Whether `self` is a strict improvement over `other`.
+    #[must_use]
+    pub fn better_than(&self, other: &Objective) -> bool {
+        self.covered > other.covered
+            || (self.covered == other.covered && self.slack > other.slack + 1e-9)
+    }
+}
+
+/// The evaluation grid and scoring for a planning run.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    grid: UnitGrid,
+    theta: EffectiveAngle,
+}
+
+impl Evaluation {
+    /// Creates an evaluation over a `grid_side × grid_side` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_side == 0`.
+    #[must_use]
+    pub fn new(torus: Torus, grid_side: usize, theta: EffectiveAngle) -> Self {
+        Evaluation {
+            grid: UnitGrid::new(torus, grid_side),
+            theta,
+        }
+    }
+
+    /// The effective angle being planned for.
+    #[must_use]
+    pub fn theta(&self) -> EffectiveAngle {
+        self.theta
+    }
+
+    /// The evaluation grid.
+    #[must_use]
+    pub fn grid(&self) -> &UnitGrid {
+        &self.grid
+    }
+
+    /// Scores one point: `(covered, slack_contribution)`.
+    fn score_point(&self, net: &CameraNetwork, p: Point) -> (bool, f64) {
+        let analysis = analyze_point(net, p);
+        if analysis.is_full_view(self.theta) {
+            (true, 0.0)
+        } else {
+            // Slack grows as the worst gap shrinks towards 2θ.
+            let gap = analysis.largest_gap.min(TAU);
+            (false, TAU - gap)
+        }
+    }
+
+    /// Scores the whole grid.
+    #[must_use]
+    pub fn objective(&self, net: &CameraNetwork) -> Objective {
+        let mut covered = 0usize;
+        let mut slack = 0.0f64;
+        for p in self.grid.iter() {
+            let (c, s) = self.score_point(net, p);
+            if c {
+                covered += 1;
+            }
+            slack += s;
+        }
+        Objective { covered, slack }
+    }
+
+    /// Scores only the grid points within `radius` of `center` — the
+    /// local re-scoring planners use after perturbing a single camera.
+    #[must_use]
+    pub fn local_objective(&self, net: &CameraNetwork, center: Point, radius: f64) -> Objective {
+        let torus = net.torus();
+        let mut covered = 0usize;
+        let mut slack = 0.0f64;
+        for p in self.grid.iter() {
+            if torus.distance(center, p) > radius {
+                continue;
+            }
+            let (c, s) = self.score_point(net, p);
+            if c {
+                covered += 1;
+            }
+            slack += s;
+        }
+        Objective { covered, slack }
+    }
+
+    /// Fraction of grid points full-view covered.
+    #[must_use]
+    pub fn covered_fraction(&self, net: &CameraNetwork) -> f64 {
+        self.objective(net).covered as f64 / self.grid.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Angle;
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta() -> EffectiveAngle {
+        EffectiveAngle::new(PI / 2.0).unwrap()
+    }
+
+    #[test]
+    fn objective_ordering() {
+        let a = Objective { covered: 5, slack: 0.0 };
+        let b = Objective { covered: 4, slack: 100.0 };
+        assert!(a.better_than(&b));
+        let c = Objective { covered: 5, slack: 1.0 };
+        assert!(c.better_than(&a));
+        assert!(!a.better_than(&a));
+    }
+
+    #[test]
+    fn empty_network_scores_zero_coverage() {
+        let eval = Evaluation::new(Torus::unit(), 8, theta());
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let obj = eval.objective(&net);
+        assert_eq!(obj.covered, 0);
+        assert_eq!(obj.slack, 0.0); // gap is 2π everywhere: no slack earned
+        assert_eq!(eval.covered_fraction(&net), 0.0);
+    }
+
+    #[test]
+    fn local_objective_subset_of_global() {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.2, PI).unwrap();
+        let cams: Vec<Camera> = (0..4)
+            .map(|k| {
+                let dir = Angle::new(k as f64 * PI / 2.0);
+                Camera::new(
+                    torus.offset(Point::new(0.5, 0.5), dir, 0.1),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
+            })
+            .collect();
+        let net = CameraNetwork::new(torus, cams);
+        let eval = Evaluation::new(torus, 12, theta());
+        let global = eval.objective(&net);
+        let local = eval.local_objective(&net, Point::new(0.5, 0.5), 0.25);
+        assert!(local.covered <= global.covered);
+        assert!(local.covered > 0, "ring should cover its centre region");
+    }
+
+    #[test]
+    fn slack_increases_as_gap_narrows() {
+        // One camera: slack 2π − 2π = 0... a single direction leaves gap 2π.
+        // Two opposite cameras: largest gap = π, slack = π per uncovered pt.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.45, PI).unwrap();
+        let target = Point::new(0.5, 0.5);
+        let one = CameraNetwork::new(
+            torus,
+            vec![Camera::new(
+                torus.offset(target, Angle::ZERO, 0.1),
+                Angle::new(PI),
+                spec,
+                GroupId(0),
+            )],
+        );
+        let two = CameraNetwork::new(torus, {
+            let mut v = one.cameras().to_vec();
+            v.push(Camera::new(
+                torus.offset(target, Angle::new(PI), 0.1),
+                Angle::ZERO,
+                spec,
+                GroupId(0),
+            ));
+            v
+        });
+        let eval = Evaluation::new(torus, 1, EffectiveAngle::new(PI / 4.0).unwrap());
+        // Single evaluation point at the centre of the square.
+        let o1 = eval.objective(&one);
+        let o2 = eval.objective(&two);
+        assert_eq!(o1.covered, 0);
+        assert_eq!(o2.covered, 0);
+        assert!(o2.slack > o1.slack);
+    }
+}

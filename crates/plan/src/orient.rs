@@ -1,0 +1,241 @@
+//! Orientation optimization for fixed camera positions.
+//!
+//! The paper's model fixes orientations at deployment time, uniformly at
+//! random (§II-A) — appropriate for air-dropped sensors. When installers
+//! *can* aim cameras after placement (but not move them), coverage can
+//! be recovered cheaply: this module hill-climbs over per-camera
+//! orientations, evaluating each candidate on the local neighbourhood of
+//! the camera only, until a full sweep yields no improvement.
+//!
+//! The optimizer is deterministic: cameras are visited in index order
+//! and candidate orientations form a fixed fan plus the current one.
+
+use crate::objective::{Evaluation, Objective};
+use fullview_core::EffectiveAngle;
+use fullview_geom::{Angle, Torus};
+use fullview_model::{Camera, CameraNetwork};
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// Configuration for [`optimize_orientations`].
+#[derive(Debug, Clone, Copy)]
+pub struct OrientationPlanner {
+    /// Side of the evaluation grid (objective resolution).
+    pub grid_side: usize,
+    /// Number of candidate orientations per camera (evenly spaced).
+    pub candidates: usize,
+    /// Maximum full sweeps over all cameras.
+    pub max_rounds: usize,
+}
+
+impl Default for OrientationPlanner {
+    fn default() -> Self {
+        OrientationPlanner {
+            grid_side: 24,
+            candidates: 16,
+            max_rounds: 4,
+        }
+    }
+}
+
+/// Outcome of an orientation-optimization run.
+#[derive(Debug, Clone)]
+pub struct OrientationOutcome {
+    /// The re-oriented network.
+    pub network: CameraNetwork,
+    /// Objective before optimization.
+    pub before: Objective,
+    /// Objective after optimization.
+    pub after: Objective,
+    /// Number of cameras whose orientation changed.
+    pub reoriented: usize,
+    /// Full sweeps performed.
+    pub rounds: usize,
+}
+
+impl fmt::Display for OrientationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reoriented {} cameras in {} rounds: covered {} -> {}",
+            self.reoriented, self.rounds, self.before.covered, self.after.covered
+        )
+    }
+}
+
+/// Hill-climbs camera orientations (positions and specs fixed) to
+/// maximize grid full-view coverage for effective angle `theta`.
+///
+/// Each camera is offered `candidates` evenly spaced orientations plus
+/// its current one; a move is taken only if it strictly improves the
+/// *local* objective (grid points within the camera's reach). Sweeps
+/// repeat until a round makes no move or `max_rounds` is hit.
+///
+/// # Panics
+///
+/// Panics if `planner.grid_side == 0` or `planner.candidates == 0`.
+#[must_use]
+pub fn optimize_orientations(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    planner: OrientationPlanner,
+) -> OrientationOutcome {
+    assert!(planner.candidates > 0, "need at least one candidate");
+    let torus: Torus = *net.torus();
+    let eval = Evaluation::new(torus, planner.grid_side, theta);
+    let before = eval.objective(net);
+
+    let mut cameras: Vec<Camera> = net.cameras().to_vec();
+    let mut current = CameraNetwork::new(torus, cameras.clone());
+    let mut reoriented = 0usize;
+    let mut rounds = 0usize;
+
+    for _ in 0..planner.max_rounds {
+        rounds += 1;
+        let mut improved_this_round = false;
+        for i in 0..cameras.len() {
+            let cam = cameras[i];
+            // Local scope: points this camera could influence.
+            let reach = cam.spec().radius();
+            let base = eval.local_objective(&current, cam.position(), reach);
+            let mut best: Option<(Angle, Objective)> = None;
+            for c in 0..planner.candidates {
+                let orientation = Angle::new(c as f64 * TAU / planner.candidates as f64);
+                if orientation.approx_eq(cam.orientation()) {
+                    continue;
+                }
+                let candidate = Camera::new(
+                    cam.position(),
+                    orientation,
+                    *cam.spec(),
+                    cam.group(),
+                );
+                let mut trial = cameras.clone();
+                trial[i] = candidate;
+                let trial_net = CameraNetwork::new(torus, trial);
+                let score = eval.local_objective(&trial_net, cam.position(), reach);
+                let incumbent = best.as_ref().map_or(base, |(_, o)| *o);
+                if score.better_than(&incumbent) {
+                    best = Some((orientation, score));
+                }
+            }
+            if let Some((orientation, _)) = best {
+                cameras[i] =
+                    Camera::new(cam.position(), orientation, *cam.spec(), cam.group());
+                current = CameraNetwork::new(torus, cameras.clone());
+                reoriented += 1;
+                improved_this_round = true;
+            }
+        }
+        if !improved_this_round {
+            break;
+        }
+    }
+
+    let after = eval.objective(&current);
+    OrientationOutcome {
+        network: current,
+        before,
+        after,
+        reoriented,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::Point;
+    use fullview_model::{GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn theta() -> EffectiveAngle {
+        EffectiveAngle::new(PI / 2.0).unwrap()
+    }
+
+    /// A ring of cameras all facing *away* from the centre — worst-case
+    /// orientations that optimization should fix.
+    fn misaligned_ring() -> CameraNetwork {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.25, PI / 2.0).unwrap();
+        let target = Point::new(0.5, 0.5);
+        let cams: Vec<Camera> = (0..6)
+            .map(|k| {
+                let dir = Angle::new(k as f64 * TAU / 6.0);
+                // Positioned around the target but facing outward.
+                Camera::new(torus.offset(target, dir, 0.12), dir, spec, GroupId(0))
+            })
+            .collect();
+        CameraNetwork::new(torus, cams)
+    }
+
+    #[test]
+    fn optimization_never_hurts() {
+        let net = misaligned_ring();
+        let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        assert!(
+            outcome.after.covered >= outcome.before.covered,
+            "{outcome}"
+        );
+    }
+
+    #[test]
+    fn fixes_outward_facing_ring() {
+        let net = misaligned_ring();
+        let eval = Evaluation::new(Torus::unit(), 24, theta());
+        let before = eval.covered_fraction(&net);
+        let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        let after = eval.covered_fraction(&outcome.network);
+        assert!(
+            after > before + 0.02,
+            "expected clear improvement: {before} -> {after}"
+        );
+        assert!(outcome.reoriented > 0);
+    }
+
+    #[test]
+    fn positions_and_specs_preserved() {
+        let net = misaligned_ring();
+        let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        assert_eq!(outcome.network.len(), net.len());
+        for (a, b) in outcome.network.cameras().iter().zip(net.cameras()) {
+            assert_eq!(a.position(), b.position());
+            assert_eq!(a.spec(), b.spec());
+            assert_eq!(a.group(), b.group());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = misaligned_ring();
+        let a = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        let b = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        assert_eq!(a.network.cameras(), b.network.cameras());
+        assert_eq!(a.reoriented, b.reoriented);
+    }
+
+    #[test]
+    fn empty_network_is_noop() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        assert_eq!(outcome.network.len(), 0);
+        assert_eq!(outcome.reoriented, 0);
+        assert_eq!(outcome.before.covered, 0);
+    }
+
+    #[test]
+    fn stops_when_no_improvement() {
+        // Already-optimal single camera: no reorientation should happen
+        // beyond round 1 and the loop should stop early.
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.2, 2.0 * PI).unwrap(); // omnidirectional
+        let net = CameraNetwork::new(
+            torus,
+            vec![Camera::new(Point::new(0.5, 0.5), Angle::ZERO, spec, GroupId(0))],
+        );
+        let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
+        // Omni camera: orientation irrelevant, objective cannot improve.
+        assert_eq!(outcome.reoriented, 0);
+        assert!(outcome.rounds <= 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Procurement optimization: pick the cheapest camera model and fleet
+//! size meeting a coverage target.
+//!
+//! A planning department holds a catalogue of camera models with unit
+//! prices and must meet one of two targets for random deployment:
+//!
+//! * the **Theorem-2 guarantee** — enough cameras that full-view
+//!   coverage of the whole region is asymptotically assured;
+//! * an **expected-fraction target** — an exact per-point full-view
+//!   probability of at least `f` at a fixed fleet size.
+//!
+//! Both reduce to the sizing queries in `fullview_core::design`; this
+//! module scans the catalogue and reports the cheapest admissible plan.
+
+use fullview_core::{
+    min_cameras_for_guarantee, prob_point_full_view_uniform, CoreError, EffectiveAngle,
+};
+use fullview_model::{NetworkProfile, SensorSpec};
+use std::fmt;
+
+/// A purchasable camera model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogueEntry {
+    /// Display name.
+    pub name: String,
+    /// Sensing parameters.
+    pub spec: SensorSpec,
+    /// Price per unit (any consistent currency).
+    pub unit_cost: f64,
+}
+
+impl CatalogueEntry {
+    /// Creates an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_cost` is not finite and positive.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, spec: SensorSpec, unit_cost: f64) -> Self {
+        assert!(
+            unit_cost.is_finite() && unit_cost > 0.0,
+            "unit cost must be finite and positive, got {unit_cost}"
+        );
+        CatalogueEntry {
+            name: name.into(),
+            spec,
+            unit_cost,
+        }
+    }
+}
+
+/// One costed plan: a model and a fleet size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcurementPlan {
+    /// Chosen catalogue entry.
+    pub entry: CatalogueEntry,
+    /// Number of units to buy.
+    pub fleet_size: usize,
+    /// Total cost.
+    pub total_cost: f64,
+}
+
+impl fmt::Display for ProcurementPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {} = {:.2}",
+            self.fleet_size, self.entry.name, self.total_cost
+        )
+    }
+}
+
+/// The cheapest plan whose fleet reaches the Theorem-2 full-view
+/// coverage guarantee for `theta` under uniform random deployment.
+///
+/// Returns `None` for an empty catalogue or if no model can reach the
+/// guarantee within the sizing search bounds.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the sizing search for pathological
+/// specs; models that merely fail to reach the guarantee are skipped,
+/// not errors.
+pub fn cheapest_guaranteed_plan(
+    catalogue: &[CatalogueEntry],
+    theta: EffectiveAngle,
+) -> Result<Option<ProcurementPlan>, CoreError> {
+    let mut best: Option<ProcurementPlan> = None;
+    for entry in catalogue {
+        let n = match min_cameras_for_guarantee(entry.spec.sensing_area(), theta) {
+            Ok(n) => n,
+            Err(CoreError::SearchFailed { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        let total_cost = n as f64 * entry.unit_cost;
+        let beats = best
+            .as_ref()
+            .is_none_or(|b| total_cost < b.total_cost);
+        if beats {
+            best = Some(ProcurementPlan {
+                entry: entry.clone(),
+                fleet_size: n,
+                total_cost,
+            });
+        }
+    }
+    Ok(best)
+}
+
+/// The cheapest plan achieving an exact per-point full-view probability
+/// of at least `fraction` with a fleet of exactly `n` cameras of one
+/// model — the *pick-the-model* variant when the fleet size is fixed by
+/// logistics.
+///
+/// Returns `None` if no model reaches the target at that fleet size.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] for `fraction ∉ (0, 1)`.
+pub fn cheapest_fraction_plan(
+    catalogue: &[CatalogueEntry],
+    n: usize,
+    theta: EffectiveAngle,
+    fraction: f64,
+) -> Result<Option<ProcurementPlan>, CoreError> {
+    if !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
+        return Err(CoreError::InvalidProbability {
+            name: "fraction",
+            value: fraction,
+        });
+    }
+    let mut best: Option<ProcurementPlan> = None;
+    for entry in catalogue {
+        let profile = NetworkProfile::homogeneous(entry.spec);
+        if prob_point_full_view_uniform(&profile, n, theta) < fraction {
+            continue;
+        }
+        let total_cost = n as f64 * entry.unit_cost;
+        let beats = best
+            .as_ref()
+            .is_none_or(|b| total_cost < b.total_cost);
+        if beats {
+            best = Some(ProcurementPlan {
+                entry: entry.clone(),
+                fleet_size: n,
+                total_cost,
+            });
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn theta() -> EffectiveAngle {
+        EffectiveAngle::new(PI / 4.0).unwrap()
+    }
+
+    fn catalogue() -> Vec<CatalogueEntry> {
+        vec![
+            CatalogueEntry::new("cheap-short", SensorSpec::new(0.05, PI / 2.0).unwrap(), 10.0),
+            CatalogueEntry::new("mid", SensorSpec::new(0.10, PI / 2.0).unwrap(), 45.0),
+            CatalogueEntry::new("pro", SensorSpec::new(0.15, 2.0 * PI / 3.0).unwrap(), 150.0),
+        ]
+    }
+
+    #[test]
+    fn guaranteed_plan_picks_cost_minimum() {
+        let plan = cheapest_guaranteed_plan(&catalogue(), theta())
+            .unwrap()
+            .expect("catalogue is feasible");
+        // Verify optimality by brute force.
+        let mut best = f64::INFINITY;
+        let mut best_name = String::new();
+        for e in catalogue() {
+            let n = min_cameras_for_guarantee(e.spec.sensing_area(), theta()).unwrap();
+            let cost = n as f64 * e.unit_cost;
+            if cost < best {
+                best = cost;
+                best_name = e.name.clone();
+            }
+        }
+        assert_eq!(plan.entry.name, best_name);
+        assert!((plan.total_cost - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guaranteed_plan_empty_catalogue() {
+        assert_eq!(cheapest_guaranteed_plan(&[], theta()).unwrap(), None);
+    }
+
+    #[test]
+    fn fraction_plan_respects_target() {
+        let n = 1500;
+        let plan = cheapest_fraction_plan(&catalogue(), n, theta(), 0.9)
+            .unwrap()
+            .expect("some model reaches 0.9 at n=1500");
+        let profile = NetworkProfile::homogeneous(plan.entry.spec);
+        assert!(prob_point_full_view_uniform(&profile, n, theta()) >= 0.9);
+        assert_eq!(plan.fleet_size, n);
+    }
+
+    #[test]
+    fn fraction_plan_none_when_unreachable() {
+        // Ten cameras cannot deliver 99.9% full-view probability with any
+        // catalogue model.
+        let plan = cheapest_fraction_plan(&catalogue(), 10, theta(), 0.999).unwrap();
+        assert_eq!(plan, None);
+    }
+
+    #[test]
+    fn fraction_plan_rejects_bad_fraction() {
+        assert!(cheapest_fraction_plan(&catalogue(), 100, theta(), 1.0).is_err());
+        assert!(cheapest_fraction_plan(&catalogue(), 100, theta(), 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit cost")]
+    fn bad_cost_panics() {
+        let _ = CatalogueEntry::new("x", SensorSpec::new(0.1, 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn plan_displays() {
+        let plan = ProcurementPlan {
+            entry: catalogue().pop().unwrap(),
+            fleet_size: 42,
+            total_cost: 6300.0,
+        };
+        let s = plan.to_string();
+        assert!(s.contains("42") && s.contains("pro"));
+    }
+}

@@ -1,0 +1,200 @@
+//! ASCII line plots — the "figures" of the reproduction.
+//!
+//! The paper's Figures 7 and 8 are line charts; without a plotting stack
+//! we render the same series as terminal scatter/line plots so the shape
+//! (monotonicity, crossovers, saturation) is visible directly in the
+//! experiment output. CSV output accompanies every plot for external
+//! re-plotting.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; the first character is the plot marker.
+    pub label: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Configuration for an ASCII plot.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotConfig {
+    /// Plot width in character cells.
+    pub width: usize,
+    /// Plot height in character cells.
+    pub height: usize,
+    /// Map x through log10 before plotting.
+    pub log_x: bool,
+    /// Map y through log10 before plotting.
+    pub log_y: bool,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            width: 72,
+            height: 20,
+            log_x: false,
+            log_y: false,
+        }
+    }
+}
+
+/// Renders `series` as an ASCII plot with axes and a legend.
+///
+/// Points with non-finite (or, on log axes, non-positive) coordinates are
+/// skipped. Returns a note string when nothing is plottable.
+#[must_use]
+pub fn render(series: &[Series], config: PlotConfig) -> String {
+    let tx = |x: f64| if config.log_x { x.log10() } else { x };
+    let ty = |y: f64| if config.log_y { y.log10() } else { y };
+    let ok = |v: f64, log: bool| v.is_finite() && (!log || v > 0.0);
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if ok(x, config.log_x) && ok(y, config.log_y) {
+                xs.push(tx(x));
+                ys.push(ty(y));
+            }
+        }
+    }
+    if xs.is_empty() {
+        return "(no plottable points)\n".to_string();
+    }
+    let (xmin, xmax) = min_max(&xs);
+    let (ymin, ymax) = min_max(&ys);
+    let xspan = if xmax > xmin { xmax - xmin } else { 1.0 };
+    let yspan = if ymax > ymin { ymax - ymin } else { 1.0 };
+
+    let w = config.width.max(8);
+    let h = config.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for s in series {
+        let marker = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            if !(ok(x, config.log_x) && ok(y, config.log_y)) {
+                continue;
+            }
+            let cx = (((tx(x) - xmin) / xspan) * (w - 1) as f64).round() as usize;
+            let cy = (((ty(y) - ymin) / yspan) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy.min(h - 1);
+            grid[row][cx.min(w - 1)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    let fmt_axis = |v: f64, log: bool| -> String {
+        let raw = if log { 10f64.powf(v) } else { v };
+        format!("{raw:.4}")
+    };
+    let _ = writeln!(out, "  y_max = {}", fmt_axis(ymax, config.log_y));
+    for row in &grid {
+        let _ = writeln!(out, "  |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "  y_min = {}   x: [{} .. {}]{}",
+        fmt_axis(ymin, config.log_y),
+        fmt_axis(xmin, config.log_x),
+        fmt_axis(xmax, config.log_x),
+        if config.log_x { " (log)" } else { "" }
+    );
+    for s in series {
+        let _ = writeln!(
+            out,
+            "  {} = {}",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        );
+    }
+    out
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let s = vec![
+            Series::new("necessary", vec![(1.0, 1.0), (2.0, 2.0)]),
+            Series::new("sufficient", vec![(1.0, 2.0), (2.0, 4.0)]),
+        ];
+        let out = render(&s, PlotConfig::default());
+        assert!(out.contains('n'));
+        assert!(out.contains('s'));
+        assert!(out.contains("n = necessary"));
+        assert!(out.contains("y_max"));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let out = render(&[], PlotConfig::default());
+        assert!(out.contains("no plottable"));
+        let out = render(
+            &[Series::new("x", vec![(f64::NAN, 1.0)])],
+            PlotConfig::default(),
+        );
+        assert!(out.contains("no plottable"));
+    }
+
+    #[test]
+    fn log_axes_skip_nonpositive() {
+        let s = vec![Series::new("a", vec![(0.0, 1.0), (10.0, 1.0), (100.0, 2.0)])];
+        let out = render(
+            &s,
+            PlotConfig {
+                log_x: true,
+                ..PlotConfig::default()
+            },
+        );
+        assert!(out.contains("(log)"));
+        assert!(out.contains("10.0000"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let s = vec![Series::new("p", vec![(1.0, 1.0)])];
+        let out = render(&s, PlotConfig::default());
+        assert!(out.contains('p'));
+    }
+
+    #[test]
+    fn dimensions_respected() {
+        let s = vec![Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let cfg = PlotConfig {
+            width: 40,
+            height: 10,
+            ..PlotConfig::default()
+        };
+        let out = render(&s, cfg);
+        let plot_lines = out.lines().filter(|l| l.starts_with("  |")).count();
+        assert_eq!(plot_lines, 10);
+    }
+}

@@ -1,0 +1,316 @@
+//! Statistical estimators for Monte-Carlo results.
+
+use std::fmt;
+
+/// A Bernoulli proportion estimated from repeated trials (e.g. "fraction
+/// of deployments in which the dense grid met the necessary condition").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProportionEstimate {
+    successes: usize,
+    trials: usize,
+}
+
+impl ProportionEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    #[must_use]
+    pub fn new(successes: usize, trials: usize) -> Self {
+        assert!(
+            successes <= trials,
+            "successes {successes} exceed trials {trials}"
+        );
+        ProportionEstimate { successes, trials }
+    }
+
+    /// Number of successful trials.
+    #[must_use]
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Total number of trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The point estimate `successes/trials` (0 for zero trials).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Standard error of the proportion under the normal approximation.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.mean();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    /// Wilson score interval at `z` standard deviations (z = 1.96 for 95%).
+    ///
+    /// Unlike the Wald interval, Wilson behaves sensibly at `p ≈ 0` and
+    /// `p ≈ 1`, exactly where coverage-transition experiments live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is negative or not finite.
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        assert!(z.is_finite() && z >= 0.0, "z must be finite and non-negative");
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.mean();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl fmt::Display for ProportionEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.wilson_interval(1.96);
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({}/{})",
+            self.mean(),
+            lo,
+            hi,
+            self.successes,
+            self.trials
+        )
+    }
+}
+
+/// A sample mean with spread, for continuous Monte-Carlo observables
+/// (e.g. the measured full-view covered fraction per deployment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanEstimate {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanEstimate {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        MeanEstimate {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds the estimate from a sample iterator.
+    #[must_use]
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut e = MeanEstimate::new();
+        for x in samples {
+            e.push(x);
+        }
+        e
+    }
+
+    /// Adds one observation (Welford's online update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "samples must be finite, got {x}");
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The sample mean (0 for an empty estimate).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Default for MeanEstimate {
+    fn default() -> Self {
+        MeanEstimate::new()
+    }
+}
+
+impl Extend<f64> for MeanEstimate {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for MeanEstimate {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        MeanEstimate::from_samples(iter)
+    }
+}
+
+impl fmt::Display for MeanEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6} ± {:.6} (n={}, range [{:.6}, {:.6}])",
+            self.mean(),
+            self.std_error(),
+            self.count,
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportion_basics() {
+        let e = ProportionEstimate::new(30, 100);
+        assert!((e.mean() - 0.3).abs() < 1e-15);
+        assert!((e.std_error() - (0.3f64 * 0.7 / 100.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_zero_trials() {
+        let e = ProportionEstimate::new(0, 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.std_error(), 0.0);
+        assert_eq!(e.wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate_and_is_proper() {
+        for (s, n) in [(0, 50), (1, 50), (25, 50), (49, 50), (50, 50)] {
+            let e = ProportionEstimate::new(s, n);
+            let (lo, hi) = e.wilson_interval(1.96);
+            assert!(lo <= e.mean() + 1e-12 && e.mean() <= hi + 1e-12, "{s}/{n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn wilson_narrower_with_more_trials() {
+        let small = ProportionEstimate::new(5, 10).wilson_interval(1.96);
+        let large = ProportionEstimate::new(500, 1000).wilson_interval(1.96);
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn proportion_rejects_overcount() {
+        let _ = ProportionEstimate::new(3, 2);
+    }
+
+    #[test]
+    fn mean_estimate_known_values() {
+        let e = MeanEstimate::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.count(), 4);
+        assert!((e.mean() - 2.5).abs() < 1e-15);
+        assert!((e.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+    }
+
+    #[test]
+    fn mean_estimate_empty_and_singleton() {
+        let e = MeanEstimate::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        let e = MeanEstimate::from_samples([7.0]);
+        assert_eq!(e.mean(), 7.0);
+        assert_eq!(e.variance(), 0.0);
+        assert_eq!(e.std_error(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_awkward_data() {
+        let data: Vec<f64> = (0..1000).map(|i| 1e6 + (i % 7) as f64 * 0.01).collect();
+        let e = MeanEstimate::from_samples(data.iter().copied());
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((e.mean() - mean).abs() < 1e-6);
+        assert!((e.variance() - var).abs() / var.max(1e-12) < 1e-3);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(ProportionEstimate::new(1, 2).to_string().contains("1/2"));
+        assert!(MeanEstimate::from_samples([1.0]).to_string().contains("n=1"));
+    }
+}

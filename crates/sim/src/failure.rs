@@ -1,0 +1,88 @@
+//! Random sensor failure injection.
+//!
+//! §VII-B motivates k-coverage by fault tolerance ("sensors often fail due
+//! to unexpected events"); the `failures` experiment measures how
+//! full-view coverage — which implies `⌈π/θ⌉`-coverage — degrades as each
+//! camera independently fails with probability `p`.
+
+use fullview_model::CameraNetwork;
+use rand::Rng;
+
+/// Returns a copy of `net` in which each camera has independently failed
+/// (been removed) with probability `failure_probability`.
+///
+/// # Panics
+///
+/// Panics if `failure_probability ∉ [0, 1]`.
+#[must_use]
+pub fn with_random_failures<R: Rng + ?Sized>(
+    net: &CameraNetwork,
+    failure_probability: f64,
+    rng: &mut R,
+) -> CameraNetwork {
+    assert!(
+        (0.0..=1.0).contains(&failure_probability),
+        "failure probability must lie in [0, 1], got {failure_probability}"
+    );
+    net.filter(|_| rng.gen_range(0.0..1.0) >= failure_probability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_geom::{Angle, Point, Torus};
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn network(n: usize) -> CameraNetwork {
+        let spec = SensorSpec::new(0.1, PI).unwrap();
+        let cams: Vec<Camera> = (0..n)
+            .map(|i| {
+                Camera::new(
+                    Point::new((i as f64 * 0.618) % 1.0, (i as f64 * 0.414) % 1.0),
+                    Angle::new(i as f64),
+                    spec,
+                    GroupId(0),
+                )
+            })
+            .collect();
+        CameraNetwork::new(Torus::unit(), cams)
+    }
+
+    #[test]
+    fn zero_probability_keeps_everything() {
+        let net = network(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(with_random_failures(&net, 0.0, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn one_probability_removes_everything() {
+        let net = network(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(with_random_failures(&net, 1.0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn survival_rate_close_to_expectation() {
+        let net = network(400);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut survivors = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            survivors += with_random_failures(&net, 0.3, &mut rng).len();
+        }
+        let rate = survivors as f64 / (400.0 * reps as f64);
+        assert!((rate - 0.7).abs() < 0.03, "survival rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn invalid_probability_panics() {
+        let net = network(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = with_random_failures(&net, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-bin histograms with ASCII rendering, for reporting Monte-Carlo
+//! sample distributions (per-trial covered fractions, hole sizes,
+//! view multiplicities …).
+
+use std::fmt;
+
+/// A histogram with equal-width bins over a fixed range; out-of-range
+/// samples are clamped into the edge bins so mass is never lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is not finite with `lo < hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad histogram range [{lo}, {hi}]"
+        );
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram directly from samples.
+    ///
+    /// # Panics
+    ///
+    /// As [`Histogram::new`]; non-finite samples panic.
+    #[must_use]
+    pub fn from_samples<I: IntoIterator<Item = f64>>(
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        samples: I,
+    ) -> Self {
+        let mut h = Histogram::new(lo, hi, bins);
+        for x in samples {
+            h.record(x);
+        }
+        h
+    }
+
+    /// Records one sample (clamped into range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "histogram samples must be finite, got {x}");
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (t.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bin midpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const BAR: usize = 40;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let lo = self.lo + i as f64 * width;
+            let bar_len = (*c as f64 / max as f64 * BAR as f64).round() as usize;
+            writeln!(
+                f,
+                "  [{lo:>8.4}, {:>8.4})  {:>6}  {}",
+                lo + width,
+                c,
+                "#".repeat(bar_len)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let h = Histogram::from_samples(0.0, 1.0, 4, [0.1, 0.3, 0.6, 0.9, 0.95]);
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let h = Histogram::from_samples(0.0, 1.0, 2, [-5.0, 5.0, 0.5]);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn upper_edge_goes_to_last_bin() {
+        let h = Histogram::from_samples(0.0, 1.0, 4, [1.0]);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_samples(0.0, 1.0, 100, samples);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 0.5).abs() < 0.02, "median {median}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 0.9).abs() < 0.02, "p90 {p90}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn empty_quantile_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let h = Histogram::from_samples(0.0, 1.0, 2, [0.1, 0.1, 0.9]);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_sample_panics() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 2);
+    }
+}

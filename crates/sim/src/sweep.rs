@@ -1,0 +1,109 @@
+//! Parameter-sweep grids for experiments.
+
+/// `count` evenly spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `count == 0`, the bounds are not finite, or `lo > hi`.
+#[must_use]
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0, "linspace needs at least one point");
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi}]");
+    if count == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (count - 1) as f64;
+    (0..count).map(|i| lo + i as f64 * step).collect()
+}
+
+/// `count` logarithmically spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or the bounds are not finite positive with
+/// `lo <= hi`.
+#[must_use]
+pub fn logspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0, "logspace needs at least one point");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi,
+        "bad log range [{lo}, {hi}]"
+    );
+    linspace(lo.ln(), hi.ln(), count)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Logarithmically spaced *integer* population sizes from `lo` to `hi`
+/// inclusive, deduplicated (useful for `n`-sweeps like Fig. 8).
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `lo` is zero or exceeds `hi`.
+#[must_use]
+pub fn logspace_counts(lo: usize, hi: usize, count: usize) -> Vec<usize> {
+    assert!(lo > 0 && lo <= hi, "bad count range [{lo}, {hi}]");
+    let mut v: Vec<usize> = logspace(lo as f64, hi as f64, count)
+        .into_iter()
+        .map(|x| x.round() as usize)
+        .collect();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[4], 1.0);
+        for w in v.windows(2) {
+            assert!((w[1] - w[0] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linspace_single() {
+        assert_eq!(linspace(2.0, 3.0, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn logspace_endpoints_and_ratio() {
+        let v = logspace(1.0, 100.0, 3);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+        assert!((v[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logspace_counts_monotone_unique() {
+        let v = logspace_counts(100, 100_000, 13);
+        assert_eq!(*v.first().unwrap(), 100);
+        assert_eq!(*v.last().unwrap(), 100_000);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn logspace_counts_collapses_duplicates() {
+        let v = logspace_counts(10, 12, 10);
+        assert!(v.len() <= 3);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_linspace_panics() {
+        let _ = linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad log range")]
+    fn logspace_rejects_nonpositive() {
+        let _ = logspace(0.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text result tables for experiment binaries.
+
+use std::fmt;
+
+/// A simple right-padded text table: a header row plus data rows, rendered
+/// with aligned columns — the "rows the paper reports" output format of
+/// every experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as CSV (comma-separated, quoted only when
+    /// needed).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let emit = |out: &mut String, row: &[String]| {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 6 significant digits — the house style for
+/// experiment output.
+#[must_use]
+pub fn fmt_g(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = x.abs().log10().floor() as i32;
+    if (-3..6).contains(&magnitude) {
+        let decimals = (5 - magnitude).max(0) as usize;
+        format!("{x:.decimals$}")
+    } else {
+        format!("{x:.4e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["n", "value"]);
+        t.push_row(["100", "1.5"]);
+        t.push_row(["100000", "2.25"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned: both data lines have equal length.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trip_basics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "x,y"]);
+        t.push_row(["2", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_g_ranges() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert_eq!(fmt_g(1.0), "1.00000");
+        assert_eq!(fmt_g(0.012345678), "0.0123457");
+        assert!(fmt_g(1.23e-7).contains('e'));
+        assert!(fmt_g(1.23e9).contains('e'));
+        assert_eq!(fmt_g(123.456), "123.456");
+    }
+
+    #[test]
+    fn row_count() {
+        let mut t = Table::new(["x"]);
+        assert_eq!(t.row_count(), 0);
+        t.push_row(["1"]);
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the simulation engine's estimators and
+//! utilities.
+
+use fullview_sim::{
+    linspace, logspace, run_proportion, run_trials_map, Histogram, MeanEstimate,
+    ProportionEstimate, RunConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn proportion_estimate_invariants(s in 0usize..500, extra in 0usize..500) {
+        let n = s + extra;
+        let e = ProportionEstimate::new(s, n);
+        prop_assert!((0.0..=1.0).contains(&e.mean()));
+        prop_assert!(e.std_error() >= 0.0);
+        let (lo, hi) = e.wilson_interval(1.96);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= e.mean() + 1e-12 || n == 0);
+        prop_assert!(e.mean() <= hi + 1e-12 || n == 0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_scale(s in 1usize..50, n_mult in 2usize..20) {
+        let small = ProportionEstimate::new(s, 50);
+        let large = ProportionEstimate::new(s * n_mult, 50 * n_mult);
+        let (a, b) = small.wilson_interval(1.96);
+        let (c, d) = large.wilson_interval(1.96);
+        prop_assert!(d - c <= b - a + 1e-12, "interval failed to narrow");
+    }
+
+    #[test]
+    fn mean_estimate_matches_two_pass(samples in prop::collection::vec(-1e3..1e3f64, 0..200)) {
+        let e = MeanEstimate::from_samples(samples.iter().copied());
+        prop_assert_eq!(e.count(), samples.len());
+        if samples.is_empty() {
+            prop_assert_eq!(e.mean(), 0.0);
+            return Ok(());
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((e.mean() - mean).abs() < 1e-9);
+        if samples.len() >= 2 {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (samples.len() - 1) as f64;
+            prop_assert!((e.variance() - var).abs() < 1e-6 * var.max(1.0));
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.min(), min);
+        prop_assert_eq!(e.max(), max);
+        prop_assert!(min <= e.mean() + 1e-9 && e.mean() <= max + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_mass_and_orders_quantiles(
+        samples in prop::collection::vec(-2.0..3.0f64, 1..300),
+        bins in 1usize..40,
+    ) {
+        let h = Histogram::from_samples(0.0, 1.0, bins, samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+        let q25 = h.quantile(0.25).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q75 = h.quantile(0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-12 && q50 <= q75 + 1e-12);
+    }
+
+    #[test]
+    fn linspace_contract(lo in -100.0..100.0f64, span in 0.0..100.0f64, count in 1usize..100) {
+        let hi = lo + span;
+        let v = linspace(lo, hi, count);
+        prop_assert_eq!(v.len(), count);
+        prop_assert!((v[0] - lo).abs() < 1e-9);
+        if count > 1 {
+            prop_assert!((v[count - 1] - hi).abs() < 1e-9);
+        }
+        prop_assert!(v.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn logspace_contract(lo in 1e-3..10.0f64, factor in 1.0..1e4f64, count in 1usize..50) {
+        let hi = lo * factor;
+        let v = logspace(lo, hi, count);
+        prop_assert_eq!(v.len(), count);
+        prop_assert!((v[0] - lo).abs() / lo < 1e-9);
+        if count > 1 {
+            prop_assert!((v[count - 1] - hi).abs() / hi < 1e-9);
+            // Constant ratio between consecutive entries.
+            let r0 = v[1] / v[0];
+            for w in v.windows(2) {
+                prop_assert!((w[1] / w[0] - r0).abs() < 1e-6 * r0);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_thread_count_invariance(
+        trials in 0usize..300,
+        seed in 0u64..10_000,
+        threads in 1usize..6,
+    ) {
+        let base = run_trials_map(RunConfig::new(trials).with_seed(seed).with_threads(1), |s| {
+            s.wrapping_mul(0x9e37_79b9).rotate_left(7)
+        });
+        let multi = run_trials_map(
+            RunConfig::new(trials).with_seed(seed).with_threads(threads),
+            |s| s.wrapping_mul(0x9e37_79b9).rotate_left(7),
+        );
+        prop_assert_eq!(base, multi);
+    }
+
+    #[test]
+    fn proportion_runner_counts_match_manual(trials in 0usize..300, seed in 0u64..10_000) {
+        let pred = |s: u64| s % 3 == 0;
+        let est = run_proportion(RunConfig::new(trials).with_seed(seed), pred);
+        let manual = run_trials_map(RunConfig::new(trials).with_seed(seed), pred)
+            .into_iter()
+            .filter(|b| *b)
+            .count();
+        prop_assert_eq!(est.successes(), manual);
+        prop_assert_eq!(est.trials(), trials);
+    }
+}

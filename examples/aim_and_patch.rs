@@ -1,0 +1,79 @@
+//! Aim-and-patch workflow: rescue a botched random deployment.
+//!
+//! A contractor scattered cameras with random orientations (the paper's
+//! §II-A model). Before signing off, the operator can (a) re-aim the
+//! installed cameras — positions are fixed, orientations are not — and
+//! (b) patch the remaining holes with a few extra cameras placed
+//! greedily at hole centroids. This example runs the full pipeline:
+//! deploy → analyse holes → re-aim → re-analyse → patch → verify.
+//!
+//! Run with: `cargo run --release --example aim_and_patch`
+
+use fullview::plan::{optimize_orientations, Evaluation, OrientationPlanner};
+use fullview::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::f64::consts::PI;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let theta = EffectiveAngle::new(PI / 4.0)?;
+    let n = 500;
+    let spec = SensorSpec::new(0.16, PI / 2.0)?;
+    let profile = NetworkProfile::homogeneous(spec);
+
+    // 1. The as-built deployment: random positions AND orientations.
+    let mut rng = StdRng::seed_from_u64(77);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)?;
+    let eval = Evaluation::new(Torus::unit(), 24, theta);
+    println!(
+        "as built: {} cameras, full-view covered fraction {:.4}",
+        net.len(),
+        eval.covered_fraction(&net)
+    );
+    let holes = find_holes(&net, theta, 24);
+    println!("  {holes}");
+
+    // 2. Re-aim: positions fixed, orientations optimized.
+    let outcome = optimize_orientations(
+        &net,
+        theta,
+        OrientationPlanner {
+            grid_side: 24,
+            candidates: 12,
+            max_rounds: 3,
+        },
+    );
+    println!("\nafter re-aiming: {outcome}");
+    let aimed = outcome.network;
+    let holes = find_holes(&aimed, theta, 24);
+    println!("  {holes}");
+
+    // 3. Patch: add cameras aimed at the residual holes. For each hole
+    //    (largest first), ring the centroid with ⌈π/θ⌉ cameras facing it.
+    let mut cameras = aimed.cameras().to_vec();
+    let ring = implied_k(theta);
+    for hole in holes.holes.iter().take(12) {
+        for i in 0..ring {
+            let dir = Angle::new(i as f64 * 2.0 * PI / ring as f64);
+            let pos = Torus::unit().offset(hole.centroid, dir, 0.6 * spec.radius());
+            cameras.push(Camera::new(pos, dir.opposite(), spec, GroupId(1)));
+        }
+    }
+    let added = cameras.len() - aimed.len();
+    let patched = CameraNetwork::new(Torus::unit(), cameras);
+    println!("\nafter patching with {added} extra cameras:");
+    println!(
+        "  full-view covered fraction {:.4}",
+        eval.covered_fraction(&patched)
+    );
+    let final_holes = find_holes(&patched, theta, 24);
+    println!("  {final_holes}");
+    println!(
+        "\npipeline summary: random {:.3} → re-aimed {:.3} → patched {:.3}",
+        eval.covered_fraction(&net),
+        eval.covered_fraction(&aimed),
+        eval.covered_fraction(&patched),
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! ASCII coverage map: visualize where full-view coverage holds, where
+//! only weaker guarantees hold, and where the holes are.
+//!
+//! Legend:
+//!   `#` — sufficient condition met (full-view guaranteed, §IV)
+//!   `F` — full-view covered (Definition 1)
+//!   `n` — necessary condition met but not full-view (the §VI-C gap)
+//!   `.` — covered by ≥1 camera but facing directions escape
+//!   ` ` — not covered at all
+//!
+//! Run with: `cargo run --release --example coverage_map`
+
+use fullview::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::f64::consts::PI;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let theta = EffectiveAngle::new(PI / 4.0)?;
+    let n = 900;
+    // Deliberately well below the whole-grid thresholds so the map shows
+    // texture: per-point coverage saturates far earlier than the
+    // every-single-point guarantee the CSAs govern.
+    let s_c = 0.35 * csa_necessary(n, theta);
+    let profile = NetworkProfile::builder()
+        .group(SensorSpec::with_sensing_area(1.2 * s_c, PI)?, 0.5)
+        .group(SensorSpec::with_sensing_area(0.8 * s_c, PI / 2.0)?, 0.5)
+        .build()?;
+    println!(
+        "n = {n}, θ = π/4, s_c = {:.5} (band: s_Nc = {:.5} .. s_Sc = {:.5})\n",
+        profile.weighted_sensing_area(),
+        csa_necessary(n, theta),
+        csa_sufficient(n, theta),
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)?;
+
+    let side = 56usize;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    let mut rows: Vec<String> = Vec::with_capacity(side);
+    let mut tallies = [0usize; 5];
+    for j in (0..side).rev() {
+        let mut row = String::with_capacity(side);
+        for i in 0..side {
+            let p = grid.point(j * side + i);
+            let analysis = analyze_point(&net, p);
+            let necessary = SectorPartition::necessary(theta, Angle::ZERO)
+                .is_satisfied(&analysis);
+            let sufficient = SectorPartition::sufficient(theta, Angle::ZERO)
+                .is_satisfied(&analysis);
+            let ch = if sufficient {
+                tallies[0] += 1;
+                '#'
+            } else if analysis.is_full_view(theta) {
+                tallies[1] += 1;
+                'F'
+            } else if necessary {
+                tallies[2] += 1;
+                'n'
+            } else if analysis.covering_cameras > 0 {
+                tallies[3] += 1;
+                '.'
+            } else {
+                tallies[4] += 1;
+                ' '
+            };
+            row.push(ch);
+        }
+        rows.push(row);
+    }
+    for row in &rows {
+        println!("|{row}|");
+    }
+    let total = (side * side) as f64;
+    println!("\ncell fractions:");
+    println!("  '#' sufficient condition:     {:.3}", tallies[0] as f64 / total);
+    println!("  'F' full-view only:           {:.3}", tallies[1] as f64 / total);
+    println!("  'n' necessary only:           {:.3}", tallies[2] as f64 / total);
+    println!("  '.' merely 1-covered:         {:.3}", tallies[3] as f64 / total);
+    println!("  ' ' uncovered:                {:.3}", tallies[4] as f64 / total);
+    println!("\nThe F/n texture is Figure 9 in the wild: inside the indeterminate band,");
+    println!("full-view coverage depends on the luck of the actual deployment.");
+    Ok(())
+}

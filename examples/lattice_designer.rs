@@ -1,0 +1,70 @@
+//! Lattice designer: when you *can* place cameras deliberately, how much
+//! does careful placement save over random scattering?
+//!
+//! Compares deterministic square/triangular lattice deployments (the
+//! §VII-C / Wang & Cao style construction) against the random-deployment
+//! budget of Theorem 2, for a camera model of your choice.
+//!
+//! Run with:
+//! `cargo run --release --example lattice_designer -- [radius] [aov_deg]`
+
+use fullview::prelude::*;
+use std::error::Error;
+use std::f64::consts::PI;
+
+fn full_view_everywhere(net: &CameraNetwork, theta: EffectiveAngle) -> bool {
+    let grid = UnitGrid::new(*net.torus(), 36);
+    let all = grid.iter().all(|p| is_full_view_covered(net, p, theta));
+    all
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut cli = std::env::args().skip(1);
+    let radius: f64 = cli.next().map_or(Ok(0.12), |s| s.parse())?;
+    let aov_deg: f64 = cli.next().map_or(Ok(90.0), |s| s.parse())?;
+    let spec = SensorSpec::new(radius, aov_deg.to_radians())?;
+    let theta = EffectiveAngle::new(PI / 4.0)?;
+
+    println!(
+        "camera: r = {radius}, φ = {aov_deg}° (s = {:.5}); target θ = 45°\n",
+        spec.sensing_area()
+    );
+
+    for kind in [LatticeKind::Square, LatticeKind::Triangular] {
+        // Bisect the loosest covering spacing.
+        let mut lo = 0.02;
+        let mut hi = radius;
+        let initial = LatticeDeployment::covering_fan(kind, lo, &spec)
+            .deploy(Torus::unit(), &spec)?;
+        if !full_view_everywhere(&initial, theta) {
+            println!("{kind:?}: even spacing {lo} fails — camera too weak for θ = 45°");
+            continue;
+        }
+        for _ in 0..22 {
+            let mid = 0.5 * (lo + hi);
+            let net =
+                LatticeDeployment::covering_fan(kind, mid, &spec).deploy(Torus::unit(), &spec)?;
+            if full_view_everywhere(&net, theta) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let d = LatticeDeployment::covering_fan(kind, lo, &spec);
+        let net = d.deploy(Torus::unit(), &spec)?;
+        println!(
+            "{kind:?}: spacing {lo:.4}, {} vertices × {} cameras = {} cameras total",
+            net.len() / d.cameras_per_vertex,
+            d.cameras_per_vertex,
+            net.len()
+        );
+    }
+
+    // Random-deployment budget for the same camera (Theorem 2 guarantee).
+    let n = fullview::core::min_cameras_for_guarantee(spec.sensing_area(), theta)?;
+    println!("\nrandom scattering needs n ≈ {n} of the same camera (Theorem 2).");
+    println!("Careful placement wins by an order of magnitude — but needs access");
+    println!("to every mounting point, which the paper's random-deployment setting");
+    println!("(air-dropped sensors, hostile terrain) rules out.");
+    Ok(())
+}

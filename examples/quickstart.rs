@@ -1,0 +1,74 @@
+//! Quickstart: deploy a random camera network and check full-view
+//! coverage of a point and of the whole region.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fullview::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::f64::consts::PI;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The designer's quality knob: every object must be seen within 45°
+    // of head-on, whichever way it faces.
+    let theta = EffectiveAngle::new(PI / 4.0)?;
+
+    // A heterogeneous fleet: 70% wide-angle mid-range cameras and 30%
+    // narrow telephoto cameras (§II-A's groups G_1, G_2).
+    let profile = NetworkProfile::builder()
+        .group(SensorSpec::new(0.11, PI)?, 0.7)
+        .group(SensorSpec::new(0.15, PI / 3.0)?, 0.3)
+        .build()?;
+    let n = 2000;
+
+    println!("fleet: {profile}");
+    println!(
+        "weighted sensing area s_c = {:.5} vs thresholds s_Nc = {:.5}, s_Sc = {:.5}",
+        profile.weighted_sensing_area(),
+        csa_necessary(n, theta),
+        csa_sufficient(n, theta),
+    );
+    println!(
+        "Definition-2 regime at n = {n}: {:?}\n",
+        classify_csa(profile.weighted_sensing_area(), n, theta)
+    );
+
+    // Drop the cameras uniformly at random (plane/artillery deployment).
+    let mut rng = StdRng::seed_from_u64(2012);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)?;
+
+    // Point query: is the centre of the region full-view covered?
+    let target = Point::new(0.5, 0.5);
+    let analysis = analyze_point(&net, target);
+    println!(
+        "target {target}: {} covering cameras, largest viewing gap {:.3} rad",
+        analysis.covering_cameras, analysis.largest_gap
+    );
+    println!(
+        "full-view covered at θ = π/4? {}",
+        analysis.is_full_view(theta)
+    );
+    if let Some(critical) = analysis.critical_theta() {
+        println!("smallest workable effective angle here: {critical:.3} rad");
+    }
+    for hole in unsafe_directions(&net, target, theta) {
+        println!(
+            "  unsafe facing directions: around {} (width {:.3} rad)",
+            hole.bisector(),
+            hole.width()
+        );
+    }
+
+    // Region query: sweep the paper's dense grid (m = n ln n points).
+    let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    println!("\nregion report: {report}");
+    println!(
+        "(sufficient ⇒ full-view ⇒ necessary, so fractions are ordered: \
+         {:.3} ≤ {:.3} ≤ {:.3})",
+        report.sufficient_fraction(),
+        report.full_view_fraction(),
+        report.necessary_fraction(),
+    );
+    Ok(())
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+for b in hetero failures probabilistic sandwich thm1 thm2; do
+  start=$(date +%s)
+  if cargo run -q --release -p fullview-experiments --bin $b -- --csv > results/$b.txt 2>&1; then
+    echo "$b OK $(( $(date +%s)-start ))s" >> results/progress.log
+  else
+    echo "$b FAILED" >> results/progress.log
+  fi
+done
+echo RERUN_DONE >> results/progress.log

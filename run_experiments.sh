@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs every experiment binary at full scale, capturing output under results/.
+for b in fig7 fig8 one_cov kcov poisson lattice barrier area_shape hetero failures probabilistic sandwich thm1 thm2; do
+  start=$(date +%s)
+  if cargo run -q --release -p fullview-experiments --bin $b -- --csv > results/$b.txt 2>&1; then
+    end=$(date +%s)
+    echo "$b OK $((end-start))s" >> results/progress.log
+  else
+    echo "$b FAILED" >> results/progress.log
+  fi
+done
+echo ALL_DONE > results/done.marker

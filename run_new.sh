@@ -1,0 +1,12 @@
+#!/bin/sh
+# Wait for rerun.sh to finish, then run the extension experiments.
+while ! grep -q RERUN_DONE results/progress.log 2>/dev/null; do sleep 10; done
+for b in exact dependence kfull; do
+  start=$(date +%s)
+  if cargo run -q --release -p fullview-experiments --bin $b -- --csv > results/$b.txt 2>&1; then
+    echo "$b OK $(( $(date +%s)-start ))s" >> results/progress.log
+  else
+    echo "$b FAILED" >> results/progress.log
+  fi
+done
+echo NEW_DONE >> results/progress.log

@@ -1,0 +1,111 @@
+//! # fullview
+//!
+//! A library for analysing **full-view coverage** of randomly-deployed,
+//! heterogeneous camera sensor networks — a from-scratch reproduction of
+//! Yibo Wu and Xinbing Wang, *"Achieving Full View Coverage with
+//! Randomly-Deployed Heterogeneous Camera Sensors"*, ICDCS 2012.
+//!
+//! A point is *full-view covered* when, whatever direction an object at
+//! that point faces, some camera watches it from within an effective
+//! angle `θ` of head-on — the guarantee that makes automated recognition
+//! work. This crate answers the questions a camera-network designer
+//! actually asks:
+//!
+//! * *Is this point / this region full-view covered by this deployment?*
+//!   — exact geometric checkers ([`prelude::is_full_view_covered`],
+//!   [`prelude::evaluate_dense_grid`], [`prelude::safe_directions`]).
+//! * *How much camera capability does a random deployment need?* — the
+//!   paper's critical sensing areas ([`prelude::csa_necessary`],
+//!   [`prelude::csa_sufficient`], [`prelude::classify_csa`]) over
+//!   heterogeneous fleets ([`prelude::NetworkProfile`]).
+//! * *What coverage will a Poisson-scattered fleet deliver in
+//!   expectation?* — Theorems 3–4
+//!   ([`prelude::prob_point_meets_necessary_poisson`],
+//!   [`prelude::prob_point_meets_sufficient_poisson`]).
+//! * *How does this compare to plain k-coverage, deterministic lattices,
+//!   sensor failures, probabilistic sensing, or barrier requirements?* —
+//!   §VII comparisons and §VIII extensions, all implemented.
+//!
+//! The facade re-exports the five underlying crates; depend on
+//! `fullview` for everything, or on the parts
+//! (`fullview-geom`, `fullview-model`, `fullview-deploy`,
+//! `fullview-core`, `fullview-sim`) individually.
+//!
+//! # Quick start
+//!
+//! Deploy 1200 mixed cameras uniformly at random and check the coverage
+//! the paper's theory predicts:
+//!
+//! ```
+//! use fullview::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::f64::consts::PI;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let theta = EffectiveAngle::new(PI / 4.0)?;
+//! let n = 1200;
+//!
+//! // A heterogeneous fleet: 60% wide-angle mid-range + 40% telephoto.
+//! let profile = NetworkProfile::builder()
+//!     .group(SensorSpec::new(0.10, PI)?, 0.6)
+//!     .group(SensorSpec::new(0.14, PI / 3.0)?, 0.4)
+//!     .build()?;
+//!
+//! // Where does this fleet sit relative to the paper's thresholds?
+//! let s_c = profile.weighted_sensing_area();
+//! let regime = classify_csa(s_c, n, theta);
+//!
+//! // Deploy and measure.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)?;
+//! let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+//!
+//! println!("regime {regime:?}: {report}");
+//! if regime == CsaRegime::AboveSufficient {
+//!     assert!(report.full_view_fraction() > 0.9);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fullview_core as core;
+pub use fullview_deploy as deploy;
+pub use fullview_geom as geom;
+pub use fullview_model as model;
+pub use fullview_plan as plan;
+pub use fullview_sim as sim;
+
+/// One-import convenience: the types and functions nearly every user
+/// needs.
+pub mod prelude {
+    pub use fullview_core::{
+        analyze_point, barrier_full_view, classify_csa, critical_esr, csa_necessary,
+        csa_one_coverage, csa_sufficient, evaluate_dense_grid, evaluate_grid, find_holes,
+        implied_k, is_direction_safe, is_full_view_covered,
+        is_full_view_covered_with_confidence, is_k_covered, is_k_full_view_covered,
+        kumar_k_coverage_area, meets_necessary_condition, meets_sufficient_condition,
+        prob_point_fails_necessary, prob_point_fails_sufficient,
+        prob_point_full_view_poisson, prob_point_full_view_uniform,
+        prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
+        safe_directions, stevens_coverage_probability, unsafe_directions, view_multiplicity,
+        BarrierReport, CoreError, CsaRegime, EffectiveAngle, GridCoverageReport, HoleReport,
+        PointCoverage, ProbabilisticModel, SectorPartition,
+    };
+    pub use fullview_plan::{
+        greedy_place, optimize_orientations, GreedyPlacer, OrientationOutcome,
+        OrientationPlanner, PlacementOutcome,
+    };
+    pub use fullview_deploy::{
+        deploy_poisson, deploy_uniform, derive_seed, DeployError, LatticeDeployment,
+        LatticeKind,
+    };
+    pub use fullview_geom::{Angle, Arc, ArcSet, Point, Sector, SpatialGrid, Torus, UnitGrid};
+    pub use fullview_model::{
+        Camera, CameraNetwork, GroupId, ModelError, NetworkProfile, SensorSpec,
+    };
+    pub use fullview_sim::{
+        run_mean, run_proportion, run_trials_map, MeanEstimate, ProportionEstimate, RunConfig,
+    };
+}

@@ -1,0 +1,235 @@
+//! End-to-end integration tests through the `fullview` facade: deploy →
+//! classify → evaluate, exercising every crate together.
+
+use fullview::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn theta() -> EffectiveAngle {
+    EffectiveAngle::new(PI / 4.0).expect("valid θ")
+}
+
+fn mixed_profile(s_c: f64) -> NetworkProfile {
+    NetworkProfile::builder()
+        .group(
+            SensorSpec::with_sensing_area(1.2, PI).expect("valid spec"),
+            0.6,
+        )
+        .group(
+            SensorSpec::with_sensing_area(0.7, PI / 2.0).expect("valid spec"),
+            0.4,
+        )
+        .build()
+        .expect("fractions sum to 1")
+        .scale_to_weighted_area(s_c)
+        .expect("positive area")
+}
+
+#[test]
+fn generous_budget_covers_almost_everything() {
+    let th = theta();
+    // n = 600 keeps 1.3x the sufficient CSA within torus-feasible radii.
+    let n = 600;
+    let s_c = 1.3 * csa_sufficient(n, th);
+    let profile = mixed_profile(s_c);
+    assert_eq!(classify_csa(s_c, n, th), CsaRegime::AboveSufficient);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits torus");
+    let grid = UnitGrid::new(Torus::unit(), 25);
+    let report = evaluate_grid(&net, th, &grid, Angle::ZERO);
+    assert!(
+        report.full_view_fraction() > 0.95,
+        "generous budget undercovered: {report}"
+    );
+    // Predicate ordering holds on the whole report.
+    assert!(report.sufficient <= report.full_view);
+    assert!(report.full_view <= report.necessary);
+    assert!(report.necessary <= report.k_covered);
+}
+
+#[test]
+fn starved_budget_covers_almost_nothing() {
+    let th = theta();
+    let n = 300;
+    let s_c = 0.05 * csa_necessary(n, th);
+    let profile = mixed_profile(s_c);
+    assert_eq!(classify_csa(s_c, n, th), CsaRegime::BelowNecessary);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits torus");
+    let grid = UnitGrid::new(Torus::unit(), 25);
+    let report = evaluate_grid(&net, th, &grid, Angle::ZERO);
+    assert!(
+        report.full_view_fraction() < 0.1,
+        "starved budget overcovered: {report}"
+    );
+    assert!(!report.all_full_view());
+}
+
+#[test]
+fn per_point_queries_consistent_with_grid_report() {
+    let th = theta();
+    let profile = mixed_profile(0.02);
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = deploy_uniform(Torus::unit(), &profile, 200, &mut rng).expect("fits torus");
+    let grid = UnitGrid::new(Torus::unit(), 12);
+    let report = evaluate_grid(&net, th, &grid, Angle::ZERO);
+
+    let mut full_view = 0usize;
+    let mut necessary = 0usize;
+    let mut sufficient = 0usize;
+    for p in grid.iter() {
+        if is_full_view_covered(&net, p, th) {
+            full_view += 1;
+        }
+        if meets_necessary_condition(&net, p, th, Angle::ZERO) {
+            necessary += 1;
+        }
+        if meets_sufficient_condition(&net, p, th, Angle::ZERO) {
+            sufficient += 1;
+        }
+    }
+    assert_eq!(report.full_view, full_view);
+    assert_eq!(report.necessary, necessary);
+    assert_eq!(report.sufficient, sufficient);
+}
+
+#[test]
+fn safe_directions_agree_with_point_verdict() {
+    let th = theta();
+    let profile = mixed_profile(0.03);
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = deploy_uniform(Torus::unit(), &profile, 150, &mut rng).expect("fits torus");
+    for i in 0..30 {
+        let p = Point::new((i as f64 * 0.618) % 1.0, (i as f64 * 0.414) % 1.0);
+        let set = safe_directions(&net, p, th);
+        assert_eq!(
+            set.covers_circle(),
+            is_full_view_covered(&net, p, th),
+            "at {p}"
+        );
+        // Every gap bisector must be unsafe, every covered probe safe.
+        for gap in set.gaps() {
+            if gap.width() > 1e-6 {
+                assert!(!is_direction_safe(&net, p, th, gap.bisector()));
+            }
+        }
+    }
+}
+
+#[test]
+fn poisson_and_uniform_deployments_compose_with_theory() {
+    let th = theta();
+    let profile = mixed_profile(0.02);
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = deploy_poisson(Torus::unit(), &profile, 250.0, &mut rng).expect("fits torus");
+    // Theory gives a probability; the deployment gives a fraction. Both in [0,1].
+    let p_n = prob_point_meets_necessary_poisson(&profile, 250.0, th);
+    assert!((0.0..=1.0).contains(&p_n));
+    let grid = UnitGrid::new(Torus::unit(), 15);
+    let mut meets = 0usize;
+    for p in grid.iter() {
+        if meets_necessary_condition(&net, p, th, Angle::ZERO) {
+            meets += 1;
+        }
+    }
+    let frac = meets as f64 / grid.len() as f64;
+    // Single deployment: loose agreement only (spatial correlation).
+    assert!(
+        (frac - p_n).abs() < 0.35,
+        "single-deployment fraction {frac} wildly off theory {p_n}"
+    );
+}
+
+#[test]
+fn failure_injection_composes() {
+    let th = theta();
+    let n = 600;
+    let s_c = 1.3 * csa_sufficient(n, th);
+    let profile = mixed_profile(s_c);
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits torus");
+    let failed = fullview::sim::with_random_failures(&net, 0.5, &mut rng);
+    assert!(failed.len() < net.len());
+    let grid = UnitGrid::new(Torus::unit(), 15);
+    let before = evaluate_grid(&net, th, &grid, Angle::ZERO);
+    let after = evaluate_grid(&failed, th, &grid, Angle::ZERO);
+    assert!(after.full_view <= before.full_view);
+}
+
+#[test]
+fn barrier_is_weaker_than_full_area_coverage() {
+    let th = theta();
+    let n = 300;
+    // A budget producing good-but-incomplete coverage.
+    let profile = mixed_profile(0.6 * csa_necessary(n, th));
+    let mut found_separating_case = false;
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits torus");
+        let report = barrier_full_view(&net, th, 16);
+        let area_full = report.covered_cells == 16 * 16;
+        if report.has_barrier && !area_full {
+            found_separating_case = true;
+        }
+        // Full area coverage trivially implies a barrier.
+        if area_full {
+            assert!(report.has_barrier);
+        }
+    }
+    assert!(
+        found_separating_case,
+        "expected at least one deployment with a barrier but incomplete area"
+    );
+}
+
+#[test]
+fn probabilistic_confidence_monotone() {
+    let th = theta();
+    let profile = mixed_profile(0.05);
+    let mut rng = StdRng::seed_from_u64(8);
+    let net = deploy_uniform(Torus::unit(), &profile, 250, &mut rng).expect("fits torus");
+    let model = ProbabilisticModel::new(0.3, 4.0).expect("valid model");
+    let grid = UnitGrid::new(Torus::unit(), 12);
+    let mut prev = usize::MAX;
+    for gamma in [0.0, 0.3, 0.6, 0.9] {
+        let covered = grid
+            .iter()
+            .filter(|p| {
+                is_full_view_covered_with_confidence(&net, *p, th, &model, gamma)
+                    .expect("gamma valid")
+            })
+            .count();
+        assert!(covered <= prev, "coverage grew with stricter γ = {gamma}");
+        prev = covered;
+    }
+    // γ = 0 coincides with the plain binary check.
+    let plain = grid
+        .iter()
+        .filter(|p| is_full_view_covered(&net, *p, th))
+        .count();
+    let zero_gamma = grid
+        .iter()
+        .filter(|p| {
+            is_full_view_covered_with_confidence(&net, *p, th, &model, 0.0).expect("valid")
+        })
+        .count();
+    assert_eq!(plain, zero_gamma);
+}
+
+#[test]
+fn lattice_deployment_full_view_covers_with_tight_spacing() {
+    let th = theta();
+    let spec = SensorSpec::new(0.15, PI / 2.0).expect("valid spec");
+    let d = LatticeDeployment::covering_fan(LatticeKind::Triangular, 0.05, &spec);
+    let net = d.deploy(Torus::unit(), &spec).expect("deploys");
+    let grid = UnitGrid::new(Torus::unit(), 18);
+    for p in grid.iter() {
+        assert!(
+            is_full_view_covered(&net, p, th),
+            "tight lattice missed {p}"
+        );
+    }
+}

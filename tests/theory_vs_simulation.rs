@@ -1,0 +1,212 @@
+//! Integration tests pitting every analytic formula against Monte-Carlo
+//! simulation — the reproduction's core scientific checks at test scale
+//! (the experiment binaries run the same comparisons at paper scale).
+
+use fullview::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn theta() -> EffectiveAngle {
+    EffectiveAngle::new(PI / 4.0).expect("valid θ")
+}
+
+/// Fixed probe points, de-correlated from any grid structure.
+fn probes(count: usize) -> Vec<Point> {
+    (0..count)
+        .map(|i| {
+            Point::new(
+                (i as f64 * 0.618_033_988_75 + 0.03) % 1.0,
+                (i as f64 * 0.414_213_562_37 + 0.41) % 1.0,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn uniform_necessary_failure_matches_eq2() {
+    let th = theta();
+    let n = 400;
+    let profile = NetworkProfile::builder()
+        .group(
+            SensorSpec::with_sensing_area(0.012, PI).expect("valid"),
+            0.5,
+        )
+        .group(
+            SensorSpec::with_sensing_area(0.008, PI / 2.0).expect("valid"),
+            0.5,
+        )
+        .build()
+        .expect("sums to 1");
+    let expect = prob_point_fails_necessary(&profile, n, th);
+
+    let pts = probes(20);
+    let trials = 60;
+    let mut fails = 0usize;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(11, t));
+        let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits");
+        for p in &pts {
+            if !meets_necessary_condition(&net, *p, th, Angle::ZERO) {
+                fails += 1;
+            }
+        }
+    }
+    let measured = fails as f64 / (trials as usize * pts.len()) as f64;
+    let sigma = (expect * (1.0 - expect) / (trials as usize * pts.len()) as f64).sqrt();
+    assert!(
+        (measured - expect).abs() < 5.0 * sigma + 0.02,
+        "eq (2): measured {measured} vs theory {expect} (σ={sigma:.4})"
+    );
+}
+
+#[test]
+fn uniform_sufficient_failure_matches_eq13() {
+    let th = theta();
+    let n = 400;
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.03, PI).expect("valid"));
+    let expect = prob_point_fails_sufficient(&profile, n, th);
+
+    let pts = probes(20);
+    let trials = 60;
+    let mut fails = 0usize;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(13, t));
+        let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits");
+        for p in &pts {
+            if !meets_sufficient_condition(&net, *p, th, Angle::ZERO) {
+                fails += 1;
+            }
+        }
+    }
+    let measured = fails as f64 / (trials as usize * pts.len()) as f64;
+    let sigma = (expect * (1.0 - expect) / (trials as usize * pts.len()) as f64).sqrt();
+    assert!(
+        (measured - expect).abs() < 5.0 * sigma + 0.02,
+        "eq (13): measured {measured} vs theory {expect}"
+    );
+}
+
+#[test]
+fn poisson_p_n_and_p_s_match_theorems_3_and_4() {
+    let th = theta();
+    let density = 500.0;
+    let profile = NetworkProfile::builder()
+        .group(SensorSpec::new(0.09, PI).expect("valid"), 0.6)
+        .group(SensorSpec::new(0.12, PI / 3.0).expect("valid"), 0.4)
+        .build()
+        .expect("sums to 1");
+    let expect_n = prob_point_meets_necessary_poisson(&profile, density, th);
+    let expect_s = prob_point_meets_sufficient_poisson(&profile, density, th);
+
+    let pts = probes(20);
+    let trials = 60;
+    let mut meets_n = 0usize;
+    let mut meets_s = 0usize;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(17, t));
+        let net = deploy_poisson(Torus::unit(), &profile, density, &mut rng).expect("fits");
+        for p in &pts {
+            if meets_necessary_condition(&net, *p, th, Angle::ZERO) {
+                meets_n += 1;
+            }
+            if meets_sufficient_condition(&net, *p, th, Angle::ZERO) {
+                meets_s += 1;
+            }
+        }
+    }
+    let total = (trials as usize * pts.len()) as f64;
+    let measured_n = meets_n as f64 / total;
+    let measured_s = meets_s as f64 / total;
+    assert!(
+        (measured_n - expect_n).abs() < 0.06,
+        "Theorem 3: measured {measured_n} vs P_N {expect_n}"
+    );
+    assert!(
+        (measured_s - expect_s).abs() < 0.06,
+        "Theorem 4: measured {measured_s} vs P_S {expect_s}"
+    );
+}
+
+#[test]
+fn csa_transition_direction_holds_empirically() {
+    // Below s_Nc: grids frequently fail; comfortably above s_Sc: grids
+    // rarely fail (test-scale n keeps the contrast probabilistic, so the
+    // assertion is on frequencies, not certainty).
+    let th = theta();
+    // n = 600 keeps 1.3x the sufficient CSA torus-feasible.
+    let n = 600;
+    let trials = 12u64;
+    let grid = UnitGrid::new(Torus::unit(), 20);
+
+    let whole_grid_rate = |s_c: f64| -> f64 {
+        let profile = NetworkProfile::homogeneous(
+            SensorSpec::with_sensing_area(s_c, PI).expect("valid"),
+        );
+        let mut good = 0usize;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(derive_seed(23, t));
+            let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits");
+            if evaluate_grid(&net, th, &grid, Angle::ZERO).all_full_view() {
+                good += 1;
+            }
+        }
+        good as f64 / trials as f64
+    };
+
+    let below = whole_grid_rate(0.5 * csa_necessary(n, th));
+    let above = whole_grid_rate(1.3 * csa_sufficient(n, th));
+    assert!(below <= 0.25, "below-threshold rate too high: {below}");
+    assert!(above >= 0.75, "above-threshold rate too low: {above}");
+}
+
+#[test]
+fn theta_pi_fullview_equals_one_coverage_everywhere() {
+    let th = EffectiveAngle::new(PI).expect("π valid");
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI / 2.0).expect("ok"));
+    for t in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(derive_seed(29, t));
+        let net = deploy_uniform(Torus::unit(), &profile, 200, &mut rng).expect("fits");
+        let grid = UnitGrid::new(Torus::unit(), 15);
+        for p in grid.iter() {
+            assert_eq!(
+                is_full_view_covered(&net, p, th),
+                net.coverage_count(p) >= 1,
+                "θ=π degeneration failed at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sensing_area_equivalence_shapes_statistically_close() {
+    // §VI-A at test scale: two shapes, same area; mean per-trial coverage
+    // fractions must agree within a loose tolerance.
+    let th = theta();
+    let n = 250;
+    let area = 0.02;
+    let trials = 10u64;
+    let grid = UnitGrid::new(Torus::unit(), 18);
+
+    let mean_fraction = |phi: f64, stream: u64| -> f64 {
+        let profile = NetworkProfile::homogeneous(
+            SensorSpec::with_sensing_area(area, phi).expect("valid"),
+        );
+        let mut total = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(derive_seed(stream, t));
+            let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits");
+            total += evaluate_grid(&net, th, &grid, Angle::ZERO).full_view_fraction();
+        }
+        total / trials as f64
+    };
+
+    let wide = mean_fraction(PI, 31);
+    let narrow = mean_fraction(PI / 6.0, 37);
+    assert!(
+        (wide - narrow).abs() < 0.08,
+        "equal-area shapes diverged: wide {wide} vs narrow {narrow}"
+    );
+}
