@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fullview_bench::bench_network;
 use fullview_core::{
-    analyze_point, is_full_view_covered, meets_necessary_condition,
-    meets_sufficient_condition, EffectiveAngle, SectorPartition,
+    analyze_point, is_full_view_covered, meets_necessary_condition, meets_sufficient_condition,
+    EffectiveAngle, SectorPartition,
 };
 use fullview_geom::{Angle, Point};
 use std::f64::consts::PI;

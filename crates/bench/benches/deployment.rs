@@ -23,17 +23,14 @@ fn bench_deploy(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| {
-                black_box(
-                    deploy_uniform(torus, &profile, n, &mut rng).expect("profile fits"),
-                )
+                black_box(deploy_uniform(torus, &profile, n, &mut rng).expect("profile fits"))
             });
         });
         group.bench_with_input(BenchmarkId::new("poisson", n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(2);
             b.iter(|| {
                 black_box(
-                    deploy_poisson(torus, &profile, n as f64, &mut rng)
-                        .expect("profile fits"),
+                    deploy_poisson(torus, &profile, n as f64, &mut rng).expect("profile fits"),
                 )
             });
         });

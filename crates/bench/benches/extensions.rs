@@ -26,9 +26,8 @@ fn bench_extensions(c: &mut Criterion) {
         );
     }
 
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(0.01, PI / 2.0).expect("valid"),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI / 2.0).expect("valid"));
     for &n in &[500usize, 5000] {
         group.bench_with_input(BenchmarkId::new("exact_mixture", n), &n, |b, &n| {
             b.iter(|| black_box(prob_point_full_view_uniform(&profile, n, theta)));

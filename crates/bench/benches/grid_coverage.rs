@@ -44,8 +44,7 @@ fn bench_grid(c: &mut Criterion) {
                     } else if dirs.is_empty() {
                         false
                     } else {
-                        let mut max_gap =
-                            dirs[0] + 2.0 * PI - dirs[dirs.len() - 1];
+                        let mut max_gap = dirs[0] + 2.0 * PI - dirs[dirs.len() - 1];
                         for w in dirs.windows(2) {
                             max_gap = max_gap.max(w[1] - w[0]);
                         }

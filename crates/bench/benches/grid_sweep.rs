@@ -1,0 +1,118 @@
+//! Serial vs intra-sweep parallel dense-grid coverage, plus an allocation
+//! audit of the hot path.
+//!
+//! Two claims are measured:
+//!
+//! 1. **Zero allocation per point.** After one warm-up chunk grows the
+//!    [`GridEvaluator`]'s scratch buffer to the local camera density, a
+//!    full grid sweep must perform no heap allocation at all (counted by
+//!    a wrapping global allocator; the audit runs before the timings and
+//!    aborts the bench on regression).
+//! 2. **Parallel scaling.** `evaluate_grid_parallel` at 1/2/4 threads vs
+//!    the serial `evaluate_grid`. On a single-core host the parallel
+//!    variants only show the (small) chunk-claiming overhead; speedups
+//!    require real cores.
+
+use criterion::{BenchmarkId, Criterion};
+use fullview_bench::bench_network;
+use fullview_core::{evaluate_grid, EffectiveAngle, GridCoverageReport, GridEvaluator};
+use fullview_geom::{Angle, Torus, UnitGrid};
+use fullview_sim::evaluate_grid_parallel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation made through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Verifies the zero-allocation claim: a warmed evaluator sweeps the whole
+/// grid without touching the heap.
+fn allocation_audit() {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let net = bench_network(1000, 0.05, 7);
+    let grid = UnitGrid::new(Torus::unit(), 50); // 2500 points
+    let mut evaluator = GridEvaluator::new(theta, Angle::ZERO);
+
+    // Warm-up: grows the direction scratch buffer to the densest point.
+    let warm = evaluator.evaluate_range(&net, &grid, 0..grid.len());
+
+    let before = allocations();
+    let hot = evaluator.evaluate_range(&net, &grid, 0..grid.len());
+    let after = allocations();
+
+    assert_eq!(warm, hot, "warm-up and hot sweeps must agree");
+    let allocated = after - before;
+    println!(
+        "allocation audit: {} heap allocations across {} points (warmed evaluator)",
+        allocated,
+        grid.len()
+    );
+    assert_eq!(
+        allocated, 0,
+        "dense-grid hot path regressed: {allocated} allocations in a warmed sweep"
+    );
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let torus = Torus::unit();
+    let grid = UnitGrid::new(torus, 96); // 9216 points ≈ n=10³ dense grid
+    let net = bench_network(1000, 0.05, 7);
+    let serial_report = evaluate_grid(&net, theta, &grid, Angle::ZERO);
+
+    let mut group = c.benchmark_group("grid_sweep");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(evaluate_grid(&net, theta, &grid, Angle::ZERO)));
+    });
+    for &threads in &[1usize, 2, 4] {
+        // Bit-identity is part of the contract being benchmarked.
+        let par: GridCoverageReport =
+            evaluate_grid_parallel(&net, theta, &grid, Angle::ZERO, threads);
+        assert_eq!(par, serial_report, "threads={threads}");
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(evaluate_grid_parallel(&net, theta, &grid, Angle::ZERO, t)));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    allocation_audit();
+    let mut criterion = Criterion::default();
+    bench_sweep(&mut criterion);
+    criterion.final_summary();
+}

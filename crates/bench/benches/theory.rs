@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fullview_core::{
-    csa_necessary, csa_sufficient, prob_point_fails_necessary,
-    prob_point_meets_necessary_poisson, q_closed_form, q_series, Condition, EffectiveAngle,
+    csa_necessary, csa_sufficient, prob_point_fails_necessary, prob_point_meets_necessary_poisson,
+    q_closed_form, q_series, Condition, EffectiveAngle,
 };
 use fullview_model::{NetworkProfile, SensorSpec};
 use std::f64::consts::PI;

@@ -8,10 +8,10 @@
 use crate::args::{ArgError, Cli};
 use fullview_core::{
     analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
-    evaluate_dense_grid, find_holes, is_full_view_covered, max_cameras_below_necessary,
-    min_cameras_for_guarantee, prob_point_full_view_poisson, prob_point_full_view_uniform,
-    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
-    required_area_for_expected_fraction, unsafe_directions, EffectiveAngle, SectorPartition,
+    find_holes, is_full_view_covered, max_cameras_below_necessary, min_cameras_for_guarantee,
+    prob_point_full_view_poisson, prob_point_full_view_uniform, prob_point_meets_necessary_poisson,
+    prob_point_meets_sufficient_poisson, required_area_for_expected_fraction, unsafe_directions,
+    EffectiveAngle, SectorPartition,
 };
 use fullview_core::{evaluate_path, Path};
 use fullview_deploy::{deploy_poisson, deploy_uniform};
@@ -21,6 +21,7 @@ use fullview_model::{
     NetworkProfile, SensorSpec,
 };
 use fullview_plan::{greedy_place, optimize_orientations, GreedyPlacer, OrientationPlanner};
+use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
@@ -88,11 +89,20 @@ COMMANDS:
 
 Most commands accept --load FILE to analyse a saved network (see `save`)
 instead of generating a random one, and --profile FILE to use a
-heterogeneous mix (text format: one 'fraction radius aov_rad' per line).";
+heterogeneous mix (text format: one 'fraction radius aov_rad' per line).
+Dense-grid commands (check, poisson, failures) accept --threads N to
+parallelise the grid sweep (0 = one per CPU; results are identical for
+every thread count).";
 
 fn theta_of(cli: &Cli) -> Result<EffectiveAngle, Box<dyn Error>> {
     let deg: f64 = cli.get("theta-deg", 45.0)?;
     Ok(EffectiveAngle::new(deg.to_radians())?)
+}
+
+/// Worker threads for dense-grid sweeps: `--threads N` (`0` = one per
+/// available CPU, the default). Bit-identical results for every value.
+fn threads_of(cli: &Cli) -> Result<usize, Box<dyn Error>> {
+    Ok(cli.get("threads", 0usize)?)
 }
 
 fn spec_of(cli: &Cli) -> Result<SensorSpec, Box<dyn Error>> {
@@ -118,8 +128,7 @@ fn network_of(cli: &Cli) -> Result<(NetworkProfile, CameraNetwork), Box<dyn Erro
         let text = std::fs::read_to_string(&load)?;
         let net = network_from_text(Torus::unit(), &text)?;
         // Prefer the as-built composition when it is recoverable.
-        let profile = empirical_profile(&net)
-            .map_or_else(|| profile_of(cli), Ok)?;
+        let profile = empirical_profile(&net).map_or_else(|| profile_of(cli), Ok)?;
         return Ok((profile, net));
     }
     let profile = profile_of(cli)?;
@@ -133,13 +142,15 @@ fn network_of(cli: &Cli) -> Result<(NetworkProfile, CameraNetwork), Box<dyn Erro
 fn parse_route(raw: &str) -> Result<Path, Box<dyn Error>> {
     let mut waypoints = Vec::new();
     for (i, part) in raw.split(':').enumerate() {
-        let (x, y) = part.split_once(',').ok_or_else(|| {
-            ArgError(format!("waypoint {} '{part}' is not 'x,y'", i + 1))
-        })?;
+        let (x, y) = part
+            .split_once(',')
+            .ok_or_else(|| ArgError(format!("waypoint {} '{part}' is not 'x,y'", i + 1)))?;
         waypoints.push(Point::new(x.trim().parse()?, y.trim().parse()?));
     }
     if waypoints.len() < 2 {
-        return Err(Box::new(ArgError("route needs at least two waypoints".into())));
+        return Err(Box::new(ArgError(
+            "route needs at least two waypoints".into(),
+        )));
     }
     Ok(Path::new(waypoints))
 }
@@ -166,13 +177,14 @@ fn cmd_route(cli: &Cli) -> Result<(), Box<dyn Error>> {
 
 fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn Error>> {
     let theta = theta_of(cli)?;
+    let threads = threads_of(cli)?;
     let (_, net) = network_of(cli)?;
     let p: f64 = cli.get("p", 0.3)?;
     let seed: u64 = cli.get("fail-seed", 1)?;
-    let before = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    let before = evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, threads);
     let mut rng = StdRng::seed_from_u64(seed);
     let failed = fullview_sim::with_random_failures(&net, p, &mut rng);
-    let after = evaluate_dense_grid(&failed, theta, Angle::ZERO);
+    let after = evaluate_dense_grid_parallel(&failed, theta, Angle::ZERO, threads);
     println!("before: {} cameras, {before}", net.len());
     println!("after p={p} failures: {} cameras, {after}", failed.len());
     println!(
@@ -201,7 +213,10 @@ fn cmd_csa(cli: &Cli) -> Result<(), Box<dyn Error>> {
     let s_sc = csa_sufficient(n, theta);
     println!("n = {n}, {theta}");
     println!("  necessary CSA  s_Nc(n) = {s_nc:.6}");
-    println!("  sufficient CSA s_Sc(n) = {s_sc:.6}  (ratio {:.2})", s_sc / s_nc);
+    println!(
+        "  sufficient CSA s_Sc(n) = {s_sc:.6}  (ratio {:.2})",
+        s_sc / s_nc
+    );
     println!("  1-coverage CSA          = {:.6}", csa_one_coverage(n));
     println!("  critical ESR            = {:.6}", critical_esr(n));
     let area: f64 = cli.get("area", f64::NAN)?;
@@ -223,7 +238,7 @@ fn cmd_check(cli: &Cli) -> Result<(), Box<dyn Error>> {
         net.len(),
         classify_csa(s_c, net.len().max(3), theta)
     );
-    let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    let report = evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, threads_of(cli)?);
     println!("{report}");
     println!(
         "exact per-point full-view probability (theory): {:.4}",
@@ -252,7 +267,7 @@ fn cmd_poisson(cli: &Cli) -> Result<(), Box<dyn Error>> {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let net = deploy_poisson(Torus::unit(), &profile, density, &mut rng)?;
-    let report = evaluate_dense_grid(&net, theta, Angle::ZERO);
+    let report = evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, threads_of(cli)?);
     println!("one sampled drop ({} cameras): {report}", net.len());
     Ok(())
 }
@@ -315,9 +330,7 @@ fn cmd_plan(cli: &Cli) -> Result<(), Box<dyn Error>> {
     placer.max_cameras = cli.get("budget", 2000)?;
     let outcome = greedy_place(Torus::unit(), theta, placer);
     println!("{outcome}");
-    println!(
-        "for comparison, Theorem 2 random deployment needs s >= s_Sc(n): try `fvc csa`"
-    );
+    println!("for comparison, Theorem 2 random deployment needs s >= s_Sc(n): try `fvc csa`");
     Ok(())
 }
 
@@ -376,7 +389,10 @@ fn cmd_point(cli: &Cli) -> Result<(), Box<dyn Error>> {
         "point {p}: {} covering cameras, largest gap {:.4} rad",
         analysis.covering_cameras, analysis.largest_gap
     );
-    println!("full-view covered: {}", is_full_view_covered(&net, p, theta));
+    println!(
+        "full-view covered: {}",
+        is_full_view_covered(&net, p, theta)
+    );
     if let Some(t) = analysis.critical_theta() {
         println!("critical effective angle here: {t:.4} rad");
     }
@@ -401,12 +417,56 @@ mod tests {
 
     #[test]
     fn csa_command_runs() {
-        run(&cli(&["csa", "--n", "500", "--theta-deg", "45", "--area", "0.02"])).unwrap();
+        run(&cli(&[
+            "csa",
+            "--n",
+            "500",
+            "--theta-deg",
+            "45",
+            "--area",
+            "0.02",
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn check_command_runs_small() {
-        run(&cli(&["check", "--n", "80", "--radius", "0.12", "--aov-deg", "120"])).unwrap();
+        run(&cli(&[
+            "check",
+            "--n",
+            "80",
+            "--radius",
+            "0.12",
+            "--aov-deg",
+            "120",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn check_command_accepts_threads() {
+        run(&cli(&[
+            "check",
+            "--n",
+            "80",
+            "--radius",
+            "0.12",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        run(&cli(&[
+            "failures",
+            "--n",
+            "60",
+            "--p",
+            "0.5",
+            "--radius",
+            "0.12",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -432,8 +492,17 @@ mod tests {
     #[test]
     fn aim_command_runs_small() {
         run(&cli(&[
-            "aim", "--n", "25", "--radius", "0.2", "--grid", "8", "--candidates", "6",
-            "--rounds", "1",
+            "aim",
+            "--n",
+            "25",
+            "--radius",
+            "0.2",
+            "--grid",
+            "8",
+            "--candidates",
+            "6",
+            "--rounds",
+            "1",
         ]))
         .unwrap();
     }
@@ -441,7 +510,15 @@ mod tests {
     #[test]
     fn plan_command_runs_small() {
         run(&cli(&[
-            "plan", "--radius", "0.3", "--aov-deg", "180", "--grid", "6", "--budget", "40",
+            "plan",
+            "--radius",
+            "0.3",
+            "--aov-deg",
+            "180",
+            "--grid",
+            "6",
+            "--budget",
+            "40",
         ]))
         .unwrap();
     }
@@ -449,7 +526,13 @@ mod tests {
     #[test]
     fn route_command_runs_small() {
         run(&cli(&[
-            "route", "--n", "60", "--route", "0.1,0.1:0.9,0.9", "--step", "0.05",
+            "route",
+            "--n",
+            "60",
+            "--route",
+            "0.1,0.1:0.9,0.9",
+            "--step",
+            "0.05",
         ]))
         .unwrap();
     }
@@ -458,14 +541,20 @@ mod tests {
     fn save_and_load_roundtrip() {
         let dir = std::env::temp_dir().join("fvc-test-net.txt");
         let path = dir.to_string_lossy().to_string();
-        run(&cli(&["save", "--out", &path, "--n", "40", "--radius", "0.12"])).unwrap();
+        run(&cli(&[
+            "save", "--out", &path, "--n", "40", "--radius", "0.12",
+        ]))
+        .unwrap();
         run(&cli(&["holes", "--load", &path, "--grid", "6"])).unwrap();
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn failures_command_runs_small() {
-        run(&cli(&["failures", "--n", "60", "--p", "0.5", "--radius", "0.12"])).unwrap();
+        run(&cli(&[
+            "failures", "--n", "60", "--p", "0.5", "--radius", "0.12",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -491,7 +580,16 @@ mod tests {
 
     #[test]
     fn size_command_runs() {
-        run(&cli(&["size", "--radius", "0.15", "--aov-deg", "120", "--n", "300"])).unwrap();
+        run(&cli(&[
+            "size",
+            "--radius",
+            "0.15",
+            "--aov-deg",
+            "120",
+            "--n",
+            "300",
+        ]))
+        .unwrap();
     }
 
     #[test]

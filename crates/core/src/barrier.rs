@@ -46,7 +46,11 @@ impl fmt::Display for BarrierReport {
             self.grid_side,
             self.grid_side,
             self.covered_fraction(),
-            if self.has_barrier { "present" } else { "absent" }
+            if self.has_barrier {
+                "present"
+            } else {
+                "absent"
+            }
         )
     }
 }

@@ -17,9 +17,9 @@
 use crate::fullview::PointCoverage;
 use crate::numeric::tolerant_floor;
 use crate::theta::EffectiveAngle;
+use fullview_geom::Point;
 use fullview_geom::{Angle, Arc, ANGLE_EPS};
 use fullview_model::CameraNetwork;
-use fullview_geom::Point;
 use std::f64::consts::TAU;
 
 /// The sector partition used by one of the paper's two geometric
@@ -173,8 +173,8 @@ pub fn cameras_sufficient(theta: EffectiveAngle) -> usize {
 mod tests {
     use super::*;
     use fullview_geom::Torus;
-    use std::f64::consts::PI;
     use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
+    use std::f64::consts::PI;
 
     fn theta(t: f64) -> EffectiveAngle {
         EffectiveAngle::new(t).unwrap()
@@ -272,7 +272,12 @@ mod tests {
             .iter()
             .map(|&d| {
                 let dir = Angle::new(d);
-                Camera::new(torus.offset(target, dir, 0.1), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, 0.1),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)

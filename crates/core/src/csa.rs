@@ -185,10 +185,7 @@ mod tests {
             for t in [0.1 * PI, 0.25 * PI, 0.5 * PI] {
                 let th = theta(t);
                 let ratio = csa_sufficient(n, th) / csa_necessary(n, th);
-                assert!(
-                    (1.6..2.4).contains(&ratio),
-                    "n={n}, θ={t}: ratio {ratio}"
-                );
+                assert!((1.6..2.4).contains(&ratio), "n={n}, θ={t}: ratio {ratio}");
             }
         }
     }

@@ -9,11 +9,12 @@
 //! per grid point.
 
 use crate::conditions::SectorPartition;
-use crate::fullview::analyze_point;
+use crate::fullview::PointAnalyzer;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, Torus, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::fmt;
+use std::ops::{AddAssign, Range};
 
 /// The paper's dense-grid size `m = ⌈n ln n⌉`, floored at 4 so degenerate
 /// populations still produce a usable grid.
@@ -36,6 +37,23 @@ pub fn dense_grid(torus: Torus, n: usize) -> UnitGrid {
 ///
 /// All predicates are evaluated with the same effective angle and (for the
 /// sector conditions) the same start line.
+///
+/// Reports over disjoint point sets combine with [`merge`](Self::merge) or
+/// `+=`; since every field is a plain sum, merging is associative and
+/// commutative, so a chunked parallel sweep produces **bit-identical**
+/// reports regardless of chunking or thread count.
+///
+/// # Empty reports
+///
+/// A report over zero points (`total_points == 0`) treats every universal
+/// predicate as **vacuously true** and every fraction as `1.0`:
+/// `all_full_view()`, `all_necessary()`, `all_sufficient()` return `true`
+/// and the `*_fraction()` accessors return `1.0`. This keeps the
+/// "all points satisfy X" semantics consistent between the boolean and
+/// fractional views, and makes the empty report the identity element for
+/// [`merge`](Self::merge). (The dense grids of §III-A are never empty —
+/// [`UnitGrid`] always has at least one point — so this only arises for
+/// explicitly constructed empty reports.)
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GridCoverageReport {
     /// Total number of grid points evaluated.
@@ -85,7 +103,8 @@ impl GridCoverageReport {
     }
 
     /// Whether every grid point is full-view covered — the event `H` of
-    /// Definition 2 instantiated for full-view coverage.
+    /// Definition 2 instantiated for full-view coverage. Vacuously `true`
+    /// for an empty report (see the type-level docs).
     #[must_use]
     pub fn all_full_view(&self) -> bool {
         self.full_view == self.total_points
@@ -105,12 +124,40 @@ impl GridCoverageReport {
         self.sufficient == self.total_points
     }
 
+    /// Accumulates another report's tallies into this one.
+    ///
+    /// The two reports must cover **disjoint** point sets (the caller's
+    /// responsibility); all fields are plain sums, so merging in any order
+    /// or grouping yields the same result.
+    pub fn merge(&mut self, other: &GridCoverageReport) {
+        self.total_points += other.total_points;
+        self.covered += other.covered;
+        self.k_covered += other.k_covered;
+        self.necessary += other.necessary;
+        self.full_view += other.full_view;
+        self.sufficient += other.sufficient;
+    }
+
     fn fraction(&self, count: usize) -> f64 {
         if self.total_points == 0 {
-            0.0
+            // Vacuous truth: an empty report satisfies every universal
+            // predicate, matching `all_*()` (0 == 0).
+            1.0
         } else {
             count as f64 / self.total_points as f64
         }
+    }
+}
+
+impl AddAssign<&GridCoverageReport> for GridCoverageReport {
+    fn add_assign(&mut self, rhs: &GridCoverageReport) {
+        self.merge(rhs);
+    }
+}
+
+impl AddAssign<GridCoverageReport> for GridCoverageReport {
+    fn add_assign(&mut self, rhs: GridCoverageReport) {
+        self.merge(&rhs);
     }
 }
 
@@ -129,6 +176,93 @@ impl fmt::Display for GridCoverageReport {
     }
 }
 
+/// Reusable per-worker state for sweeping grid ranges without per-point
+/// allocation.
+///
+/// Holds the sector partitions (built once from `θ` and the start line)
+/// and a [`PointAnalyzer`] scratch buffer. A serial sweep uses one
+/// evaluator for the whole grid; a parallel sweep gives each worker its
+/// own evaluator, has each evaluate disjoint index ranges via
+/// [`evaluate_range`](Self::evaluate_range), and merges the partial
+/// reports with [`GridCoverageReport::merge`] — the result is
+/// bit-identical to the serial sweep for any chunking.
+#[derive(Debug, Clone)]
+pub struct GridEvaluator {
+    necessary: SectorPartition,
+    sufficient: SectorPartition,
+    k: usize,
+    theta: EffectiveAngle,
+    analyzer: PointAnalyzer,
+}
+
+impl GridEvaluator {
+    /// Builds the evaluator for one `(θ, start_line)` configuration.
+    ///
+    /// The sector conditions use `start_line` for their constructions
+    /// (the paper's dashed radius; [`Angle::ZERO`] is the conventional
+    /// choice).
+    #[must_use]
+    pub fn new(theta: EffectiveAngle, start_line: Angle) -> Self {
+        GridEvaluator {
+            necessary: SectorPartition::necessary(theta, start_line),
+            sufficient: SectorPartition::sufficient(theta, start_line),
+            k: theta.necessary_sector_count(),
+            theta,
+            analyzer: PointAnalyzer::new(),
+        }
+    }
+
+    /// Evaluates every predicate at the grid points with indices in
+    /// `range`, returning the partial tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > grid.len()`.
+    #[must_use]
+    pub fn evaluate_range(
+        &mut self,
+        net: &CameraNetwork,
+        grid: &UnitGrid,
+        range: Range<usize>,
+    ) -> GridCoverageReport {
+        assert!(
+            range.end <= grid.len(),
+            "range end {} exceeds grid size {}",
+            range.end,
+            grid.len()
+        );
+        let mut report = GridCoverageReport {
+            total_points: range.len(),
+            ..GridCoverageReport::default()
+        };
+        for idx in range {
+            let view = self.analyzer.analyze_point_into(net, grid.point(idx));
+            if view.covering_cameras >= 1 {
+                report.covered += 1;
+            }
+            if view.covering_cameras >= self.k {
+                report.k_covered += 1;
+            }
+            if self
+                .necessary
+                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
+            {
+                report.necessary += 1;
+            }
+            if view.is_full_view(self.theta) {
+                report.full_view += 1;
+            }
+            if self
+                .sufficient
+                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
+            {
+                report.sufficient += 1;
+            }
+        }
+        report
+    }
+}
+
 /// Sweeps `grid`, evaluating every coverage predicate at each point.
 ///
 /// The sector conditions use `start_line` for their constructions
@@ -141,32 +275,7 @@ pub fn evaluate_grid(
     grid: &UnitGrid,
     start_line: Angle,
 ) -> GridCoverageReport {
-    let necessary_partition = SectorPartition::necessary(theta, start_line);
-    let sufficient_partition = SectorPartition::sufficient(theta, start_line);
-    let k = theta.necessary_sector_count();
-    let mut report = GridCoverageReport {
-        total_points: grid.len(),
-        ..GridCoverageReport::default()
-    };
-    for p in grid.iter() {
-        let coverage = analyze_point(net, p);
-        if coverage.covering_cameras >= 1 {
-            report.covered += 1;
-        }
-        if coverage.covering_cameras >= k {
-            report.k_covered += 1;
-        }
-        if necessary_partition.is_satisfied(&coverage) {
-            report.necessary += 1;
-        }
-        if coverage.is_full_view(theta) {
-            report.full_view += 1;
-        }
-        if sufficient_partition.is_satisfied(&coverage) {
-            report.sufficient += 1;
-        }
-    }
-    report
+    GridEvaluator::new(theta, start_line).evaluate_range(net, grid, 0..grid.len())
 }
 
 /// Convenience wrapper: evaluates the paper's dense grid
@@ -289,6 +398,75 @@ mod tests {
         assert_eq!(r.full_view, r.covered, "{r}");
         assert_eq!(r.necessary, r.covered, "{r}");
         assert_eq!(r.k_covered, r.covered, "{r}");
+    }
+
+    #[test]
+    fn empty_report_is_vacuously_true_and_merge_identity() {
+        // Zero points: the boolean and fractional views must agree that
+        // every universal predicate holds vacuously.
+        let empty = GridCoverageReport::default();
+        assert_eq!(empty.total_points, 0);
+        assert!(empty.all_full_view());
+        assert!(empty.all_necessary());
+        assert!(empty.all_sufficient());
+        assert_eq!(empty.full_view_fraction(), 1.0);
+        assert_eq!(empty.covered_fraction(), 1.0);
+        assert_eq!(empty.sufficient_fraction(), 1.0);
+        // And the empty report is the merge identity.
+        let r = GridCoverageReport {
+            total_points: 10,
+            covered: 9,
+            k_covered: 7,
+            necessary: 6,
+            full_view: 5,
+            sufficient: 4,
+        };
+        let mut merged = empty.clone();
+        merged.merge(&r);
+        assert_eq!(merged, r);
+        let mut other_way = r.clone();
+        other_way += &empty;
+        assert_eq!(other_way, r);
+    }
+
+    #[test]
+    fn chunked_evaluation_merges_to_serial_report() {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.2, PI).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..80 {
+            let x = (i as f64 * 0.618_033_98) % 1.0;
+            let y = (i as f64 * 0.414_213_56) % 1.0;
+            cams.push(Camera::new(
+                Point::new(x, y),
+                Angle::new((i as f64 * 2.399_963) % (2.0 * PI)),
+                spec,
+                GroupId(0),
+            ));
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let grid = UnitGrid::new(torus, 13); // 169 points, awkward chunk sizes
+        let th = theta(PI / 3.0);
+        let serial = evaluate_grid(&net, th, &grid, Angle::ZERO);
+        for chunk in [1usize, 7, 64, 169, 500] {
+            let mut merged = GridCoverageReport::default();
+            let mut ev = GridEvaluator::new(th, Angle::ZERO);
+            let mut lo = 0;
+            while lo < grid.len() {
+                let hi = (lo + chunk).min(grid.len());
+                merged += ev.evaluate_range(&net, &grid, lo..hi);
+                lo = hi;
+            }
+            assert_eq!(merged, serial, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid size")]
+    fn evaluate_range_rejects_out_of_bounds() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 3);
+        let _ = GridEvaluator::new(theta(PI / 2.0), Angle::ZERO).evaluate_range(&net, &grid, 0..10);
     }
 
     #[test]

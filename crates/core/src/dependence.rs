@@ -114,9 +114,15 @@ mod tests {
     fn disjointness_detection() {
         // θ = π/4: necessary sectors 2θ = π/2 tile exactly; sufficient θ too.
         assert!(partition_is_disjoint(Condition::Necessary, theta(PI / 4.0)));
-        assert!(partition_is_disjoint(Condition::Sufficient, theta(PI / 4.0)));
+        assert!(partition_is_disjoint(
+            Condition::Sufficient,
+            theta(PI / 4.0)
+        ));
         // θ = 0.3π: 2θ = 0.6π does not divide 2π.
-        assert!(!partition_is_disjoint(Condition::Necessary, theta(0.3 * PI)));
+        assert!(!partition_is_disjoint(
+            Condition::Necessary,
+            theta(0.3 * PI)
+        ));
     }
 
     #[test]

@@ -35,10 +35,7 @@ const MAX_FLEET: usize = 1 << 30;
 /// reach the guarantee (i.e. `s_c` is absurdly small), and
 /// [`CoreError::InvalidProbability`]-style validation is delegated to
 /// the CSA functions' own contracts.
-pub fn min_cameras_for_guarantee(
-    s_c: f64,
-    theta: EffectiveAngle,
-) -> Result<usize, CoreError> {
+pub fn min_cameras_for_guarantee(s_c: f64, theta: EffectiveAngle) -> Result<usize, CoreError> {
     if !s_c.is_finite() || s_c <= 0.0 {
         return Err(CoreError::SearchFailed {
             what: "weighted sensing area must be positive",
@@ -179,7 +176,10 @@ mod tests {
         let s_c = 0.02;
         let n = min_cameras_for_guarantee(s_c, theta()).unwrap();
         assert!(csa_sufficient(n, theta()) <= s_c);
-        assert!(n == 3 || csa_sufficient(n - 1, theta()) > s_c, "not minimal: {n}");
+        assert!(
+            n == 3 || csa_sufficient(n - 1, theta()) > s_c,
+            "not minimal: {n}"
+        );
     }
 
     #[test]
@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn required_area_monotone_in_target() {
-        let profile =
-            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
+        let profile = NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
         let s50 = required_area_for_expected_fraction(&profile, 500, theta(), 0.5).unwrap();
         let s99 = required_area_for_expected_fraction(&profile, 500, theta(), 0.99).unwrap();
         assert!(s99 > s50);
@@ -252,8 +251,7 @@ mod tests {
 
     #[test]
     fn required_area_rejects_bad_fraction() {
-        let profile =
-            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
+        let profile = NetworkProfile::homogeneous(SensorSpec::with_sensing_area(1.0, PI).unwrap());
         assert!(required_area_for_expected_fraction(&profile, 100, theta(), 0.0).is_err());
         assert!(required_area_for_expected_fraction(&profile, 100, theta(), 1.0).is_err());
         assert!(required_area_for_expected_fraction(&profile, 100, theta(), -0.5).is_err());

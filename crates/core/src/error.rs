@@ -61,7 +61,9 @@ mod tests {
         assert!(CoreError::InvalidEffectiveAngle { theta: 4.0 }
             .to_string()
             .contains('4'));
-        assert!(CoreError::PopulationTooSmall { n: 1 }.to_string().contains('1'));
+        assert!(CoreError::PopulationTooSmall { n: 1 }
+            .to_string()
+            .contains('1'));
         assert!(CoreError::InvalidProbability {
             name: "gamma",
             value: 2.0

@@ -299,8 +299,7 @@ mod tests {
             let trials = 20_000;
             let mut covered = 0usize;
             for _ in 0..trials {
-                let mut starts: Vec<f64> =
-                    (0..n_arcs).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let mut starts: Vec<f64> = (0..n_arcs).map(|_| rng.gen_range(0.0..1.0)).collect();
                 starts.sort_by(|x, y| x.partial_cmp(y).unwrap());
                 let mut ok = true;
                 for i in 0..n_arcs {
@@ -384,12 +383,10 @@ mod tests {
                 NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI).unwrap());
             for &n in &[200usize, 800, 2000] {
                 let exact = prob_point_full_view_uniform(&profile, n, th);
-                let lower = 1.0 - crate::uniform_theory::prob_point_fails_sufficient(
-                    &profile, n, th,
-                );
-                let upper = 1.0 - crate::uniform_theory::prob_point_fails_necessary(
-                    &profile, n, th,
-                );
+                let lower =
+                    1.0 - crate::uniform_theory::prob_point_fails_sufficient(&profile, n, th);
+                let upper =
+                    1.0 - crate::uniform_theory::prob_point_fails_necessary(&profile, n, th);
                 assert!(
                     lower <= exact + 1e-9 && exact <= upper + 1e-9,
                     "s={s}, n={n}: {lower} ≤ {exact} ≤ {upper} violated"
@@ -402,8 +399,7 @@ mod tests {
     fn exact_uniform_close_to_poisson_at_scale() {
         // Binomial mixing converges to Poisson mixing for large n.
         let th = theta(PI / 3.0);
-        let profile =
-            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
+        let profile = NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
         let u = prob_point_full_view_uniform(&profile, 2000, th);
         let p = prob_point_full_view_poisson(&profile, 2000.0, th);
         assert!((u - p).abs() < 0.01, "uniform {u} vs poisson {p}");
@@ -413,8 +409,7 @@ mod tests {
     fn theta_pi_exact_reduces_to_coverage_probability() {
         // At θ = π one covering camera suffices: exact = P(N ≥ 1).
         let th = theta(PI);
-        let profile =
-            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
+        let profile = NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.01, PI).unwrap());
         let n = 500;
         let exact = prob_point_full_view_uniform(&profile, n, th);
         let expect = 1.0 - (1.0f64 - 0.01).powi(n as i32);

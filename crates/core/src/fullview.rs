@@ -37,18 +37,22 @@ pub struct PointCoverage {
 }
 
 impl PointCoverage {
+    /// Borrows this analysis as a [`CoverageView`].
+    #[must_use]
+    pub fn as_view(&self) -> CoverageView<'_> {
+        CoverageView {
+            covering_cameras: self.covering_cameras,
+            has_colocated_camera: self.has_colocated_camera,
+            viewed_directions: &self.viewed_directions,
+            largest_gap: self.largest_gap,
+        }
+    }
+
     /// Whether the point is full-view covered for effective angle `theta`:
     /// the largest gap between viewed directions is at most `2θ`.
     #[must_use]
     pub fn is_full_view(&self, theta: EffectiveAngle) -> bool {
-        if self.has_colocated_camera {
-            return true;
-        }
-        // At least one camera must cover the point: with θ = π a single
-        // viewed direction suffices (gap exactly 2π = 2θ), but zero
-        // directions never do — full-view coverage implies 1-coverage.
-        !self.viewed_directions.is_empty()
-            && self.largest_gap <= theta.max_gap() + 2.0 * ANGLE_EPS
+        self.as_view().is_full_view(theta)
     }
 
     /// The *worst* effective angle this point supports: the smallest `θ`
@@ -59,6 +63,45 @@ impl PointCoverage {
     /// `2π`... i.e. no cameras at all).
     #[must_use]
     pub fn critical_theta(&self) -> Option<f64> {
+        self.as_view().critical_theta()
+    }
+}
+
+/// A borrowed view of a point's coverage analysis — the same facts as
+/// [`PointCoverage`], with the sorted viewed directions borrowing a
+/// caller-owned buffer (see [`PointAnalyzer::analyze_point_into`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageView<'a> {
+    /// Number of cameras covering the point.
+    pub covering_cameras: usize,
+    /// Whether a covering camera is co-located with the point.
+    pub has_colocated_camera: bool,
+    /// The sorted viewed directions of the covering cameras (co-located
+    /// cameras excluded).
+    pub viewed_directions: &'a [Angle],
+    /// The largest circular gap between consecutive viewed directions
+    /// (`2π` when at most one direction exists).
+    pub largest_gap: f64,
+}
+
+impl CoverageView<'_> {
+    /// Whether the point is full-view covered for effective angle `theta`:
+    /// the largest gap between viewed directions is at most `2θ`.
+    #[must_use]
+    pub fn is_full_view(&self, theta: EffectiveAngle) -> bool {
+        if self.has_colocated_camera {
+            return true;
+        }
+        // At least one camera must cover the point: with θ = π a single
+        // viewed direction suffices (gap exactly 2π = 2θ), but zero
+        // directions never do — full-view coverage implies 1-coverage.
+        !self.viewed_directions.is_empty() && self.largest_gap <= theta.max_gap() + 2.0 * ANGLE_EPS
+    }
+
+    /// The *worst* effective angle this point supports — see
+    /// [`PointCoverage::critical_theta`].
+    #[must_use]
+    pub fn critical_theta(&self) -> Option<f64> {
         if self.has_colocated_camera {
             return Some(0.0);
         }
@@ -67,17 +110,23 @@ impl PointCoverage {
         }
         Some(self.largest_gap / 2.0)
     }
+
+    /// Copies the borrowed analysis into an owned [`PointCoverage`].
+    #[must_use]
+    pub fn to_owned(&self) -> PointCoverage {
+        PointCoverage {
+            covering_cameras: self.covering_cameras,
+            has_colocated_camera: self.has_colocated_camera,
+            viewed_directions: self.viewed_directions.to_vec(),
+            largest_gap: self.largest_gap,
+        }
+    }
 }
 
-/// Analyses the coverage of `point`: gathers covering cameras, their
-/// viewed directions, and the largest angular gap.
-///
-/// This is the shared work of every per-point predicate; the dense-grid
-/// sweep calls it once per grid point and evaluates all conditions from
-/// the result.
-#[must_use]
-pub fn analyze_point(net: &CameraNetwork, point: Point) -> PointCoverage {
-    let mut dirs: Vec<Angle> = Vec::new();
+/// Gathers the covering cameras of `point` into `dirs` (cleared first,
+/// sorted on return) and returns `(covering_cameras, has_colocated)`.
+fn gather_directions(net: &CameraNetwork, point: Point, dirs: &mut Vec<Angle>) -> (usize, bool) {
+    dirs.clear();
     let mut covering = 0usize;
     let mut colocated = false;
     net.for_each_covering(point, |cam| {
@@ -87,13 +136,91 @@ pub fn analyze_point(net: &CameraNetwork, point: Point) -> PointCoverage {
             None => colocated = true,
         }
     });
-    dirs.sort_by(Angle::cmp_by_radians);
+    // Unstable sort: no allocation (stable merge sort buffers), and equal
+    // angles are indistinguishable so stability is irrelevant.
+    dirs.sort_unstable_by(Angle::cmp_by_radians);
+    (covering, colocated)
+}
+
+/// Analyses the coverage of `point`: gathers covering cameras, their
+/// viewed directions, and the largest angular gap.
+///
+/// This is the shared work of every per-point predicate. One-shot callers
+/// get an owned [`PointCoverage`]; loops evaluating many points should
+/// hold a [`PointAnalyzer`] and use
+/// [`analyze_point_into`](PointAnalyzer::analyze_point_into), which reuses
+/// one buffer across calls.
+#[must_use]
+pub fn analyze_point(net: &CameraNetwork, point: Point) -> PointCoverage {
+    let mut dirs: Vec<Angle> = Vec::new();
+    let (covering, colocated) = gather_directions(net, point, &mut dirs);
     let largest_gap = largest_circular_gap(&dirs);
     PointCoverage {
         covering_cameras: covering,
         has_colocated_camera: colocated,
         viewed_directions: dirs,
         largest_gap,
+    }
+}
+
+/// Reusable scratch state for allocation-free per-point coverage analysis.
+///
+/// The dense-grid sweeps call [`analyze_point_into`] once per grid point;
+/// after the buffer warms up to the largest covering-camera count, the hot
+/// loop performs no heap allocation at all.
+///
+/// [`analyze_point_into`]: PointAnalyzer::analyze_point_into
+///
+/// # Examples
+///
+/// ```
+/// use fullview_core::{analyze_point, PointAnalyzer};
+/// use fullview_geom::{Point, Torus};
+/// use fullview_model::CameraNetwork;
+///
+/// let net = CameraNetwork::new(Torus::unit(), Vec::new());
+/// let mut analyzer = PointAnalyzer::new();
+/// let p = Point::new(0.25, 0.75);
+/// let view = analyzer.analyze_point_into(&net, p);
+/// assert_eq!(view.to_owned(), analyze_point(&net, p));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PointAnalyzer {
+    dirs: Vec<Angle>,
+}
+
+impl PointAnalyzer {
+    /// Creates an analyzer with an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analyzer whose buffer already holds room for `cap`
+    /// viewed directions (one per covering camera).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        PointAnalyzer {
+            dirs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Analyses the coverage of `point` into this analyzer's scratch
+    /// buffer, returning a [`CoverageView`] borrowing it.
+    ///
+    /// Produces results identical to [`analyze_point`] (the returned view
+    /// `to_owned()` equals the owned analysis) without allocating once the
+    /// buffer has grown to the local camera density.
+    #[must_use]
+    pub fn analyze_point_into(&mut self, net: &CameraNetwork, point: Point) -> CoverageView<'_> {
+        let (covering, colocated) = gather_directions(net, point, &mut self.dirs);
+        let largest_gap = largest_circular_gap(&self.dirs);
+        CoverageView {
+            covering_cameras: covering,
+            has_colocated_camera: colocated,
+            viewed_directions: &self.dirs,
+            largest_gap,
+        }
     }
 }
 
@@ -247,7 +374,12 @@ mod tests {
             .iter()
             .map(|&d| {
                 let dir = Angle::new(d);
-                Camera::new(torus.offset(target, dir, dist), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, dist),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)
@@ -317,10 +449,7 @@ mod tests {
         let torus = Torus::unit();
         let p = Point::new(0.5, 0.5);
         let spec = SensorSpec::new(0.1, PI / 4.0).unwrap();
-        let net = CameraNetwork::new(
-            torus,
-            vec![Camera::new(p, Angle::ZERO, spec, GroupId(0))],
-        );
+        let net = CameraNetwork::new(torus, vec![Camera::new(p, Angle::ZERO, spec, GroupId(0))]);
         assert!(is_full_view_covered(&net, p, theta(0.01)));
         assert!(is_full_view_covered_arcset(&net, p, theta(0.01)));
         assert_eq!(analyze_point(&net, p).critical_theta(), Some(0.0));

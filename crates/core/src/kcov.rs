@@ -66,7 +66,12 @@ mod tests {
         let cams: Vec<Camera> = (0..count)
             .map(|i| {
                 let dir = Angle::new(0.2 + 0.01 * i as f64);
-                Camera::new(torus.offset(target, dir, 0.15), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, 0.15),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)

@@ -149,7 +149,12 @@ mod tests {
             .iter()
             .map(|&d| {
                 let dir = Angle::new(d);
-                Camera::new(torus.offset(target, dir, 0.1), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, 0.1),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)
@@ -285,7 +290,10 @@ mod tests {
                 crate::poisson_theory::prob_point_meets_necessary_poisson(&profile, density, th);
             // Pooled-λ form vs per-group product form: identical because
             // 1 − Π_y e^{−λ_y} ... both equal 1 − e^{−Σλ_y}.
-            assert!((k1 - thm3).abs() < 1e-12, "density {density}: {k1} vs {thm3}");
+            assert!(
+                (k1 - thm3).abs() < 1e-12,
+                "density {density}: {k1} vs {thm3}"
+            );
         }
     }
 

@@ -71,22 +71,6 @@ mod theta;
 mod uniform_theory;
 
 pub use barrier::{barrier_full_view, BarrierReport};
-pub use dependence::{
-    independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent,
-};
-pub use design::{
-    max_cameras_below_necessary, min_cameras_for_guarantee,
-    required_area_for_expected_fraction,
-};
-pub use exact::{
-    covering_count_pmf_poisson, covering_count_pmf_uniform, prob_point_full_view_poisson,
-    prob_point_full_view_uniform, stevens_coverage_probability,
-};
-pub use holes::{find_holes, Hole, HoleReport};
-pub use kfullview::{
-    is_k_full_view_covered, prob_point_meets_necessary_k_poisson, view_multiplicity,
-};
-pub use path::{evaluate_path, ExposedStretch, Path, PathCoverageReport};
 pub use conditions::{
     cameras_sufficient, meets_necessary_condition, meets_sufficient_condition,
     min_cameras_necessary, ConditionKind, SectorPartition,
@@ -97,13 +81,29 @@ pub use csa::{
 };
 pub use densegrid::{
     dense_grid, dense_grid_point_count, evaluate_dense_grid, evaluate_grid, GridCoverageReport,
+    GridEvaluator,
+};
+pub use dependence::{
+    independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent,
+};
+pub use design::{
+    max_cameras_below_necessary, min_cameras_for_guarantee, required_area_for_expected_fraction,
 };
 pub use error::CoreError;
+pub use exact::{
+    covering_count_pmf_poisson, covering_count_pmf_uniform, prob_point_full_view_poisson,
+    prob_point_full_view_uniform, stevens_coverage_probability,
+};
 pub use fullview::{
     analyze_point, is_direction_safe, is_full_view_covered, is_full_view_covered_arcset,
-    safe_directions, safe_fraction, unsafe_directions, PointCoverage,
+    safe_directions, safe_fraction, unsafe_directions, CoverageView, PointAnalyzer, PointCoverage,
 };
+pub use holes::{find_holes, Hole, HoleReport};
 pub use kcov::{implied_k, is_k_covered, k_covered_fraction, min_coverage_over_grid};
+pub use kfullview::{
+    is_k_full_view_covered, prob_point_meets_necessary_k_poisson, view_multiplicity,
+};
+pub use path::{evaluate_path, ExposedStretch, Path, PathCoverageReport};
 pub use poisson_theory::{
     prob_point_meets, prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
     q_closed_form, q_series, Condition,
@@ -115,6 +115,6 @@ pub use temporal::{always_full_view, eventually_full_view, fraction_of_time_full
 pub use theta::EffectiveAngle;
 pub use uniform_theory::{
     expected_necessary_fraction, expected_sufficient_fraction, grid_failure_bounds,
-    prob_point_fails_necessary, prob_point_fails_sufficient,
-    sector_miss_probability_necessary, sector_miss_probability_sufficient, GridFailureBounds,
+    prob_point_fails_necessary, prob_point_fails_sufficient, sector_miss_probability_necessary,
+    sector_miss_probability_sufficient, GridFailureBounds,
 };

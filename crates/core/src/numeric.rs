@@ -19,7 +19,10 @@ const RATIO_EPS: f64 = 1e-9;
 /// Panics if `x` is not finite and positive.
 #[must_use]
 pub fn tolerant_ceil(x: f64) -> usize {
-    assert!(x.is_finite() && x > 0.0, "expected finite positive ratio, got {x}");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "expected finite positive ratio, got {x}"
+    );
     let f = x.floor();
     if x - f <= RATIO_EPS {
         f as usize
@@ -36,7 +39,10 @@ pub fn tolerant_ceil(x: f64) -> usize {
 /// Panics if `x` is not finite and positive.
 #[must_use]
 pub fn tolerant_floor(x: f64) -> usize {
-    assert!(x.is_finite() && x > 0.0, "expected finite positive ratio, got {x}");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "expected finite positive ratio, got {x}"
+    );
     let f = x.floor();
     if x - f >= 1.0 - RATIO_EPS {
         f as usize + 1

@@ -251,7 +251,10 @@ mod tests {
         let samples = path.sample(&torus, 0.05);
         for p in &samples {
             assert!(torus.contains(*p), "{p}");
-            assert!(p.x >= 0.85 || p.x <= 0.15, "sample {p} left the seam corridor");
+            assert!(
+                p.x >= 0.85 || p.x <= 0.15,
+                "sample {p} left the seam corridor"
+            );
         }
     }
 

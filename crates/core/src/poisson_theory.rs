@@ -302,11 +302,7 @@ mod tests {
         // Verify the closed-form area identity holds across shapes:
         let th = theta(PI / 4.0);
         let a = q_closed_form(Condition::Necessary, th, 500.0, 0.1, PI / 2.0);
-        let same_area = SensorSpec::with_sensing_area(
-            PI / 2.0 * 0.01 / 2.0,
-            PI / 8.0,
-        )
-        .unwrap();
+        let same_area = SensorSpec::with_sensing_area(PI / 2.0 * 0.01 / 2.0, PI / 8.0).unwrap();
         let b = q_closed_form(
             Condition::Necessary,
             th,

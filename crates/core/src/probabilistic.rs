@@ -183,7 +183,12 @@ mod tests {
         let cams: Vec<Camera> = (0..count)
             .map(|i| {
                 let dir = Angle::new(i as f64 * TAU / count as f64);
-                Camera::new(torus.offset(target, dir, dist), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, dist),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)
@@ -195,14 +200,9 @@ mod tests {
         let net = ring(p, 0.12, 5);
         let th = theta(PI / 4.0);
         let plain = crate::fullview::is_full_view_covered(&net, p, th);
-        let prob = is_full_view_covered_with_confidence(
-            &net,
-            p,
-            th,
-            &ProbabilisticModel::binary(),
-            1.0,
-        )
-        .unwrap();
+        let prob =
+            is_full_view_covered_with_confidence(&net, p, th, &ProbabilisticModel::binary(), 1.0)
+                .unwrap();
         assert_eq!(plain, prob);
     }
 
@@ -216,13 +216,19 @@ mod tests {
         let prob = model.detection_probability(&net, cam, p);
         assert!(prob > 0.0 && prob < 1.0);
         // A closer target inside the inner zone is certain.
-        let close = net.torus().offset(cam.position(), net.torus().direction(cam.position(), p).unwrap(), 0.05);
+        let close = net.torus().offset(
+            cam.position(),
+            net.torus().direction(cam.position(), p).unwrap(),
+            0.05,
+        );
         let prob_close = model.detection_probability(&net, cam, close);
         assert_eq!(prob_close, 1.0);
         // Out of sector: zero.
-        let behind = net
-            .torus()
-            .offset(cam.position(), net.torus().direction(cam.position(), p).unwrap().opposite(), 0.05);
+        let behind = net.torus().offset(
+            cam.position(),
+            net.torus().direction(cam.position(), p).unwrap().opposite(),
+            0.05,
+        );
         assert_eq!(model.detection_probability(&net, cam, behind), 0.0);
     }
 

@@ -36,11 +36,7 @@ pub fn fraction_of_time_full_view(
 
 /// Whether `point` is full-view covered in **every** snapshot.
 #[must_use]
-pub fn always_full_view(
-    snapshots: &[CameraNetwork],
-    point: Point,
-    theta: EffectiveAngle,
-) -> bool {
+pub fn always_full_view(snapshots: &[CameraNetwork], point: Point, theta: EffectiveAngle) -> bool {
     !snapshots.is_empty()
         && snapshots
             .iter()
@@ -77,7 +73,12 @@ mod tests {
         let cams: Vec<Camera> = (0..count)
             .map(|i| {
                 let dir = Angle::new(i as f64 * TAU / count.max(1) as f64 + phase);
-                Camera::new(torus.offset(target, dir, 0.1), dir.opposite(), spec, GroupId(0))
+                Camera::new(
+                    torus.offset(target, dir, 0.1),
+                    dir.opposite(),
+                    spec,
+                    GroupId(0),
+                )
             })
             .collect();
         CameraNetwork::new(torus, cams)
@@ -105,8 +106,9 @@ mod tests {
     #[test]
     fn always_and_never() {
         let p = Point::new(0.5, 0.5);
-        let good: Vec<CameraNetwork> =
-            (0..3).map(|i| ring_snapshot(p, 6, i as f64 * 0.3)).collect();
+        let good: Vec<CameraNetwork> = (0..3)
+            .map(|i| ring_snapshot(p, 6, i as f64 * 0.3))
+            .collect();
         assert!(always_full_view(&good, p, theta()));
         assert_eq!(fraction_of_time_full_view(&good, p, theta()), 1.0);
         let never: Vec<CameraNetwork> = (0..3).map(|_| ring_snapshot(p, 1, 0.0)).collect();

@@ -18,21 +18,16 @@ use proptest::prelude::*;
 use std::f64::consts::{PI, TAU};
 
 fn camera_strategy() -> impl Strategy<Value = Camera> {
-    (
-        0.0..1.0f64,
-        0.0..1.0f64,
-        0.0..TAU,
-        0.02..0.45f64,
-        0.1..TAU,
-    )
-        .prop_map(|(x, y, facing, r, phi)| {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..TAU, 0.02..0.45f64, 0.1..TAU).prop_map(
+        |(x, y, facing, r, phi)| {
             Camera::new(
                 Point::new(x, y),
                 Angle::new(facing),
                 SensorSpec::new(r, phi).unwrap(),
                 GroupId(0),
             )
-        })
+        },
+    )
 }
 
 fn network_strategy(max: usize) -> impl Strategy<Value = CameraNetwork> {
@@ -164,6 +159,26 @@ proptest! {
     }
 
     #[test]
+    fn analyze_point_into_matches_analyze_point(
+        net in network_strategy(40),
+        theta in theta_strategy(),
+        points in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..8),
+    ) {
+        // One analyzer reused across all points (the hot-loop usage): the
+        // borrowed view must reproduce the owned analysis exactly,
+        // including derived predicates.
+        let mut analyzer = fullview_core::PointAnalyzer::new();
+        for (px, py) in points {
+            let p = Point::new(px, py);
+            let owned = analyze_point(&net, p);
+            let view = analyzer.analyze_point_into(&net, p);
+            prop_assert_eq!(view.is_full_view(theta), owned.is_full_view(theta));
+            prop_assert_eq!(view.critical_theta(), owned.critical_theta());
+            prop_assert_eq!(view.to_owned(), owned);
+        }
+    }
+
+    #[test]
     fn safe_measure_bounded_by_arcs(
         net in network_strategy(30),
         theta in theta_strategy(),
@@ -253,9 +268,8 @@ fn uniform_theory_matches_monte_carlo_fraction() {
 
     let theta = EffectiveAngle::new(PI / 4.0).unwrap();
     let n = 900;
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(0.012, PI / 2.0).unwrap(),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.012, PI / 2.0).unwrap());
     let expect_fail = prob_point_fails_necessary(&profile, n, theta);
 
     let mut rng = StdRng::seed_from_u64(2024);

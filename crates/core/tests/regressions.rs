@@ -1,0 +1,139 @@
+//! Deterministic regression tests ported from the shrunk cases recorded in
+//! `properties.proptest-regressions`.
+//!
+//! The vendored proptest runner does not replay persistence files, so the
+//! three historical shrunk inputs live on here as explicit unit tests. Each
+//! exercises a geometric edge the random strategies found the hard way:
+//!
+//! 1. a camera on the torus seam (`x = 0.0`) analysed from a target on the
+//!    wrap axis (`py = 0.0`) with a near-π effective angle;
+//! 2. a camera hugging the opposite seam (`x ≈ 0.94`) viewed from
+//!    `px ≈ 0.11`, so the minimal-image displacement crosses the seam;
+//! 3. Stevens' alternating series in the cancellation regime
+//!    (`N·a < 1`, 113 tiny arcs), which must report exactly 0.
+
+use fullview_core::{
+    analyze_point, implied_k, is_full_view_covered, is_full_view_covered_arcset, is_k_covered,
+    is_k_full_view_covered, meets_necessary_condition, meets_sufficient_condition, safe_fraction,
+    stevens_coverage_probability, view_multiplicity, EffectiveAngle,
+};
+use fullview_geom::{Angle, Point, Torus};
+use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
+use std::f64::consts::PI;
+
+/// Shrunk case 1 (`implication_chain_on_random_networks`): single camera on
+/// the `x = 0` seam, target on the `y = 0` wrap axis, θ ≈ 0.905π.
+#[test]
+fn implication_chain_seam_camera_axis_target() {
+    let camera = Camera::new(
+        Point::new(0.0, 0.0879107389361699),
+        Angle::new(0.0),
+        SensorSpec::new(0.373484461061173, 4.793480656756764).unwrap(),
+        GroupId(0),
+    );
+    let net = CameraNetwork::new(Torus::unit(), vec![camera]);
+    let theta = EffectiveAngle::new(2.844260149132).unwrap();
+    let p = Point::new(0.03478718582694567, 0.0);
+    let start = Angle::new(0.0);
+
+    let sufficient = meets_sufficient_condition(&net, p, theta, start);
+    let full_view = is_full_view_covered(&net, p, theta);
+    let necessary = meets_necessary_condition(&net, p, theta, start);
+    let k_cov = is_k_covered(&net, p, implied_k(theta));
+
+    // One camera cannot close the circle for θ < π: the single viewed
+    // direction leaves a 2π gap > 2θ.
+    assert!(!full_view, "one camera cannot be full-view for θ < π");
+    assert!(!sufficient, "sufficient would contradict ¬full-view");
+    // The implication chain itself (what the property asserts).
+    if sufficient {
+        assert!(full_view);
+    }
+    if full_view {
+        assert!(necessary);
+        assert!(k_cov);
+    }
+    // Both algorithms must agree on this seam geometry.
+    assert_eq!(full_view, is_full_view_covered_arcset(&net, p, theta));
+}
+
+/// Shrunk case 2 (the `(net, f, px, py)` extension properties): two cameras,
+/// one at `x ≈ 0.94` seen across the `x = 0` seam from `px ≈ 0.11`.
+#[test]
+fn cross_seam_pair_multiplicity_and_safe_fraction() {
+    let cameras = vec![
+        Camera::new(
+            Point::new(0.9375476621322808, 0.04207501463339144),
+            Angle::new(0.0),
+            SensorSpec::new(0.2847263047746482, 3.2319174378386575).unwrap(),
+            GroupId(0),
+        ),
+        Camera::new(
+            Point::new(0.03166748758115314, 0.4615371751416415),
+            Angle::new(0.0),
+            SensorSpec::new(0.4070888088714897, 4.724414622817684).unwrap(),
+            GroupId(0),
+        ),
+    ];
+    let net = CameraNetwork::new(Torus::unit(), cameras);
+    let theta = EffectiveAngle::new(0.6830705558268614 * PI).unwrap();
+    let p = Point::new(0.11393882382733127, 0.19699529676816993);
+
+    // k-full-view chain: k ≤ m covered, k = m+1 not, k = 1 ⇔ full-view.
+    let m = view_multiplicity(&net, p, theta);
+    for k in 0..=m.min(5) {
+        assert!(
+            is_k_full_view_covered(&net, p, theta, k),
+            "k = {k} ≤ m = {m}"
+        );
+    }
+    assert!(!is_k_full_view_covered(&net, p, theta, m + 1));
+    assert_eq!(
+        is_k_full_view_covered(&net, p, theta, 1),
+        is_full_view_covered(&net, p, theta)
+    );
+
+    // Safe fraction is a valid fraction consistent with coverage.
+    let frac = safe_fraction(&net, p, theta);
+    assert!((0.0..=1.0 + 1e-9).contains(&frac), "frac = {frac}");
+    if is_full_view_covered(&net, p, theta) {
+        assert!(frac >= 1.0 - 1e-6);
+    }
+
+    // The seam-crossing camera's viewed direction must wrap: the camera
+    // sits at x ≈ 0.94, the target at x ≈ 0.11, so the minimal image is
+    // through the seam (displacement magnitude < 0.5).
+    let a = analyze_point(&net, p);
+    assert_eq!(a.covering_cameras, net.coverage_count(p));
+    for v in &a.viewed_directions {
+        let r = v.radians();
+        assert!(
+            (0.0..std::f64::consts::TAU).contains(&r),
+            "unnormalized {r}"
+        );
+    }
+}
+
+/// Shrunk case 3 (`stevens_is_probability_and_monotone`): 113 arcs of
+/// fractional length ≈ 0.0037 — total length 0.42 circumferences, so the
+/// coverage probability is identically zero; the alternating series must
+/// not leak cancellation noise outside [0, 1].
+#[test]
+fn stevens_cancellation_below_threshold() {
+    let n_arcs = 113usize;
+    let a = 0.003733026721237293f64;
+    let p = stevens_coverage_probability(n_arcs, a);
+    assert!((0.0..=1.0).contains(&p), "p = {p}");
+    assert!(
+        p < 1e-9,
+        "N·a = {} < 1 must give 0, got {p}",
+        n_arcs as f64 * a
+    );
+    // Monotone in the arc count at the same length.
+    let p_more = stevens_coverage_probability(n_arcs + 1, a);
+    assert!(p_more >= p - 1e-9);
+    // And just above the threshold the formula must stay a probability:
+    // 300 arcs of the same length (N·a ≈ 1.12) is deep cancellation.
+    let above = stevens_coverage_probability(300, a);
+    assert!((0.0..=1.0).contains(&above), "above = {above}");
+}

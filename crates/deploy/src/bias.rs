@@ -91,7 +91,12 @@ pub fn deploy_uniform_biased<R: Rng + ?Sized>(
         for _ in 0..*count {
             let position = random_point(&torus, rng);
             let orientation = sample_von_mises(field(position), kappa, rng);
-            cameras.push(Camera::new(position, orientation, *group.spec(), GroupId(gid)));
+            cameras.push(Camera::new(
+                position,
+                orientation,
+                *group.spec(),
+                GroupId(gid),
+            ));
         }
     }
     Ok(CameraNetwork::new(torus, cameras))
@@ -207,8 +212,8 @@ mod tests {
         let mu = Angle::new(PI / 2.0);
         let field = constant_field(mu);
         let mut rng = StdRng::seed_from_u64(5);
-        let net = deploy_uniform_biased(Torus::unit(), &profile(), 800, &field, 8.0, &mut rng)
-            .unwrap();
+        let net =
+            deploy_uniform_biased(Torus::unit(), &profile(), 800, &field, 8.0, &mut rng).unwrap();
         let orientations: Vec<Angle> = net.cameras().iter().map(|c| c.orientation()).collect();
         let (mean, r) = circular_stats(&orientations);
         assert!(mean.distance(mu) < 0.15, "mean {mean}");
@@ -230,14 +235,8 @@ mod tests {
     fn invalid_kappa_rejected() {
         let field = constant_field(Angle::ZERO);
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(deploy_uniform_biased(
-            Torus::unit(),
-            &profile(),
-            10,
-            &field,
-            -1.0,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            deploy_uniform_biased(Torus::unit(), &profile(), 10, &field, -1.0, &mut rng).is_err()
+        );
     }
 }

@@ -24,7 +24,10 @@ impl fmt::Display for DeployError {
         match self {
             DeployError::Model(e) => write!(f, "invalid sensor model: {e}"),
             DeployError::InvalidDensity { density } => {
-                write!(f, "Poisson density must be finite and non-negative, got {density}")
+                write!(
+                    f,
+                    "Poisson density must be finite and non-negative, got {density}"
+                )
             }
             DeployError::EmptyOrientationFan => {
                 write!(f, "lattice deployment needs at least one camera per vertex")

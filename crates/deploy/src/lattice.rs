@@ -48,7 +48,9 @@ impl LatticeDeployment {
     /// full-view construction of [4] relies on.
     #[must_use]
     pub fn covering_fan(kind: LatticeKind, spacing: f64, spec: &SensorSpec) -> Self {
-        let k = (std::f64::consts::TAU / spec.angle_of_view()).ceil().max(1.0) as usize;
+        let k = (std::f64::consts::TAU / spec.angle_of_view())
+            .ceil()
+            .max(1.0) as usize;
         LatticeDeployment {
             kind,
             spacing,

@@ -59,7 +59,10 @@ mod tests {
         }
         // Roughly uniform: each quadrant within 4σ of 1000.
         for q in quadrants {
-            assert!((q as f64 - 1000.0).abs() < 4.0 * (4000.0f64 * 0.25 * 0.75).sqrt(), "{quadrants:?}");
+            assert!(
+                (q as f64 - 1000.0).abs() < 4.0 * (4000.0f64 * 0.25 * 0.75).sqrt(),
+                "{quadrants:?}"
+            );
         }
     }
 

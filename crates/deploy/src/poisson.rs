@@ -172,8 +172,16 @@ mod tests {
         let mut g1 = 0usize;
         for _ in 0..40 {
             let net = deploy_poisson(Torus::unit(), &profile, 400.0, &mut rng).unwrap();
-            g0 += net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
-            g1 += net.cameras().iter().filter(|c| c.group() == GroupId(1)).count();
+            g0 += net
+                .cameras()
+                .iter()
+                .filter(|c| c.group() == GroupId(0))
+                .count();
+            g1 += net
+                .cameras()
+                .iter()
+                .filter(|c| c.group() == GroupId(1))
+                .count();
         }
         let ratio = g0 as f64 / (g0 + g1) as f64;
         assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
@@ -196,10 +204,20 @@ mod tests {
     #[test]
     fn deterministic_under_fixed_seed() {
         let profile = NetworkProfile::homogeneous(SensorSpec::new(0.05, PI).unwrap());
-        let a = deploy_poisson(Torus::unit(), &profile, 100.0, &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = deploy_poisson(Torus::unit(), &profile, 100.0, &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a = deploy_poisson(
+            Torus::unit(),
+            &profile,
+            100.0,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let b = deploy_poisson(
+            Torus::unit(),
+            &profile,
+            100.0,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
         assert_eq!(a.cameras(), b.cameras());
     }
 }

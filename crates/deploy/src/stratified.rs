@@ -92,7 +92,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let net = deploy_stratified(Torus::unit(), &profile(), 1000, &mut rng).unwrap();
         assert_eq!(net.len(), 1000);
-        let g0 = net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
+        let g0 = net
+            .cameras()
+            .iter()
+            .filter(|c| c.group() == GroupId(0))
+            .count();
         assert_eq!(g0, 700);
     }
 
@@ -139,8 +143,7 @@ mod tests {
             ));
             let mut rng = StdRng::seed_from_u64(seed ^ 0xffff);
             unif.push(count_q(
-                &crate::uniform::deploy_uniform(Torus::unit(), &profile(), n, &mut rng)
-                    .unwrap(),
+                &crate::uniform::deploy_uniform(Torus::unit(), &profile(), n, &mut rng).unwrap(),
             ));
         }
         let var = |v: &[f64]| {
@@ -157,10 +160,20 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = deploy_stratified(Torus::unit(), &profile(), 100, &mut StdRng::seed_from_u64(7))
-            .unwrap();
-        let b = deploy_stratified(Torus::unit(), &profile(), 100, &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let a = deploy_stratified(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let b = deploy_stratified(
+            Torus::unit(),
+            &profile(),
+            100,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
         assert_eq!(a.cameras(), b.cameras());
     }
 

@@ -86,8 +86,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let net = deploy_uniform(Torus::unit(), &profile(), 1000, &mut rng).unwrap();
         assert_eq!(net.len(), 1000);
-        let g0 = net.cameras().iter().filter(|c| c.group() == GroupId(0)).count();
-        let g1 = net.cameras().iter().filter(|c| c.group() == GroupId(1)).count();
+        let g0 = net
+            .cameras()
+            .iter()
+            .filter(|c| c.group() == GroupId(0))
+            .count();
+        let g1 = net
+            .cameras()
+            .iter()
+            .filter(|c| c.group() == GroupId(1))
+            .count();
         assert_eq!(g0, 700);
         assert_eq!(g1, 300);
     }

@@ -13,16 +13,14 @@ use std::f64::consts::PI;
 
 fn profile_strategy() -> impl Strategy<Value = NetworkProfile> {
     // 1–4 groups with random specs; fractions normalized.
-    prop::collection::vec((0.02..0.3f64, 0.2..2.0 * PI, 0.05..1.0f64), 1..5).prop_map(
-        |groups| {
-            let total: f64 = groups.iter().map(|(_, _, c)| c).sum();
-            let mut b = NetworkProfile::builder();
-            for (r, phi, c) in &groups {
-                b = b.group(SensorSpec::new(*r, *phi).unwrap(), c / total);
-            }
-            b.build().unwrap()
-        },
-    )
+    prop::collection::vec((0.02..0.3f64, 0.2..2.0 * PI, 0.05..1.0f64), 1..5).prop_map(|groups| {
+        let total: f64 = groups.iter().map(|(_, _, c)| c).sum();
+        let mut b = NetworkProfile::builder();
+        for (r, phi, c) in &groups {
+            b = b.group(SensorSpec::new(*r, *phi).unwrap(), c / total);
+        }
+        b.build().unwrap()
+    })
 }
 
 proptest! {

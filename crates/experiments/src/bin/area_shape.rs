@@ -12,9 +12,9 @@
 //! comparison therefore treats whole deployments as the sampling unit: a
 //! Welch z-test on per-trial covered fractions.
 
-use fullview_experiments::{banner, standard_theta, Args};
 use fullview_core::evaluate_dense_grid;
 use fullview_deploy::deploy_uniform;
+use fullview_experiments::{banner, standard_theta, Args};
 use fullview_geom::{Angle, Torus};
 use fullview_model::{NetworkProfile, SensorSpec};
 use fullview_sim::{run_trials_map, standard_normal_cdf, MeanEstimate, RunConfig, Table};
@@ -49,16 +49,13 @@ fn main() {
     for (label, phi) in shapes {
         let spec = SensorSpec::with_sensing_area(s, *phi).expect("valid spec");
         let profile = NetworkProfile::homogeneous(spec);
-        let per_trial = run_trials_map(
-            RunConfig::new(trials).with_seed(0xa5ea),
-            |seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let net = deploy_uniform(Torus::unit(), &profile, n, &mut rng)
-                    .expect("spec fits torus");
-                let r = evaluate_dense_grid(&net, theta, Angle::ZERO);
-                (r.full_view_fraction(), r.necessary_fraction())
-            },
-        );
+        let per_trial = run_trials_map(RunConfig::new(trials).with_seed(0xa5ea), |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net =
+                deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("spec fits torus");
+            let r = evaluate_dense_grid(&net, theta, Angle::ZERO);
+            (r.full_view_fraction(), r.necessary_fraction())
+        });
         let fv: MeanEstimate = per_trial.iter().map(|(f, _)| *f).collect();
         let nec: MeanEstimate = per_trial.iter().map(|(_, n)| *n).collect();
         results.push(((*label).to_string(), spec.radius(), fv, nec));

@@ -7,9 +7,7 @@
 //! area guarantee of Theorem 2.
 
 use fullview_core::{barrier_full_view, csa_necessary, csa_sufficient};
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
-};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_sim::{linspace, run_trials_map, MeanEstimate, RunConfig, Table};
 
 fn main() {
@@ -31,11 +29,7 @@ fn main() {
         "n = {n}, θ = π/4, grid {grid_side}×{grid_side}, s_Nc = {s_nc:.5}, s_Sc = {s_sc:.5}\n"
     );
 
-    let mut table = Table::new([
-        "s_c/s_Nc",
-        "covered cell frac",
-        "P(barrier exists)",
-    ]);
+    let mut table = Table::new(["s_c/s_Nc", "covered cell frac", "P(barrier exists)"]);
     for ratio in linspace(0.05, 0.85, if quick { 6 } else { 11 }) {
         let profile = heterogeneous_profile(ratio * s_nc);
         let outcomes = run_trials_map(
@@ -47,8 +41,7 @@ fn main() {
             },
         );
         let frac: MeanEstimate = outcomes.iter().map(|(f, _)| *f).collect();
-        let p_barrier =
-            outcomes.iter().filter(|(_, b)| *b).count() as f64 / outcomes.len() as f64;
+        let p_barrier = outcomes.iter().filter(|(_, b)| *b).count() as f64 / outcomes.len() as f64;
         table.push_row([
             format!("{ratio:.2}"),
             format!("{:.4}", frac.mean()),

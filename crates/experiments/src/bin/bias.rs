@@ -45,7 +45,11 @@ fn main() {
         "inward-bias full-view frac",
         "inward-bias safe frac",
     ]);
-    let kappas: &[f64] = if quick { &[0.0, 4.0, 16.0] } else { &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0] };
+    let kappas: &[f64] = if quick {
+        &[0.0, 4.0, 16.0]
+    } else {
+        &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0]
+    };
     for &kappa in kappas {
         let per_trial = run_trials_map(
             RunConfig::new(trials).with_seed(0xb1a5 ^ (kappa * 10.0) as u64),
@@ -53,14 +57,12 @@ fn main() {
                 let torus = Torus::unit();
                 let slope = constant_field(Angle::new(0.9));
                 let mut rng = StdRng::seed_from_u64(seed);
-                let net_c =
-                    deploy_uniform_biased(torus, &profile, n, &slope, kappa, &mut rng)
-                        .expect("profile fits");
+                let net_c = deploy_uniform_biased(torus, &profile, n, &slope, kappa, &mut rng)
+                    .expect("profile fits");
                 let hole = inward_field(torus, Point::new(0.5, 0.5));
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x7);
-                let net_i =
-                    deploy_uniform_biased(torus, &profile, n, &hole, kappa, &mut rng)
-                        .expect("profile fits");
+                let net_i = deploy_uniform_biased(torus, &profile, n, &hole, kappa, &mut rng)
+                    .expect("profile fits");
                 let fv_c = evaluate_dense_grid(&net_c, theta, Angle::ZERO).full_view_fraction();
                 let fv_i = evaluate_dense_grid(&net_i, theta, Angle::ZERO).full_view_fraction();
                 // Mean safe-direction fraction over a probe set: the soft score.

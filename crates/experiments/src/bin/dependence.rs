@@ -7,13 +7,12 @@
 //! side by side with the independent one and a multinomial ground-truth
 //! Monte Carlo, across n — measuring exactly how fast the gap closes.
 
+use fullview_core::meets_necessary_condition;
 use fullview_core::{
-    independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent,
-    Condition,
+    independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent, Condition,
 };
 use fullview_experiments::{banner, homogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::{Angle, Point};
-use fullview_core::meets_necessary_condition;
 use fullview_sim::{run_trials_map, RunConfig, Table};
 
 fn main() {
@@ -54,9 +53,8 @@ fn main() {
         let err = independence_approximation_error(&profile, n, theta);
         let indep = dep + err;
 
-        let hits: usize = run_trials_map(
-            RunConfig::new(trials).with_seed(0xdeb ^ n as u64),
-            |seed| {
+        let hits: usize =
+            run_trials_map(RunConfig::new(trials).with_seed(0xdeb ^ n as u64), |seed| {
                 let net = uniform_network(&profile, n, seed);
                 (0..probes)
                     .filter(|i| {
@@ -67,10 +65,9 @@ fn main() {
                         meets_necessary_condition(&net, p, theta, Angle::ZERO)
                     })
                     .count()
-            },
-        )
-        .into_iter()
-        .sum();
+            })
+            .into_iter()
+            .sum();
         let measured = hits as f64 / (trials * probes) as f64;
 
         table.push_row([

@@ -12,8 +12,8 @@ use fullview_core::{
     prob_point_full_view_uniform,
 };
 use fullview_experiments::{banner, standard_theta, uniform_network, Args};
-use fullview_model::{NetworkProfile, SensorSpec};
 use fullview_geom::Point;
+use fullview_model::{NetworkProfile, SensorSpec};
 use fullview_sim::{linspace, run_trials_map, RunConfig, Table};
 use std::f64::consts::PI;
 
@@ -43,9 +43,8 @@ fn main() {
         "band position",
     ]);
     for s in linspace(0.004, 0.04, if quick { 5 } else { 9 }) {
-        let profile = NetworkProfile::homogeneous(
-            SensorSpec::with_sensing_area(s, PI / 2.0).expect("valid"),
-        );
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI / 2.0).expect("valid"));
         let lower = 1.0 - prob_point_fails_sufficient(&profile, n, theta);
         let upper = 1.0 - prob_point_fails_necessary(&profile, n, theta);
         let exact = prob_point_full_view_uniform(&profile, n, theta);

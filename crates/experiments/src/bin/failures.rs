@@ -8,9 +8,7 @@
 //! table verifies, alongside the degradation curve itself.
 
 use fullview_core::{csa_sufficient, evaluate_dense_grid};
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
-};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::Angle;
 use fullview_sim::{
     linspace, run_trials_map, with_random_failures, MeanEstimate, RunConfig, Table,
@@ -34,9 +32,7 @@ fn main() {
         "full-view coverage degradation under random sensor failures",
         "robustness extension (§VII-B motivation)",
     );
-    println!(
-        "n = {n}, θ = π/4, s_c = 1.3·s_Sc(n) = {s_c:.5}, {trials} trials per failure rate\n"
-    );
+    println!("n = {n}, θ = π/4, s_c = 1.3·s_Sc(n) = {s_c:.5}, {trials} trials per failure rate\n");
 
     let mut table = Table::new([
         "failure p",
@@ -56,14 +52,13 @@ fn main() {
                 (failed.len(), r)
             },
         );
-        let survivors: MeanEstimate =
-            reports.iter().map(|(s, _)| *s as f64).collect();
+        let survivors: MeanEstimate = reports.iter().map(|(s, _)| *s as f64).collect();
         let fv: MeanEstimate = reports
             .iter()
             .map(|(_, r)| r.full_view_fraction())
             .collect();
-        let p_all = reports.iter().filter(|(_, r)| r.all_full_view()).count() as f64
-            / reports.len() as f64;
+        let p_all =
+            reports.iter().filter(|(_, r)| r.all_full_view()).count() as f64 / reports.len() as f64;
 
         // Reference: a fresh uniform deployment of n' = (1-p)·n cameras.
         let n_reduced = ((1.0 - p) * n as f64).round() as usize;

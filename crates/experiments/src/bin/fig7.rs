@@ -16,7 +16,11 @@ fn main() {
     let args = Args::from_env();
     let n: usize = args.get("n", 1000);
     let samples: usize = args.get("samples", 17);
-    banner("fig7", "critical sensing area vs effective angle", "Figure 7");
+    banner(
+        "fig7",
+        "critical sensing area vs effective angle",
+        "Figure 7",
+    );
     println!("parameters: n = {n}, θ ∈ [0.1π, 0.5π], {samples} samples\n");
 
     let mut table = Table::new(["theta/pi", "s_Nc(n)", "s_Sc(n)", "ratio S/N", "theta*s_Nc"]);

@@ -4,9 +4,14 @@
 //! `θ = π/4` over a log-spaced range of `n` — and verifies the anchors
 //! the paper reads off the plot (§VI-B): the sufficient-condition CSA is
 //! "about 0.5" at `n = 100`, and the decline flattens beyond `n ≈ 1000`.
+//!
+//! `--empirical` grounds the analytical curves with sampled deployments:
+//! for a few `n`, one random drop at `s_c = s_{S,c}(n)` is evaluated on
+//! the dense grid (parallel sweep, `--threads N`) and its full-view
+//! fraction printed next to the curve value.
 
 use fullview_core::{csa_necessary, csa_one_coverage, csa_sufficient};
-use fullview_experiments::{banner, standard_theta, Args};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
 use fullview_sim::asciiplot::{render, PlotConfig, Series};
 use fullview_sim::{fmt_g, logspace_counts, Table};
 
@@ -16,10 +21,20 @@ fn main() {
     let n_max: usize = args.get("n-max", 100_000);
     let samples: usize = args.get("samples", 16);
     let theta = standard_theta();
-    banner("fig8", "critical sensing area vs number of cameras", "Figure 8");
+    banner(
+        "fig8",
+        "critical sensing area vs number of cameras",
+        "Figure 8",
+    );
     println!("parameters: θ = π/4, n ∈ [{n_min}, {n_max}] (log-spaced)\n");
 
-    let mut table = Table::new(["n", "s_Nc(n)", "s_Sc(n)", "ratio S/N", "order (ln n+ln ln n)/n"]);
+    let mut table = Table::new([
+        "n",
+        "s_Nc(n)",
+        "s_Sc(n)",
+        "ratio S/N",
+        "order (ln n+ln ln n)/n",
+    ]);
     let mut nec = Vec::new();
     let mut suf = Vec::new();
     for n in logspace_counts(n_min, n_max, samples) {
@@ -53,7 +68,10 @@ fn main() {
 
     println!("shape checks:");
     let s100 = csa_sufficient(100, theta);
-    println!("  s_Sc(100) = {} (paper: \"about 0.5\", half the unit square)", fmt_g(s100));
+    println!(
+        "  s_Sc(100) = {} (paper: \"about 0.5\", half the unit square)",
+        fmt_g(s100)
+    );
     println!(
         "  monotone decreasing in n: {}",
         nec.windows(2).all(|w| w[1].1 < w[0].1)
@@ -67,6 +85,34 @@ fn main() {
         fmt_g(drop_2),
         drop_2 < drop_1 / 4.0
     );
+
+    if args.flag("empirical") {
+        let threads: usize = args.get("threads", 0);
+        let seed: u64 = args.get("seed", 0xF168);
+        // n ≥ 1000: smaller fleets put s_Sc(n) beyond the radii the
+        // heterogeneous mix can realise on the unit torus (the same floor
+        // as thm2 — see `heterogeneous_profile`).
+        let anchor_ns: Vec<usize> = if args.flag("quick") {
+            vec![1000]
+        } else {
+            vec![1000, 2000, 4000]
+        };
+        println!("empirical anchors (one drop each at s_c = s_Sc(n), parallel sweep):");
+        for n in anchor_ns {
+            let s_c = csa_sufficient(n, theta);
+            let profile = heterogeneous_profile(s_c);
+            let report = fullview_experiments::uniform_grid_trial_threaded(
+                &profile, n, theta, seed, threads,
+            );
+            println!(
+                "  n = {n:>5}: s_Sc = {} → full-view fraction {:.4} over {} grid points",
+                fmt_g(s_c),
+                report.full_view_fraction(),
+                report.total_points
+            );
+        }
+        println!();
+    }
 
     if args.flag("csv") {
         println!("\nCSV:\n{}", table.to_csv());

@@ -49,7 +49,9 @@ fn main() {
         "Definition 2 (§II-C)",
     );
     println!("n = {n}, θ = π/4, s_Nc = {s_nc:.5}, {trials} trials per cell\n");
-    println!("mixes: A = homogeneous (1 group), B = reference (3 groups), C = extreme (2 groups)\n");
+    println!(
+        "mixes: A = homogeneous (1 group), B = reference (3 groups), C = extreme (2 groups)\n"
+    );
 
     let mut table = Table::new([
         "s_c/s_Nc",
@@ -78,9 +80,7 @@ fn main() {
             .collect();
             means.push(est.mean());
         }
-        let spread = means
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, b| a.max(*b))
+        let spread = means.iter().fold(f64::NEG_INFINITY, |a, b| a.max(*b))
             - means.iter().fold(f64::INFINITY, |a, b| a.min(*b));
         max_spread_overall = max_spread_overall.max(spread);
         table.push_row([
@@ -92,7 +92,9 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("reading: all three columns transition together (max spread {max_spread_overall:.4});");
+    println!(
+        "reading: all three columns transition together (max spread {max_spread_overall:.4});"
+    );
     println!("the weighted sensing area s_c = Σ c_y·s_y alone predicts behaviour,");
     println!("which is exactly why Definition 2's CSA can be a *centralized* criterion.");
     if args.flag("csv") {

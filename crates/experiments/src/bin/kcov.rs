@@ -10,9 +10,7 @@
 //!    are largely k-covered yet far from full-view covered — and points
 //!    that are k-covered but not full-view covered abound.
 
-use fullview_core::{
-    csa_necessary, kumar_k_coverage_area, EffectiveAngle, evaluate_dense_grid,
-};
+use fullview_core::{csa_necessary, evaluate_dense_grid, kumar_k_coverage_area, EffectiveAngle};
 use fullview_experiments::{banner, homogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::Angle;
 use fullview_sim::{fmt_g, run_trials_map, MeanEstimate, RunConfig, Table};
@@ -58,13 +56,10 @@ fn main() {
         fmt_g(s_nc),
     );
     let profile = homogeneous_profile(1.2 * s_k);
-    let reports = run_trials_map(
-        RunConfig::new(trials).with_seed(0x6b03),
-        |seed| {
-            let net = uniform_network(&profile, n, seed);
-            evaluate_dense_grid(&net, theta, Angle::ZERO)
-        },
-    );
+    let reports = run_trials_map(RunConfig::new(trials).with_seed(0x6b03), |seed| {
+        let net = uniform_network(&profile, n, seed);
+        evaluate_dense_grid(&net, theta, Angle::ZERO)
+    });
     let kfrac: MeanEstimate = reports.iter().map(|r| r.k_covered_fraction()).collect();
     let fvfrac: MeanEstimate = reports.iter().map(|r| r.full_view_fraction()).collect();
     let separated: MeanEstimate = reports

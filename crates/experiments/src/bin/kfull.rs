@@ -6,14 +6,10 @@
 //! budget sweeps upward, plus the Poisson analytic prediction for the
 //! k-necessary condition.
 
-use fullview_core::{
-    csa_necessary, prob_point_meets_necessary_k_poisson, view_multiplicity,
-};
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
-};
-use fullview_geom::UnitGrid;
+use fullview_core::{csa_necessary, prob_point_meets_necessary_k_poisson, view_multiplicity};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::Torus;
+use fullview_geom::UnitGrid;
 use fullview_sim::{run_trials_map, MeanEstimate, RunConfig, Table};
 
 fn main() {
@@ -44,7 +40,11 @@ fn main() {
     // Per-point k-full-view fractions saturate well below the whole-grid
     // CSAs, so the sweep is anchored at the *necessary* CSA and reaches
     // below it, where the k = 1/2/3 curves separate.
-    let ratios: &[f64] = if quick { &[0.35, 1.0] } else { &[0.2, 0.35, 0.5, 0.75, 1.0, 1.5] };
+    let ratios: &[f64] = if quick {
+        &[0.35, 1.0]
+    } else {
+        &[0.2, 0.35, 0.5, 0.75, 1.0, 1.5]
+    };
     for &ratio in ratios {
         let s_c = ratio * s_nc;
         let profile = heterogeneous_profile(s_c);

@@ -66,12 +66,7 @@ fn main() {
         LatticeDeployment::covering_fan(LatticeKind::Square, 0.1, &spec).cameras_per_vertex
     );
 
-    let mut table = Table::new([
-        "deployment",
-        "critical spacing",
-        "vertices",
-        "cameras used",
-    ]);
+    let mut table = Table::new(["deployment", "critical spacing", "vertices", "cameras used"]);
     let mut lattice_budget = None;
     for (label, kind) in [
         ("square lattice", LatticeKind::Square),

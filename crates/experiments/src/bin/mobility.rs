@@ -58,7 +58,11 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(seed);
                 // Pan only when moving, so speed 0 is the paper's truly
                 // static model.
-                let pan = if speed > 0.0 { std::f64::consts::PI / 2.0 } else { 0.0 };
+                let pan = if speed > 0.0 {
+                    std::f64::consts::PI / 2.0
+                } else {
+                    0.0
+                };
                 let mobile = fullview_deploy::deploy_mobile(
                     Torus::unit(),
                     &profile,

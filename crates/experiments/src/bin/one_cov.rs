@@ -7,7 +7,7 @@
 //! random deployment.
 
 use fullview_core::{
-    csa_necessary, csa_one_coverage, critical_esr, evaluate_dense_grid, EffectiveAngle,
+    critical_esr, csa_necessary, csa_one_coverage, evaluate_dense_grid, EffectiveAngle,
 };
 use fullview_experiments::{banner, heterogeneous_profile, uniform_network, Args};
 use fullview_geom::Angle;
@@ -54,15 +54,12 @@ fn main() {
     println!("empirical check: full-view(θ=π) ≡ 1-coverage on dense grids, {trials} trials");
     let profile = heterogeneous_profile(0.008);
     let n = args.get("n", 800);
-    let mismatches: usize = run_trials_map(
-        RunConfig::new(trials).with_seed(0x1c07),
-        |seed| {
-            let net = uniform_network(&profile, n, seed);
-            let r = evaluate_dense_grid(&net, theta, Angle::ZERO);
-            // full_view must equal covered exactly at θ = π.
-            usize::from(r.full_view != r.covered)
-        },
-    )
+    let mismatches: usize = run_trials_map(RunConfig::new(trials).with_seed(0x1c07), |seed| {
+        let net = uniform_network(&profile, n, seed);
+        let r = evaluate_dense_grid(&net, theta, Angle::ZERO);
+        // full_view must equal covered exactly at θ = π.
+        usize::from(r.full_view != r.covered)
+    })
     .into_iter()
     .sum();
     println!("  deployments with full-view ≠ 1-coverage tallies: {mismatches} / {trials}");

@@ -6,9 +6,8 @@
 //! the necessary / sufficient conditions, across a density sweep.
 
 use fullview_core::{
-    meets_necessary_condition, meets_sufficient_condition,
-    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson, q_closed_form,
-    q_series, Condition,
+    meets_necessary_condition, meets_sufficient_condition, prob_point_meets_necessary_poisson,
+    prob_point_meets_sufficient_poisson, q_closed_form, q_series, Condition,
 };
 use fullview_deploy::deploy_poisson;
 use fullview_experiments::{banner, heterogeneous_profile, standard_theta, Args};
@@ -118,7 +117,9 @@ fn main() {
     println!("  P_N ≥ P_S at every density; both → 1 as density grows;");
     println!("  the truncated series of Theorems 3–4 agrees with the closed form");
     println!("  (reproduction note: the series collapses exactly to 1 − exp(−(θ/π)·n_y·s_y),");
-    println!("   so sensing area stays decisive under Poisson deployment too — see EXPERIMENTS.md).");
+    println!(
+        "   so sensing area stays decisive under Poisson deployment too — see EXPERIMENTS.md)."
+    );
     if args.flag("csv") {
         println!("\nCSV:\n{}", table.to_csv());
     }

@@ -7,13 +7,9 @@
 //! interpolating between the binary model (`γ → 0`) and an inner-zone-only
 //! model (`γ → 1`).
 
-use fullview_core::{
-    csa_sufficient, is_full_view_covered_with_confidence, ProbabilisticModel,
-};
+use fullview_core::{csa_sufficient, is_full_view_covered_with_confidence, ProbabilisticModel};
+use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::UnitGrid;
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_network, Args,
-};
 use fullview_sim::{linspace, run_trials_map, MeanEstimate, RunConfig, Table};
 
 fn main() {

@@ -30,9 +30,7 @@ fn main() {
         "necessary ⊇ full-view ⊇ sufficient across the indeterminate band",
         "§VI-C, Figure 9",
     );
-    println!(
-        "n = {n}, θ = π/4, s_Nc = {s_nc:.5}, s_Sc = {s_sc:.5}, {trials} trials/point\n"
-    );
+    println!("n = {n}, θ = π/4, s_Nc = {s_nc:.5}, s_Sc = {s_sc:.5}, {trials} trials/point\n");
 
     let mut table = Table::new([
         "s_c/s_Nc",
@@ -56,12 +54,12 @@ fn main() {
         let nec: MeanEstimate = reports.iter().map(|r| r.necessary_fraction()).collect();
         let fv: MeanEstimate = reports.iter().map(|r| r.full_view_fraction()).collect();
         let suf: MeanEstimate = reports.iter().map(|r| r.sufficient_fraction()).collect();
-        let p_nec = reports.iter().filter(|r| r.all_necessary()).count() as f64
-            / reports.len() as f64;
-        let p_fv = reports.iter().filter(|r| r.all_full_view()).count() as f64
-            / reports.len() as f64;
-        let p_suf = reports.iter().filter(|r| r.all_sufficient()).count() as f64
-            / reports.len() as f64;
+        let p_nec =
+            reports.iter().filter(|r| r.all_necessary()).count() as f64 / reports.len() as f64;
+        let p_fv =
+            reports.iter().filter(|r| r.all_full_view()).count() as f64 / reports.len() as f64;
+        let p_suf =
+            reports.iter().filter(|r| r.all_sufficient()).count() as f64 / reports.len() as f64;
         for r in &reports {
             assert!(
                 r.sufficient <= r.full_view && r.full_view <= r.necessary,

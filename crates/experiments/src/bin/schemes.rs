@@ -44,14 +44,13 @@ fn main() {
             RunConfig::new(trials).with_seed(0x5c4e ^ (ratio * 100.0) as u64),
             |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let u = deploy_uniform(Torus::unit(), &profile, n, &mut rng)
-                    .expect("profile fits");
+                let u = deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("profile fits");
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x1);
                 let p = deploy_poisson(Torus::unit(), &profile, n as f64, &mut rng)
                     .expect("profile fits");
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x2);
-                let s = deploy_stratified(Torus::unit(), &profile, n, &mut rng)
-                    .expect("profile fits");
+                let s =
+                    deploy_stratified(Torus::unit(), &profile, n, &mut rng).expect("profile fits");
                 (
                     evaluate_dense_grid(&u, theta, Angle::ZERO).all_full_view(),
                     evaluate_dense_grid(&p, theta, Angle::ZERO).all_full_view(),

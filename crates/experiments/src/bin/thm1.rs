@@ -8,16 +8,20 @@
 //! bounded away from zero. We estimate `P(H_N)` by Monte Carlo for a grid
 //! of `(q, n)` and watch the column-wise transition sharpen as `n` grows.
 
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_grid_trial, Args,
-};
 use fullview_core::csa_necessary;
+use fullview_experiments::{
+    banner, heterogeneous_profile, standard_theta, uniform_grid_trial_threaded, Args,
+};
 use fullview_sim::{run_proportion, RunConfig, Table};
 
 fn main() {
     let args = Args::from_env();
     let quick = args.flag("quick");
     let trials: usize = args.get("trials", if quick { 8 } else { 30 });
+    // --sweep-threads N moves the parallelism inside each dense-grid
+    // sweep (trials then run serially); 0 keeps the default
+    // trial-parallel/serial-sweep split. Results are identical either way.
+    let sweep_threads: usize = args.get("sweep-threads", 0);
     // n starts at 500: below that, q = 2 would demand s_c ≈ 0.28 and
     // per-group radii beyond the torus half-side (see DESIGN.md).
     let ns: Vec<usize> = if quick {
@@ -47,9 +51,15 @@ fn main() {
         for &n in &ns {
             let s_c = q * csa_necessary(n, theta);
             let profile = heterogeneous_profile(s_c);
+            let trial_threads = if sweep_threads == 0 { 0 } else { 1 };
             let est = run_proportion(
-                RunConfig::new(trials).with_seed(0x7431 ^ n as u64),
-                |seed| uniform_grid_trial(&profile, n, theta, seed).all_necessary(),
+                RunConfig::new(trials)
+                    .with_seed(0x7431 ^ n as u64)
+                    .with_threads(trial_threads),
+                |seed| {
+                    uniform_grid_trial_threaded(&profile, n, theta, seed, sweep_threads.max(1))
+                        .all_necessary()
+                },
             );
             row.push(format!("{:.3}", est.mean()));
         }

@@ -8,16 +8,20 @@
 //! probabilities must rise to 1 together, with full-view at least as
 //! large.
 
-use fullview_experiments::{
-    banner, heterogeneous_profile, standard_theta, uniform_grid_trial, Args,
-};
 use fullview_core::csa_sufficient;
+use fullview_experiments::{
+    banner, heterogeneous_profile, standard_theta, uniform_grid_trial_threaded, Args,
+};
 use fullview_sim::{run_trials_map, RunConfig, Table};
 
 fn main() {
     let args = Args::from_env();
     let quick = args.flag("quick");
     let trials: usize = args.get("trials", if quick { 8 } else { 20 });
+    // --sweep-threads N moves the parallelism inside each dense-grid
+    // sweep (trials then run serially); 0 keeps the default
+    // trial-parallel/serial-sweep split. Results are identical either way.
+    let sweep_threads: usize = args.get("sweep-threads", 0);
     // n starts at 1000: s_Sc is ~2x s_Nc, so q = 2 at smaller n would
     // demand radii beyond the torus half-side.
     let ns: Vec<usize> = if quick {
@@ -47,17 +51,19 @@ fn main() {
         for &n in &ns {
             let s_c = q * csa_sufficient(n, theta);
             let profile = heterogeneous_profile(s_c);
+            let trial_threads = if sweep_threads == 0 { 0 } else { 1 };
             let outcomes = run_trials_map(
-                RunConfig::new(trials).with_seed(0x7432 ^ n as u64),
+                RunConfig::new(trials)
+                    .with_seed(0x7432 ^ n as u64)
+                    .with_threads(trial_threads),
                 |seed| {
-                    let r = uniform_grid_trial(&profile, n, theta, seed);
+                    let r =
+                        uniform_grid_trial_threaded(&profile, n, theta, seed, sweep_threads.max(1));
                     (r.all_sufficient(), r.all_full_view())
                 },
             );
-            let p_hs =
-                outcomes.iter().filter(|(s, _)| *s).count() as f64 / outcomes.len() as f64;
-            let p_fv =
-                outcomes.iter().filter(|(_, f)| *f).count() as f64 / outcomes.len() as f64;
+            let p_hs = outcomes.iter().filter(|(s, _)| *s).count() as f64 / outcomes.len() as f64;
+            let p_fv = outcomes.iter().filter(|(_, f)| *f).count() as f64 / outcomes.len() as f64;
             assert!(
                 p_fv >= p_hs - 1e-12,
                 "sufficient condition held without full-view coverage"

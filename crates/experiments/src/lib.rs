@@ -35,10 +35,10 @@
 #![warn(missing_docs)]
 
 use fullview_core::EffectiveAngle;
+use fullview_core::GridCoverageReport;
 use fullview_deploy::deploy_uniform;
 use fullview_geom::{Angle, Torus};
 use fullview_model::{CameraNetwork, NetworkProfile, SensorSpec};
-use fullview_core::GridCoverageReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::f64::consts::PI;
@@ -173,10 +173,34 @@ pub fn uniform_grid_trial(
     theta: EffectiveAngle,
     seed: u64,
 ) -> GridCoverageReport {
+    uniform_grid_trial_threaded(profile, n, theta, seed, 1)
+}
+
+/// [`uniform_grid_trial`] with an intra-sweep thread count: the dense-grid
+/// evaluation runs on `sweep_threads` workers (`0` = one per CPU) and is
+/// bit-identical to the serial sweep for every value.
+///
+/// Use this (with trials run serially) when single trials are large —
+/// `n = 4000` already means ~33k grid points per sweep — and use the
+/// trial-parallel [`fullview_sim::run_trials_map`] with serial sweeps when
+/// trials are many and small.
+///
+/// # Panics
+///
+/// Panics if the profile's radii do not fit the unit torus (experiment
+/// parameters are chosen so they always do).
+#[must_use]
+pub fn uniform_grid_trial_threaded(
+    profile: &NetworkProfile,
+    n: usize,
+    theta: EffectiveAngle,
+    seed: u64,
+    sweep_threads: usize,
+) -> GridCoverageReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let net = deploy_uniform(Torus::unit(), profile, n, &mut rng)
         .expect("experiment profiles fit the unit torus");
-    fullview_core::evaluate_dense_grid(&net, theta, Angle::ZERO)
+    fullview_sim::evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, sweep_threads)
 }
 
 /// Deploys uniformly and returns the network (for experiments needing
@@ -231,5 +255,19 @@ mod tests {
         let c = uniform_grid_trial(&p, 100, th, 8);
         // Different seed virtually surely differs in some tally.
         assert!(a != c || a.covered == 0);
+    }
+
+    #[test]
+    fn threaded_trial_matches_serial() {
+        let p = homogeneous_profile(0.01);
+        let th = standard_theta();
+        let serial = uniform_grid_trial(&p, 150, th, 11);
+        for sweep_threads in [0usize, 2, 4, 7] {
+            assert_eq!(
+                uniform_grid_trial_threaded(&p, 150, th, 11, sweep_threads),
+                serial,
+                "sweep_threads={sweep_threads}"
+            );
+        }
     }
 }

@@ -316,7 +316,7 @@ mod tests {
 
     #[test]
     fn sorting_by_radians_is_total_on_normalized_values() {
-        let mut v = vec![Angle::new(3.0), Angle::new(1.0), Angle::new(6.0)];
+        let mut v = [Angle::new(3.0), Angle::new(1.0), Angle::new(6.0)];
         v.sort_by(Angle::cmp_by_radians);
         assert!(v.windows(2).all(|w| w[0].radians() <= w[1].radians()));
     }

@@ -127,7 +127,9 @@ impl ArcSet {
         let x = angle.radians();
         // Binary search on segment starts, then check the candidate and the
         // seam-wrapping possibility.
-        let idx = self.segments.partition_point(|&(lo, _)| lo <= x + ANGLE_EPS);
+        let idx = self
+            .segments
+            .partition_point(|&(lo, _)| lo <= x + ANGLE_EPS);
         if idx > 0 {
             let (lo, hi) = self.segments[idx - 1];
             if x >= lo - ANGLE_EPS && x <= hi + ANGLE_EPS {
@@ -342,7 +344,12 @@ impl fmt::Display for ArcSet {
         if self.full {
             return write!(f, "ArcSet(full circle)");
         }
-        write!(f, "ArcSet({} arcs, measure {:.6})", self.arc_count(), self.measure())
+        write!(
+            f,
+            "ArcSet({} arcs, measure {:.6})",
+            self.arc_count(),
+            self.measure()
+        )
     }
 }
 

@@ -121,36 +121,100 @@ impl SpatialGrid {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
-        assert!(
-            radius.is_finite() && radius >= 0.0,
-            "query radius must be finite and non-negative, got {radius}"
-        );
-        let center = self.torus.wrap(center);
+        let bounds = self.query_bounds(center, radius);
         let r2 = radius * radius;
-        let reach = (radius / self.cell_len).ceil() as isize + 1;
-        // If the reach covers the whole grid, scan every bucket once instead
-        // of double-visiting wrapped cells.
-        if reach * 2 + 1 >= self.cells as isize {
+        if bounds.full_scan {
             for (i, p) in self.points.iter().enumerate() {
-                if self.torus.distance_squared(center, *p) <= r2 {
+                if self.torus.distance_squared(bounds.center, *p) <= r2 {
                     f(i);
                 }
             }
             return;
         }
-        let (cx, cy) = bucket_of(&center, self.cell_len, self.cells);
         let n = self.cells as isize;
-        for dy in -reach..=reach {
-            let by = (cy as isize + dy).rem_euclid(n) as usize;
-            for dx in -reach..=reach {
-                let bx = (cx as isize + dx).rem_euclid(n) as usize;
+        for dy in bounds.dy_lo..=bounds.dy_hi {
+            let by = (bounds.cy as isize + dy).rem_euclid(n) as usize;
+            for dx in bounds.dx_lo..=bounds.dx_hi {
+                let bx = (bounds.cx as isize + dx).rem_euclid(n) as usize;
                 for &i in &self.buckets[by * self.cells + bx] {
                     let p = self.points[i as usize];
-                    if self.torus.distance_squared(center, p) <= r2 {
+                    if self.torus.distance_squared(bounds.center, p) <= r2 {
                         f(i as usize);
                     }
                 }
             }
+        }
+    }
+
+    /// Lazily iterates over the indices of all points within torus
+    /// distance `radius` of `center` (inclusive), in bucket order.
+    ///
+    /// Unlike [`query_within`](Self::query_within) this allocates nothing;
+    /// unlike [`for_each_within`](Self::for_each_within) it composes with
+    /// iterator adapters and supports early exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    #[must_use]
+    pub fn within_iter(&self, center: Point, radius: f64) -> WithinIter<'_> {
+        let bounds = self.query_bounds(center, radius);
+        WithinIter {
+            grid: self,
+            r2: radius * radius,
+            dx: bounds.dx_lo,
+            dy: bounds.dy_lo,
+            bucket: [].iter(),
+            scan: bounds.full_scan.then_some(0),
+            bounds,
+        }
+    }
+
+    /// Computes the cell neighbourhood a radius query must visit.
+    ///
+    /// The per-axis offset ranges are derived from the centre's position
+    /// *inside* its cell, so a query with `radius ≤ cell_len` visits at
+    /// most 3 (and typically 2) cells per axis instead of a symmetric
+    /// worst-case window: a cell `dx` to the left can only matter when its
+    /// right edge is within `radius` of the centre, i.e.
+    /// `dx ≥ ⌈(fx − radius)/cell_len⌉ − 1` for in-cell offset `fx`, and
+    /// symmetrically `dx ≤ ⌊(fx + radius)/cell_len⌋` on the right.
+    fn query_bounds(&self, center: Point, radius: f64) -> QueryBounds {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        let center = self.torus.wrap(center);
+        let (cx, cy) = bucket_of(&center, self.cell_len, self.cells);
+        let fx = center.x - cx as f64 * self.cell_len;
+        let fy = center.y - cy as f64 * self.cell_len;
+        let (dx_lo, dx_hi) = axis_span(fx, radius, self.cell_len);
+        let (dy_lo, dy_hi) = axis_span(fy, radius, self.cell_len);
+        // If either axis span wraps past the whole grid, scan every bucket
+        // once instead of double-visiting wrapped cells.
+        let span = (dx_hi - dx_lo + 1).max(dy_hi - dy_lo + 1);
+        QueryBounds {
+            full_scan: span >= self.cells as isize,
+            center,
+            cx,
+            cy,
+            dx_lo,
+            dx_hi,
+            dy_lo,
+            dy_hi,
+        }
+    }
+
+    /// The number of buckets a query for `radius` around `center` scans —
+    /// a diagnostic for tests and tuning (the contract is ≤ 9 whenever
+    /// `radius ≤` the cell length; full scans report every bucket).
+    #[must_use]
+    pub fn buckets_scanned(&self, center: Point, radius: f64) -> usize {
+        let b = self.query_bounds(center, radius);
+        if b.full_scan {
+            self.cells * self.cells
+        } else {
+            ((b.dx_hi - b.dx_lo + 1) * (b.dy_hi - b.dy_lo + 1)) as usize
         }
     }
 
@@ -169,6 +233,103 @@ fn bucket_of(p: &Point, cell_len: f64, cells: usize) -> (usize, usize) {
     let cx = ((p.x / cell_len) as usize).min(cells - 1);
     let cy = ((p.y / cell_len) as usize).min(cells - 1);
     (cx, cy)
+}
+
+/// Inclusive cell-offset range `[lo, hi]` along one axis for a query with
+/// the given in-cell offset `frac ∈ [0, cell_len)`.
+///
+/// A cell `dx ≤ 0` holds points strictly below its exclusive right edge
+/// (edge points bucket rightward), so it matters iff
+/// `frac − (dx+1)·cell_len < radius` ⇒ `lo = ⌊(frac − radius)/cell_len⌋`
+/// (the strict inequality is exactly what `floor` gives at integer
+/// quotients — the far cell's supremum is excluded). A cell `dx ≥ 0`
+/// includes its left edge, so the closed inequality gives
+/// `hi = ⌊(frac + radius)/cell_len⌋`; the `+1e-12` nudge keeps a
+/// knife-edge rounding of an exactly-at-radius edge point on the
+/// inclusive side (one extra cell at worst, never a clipped one).
+fn axis_span(frac: f64, radius: f64, cell_len: f64) -> (isize, isize) {
+    let lo = ((frac - radius) / cell_len).floor() as isize;
+    let hi = ((frac + radius) / cell_len + 1e-12).floor() as isize;
+    (lo, hi)
+}
+
+/// Resolved cell window for one radius query.
+struct QueryBounds {
+    /// Whether the window covers the whole grid (fall back to a flat scan).
+    full_scan: bool,
+    /// The wrapped query centre.
+    center: Point,
+    cx: usize,
+    cy: usize,
+    dx_lo: isize,
+    dx_hi: isize,
+    dy_lo: isize,
+    dy_hi: isize,
+}
+
+/// Lazy radius-query iterator over point indices — see
+/// [`SpatialGrid::within_iter`].
+#[derive(Debug)]
+pub struct WithinIter<'a> {
+    grid: &'a SpatialGrid,
+    r2: f64,
+    bounds: QueryBounds,
+    /// Current cell offsets (cell mode).
+    dx: isize,
+    dy: isize,
+    /// Remaining entries of the current bucket (cell mode).
+    bucket: std::slice::Iter<'a, u32>,
+    /// `Some(next_index)` when in full-scan mode.
+    scan: Option<usize>,
+}
+
+impl Iterator for WithinIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if let Some(next) = self.scan.as_mut() {
+            while *next < self.grid.points.len() {
+                let i = *next;
+                *next += 1;
+                let p = self.grid.points[i];
+                if self.grid.torus.distance_squared(self.bounds.center, p) <= self.r2 {
+                    return Some(i);
+                }
+            }
+            return None;
+        }
+        loop {
+            for &i in self.bucket.by_ref() {
+                let p = self.grid.points[i as usize];
+                if self.grid.torus.distance_squared(self.bounds.center, p) <= self.r2 {
+                    return Some(i as usize);
+                }
+            }
+            if self.dy > self.bounds.dy_hi {
+                return None;
+            }
+            let n = self.grid.cells as isize;
+            let by = (self.bounds.cy as isize + self.dy).rem_euclid(n) as usize;
+            let bx = (self.bounds.cx as isize + self.dx).rem_euclid(n) as usize;
+            self.bucket = self.grid.buckets[by * self.grid.cells + bx].iter();
+            self.dx += 1;
+            if self.dx > self.bounds.dx_hi {
+                self.dx = self.bounds.dx_lo;
+                self.dy += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBounds")
+            .field("full_scan", &self.full_scan)
+            .field("cell", &(self.cx, self.cy))
+            .field("dx", &(self.dx_lo..=self.dx_hi))
+            .field("dy", &(self.dy_lo..=self.dy_hi))
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -282,5 +443,78 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_len_panics() {
         let _ = SpatialGrid::build(Torus::unit(), &[], 0.0);
+    }
+
+    #[test]
+    fn scan_window_is_at_most_3x3_for_radius_up_to_cell() {
+        // The build contract: cell_len ≥ min_cell_len, so a query with
+        // radius ≤ min_cell_len must touch at most the 3×3 neighbourhood.
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point::new((i as f64 * 0.17) % 1.0, (i as f64 * 0.23) % 1.0))
+            .collect();
+        let idx = SpatialGrid::build(t, &pts, 0.1); // 10×10 cells
+        for i in 0..50 {
+            let c = Point::new((i as f64 * 0.093) % 1.0, (i as f64 * 0.061) % 1.0);
+            for r in [0.0, 0.03, 0.07, 0.0999, 0.1] {
+                let scanned = idx.buckets_scanned(c, r);
+                assert!(scanned <= 9, "{scanned} buckets for r={r} at {c}");
+            }
+        }
+        // A centre in the middle of its cell with a small radius needs
+        // just that one cell.
+        assert_eq!(idx.buckets_scanned(Point::new(0.55, 0.55), 0.04), 1);
+    }
+
+    #[test]
+    fn tightened_window_still_matches_brute_force() {
+        // Radii straddling multiples of the cell length, centres on cell
+        // edges and the torus seam — the cases the asymmetric window must
+        // not clip.
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..300)
+            .map(|i| Point::new((i as f64 * 0.618_034) % 1.0, (i as f64 * 0.414_214) % 1.0))
+            .collect();
+        let idx = SpatialGrid::build(t, &pts, 0.08);
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (0.08, 0.16), // exactly on cell corners
+            (0.999, 0.5),
+            (0.5, 0.999),
+            (0.321, 0.654),
+        ] {
+            for r in [0.0, 0.05, 0.08, 0.081, 0.16, 0.2, 0.31, 0.5] {
+                let c = Point::new(x, y);
+                let mut got = idx.query_within(c, r);
+                got.sort_unstable();
+                let mut want = brute_force(&t, &pts, c, r);
+                want.sort_unstable();
+                assert_eq!(got, want, "center ({x},{y}) radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_iter_agrees_with_query_and_exits_early() {
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..120)
+            .map(|i| Point::new((i as f64 * 0.13) % 1.0, (i as f64 * 0.29) % 1.0))
+            .collect();
+        let idx = SpatialGrid::build(t, &pts, 0.12);
+        for &(x, y, r) in &[(0.3, 0.7, 0.25), (0.01, 0.99, 0.1), (0.5, 0.5, 1.0)] {
+            let c = Point::new(x, y);
+            let mut lazy: Vec<usize> = idx.within_iter(c, r).collect();
+            lazy.sort_unstable();
+            let mut eager = idx.query_within(c, r);
+            eager.sort_unstable();
+            assert_eq!(lazy, eager, "center ({x},{y}) radius {r}");
+        }
+        // Early exit: take(1) stops after the first hit without panicking
+        // or visiting everything.
+        let first = idx.within_iter(Point::new(0.5, 0.5), 0.4).next();
+        assert!(first.is_some());
+        // An empty grid yields nothing.
+        let empty = SpatialGrid::build(t, &[], 0.1);
+        assert_eq!(empty.within_iter(Point::new(0.1, 0.1), 0.5).count(), 0);
     }
 }

@@ -217,7 +217,10 @@ mod tests {
             let g = UnitGrid::with_at_least(Torus::unit(), m);
             assert!(g.len() >= m, "m={m} -> {}", g.len());
             let k = g.side_count();
-            assert!(k == 1 || (k - 1) * (k - 1) < m, "grid not minimal for m={m}");
+            assert!(
+                k == 1 || (k - 1) * (k - 1) < m,
+                "grid not minimal for m={m}"
+            );
         }
     }
 

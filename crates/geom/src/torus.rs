@@ -254,10 +254,7 @@ mod tests {
         let q = t.offset(p, Angle::new(PI / 4.0), 0.3);
         assert!(t.contains(q));
         assert!((t.distance(p, q) - 0.3).abs() < 1e-12);
-        assert!(t
-            .direction(p, q)
-            .unwrap()
-            .approx_eq(Angle::new(PI / 4.0)));
+        assert!(t.direction(p, q).unwrap().approx_eq(Angle::new(PI / 4.0)));
     }
 
     #[test]

@@ -292,9 +292,10 @@ proptest! {
 /// Whether `p` is within a loose tolerance of some arc boundary of `s` —
 /// used to excuse membership disagreements at knife edges.
 fn near_boundary(s: &ArcSet, p: Angle) -> bool {
-    s.arcs().iter().any(|a| {
-        a.start().distance(p) < 1e-6 || a.end().distance(p) < 1e-6
-    }) || s.gaps().iter().any(|g| {
-        g.start().distance(p) < 1e-6 || g.end().distance(p) < 1e-6
-    })
+    s.arcs()
+        .iter()
+        .any(|a| a.start().distance(p) < 1e-6 || a.end().distance(p) < 1e-6)
+        || s.gaps()
+            .iter()
+            .any(|g| g.start().distance(p) < 1e-6 || g.end().distance(p) < 1e-6)
 }

@@ -128,7 +128,11 @@ pub fn network_from_text(torus: Torus, text: &str) -> Result<CameraNetwork, Pars
 #[must_use]
 pub fn profile_to_text(profile: &crate::NetworkProfile) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# fullview network profile: {} groups", profile.group_count());
+    let _ = writeln!(
+        out,
+        "# fullview network profile: {} groups",
+        profile.group_count()
+    );
     let _ = writeln!(out, "# fraction radius aov_rad");
     for g in profile.groups() {
         let _ = writeln!(
@@ -315,9 +319,7 @@ mod tests {
             assert!((a.spec().radius() - b.spec().radius()).abs() < 1e-8);
             assert!((a.spec().angle_of_view() - b.spec().angle_of_view()).abs() < 1e-8);
         }
-        assert!(
-            (back.weighted_sensing_area() - profile.weighted_sensing_area()).abs() < 1e-9
-        );
+        assert!((back.weighted_sensing_area() - profile.weighted_sensing_area()).abs() < 1e-9);
     }
 
     #[test]

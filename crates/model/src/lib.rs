@@ -59,5 +59,5 @@ pub use io::{
     empirical_profile, network_from_text, network_to_text, profile_from_text, profile_to_text,
     ParseNetworkError,
 };
-pub use network::CameraNetwork;
+pub use network::{CameraNetwork, Covering};
 pub use spec::SensorSpec;

@@ -44,10 +44,7 @@ impl SensorSpec {
         if !radius.is_finite() || radius <= 0.0 {
             return Err(ModelError::InvalidRadius { radius });
         }
-        if !angle_of_view.is_finite()
-            || angle_of_view <= 0.0
-            || angle_of_view > TAU + ANGLE_EPS
-        {
+        if !angle_of_view.is_finite() || angle_of_view <= 0.0 || angle_of_view > TAU + ANGLE_EPS {
             return Err(ModelError::InvalidAngleOfView {
                 angle: angle_of_view,
             });
@@ -84,10 +81,7 @@ impl SensorSpec {
         if !area.is_finite() || area <= 0.0 {
             return Err(ModelError::InvalidSensingArea { area });
         }
-        if !angle_of_view.is_finite()
-            || angle_of_view <= 0.0
-            || angle_of_view > TAU + ANGLE_EPS
-        {
+        if !angle_of_view.is_finite() || angle_of_view <= 0.0 || angle_of_view > TAU + ANGLE_EPS {
             return Err(ModelError::InvalidAngleOfView {
                 angle: angle_of_view,
             });

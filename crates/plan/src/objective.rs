@@ -131,10 +131,19 @@ mod tests {
 
     #[test]
     fn objective_ordering() {
-        let a = Objective { covered: 5, slack: 0.0 };
-        let b = Objective { covered: 4, slack: 100.0 };
+        let a = Objective {
+            covered: 5,
+            slack: 0.0,
+        };
+        let b = Objective {
+            covered: 4,
+            slack: 100.0,
+        };
         assert!(a.better_than(&b));
-        let c = Objective { covered: 5, slack: 1.0 };
+        let c = Objective {
+            covered: 5,
+            slack: 1.0,
+        };
         assert!(c.better_than(&a));
         assert!(!a.better_than(&a));
     }

@@ -104,12 +104,7 @@ pub fn optimize_orientations(
                 if orientation.approx_eq(cam.orientation()) {
                     continue;
                 }
-                let candidate = Camera::new(
-                    cam.position(),
-                    orientation,
-                    *cam.spec(),
-                    cam.group(),
-                );
+                let candidate = Camera::new(cam.position(), orientation, *cam.spec(), cam.group());
                 let mut trial = cameras.clone();
                 trial[i] = candidate;
                 let trial_net = CameraNetwork::new(torus, trial);
@@ -120,8 +115,7 @@ pub fn optimize_orientations(
                 }
             }
             if let Some((orientation, _)) = best {
-                cameras[i] =
-                    Camera::new(cam.position(), orientation, *cam.spec(), cam.group());
+                cameras[i] = Camera::new(cam.position(), orientation, *cam.spec(), cam.group());
                 current = CameraNetwork::new(torus, cameras.clone());
                 reoriented += 1;
                 improved_this_round = true;
@@ -173,10 +167,7 @@ mod tests {
     fn optimization_never_hurts() {
         let net = misaligned_ring();
         let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
-        assert!(
-            outcome.after.covered >= outcome.before.covered,
-            "{outcome}"
-        );
+        assert!(outcome.after.covered >= outcome.before.covered, "{outcome}");
     }
 
     #[test]
@@ -231,7 +222,12 @@ mod tests {
         let spec = SensorSpec::new(0.2, 2.0 * PI).unwrap(); // omnidirectional
         let net = CameraNetwork::new(
             torus,
-            vec![Camera::new(Point::new(0.5, 0.5), Angle::ZERO, spec, GroupId(0))],
+            vec![Camera::new(
+                Point::new(0.5, 0.5),
+                Angle::ZERO,
+                spec,
+                GroupId(0),
+            )],
         );
         let outcome = optimize_orientations(&net, theta(), OrientationPlanner::default());
         // Omni camera: orientation irrelevant, objective cannot improve.

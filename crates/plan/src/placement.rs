@@ -86,12 +86,19 @@ impl fmt::Display for PlacementOutcome {
 /// Panics if any `placer` dimension is zero.
 #[must_use]
 pub fn greedy_place(torus: Torus, theta: EffectiveAngle, placer: GreedyPlacer) -> PlacementOutcome {
-    assert!(placer.position_candidates_side > 0, "need candidate positions");
-    assert!(placer.orientation_candidates > 0, "need candidate orientations");
+    assert!(
+        placer.position_candidates_side > 0,
+        "need candidate positions"
+    );
+    assert!(
+        placer.orientation_candidates > 0,
+        "need candidate orientations"
+    );
     assert!(placer.grid_side > 0, "need an evaluation grid");
     let eval = Evaluation::new(torus, placer.grid_side, theta);
-    let positions: Vec<Point> =
-        UnitGrid::new(torus, placer.position_candidates_side).iter().collect();
+    let positions: Vec<Point> = UnitGrid::new(torus, placer.position_candidates_side)
+        .iter()
+        .collect();
     let orientations: Vec<Angle> = (0..placer.orientation_candidates)
         .map(|i| Angle::new(i as f64 * TAU / placer.orientation_candidates as f64))
         .collect();
@@ -111,14 +118,16 @@ pub fn greedy_place(torus: Torus, theta: EffectiveAngle, placer: GreedyPlacer) -
                 let trial_net = CameraNetwork::new(torus, trial);
                 // Local evaluation around the new camera decides the gain;
                 // global objective only on acceptance.
-                let local_after =
-                    eval.local_objective(&trial_net, pos, placer.spec.radius());
+                let local_after = eval.local_objective(&trial_net, pos, placer.spec.radius());
                 let local_before = eval.local_objective(&network, pos, placer.spec.radius());
                 let gain = Objective {
                     covered: local_after.covered.saturating_sub(local_before.covered),
                     slack: local_after.slack - local_before.slack,
                 };
-                let zero = Objective { covered: 0, slack: 0.0 };
+                let zero = Objective {
+                    covered: 0,
+                    slack: 0.0,
+                };
                 let incumbent_gain = best.as_ref().map_or(zero, |(_, g)| *g);
                 if gain.better_than(&incumbent_gain) {
                     best = Some((candidate, gain));
@@ -168,7 +177,11 @@ mod tests {
         let spec = SensorSpec::new(0.35, PI).unwrap();
         let outcome = greedy_place(Torus::unit(), theta(), small_placer(spec));
         assert!(outcome.complete, "{outcome}");
-        assert!(outcome.network.len() >= 4, "full-view needs ≥ ⌈π/θ⌉ = 2 around each point; got {}", outcome.network.len());
+        assert!(
+            outcome.network.len() >= 4,
+            "full-view needs ≥ ⌈π/θ⌉ = 2 around each point; got {}",
+            outcome.network.len()
+        );
         assert_eq!(outcome.covered_fraction, 1.0);
     }
 

@@ -93,9 +93,7 @@ pub fn cheapest_guaranteed_plan(
             Err(e) => return Err(e),
         };
         let total_cost = n as f64 * entry.unit_cost;
-        let beats = best
-            .as_ref()
-            .is_none_or(|b| total_cost < b.total_cost);
+        let beats = best.as_ref().is_none_or(|b| total_cost < b.total_cost);
         if beats {
             best = Some(ProcurementPlan {
                 entry: entry.clone(),
@@ -136,9 +134,7 @@ pub fn cheapest_fraction_plan(
             continue;
         }
         let total_cost = n as f64 * entry.unit_cost;
-        let beats = best
-            .as_ref()
-            .is_none_or(|b| total_cost < b.total_cost);
+        let beats = best.as_ref().is_none_or(|b| total_cost < b.total_cost);
         if beats {
             best = Some(ProcurementPlan {
                 entry: entry.clone(),
@@ -161,7 +157,11 @@ mod tests {
 
     fn catalogue() -> Vec<CatalogueEntry> {
         vec![
-            CatalogueEntry::new("cheap-short", SensorSpec::new(0.05, PI / 2.0).unwrap(), 10.0),
+            CatalogueEntry::new(
+                "cheap-short",
+                SensorSpec::new(0.05, PI / 2.0).unwrap(),
+                10.0,
+            ),
             CatalogueEntry::new("mid", SensorSpec::new(0.10, PI / 2.0).unwrap(), 45.0),
             CatalogueEntry::new("pro", SensorSpec::new(0.15, 2.0 * PI / 3.0).unwrap(), 150.0),
         ]

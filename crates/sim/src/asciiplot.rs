@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn log_axes_skip_nonpositive() {
-        let s = vec![Series::new("a", vec![(0.0, 1.0), (10.0, 1.0), (100.0, 2.0)])];
+        let s = vec![Series::new(
+            "a",
+            vec![(0.0, 1.0), (10.0, 1.0), (100.0, 2.0)],
+        )];
         let out = render(
             &s,
             PlotConfig {

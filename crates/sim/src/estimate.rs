@@ -67,7 +67,10 @@ impl ProportionEstimate {
     /// Panics if `z` is negative or not finite.
     #[must_use]
     pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
-        assert!(z.is_finite() && z >= 0.0, "z must be finite and non-negative");
+        assert!(
+            z.is_finite() && z >= 0.0,
+            "z must be finite and non-negative"
+        );
         if self.trials == 0 {
             return (0.0, 1.0);
         }
@@ -311,6 +314,8 @@ mod tests {
     #[test]
     fn displays() {
         assert!(ProportionEstimate::new(1, 2).to_string().contains("1/2"));
-        assert!(MeanEstimate::from_samples([1.0]).to_string().contains("n=1"));
+        assert!(MeanEstimate::from_samples([1.0])
+            .to_string()
+            .contains("n=1"));
     }
 }

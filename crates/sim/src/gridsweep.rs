@@ -1,0 +1,211 @@
+//! Intra-sweep parallel dense-grid coverage evaluation.
+//!
+//! The Monte-Carlo runner ([`crate::run_trials_map`]) parallelises *across*
+//! trials; this module parallelises *within* one trial: the `m = ⌈n ln n⌉`
+//! grid points of a single dense-grid sweep (§III-A) are split into
+//! row-chunks that workers claim dynamically, each evaluating with its own
+//! [`GridEvaluator`] scratch state (no per-point allocation), and the
+//! partial [`GridCoverageReport`]s are merged in chunk order.
+//!
+//! Every report field is a plain integer sum over disjoint point sets, so
+//! merging is exact and order-independent: the parallel sweep is
+//! **bit-identical** to [`evaluate_grid`] for every thread count and
+//! chunking.
+
+use fullview_core::{dense_grid, evaluate_grid, EffectiveAngle, GridCoverageReport, GridEvaluator};
+use fullview_geom::{Angle, UnitGrid};
+use fullview_model::CameraNetwork;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Grid points per dynamically-claimed work unit.
+///
+/// Large enough that the atomic claim is negligible against the per-point
+/// analysis, small enough that uneven camera density still balances
+/// (a 10⁴-camera dense grid has ~92k points ≈ 90 chunks).
+const CHUNK_POINTS: usize = 1024;
+
+fn effective_threads(threads: usize, chunks: usize) -> usize {
+    let n = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    n.max(1).min(chunks.max(1))
+}
+
+/// Sweeps `grid` with `threads` workers (`0` = one per available CPU),
+/// evaluating every coverage predicate at each point.
+///
+/// Produces a report bit-identical to
+/// [`evaluate_grid`]`(net, theta, grid, start_line)` for every thread
+/// count: workers tally disjoint index ranges and the integer tallies are
+/// merged, which is exact regardless of scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+#[must_use]
+pub fn evaluate_grid_parallel(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    grid: &UnitGrid,
+    start_line: Angle,
+    threads: usize,
+) -> GridCoverageReport {
+    let total = grid.len();
+    let chunks = total.div_ceil(CHUNK_POINTS);
+    let threads = effective_threads(threads, chunks);
+    if threads == 1 {
+        return evaluate_grid(net, theta, grid, start_line);
+    }
+
+    // Dynamic work distribution (the `run_trials_map` pattern): workers
+    // claim chunk indices from an atomic counter, evaluate them with their
+    // own scratch state, and record (chunk, partial) pairs.
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, GridCoverageReport)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut evaluator = GridEvaluator::new(theta, start_line);
+                    let mut out = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break out;
+                        }
+                        let lo = c * CHUNK_POINTS;
+                        let hi = (lo + CHUNK_POINTS).min(total);
+                        out.push((c, evaluator.evaluate_range(net, grid, lo..hi)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid sweep worker panicked"))
+            .collect()
+    });
+
+    // Merge in chunk order. Integer sums are exact either way; the sort
+    // just makes the merge sequence (and any future non-commutative
+    // fields) independent of scheduling.
+    let mut indexed: Vec<(usize, GridCoverageReport)> = Vec::with_capacity(chunks);
+    for chunk in per_worker.drain(..) {
+        indexed.extend(chunk);
+    }
+    indexed.sort_by_key(|(c, _)| *c);
+    debug_assert_eq!(indexed.len(), chunks);
+    let mut report = GridCoverageReport::default();
+    for (_, partial) in indexed {
+        report += partial;
+    }
+    report
+}
+
+/// Parallel variant of [`fullview_core::evaluate_dense_grid`]: sweeps the
+/// paper's dense grid (`m = ⌈n ln n⌉` with `n = net.len()`) over the
+/// network's torus using `threads` workers (`0` = one per available CPU).
+#[must_use]
+pub fn evaluate_dense_grid_parallel(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    start_line: Angle,
+    threads: usize,
+) -> GridCoverageReport {
+    let grid = dense_grid(*net.torus(), net.len());
+    evaluate_grid_parallel(net, theta, &grid, start_line, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fullview_deploy::deploy_uniform;
+    use fullview_geom::{Point, Torus};
+    use fullview_model::{Camera, CameraNetwork, GroupId, NetworkProfile, SensorSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn theta(t: f64) -> EffectiveAngle {
+        EffectiveAngle::new(t).unwrap()
+    }
+
+    fn random_network(n: usize, seed: u64) -> CameraNetwork {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.18, PI).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        deploy_uniform(Torus::unit(), &profile, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_across_threads_and_seeds() {
+        let th = theta(PI / 3.0);
+        for seed in [1u64, 99, 0xFEED] {
+            let net = random_network(120, seed);
+            let grid = UnitGrid::new(Torus::unit(), 60); // 3600 points, 4 chunks
+            let serial = evaluate_grid(&net, th, &grid, Angle::ZERO);
+            for threads in [1usize, 2, 4, 7] {
+                let par = evaluate_grid_parallel(&net, th, &grid, Angle::ZERO, threads);
+                assert_eq!(par, serial, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_thread_count_matches_serial() {
+        let net = random_network(60, 7);
+        let th = theta(PI / 4.0);
+        let serial = fullview_core::evaluate_dense_grid(&net, th, Angle::ZERO);
+        let par = evaluate_dense_grid_parallel(&net, th, Angle::ZERO, 0);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn small_grid_single_chunk_short_circuits() {
+        // 25 points < one chunk: must take the serial path and still agree.
+        let net = random_network(20, 3);
+        let grid = UnitGrid::new(Torus::unit(), 5);
+        let th = theta(PI / 2.0);
+        let serial = evaluate_grid(&net, th, &grid, Angle::ZERO);
+        assert_eq!(
+            evaluate_grid_parallel(&net, th, &grid, Angle::ZERO, 8),
+            serial
+        );
+    }
+
+    #[test]
+    fn empty_network_parallel_sweep() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 40);
+        let th = theta(PI / 2.0);
+        let r = evaluate_grid_parallel(&net, th, &grid, Angle::ZERO, 4);
+        assert_eq!(r.total_points, 1600);
+        assert_eq!(r.covered, 0);
+        assert!(!r.all_full_view());
+    }
+
+    #[test]
+    fn saturated_network_all_full_view_in_parallel() {
+        let torus = Torus::unit();
+        let spec = SensorSpec::new(0.3, 2.0 * PI).unwrap();
+        let mut cams = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                cams.push(Camera::new(
+                    Point::new(i as f64 / 12.0, j as f64 / 12.0),
+                    Angle::ZERO,
+                    spec,
+                    GroupId(0),
+                ));
+            }
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let grid = UnitGrid::new(torus, 40);
+        let r = evaluate_grid_parallel(&net, theta(PI / 4.0), &grid, Angle::ZERO, 3);
+        assert!(r.all_full_view(), "{r}");
+        assert_eq!(r.full_view_fraction(), 1.0);
+    }
+}

@@ -9,6 +9,9 @@
 //!   intervals and Welford accumulation;
 //! * [`two_proportion_test`] — the significance test behind the §VI-A
 //!   "sensing area is decisive" equivalence experiment;
+//! * [`evaluate_grid_parallel`] / [`evaluate_dense_grid_parallel`] —
+//!   intra-sweep parallel dense-grid coverage evaluation, bit-identical
+//!   to the serial `fullview_core::evaluate_grid` for any thread count;
 //! * [`linspace`] / [`logspace`] / [`logspace_counts`] — sweep grids;
 //! * [`Table`] and [`asciiplot`] — the tabular and figure output of every
 //!   experiment binary;
@@ -44,6 +47,7 @@
 pub mod asciiplot;
 mod estimate;
 mod failure;
+mod gridsweep;
 mod histogram;
 mod runner;
 mod stats;
@@ -51,8 +55,9 @@ mod sweep;
 mod table;
 
 pub use estimate::{MeanEstimate, ProportionEstimate};
-pub use histogram::Histogram;
 pub use failure::with_random_failures;
+pub use gridsweep::{evaluate_dense_grid_parallel, evaluate_grid_parallel};
+pub use histogram::Histogram;
 pub use runner::{run_mean, run_proportion, run_trials_map, RunConfig};
 pub use stats::{erf, standard_normal_cdf, two_proportion_test, TwoProportionTest};
 pub use sweep::{linspace, logspace, logspace_counts};

@@ -41,12 +41,18 @@ impl fmt::Display for TwoProportionTest {
 pub fn two_proportion_test(a: ProportionEstimate, b: ProportionEstimate) -> TwoProportionTest {
     let (na, nb) = (a.trials() as f64, b.trials() as f64);
     if a.trials() == 0 || b.trials() == 0 {
-        return TwoProportionTest { z: 0.0, p_value: 1.0 };
+        return TwoProportionTest {
+            z: 0.0,
+            p_value: 1.0,
+        };
     }
     let pooled = (a.successes() + b.successes()) as f64 / (na + nb);
     let se = (pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb)).sqrt();
     if se == 0.0 {
-        return TwoProportionTest { z: 0.0, p_value: 1.0 };
+        return TwoProportionTest {
+            z: 0.0,
+            p_value: 1.0,
+        };
     }
     let z = (a.mean() - b.mean()) / se;
     TwoProportionTest {
@@ -71,7 +77,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

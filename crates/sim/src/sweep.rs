@@ -8,7 +8,10 @@
 #[must_use]
 pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
     assert!(count > 0, "linspace needs at least one point");
-    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi}]");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "bad range [{lo}, {hi}]"
+    );
     if count == 1 {
         return vec![lo];
     }

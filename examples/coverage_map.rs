@@ -46,10 +46,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         for i in 0..side {
             let p = grid.point(j * side + i);
             let analysis = analyze_point(&net, p);
-            let necessary = SectorPartition::necessary(theta, Angle::ZERO)
-                .is_satisfied(&analysis);
-            let sufficient = SectorPartition::sufficient(theta, Angle::ZERO)
-                .is_satisfied(&analysis);
+            let necessary = SectorPartition::necessary(theta, Angle::ZERO).is_satisfied(&analysis);
+            let sufficient =
+                SectorPartition::sufficient(theta, Angle::ZERO).is_satisfied(&analysis);
             let ch = if sufficient {
                 tallies[0] += 1;
                 '#'
@@ -75,11 +74,26 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     let total = (side * side) as f64;
     println!("\ncell fractions:");
-    println!("  '#' sufficient condition:     {:.3}", tallies[0] as f64 / total);
-    println!("  'F' full-view only:           {:.3}", tallies[1] as f64 / total);
-    println!("  'n' necessary only:           {:.3}", tallies[2] as f64 / total);
-    println!("  '.' merely 1-covered:         {:.3}", tallies[3] as f64 / total);
-    println!("  ' ' uncovered:                {:.3}", tallies[4] as f64 / total);
+    println!(
+        "  '#' sufficient condition:     {:.3}",
+        tallies[0] as f64 / total
+    );
+    println!(
+        "  'F' full-view only:           {:.3}",
+        tallies[1] as f64 / total
+    );
+    println!(
+        "  'n' necessary only:           {:.3}",
+        tallies[2] as f64 / total
+    );
+    println!(
+        "  '.' merely 1-covered:         {:.3}",
+        tallies[3] as f64 / total
+    );
+    println!(
+        "  ' ' uncovered:                {:.3}",
+        tallies[4] as f64 / total
+    );
     println!("\nThe F/n texture is Figure 9 in the wild: inside the indeterminate band,");
     println!("full-view coverage depends on the luck of the actual deployment.");
     Ok(())

@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         // Bisect the loosest covering spacing.
         let mut lo = 0.02;
         let mut hi = radius;
-        let initial = LatticeDeployment::covering_fan(kind, lo, &spec)
-            .deploy(Torus::unit(), &spec)?;
+        let initial =
+            LatticeDeployment::covering_fan(kind, lo, &spec).deploy(Torus::unit(), &spec)?;
         if !full_view_everywhere(&initial, theta) {
             println!("{kind:?}: even spacing {lo} fails — camera too weak for θ = 45°");
             continue;

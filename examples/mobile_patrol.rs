@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example mobile_patrol`
 
-use fullview::core::{
-    evaluate_path, eventually_full_view, fraction_of_time_full_view, Path,
-};
+use fullview::core::{evaluate_path, eventually_full_view, fraction_of_time_full_view, Path};
 use fullview::deploy::deploy_mobile;
 use fullview::prelude::*;
 use rand::rngs::StdRng;
@@ -47,7 +45,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     let mean_time: f64 = time_fracs.iter().sum::<f64>() / time_fracs.len() as f64;
-    println!("over a {window}-hour window ({} snapshots):", snapshots.len());
+    println!(
+        "over a {window}-hour window ({} snapshots):",
+        snapshots.len()
+    );
     println!("  mean instantaneous full-view coverage: {mean_time:.3}");
     println!(
         "  points identified at least once:       {:.3}",
@@ -64,7 +65,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         Point::new(0.1, 0.5),
         Point::new(0.5, 0.1),
     ]);
-    println!("\npatrol route audit (diamond loop, length {:.2}):", route.length(&Torus::unit()));
+    println!(
+        "\npatrol route audit (diamond loop, length {:.2}):",
+        route.length(&Torus::unit())
+    );
     let first = evaluate_path(&snapshots[0], &route, theta, 0.02);
     println!("  at t = 0:        {first}");
     // Worst instantaneous exposure across the window.
@@ -81,8 +85,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if let Some(stretch) = worst.worst_exposure() {
         println!(
             "  longest blind stretch at that instant: {:.3} of route length {:.3}",
-            stretch.length,
-            worst.path_length
+            stretch.length, worst.path_length
         );
     }
     println!("\nconclusion: a statically-insufficient fleet gives partial instantaneous");

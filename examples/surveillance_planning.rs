@@ -35,11 +35,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         // Theorem 2: guaranteed full-view coverage needs s >= s_Sc(n);
         // Theorem 1 gives the floor below which coverage is impossible.
         let needed = fullview::core::min_cameras_for_guarantee(s, theta)?;
-        let floor = fullview::core::max_cameras_below_necessary(s, theta)?
-            .map_or(0, |n| n + 1);
+        let floor = fullview::core::max_cameras_below_necessary(s, theta)?.map_or(0, |n| n + 1);
 
         println!("{name}: r = {range}, φ = {aov:.2} rad, s = {s:.5}");
-        println!("  guaranteed coverage (Theorem 2): n ≥ {needed} units  (~${:.0})", needed as f64 * price);
+        println!(
+            "  guaranteed coverage (Theorem 2): n ≥ {needed} units  (~${:.0})",
+            needed as f64 * price
+        );
         println!("  impossible below (Theorem 1):    n < {floor} units");
         println!("  indeterminate band: {floor}..{needed} units — outcome depends on luck\n");
     }

@@ -83,27 +83,25 @@ pub mod prelude {
     pub use fullview_core::{
         analyze_point, barrier_full_view, classify_csa, critical_esr, csa_necessary,
         csa_one_coverage, csa_sufficient, evaluate_dense_grid, evaluate_grid, find_holes,
-        implied_k, is_direction_safe, is_full_view_covered,
-        is_full_view_covered_with_confidence, is_k_covered, is_k_full_view_covered,
-        kumar_k_coverage_area, meets_necessary_condition, meets_sufficient_condition,
-        prob_point_fails_necessary, prob_point_fails_sufficient,
+        implied_k, is_direction_safe, is_full_view_covered, is_full_view_covered_with_confidence,
+        is_k_covered, is_k_full_view_covered, kumar_k_coverage_area, meets_necessary_condition,
+        meets_sufficient_condition, prob_point_fails_necessary, prob_point_fails_sufficient,
         prob_point_full_view_poisson, prob_point_full_view_uniform,
-        prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
-        safe_directions, stevens_coverage_probability, unsafe_directions, view_multiplicity,
-        BarrierReport, CoreError, CsaRegime, EffectiveAngle, GridCoverageReport, HoleReport,
-        PointCoverage, ProbabilisticModel, SectorPartition,
-    };
-    pub use fullview_plan::{
-        greedy_place, optimize_orientations, GreedyPlacer, OrientationOutcome,
-        OrientationPlanner, PlacementOutcome,
+        prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson, safe_directions,
+        stevens_coverage_probability, unsafe_directions, view_multiplicity, BarrierReport,
+        CoreError, CsaRegime, EffectiveAngle, GridCoverageReport, HoleReport, PointCoverage,
+        ProbabilisticModel, SectorPartition,
     };
     pub use fullview_deploy::{
-        deploy_poisson, deploy_uniform, derive_seed, DeployError, LatticeDeployment,
-        LatticeKind,
+        deploy_poisson, deploy_uniform, derive_seed, DeployError, LatticeDeployment, LatticeKind,
     };
     pub use fullview_geom::{Angle, Arc, ArcSet, Point, Sector, SpatialGrid, Torus, UnitGrid};
     pub use fullview_model::{
         Camera, CameraNetwork, GroupId, ModelError, NetworkProfile, SensorSpec,
+    };
+    pub use fullview_plan::{
+        greedy_place, optimize_orientations, GreedyPlacer, OrientationOutcome, OrientationPlanner,
+        PlacementOutcome,
     };
     pub use fullview_sim::{
         run_mean, run_proportion, run_trials_map, MeanEstimate, ProportionEstimate, RunConfig,

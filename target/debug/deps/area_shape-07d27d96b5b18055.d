@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area_shape-07d27d96b5b18055.d: crates/experiments/src/bin/area_shape.rs
+
+/root/repo/target/debug/deps/area_shape-07d27d96b5b18055: crates/experiments/src/bin/area_shape.rs
+
+crates/experiments/src/bin/area_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/area_shape-6764d61b10ae078a.d: crates/experiments/src/bin/area_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarea_shape-6764d61b10ae078a.rmeta: crates/experiments/src/bin/area_shape.rs Cargo.toml
+
+crates/experiments/src/bin/area_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

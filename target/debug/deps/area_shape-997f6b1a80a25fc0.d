@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area_shape-997f6b1a80a25fc0.d: crates/experiments/src/bin/area_shape.rs
+
+/root/repo/target/debug/deps/area_shape-997f6b1a80a25fc0: crates/experiments/src/bin/area_shape.rs
+
+crates/experiments/src/bin/area_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barrier-0ca7146da9a3a113.d: crates/experiments/src/bin/barrier.rs
+
+/root/repo/target/debug/deps/barrier-0ca7146da9a3a113: crates/experiments/src/bin/barrier.rs
+
+crates/experiments/src/bin/barrier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barrier-7589184e2042f8df.d: crates/experiments/src/bin/barrier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarrier-7589184e2042f8df.rmeta: crates/experiments/src/bin/barrier.rs Cargo.toml
+
+crates/experiments/src/bin/barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barrier-ede39950cd5cab1e.d: crates/experiments/src/bin/barrier.rs
+
+/root/repo/target/debug/deps/barrier-ede39950cd5cab1e: crates/experiments/src/bin/barrier.rs
+
+crates/experiments/src/bin/barrier.rs:

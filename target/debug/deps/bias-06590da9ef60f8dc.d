@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bias-06590da9ef60f8dc.d: crates/experiments/src/bin/bias.rs
+
+/root/repo/target/debug/deps/bias-06590da9ef60f8dc: crates/experiments/src/bin/bias.rs
+
+crates/experiments/src/bin/bias.rs:

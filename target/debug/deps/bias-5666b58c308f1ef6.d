@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bias-5666b58c308f1ef6.d: crates/experiments/src/bin/bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbias-5666b58c308f1ef6.rmeta: crates/experiments/src/bin/bias.rs Cargo.toml
+
+crates/experiments/src/bin/bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bias-a8d84f45b18cffa6.d: crates/experiments/src/bin/bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbias-a8d84f45b18cffa6.rmeta: crates/experiments/src/bin/bias.rs Cargo.toml
+
+crates/experiments/src/bin/bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bias-c36ec3bc6cb81173.d: crates/experiments/src/bin/bias.rs
+
+/root/repo/target/debug/deps/bias-c36ec3bc6cb81173: crates/experiments/src/bin/bias.rs
+
+crates/experiments/src/bin/bias.rs:

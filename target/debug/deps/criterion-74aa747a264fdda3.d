@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-74aa747a264fdda3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74aa747a264fdda3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74aa747a264fdda3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-81eddfeec937bd2e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-81eddfeec937bd2e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-81eddfeec937bd2e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

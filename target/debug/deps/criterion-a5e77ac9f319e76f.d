@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a5e77ac9f319e76f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a5e77ac9f319e76f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

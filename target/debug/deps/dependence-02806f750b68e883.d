@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dependence-02806f750b68e883.d: crates/experiments/src/bin/dependence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdependence-02806f750b68e883.rmeta: crates/experiments/src/bin/dependence.rs Cargo.toml
+
+crates/experiments/src/bin/dependence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dependence-a18e3464ce253abd.d: crates/experiments/src/bin/dependence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdependence-a18e3464ce253abd.rmeta: crates/experiments/src/bin/dependence.rs Cargo.toml
+
+crates/experiments/src/bin/dependence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dependence-ad2f5f52bf736877.d: crates/experiments/src/bin/dependence.rs
+
+/root/repo/target/debug/deps/dependence-ad2f5f52bf736877: crates/experiments/src/bin/dependence.rs
+
+crates/experiments/src/bin/dependence.rs:

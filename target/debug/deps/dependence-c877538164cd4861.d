@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dependence-c877538164cd4861.d: crates/experiments/src/bin/dependence.rs
+
+/root/repo/target/debug/deps/dependence-c877538164cd4861: crates/experiments/src/bin/dependence.rs
+
+crates/experiments/src/bin/dependence.rs:

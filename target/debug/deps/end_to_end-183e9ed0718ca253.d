@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-183e9ed0718ca253.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-183e9ed0718ca253: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exact-133e8302a2a2dac9.d: crates/experiments/src/bin/exact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexact-133e8302a2a2dac9.rmeta: crates/experiments/src/bin/exact.rs Cargo.toml
+
+crates/experiments/src/bin/exact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

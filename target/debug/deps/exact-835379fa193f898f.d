@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact-835379fa193f898f.d: crates/experiments/src/bin/exact.rs
+
+/root/repo/target/debug/deps/exact-835379fa193f898f: crates/experiments/src/bin/exact.rs
+
+crates/experiments/src/bin/exact.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exact-dcb2effbbbe391ae.d: crates/experiments/src/bin/exact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexact-dcb2effbbbe391ae.rmeta: crates/experiments/src/bin/exact.rs Cargo.toml
+
+crates/experiments/src/bin/exact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact-deb1c56ed9579b89.d: crates/experiments/src/bin/exact.rs
+
+/root/repo/target/debug/deps/exact-deb1c56ed9579b89: crates/experiments/src/bin/exact.rs
+
+crates/experiments/src/bin/exact.rs:

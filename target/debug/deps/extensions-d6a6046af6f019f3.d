@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d6a6046af6f019f3.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d6a6046af6f019f3: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-09d533aee392c1e6.d: crates/experiments/src/bin/failures.rs
+
+/root/repo/target/debug/deps/failures-09d533aee392c1e6: crates/experiments/src/bin/failures.rs
+
+crates/experiments/src/bin/failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-6cf709e366cb4175.d: crates/experiments/src/bin/failures.rs
+
+/root/repo/target/debug/deps/failures-6cf709e366cb4175: crates/experiments/src/bin/failures.rs
+
+crates/experiments/src/bin/failures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-8df418f536f6ad85.d: crates/experiments/src/bin/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-8df418f536f6ad85.rmeta: crates/experiments/src/bin/failures.rs Cargo.toml
+
+crates/experiments/src/bin/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

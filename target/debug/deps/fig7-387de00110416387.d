@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-387de00110416387.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-387de00110416387: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

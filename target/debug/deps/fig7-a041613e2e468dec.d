@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-a041613e2e468dec.d: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-a041613e2e468dec.rmeta: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

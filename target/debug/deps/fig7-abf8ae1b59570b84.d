@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-abf8ae1b59570b84.d: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-abf8ae1b59570b84.rmeta: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d51e7cc0d517668f.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d51e7cc0d517668f: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-129b81206c514747.d: crates/experiments/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-129b81206c514747.rmeta: crates/experiments/src/bin/fig8.rs Cargo.toml
+
+crates/experiments/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3fb3c6fed667b4a4.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3fb3c6fed667b4a4: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c02c91e8eea2a949.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c02c91e8eea2a949: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

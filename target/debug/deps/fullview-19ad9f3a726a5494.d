@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview-19ad9f3a726a5494.d: src/lib.rs
+
+/root/repo/target/debug/deps/fullview-19ad9f3a726a5494: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fullview-66bcc0558f44acf8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfullview-66bcc0558f44acf8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfullview-66bcc0558f44acf8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_bench-08530385b5e12214.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fullview_bench-08530385b5e12214: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_bench-394a4726da8d4971.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_bench-394a4726da8d4971.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fullview_bench-4a86f310c15d65bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-4a86f310c15d65bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-4a86f310c15d65bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

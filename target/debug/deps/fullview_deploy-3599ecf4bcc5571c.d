@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fullview_deploy-3599ecf4bcc5571c.d: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs
+
+/root/repo/target/debug/deps/fullview_deploy-3599ecf4bcc5571c: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/bias.rs:
+crates/deploy/src/error.rs:
+crates/deploy/src/lattice.rs:
+crates/deploy/src/mobility.rs:
+crates/deploy/src/orientation.rs:
+crates/deploy/src/poisson.rs:
+crates/deploy/src/seed.rs:
+crates/deploy/src/stratified.rs:
+crates/deploy/src/uniform.rs:

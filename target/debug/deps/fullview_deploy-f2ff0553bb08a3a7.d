@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fullview_deploy-f2ff0553bb08a3a7.d: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_deploy-f2ff0553bb08a3a7.rmeta: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs Cargo.toml
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/bias.rs:
+crates/deploy/src/error.rs:
+crates/deploy/src/lattice.rs:
+crates/deploy/src/mobility.rs:
+crates/deploy/src/orientation.rs:
+crates/deploy/src/poisson.rs:
+crates/deploy/src/seed.rs:
+crates/deploy/src/stratified.rs:
+crates/deploy/src/uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_experiments-38d41399ddaa2fc5.d: crates/experiments/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_experiments-38d41399ddaa2fc5.rmeta: crates/experiments/src/lib.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

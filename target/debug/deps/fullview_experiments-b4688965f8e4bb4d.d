@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_experiments-b4688965f8e4bb4d.d: crates/experiments/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_experiments-b4688965f8e4bb4d.rmeta: crates/experiments/src/lib.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

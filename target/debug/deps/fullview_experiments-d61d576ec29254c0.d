@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_experiments-d61d576ec29254c0.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/fullview_experiments-d61d576ec29254c0: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fullview_experiments-dc45dafd89490333.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_experiments-dc45dafd89490333.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_experiments-dc45dafd89490333.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fullview_geom-0263cbd6c730bfb0.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_geom-0263cbd6c730bfb0.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/arc.rs:
+crates/geom/src/arcset.rs:
+crates/geom/src/index.rs:
+crates/geom/src/lattice.rs:
+crates/geom/src/point.rs:
+crates/geom/src/sector.rs:
+crates/geom/src/torus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

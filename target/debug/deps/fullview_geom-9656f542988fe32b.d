@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fullview_geom-9656f542988fe32b.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+/root/repo/target/debug/deps/libfullview_geom-9656f542988fe32b.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+/root/repo/target/debug/deps/libfullview_geom-9656f542988fe32b.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/arc.rs:
+crates/geom/src/arcset.rs:
+crates/geom/src/index.rs:
+crates/geom/src/lattice.rs:
+crates/geom/src/point.rs:
+crates/geom/src/sector.rs:
+crates/geom/src/torus.rs:

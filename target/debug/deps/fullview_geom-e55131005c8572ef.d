@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fullview_geom-e55131005c8572ef.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+/root/repo/target/debug/deps/fullview_geom-e55131005c8572ef: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/arc.rs:
+crates/geom/src/arcset.rs:
+crates/geom/src/index.rs:
+crates/geom/src/lattice.rs:
+crates/geom/src/point.rs:
+crates/geom/src/sector.rs:
+crates/geom/src/torus.rs:

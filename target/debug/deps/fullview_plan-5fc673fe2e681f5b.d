@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_plan-5fc673fe2e681f5b.d: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+/root/repo/target/debug/deps/fullview_plan-5fc673fe2e681f5b: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/objective.rs:
+crates/plan/src/orient.rs:
+crates/plan/src/placement.rs:
+crates/plan/src/procurement.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fullview_plan-843ba0a88beececa.d: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+/root/repo/target/debug/deps/libfullview_plan-843ba0a88beececa.rlib: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+/root/repo/target/debug/deps/libfullview_plan-843ba0a88beececa.rmeta: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/objective.rs:
+crates/plan/src/orient.rs:
+crates/plan/src/placement.rs:
+crates/plan/src/procurement.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fullview_plan-d98a817de8d1ad57.d: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_plan-d98a817de8d1ad57.rmeta: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/objective.rs:
+crates/plan/src/orient.rs:
+crates/plan/src/placement.rs:
+crates/plan/src/procurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

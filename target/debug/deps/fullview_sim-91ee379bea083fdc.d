@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fullview_sim-91ee379bea083fdc.d: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_sim-91ee379bea083fdc.rmeta: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/asciiplot.rs:
+crates/sim/src/estimate.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/gridsweep.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fullview_sim-9ccc3322d2951817.d: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/fullview_sim-9ccc3322d2951817: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asciiplot.rs:
+crates/sim/src/estimate.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/gridsweep.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/table.rs:

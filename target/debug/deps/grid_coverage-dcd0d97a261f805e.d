@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_coverage-dcd0d97a261f805e.d: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_coverage-dcd0d97a261f805e.rmeta: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+crates/bench/benches/grid_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_sweep-e0cd076615b52d3c.d: crates/bench/benches/grid_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_sweep-e0cd076615b52d3c.rmeta: crates/bench/benches/grid_sweep.rs Cargo.toml
+
+crates/bench/benches/grid_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero-127f04ceabeff40b.d: crates/experiments/src/bin/hetero.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero-127f04ceabeff40b.rmeta: crates/experiments/src/bin/hetero.rs Cargo.toml
+
+crates/experiments/src/bin/hetero.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

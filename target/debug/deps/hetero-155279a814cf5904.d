@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero-155279a814cf5904.d: crates/experiments/src/bin/hetero.rs
+
+/root/repo/target/debug/deps/hetero-155279a814cf5904: crates/experiments/src/bin/hetero.rs
+
+crates/experiments/src/bin/hetero.rs:

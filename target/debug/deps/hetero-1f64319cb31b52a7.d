@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero-1f64319cb31b52a7.d: crates/experiments/src/bin/hetero.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero-1f64319cb31b52a7.rmeta: crates/experiments/src/bin/hetero.rs Cargo.toml
+
+crates/experiments/src/bin/hetero.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero-aa3dc3a3754afd06.d: crates/experiments/src/bin/hetero.rs
+
+/root/repo/target/debug/deps/hetero-aa3dc3a3754afd06: crates/experiments/src/bin/hetero.rs
+
+crates/experiments/src/bin/hetero.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kcov-2a0cfd28e85cc6b8.d: crates/experiments/src/bin/kcov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkcov-2a0cfd28e85cc6b8.rmeta: crates/experiments/src/bin/kcov.rs Cargo.toml
+
+crates/experiments/src/bin/kcov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

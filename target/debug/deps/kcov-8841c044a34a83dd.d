@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kcov-8841c044a34a83dd.d: crates/experiments/src/bin/kcov.rs
+
+/root/repo/target/debug/deps/kcov-8841c044a34a83dd: crates/experiments/src/bin/kcov.rs
+
+crates/experiments/src/bin/kcov.rs:

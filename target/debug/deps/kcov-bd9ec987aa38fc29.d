@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kcov-bd9ec987aa38fc29.d: crates/experiments/src/bin/kcov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkcov-bd9ec987aa38fc29.rmeta: crates/experiments/src/bin/kcov.rs Cargo.toml
+
+crates/experiments/src/bin/kcov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

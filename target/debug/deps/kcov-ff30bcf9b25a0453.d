@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kcov-ff30bcf9b25a0453.d: crates/experiments/src/bin/kcov.rs
+
+/root/repo/target/debug/deps/kcov-ff30bcf9b25a0453: crates/experiments/src/bin/kcov.rs
+
+crates/experiments/src/bin/kcov.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kfull-0c9d55cfc4168bcd.d: crates/experiments/src/bin/kfull.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkfull-0c9d55cfc4168bcd.rmeta: crates/experiments/src/bin/kfull.rs Cargo.toml
+
+crates/experiments/src/bin/kfull.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kfull-37b602aeeea8e9dd.d: crates/experiments/src/bin/kfull.rs
+
+/root/repo/target/debug/deps/kfull-37b602aeeea8e9dd: crates/experiments/src/bin/kfull.rs
+
+crates/experiments/src/bin/kfull.rs:

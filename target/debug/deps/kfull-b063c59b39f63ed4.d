@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kfull-b063c59b39f63ed4.d: crates/experiments/src/bin/kfull.rs
+
+/root/repo/target/debug/deps/kfull-b063c59b39f63ed4: crates/experiments/src/bin/kfull.rs
+
+crates/experiments/src/bin/kfull.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice-bf8ebb88a9eb77c7.d: crates/experiments/src/bin/lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice-bf8ebb88a9eb77c7.rmeta: crates/experiments/src/bin/lattice.rs Cargo.toml
+
+crates/experiments/src/bin/lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lattice-cc5381060ed10acb.d: crates/experiments/src/bin/lattice.rs
+
+/root/repo/target/debug/deps/lattice-cc5381060ed10acb: crates/experiments/src/bin/lattice.rs
+
+crates/experiments/src/bin/lattice.rs:

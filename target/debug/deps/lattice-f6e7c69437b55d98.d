@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lattice-f6e7c69437b55d98.d: crates/experiments/src/bin/lattice.rs
+
+/root/repo/target/debug/deps/lattice-f6e7c69437b55d98: crates/experiments/src/bin/lattice.rs
+
+crates/experiments/src/bin/lattice.rs:

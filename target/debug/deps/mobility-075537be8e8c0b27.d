@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobility-075537be8e8c0b27.d: crates/experiments/src/bin/mobility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobility-075537be8e8c0b27.rmeta: crates/experiments/src/bin/mobility.rs Cargo.toml
+
+crates/experiments/src/bin/mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

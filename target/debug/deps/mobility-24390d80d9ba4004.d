@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobility-24390d80d9ba4004.d: crates/experiments/src/bin/mobility.rs
+
+/root/repo/target/debug/deps/mobility-24390d80d9ba4004: crates/experiments/src/bin/mobility.rs
+
+crates/experiments/src/bin/mobility.rs:

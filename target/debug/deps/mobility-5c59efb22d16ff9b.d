@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobility-5c59efb22d16ff9b.d: crates/experiments/src/bin/mobility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobility-5c59efb22d16ff9b.rmeta: crates/experiments/src/bin/mobility.rs Cargo.toml
+
+crates/experiments/src/bin/mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobility-a0ce0b283ede4739.d: crates/experiments/src/bin/mobility.rs
+
+/root/repo/target/debug/deps/mobility-a0ce0b283ede4739: crates/experiments/src/bin/mobility.rs
+
+crates/experiments/src/bin/mobility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/one_cov-3022c4bfeedbc7f0.d: crates/experiments/src/bin/one_cov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libone_cov-3022c4bfeedbc7f0.rmeta: crates/experiments/src/bin/one_cov.rs Cargo.toml
+
+crates/experiments/src/bin/one_cov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

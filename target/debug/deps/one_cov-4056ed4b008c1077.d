@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/one_cov-4056ed4b008c1077.d: crates/experiments/src/bin/one_cov.rs
+
+/root/repo/target/debug/deps/one_cov-4056ed4b008c1077: crates/experiments/src/bin/one_cov.rs
+
+crates/experiments/src/bin/one_cov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/one_cov-53f924fb5e5b1a88.d: crates/experiments/src/bin/one_cov.rs
+
+/root/repo/target/debug/deps/one_cov-53f924fb5e5b1a88: crates/experiments/src/bin/one_cov.rs
+
+crates/experiments/src/bin/one_cov.rs:

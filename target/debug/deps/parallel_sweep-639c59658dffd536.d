@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-639c59658dffd536.d: crates/sim/tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-639c59658dffd536: crates/sim/tests/parallel_sweep.rs
+
+crates/sim/tests/parallel_sweep.rs:

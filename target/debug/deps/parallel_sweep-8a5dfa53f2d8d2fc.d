@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_sweep-8a5dfa53f2d8d2fc.d: crates/sim/tests/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_sweep-8a5dfa53f2d8d2fc.rmeta: crates/sim/tests/parallel_sweep.rs Cargo.toml
+
+crates/sim/tests/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

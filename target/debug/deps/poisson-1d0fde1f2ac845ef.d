@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-1d0fde1f2ac845ef.d: crates/experiments/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-1d0fde1f2ac845ef: crates/experiments/src/bin/poisson.rs
+
+crates/experiments/src/bin/poisson.rs:

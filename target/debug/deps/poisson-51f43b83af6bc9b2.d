@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-51f43b83af6bc9b2.d: crates/experiments/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-51f43b83af6bc9b2.rmeta: crates/experiments/src/bin/poisson.rs Cargo.toml
+
+crates/experiments/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

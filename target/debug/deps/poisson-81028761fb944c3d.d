@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-81028761fb944c3d.d: crates/experiments/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-81028761fb944c3d: crates/experiments/src/bin/poisson.rs
+
+crates/experiments/src/bin/poisson.rs:

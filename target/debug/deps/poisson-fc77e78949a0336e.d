@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-fc77e78949a0336e.d: crates/experiments/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-fc77e78949a0336e.rmeta: crates/experiments/src/bin/poisson.rs Cargo.toml
+
+crates/experiments/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probabilistic-217e00b3eb79b769.d: crates/experiments/src/bin/probabilistic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobabilistic-217e00b3eb79b769.rmeta: crates/experiments/src/bin/probabilistic.rs Cargo.toml
+
+crates/experiments/src/bin/probabilistic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probabilistic-6dd9fce5a480edda.d: crates/experiments/src/bin/probabilistic.rs
+
+/root/repo/target/debug/deps/probabilistic-6dd9fce5a480edda: crates/experiments/src/bin/probabilistic.rs
+
+crates/experiments/src/bin/probabilistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probabilistic-af197bd76a3a9457.d: crates/experiments/src/bin/probabilistic.rs
+
+/root/repo/target/debug/deps/probabilistic-af197bd76a3a9457: crates/experiments/src/bin/probabilistic.rs
+
+crates/experiments/src/bin/probabilistic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probabilistic-dabdc968273b12fc.d: crates/experiments/src/bin/probabilistic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobabilistic-dabdc968273b12fc.rmeta: crates/experiments/src/bin/probabilistic.rs Cargo.toml
+
+crates/experiments/src/bin/probabilistic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0c6dbc2f27e615ff.d: crates/geom/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0c6dbc2f27e615ff.rmeta: crates/geom/tests/properties.rs Cargo.toml
+
+crates/geom/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-28ad58a7b20944d0.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-28ad58a7b20944d0: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

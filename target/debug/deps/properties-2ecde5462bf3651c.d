@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ecde5462bf3651c.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ecde5462bf3651c: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-30cb0d406c436103.d: crates/deploy/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-30cb0d406c436103.rmeta: crates/deploy/tests/properties.rs Cargo.toml
+
+crates/deploy/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

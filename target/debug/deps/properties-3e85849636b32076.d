@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3e85849636b32076.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3e85849636b32076: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

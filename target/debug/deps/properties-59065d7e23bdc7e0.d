@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-59065d7e23bdc7e0.d: crates/deploy/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-59065d7e23bdc7e0: crates/deploy/tests/properties.rs
+
+crates/deploy/tests/properties.rs:

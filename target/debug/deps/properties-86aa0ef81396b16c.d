@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-86aa0ef81396b16c.d: crates/model/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-86aa0ef81396b16c.rmeta: crates/model/tests/properties.rs Cargo.toml
+
+crates/model/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

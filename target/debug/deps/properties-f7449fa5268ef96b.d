@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f7449fa5268ef96b.d: crates/geom/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f7449fa5268ef96b: crates/geom/tests/properties.rs
+
+crates/geom/tests/properties.rs:

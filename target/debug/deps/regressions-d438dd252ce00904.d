@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-d438dd252ce00904.d: crates/core/tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-d438dd252ce00904: crates/core/tests/regressions.rs
+
+crates/core/tests/regressions.rs:

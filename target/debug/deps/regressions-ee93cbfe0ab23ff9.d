@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressions-ee93cbfe0ab23ff9.d: crates/core/tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-ee93cbfe0ab23ff9.rmeta: crates/core/tests/regressions.rs Cargo.toml
+
+crates/core/tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

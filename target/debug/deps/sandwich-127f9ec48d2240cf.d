@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sandwich-127f9ec48d2240cf.d: crates/experiments/src/bin/sandwich.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsandwich-127f9ec48d2240cf.rmeta: crates/experiments/src/bin/sandwich.rs Cargo.toml
+
+crates/experiments/src/bin/sandwich.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sandwich-154c19f0fdd4a6df.d: crates/experiments/src/bin/sandwich.rs
+
+/root/repo/target/debug/deps/sandwich-154c19f0fdd4a6df: crates/experiments/src/bin/sandwich.rs
+
+crates/experiments/src/bin/sandwich.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sandwich-2ad7126dec9c95e6.d: crates/experiments/src/bin/sandwich.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsandwich-2ad7126dec9c95e6.rmeta: crates/experiments/src/bin/sandwich.rs Cargo.toml
+
+crates/experiments/src/bin/sandwich.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sandwich-c851c5c08729e111.d: crates/experiments/src/bin/sandwich.rs
+
+/root/repo/target/debug/deps/sandwich-c851c5c08729e111: crates/experiments/src/bin/sandwich.rs
+
+crates/experiments/src/bin/sandwich.rs:

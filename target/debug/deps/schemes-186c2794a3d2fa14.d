@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-186c2794a3d2fa14.d: crates/experiments/src/bin/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-186c2794a3d2fa14.rmeta: crates/experiments/src/bin/schemes.rs Cargo.toml
+
+crates/experiments/src/bin/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

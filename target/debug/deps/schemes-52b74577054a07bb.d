@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schemes-52b74577054a07bb.d: crates/experiments/src/bin/schemes.rs
+
+/root/repo/target/debug/deps/schemes-52b74577054a07bb: crates/experiments/src/bin/schemes.rs
+
+crates/experiments/src/bin/schemes.rs:

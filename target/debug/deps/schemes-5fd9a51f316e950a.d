@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schemes-5fd9a51f316e950a.d: crates/experiments/src/bin/schemes.rs
+
+/root/repo/target/debug/deps/schemes-5fd9a51f316e950a: crates/experiments/src/bin/schemes.rs
+
+crates/experiments/src/bin/schemes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-e291bd12ebca7ab8.d: crates/experiments/src/bin/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-e291bd12ebca7ab8.rmeta: crates/experiments/src/bin/schemes.rs Cargo.toml
+
+crates/experiments/src/bin/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

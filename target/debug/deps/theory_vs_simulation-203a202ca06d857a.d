@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_vs_simulation-203a202ca06d857a.d: tests/theory_vs_simulation.rs
+
+/root/repo/target/debug/deps/theory_vs_simulation-203a202ca06d857a: tests/theory_vs_simulation.rs
+
+tests/theory_vs_simulation.rs:

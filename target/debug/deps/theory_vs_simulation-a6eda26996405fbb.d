@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_vs_simulation-a6eda26996405fbb.d: tests/theory_vs_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_vs_simulation-a6eda26996405fbb.rmeta: tests/theory_vs_simulation.rs Cargo.toml
+
+tests/theory_vs_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm1-36b2f7ddf9d94121.d: crates/experiments/src/bin/thm1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm1-36b2f7ddf9d94121.rmeta: crates/experiments/src/bin/thm1.rs Cargo.toml
+
+crates/experiments/src/bin/thm1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

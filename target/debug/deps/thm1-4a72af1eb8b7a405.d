@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm1-4a72af1eb8b7a405.d: crates/experiments/src/bin/thm1.rs
+
+/root/repo/target/debug/deps/thm1-4a72af1eb8b7a405: crates/experiments/src/bin/thm1.rs
+
+crates/experiments/src/bin/thm1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm1-ba431f767d06be6f.d: crates/experiments/src/bin/thm1.rs
+
+/root/repo/target/debug/deps/thm1-ba431f767d06be6f: crates/experiments/src/bin/thm1.rs
+
+crates/experiments/src/bin/thm1.rs:

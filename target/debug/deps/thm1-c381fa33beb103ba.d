@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm1-c381fa33beb103ba.d: crates/experiments/src/bin/thm1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm1-c381fa33beb103ba.rmeta: crates/experiments/src/bin/thm1.rs Cargo.toml
+
+crates/experiments/src/bin/thm1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

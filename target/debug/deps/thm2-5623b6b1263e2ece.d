@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm2-5623b6b1263e2ece.d: crates/experiments/src/bin/thm2.rs
+
+/root/repo/target/debug/deps/thm2-5623b6b1263e2ece: crates/experiments/src/bin/thm2.rs
+
+crates/experiments/src/bin/thm2.rs:

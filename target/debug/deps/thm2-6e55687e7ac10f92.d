@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm2-6e55687e7ac10f92.d: crates/experiments/src/bin/thm2.rs
+
+/root/repo/target/debug/deps/thm2-6e55687e7ac10f92: crates/experiments/src/bin/thm2.rs
+
+crates/experiments/src/bin/thm2.rs:

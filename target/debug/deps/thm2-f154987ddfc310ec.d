@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm2-f154987ddfc310ec.d: crates/experiments/src/bin/thm2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm2-f154987ddfc310ec.rmeta: crates/experiments/src/bin/thm2.rs Cargo.toml
+
+crates/experiments/src/bin/thm2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

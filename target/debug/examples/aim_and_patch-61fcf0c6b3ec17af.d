@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/aim_and_patch-61fcf0c6b3ec17af.d: examples/aim_and_patch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaim_and_patch-61fcf0c6b3ec17af.rmeta: examples/aim_and_patch.rs Cargo.toml
+
+examples/aim_and_patch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

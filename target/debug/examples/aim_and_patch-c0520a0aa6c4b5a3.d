@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aim_and_patch-c0520a0aa6c4b5a3.d: examples/aim_and_patch.rs
+
+/root/repo/target/debug/examples/aim_and_patch-c0520a0aa6c4b5a3: examples/aim_and_patch.rs
+
+examples/aim_and_patch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coverage_map-09f32e7d75cf8529.d: examples/coverage_map.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoverage_map-09f32e7d75cf8529.rmeta: examples/coverage_map.rs Cargo.toml
+
+examples/coverage_map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coverage_map-c5a2ef270e4be0cc.d: examples/coverage_map.rs
+
+/root/repo/target/debug/examples/coverage_map-c5a2ef270e4be0cc: examples/coverage_map.rs
+
+examples/coverage_map.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lattice_designer-67e8f99d573cdce2.d: examples/lattice_designer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblattice_designer-67e8f99d573cdce2.rmeta: examples/lattice_designer.rs Cargo.toml
+
+examples/lattice_designer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lattice_designer-eface931162d2f9a.d: examples/lattice_designer.rs
+
+/root/repo/target/debug/examples/lattice_designer-eface931162d2f9a: examples/lattice_designer.rs
+
+examples/lattice_designer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_patrol-0696b27e3242fbc7.d: examples/mobile_patrol.rs
+
+/root/repo/target/debug/examples/mobile_patrol-0696b27e3242fbc7: examples/mobile_patrol.rs
+
+examples/mobile_patrol.rs:

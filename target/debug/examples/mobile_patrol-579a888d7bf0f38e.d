@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobile_patrol-579a888d7bf0f38e.d: examples/mobile_patrol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobile_patrol-579a888d7bf0f38e.rmeta: examples/mobile_patrol.rs Cargo.toml
+
+examples/mobile_patrol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2f3ac6806d45d5d3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2f3ac6806d45d5d3: examples/quickstart.rs
+
+examples/quickstart.rs:

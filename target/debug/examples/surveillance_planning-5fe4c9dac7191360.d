@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/surveillance_planning-5fe4c9dac7191360.d: examples/surveillance_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsurveillance_planning-5fe4c9dac7191360.rmeta: examples/surveillance_planning.rs Cargo.toml
+
+examples/surveillance_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surveillance_planning-bf292bae9fed83d0.d: examples/surveillance_planning.rs
+
+/root/repo/target/debug/examples/surveillance_planning-bf292bae9fed83d0: examples/surveillance_planning.rs
+
+examples/surveillance_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wildlife_monitor-14a900b0fa259bb3.d: examples/wildlife_monitor.rs
+
+/root/repo/target/debug/examples/wildlife_monitor-14a900b0fa259bb3: examples/wildlife_monitor.rs
+
+examples/wildlife_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wildlife_monitor-a8712f4b68982261.d: examples/wildlife_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwildlife_monitor-a8712f4b68982261.rmeta: examples/wildlife_monitor.rs Cargo.toml
+
+examples/wildlife_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

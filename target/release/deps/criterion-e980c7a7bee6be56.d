@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e980c7a7bee6be56.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e980c7a7bee6be56.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e980c7a7bee6be56.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

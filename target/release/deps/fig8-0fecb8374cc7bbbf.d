@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-0fecb8374cc7bbbf.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-0fecb8374cc7bbbf: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

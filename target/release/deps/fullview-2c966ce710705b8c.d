@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fullview-2c966ce710705b8c.d: src/lib.rs
+
+/root/repo/target/release/deps/libfullview-2c966ce710705b8c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfullview-2c966ce710705b8c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fullview_bench-72c69e49e7e90d2f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-72c69e49e7e90d2f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-72c69e49e7e90d2f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

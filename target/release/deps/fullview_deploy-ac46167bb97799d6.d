@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fullview_deploy-ac46167bb97799d6.d: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs
+
+/root/repo/target/release/deps/libfullview_deploy-ac46167bb97799d6.rlib: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs
+
+/root/repo/target/release/deps/libfullview_deploy-ac46167bb97799d6.rmeta: crates/deploy/src/lib.rs crates/deploy/src/bias.rs crates/deploy/src/error.rs crates/deploy/src/lattice.rs crates/deploy/src/mobility.rs crates/deploy/src/orientation.rs crates/deploy/src/poisson.rs crates/deploy/src/seed.rs crates/deploy/src/stratified.rs crates/deploy/src/uniform.rs
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/bias.rs:
+crates/deploy/src/error.rs:
+crates/deploy/src/lattice.rs:
+crates/deploy/src/mobility.rs:
+crates/deploy/src/orientation.rs:
+crates/deploy/src/poisson.rs:
+crates/deploy/src/seed.rs:
+crates/deploy/src/stratified.rs:
+crates/deploy/src/uniform.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fullview_experiments-fc462c5f17eda907.d: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_experiments-fc462c5f17eda907.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_experiments-fc462c5f17eda907.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fullview_geom-698f97f4352ad262.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+/root/repo/target/release/deps/libfullview_geom-698f97f4352ad262.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+/root/repo/target/release/deps/libfullview_geom-698f97f4352ad262.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/arc.rs crates/geom/src/arcset.rs crates/geom/src/index.rs crates/geom/src/lattice.rs crates/geom/src/point.rs crates/geom/src/sector.rs crates/geom/src/torus.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/arc.rs:
+crates/geom/src/arcset.rs:
+crates/geom/src/index.rs:
+crates/geom/src/lattice.rs:
+crates/geom/src/point.rs:
+crates/geom/src/sector.rs:
+crates/geom/src/torus.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fullview_plan-4066eaf386da9a29.d: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+/root/repo/target/release/deps/libfullview_plan-4066eaf386da9a29.rlib: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+/root/repo/target/release/deps/libfullview_plan-4066eaf386da9a29.rmeta: crates/plan/src/lib.rs crates/plan/src/objective.rs crates/plan/src/orient.rs crates/plan/src/placement.rs crates/plan/src/procurement.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/objective.rs:
+crates/plan/src/orient.rs:
+crates/plan/src/placement.rs:
+crates/plan/src/procurement.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fullview_sim-32f3704b0295f3ec.d: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libfullview_sim-32f3704b0295f3ec.rlib: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libfullview_sim-32f3704b0295f3ec.rmeta: crates/sim/src/lib.rs crates/sim/src/asciiplot.rs crates/sim/src/estimate.rs crates/sim/src/failure.rs crates/sim/src/gridsweep.rs crates/sim/src/histogram.rs crates/sim/src/runner.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asciiplot.rs:
+crates/sim/src/estimate.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/gridsweep.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/table.rs:

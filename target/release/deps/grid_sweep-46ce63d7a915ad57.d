@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grid_sweep-46ce63d7a915ad57.d: crates/bench/benches/grid_sweep.rs
+
+/root/repo/target/release/deps/grid_sweep-46ce63d7a915ad57: crates/bench/benches/grid_sweep.rs
+
+crates/bench/benches/grid_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thm1-a48ebb943ad98f1d.d: crates/experiments/src/bin/thm1.rs
+
+/root/repo/target/release/deps/thm1-a48ebb943ad98f1d: crates/experiments/src/bin/thm1.rs
+
+crates/experiments/src/bin/thm1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thm2-fa9a74e4a12adc84.d: crates/experiments/src/bin/thm2.rs
+
+/root/repo/target/release/deps/thm2-fa9a74e4a12adc84: crates/experiments/src/bin/thm2.rs
+
+crates/experiments/src/bin/thm2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5f198004c5d405b8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5f198004c5d405b8: examples/quickstart.rs
+
+examples/quickstart.rs:

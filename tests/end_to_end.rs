@@ -212,9 +212,7 @@ fn probabilistic_confidence_monotone() {
         .count();
     let zero_gamma = grid
         .iter()
-        .filter(|p| {
-            is_full_view_covered_with_confidence(&net, *p, th, &model, 0.0).expect("valid")
-        })
+        .filter(|p| is_full_view_covered_with_confidence(&net, *p, th, &model, 0.0).expect("valid"))
         .count();
     assert_eq!(plain, zero_gamma);
 }

@@ -2,8 +2,8 @@
 //! k-full-view coverage, hole analysis, planning, and procurement.
 
 use fullview::plan::{
-    cheapest_guaranteed_plan, greedy_place, optimize_orientations, CatalogueEntry,
-    GreedyPlacer, OrientationPlanner,
+    cheapest_guaranteed_plan, greedy_place, optimize_orientations, CatalogueEntry, GreedyPlacer,
+    OrientationPlanner,
 };
 use fullview::prelude::*;
 use rand::rngs::StdRng;
@@ -15,9 +15,8 @@ fn theta() -> EffectiveAngle {
 }
 
 fn deploy(n: usize, s_c: f64, seed: u64) -> CameraNetwork {
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(s_c, PI / 2.0).expect("valid"),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s_c, PI / 2.0).expect("valid"));
     let mut rng = StdRng::seed_from_u64(seed);
     deploy_uniform(Torus::unit(), &profile, n, &mut rng).expect("fits")
 }
@@ -27,9 +26,8 @@ fn exact_probability_matches_measured_fraction() {
     let th = theta();
     let n = 400;
     let s = 0.02;
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(s, PI / 2.0).expect("valid"),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s, PI / 2.0).expect("valid"));
     let exact = prob_point_full_view_uniform(&profile, n, th);
 
     let mut covered = 0usize;
@@ -64,7 +62,8 @@ fn view_multiplicity_consistent_with_full_view_and_failures() {
         let p = Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.71) % 1.0);
         let m = view_multiplicity(&net, p, th);
         assert_eq!(m >= 1, is_full_view_covered(&net, p, th), "at {p}");
-        assert_eq!(is_k_full_view_covered(&net, p, th, m), m > 0 || m == 0);
+        // Holds for every m: vacuously at m = 0 (k = 0), directly otherwise.
+        assert!(is_k_full_view_covered(&net, p, th, m), "k = m at {p}");
         if m >= 2 {
             checked += 1;
             // Remove one arbitrary covering camera: still full-view.
@@ -143,8 +142,8 @@ fn greedy_placement_beats_random_at_equal_count() {
     // Random deployment with the same camera count and model:
     let profile = NetworkProfile::homogeneous(spec);
     let mut rng = StdRng::seed_from_u64(13);
-    let random = deploy_uniform(Torus::unit(), &profile, planned.network.len(), &mut rng)
-        .expect("fits");
+    let random =
+        deploy_uniform(Torus::unit(), &profile, planned.network.len(), &mut rng).expect("fits");
     let eval = fullview::plan::Evaluation::new(Torus::unit(), 10, th);
     assert!(
         eval.covered_fraction(&planned.network) >= eval.covered_fraction(&random),
@@ -175,8 +174,7 @@ fn stevens_mixture_degenerate_cases_via_facade() {
     // Zero cameras never cover; θ = π needs one.
     assert_eq!(stevens_coverage_probability(0, 0.5), 0.0);
     assert_eq!(stevens_coverage_probability(1, 1.0), 1.0);
-    let profile =
-        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.02, PI).expect("ok"));
+    let profile = NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.02, PI).expect("ok"));
     let p = prob_point_full_view_poisson(&profile, 0.0, theta());
     assert_eq!(p, 0.0);
 }
@@ -222,9 +220,8 @@ fn stratified_never_worse_than_uniform_on_average() {
     use fullview::deploy::deploy_stratified;
     let th = theta();
     let n = 500;
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(0.02, PI / 2.0).expect("valid"),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.02, PI / 2.0).expect("valid"));
     let grid = UnitGrid::new(Torus::unit(), 15);
     let mut uni = 0.0;
     let mut strat = 0.0;
@@ -246,17 +243,13 @@ fn stratified_never_worse_than_uniform_on_average() {
 
 #[test]
 fn temporal_metrics_bracket_static_check() {
-    use fullview::core::{
-        always_full_view, eventually_full_view, fraction_of_time_full_view,
-    };
+    use fullview::core::{always_full_view, eventually_full_view, fraction_of_time_full_view};
     use fullview::deploy::deploy_mobile;
     let th = theta();
-    let profile = NetworkProfile::homogeneous(
-        SensorSpec::with_sensing_area(0.04, PI / 2.0).expect("valid"),
-    );
+    let profile =
+        NetworkProfile::homogeneous(SensorSpec::with_sensing_area(0.04, PI / 2.0).expect("valid"));
     let mut rng = StdRng::seed_from_u64(31);
-    let mobile = deploy_mobile(Torus::unit(), &profile, 300, 0.1, 1.0, &mut rng)
-        .expect("fits");
+    let mobile = deploy_mobile(Torus::unit(), &profile, 300, 0.1, 1.0, &mut rng).expect("fits");
     let snaps = mobile.snapshots(3.0, 6);
     for i in 0..15 {
         let p = Point::new((i as f64 * 0.41) % 1.0, (i as f64 * 0.67) % 1.0);

@@ -141,9 +141,8 @@ fn csa_transition_direction_holds_empirically() {
     let grid = UnitGrid::new(Torus::unit(), 20);
 
     let whole_grid_rate = |s_c: f64| -> f64 {
-        let profile = NetworkProfile::homogeneous(
-            SensorSpec::with_sensing_area(s_c, PI).expect("valid"),
-        );
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(s_c, PI).expect("valid"));
         let mut good = 0usize;
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(derive_seed(23, t));
@@ -191,9 +190,8 @@ fn sensing_area_equivalence_shapes_statistically_close() {
     let grid = UnitGrid::new(Torus::unit(), 18);
 
     let mean_fraction = |phi: f64, stream: u64| -> f64 {
-        let profile = NetworkProfile::homogeneous(
-            SensorSpec::with_sensing_area(area, phi).expect("valid"),
-        );
+        let profile =
+            NetworkProfile::homogeneous(SensorSpec::with_sensing_area(area, phi).expect("valid"));
         let mut total = 0.0;
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(derive_seed(stream, t));

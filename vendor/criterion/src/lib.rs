@@ -1,0 +1,361 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated to a per-sample
+//! batch of iterations taking roughly [`TARGET_SAMPLE_NANOS`], then timed
+//! for `sample_size` samples; the median per-iteration time is reported.
+//! Set the `BENCH_JSON` environment variable to a path to additionally
+//! write all results of the process as a JSON array.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Target wall-clock per measured sample, in nanoseconds.
+pub const TARGET_SAMPLE_NANOS: u128 = 25_000_000;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies (re-export of [`std::hint::black_box`]).
+pub use std::hint::black_box;
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path, `group/name/parameter`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_benchmark(self, id.to_string(), 10, f);
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary and honors `BENCH_JSON`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let json = results_to_json(&self.results);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("criterion(stub): cannot write {path}: {e}");
+                } else {
+                    eprintln!(
+                        "criterion(stub): wrote {} results to {path}",
+                        self.results.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, full, self.sample_size, f);
+    }
+
+    /// Runs `f` with a borrowed input as a benchmark under this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Self::iter) does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Per-iteration nanoseconds of each sample (filled by `iter`).
+    sample_ns: Vec<f64>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.calibrating {
+            // Find an iteration count whose batch takes ~TARGET_SAMPLE_NANOS.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed().as_nanos().max(1);
+                if elapsed >= TARGET_SAMPLE_NANOS || iters >= (1 << 24) {
+                    // Scale so one sample lands near the target.
+                    let scaled = (iters as u128 * TARGET_SAMPLE_NANOS / elapsed).max(1);
+                    self.iters_per_sample = u64::try_from(scaled).unwrap_or(u64::MAX).max(1);
+                    break;
+                }
+                iters = iters.saturating_mul(2);
+            }
+            return;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    id: String,
+    samples: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples,
+        sample_ns: Vec::new(),
+        calibrating: true,
+    };
+    f(&mut bencher); // calibration pass
+    bencher.calibrating = false;
+    f(&mut bencher); // measurement pass
+    if bencher.sample_ns.is_empty() {
+        eprintln!("criterion(stub): benchmark {id} never called Bencher::iter");
+        return;
+    }
+    let mut sorted = bencher.sample_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let result = BenchResult {
+        id,
+        median_ns: median,
+        min_ns: sorted[0],
+        max_ns: *sorted.last().expect("non-empty"),
+        iters_per_sample: bencher.iters_per_sample,
+        samples: sorted.len(),
+    };
+    println!(
+        "bench: {:<50} {:>14} /iter (min {}, max {}, {} iters/sample)",
+        result.id,
+        format_ns(result.median_ns),
+        format_ns(result.min_ns),
+        format_ns(result.max_ns),
+        result.iters_per_sample,
+    );
+    criterion.results.push(result);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Serializes results as a human-readable JSON array (no external deps).
+#[must_use]
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.iters_per_sample,
+            r.samples,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("noop", 0), |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert!(
+            r.median_ns > 0.0 && r.median_ns < 1e6,
+            "median {}",
+            r.median_ns
+        );
+        assert_eq!(r.id, "unit/noop/0");
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let json = results_to_json(&[BenchResult {
+            id: "a/b".into(),
+            median_ns: 1.5,
+            min_ns: 1.0,
+            max_ns: 2.0,
+            iters_per_sample: 100,
+            samples: 3,
+        }]);
+        assert!(json.contains("\"id\": \"a/b\""));
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn id_display_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

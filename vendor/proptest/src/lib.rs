@@ -1,0 +1,268 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, range and tuple
+//! strategies, [`Strategy::prop_map`], `prop::collection::vec`, [`Just`],
+//! the `prop_assert*` family, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the full
+//!   `Debug` rendering of every generated input, which is enough to turn
+//!   it into a deterministic regression test by hand.
+//! * **No persistence.** `*.proptest-regressions` files are not read or
+//!   written (their recorded shrunk inputs live on as explicit unit tests
+//!   in this workspace).
+//! * **Seeding is deterministic per test name** so failures reproduce
+//!   across runs, and can be perturbed via the `PROPTEST_RNG_SEED`
+//!   environment variable for exploratory fuzzing.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Runs one property case, handing the generated inputs to the body **by
+/// value** (as upstream does). A named generic function rather than a bare
+/// closure call so the closure's argument type is pinned by `inputs`.
+#[doc(hidden)]
+pub fn __run_case<T, F>(inputs: T, body: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce(T) -> Result<(), TestCaseError>,
+{
+    body(inputs)
+}
+
+/// Defines property tests.
+///
+/// Supports the subset of upstream syntax used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, n in 0usize..10) {
+///         prop_assert!(x >= 0.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs before the body runs: the body receives the
+                // values by value (like upstream) and may consume them.
+                let inputs: ::std::string::String = ::std::string::String::new()
+                    $(+ "\n    " + stringify!($arg) + " = "
+                        + &::std::format!("{:?}", &$arg))+;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::__run_case(($($arg,)+), |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                match outcome {
+                    ::std::result::Result::Ok(()) => case += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.cases.saturating_mul(16).max(1024) {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {case}: {msg}\n  inputs:{inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), l, r
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current property case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "{}\n  both: {:?}",
+                    ::std::format!($($fmt)+), l
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (drawing a fresh one) when the assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+#[allow(clippy::manual_range_contains, clippy::neg_cmp_op_on_partial_ord)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..1.0f64, n in 5usize..10, f in 0.25..=0.75f64) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((5..10).contains(&n));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0.0..1.0f64, 1usize..4).prop_map(|(a, b)| a * b as f64),
+            fixed in Just(41usize),
+        ) {
+            prop_assert!(pair >= 0.0 && pair < 3.0, "pair = {}", pair);
+            prop_assert_eq!(fixed + 1, 42);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn body_owns_its_inputs(v in prop::collection::vec(0u64..10, 1..4)) {
+            // The body receives values by value, so consuming them is legal.
+            let owned: Vec<u64> = v.into_iter().rev().collect();
+            prop_assert!(!owned.is_empty());
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_honored(_x in 0u64..10) {
+            // Body runs; the case budget is checked implicitly (no hang).
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    #[allow(unnameable_test_items)]
+    fn failure_reports_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0.0..1.0f64) {
+                prop_assert!(x < 0.0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
