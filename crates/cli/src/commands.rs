@@ -10,8 +10,8 @@ use fullview_core::{
     analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
     find_holes, is_full_view_covered, max_cameras_below_necessary, min_cameras_for_guarantee,
     prob_point_full_view_poisson, prob_point_full_view_uniform, prob_point_meets_necessary_poisson,
-    prob_point_meets_sufficient_poisson, required_area_for_expected_fraction, unsafe_directions,
-    EffectiveAngle, SectorPartition,
+    prob_point_meets_sufficient_poisson, required_area_for_expected_fraction, sweep_grid,
+    unsafe_directions, EffectiveAngle, SectorPartition,
 };
 use fullview_core::{evaluate_path, Path};
 use fullview_deploy::{deploy_poisson, deploy_uniform};
@@ -280,22 +280,24 @@ fn cmd_map(cli: &Cli) -> Result<(), Box<dyn Error>> {
     let necessary = SectorPartition::necessary(theta, Angle::ZERO);
     let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
     println!("legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare\n");
+    // Tile-coherent sweep through the shared engine; points arrive in tile
+    // order, so render into an index-keyed buffer before printing rows.
+    let mut cells = vec![' '; grid.len()];
+    sweep_grid(&net, &grid, |idx, _, view| {
+        cells[idx] = if sufficient.is_satisfied_view(view) {
+            '#'
+        } else if view.is_full_view(theta) {
+            'F'
+        } else if necessary.is_satisfied_view(view) {
+            'n'
+        } else if view.covering_cameras > 0 {
+            '.'
+        } else {
+            ' '
+        };
+    });
     for j in (0..side).rev() {
-        let mut row = String::with_capacity(side);
-        for i in 0..side {
-            let analysis = analyze_point(&net, grid.point(j * side + i));
-            row.push(if sufficient.is_satisfied(&analysis) {
-                '#'
-            } else if analysis.is_full_view(theta) {
-                'F'
-            } else if necessary.is_satisfied(&analysis) {
-                'n'
-            } else if analysis.covering_cameras > 0 {
-                '.'
-            } else {
-                ' '
-            });
-        }
+        let row: String = cells[j * side..(j + 1) * side].iter().collect();
         println!("|{row}|");
     }
     Ok(())

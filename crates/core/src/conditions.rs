@@ -92,6 +92,14 @@ impl SectorPartition {
     pub fn is_satisfied(&self, coverage: &PointCoverage) -> bool {
         self.is_satisfied_by(&coverage.viewed_directions, coverage.has_colocated_camera)
     }
+
+    /// Evaluates the partition against a borrowed analysis — the form the
+    /// tile-engine sweeps hand to their callbacks (see
+    /// [`sweep_grid`](crate::sweep_grid)).
+    #[must_use]
+    pub fn is_satisfied_view(&self, view: &crate::fullview::CoverageView<'_>) -> bool {
+        self.is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
+    }
 }
 
 /// The common §III/§IV construction: `⌊2π/w⌋` sectors of width `w` swept
@@ -127,8 +135,9 @@ pub fn meets_necessary_condition(
     theta: EffectiveAngle,
     start_line: Angle,
 ) -> bool {
-    let coverage = crate::fullview::analyze_point(net, point);
-    SectorPartition::necessary(theta, start_line).is_satisfied(&coverage)
+    let mut analyzer = crate::fullview::PointAnalyzer::new();
+    let view = analyzer.analyze_point_into(net, point);
+    SectorPartition::necessary(theta, start_line).is_satisfied_view(&view)
 }
 
 /// Whether `point` meets the §IV **sufficient** condition of full-view
@@ -144,8 +153,9 @@ pub fn meets_sufficient_condition(
     theta: EffectiveAngle,
     start_line: Angle,
 ) -> bool {
-    let coverage = crate::fullview::analyze_point(net, point);
-    SectorPartition::sufficient(theta, start_line).is_satisfied(&coverage)
+    let mut analyzer = crate::fullview::PointAnalyzer::new();
+    let view = analyzer.analyze_point_into(net, point);
+    SectorPartition::sufficient(theta, start_line).is_satisfied_view(&view)
 }
 
 /// Minimum number of cameras full-view coverage demands: `⌈π/θ⌉`

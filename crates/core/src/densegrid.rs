@@ -9,10 +9,11 @@
 //! per grid point.
 
 use crate::conditions::SectorPartition;
+use crate::engine::{use_tiled, GridTiling};
 use crate::fullview::PointAnalyzer;
 use crate::theta::EffectiveAngle;
-use fullview_geom::{Angle, Torus, UnitGrid};
-use fullview_model::CameraNetwork;
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
+use fullview_model::{CameraNetwork, CoverageProvider, TileCursor};
 use std::fmt;
 use std::ops::{AddAssign, Range};
 
@@ -212,8 +213,45 @@ impl GridEvaluator {
         }
     }
 
+    /// Analyses one point through `provider` and folds every predicate
+    /// into `report` — the single tally shared by the per-point and tiled
+    /// evaluation paths, which is what makes their reports bit-identical.
+    fn tally<P: CoverageProvider>(
+        &mut self,
+        provider: &P,
+        point: Point,
+        report: &mut GridCoverageReport,
+    ) {
+        let view = self.analyzer.analyze_point_with(provider, point);
+        report.total_points += 1;
+        if view.covering_cameras >= 1 {
+            report.covered += 1;
+        }
+        if view.covering_cameras >= self.k {
+            report.k_covered += 1;
+        }
+        if self
+            .necessary
+            .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
+        {
+            report.necessary += 1;
+        }
+        if view.is_full_view(self.theta) {
+            report.full_view += 1;
+        }
+        if self
+            .sufficient
+            .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
+        {
+            report.sufficient += 1;
+        }
+    }
+
     /// Evaluates every predicate at the grid points with indices in
-    /// `range`, returning the partial tallies.
+    /// `range`, returning the partial tallies. This is the legacy
+    /// per-point path (one spatial-index walk per point); the tile engine
+    /// ([`evaluate_tiles`](Self::evaluate_tiles)) produces bit-identical
+    /// reports and is faster when grid points share index cells.
     ///
     /// # Panics
     ///
@@ -231,39 +269,76 @@ impl GridEvaluator {
             range.end,
             grid.len()
         );
-        let mut report = GridCoverageReport {
-            total_points: range.len(),
-            ..GridCoverageReport::default()
-        };
+        let mut report = GridCoverageReport::default();
         for idx in range {
-            let view = self.analyzer.analyze_point_into(net, grid.point(idx));
-            if view.covering_cameras >= 1 {
-                report.covered += 1;
-            }
-            if view.covering_cameras >= self.k {
-                report.k_covered += 1;
-            }
-            if self
-                .necessary
-                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
-            {
-                report.necessary += 1;
-            }
-            if view.is_full_view(self.theta) {
-                report.full_view += 1;
-            }
-            if self
-                .sufficient
-                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
-            {
-                report.sufficient += 1;
-            }
+            self.tally(net, grid.point(idx), &mut report);
         }
         report
     }
+
+    /// Evaluates every predicate over the grid points of the tiles with
+    /// ids in `tiles`, pinning each tile's candidate cameras once through
+    /// `cursor` — the batch path of the tile engine.
+    ///
+    /// Reports over disjoint tile ranges merge to exactly the full-grid
+    /// report (tiles partition the grid), and the result is bit-identical
+    /// to [`evaluate_range`](Self::evaluate_range) over the same points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles.end > tiling.tile_count()` or if the tiling does
+    /// not match `grid`.
+    #[must_use]
+    pub fn evaluate_tiles(
+        &mut self,
+        cursor: &mut TileCursor<'_>,
+        tiling: &GridTiling,
+        grid: &UnitGrid,
+        tiles: Range<usize>,
+    ) -> GridCoverageReport {
+        assert!(
+            tiles.end <= tiling.tile_count(),
+            "tile range end {} exceeds tile count {}",
+            tiles.end,
+            tiling.tile_count()
+        );
+        assert_eq!(
+            tiling.grid_len(),
+            grid.len(),
+            "tiling does not match the grid"
+        );
+        let mut report = GridCoverageReport::default();
+        for t in tiles {
+            if tiling.tile_point_count(t) == 0 {
+                continue;
+            }
+            let (cx, cy) = tiling.tile_cell(t);
+            cursor.pin(cx, cy);
+            tiling.for_each_point_in_tile(t, |idx| {
+                self.tally(&*cursor, grid.point(idx), &mut report);
+            });
+        }
+        report
+    }
+
+    /// Evaluates the whole grid, automatically choosing the tiled path
+    /// when it is profitable ([`use_tiled`]) and the per-point path
+    /// otherwise. Both produce bit-identical reports.
+    #[must_use]
+    pub fn evaluate_grid(&mut self, net: &CameraNetwork, grid: &UnitGrid) -> GridCoverageReport {
+        if use_tiled(net, grid) {
+            let tiling = GridTiling::new(net.index(), grid);
+            let mut cursor = net.tile_cursor();
+            self.evaluate_tiles(&mut cursor, &tiling, grid, 0..tiling.tile_count())
+        } else {
+            self.evaluate_range(net, grid, 0..grid.len())
+        }
+    }
 }
 
-/// Sweeps `grid`, evaluating every coverage predicate at each point.
+/// Sweeps `grid`, evaluating every coverage predicate at each point
+/// (tile-coherent traversal when profitable; see
+/// [`GridEvaluator::evaluate_grid`]).
 ///
 /// The sector conditions use `start_line` for their constructions
 /// (the paper's dashed radius; [`Angle::ZERO`] is the conventional
@@ -275,7 +350,7 @@ pub fn evaluate_grid(
     grid: &UnitGrid,
     start_line: Angle,
 ) -> GridCoverageReport {
-    GridEvaluator::new(theta, start_line).evaluate_range(net, grid, 0..grid.len())
+    GridEvaluator::new(theta, start_line).evaluate_grid(net, grid)
 }
 
 /// Convenience wrapper: evaluates the paper's dense grid
@@ -459,6 +534,78 @@ mod tests {
             }
             assert_eq!(merged, serial, "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn tiled_evaluation_is_bit_identical_to_per_point() {
+        let torus = Torus::unit();
+        let mut cams = Vec::new();
+        for i in 0..120 {
+            let x = (i as f64 * 0.618_033_98) % 1.0;
+            let y = (i as f64 * 0.414_213_56) % 1.0;
+            // Heterogeneous mix: per-camera radii exercise the cursor's
+            // tighter prefilter.
+            let spec = SensorSpec::new(
+                0.05 + 0.07 * ((i % 4) as f64 / 4.0),
+                PI / (1 + i % 3) as f64,
+            )
+            .unwrap();
+            cams.push(Camera::new(
+                Point::new(x, y),
+                Angle::new((i as f64 * 2.399_963) % (2.0 * PI)),
+                spec,
+                GroupId(i % 4),
+            ));
+        }
+        let net = CameraNetwork::new(torus, cams);
+        let th = theta(PI / 3.0);
+        for side in [1usize, 9, 24] {
+            let grid = UnitGrid::new(torus, side);
+            let per_point =
+                GridEvaluator::new(th, Angle::ZERO).evaluate_range(&net, &grid, 0..grid.len());
+            let tiling = GridTiling::new(net.index(), &grid);
+            let mut cursor = net.tile_cursor();
+            let mut ev = GridEvaluator::new(th, Angle::ZERO);
+            let whole = ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiling.tile_count());
+            assert_eq!(whole, per_point, "side={side}");
+            // Chunked tile ranges merge to the same report.
+            for chunk in [1usize, 5, 37] {
+                let mut merged = GridCoverageReport::default();
+                let mut lo = 0;
+                while lo < tiling.tile_count() {
+                    let hi = (lo + chunk).min(tiling.tile_count());
+                    merged += ev.evaluate_tiles(&mut cursor, &tiling, &grid, lo..hi);
+                    lo = hi;
+                }
+                assert_eq!(merged, per_point, "side={side} chunk={chunk}");
+            }
+            // And the auto path agrees too.
+            let auto = GridEvaluator::new(th, Angle::ZERO).evaluate_grid(&net, &grid);
+            assert_eq!(auto, per_point, "side={side} auto");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tile count")]
+    fn evaluate_tiles_rejects_out_of_bounds() {
+        let net = CameraNetwork::new(
+            Torus::unit(),
+            vec![Camera::new(
+                Point::new(0.5, 0.5),
+                Angle::ZERO,
+                SensorSpec::new(0.2, PI).unwrap(),
+                GroupId(0),
+            )],
+        );
+        let grid = UnitGrid::new(Torus::unit(), 3);
+        let tiling = GridTiling::new(net.index(), &grid);
+        let mut cursor = net.tile_cursor();
+        let _ = GridEvaluator::new(theta(PI / 2.0), Angle::ZERO).evaluate_tiles(
+            &mut cursor,
+            &tiling,
+            &grid,
+            0..tiling.tile_count() + 1,
+        );
     }
 
     #[test]

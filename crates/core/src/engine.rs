@@ -1,0 +1,373 @@
+//! The cell-coherent tile evaluation engine: one batch query path from the
+//! spatial index to every dense-grid sweep consumer.
+//!
+//! Every coverage experiment in this repository reduces to "evaluate some
+//! predicate at each point of a [`UnitGrid`]". The naive loop asks the
+//! [`SpatialGrid`] for candidates once *per point*, re-walking the same
+//! 3×3 bucket neighbourhood for every grid point in a cell. The engine
+//! instead traverses the grid *tile by tile* (one spatial-index cell's
+//! worth of grid points), pins the cell's candidate cameras once through a
+//! [`TileCursor`](fullview_model::TileCursor), and answers each point's
+//! query with only the exact distance/sector filter over a contiguous
+//! candidate snapshot.
+//!
+//! Invariants the engine maintains (and the differential tests assert):
+//!
+//! * **Exact partition** — [`GridTiling`] assigns every grid index to
+//!   exactly one tile, so tile-order tallies merge to precisely the
+//!   row-major result (all report fields are order-independent integer
+//!   sums).
+//! * **Backend equivalence** — the tile path and the per-point path
+//!   enumerate the same covering-camera set for every point; differing
+//!   candidate order is erased by the analyzer's direction sort, so
+//!   analyses are bit-identical.
+//! * **Adaptive traversal** — tiles only pay off when several grid points
+//!   share a cell. [`use_tiled`] falls back to the per-point path when the
+//!   index has more cells than the grid has points (e.g. an empty network,
+//!   whose index floors at 256×256 cells).
+
+use crate::fullview::{CoverageView, PointAnalyzer};
+use fullview_geom::{Point, SpatialGrid, UnitGrid};
+use fullview_model::{Camera, CameraNetwork, CoverageProvider, TileCursor};
+
+/// Maps a [`UnitGrid`] onto the cells of a [`SpatialGrid`]: every grid
+/// point belongs to exactly one tile (the index cell containing it), and
+/// each tile's points form a contiguous block of grid columns × rows.
+///
+/// Grid coordinates are monotone in the point index along each axis, and
+/// the cell-of-coordinate map is monotone too, so the columns (rows)
+/// owned by an index cell form a contiguous run; the tiling stores just
+/// the `cells + 1` run boundaries (shared by both axes — cells and grid
+/// are square over the same torus).
+#[derive(Debug, Clone)]
+pub struct GridTiling {
+    /// Index cells per axis.
+    cells: usize,
+    /// Grid points per axis.
+    grid_side: usize,
+    /// `starts[c]..starts[c + 1]` is the run of grid columns (and rows)
+    /// whose coordinate falls in cell column (row) `c`.
+    starts: Vec<usize>,
+}
+
+impl GridTiling {
+    /// Builds the tiling of `grid` by the cells of `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid and index cover tori of different side lengths.
+    #[must_use]
+    pub fn new(index: &SpatialGrid, grid: &UnitGrid) -> Self {
+        let cells = index.cells_per_axis();
+        let k = grid.side_count();
+        let grid_span = grid.spacing() * k as f64;
+        assert!(
+            (grid_span - index.torus().side()).abs() <= 1e-9 * index.torus().side().max(1.0),
+            "grid (side {grid_span}) and spatial index (side {}) cover different tori",
+            index.torus().side()
+        );
+        let mut starts = vec![0usize; cells + 1];
+        let mut prev = 0usize;
+        for i in 0..k {
+            // Column i's x-coordinate (row 0 works: x only depends on i).
+            let x = grid.point(i).x;
+            let (c, _) = index.cell_of(Point::new(x, x));
+            debug_assert!(c >= prev, "cell-of-coordinate must be monotone");
+            for boundary in &mut starts[prev + 1..=c] {
+                *boundary = i;
+            }
+            prev = c;
+        }
+        for boundary in &mut starts[prev + 1..=cells] {
+            *boundary = k;
+        }
+        GridTiling {
+            cells,
+            grid_side: k,
+            starts,
+        }
+    }
+
+    /// Total number of tiles (index cells), including empty ones.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.cells * self.cells
+    }
+
+    /// The index cell `(cx, cy)` of tile `t` (row-major tile ids).
+    #[must_use]
+    pub fn tile_cell(&self, t: usize) -> (usize, usize) {
+        (t % self.cells, t / self.cells)
+    }
+
+    /// Number of grid points inside tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    #[must_use]
+    pub fn tile_point_count(&self, t: usize) -> usize {
+        let (cx, cy) = self.tile_cell(t);
+        let cols = self.starts[cx + 1] - self.starts[cx];
+        let rows = self.starts[cy + 1] - self.starts[cy];
+        cols * rows
+    }
+
+    /// Calls `f` with the row-major grid index of every point inside tile
+    /// `t`, in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    pub fn for_each_point_in_tile<F: FnMut(usize)>(&self, t: usize, mut f: F) {
+        let (cx, cy) = self.tile_cell(t);
+        for j in self.starts[cy]..self.starts[cy + 1] {
+            let base = j * self.grid_side;
+            for i in self.starts[cx]..self.starts[cx + 1] {
+                f(base + i);
+            }
+        }
+    }
+
+    /// Total number of grid points across all tiles (`grid.len()`).
+    #[must_use]
+    pub fn grid_len(&self) -> usize {
+        self.grid_side * self.grid_side
+    }
+}
+
+/// Whether the tile path is profitable for this network/grid pair: tiles
+/// amortise the bucket walk only when grid points outnumber index cells
+/// (at least one point per tile on average). A tiny-radius or empty
+/// network floors the index at 256×256 cells, where per-tile pinning
+/// would dwarf a small sweep.
+#[must_use]
+pub fn use_tiled(net: &CameraNetwork, grid: &UnitGrid) -> bool {
+    let cells = net.index().cells_per_axis();
+    cells * cells <= grid.len()
+}
+
+/// A borrowed coverage-query backend handed to sweep callbacks: either the
+/// whole network (per-point spatial walk) or a tile cursor pinned to the
+/// cell containing the current point. Implements [`CoverageProvider`], so
+/// callbacks stay backend-agnostic.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageQuery<'a> {
+    inner: QueryInner<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueryInner<'a> {
+    Whole(&'a CameraNetwork),
+    Tile(&'a TileCursor<'a>),
+}
+
+impl<'a> CoverageQuery<'a> {
+    /// Wraps the whole-network backend.
+    #[must_use]
+    pub fn whole(net: &'a CameraNetwork) -> Self {
+        CoverageQuery {
+            inner: QueryInner::Whole(net),
+        }
+    }
+
+    /// Wraps a pinned tile cursor.
+    #[must_use]
+    pub fn tile(cursor: &'a TileCursor<'a>) -> Self {
+        CoverageQuery {
+            inner: QueryInner::Tile(cursor),
+        }
+    }
+}
+
+impl CoverageProvider for CoverageQuery<'_> {
+    fn torus(&self) -> &fullview_geom::Torus {
+        match self.inner {
+            QueryInner::Whole(net) => net.torus(),
+            QueryInner::Tile(cursor) => cursor.network().torus(),
+        }
+    }
+
+    fn for_each_covering<F: FnMut(&Camera)>(&self, target: Point, f: F) {
+        match self.inner {
+            QueryInner::Whole(net) => net.for_each_covering(target, f),
+            QueryInner::Tile(cursor) => cursor.for_each_covering(target, f),
+        }
+    }
+}
+
+/// Visits every grid point with a ready-to-use coverage backend, choosing
+/// the tile path when [`use_tiled`] says it pays off.
+///
+/// The callback receives `(query, index, point)`; tile traversal visits
+/// points in tile order (still deterministic, but not row-major), so
+/// callbacks must key results by `index` rather than call order.
+pub fn for_each_grid_point<F>(net: &CameraNetwork, grid: &UnitGrid, mut f: F)
+where
+    F: FnMut(&CoverageQuery<'_>, usize, Point),
+{
+    if use_tiled(net, grid) {
+        let tiling = GridTiling::new(net.index(), grid);
+        let mut cursor = net.tile_cursor();
+        for t in 0..tiling.tile_count() {
+            if tiling.tile_point_count(t) == 0 {
+                continue;
+            }
+            let (cx, cy) = tiling.tile_cell(t);
+            cursor.pin(cx, cy);
+            let query = CoverageQuery::tile(&cursor);
+            tiling.for_each_point_in_tile(t, |idx| f(&query, idx, grid.point(idx)));
+        }
+    } else {
+        let query = CoverageQuery::whole(net);
+        for idx in 0..grid.len() {
+            f(&query, idx, grid.point(idx));
+        }
+    }
+}
+
+/// Sweeps the grid with a shared [`PointAnalyzer`], handing each point's
+/// [`CoverageView`] to the callback — the one-stop entry point for
+/// consumers that need the full per-point analysis (full-view predicates,
+/// gap statistics, multiplicities).
+///
+/// Allocation-free once the analyzer and cursor buffers are warm; visits
+/// points in tile order (key results by the `usize` grid index).
+pub fn sweep_grid<F>(net: &CameraNetwork, grid: &UnitGrid, mut f: F)
+where
+    F: FnMut(usize, Point, &CoverageView<'_>),
+{
+    let mut analyzer = PointAnalyzer::new();
+    for_each_grid_point(net, grid, |query, idx, point| {
+        let view = analyzer.analyze_point_with(query, point);
+        f(idx, point, &view);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullview::analyze_point;
+    use fullview_geom::{Angle, Torus};
+    use fullview_model::{GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn pseudo_random_net(n: usize, r_base: f64) -> CameraNetwork {
+        let mut cams = Vec::new();
+        for i in 0..n {
+            let x = (i as f64 * 0.618_033_98) % 1.0;
+            let y = (i as f64 * 0.414_213_56) % 1.0;
+            let facing = (i as f64 * 2.399_963) % (2.0 * PI);
+            let r = r_base * (1.0 + (i % 5) as f64 / 5.0);
+            let phi = PI / 4.0 + PI / 2.0 * ((i % 3) as f64 / 3.0);
+            cams.push(Camera::new(
+                Point::new(x, y),
+                Angle::new(facing),
+                SensorSpec::new(r, phi).unwrap(),
+                GroupId(i % 3),
+            ));
+        }
+        CameraNetwork::new(Torus::unit(), cams)
+    }
+
+    #[test]
+    fn tiling_partitions_the_grid_exactly() {
+        let net = pseudo_random_net(80, 0.08);
+        for side in [1usize, 7, 13, 40] {
+            let grid = UnitGrid::new(Torus::unit(), side);
+            let tiling = GridTiling::new(net.index(), &grid);
+            assert_eq!(tiling.grid_len(), grid.len());
+            let mut seen = vec![0u32; grid.len()];
+            let mut total = 0usize;
+            for t in 0..tiling.tile_count() {
+                let mut in_tile = 0;
+                let (cx, cy) = tiling.tile_cell(t);
+                tiling.for_each_point_in_tile(t, |idx| {
+                    seen[idx] += 1;
+                    in_tile += 1;
+                    // Every point must actually live in the tile's cell.
+                    assert_eq!(
+                        net.index().cell_of(grid.point(idx)),
+                        (cx, cy),
+                        "grid point {idx} assigned to wrong tile"
+                    );
+                });
+                assert_eq!(in_tile, tiling.tile_point_count(t));
+                total += in_tile;
+            }
+            assert_eq!(total, grid.len(), "side={side}");
+            assert!(seen.iter().all(|&c| c == 1), "side={side}: not a partition");
+        }
+    }
+
+    #[test]
+    fn sweep_grid_matches_per_point_analysis() {
+        let net = pseudo_random_net(120, 0.07);
+        let grid = UnitGrid::new(Torus::unit(), 25);
+        assert!(use_tiled(&net, &grid), "test intends to exercise tiles");
+        let mut visited = vec![false; grid.len()];
+        sweep_grid(&net, &grid, |idx, point, view| {
+            assert!(!visited[idx]);
+            visited[idx] = true;
+            let owned = analyze_point(&net, point);
+            assert_eq!(view.to_owned(), owned, "idx {idx}");
+        });
+        assert!(visited.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn per_point_fallback_when_cells_outnumber_grid() {
+        // Empty network: index floors at 256×256 cells, far more than the
+        // grid's 64 points — the engine must fall back to per-point mode
+        // (and still visit everything).
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 8);
+        assert!(!use_tiled(&net, &grid));
+        let mut count = 0;
+        sweep_grid(&net, &grid, |_, _, view| {
+            assert_eq!(view.covering_cameras, 0);
+            count += 1;
+        });
+        assert_eq!(count, grid.len());
+    }
+
+    #[test]
+    fn coverage_query_backends_agree() {
+        let net = pseudo_random_net(60, 0.09);
+        let grid = UnitGrid::new(Torus::unit(), 20);
+        for_each_grid_point(&net, &grid, |query, _, point| {
+            assert_eq!(query.coverage_count(point), net.coverage_count(point));
+        });
+    }
+
+    #[test]
+    fn single_camera_and_giant_radius_degenerate_cases() {
+        // n = 1.
+        let one = CameraNetwork::new(
+            Torus::unit(),
+            vec![Camera::new(
+                Point::new(0.5, 0.5),
+                Angle::ZERO,
+                SensorSpec::new(0.2, PI).unwrap(),
+                GroupId(0),
+            )],
+        );
+        let grid = UnitGrid::new(Torus::unit(), 12);
+        sweep_grid(&one, &grid, |_, point, view| {
+            assert_eq!(view.to_owned(), analyze_point(&one, point));
+        });
+        // Radius beyond the torus side: full-scan candidates everywhere.
+        let giant = CameraNetwork::new(
+            Torus::unit(),
+            vec![Camera::new(
+                Point::new(0.3, 0.3),
+                Angle::ZERO,
+                SensorSpec::new(1.5, PI).unwrap(),
+                GroupId(0),
+            )],
+        );
+        sweep_grid(&giant, &grid, |_, point, view| {
+            assert_eq!(view.to_owned(), analyze_point(&giant, point));
+        });
+    }
+}

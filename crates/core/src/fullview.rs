@@ -17,7 +17,7 @@
 
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, Arc, ArcSet, Point, ANGLE_EPS};
-use fullview_model::CameraNetwork;
+use fullview_model::{CameraNetwork, CoverageProvider};
 use std::f64::consts::TAU;
 
 /// Result of analysing the full-view coverage of a single point.
@@ -125,13 +125,22 @@ impl CoverageView<'_> {
 
 /// Gathers the covering cameras of `point` into `dirs` (cleared first,
 /// sorted on return) and returns `(covering_cameras, has_colocated)`.
-fn gather_directions(net: &CameraNetwork, point: Point, dirs: &mut Vec<Angle>) -> (usize, bool) {
+///
+/// Generic over the query backend — the whole-network spatial walk or a
+/// pinned [`TileCursor`](fullview_model::TileCursor) — so both produce
+/// identical analyses: candidate enumeration order is erased by the sort.
+fn gather_directions<P: CoverageProvider>(
+    provider: &P,
+    point: Point,
+    dirs: &mut Vec<Angle>,
+) -> (usize, bool) {
     dirs.clear();
     let mut covering = 0usize;
     let mut colocated = false;
-    net.for_each_covering(point, |cam| {
+    let torus = provider.torus();
+    provider.for_each_covering(point, |cam| {
         covering += 1;
-        match cam.viewed_direction(net.torus(), point) {
+        match cam.viewed_direction(torus, point) {
             Some(d) => dirs.push(d),
             None => colocated = true,
         }
@@ -213,7 +222,22 @@ impl PointAnalyzer {
     /// buffer has grown to the local camera density.
     #[must_use]
     pub fn analyze_point_into(&mut self, net: &CameraNetwork, point: Point) -> CoverageView<'_> {
-        let (covering, colocated) = gather_directions(net, point, &mut self.dirs);
+        self.analyze_point_with(net, point)
+    }
+
+    /// [`analyze_point_into`](Self::analyze_point_into) generalized over
+    /// the query backend: accepts anything implementing
+    /// [`CoverageProvider`] — the whole network, or a
+    /// [`TileCursor`](fullview_model::TileCursor) pinned to the tile
+    /// containing `point`. This is the single analysis path of the tile
+    /// evaluation engine; both backends yield bit-identical views.
+    #[must_use]
+    pub fn analyze_point_with<P: CoverageProvider>(
+        &mut self,
+        provider: &P,
+        point: Point,
+    ) -> CoverageView<'_> {
+        let (covering, colocated) = gather_directions(provider, point, &mut self.dirs);
         let largest_gap = largest_circular_gap(&self.dirs);
         CoverageView {
             covering_cameras: covering,
@@ -228,7 +252,7 @@ impl PointAnalyzer {
 /// slice (by radians). Returns `2π` for an empty or singleton-free slice
 /// (zero angles); a single angle also yields `2π` minus nothing — the gap
 /// wraps all the way around, which is `2π`.
-fn largest_circular_gap(sorted: &[Angle]) -> f64 {
+pub(crate) fn largest_circular_gap(sorted: &[Angle]) -> f64 {
     match sorted.len() {
         0 => TAU,
         1 => TAU,

@@ -7,7 +7,7 @@
 //! covered cells, and reports the connected components of the remainder
 //! (4-connected, with torus wrap on both axes).
 
-use crate::fullview::is_full_view_covered;
+use crate::engine::sweep_grid;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Point, UnitGrid};
 use fullview_model::CameraNetwork;
@@ -84,9 +84,12 @@ pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) 
     assert!(grid_side > 0, "grid side must be positive");
     let grid = UnitGrid::new(*net.torus(), grid_side);
     let k = grid_side;
-    let covered: Vec<bool> = (0..grid.len())
-        .map(|i| is_full_view_covered(net, grid.point(i), theta))
-        .collect();
+    // Tile-coherent sweep through the shared engine (visits points in
+    // tile order, hence indexed writes instead of a collect).
+    let mut covered = vec![false; grid.len()];
+    sweep_grid(net, &grid, |idx, _, view| {
+        covered[idx] = view.is_full_view(theta);
+    });
     let covered_count = covered.iter().filter(|c| **c).count();
 
     let cell_area = net.torus().area() / (k * k) as f64;

@@ -7,9 +7,10 @@
 //! leaving the far side unwatchable. The `kcov` experiment searches for
 //! exactly such counterexamples.
 
+use crate::engine::for_each_grid_point;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Point, UnitGrid};
-use fullview_model::CameraNetwork;
+use fullview_model::{CameraNetwork, CoverageProvider};
 
 /// Whether at least `k` cameras cover `point`.
 ///
@@ -36,10 +37,14 @@ pub fn implied_k(theta: EffectiveAngle) -> usize {
 /// which the whole grid is `k`-covered.
 #[must_use]
 pub fn min_coverage_over_grid(net: &CameraNetwork, grid: &UnitGrid) -> usize {
-    grid.iter()
-        .map(|p| net.coverage_count(p))
-        .min()
-        .unwrap_or(0)
+    if grid.is_empty() {
+        return 0;
+    }
+    let mut min = usize::MAX;
+    for_each_grid_point(net, grid, |query, _, point| {
+        min = min.min(query.coverage_count(point));
+    });
+    min
 }
 
 /// Fraction of grid points that are `k`-covered.
@@ -48,7 +53,12 @@ pub fn k_covered_fraction(net: &CameraNetwork, grid: &UnitGrid, k: usize) -> f64
     if grid.is_empty() {
         return 0.0;
     }
-    let hit = grid.iter().filter(|p| is_k_covered(net, *p, k)).count();
+    let mut hit = 0usize;
+    for_each_grid_point(net, grid, |query, _, point| {
+        if query.coverage_count(point) >= k {
+            hit += 1;
+        }
+    });
     hit as f64 / grid.len() as f64
 }
 

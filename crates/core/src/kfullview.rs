@@ -12,9 +12,10 @@
 //! circle is computed by a circular sweep over arc endpoints; the point
 //! is k-full-view covered iff that minimum is at least `k`.
 
+use crate::engine::sweep_grid;
 use crate::fullview::analyze_point;
 use crate::theta::EffectiveAngle;
-use fullview_geom::{Angle, Point, ANGLE_EPS};
+use fullview_geom::{Angle, Point, UnitGrid, ANGLE_EPS};
 use fullview_model::CameraNetwork;
 use std::f64::consts::TAU;
 
@@ -30,6 +31,25 @@ pub fn view_multiplicity(net: &CameraNetwork, point: Point, theta: EffectiveAngl
     let coverage = analyze_point(net, point);
     let colocated_bonus = usize::from(coverage.has_colocated_camera);
     min_arc_depth(&coverage.viewed_directions, theta.radians()) + colocated_bonus
+}
+
+/// Calls `f(index, multiplicity)` with the view multiplicity of every
+/// point of `grid` — the batch counterpart of [`view_multiplicity`],
+/// sweeping tile-coherently through the shared evaluation engine (points
+/// arrive in tile order; key results by `index`).
+pub fn for_each_view_multiplicity<F: FnMut(usize, usize)>(
+    net: &CameraNetwork,
+    grid: &UnitGrid,
+    theta: EffectiveAngle,
+    mut f: F,
+) {
+    sweep_grid(net, grid, |idx, _, view| {
+        let colocated_bonus = usize::from(view.has_colocated_camera);
+        f(
+            idx,
+            min_arc_depth(view.viewed_directions, theta.radians()) + colocated_bonus,
+        );
+    });
 }
 
 /// Whether every facing direction of `point` is watched by at least `k`

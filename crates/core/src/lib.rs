@@ -56,6 +56,7 @@ mod csa;
 mod densegrid;
 mod dependence;
 mod design;
+mod engine;
 mod error;
 mod exact;
 mod fullview;
@@ -89,6 +90,7 @@ pub use dependence::{
 pub use design::{
     max_cameras_below_necessary, min_cameras_for_guarantee, required_area_for_expected_fraction,
 };
+pub use engine::{for_each_grid_point, sweep_grid, use_tiled, CoverageQuery, GridTiling};
 pub use error::CoreError;
 pub use exact::{
     covering_count_pmf_poisson, covering_count_pmf_uniform, prob_point_full_view_poisson,
@@ -101,7 +103,8 @@ pub use fullview::{
 pub use holes::{find_holes, Hole, HoleReport};
 pub use kcov::{implied_k, is_k_covered, k_covered_fraction, min_coverage_over_grid};
 pub use kfullview::{
-    is_k_full_view_covered, prob_point_meets_necessary_k_poisson, view_multiplicity,
+    for_each_view_multiplicity, is_k_full_view_covered, prob_point_meets_necessary_k_poisson,
+    view_multiplicity,
 };
 pub use path::{evaluate_path, ExposedStretch, Path, PathCoverageReport};
 pub use poisson_theory::{
@@ -109,7 +112,8 @@ pub use poisson_theory::{
     q_closed_form, q_series, Condition,
 };
 pub use probabilistic::{
-    confident_point_coverage, is_full_view_covered_with_confidence, ProbabilisticModel,
+    confident_covered_fraction, confident_point_coverage, confident_point_coverage_with,
+    is_full_view_covered_with_confidence, ProbabilisticModel,
 };
 pub use temporal::{always_full_view, eventually_full_view, fraction_of_time_full_view};
 pub use theta::EffectiveAngle;

@@ -11,12 +11,12 @@
 //! effective angle, by a camera whose detection probability at the target
 //! is at least `γ`.
 
+use crate::engine::for_each_grid_point;
 use crate::error::CoreError;
-use crate::fullview::PointCoverage;
+use crate::fullview::{largest_circular_gap, PointCoverage};
 use crate::theta::EffectiveAngle;
-use fullview_geom::{Angle, Point, ANGLE_EPS};
-use fullview_model::{Camera, CameraNetwork};
-use std::f64::consts::TAU;
+use fullview_geom::{Angle, Point, Torus, UnitGrid, ANGLE_EPS};
+use fullview_model::{Camera, CameraNetwork, CoverageProvider};
 
 /// An exponential-decay probabilistic sensing model layered over the
 /// binary sector geometry.
@@ -81,11 +81,19 @@ impl ProbabilisticModel {
         camera: &Camera,
         target: Point,
     ) -> f64 {
-        if !camera.covers(net.torus(), target) {
+        self.detection_probability_on(net.torus(), camera, target)
+    }
+
+    /// [`detection_probability`](Self::detection_probability) with an
+    /// explicit torus — the form the backend-generic sweeps use (a tile
+    /// cursor is not a network, but shares its torus).
+    #[must_use]
+    pub fn detection_probability_on(&self, torus: &Torus, camera: &Camera, target: Point) -> f64 {
+        if !camera.covers(torus, target) {
             return 0.0;
         }
         let r = camera.spec().radius();
-        let d = net.torus().distance(camera.position(), target);
+        let d = torus.distance(camera.position(), target);
         let inner = self.inner_fraction * r;
         if d <= inner {
             1.0
@@ -129,35 +137,26 @@ pub fn confident_point_coverage(
     model: &ProbabilisticModel,
     gamma: f64,
 ) -> Result<PointCoverage, CoreError> {
-    if !(0.0..=1.0).contains(&gamma) || !gamma.is_finite() {
-        return Err(CoreError::InvalidProbability {
-            name: "gamma",
-            value: gamma,
-        });
-    }
+    confident_point_coverage_with(net, point, model, gamma)
+}
+
+/// [`confident_point_coverage`] generalized over the query backend (the
+/// whole network or a pinned tile cursor) — the probabilistic sweep's
+/// entry into the shared tile evaluation engine.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] if `gamma ∉ [0, 1]`.
+pub fn confident_point_coverage_with<P: CoverageProvider>(
+    provider: &P,
+    point: Point,
+    model: &ProbabilisticModel,
+    gamma: f64,
+) -> Result<PointCoverage, CoreError> {
+    validate_gamma(gamma)?;
     let mut dirs: Vec<Angle> = Vec::new();
-    let mut covering = 0usize;
-    let mut colocated = false;
-    net.for_each_covering(point, |cam| {
-        if model.detection_probability(net, cam, point) + ANGLE_EPS < gamma {
-            return;
-        }
-        covering += 1;
-        match cam.viewed_direction(net.torus(), point) {
-            Some(d) => dirs.push(d),
-            None => colocated = true,
-        }
-    });
-    dirs.sort_by(Angle::cmp_by_radians);
-    let largest_gap = if dirs.len() < 2 {
-        TAU
-    } else {
-        let mut max_gap = dirs[0].radians() + TAU - dirs[dirs.len() - 1].radians();
-        for w in dirs.windows(2) {
-            max_gap = max_gap.max(w[1].radians() - w[0].radians());
-        }
-        max_gap
-    };
+    let (covering, colocated) = gather_confident(provider, point, model, gamma, &mut dirs);
+    let largest_gap = largest_circular_gap(&dirs);
     Ok(PointCoverage {
         covering_cameras: covering,
         has_colocated_camera: colocated,
@@ -166,12 +165,84 @@ pub fn confident_point_coverage(
     })
 }
 
+fn validate_gamma(gamma: f64) -> Result<(), CoreError> {
+    if !(0.0..=1.0).contains(&gamma) || !gamma.is_finite() {
+        return Err(CoreError::InvalidProbability {
+            name: "gamma",
+            value: gamma,
+        });
+    }
+    Ok(())
+}
+
+/// Gathers the `γ`-confident covering cameras of `point` into `dirs`
+/// (cleared first, sorted on return) — the probabilistic analogue of the
+/// analyzer's direction gathering, shared by the one-shot and grid-sweep
+/// paths.
+fn gather_confident<P: CoverageProvider>(
+    provider: &P,
+    point: Point,
+    model: &ProbabilisticModel,
+    gamma: f64,
+    dirs: &mut Vec<Angle>,
+) -> (usize, bool) {
+    dirs.clear();
+    let mut covering = 0usize;
+    let mut colocated = false;
+    let torus = provider.torus();
+    provider.for_each_covering(point, |cam| {
+        if model.detection_probability_on(torus, cam, point) + ANGLE_EPS < gamma {
+            return;
+        }
+        covering += 1;
+        match cam.viewed_direction(torus, point) {
+            Some(d) => dirs.push(d),
+            None => colocated = true,
+        }
+    });
+    dirs.sort_unstable_by(Angle::cmp_by_radians);
+    (covering, colocated)
+}
+
+/// Fraction of `grid` points that are full-view covered with confidence
+/// `gamma` — the batch form of [`is_full_view_covered_with_confidence`],
+/// swept tile-coherently through the shared evaluation engine with one
+/// reused direction buffer (allocation-free once warm).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] if `gamma ∉ [0, 1]`.
+pub fn confident_covered_fraction(
+    net: &CameraNetwork,
+    grid: &UnitGrid,
+    theta: EffectiveAngle,
+    model: &ProbabilisticModel,
+    gamma: f64,
+) -> Result<f64, CoreError> {
+    validate_gamma(gamma)?;
+    let mut dirs: Vec<Angle> = Vec::new();
+    let mut hits = 0usize;
+    for_each_grid_point(net, grid, |query, _, point| {
+        let (covering, colocated) = gather_confident(query, point, model, gamma, &mut dirs);
+        let view = crate::fullview::CoverageView {
+            covering_cameras: covering,
+            has_colocated_camera: colocated,
+            viewed_directions: &dirs,
+            largest_gap: largest_circular_gap(&dirs),
+        };
+        if view.is_full_view(theta) {
+            hits += 1;
+        }
+    });
+    Ok(hits as f64 / grid.len() as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fullview_geom::Torus;
     use fullview_model::{GroupId, SensorSpec};
-    use std::f64::consts::PI;
+    use std::f64::consts::{PI, TAU};
 
     fn theta(t: f64) -> EffectiveAngle {
         EffectiveAngle::new(t).unwrap()
@@ -257,6 +328,50 @@ mod tests {
         let model = ProbabilisticModel::new(0.1, 10.0).unwrap();
         let cov = confident_point_coverage(&net, p, &model, 0.0).unwrap();
         assert_eq!(cov.covering_cameras, 6);
+    }
+
+    #[test]
+    fn confident_fraction_matches_per_point_sweep() {
+        // A few rings give a mix of covered, partially-covered, and
+        // uncovered grid points; the engine-backed batch sweep must agree
+        // exactly with the per-point legacy path.
+        let net = {
+            let torus = Torus::unit();
+            let spec = SensorSpec::new(0.22, PI).unwrap();
+            let mut cams = Vec::new();
+            for (cx, cy, count) in [(0.25, 0.25, 5), (0.7, 0.6, 3), (0.1, 0.85, 6)] {
+                let centre = Point::new(cx, cy);
+                for i in 0..count {
+                    let dir = Angle::new(i as f64 * TAU / count as f64 + 0.1);
+                    cams.push(Camera::new(
+                        torus.offset(centre, dir, 0.13),
+                        dir.opposite(),
+                        spec,
+                        GroupId(i % 2),
+                    ));
+                }
+            }
+            CameraNetwork::new(torus, cams)
+        };
+        let model = ProbabilisticModel::new(0.22, 4.0).unwrap();
+        let th = theta(PI / 2.0);
+        for side in [1usize, 7, 19] {
+            let grid = UnitGrid::new(Torus::unit(), side);
+            for gamma in [0.0, 0.4, 1.0] {
+                let batch = confident_covered_fraction(&net, &grid, th, &model, gamma).unwrap();
+                let per_point = grid
+                    .iter()
+                    .filter(|p| {
+                        is_full_view_covered_with_confidence(&net, *p, th, &model, gamma).unwrap()
+                    })
+                    .count() as f64
+                    / grid.len() as f64;
+                assert_eq!(batch, per_point, "side={side} gamma={gamma}");
+            }
+        }
+        // Invalid gamma is rejected before any sweep work.
+        let grid = UnitGrid::new(Torus::unit(), 4);
+        assert!(confident_covered_fraction(&net, &grid, th, &model, -0.1).is_err());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! budget sweeps upward, plus the Poisson analytic prediction for the
 //! k-necessary condition.
 
-use fullview_core::{csa_necessary, prob_point_meets_necessary_k_poisson, view_multiplicity};
+use fullview_core::{
+    csa_necessary, for_each_view_multiplicity, prob_point_meets_necessary_k_poisson,
+};
 use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::Torus;
 use fullview_geom::UnitGrid;
@@ -55,14 +57,14 @@ fn main() {
                     let net = uniform_network(&profile, n, seed);
                     let grid = UnitGrid::new(Torus::unit(), 24);
                     let mut counts = [0usize; 3];
-                    for p in grid.iter() {
-                        let m = view_multiplicity(&net, p, theta);
+                    // Tile-coherent batch sweep via the shared engine.
+                    for_each_view_multiplicity(&net, &grid, theta, |_, m| {
                         for (slot, &k) in counts.iter_mut().zip(&ks) {
                             if m >= k {
                                 *slot += 1;
                             }
                         }
-                    }
+                    });
                     counts.map(|c| c as f64 / grid.len() as f64)
                 },
             );

@@ -7,7 +7,7 @@
 //! interpolating between the binary model (`γ → 0`) and an inner-zone-only
 //! model (`γ → 1`).
 
-use fullview_core::{csa_sufficient, is_full_view_covered_with_confidence, ProbabilisticModel};
+use fullview_core::{confident_covered_fraction, csa_sufficient, ProbabilisticModel};
 use fullview_experiments::{banner, heterogeneous_profile, standard_theta, uniform_network, Args};
 use fullview_geom::UnitGrid;
 use fullview_sim::{linspace, run_trials_map, MeanEstimate, RunConfig, Table};
@@ -47,17 +47,9 @@ fn main() {
                     // Sample a sub-grid (the full dense grid × these sweeps
                     // would be needlessly slow; 30×30 is statistically ample).
                     let grid = UnitGrid::new(*net.torus(), 30);
-                    let mut hit = 0usize;
-                    let mut total = 0usize;
-                    for p in grid.iter() {
-                        total += 1;
-                        if is_full_view_covered_with_confidence(&net, p, theta, &model, gamma)
-                            .expect("gamma in range")
-                        {
-                            hit += 1;
-                        }
-                    }
-                    hit as f64 / total as f64
+                    // Tile-coherent batch sweep via the shared engine.
+                    confident_covered_fraction(&net, &grid, theta, &model, gamma)
+                        .expect("gamma in range")
                 },
             )
             .into_iter()

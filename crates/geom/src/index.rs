@@ -103,6 +103,14 @@ impl SpatialGrid {
     /// Indices of all points within torus distance `radius` of `center`
     /// (inclusive).
     ///
+    /// **Deprecation note:** this convenience helper allocates a fresh
+    /// `Vec` per call and is kept for tests and one-shot queries only.
+    /// Hot loops should use [`for_each_within`](Self::for_each_within) /
+    /// [`within_iter`](Self::within_iter) (allocation-free per-point
+    /// paths) or the tile API ([`tile_candidates`](Self::tile_candidates),
+    /// [`tiles`](Self::tiles)) that amortises the bucket walk across every
+    /// query point sharing a cell.
+    ///
     /// # Panics
     ///
     /// Panics if `radius` is negative or not finite.
@@ -121,29 +129,24 @@ impl SpatialGrid {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
-        let bounds = self.query_bounds(center, radius);
+        let (center, bounds) = self.query_bounds(center, radius);
         let r2 = radius * radius;
         if bounds.full_scan {
             for (i, p) in self.points.iter().enumerate() {
-                if self.torus.distance_squared(bounds.center, *p) <= r2 {
+                if self.torus.distance_squared(center, *p) <= r2 {
                     f(i);
                 }
             }
             return;
         }
-        let n = self.cells as isize;
-        for dy in bounds.dy_lo..=bounds.dy_hi {
-            let by = (bounds.cy as isize + dy).rem_euclid(n) as usize;
-            for dx in bounds.dx_lo..=bounds.dx_hi {
-                let bx = (bounds.cx as isize + dx).rem_euclid(n) as usize;
-                for &i in &self.buckets[by * self.cells + bx] {
-                    let p = self.points[i as usize];
-                    if self.torus.distance_squared(bounds.center, p) <= r2 {
-                        f(i as usize);
-                    }
+        self.for_each_window_bucket(&bounds, |bucket| {
+            for &i in bucket {
+                let p = self.points[i as usize];
+                if self.torus.distance_squared(center, p) <= r2 {
+                    f(i as usize);
                 }
             }
-        }
+        });
     }
 
     /// Lazily iterates over the indices of all points within torus
@@ -158,9 +161,10 @@ impl SpatialGrid {
     /// Panics if `radius` is negative or not finite.
     #[must_use]
     pub fn within_iter(&self, center: Point, radius: f64) -> WithinIter<'_> {
-        let bounds = self.query_bounds(center, radius);
+        let (center, bounds) = self.query_bounds(center, radius);
         WithinIter {
             grid: self,
+            center,
             r2: radius * radius,
             dx: bounds.dx_lo,
             dy: bounds.dy_lo,
@@ -179,7 +183,7 @@ impl SpatialGrid {
     /// right edge is within `radius` of the centre, i.e.
     /// `dx ≥ ⌈(fx − radius)/cell_len⌉ − 1` for in-cell offset `fx`, and
     /// symmetrically `dx ≤ ⌊(fx + radius)/cell_len⌋` on the right.
-    fn query_bounds(&self, center: Point, radius: f64) -> QueryBounds {
+    fn query_bounds(&self, center: Point, radius: f64) -> (Point, QueryBounds) {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "query radius must be finite and non-negative, got {radius}"
@@ -193,28 +197,174 @@ impl SpatialGrid {
         // If either axis span wraps past the whole grid, scan every bucket
         // once instead of double-visiting wrapped cells.
         let span = (dx_hi - dx_lo + 1).max(dy_hi - dy_lo + 1);
+        (
+            center,
+            QueryBounds {
+                full_scan: span >= self.cells as isize,
+                cx,
+                cy,
+                dx_lo,
+                dx_hi,
+                dy_lo,
+                dy_hi,
+            },
+        )
+    }
+
+    /// The cell window a *tile* query must visit: the union, over every
+    /// possible query point inside cell `(cx, cy)`, of that point's
+    /// per-point window at the given `radius`.
+    ///
+    /// Per axis the union is attained at the cell edges: the left bound is
+    /// a point at in-cell offset `0` ([`axis_span`] is monotone in the
+    /// offset) and the right bound at offset `cell_len` (an upper bound on
+    /// the supremum over the half-open cell). A superset window is safe —
+    /// the exact distance filter removes false candidates — and for
+    /// `radius < cell_len` it is at most the 3×3 neighbourhood (one cell
+    /// wider than a single point's window can need, one narrower than a
+    /// naive symmetric ±⌈r/len⌉ window at small radii).
+    fn cell_window(&self, cx: usize, cy: usize, radius: f64) -> QueryBounds {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        assert!(
+            cx < self.cells && cy < self.cells,
+            "cell ({cx}, {cy}) out of range for {0}×{0} grid",
+            self.cells
+        );
+        let (lo, _) = axis_span(0.0, radius, self.cell_len);
+        let (_, hi) = axis_span(self.cell_len, radius, self.cell_len);
+        // Cells are square, so the x and y spans coincide.
+        let span = hi - lo + 1;
         QueryBounds {
             full_scan: span >= self.cells as isize,
-            center,
             cx,
             cy,
-            dx_lo,
-            dx_hi,
-            dy_lo,
-            dy_hi,
+            dx_lo: lo,
+            dx_hi: hi,
+            dy_lo: lo,
+            dy_hi: hi,
         }
+    }
+
+    /// Walks every bucket of a resolved window exactly once, wrapping
+    /// offsets around the torus. All scan-window consumers — per-point
+    /// queries, the tile API, and the [`buckets_scanned`](Self::buckets_scanned)
+    /// diagnostic — share this single walk, so the diagnostic can never
+    /// drift from the real scan.
+    fn for_each_window_bucket<F: FnMut(&[u32])>(&self, w: &QueryBounds, mut f: F) {
+        let n = self.cells as isize;
+        for dy in w.dy_lo..=w.dy_hi {
+            let by = (w.cy as isize + dy).rem_euclid(n) as usize;
+            for dx in w.dx_lo..=w.dx_hi {
+                let bx = (w.cx as isize + dx).rem_euclid(n) as usize;
+                f(&self.buckets[by * self.cells + bx]);
+            }
+        }
+    }
+
+    /// Number of buckets the shared walk visits for a resolved window
+    /// (full scans touch the flat point list once per point instead and
+    /// report every bucket).
+    fn window_bucket_count(&self, w: &QueryBounds) -> usize {
+        if w.full_scan {
+            return self.cells * self.cells;
+        }
+        let mut n = 0;
+        self.for_each_window_bucket(w, |_| n += 1);
+        n
     }
 
     /// The number of buckets a query for `radius` around `center` scans —
     /// a diagnostic for tests and tuning (the contract is ≤ 9 whenever
     /// `radius ≤` the cell length; full scans report every bucket).
+    ///
+    /// Counted by running the same window walk the real queries use, so
+    /// the diagnostic cannot drift from the actual scan.
     #[must_use]
     pub fn buckets_scanned(&self, center: Point, radius: f64) -> usize {
-        let b = self.query_bounds(center, radius);
-        if b.full_scan {
-            self.cells * self.cells
-        } else {
-            ((b.dx_hi - b.dx_lo + 1) * (b.dy_hi - b.dy_lo + 1)) as usize
+        let (_, b) = self.query_bounds(center, radius);
+        self.window_bucket_count(&b)
+    }
+
+    /// The number of buckets [`tile_candidates`](Self::tile_candidates)
+    /// scans for cell `(cx, cy)` at the given `radius` — the tile-side
+    /// counterpart of [`buckets_scanned`](Self::buckets_scanned), counted
+    /// by the same shared walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range or `radius` is negative or not
+    /// finite.
+    #[must_use]
+    pub fn tile_buckets_scanned(&self, cx: usize, cy: usize, radius: f64) -> usize {
+        self.window_bucket_count(&self.cell_window(cx, cy, radius))
+    }
+
+    /// Side length of one index cell.
+    #[must_use]
+    pub fn cell_len(&self) -> f64 {
+        self.cell_len
+    }
+
+    /// The cell that contains `p` (after wrapping into the fundamental
+    /// domain).
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let p = self.torus.wrap(p);
+        bucket_of(&p, self.cell_len, self.cells)
+    }
+
+    /// Collects into `out` the indices of every point that could be within
+    /// `radius` of *any* location inside cell `(cx, cy)` — the tile's
+    /// shared candidate list, computed with one bucket walk instead of one
+    /// per query point.
+    ///
+    /// The list is a superset of [`query_within`](Self::query_within) for
+    /// every centre inside the cell at any radius ≤ `radius`; callers
+    /// apply their own exact distance/sector filter. `out` is cleared
+    /// first, so a reused scratch vector makes this allocation-free once
+    /// warm. When the window covers the whole grid every index is a
+    /// candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range or `radius` is negative or not
+    /// finite.
+    pub fn tile_candidates(&self, cx: usize, cy: usize, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let w = self.cell_window(cx, cy, radius);
+        if w.full_scan {
+            out.extend(0..self.points.len() as u32);
+            return;
+        }
+        self.for_each_window_bucket(&w, |bucket| out.extend_from_slice(bucket));
+    }
+
+    /// Iterates over every cell of the index as a [`Tile`]: the cell
+    /// coordinates plus the shared candidate list for queries of the given
+    /// `radius` from anywhere inside the cell.
+    ///
+    /// Convenience wrapper over [`tile_candidates`](Self::tile_candidates);
+    /// each yielded tile owns a freshly-allocated candidate vector, so hot
+    /// paths that sweep repeatedly should instead drive `tile_candidates`
+    /// with a reused scratch buffer (as `fullview_model`'s `TileCursor`
+    /// does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    #[must_use]
+    pub fn tiles(&self, radius: f64) -> Tiles<'_> {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        Tiles {
+            grid: self,
+            radius,
+            next: 0,
         }
     }
 
@@ -253,12 +403,14 @@ fn axis_span(frac: f64, radius: f64, cell_len: f64) -> (isize, isize) {
     (lo, hi)
 }
 
-/// Resolved cell window for one radius query.
+/// Resolved cell window for one radius or tile query: the inclusive
+/// per-axis cell-offset ranges around an anchor cell `(cx, cy)`. Shared by
+/// per-point queries ([`SpatialGrid::query_bounds`]) and the tile API
+/// ([`SpatialGrid::cell_window`]), and always walked through
+/// [`SpatialGrid::for_each_window_bucket`].
 struct QueryBounds {
     /// Whether the window covers the whole grid (fall back to a flat scan).
     full_scan: bool,
-    /// The wrapped query centre.
-    center: Point,
     cx: usize,
     cy: usize,
     dx_lo: isize,
@@ -267,11 +419,59 @@ struct QueryBounds {
     dy_hi: isize,
 }
 
+/// One cell of a [`SpatialGrid`] with its shared candidate list — see
+/// [`SpatialGrid::tiles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    /// Cell x-coordinate.
+    pub cx: usize,
+    /// Cell y-coordinate.
+    pub cy: usize,
+    /// Indices of every point that could be within the query radius of any
+    /// location inside this cell (a superset; callers filter exactly).
+    pub candidates: Vec<u32>,
+}
+
+/// Iterator over the tiles of a [`SpatialGrid`] — see
+/// [`SpatialGrid::tiles`].
+#[derive(Debug)]
+pub struct Tiles<'a> {
+    grid: &'a SpatialGrid,
+    radius: f64,
+    next: usize,
+}
+
+impl Iterator for Tiles<'_> {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        let cells = self.grid.cells;
+        if self.next >= cells * cells {
+            return None;
+        }
+        let (cx, cy) = (self.next % cells, self.next / cells);
+        self.next += 1;
+        let mut candidates = Vec::new();
+        self.grid
+            .tile_candidates(cx, cy, self.radius, &mut candidates);
+        Some(Tile { cx, cy, candidates })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.grid.cells * self.grid.cells - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Tiles<'_> {}
+
 /// Lazy radius-query iterator over point indices — see
 /// [`SpatialGrid::within_iter`].
 #[derive(Debug)]
 pub struct WithinIter<'a> {
     grid: &'a SpatialGrid,
+    /// The wrapped query centre.
+    center: Point,
     r2: f64,
     bounds: QueryBounds,
     /// Current cell offsets (cell mode).
@@ -292,7 +492,7 @@ impl Iterator for WithinIter<'_> {
                 let i = *next;
                 *next += 1;
                 let p = self.grid.points[i];
-                if self.grid.torus.distance_squared(self.bounds.center, p) <= self.r2 {
+                if self.grid.torus.distance_squared(self.center, p) <= self.r2 {
                     return Some(i);
                 }
             }
@@ -301,7 +501,7 @@ impl Iterator for WithinIter<'_> {
         loop {
             for &i in self.bucket.by_ref() {
                 let p = self.grid.points[i as usize];
-                if self.grid.torus.distance_squared(self.bounds.center, p) <= self.r2 {
+                if self.grid.torus.distance_squared(self.center, p) <= self.r2 {
                     return Some(i as usize);
                 }
             }
@@ -516,5 +716,143 @@ mod tests {
         // An empty grid yields nothing.
         let empty = SpatialGrid::build(t, &[], 0.1);
         assert_eq!(empty.within_iter(Point::new(0.1, 0.1), 0.5).count(), 0);
+    }
+
+    /// Deterministic quasi-random point cloud shared by the tile tests.
+    fn cloud(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i as f64 * 0.618_034) % 1.0, (i as f64 * 0.414_214) % 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn tile_candidates_superset_of_any_point_query_in_cell() {
+        let t = Torus::unit();
+        let pts = cloud(250);
+        let idx = SpatialGrid::build(t, &pts, 0.09);
+        let mut scratch = Vec::new();
+        for r in [0.0, 0.05, 0.09, 0.13, 0.21] {
+            // Probe points all over the torus, including seams and corners.
+            for i in 0..60 {
+                let c = Point::new((i as f64 * 0.173) % 1.0, (i as f64 * 0.311) % 1.0);
+                let (cx, cy) = idx.cell_of(c);
+                idx.tile_candidates(cx, cy, r, &mut scratch);
+                let tile: std::collections::HashSet<u32> = scratch.iter().copied().collect();
+                for hit in idx.query_within(c, r) {
+                    assert!(
+                        tile.contains(&(hit as u32)),
+                        "point {hit} within r={r} of {c} missing from tile ({cx},{cy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_window_is_3x3_for_radius_up_to_cell() {
+        let idx = SpatialGrid::build(Torus::unit(), &cloud(64), 0.1); // 10×10 cells
+        for cx in 0..10 {
+            for cy in 0..10 {
+                for r in [0.0, 0.04, 0.0999] {
+                    let scanned = idx.tile_buckets_scanned(cx, cy, r);
+                    assert!(scanned <= 9, "{scanned} buckets for r={r} at ({cx},{cy})");
+                }
+                // At exactly r == cell_len the union over the whole cell
+                // needs one extra column/row: 4×4.
+                assert!(idx.tile_buckets_scanned(cx, cy, 0.1) <= 16);
+            }
+        }
+        // Zero radius still needs the left/up neighbours (a query point at
+        // the cell's low edge can match an edge point bucketed one cell
+        // over), but never more than the 2×2 block.
+        assert!(idx.tile_buckets_scanned(5, 5, 0.0) <= 4);
+    }
+
+    #[test]
+    fn tile_candidates_full_scan_on_large_radius() {
+        let t = Torus::unit();
+        let pts = cloud(40);
+        let idx = SpatialGrid::build(t, &pts, 0.05);
+        let mut out = Vec::new();
+        idx.tile_candidates(3, 7, 1.0, &mut out);
+        assert_eq!(out.len(), 40, "whole-torus radius lists every point");
+        assert_eq!(idx.tile_buckets_scanned(3, 7, 1.0), 20 * 20);
+    }
+
+    #[test]
+    fn tiles_iterator_covers_every_cell_and_matches_tile_candidates() {
+        let t = Torus::unit();
+        let pts = cloud(30);
+        let idx = SpatialGrid::build(t, &pts, 0.26); // 3×3 cells
+        let tiles: Vec<Tile> = idx.tiles(0.2).collect();
+        assert_eq!(tiles.len(), 9);
+        assert_eq!(idx.tiles(0.2).len(), 9); // ExactSizeIterator
+        let mut scratch = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for tile in &tiles {
+            assert!(seen.insert((tile.cx, tile.cy)), "duplicate cell");
+            idx.tile_candidates(tile.cx, tile.cy, 0.2, &mut scratch);
+            assert_eq!(tile.candidates, scratch);
+        }
+    }
+
+    #[test]
+    fn tile_candidates_wrap_the_seam() {
+        let t = Torus::unit();
+        // One point on each side of the x seam.
+        let pts = vec![Point::new(0.01, 0.5), Point::new(0.99, 0.5)];
+        let idx = SpatialGrid::build(t, &pts, 0.1);
+        let (cx, cy) = idx.cell_of(Point::new(0.005, 0.5));
+        let mut out = Vec::new();
+        idx.tile_candidates(cx, cy, 0.05, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1], "seam neighbour must be a candidate");
+    }
+
+    #[test]
+    fn buckets_scanned_diagnostics_share_the_real_walk() {
+        // Regression for the diagnostic/scan drift class of bug: both
+        // `buckets_scanned` and `tile_buckets_scanned` must equal a count
+        // taken by the walk the real queries perform.
+        let t = Torus::unit();
+        let idx = SpatialGrid::build(t, &cloud(100), 0.07);
+        for i in 0..40 {
+            let c = Point::new((i as f64 * 0.093) % 1.0, (i as f64 * 0.061) % 1.0);
+            for r in [0.0, 0.03, 0.07, 0.071, 0.14, 0.2, 0.5] {
+                let (_, w) = idx.query_bounds(c, r);
+                let mut walked = 0;
+                idx.for_each_window_bucket(&w, |_| walked += 1);
+                let reported = idx.buckets_scanned(c, r);
+                if w.full_scan {
+                    assert_eq!(reported, idx.cells_per_axis() * idx.cells_per_axis());
+                } else {
+                    assert_eq!(reported, walked, "drift at {c} r={r}");
+                }
+                let (cx, cy) = idx.cell_of(c);
+                let tw = idx.cell_window(cx, cy, r);
+                let mut tile_walked = 0;
+                idx.for_each_window_bucket(&tw, |_| tile_walked += 1);
+                let tile_reported = idx.tile_buckets_scanned(cx, cy, r);
+                if tw.full_scan {
+                    assert_eq!(tile_reported, idx.cells_per_axis() * idx.cells_per_axis());
+                } else {
+                    assert_eq!(
+                        tile_reported, tile_walked,
+                        "tile drift at ({cx},{cy}) r={r}"
+                    );
+                }
+                // The tile window contains the per-point window.
+                assert!(reported <= tile_reported.max(reported), "sanity");
+                if !w.full_scan && !tw.full_scan {
+                    assert!(
+                        tw.dx_lo <= w.dx_lo
+                            && tw.dx_hi >= w.dx_hi
+                            && tw.dy_lo <= w.dy_lo
+                            && tw.dy_hi >= w.dy_hi,
+                        "tile window must contain the per-point window at {c} r={r}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod camera;
+mod cursor;
 mod error;
 mod group;
 mod io;
@@ -53,6 +54,7 @@ mod network;
 mod spec;
 
 pub use camera::{Camera, GroupId};
+pub use cursor::{CoverageProvider, TileCursor};
 pub use error::ModelError;
 pub use group::{GroupProfile, NetworkProfile, NetworkProfileBuilder};
 pub use io::{

@@ -99,6 +99,21 @@ impl CameraNetwork {
         self.max_radius
     }
 
+    /// The spatial index over camera positions — exposed so batch
+    /// consumers (the tile engine in `fullview-core`) can align their
+    /// traversal with the index cells.
+    #[must_use]
+    pub fn index(&self) -> &SpatialGrid {
+        &self.index
+    }
+
+    /// Creates a [`TileCursor`](crate::TileCursor) for cell-coherent batch
+    /// queries against this network.
+    #[must_use]
+    pub fn tile_cursor(&self) -> crate::TileCursor<'_> {
+        crate::TileCursor::new(self)
+    }
+
     /// Lazily iterates over the cameras covering `target`.
     ///
     /// Walks only the spatial-index cell neighbourhood that can contain a

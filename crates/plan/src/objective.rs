@@ -7,7 +7,7 @@
 //! so that moves which do not immediately flip a point still make
 //! measurable progress.
 
-use fullview_core::{analyze_point, EffectiveAngle};
+use fullview_core::{sweep_grid, CoverageView, EffectiveAngle, PointAnalyzer};
 use fullview_geom::{Point, Torus, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::f64::consts::TAU;
@@ -64,30 +64,30 @@ impl Evaluation {
         &self.grid
     }
 
-    /// Scores one point: `(covered, slack_contribution)`.
-    fn score_point(&self, net: &CameraNetwork, p: Point) -> (bool, f64) {
-        let analysis = analyze_point(net, p);
-        if analysis.is_full_view(self.theta) {
+    /// Scores one analysed point: `(covered, slack_contribution)`.
+    fn score_view(&self, view: &CoverageView<'_>) -> (bool, f64) {
+        if view.is_full_view(self.theta) {
             (true, 0.0)
         } else {
             // Slack grows as the worst gap shrinks towards 2θ.
-            let gap = analysis.largest_gap.min(TAU);
+            let gap = view.largest_gap.min(TAU);
             (false, TAU - gap)
         }
     }
 
-    /// Scores the whole grid.
+    /// Scores the whole grid (tile-coherent sweep through the shared
+    /// engine; no per-point allocation).
     #[must_use]
     pub fn objective(&self, net: &CameraNetwork) -> Objective {
         let mut covered = 0usize;
         let mut slack = 0.0f64;
-        for p in self.grid.iter() {
-            let (c, s) = self.score_point(net, p);
+        sweep_grid(net, &self.grid, |_, _, view| {
+            let (c, s) = self.score_view(view);
             if c {
                 covered += 1;
             }
             slack += s;
-        }
+        });
         Objective { covered, slack }
     }
 
@@ -96,13 +96,15 @@ impl Evaluation {
     #[must_use]
     pub fn local_objective(&self, net: &CameraNetwork, center: Point, radius: f64) -> Objective {
         let torus = net.torus();
+        let mut analyzer = PointAnalyzer::new();
         let mut covered = 0usize;
         let mut slack = 0.0f64;
         for p in self.grid.iter() {
             if torus.distance(center, p) > radius {
                 continue;
             }
-            let (c, s) = self.score_point(net, p);
+            let view = analyzer.analyze_point_into(net, p);
+            let (c, s) = self.score_view(&view);
             if c {
                 covered += 1;
             }

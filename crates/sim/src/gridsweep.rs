@@ -2,17 +2,25 @@
 //!
 //! The Monte-Carlo runner ([`crate::run_trials_map`]) parallelises *across*
 //! trials; this module parallelises *within* one trial: the `m = ⌈n ln n⌉`
-//! grid points of a single dense-grid sweep (§III-A) are split into
-//! row-chunks that workers claim dynamically, each evaluating with its own
+//! grid points of a single dense-grid sweep (§III-A) are split into work
+//! units that workers claim dynamically, each evaluating with its own
 //! [`GridEvaluator`] scratch state (no per-point allocation), and the
-//! partial [`GridCoverageReport`]s are merged in chunk order.
+//! partial [`GridCoverageReport`]s are merged in work-unit order.
 //!
-//! Every report field is a plain integer sum over disjoint point sets, so
-//! merging is exact and order-independent: the parallel sweep is
-//! **bit-identical** to [`evaluate_grid`] for every thread count and
-//! chunking.
+//! Two work-unit shapes exist. When the tiled engine is profitable
+//! ([`use_tiled`]) the unit is one *tile* — a spatial-index cell's worth of
+//! grid points sharing a pinned candidate list — giving cache-coherent
+//! candidate reuse and a finer tail than the flat path's fixed 1024-point
+//! chunks. Otherwise [`evaluate_grid_parallel_flat`] splits the flat index
+//! range. Every report field is a plain integer sum over disjoint point
+//! sets, so merging is exact and order-independent: both parallel sweeps
+//! are **bit-identical** to [`evaluate_grid`] (and to each other) for every
+//! thread count and chunking.
 
-use fullview_core::{dense_grid, evaluate_grid, EffectiveAngle, GridCoverageReport, GridEvaluator};
+use fullview_core::{
+    dense_grid, evaluate_grid, use_tiled, EffectiveAngle, GridCoverageReport, GridEvaluator,
+    GridTiling,
+};
 use fullview_geom::{Angle, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,10 +46,12 @@ fn effective_threads(threads: usize, chunks: usize) -> usize {
 /// Sweeps `grid` with `threads` workers (`0` = one per available CPU),
 /// evaluating every coverage predicate at each point.
 ///
-/// Produces a report bit-identical to
+/// Dispatches to tile-claiming workers when the tiled engine is
+/// profitable ([`use_tiled`]) and to [`evaluate_grid_parallel_flat`]
+/// otherwise. Produces a report bit-identical to
 /// [`evaluate_grid`]`(net, theta, grid, start_line)` for every thread
-/// count: workers tally disjoint index ranges and the integer tallies are
-/// merged, which is exact regardless of scheduling.
+/// count and either backend: workers tally disjoint point sets and the
+/// integer tallies are merged, which is exact regardless of scheduling.
 ///
 /// # Panics
 ///
@@ -54,11 +64,103 @@ pub fn evaluate_grid_parallel(
     start_line: Angle,
     threads: usize,
 ) -> GridCoverageReport {
+    if use_tiled(net, grid) {
+        evaluate_grid_parallel_tiled(net, theta, grid, start_line, threads)
+    } else {
+        evaluate_grid_parallel_flat(net, theta, grid, start_line, threads)
+    }
+}
+
+/// Tile-claiming parallel sweep: each work unit is one spatial-index cell
+/// (pinned candidate list shared by all its grid points), claimed from an
+/// atomic counter. Finer tail granularity than the flat 1024-point chunks
+/// and better cache locality — candidates are fetched once per tile.
+fn evaluate_grid_parallel_tiled(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    grid: &UnitGrid,
+    start_line: Angle,
+    threads: usize,
+) -> GridCoverageReport {
+    let tiling = GridTiling::new(net.index(), grid);
+    let tiles = tiling.tile_count();
+    let threads = effective_threads(threads, tiles);
+    if threads == 1 {
+        return evaluate_grid(net, theta, grid, start_line);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, GridCoverageReport)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let tiling = &tiling;
+                scope.spawn(move || {
+                    let mut evaluator = GridEvaluator::new(theta, start_line);
+                    let mut cursor = net.tile_cursor();
+                    let mut out = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tiles {
+                            break out;
+                        }
+                        // Empty tiles contribute the zero report; skip the
+                        // pin entirely (identity under merge).
+                        if tiling.tile_point_count(t) == 0 {
+                            continue;
+                        }
+                        out.push((
+                            t,
+                            evaluator.evaluate_tiles(&mut cursor, tiling, grid, t..t + 1),
+                        ));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid sweep worker panicked"))
+            .collect()
+    });
+
+    // Merge in tile order (empty tiles absent — they are the identity).
+    let mut indexed: Vec<(usize, GridCoverageReport)> = Vec::new();
+    for worker in per_worker.drain(..) {
+        indexed.extend(worker);
+    }
+    indexed.sort_by_key(|(t, _)| *t);
+    let mut report = GridCoverageReport::default();
+    for (_, partial) in indexed {
+        report += partial;
+    }
+    report
+}
+
+/// Flat-chunk parallel sweep: workers claim fixed 1024-point index ranges.
+///
+/// This is the legacy execution shape, kept as an explicit backend for
+/// differential tests and benchmarks; [`evaluate_grid_parallel`] chooses
+/// between it and tile claiming automatically. Bit-identical to the serial
+/// and tiled paths for every thread count.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+#[must_use]
+pub fn evaluate_grid_parallel_flat(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    grid: &UnitGrid,
+    start_line: Angle,
+    threads: usize,
+) -> GridCoverageReport {
     let total = grid.len();
     let chunks = total.div_ceil(CHUNK_POINTS);
     let threads = effective_threads(threads, chunks);
     if threads == 1 {
-        return evaluate_grid(net, theta, grid, start_line);
+        // Truly flat serial sweep (no tile dispatch) so the explicit
+        // backend stays uniform across thread counts.
+        return GridEvaluator::new(theta, start_line).evaluate_range(net, grid, 0..total);
     }
 
     // Dynamic work distribution (the `run_trials_map` pattern): workers

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conditions-cb33ad121e542839.d: crates/bench/benches/conditions.rs
+
+/root/repo/target/debug/deps/conditions-cb33ad121e542839: crates/bench/benches/conditions.rs
+
+crates/bench/benches/conditions.rs:

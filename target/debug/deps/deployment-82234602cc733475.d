@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-82234602cc733475.d: crates/bench/benches/deployment.rs
+
+/root/repo/target/debug/deps/deployment-82234602cc733475: crates/bench/benches/deployment.rs
+
+crates/bench/benches/deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e29c589a6bcbc19e.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e29c589a6bcbc19e: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fullview_model-4af5386acb19378e.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/debug/deps/fullview_model-4af5386acb19378e.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
-/root/repo/target/debug/deps/fullview_model-4af5386acb19378e: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/debug/deps/fullview_model-4af5386acb19378e: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
 crates/model/src/lib.rs:
 crates/model/src/camera.rs:
+crates/model/src/cursor.rs:
 crates/model/src/error.rs:
 crates/model/src/group.rs:
 crates/model/src/io.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/fullview_model-663056cde3b8f86c.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/debug/deps/fullview_model-663056cde3b8f86c.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
-/root/repo/target/debug/deps/libfullview_model-663056cde3b8f86c.rlib: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/debug/deps/libfullview_model-663056cde3b8f86c.rlib: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
-/root/repo/target/debug/deps/libfullview_model-663056cde3b8f86c.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/debug/deps/libfullview_model-663056cde3b8f86c.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
 crates/model/src/lib.rs:
 crates/model/src/camera.rs:
+crates/model/src/cursor.rs:
 crates/model/src/error.rs:
 crates/model/src/group.rs:
 crates/model/src/io.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fullview_model-f5921adb113a75d1.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs Cargo.toml
+/root/repo/target/debug/deps/fullview_model-f5921adb113a75d1.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfullview_model-f5921adb113a75d1.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs Cargo.toml
+/root/repo/target/debug/deps/libfullview_model-f5921adb113a75d1.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs Cargo.toml
 
 crates/model/src/lib.rs:
 crates/model/src/camera.rs:
+crates/model/src/cursor.rs:
 crates/model/src/error.rs:
 crates/model/src/group.rs:
 crates/model/src/io.rs:

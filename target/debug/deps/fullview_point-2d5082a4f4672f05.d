@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_point-2d5082a4f4672f05.d: crates/bench/benches/fullview_point.rs
+
+/root/repo/target/debug/deps/fullview_point-2d5082a4f4672f05: crates/bench/benches/fullview_point.rs
+
+crates/bench/benches/fullview_point.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_coverage-85d5541d3365dd0e.d: crates/bench/benches/grid_coverage.rs
+
+/root/repo/target/debug/deps/grid_coverage-85d5541d3365dd0e: crates/bench/benches/grid_coverage.rs
+
+crates/bench/benches/grid_coverage.rs:

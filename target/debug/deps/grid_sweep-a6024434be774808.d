@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_sweep-a6024434be774808.d: crates/bench/benches/grid_sweep.rs
+
+/root/repo/target/debug/deps/grid_sweep-a6024434be774808: crates/bench/benches/grid_sweep.rs
+
+crates/bench/benches/grid_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-e0c9bf42ca6ae0da.d: crates/bench/benches/theory.rs
+
+/root/repo/target/debug/deps/theory-e0c9bf42ca6ae0da: crates/bench/benches/theory.rs
+
+crates/bench/benches/theory.rs:

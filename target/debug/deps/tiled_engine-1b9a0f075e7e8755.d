@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiled_engine-1b9a0f075e7e8755.d: crates/sim/tests/tiled_engine.rs
+
+/root/repo/target/debug/deps/tiled_engine-1b9a0f075e7e8755: crates/sim/tests/tiled_engine.rs
+
+crates/sim/tests/tiled_engine.rs:

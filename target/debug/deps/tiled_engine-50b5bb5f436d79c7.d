@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiled_engine-50b5bb5f436d79c7.d: crates/sim/tests/tiled_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiled_engine-50b5bb5f436d79c7.rmeta: crates/sim/tests/tiled_engine.rs Cargo.toml
+
+crates/sim/tests/tiled_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

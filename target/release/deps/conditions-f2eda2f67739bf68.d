@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conditions-f2eda2f67739bf68.d: crates/bench/benches/conditions.rs
+
+/root/repo/target/release/deps/conditions-f2eda2f67739bf68: crates/bench/benches/conditions.rs
+
+crates/bench/benches/conditions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deployment-9e8149e3277d4ad3.d: crates/bench/benches/deployment.rs
+
+/root/repo/target/release/deps/deployment-9e8149e3277d4ad3: crates/bench/benches/deployment.rs
+
+crates/bench/benches/deployment.rs:

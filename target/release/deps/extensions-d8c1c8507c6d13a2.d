@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-d8c1c8507c6d13a2.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/release/deps/extensions-d8c1c8507c6d13a2: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

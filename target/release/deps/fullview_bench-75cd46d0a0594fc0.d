@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fullview_bench-75cd46d0a0594fc0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/fullview_bench-75cd46d0a0594fc0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/fullview_model-917b5ed159c73c56.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/release/deps/fullview_model-917b5ed159c73c56.d: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
-/root/repo/target/release/deps/libfullview_model-917b5ed159c73c56.rlib: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/release/deps/libfullview_model-917b5ed159c73c56.rlib: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
-/root/repo/target/release/deps/libfullview_model-917b5ed159c73c56.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
+/root/repo/target/release/deps/libfullview_model-917b5ed159c73c56.rmeta: crates/model/src/lib.rs crates/model/src/camera.rs crates/model/src/cursor.rs crates/model/src/error.rs crates/model/src/group.rs crates/model/src/io.rs crates/model/src/network.rs crates/model/src/spec.rs
 
 crates/model/src/lib.rs:
 crates/model/src/camera.rs:
+crates/model/src/cursor.rs:
 crates/model/src/error.rs:
 crates/model/src/group.rs:
 crates/model/src/io.rs:

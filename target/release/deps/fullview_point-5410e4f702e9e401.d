@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fullview_point-5410e4f702e9e401.d: crates/bench/benches/fullview_point.rs
+
+/root/repo/target/release/deps/fullview_point-5410e4f702e9e401: crates/bench/benches/fullview_point.rs
+
+crates/bench/benches/fullview_point.rs:

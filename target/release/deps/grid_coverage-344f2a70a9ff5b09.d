@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grid_coverage-344f2a70a9ff5b09.d: crates/bench/benches/grid_coverage.rs
+
+/root/repo/target/release/deps/grid_coverage-344f2a70a9ff5b09: crates/bench/benches/grid_coverage.rs
+
+crates/bench/benches/grid_coverage.rs:

@@ -3,3 +3,5 @@
 /root/repo/target/release/deps/grid_sweep-46ce63d7a915ad57: crates/bench/benches/grid_sweep.rs
 
 crates/bench/benches/grid_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

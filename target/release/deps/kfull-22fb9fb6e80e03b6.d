@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kfull-22fb9fb6e80e03b6.d: crates/experiments/src/bin/kfull.rs
+
+/root/repo/target/release/deps/kfull-22fb9fb6e80e03b6: crates/experiments/src/bin/kfull.rs
+
+crates/experiments/src/bin/kfull.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probabilistic-1519fe34da54bdc4.d: crates/experiments/src/bin/probabilistic.rs
+
+/root/repo/target/release/deps/probabilistic-1519fe34da54bdc4: crates/experiments/src/bin/probabilistic.rs
+
+crates/experiments/src/bin/probabilistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theory-c5060f415a8c1aa3.d: crates/bench/benches/theory.rs
+
+/root/repo/target/release/deps/theory-c5060f415a8c1aa3: crates/bench/benches/theory.rs
+
+crates/bench/benches/theory.rs:
