@@ -70,6 +70,38 @@ impl Cli {
         self.flags.iter().any(|f| f == name)
     }
 
+    /// Every `--key value` option name present on the command line.
+    pub fn option_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+
+    /// Every bare `--flag` name present on the command line.
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.iter().map(String::as_str)
+    }
+
+    /// Rejects any option or flag outside `allowed`, suggesting the
+    /// closest allowed name when the typo is near enough (edit distance
+    /// at most 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown argument.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.option_names().chain(self.flag_names()) {
+            if allowed.contains(&name) {
+                continue;
+            }
+            let context = self
+                .subcommand()
+                .map_or_else(String::new, |s| format!(" for '{s}'"));
+            let hint = did_you_mean(name, allowed)
+                .map_or_else(String::new, |c| format!(" (did you mean --{c}?)"));
+            return Err(ArgError(format!("unknown option --{name}{context}{hint}")));
+        }
+        Ok(())
+    }
+
     /// A typed option with default.
     ///
     /// # Errors
@@ -86,6 +118,35 @@ impl Cli {
                 .map_err(|e| ArgError(format!("bad value for --{name}: {e}"))),
         }
     }
+}
+
+/// The closest candidate within edit distance 2 of `input`, if any —
+/// the "did you mean" heuristic for misspelled option names.
+fn did_you_mean<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+/// Plain Levenshtein distance over chars (option names are short, so the
+/// O(len²) two-row DP is plenty).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = substitution.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -130,5 +191,51 @@ mod tests {
     fn trailing_flag() {
         let cli = Cli::parse(["map", "--csv"]).unwrap();
         assert!(cli.flag("csv"));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("side", "side"), 0);
+        assert_eq!(edit_distance("sied", "side"), 2); // transposition = 2 edits
+        assert_eq!(edit_distance("sid", "side"), 1);
+        assert_eq!(edit_distance("", "side"), 4);
+        assert_eq!(edit_distance("abc", "yabcx"), 2);
+    }
+
+    #[test]
+    fn reject_unknown_accepts_known_names() {
+        let cli = Cli::parse(["map", "--side", "24", "--csv"]).unwrap();
+        assert!(cli.reject_unknown(&["side", "csv"]).is_ok());
+    }
+
+    #[test]
+    fn reject_unknown_suggests_the_closest_name() {
+        // "sied" is 1 edit from "seed" but 2 from "side": the closer
+        // candidate wins.
+        let cli = Cli::parse(["map", "--sied", "24"]).unwrap();
+        let err = cli
+            .reject_unknown(&["side", "seed", "theta-deg"])
+            .unwrap_err();
+        assert!(err.0.contains("unknown option --sied"), "{err}");
+        assert!(err.0.contains("for 'map'"), "{err}");
+        assert!(err.0.contains("did you mean --seed?"), "{err}");
+        let cli = Cli::parse(["map", "--sid", "24"]).unwrap();
+        let err = cli.reject_unknown(&["side", "theta-deg"]).unwrap_err();
+        assert!(err.0.contains("did you mean --side?"), "{err}");
+    }
+
+    #[test]
+    fn reject_unknown_without_hint_when_nothing_is_close() {
+        let cli = Cli::parse(["map", "--zzzzzz", "1"]).unwrap();
+        let err = cli.reject_unknown(&["side", "seed"]).unwrap_err();
+        assert!(err.0.contains("unknown option --zzzzzz"), "{err}");
+        assert!(!err.0.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn reject_unknown_covers_bare_flags_too() {
+        let cli = Cli::parse(["point", "--verbos"]).unwrap();
+        let err = cli.reject_unknown(&["verbose", "x", "y"]).unwrap_err();
+        assert!(err.0.contains("did you mean --verbose?"), "{err}");
     }
 }

@@ -21,6 +21,7 @@ use fullview_model::{
     NetworkProfile, SensorSpec,
 };
 use fullview_plan::{greedy_place, optimize_orientations, GreedyPlacer, OrientationPlanner};
+use fullview_service::{Client, Response, Server, ServiceConfig};
 use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +33,11 @@ use std::error::Error;
 ///
 /// Propagates argument and model errors with readable messages.
 pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    if let Some(sub) = cli.subcommand() {
+        if let Some(allowed) = allowed_options(sub) {
+            cli.reject_unknown(allowed)?;
+        }
+    }
     match cli.subcommand() {
         Some("csa") => cmd_csa(cli),
         Some("check") => cmd_check(cli),
@@ -45,6 +51,8 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         Some("route") => cmd_route(cli),
         Some("failures") => cmd_failures(cli),
         Some("save") => cmd_save(cli),
+        Some("serve") => cmd_serve(cli),
+        Some("query") => cmd_query(cli),
         Some(other) => Err(Box::new(ArgError(format!(
             "unknown subcommand '{other}'\n{USAGE}"
         )))),
@@ -53,6 +61,135 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
             Ok(())
         }
     }
+}
+
+/// The options and flags each subcommand accepts; anything else is
+/// rejected up front with a "did you mean" hint. `None` for a subcommand
+/// we do not know (its own error message follows in `run`).
+fn allowed_options(sub: &str) -> Option<&'static [&'static str]> {
+    const NETWORK: &[&str] = &[
+        "theta-deg",
+        "radius",
+        "aov-deg",
+        "n",
+        "seed",
+        "profile",
+        "load",
+    ];
+    // Per-command extras on top of the shared network-building options.
+    let allowed: &'static [&'static str] = match sub {
+        "csa" => &["n", "theta-deg", "area"],
+        "check" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "threads",
+        ],
+        "poisson" => &[
+            "density",
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "seed",
+            "profile",
+            "threads",
+        ],
+        "map" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "side",
+        ],
+        "holes" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "grid",
+        ],
+        "plan" => &["theta-deg", "radius", "aov-deg", "grid", "budget"],
+        "aim" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "grid",
+            "candidates",
+            "rounds",
+        ],
+        "point" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "x",
+            "y",
+            "verbose",
+        ],
+        "size" => &["theta-deg", "radius", "aov-deg", "n", "fraction", "profile"],
+        "route" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "route",
+            "step",
+        ],
+        "failures" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "p",
+            "fail-seed",
+            "threads",
+        ],
+        "save" => &["radius", "aov-deg", "n", "seed", "profile", "load", "out"],
+        "serve" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "addr",
+            "threads",
+            "workers",
+            "queue",
+            "cache",
+        ],
+        "query" => &["addr", "req"],
+        _ => return None,
+    };
+    debug_assert!(
+        NETWORK.is_empty() || !allowed.is_empty(),
+        "every table entry lists its options"
+    );
+    Some(allowed)
 }
 
 /// Top-level usage text.
@@ -86,6 +223,12 @@ COMMANDS:
              --route 0.1,0.1:0.9,0.1:0.9,0.9 [--step 0.01] [--load net.txt]
   save     write a generated deployment to the text format
              --out net.txt --n 1000 --radius 0.1 --aov-deg 90 [--seed 0]
+  serve    run the coverage-evaluation daemon (TCP, line protocol)
+             --addr 127.0.0.1:7411 --n 400 [--workers 2 --queue 64 --cache 128]
+  query    send one request to a running daemon and print the reply
+             --addr 127.0.0.1:7411 --req 'map side=24'   (also: check, holes,
+             kfull, prob, stats, fail id=N, move id=N x=X y=Y, reseed seed=S,
+             ping, shutdown)
 
 Most commands accept --load FILE to analyse a saved network (see `save`)
 instead of generating a random one, and --profile FILE to use a
@@ -409,6 +552,62 @@ fn cmd_point(cli: &Cli) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Builds a [`ServiceConfig`] from `fvc serve` options. Split from
+/// [`cmd_serve`] so the option mapping is testable without binding a
+/// socket or blocking on the daemon.
+fn serve_config(cli: &Cli) -> Result<ServiceConfig, Box<dyn Error>> {
+    let profile = profile_of(cli)?;
+    let mut config = ServiceConfig::new(profile);
+    config.addr = cli.get("addr", "127.0.0.1:7411".to_string())?;
+    config.n = cli.get("n", 400)?;
+    config.seed = cli.get("seed", 0)?;
+    config.theta = theta_of(cli)?;
+    config.eval_threads = threads_of(cli)?;
+    config.workers = cli.get("workers", 2usize)?;
+    config.queue_capacity = cli.get("queue", 64usize)?;
+    config.cache_capacity = cli.get("cache", 128usize)?;
+    let load: String = cli.get("load", String::new())?;
+    if !load.is_empty() {
+        let text = std::fs::read_to_string(&load)?;
+        let net = network_from_text(Torus::unit(), &text)?;
+        // Prefer the as-built composition for theory endpoints when it
+        // is recoverable (same policy as the one-shot commands).
+        if let Some(profile) = empirical_profile(&net) {
+            config.profile = profile;
+        }
+        config.preloaded = Some(net);
+    }
+    Ok(config)
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let server = Server::start(serve_config(cli)?)?;
+    let addr = server.local_addr();
+    println!("fullview-service listening on {addr}");
+    println!("stop with: fvc query --addr {addr} --req shutdown");
+    server.wait();
+    println!("fullview-service stopped");
+    Ok(())
+}
+
+fn cmd_query(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let addr: String = cli.get("addr", "127.0.0.1:7411".to_string())?;
+    let req: String = cli.get("req", String::new())?;
+    if req.is_empty() {
+        return Err(Box::new(ArgError(
+            "--req REQUEST is required (e.g. --req 'map side=24')".into(),
+        )));
+    }
+    let mut client = Client::connect(&addr)?;
+    match client.request(&req)? {
+        Response::Ok(payload) => {
+            print!("{payload}");
+            Ok(())
+        }
+        Response::Err(message) => Err(Box::new(ArgError(format!("server: {message}")))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +796,75 @@ mod tests {
     #[test]
     fn unknown_subcommand_errors() {
         assert!(run(&cli(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn misspelled_flag_is_rejected_with_hint() {
+        let err = run(&cli(&["check", "--n", "10", "--thread", "2"])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("unknown option --thread"), "{message}");
+        assert!(message.contains("did you mean --threads?"), "{message}");
+        // The same policy covers bare flags.
+        assert!(run(&cli(&["map", "--n", "10", "--cvs"])).is_err());
+    }
+
+    #[test]
+    fn serve_config_maps_options() {
+        let config = serve_config(&cli(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:0",
+            "--n",
+            "55",
+            "--seed",
+            "9",
+            "--workers",
+            "3",
+            "--queue",
+            "7",
+            "--cache",
+            "5",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:0");
+        assert_eq!((config.n, config.seed), (55, 9));
+        assert_eq!((config.workers, config.queue_capacity), (3, 7));
+        assert_eq!((config.cache_capacity, config.eval_threads), (5, 2));
+        assert!(config.preloaded.is_none());
+    }
+
+    #[test]
+    fn serve_config_loads_a_saved_network() {
+        let path = std::env::temp_dir().join("fvc-test-serve-net.txt");
+        let path = path.to_string_lossy().to_string();
+        run(&cli(&[
+            "save", "--out", &path, "--n", "30", "--radius", "0.12",
+        ]))
+        .unwrap();
+        let config = serve_config(&cli(&["serve", "--load", &path])).unwrap();
+        assert_eq!(config.preloaded.as_ref().map(CameraNetwork::len), Some(30));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_round_trips_against_a_live_daemon() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 40;
+        let server = Server::start(config).expect("start daemon");
+        let addr = server.local_addr().to_string();
+        run(&cli(&["query", "--addr", &addr, "--req", "ping"])).unwrap();
+        run(&cli(&["query", "--addr", &addr, "--req", "map side=8"])).unwrap();
+        // A server-side rejection surfaces as a CLI error.
+        let err = run(&cli(&["query", "--addr", &addr, "--req", "map sidr=8"])).unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"), "{err}");
+    }
+
+    #[test]
+    fn query_requires_req() {
+        assert!(run(&cli(&["query", "--addr", "127.0.0.1:1"])).is_err());
     }
 
     #[test]

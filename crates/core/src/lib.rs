@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 mod barrier;
+pub mod canon;
 mod conditions;
 mod csa;
 mod densegrid;
@@ -67,6 +68,7 @@ pub mod numeric;
 mod path;
 mod poisson_theory;
 mod probabilistic;
+mod render;
 mod temporal;
 mod theta;
 mod uniform_theory;
@@ -111,6 +113,8 @@ pub use poisson_theory::{
     prob_point_meets, prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
     q_closed_form, q_series, Condition,
 };
+pub use render::{coverage_map_text, hole_report_text};
+
 pub use probabilistic::{
     confident_covered_fraction, confident_point_coverage, confident_point_coverage_with,
     is_full_view_covered_with_confidence, ProbabilisticModel,

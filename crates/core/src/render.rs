@@ -1,0 +1,141 @@
+//! Shared text rendering of coverage results.
+//!
+//! The one-shot CLI (`fvc map`, `fvc holes`) and the long-running
+//! coverage service must produce *byte-identical* output for the same
+//! query — that is what makes the service's result cache transparently
+//! substitutable for a fresh computation. Centralizing the rendering
+//! here is what guarantees it: both front-ends call these functions and
+//! only decide where the bytes go.
+
+use crate::conditions::SectorPartition;
+use crate::engine::sweep_grid;
+use crate::holes::HoleReport;
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Angle, UnitGrid};
+use fullview_model::CameraNetwork;
+use std::fmt::Write as _;
+
+/// The ASCII coverage map of `net` on a `side × side` grid — legend line,
+/// blank separator, then `side` rows (top row first), each `|…|`-framed.
+///
+/// Cell glyphs: `#` meets the sufficient condition, `F` full-view
+/// covered, `n` meets the necessary condition, `.` covered by at least
+/// one camera, space bare.
+///
+/// # Panics
+///
+/// Panics if `side == 0`.
+#[must_use]
+pub fn coverage_map_text(net: &CameraNetwork, theta: EffectiveAngle, side: usize) -> String {
+    assert!(side > 0, "map side must be positive");
+    let grid = UnitGrid::new(*net.torus(), side);
+    let necessary = SectorPartition::necessary(theta, Angle::ZERO);
+    let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare\n"
+    );
+    // Tile-coherent sweep through the shared engine; points arrive in tile
+    // order, so render into an index-keyed buffer before printing rows.
+    let mut cells = vec![' '; grid.len()];
+    sweep_grid(net, &grid, |idx, _, view| {
+        cells[idx] = if sufficient.is_satisfied_view(view) {
+            '#'
+        } else if view.is_full_view(theta) {
+            'F'
+        } else if necessary.is_satisfied_view(view) {
+            'n'
+        } else if view.covering_cameras > 0 {
+            '.'
+        } else {
+            ' '
+        };
+    });
+    for j in (0..side).rev() {
+        let row: String = cells[j * side..(j + 1) * side].iter().collect();
+        let _ = writeln!(out, "|{row}|");
+    }
+    out
+}
+
+/// The hole summary as printed by `fvc holes`: the report line followed
+/// by up to ten per-hole lines and an elision count.
+#[must_use]
+pub fn hole_report_text(report: &HoleReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+    for (i, hole) in report.holes.iter().take(10).enumerate() {
+        let _ = writeln!(
+            out,
+            "  hole {}: {} cells (~{:.4} area) around {}",
+            i + 1,
+            hole.cells,
+            hole.area,
+            hole.centroid
+        );
+    }
+    if report.hole_count() > 10 {
+        let _ = writeln!(out, "  … and {} more", report.hole_count() - 10);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holes::find_holes;
+    use fullview_geom::{Point, Torus};
+    use fullview_model::{Camera, GroupId, SensorSpec};
+    use std::f64::consts::PI;
+
+    fn small_net() -> CameraNetwork {
+        let spec = SensorSpec::new(0.25, PI).unwrap();
+        let cams = (0..9)
+            .map(|i| {
+                Camera::new(
+                    Point::new((i % 3) as f64 / 3.0, (i / 3) as f64 / 3.0),
+                    Angle::new(i as f64),
+                    spec,
+                    GroupId(0),
+                )
+            })
+            .collect();
+        CameraNetwork::new(Torus::unit(), cams)
+    }
+
+    #[test]
+    fn map_text_shape() {
+        let net = small_net();
+        let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+        let text = coverage_map_text(&net, theta, 12);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 12, "legend + blank + 12 rows");
+        assert!(lines[0].starts_with("legend:"));
+        assert!(lines[1].is_empty());
+        for row in &lines[2..] {
+            assert_eq!(row.len(), 14, "12 cells + 2 frame chars: {row:?}");
+            assert!(row.starts_with('|') && row.ends_with('|'));
+        }
+        assert!(text.ends_with('\n'));
+        // Deterministic: same input, same bytes.
+        assert_eq!(text, coverage_map_text(&net, theta, 12));
+    }
+
+    #[test]
+    fn hole_text_elides_beyond_ten() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+        let report = find_holes(&net, theta, 6);
+        let text = hole_report_text(&report);
+        assert!(text.starts_with("holes[6×6]:"), "{text}");
+        // An empty network has exactly one torus-spanning hole.
+        assert!(text.contains("hole 1:"));
+        let mut many = report;
+        let hole = many.holes[0].clone();
+        many.holes = vec![hole; 13];
+        let text = hole_report_text(&many);
+        assert!(text.contains("… and 3 more"), "{text}");
+        assert_eq!(text.matches("hole ").count(), 10, "per-hole lines elided");
+    }
+}

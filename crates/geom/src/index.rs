@@ -76,6 +76,35 @@ impl SpatialGrid {
         }
     }
 
+    /// Re-indexes the grid over a new point set, keeping the torus and
+    /// cell geometry and reusing every bucket allocation.
+    ///
+    /// This is the cheap structural rebuild hook behind in-place network
+    /// mutations (camera failure / re-positioning): the cell size was
+    /// chosen for the *largest* sensing radius, and cells larger than
+    /// needed preserve the 3×3-neighbourhood query property, so removing
+    /// or moving points never requires re-sizing the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` points are indexed.
+    pub fn rebuild(&mut self, points: &[Point]) {
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "spatial grid supports at most u32::MAX points"
+        );
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        let torus = self.torus;
+        self.points.clear();
+        self.points.extend(points.iter().map(|&p| torus.wrap(p)));
+        for (i, p) in self.points.iter().enumerate() {
+            let (cx, cy) = bucket_of(p, self.cell_len, self.cells);
+            self.buckets[cy * self.cells + cx].push(i as u32);
+        }
+    }
+
     /// Number of indexed points.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -854,5 +883,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let t = Torus::unit();
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                Point::new(
+                    (i as f64 * 0.618_033_98) % 1.0,
+                    (i as f64 * 0.414_213_56) % 1.0,
+                )
+            })
+            .collect();
+        let mut idx = SpatialGrid::build(t, &pts, 0.2);
+        // Drop every third point and move the rest slightly (wrapping).
+        let mutated: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, p)| Point::new(p.x + 1.05, p.y - 0.95))
+            .collect();
+        idx.rebuild(&mutated);
+        let fresh = SpatialGrid::build(t, &mutated, 0.2);
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.cells_per_axis(), fresh.cells_per_axis());
+        for j in 0..25 {
+            let c = Point::new((j as f64 * 0.7548) % 1.0, (j as f64 * 0.5698) % 1.0);
+            for r in [0.0, 0.1, 0.2, 0.35] {
+                let mut a = idx.query_within(c, r);
+                let mut b = fresh.query_within(c, r);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "query at {c} r={r}");
+            }
+        }
+        // Rebuild to empty and back is fine.
+        idx.rebuild(&[]);
+        assert!(idx.is_empty());
+        idx.rebuild(&pts);
+        assert_eq!(idx.len(), pts.len());
     }
 }

@@ -172,6 +172,54 @@ impl CameraNetwork {
         let cameras: Vec<Camera> = self.cameras.iter().filter(|c| keep(c)).copied().collect();
         CameraNetwork::new(self.torus, cameras)
     }
+
+    /// Removes the camera at `index` in place, re-indexing without
+    /// re-sizing the spatial grid (cells only ever get *larger* than
+    /// strictly needed, which preserves the 3×3-neighbourhood query
+    /// property — see [`fullview_geom::SpatialGrid::rebuild`]).
+    ///
+    /// Returns `false` (and leaves the network untouched) if `index` is
+    /// out of range. This is the cheap mutation hook behind long-running
+    /// services that model camera failures without rebuilding the world.
+    pub fn remove_camera(&mut self, index: usize) -> bool {
+        if index >= self.cameras.len() {
+            return false;
+        }
+        self.cameras.remove(index);
+        self.refresh_index();
+        true
+    }
+
+    /// Moves the camera at `index` to `to` (wrapped into the torus
+    /// fundamental domain), keeping its orientation, spec, and group, and
+    /// re-indexes in place. Returns `false` if `index` is out of range.
+    pub fn move_camera(&mut self, index: usize, to: Point) -> bool {
+        let Some(cam) = self.cameras.get(index) else {
+            return false;
+        };
+        self.cameras[index] = Camera::new(
+            self.torus.wrap(to),
+            cam.orientation(),
+            *cam.spec(),
+            cam.group(),
+        );
+        self.refresh_index();
+        true
+    }
+
+    /// Re-derives `max_radius` and re-buckets the spatial index after an
+    /// in-place mutation. The grid keeps its original cell size: removals
+    /// can only shrink the largest radius, so existing cells stay at
+    /// least as large as any query radius requires.
+    fn refresh_index(&mut self) {
+        self.max_radius = self
+            .cameras
+            .iter()
+            .map(|c| c.spec().radius())
+            .fold(0.0, f64::max);
+        let positions: Vec<Point> = self.cameras.iter().map(|c| c.position()).collect();
+        self.index.rebuild(&positions);
+    }
 }
 
 impl fmt::Display for CameraNetwork {
@@ -341,6 +389,54 @@ mod tests {
         // An empty network yields an empty iterator (radius 0 query).
         let empty = CameraNetwork::new(t, Vec::new());
         assert!(empty.covering(covered).next().is_none());
+    }
+
+    #[test]
+    fn remove_camera_matches_fresh_network() {
+        let mut cams = Vec::new();
+        for i in 0..30 {
+            let x = (i as f64 * 0.618_033_98) % 1.0;
+            let y = (i as f64 * 0.414_213_56) % 1.0;
+            // Heterogeneous radii so removals can shrink max_radius.
+            let r = if i == 4 { 0.3 } else { 0.1 };
+            cams.push(cam_at(x, y, (i as f64 * 1.1) % (2.0 * PI), r, PI));
+        }
+        let mut net = CameraNetwork::new(Torus::unit(), cams.clone());
+        assert!(!net.remove_camera(30), "out of range must be rejected");
+        assert!(net.remove_camera(4)); // drops the widest camera
+        cams.remove(4);
+        let fresh = CameraNetwork::new(Torus::unit(), cams.clone());
+        assert_eq!(net.len(), fresh.len());
+        assert!((net.max_radius() - 0.1).abs() < 1e-15);
+        for j in 0..25 {
+            let p = Point::new((j as f64 * 0.7548) % 1.0, (j as f64 * 0.5698) % 1.0);
+            assert_eq!(net.coverage_count(p), fresh.coverage_count(p), "at {p}");
+        }
+        // Removing everything leaves a queryable empty network.
+        while !net.is_empty() {
+            assert!(net.remove_camera(0));
+        }
+        assert_eq!(net.coverage_count(Point::new(0.5, 0.5)), 0);
+    }
+
+    #[test]
+    fn move_camera_matches_fresh_network() {
+        let mut cams = vec![
+            cam_at(0.2, 0.2, 0.0, 0.15, PI),
+            cam_at(0.8, 0.8, PI, 0.15, PI),
+        ];
+        let mut net = CameraNetwork::new(Torus::unit(), cams.clone());
+        assert!(!net.move_camera(2, Point::new(0.5, 0.5)));
+        // Move across the seam: the position must wrap into the domain.
+        assert!(net.move_camera(0, Point::new(1.45, -0.25)));
+        cams[0] = cam_at(0.45, 0.75, 0.0, 0.15, PI);
+        let fresh = CameraNetwork::new(Torus::unit(), cams);
+        let moved = net.cameras()[0].position();
+        assert!((moved.x - 0.45).abs() < 1e-12 && (moved.y - 0.75).abs() < 1e-12);
+        for j in 0..25 {
+            let p = Point::new((j as f64 * 0.7548) % 1.0, (j as f64 * 0.5698) % 1.0);
+            assert_eq!(net.coverage_count(p), fresh.coverage_count(p), "at {p}");
+        }
     }
 
     #[test]

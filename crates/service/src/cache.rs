@@ -1,0 +1,212 @@
+//! Content-addressed result cache with LRU eviction and selective
+//! invalidation.
+//!
+//! Keys are canonical digests (see [`fullview_core::canon`]) of the
+//! *inputs* a query's answer depends on: the query kind and parameters
+//! plus either the deployed network's fingerprint (for `check`, `map`,
+//! `holes`, `kfull`) or the profile's fingerprint (for theory-only
+//! `prob`). Because the fingerprint is part of the key, a mutated fleet
+//! can never be served a stale answer; explicit invalidation exists to
+//! reclaim the now-unreachable entries *and only those* — theory
+//! answers keyed on the unchanged profile survive every `fail`/`move`/
+//! `reseed`.
+
+use std::collections::HashMap;
+
+/// A cached payload plus its bookkeeping.
+#[derive(Debug, Clone)]
+struct Entry {
+    payload: String,
+    /// Whether the entry depends on the deployed network (as opposed to
+    /// the profile only) — the selector for mutation invalidation.
+    network_dependent: bool,
+    /// Monotonic recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+/// Counters exposed through the `stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Maximum entries before LRU eviction (0 = caching disabled).
+    pub capacity: usize,
+    /// Lookups that returned a payload.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries discarded to respect `capacity`.
+    pub evictions: u64,
+    /// Entries discarded by mutation invalidation.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cache itself. Not internally synchronized — the server wraps it
+/// in a `Mutex`.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidated: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (`0` disables caching:
+    /// every lookup misses and inserts are dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// Looks up a digest, counting the hit or miss and refreshing
+    /// recency on hit.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a payload, evicting the least-recently-used entry when
+    /// full. `network_dependent` tags the entry for selective
+    /// invalidation.
+    pub fn insert(&mut self, key: u64, payload: String, network_dependent: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                payload,
+                network_dependent,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every network-dependent entry (after a `fail`/`move`/
+    /// `reseed` mutation), returning how many were removed. Profile-keyed
+    /// theory entries are untouched.
+    pub fn invalidate_network_dependent(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !e.network_dependent);
+        let removed = before - self.entries.len();
+        self.invalidated += removed as u64;
+        removed
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidated: self.invalidated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "a".into(), true);
+        assert_eq!(c.get(1).as_deref(), Some("a"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into(), true);
+        c.insert(2, "b".into(), true);
+        assert!(c.get(1).is_some()); // refresh 1: now 2 is LRU
+        c.insert(3, "c".into(), true);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(2).is_none(), "2 was least recently used");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into(), true);
+        c.insert(2, "b".into(), true);
+        c.insert(1, "a2".into(), true);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(1).as_deref(), Some("a2"));
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn invalidation_is_selective() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, "net".into(), true);
+        c.insert(2, "net2".into(), true);
+        c.insert(3, "theory".into(), false);
+        assert_eq!(c.invalidate_network_dependent(), 2);
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(3).as_deref(), Some("theory"), "theory survives");
+        assert_eq!(c.stats().invalidated, 2);
+        assert_eq!(c.invalidate_network_dependent(), 0, "idempotent");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "a".into(), true);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The blocking client side of the wire protocol, shared by
+//! `fvc query` and the integration tests.
+
+use crate::protocol::{self, Response};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent connection to a running `fullview-service` daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sets a cap on how long a single [`request`](Self::request) may
+    /// wait for response bytes (`None` = wait forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option errors.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line and reads the framed response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the stream, [`io::ErrorKind::InvalidData`] for a
+    /// malformed frame, or [`io::ErrorKind::UnexpectedEof`] when the
+    /// server closed the connection without answering.
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        let line = line.trim_end_matches('\n');
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        match protocol::read_response(&mut self.reader)? {
+            Some(response) => Ok(response),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )),
+        }
+    }
+
+    /// [`request`](Self::request), with a server-side `err` frame turned
+    /// into an `Err(message)` so tests and the CLI can `?` through both
+    /// failure layers.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message, or the transport error's display form.
+    pub fn request_ok(&mut self, line: &str) -> Result<String, String> {
+        match self.request(line) {
+            Ok(Response::Ok(payload)) => Ok(payload),
+            Ok(Response::Err(message)) => Err(message),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}

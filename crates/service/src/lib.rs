@@ -1,0 +1,50 @@
+//! `fullview-service` — a long-running coverage-evaluation daemon.
+//!
+//! The one-shot `fvc` commands pay the fleet-construction cost (deploy,
+//! spatial index, tile layout) on every invocation. This crate keeps a
+//! [`CameraNetwork`](fullview_model::CameraNetwork) warm in a daemon and
+//! answers coverage queries over a minimal line-delimited TCP protocol
+//! (std-only: no async runtime, no serialization framework — the build
+//! environment is fully offline).
+//!
+//! Layering, bottom to top:
+//!
+//! * [`protocol`] — the request/response wire codec.
+//! * [`cache`] — content-addressed result cache (canonical-digest keys,
+//!   LRU eviction, selective invalidation on fleet mutations).
+//! * [`queue`] — bounded job queue + worker pool; the daemon's single
+//!   back-pressure point.
+//! * [`metrics`] — per-endpoint counters and latency quantiles behind
+//!   the `stats` endpoint.
+//! * [`server`] — the daemon: acceptor, connection handlers, dispatch.
+//! * [`client`] — the blocking client used by `fvc query` and tests.
+//!
+//! ```no_run
+//! use fullview_service::{Client, Response, Server, ServiceConfig};
+//!
+//! let profile = fullview_model::NetworkProfile::homogeneous(
+//!     fullview_model::SensorSpec::new(0.15, std::f64::consts::FRAC_PI_3).unwrap(),
+//! );
+//! let server = Server::start(ServiceConfig::new(profile)).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! match client.request("map side=24").unwrap() {
+//!     Response::Ok(map) => print!("{map}"),
+//!     Response::Err(message) => eprintln!("server: {message}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::Client;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{Request, Response};
+pub use queue::{JobQueue, SubmitError};
+pub use server::{Server, ServiceConfig};

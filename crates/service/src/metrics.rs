@@ -1,0 +1,166 @@
+//! Live service metrics: per-endpoint request counts and a fixed-bucket
+//! latency histogram (reusing [`fullview_sim::Histogram`]) from which
+//! the `stats` endpoint reports p50/p99 service latencies.
+
+use fullview_sim::Histogram;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency histogram shape: 0‥10 s in 5 ms buckets. Requests longer than
+/// the range clamp into the last bucket (mass is never lost), shorter
+/// ones than a bucket report the bucket midpoint — ample resolution for
+/// distinguishing cached (sub-millisecond) from computed (tens of
+/// milliseconds and up) service times.
+const LATENCY_MAX_MS: f64 = 10_000.0;
+const LATENCY_BUCKETS: usize = 2_000;
+
+/// The endpoint names tracked by [`Metrics`], in reporting order.
+pub const ENDPOINTS: &[&str] = &[
+    "check", "map", "holes", "kfull", "prob", "stats", "fail", "move", "reseed", "ping", "shutdown",
+];
+
+#[derive(Debug)]
+struct MetricsInner {
+    counts: Vec<u64>,
+    rejected: u64,
+    latency: Histogram,
+}
+
+/// Shared, internally-synchronized metrics sink.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    inner: Mutex<MetricsInner>,
+}
+
+/// A point-in-time snapshot for rendering `stats`.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// `(endpoint, requests)` in [`ENDPOINTS`] order.
+    pub counts: Vec<(&'static str, u64)>,
+    /// Requests rejected before dispatch (unknown verb, parse error,
+    /// queue full).
+    pub rejected: u64,
+    /// Total accepted requests.
+    pub total: u64,
+    /// Median service latency in milliseconds (`None` before the first
+    /// sample).
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile service latency in milliseconds.
+    pub p99_ms: Option<f64>,
+    /// Latency samples recorded.
+    pub samples: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh sink with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            inner: Mutex::new(MetricsInner {
+                counts: vec![0; ENDPOINTS.len()],
+                rejected: 0,
+                latency: Histogram::new(0.0, LATENCY_MAX_MS, LATENCY_BUCKETS),
+            }),
+        }
+    }
+
+    /// Records one serviced request: which endpoint and how long it took
+    /// end-to-end (parse to response ready).
+    pub fn record(&self, endpoint: &str, latency_ms: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
+            inner.counts[i] += 1;
+        }
+        // Guard against non-finite timings rather than panicking the
+        // histogram: a clamped sample is better than a dead server.
+        if latency_ms.is_finite() {
+            inner.latency.record(latency_ms.max(0.0));
+        }
+    }
+
+    /// Records a request rejected before reaching an endpoint.
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("metrics lock").rejected += 1;
+    }
+
+    /// Snapshots every counter and the latency quantiles.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        let counts: Vec<(&'static str, u64)> = ENDPOINTS
+            .iter()
+            .zip(&inner.counts)
+            .map(|(e, c)| (*e, *c))
+            .collect();
+        MetricsSnapshot {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            total: counts.iter().map(|(_, c)| c).sum(),
+            rejected: inner.rejected,
+            p50_ms: inner.latency.quantile(0.5),
+            p99_ms: inner.latency.quantile(0.99),
+            samples: inner.latency.total(),
+            counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_endpoint_and_total() {
+        let m = Metrics::new();
+        m.record("map", 1.0);
+        m.record("map", 2.0);
+        m.record("prob", 0.1);
+        m.record("nonsense", 0.1); // ignored endpoint, still timed
+        m.record_rejected();
+        let snap = m.snapshot();
+        let get = |name| snap.counts.iter().find(|(e, _)| *e == name).unwrap().1;
+        assert_eq!(get("map"), 2);
+        assert_eq!(get("prob"), 1);
+        assert_eq!(get("check"), 0);
+        assert_eq!(snap.total, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.samples, 4);
+    }
+
+    #[test]
+    fn quantiles_reflect_recorded_latencies() {
+        let m = Metrics::new();
+        assert!(m.snapshot().p50_ms.is_none(), "no samples yet");
+        for _ in 0..98 {
+            m.record("check", 10.0);
+        }
+        m.record("check", 400.0);
+        m.record("check", 500.0);
+        let snap = m.snapshot();
+        let p50 = snap.p50_ms.unwrap();
+        let p99 = snap.p99_ms.unwrap();
+        assert!((p50 - 10.0).abs() < 5.0, "p50 {p50}");
+        assert!(p99 >= 395.0, "p99 {p99}");
+        assert!(snap.uptime_s >= 0.0);
+    }
+
+    #[test]
+    fn hostile_latencies_do_not_panic() {
+        let m = Metrics::new();
+        m.record("check", f64::NAN);
+        m.record("check", -5.0);
+        m.record("check", 1e12); // clamps into the top bucket
+        let snap = m.snapshot();
+        assert_eq!(snap.samples, 2);
+        assert!(snap.p99_ms.unwrap() <= LATENCY_MAX_MS);
+    }
+}

@@ -1,0 +1,275 @@
+//! The line-delimited request/response codec.
+//!
+//! The build environment is fully offline (no tokio, no serde), so the
+//! wire format is deliberately minimal and hand-rolled:
+//!
+//! * **Request** — one line of UTF-8, `verb key=value key=value …`,
+//!   terminated by `\n`. Keys may appear at most once; unknown keys are
+//!   rejected per verb (mirroring the CLI's unknown-flag policy).
+//! * **Response** — either `ok <nbytes>\n` followed by exactly `nbytes`
+//!   payload bytes, or `err <message>\n`. Byte-counted framing keeps
+//!   multi-line payloads (coverage maps, hole lists) unambiguous.
+//!
+//! Connections are persistent: a client may pipeline any number of
+//! requests before closing. See `DESIGN.md` §"Service layer" for the
+//! full grammar.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a request line, to keep a hostile peer from growing an
+/// unbounded buffer.
+pub const MAX_REQUEST_LINE: usize = 4096;
+
+/// Upper bound on an accepted response payload (client side).
+pub const MAX_RESPONSE_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed request: a verb plus `key=value` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    verb: String,
+    params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an empty line, a malformed
+    /// token (no `=`), or a duplicated key.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut tokens = line.split_whitespace();
+        let Some(verb) = tokens.next() else {
+            return Err("empty request".to_string());
+        };
+        let mut params: Vec<(String, String)> = Vec::new();
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(format!("malformed parameter '{tok}' (want key=value)"));
+            };
+            if key.is_empty() || value.is_empty() {
+                return Err(format!("malformed parameter '{tok}' (empty key or value)"));
+            }
+            if params.iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate parameter '{key}'"));
+            }
+            params.push((key.to_string(), value.to_string()));
+        }
+        Ok(Request {
+            verb: verb.to_string(),
+            params,
+        })
+    }
+
+    /// The request verb.
+    #[must_use]
+    pub fn verb(&self) -> &str {
+        &self.verb
+    }
+
+    /// Rejects any parameter key outside `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown key and the allowed
+    /// set.
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.params {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown parameter '{key}' for '{}' (allowed: {})",
+                    self.verb,
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A typed parameter with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is present but unparseable.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.params.iter().find(|(k, _)| k == key) {
+            None => Ok(default),
+            Some((_, v)) => v.parse().map_err(|e| format!("bad value for {key}: {e}")),
+        }
+    }
+
+    /// A required typed parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the key is missing or unparseable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.params.iter().find(|(k, _)| k == key) {
+            None => Err(format!("missing required parameter '{key}'")),
+            Some((_, v)) => v.parse().map_err(|e| format!("bad value for {key}: {e}")),
+        }
+    }
+}
+
+/// Writes an `ok`-framed payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream.
+pub fn write_ok<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    write!(w, "ok {}\n{payload}", payload.len())?;
+    w.flush()
+}
+
+/// Writes an `err`-framed message (newlines in the message are flattened
+/// so the frame stays one line).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream.
+pub fn write_err<W: Write>(w: &mut W, message: &str) -> io::Result<()> {
+    let flat = message.replace('\n', " ");
+    writeln!(w, "err {flat}")?;
+    w.flush()
+}
+
+/// A response read back by the client codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request succeeded; the payload bytes follow.
+    Ok(String),
+    /// The server rejected the request with a message.
+    Err(String),
+}
+
+/// Reads one framed response. Returns `None` on clean EOF before any
+/// header byte.
+///
+/// # Errors
+///
+/// Returns an I/O error for truncated frames, oversized payloads, or
+/// non-UTF-8 payload bytes.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Option<Response>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches('\n');
+    if let Some(msg) = header.strip_prefix("err ") {
+        return Ok(Some(Response::Err(msg.to_string())));
+    }
+    let Some(len_str) = header.strip_prefix("ok ") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed response header '{header}'"),
+        ));
+    };
+    let len: usize = len_str.parse().map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad payload length '{len_str}': {e}"),
+        )
+    })?;
+    if len > MAX_RESPONSE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload of {len} bytes exceeds the {MAX_RESPONSE_BYTES} limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let payload =
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(Response::Ok(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_verb_and_params() {
+        let req = Request::parse("map side=24 theta-deg=45").unwrap();
+        assert_eq!(req.verb(), "map");
+        assert_eq!(req.get("side", 0usize).unwrap(), 24);
+        assert!((req.get("theta-deg", 0.0f64).unwrap() - 45.0).abs() < 1e-12);
+        assert_eq!(req.get("absent", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("   ").is_err());
+        assert!(Request::parse("map side").is_err());
+        assert!(Request::parse("map =3").is_err());
+        assert!(Request::parse("map side=").is_err());
+        assert!(Request::parse("map side=3 side=4").is_err());
+    }
+
+    #[test]
+    fn allow_only_names_the_stray_key() {
+        let req = Request::parse("map side=24 thets-deg=45").unwrap();
+        let err = req.allow_only(&["side", "theta-deg"]).unwrap_err();
+        assert!(err.contains("thets-deg"), "{err}");
+        assert!(err.contains("theta-deg"), "{err}");
+        assert!(req.allow_only(&["side", "thets-deg"]).is_ok());
+    }
+
+    #[test]
+    fn require_distinguishes_missing_from_bad() {
+        let req = Request::parse("fail id=3").unwrap();
+        assert_eq!(req.require::<usize>("id").unwrap(), 3);
+        assert!(Request::parse("fail")
+            .unwrap()
+            .require::<usize>("id")
+            .unwrap_err()
+            .contains("missing"));
+        assert!(Request::parse("fail id=x")
+            .unwrap()
+            .require::<usize>("id")
+            .unwrap_err()
+            .contains("bad value"));
+    }
+
+    #[test]
+    fn ok_frames_roundtrip_including_newlines() {
+        let payload = "line one\nline two\n";
+        let mut wire = Vec::new();
+        write_ok(&mut wire, payload).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_response(&mut reader).unwrap(),
+            Some(Response::Ok(payload.to_string()))
+        );
+        assert_eq!(read_response(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn err_frames_roundtrip_and_flatten() {
+        let mut wire = Vec::new();
+        write_err(&mut wire, "boom\nwith detail").unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_response(&mut reader).unwrap(),
+            Some(Response::Err("boom with detail".to_string()))
+        );
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_are_io_errors() {
+        let mut reader = BufReader::new(&b"ok 10\nshort"[..]);
+        assert!(read_response(&mut reader).is_err());
+        let mut reader = BufReader::new(&b"what 3\nabc"[..]);
+        assert!(read_response(&mut reader).is_err());
+        let mut reader = BufReader::new(&b"ok nope\n"[..]);
+        assert!(read_response(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! A bounded job queue with a hand-rolled worker thread pool.
+//!
+//! Connection handlers never evaluate coverage themselves: they enqueue
+//! a job and wait on a per-request channel. That gives the daemon a
+//! single throttle point — the queue bound is the back-pressure
+//! mechanism (`submit` fails fast with [`SubmitError::Full`] instead of
+//! letting a burst of heavy `check` requests pile up unboundedly) — and
+//! keeps the number of concurrent dense-grid sweeps at the worker count
+//! regardless of how many clients are connected.
+//!
+//! Shutdown is *draining*: closing the queue stops new submissions, but
+//! workers finish everything already queued before exiting, so every
+//! connection that got its job accepted also gets its response.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work executed on a pool worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — the client should retry later.
+    Full,
+    /// The queue was closed by shutdown.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue full, retry later"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// The bounded queue plus its worker pool.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    capacity: usize,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("workers", &self.workers)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl JobQueue {
+    /// Spawns `workers` pool threads servicing a queue bounded at
+    /// `capacity` jobs.
+    ///
+    /// Both arguments are clamped to at least 1; `workers == 0` means
+    /// one per available CPU (the same convention as every other thread
+    /// count in this workspace, and like them never resolving to zero).
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            workers
+        }
+        .max(1);
+        let capacity = capacity.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        JobQueue {
+            shared,
+            capacity,
+            workers,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues a job for the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::ShuttingDown`]
+    /// after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        if !state.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not counting ones being executed).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").jobs.len()
+    }
+
+    /// The queue bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The resolved worker count (never zero).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Closes the queue and waits for the workers to drain every job
+    /// already accepted. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.open = false;
+        }
+        self.shared.available.notify_all();
+        let mut handles = self.handles.lock().expect("handles lock");
+        for handle in handles.drain(..) {
+            handle.join().expect("queue worker panicked");
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.available.wait(state).expect("queue lock");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let queue = JobQueue::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            queue
+                .submit(Box::new(move || tx.send(i * i).expect("send")))
+                .expect("submit");
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_rejects_when_full() {
+        // One worker parked on a gate so the queue can fill up.
+        let queue = JobQueue::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        queue
+            .submit(Box::new(move || {
+                started_tx.send(()).expect("send");
+                gate_rx.recv().expect("gate");
+            }))
+            .expect("blocker");
+        started_rx.recv().expect("worker picked up blocker");
+        queue.submit(Box::new(|| {})).expect("slot 1");
+        queue.submit(Box::new(|| {})).expect("slot 2");
+        assert_eq!(queue.submit(Box::new(|| {})), Err(SubmitError::Full));
+        assert_eq!(queue.depth(), 2);
+        gate_tx.send(()).expect("open gate");
+        queue.shutdown();
+        assert_eq!(queue.depth(), 0, "drained");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let queue = JobQueue::new(1, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            queue
+                .submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }))
+                .expect("submit");
+        }
+        queue.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 32, "every job ran");
+        assert_eq!(
+            queue.submit(Box::new(|| {})),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_at_least_one() {
+        let queue = JobQueue::new(0, 4);
+        assert!(queue.workers() >= 1);
+        let (tx, rx) = mpsc::channel();
+        queue
+            .submit(Box::new(move || tx.send(42).expect("send")))
+            .expect("submit");
+        assert_eq!(rx.recv().expect("result"), 42);
+        // Capacity is clamped too.
+        let tiny = JobQueue::new(1, 0);
+        assert_eq!(tiny.capacity(), 1);
+    }
+}

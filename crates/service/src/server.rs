@@ -1,0 +1,657 @@
+//! The daemon: TCP acceptor, connection handlers, query dispatch.
+//!
+//! One process owns one fleet. The [`CameraNetwork`] (and with it the
+//! warm `SpatialGrid`/tile structures) is loaded or generated once at
+//! startup and lives behind an `RwLock`: queries take cheap read locks,
+//! mutations (`fail`, `move`, `reseed`) take the write lock, refresh the
+//! canonical fingerprint, and invalidate exactly the network-dependent
+//! cache entries.
+//!
+//! Locking discipline: the fleet lock and the cache lock are **never
+//! held simultaneously** — every code path acquires, uses, and releases
+//! them sequentially, which makes lock-order deadlocks impossible. The
+//! price is a benign race: a query whose job runs concurrently with a
+//! mutation may insert a result keyed under the *pre-mutation*
+//! fingerprint; such an entry can never be looked up again (keys embed
+//! the fingerprint) and is reclaimed by LRU eviction.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request};
+use crate::queue::JobQueue;
+use fullview_core::canon::{network_fingerprint, profile_fingerprint, CanonicalHasher};
+use fullview_core::{
+    coverage_map_text, find_holes, for_each_view_multiplicity, hole_report_text,
+    prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
+    prob_point_meets_sufficient_poisson, EffectiveAngle,
+};
+use fullview_deploy::deploy_uniform;
+use fullview_geom::{Angle, Point, UnitGrid};
+use fullview_model::{CameraNetwork, NetworkProfile};
+use fullview_sim::evaluate_dense_grid_parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the daemon is assembled: fleet provenance, default effective
+/// angle, and the sizing of the worker pool, queue, and cache.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; use port `0` for an ephemeral port (the bound
+    /// address is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Heterogeneous camera mix for generation and theory queries.
+    pub profile: NetworkProfile,
+    /// Fleet size for generation and `reseed`.
+    pub n: usize,
+    /// Deployment seed for generation.
+    pub seed: u64,
+    /// Default effective angle θ; per-request `theta-deg` overrides it.
+    pub theta: EffectiveAngle,
+    /// Threads per dense-grid sweep (`0` = one per CPU, never zero).
+    pub eval_threads: usize,
+    /// Worker pool size (`0` = one per CPU, never zero).
+    pub workers: usize,
+    /// Job queue bound (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Result cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// A pre-built network (e.g. loaded from the text format). When set,
+    /// it replaces generation; `reseed` still regenerates from
+    /// `profile`/`n`.
+    pub preloaded: Option<CameraNetwork>,
+}
+
+impl ServiceConfig {
+    /// A config with the documented defaults: ephemeral loopback port,
+    /// 400 cameras from seed 0, θ = 45°, auto eval threads, 2 workers,
+    /// queue bound 64, cache capacity 128.
+    #[must_use]
+    pub fn new(profile: NetworkProfile) -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            profile,
+            n: 400,
+            seed: 0,
+            theta: EffectiveAngle::new(std::f64::consts::FRAC_PI_4).expect("45° is valid"),
+            eval_threads: 0,
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            preloaded: None,
+        }
+    }
+}
+
+/// The mutable fleet state guarded by the `RwLock`.
+struct Fleet {
+    profile: NetworkProfile,
+    net: CameraNetwork,
+    net_fp: u64,
+    profile_fp: u64,
+}
+
+struct ServerCtx {
+    fleet: RwLock<Fleet>,
+    cache: Mutex<ResultCache>,
+    metrics: Metrics,
+    queue: JobQueue,
+    theta_default: EffectiveAngle,
+    eval_threads: usize,
+    reseed_n: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::wait`] after a
+/// client sent `shutdown`) drains in-flight jobs before returning.
+pub struct Server {
+    ctx: Arc<ServerCtx>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.ctx.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener, builds (or adopts) the fleet, spawns the
+    /// worker pool and the acceptor thread, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or a deployment error from fleet
+    /// generation (surfaced as [`io::ErrorKind::InvalidInput`]).
+    pub fn start(config: ServiceConfig) -> io::Result<Server> {
+        let net = match config.preloaded {
+            Some(net) => net,
+            None => {
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                deploy_uniform(
+                    fullview_geom::Torus::unit(),
+                    &config.profile,
+                    config.n,
+                    &mut rng,
+                )
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            }
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let net_fp = network_fingerprint(&net);
+        let profile_fp = profile_fingerprint(&config.profile);
+        let ctx = Arc::new(ServerCtx {
+            fleet: RwLock::new(Fleet {
+                profile: config.profile,
+                net,
+                net_fp,
+                profile_fp,
+            }),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: Metrics::new(),
+            queue: JobQueue::new(config.workers, config.queue_capacity),
+            theta_default: config.theta,
+            eval_threads: config.eval_threads,
+            reseed_n: config.n.max(1),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let acceptor_ctx = Arc::clone(&ctx);
+        let acceptor = std::thread::spawn(move || accept_loop(&listener, &acceptor_ctx));
+        Ok(Server {
+            ctx,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port request).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// Initiates shutdown programmatically (equivalent to a client
+    /// `shutdown` request). Returns without waiting; see
+    /// [`wait`](Self::wait).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.ctx);
+    }
+
+    /// Blocks until the daemon has fully stopped: acceptor exited, every
+    /// connection handler finished, and the job queue drained.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            handle.join().expect("acceptor thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.ctx);
+        if let Some(handle) = self.acceptor.take() {
+            handle.join().expect("acceptor thread panicked");
+        }
+    }
+}
+
+fn initiate_shutdown(ctx: &ServerCtx) {
+    if ctx.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    // Wake the acceptor out of its blocking accept.
+    let _ = TcpStream::connect(ctx.addr);
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<ServerCtx>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let ctx = Arc::clone(ctx);
+                handlers.push(std::thread::spawn(move || handle_connection(&ctx, &stream)));
+            }
+            Err(_) => continue,
+        }
+    }
+    // Graceful drain: handlers notice the flag within one read timeout;
+    // any job they already submitted completes before the pool stops.
+    for handle in handlers {
+        handle.join().expect("connection handler panicked");
+    }
+    ctx.queue.shutdown();
+}
+
+/// Reads the next `\n`-terminated line, checking the shutdown flag on
+/// every read timeout so idle keep-alive connections cannot stall the
+/// drain. Returns `None` on EOF, shutdown, or an oversized line.
+fn next_line(stream: &TcpStream, carry: &mut Vec<u8>, ctx: &ServerCtx) -> Option<String> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+            let rest = carry.split_off(pos + 1);
+            let mut line = std::mem::replace(carry, rest);
+            line.pop(); // the newline
+            return String::from_utf8(line).ok();
+        }
+        if carry.len() > protocol::MAX_REQUEST_LINE {
+            return None;
+        }
+        match (&mut (&*stream)).read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut carry: Vec<u8> = Vec::new();
+    while let Some(line) = next_line(stream, &mut carry, ctx) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let mut writer = stream;
+        match Request::parse(&line) {
+            Err(message) => {
+                ctx.metrics.record_rejected();
+                if protocol::write_err(&mut writer, &message).is_err() {
+                    return;
+                }
+            }
+            Ok(req) => {
+                let verb = req.verb().to_string();
+                match dispatch(ctx, &req) {
+                    Ok(payload) => {
+                        ctx.metrics
+                            .record(&verb, started.elapsed().as_secs_f64() * 1e3);
+                        if protocol::write_ok(&mut writer, &payload).is_err() {
+                            return;
+                        }
+                        if verb == "shutdown" {
+                            initiate_shutdown(ctx);
+                            return;
+                        }
+                    }
+                    Err(message) => {
+                        ctx.metrics.record_rejected();
+                        if protocol::write_err(&mut writer, &message).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Which cached query a request resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryKind {
+    Check,
+    Map,
+    Holes,
+    Kfull,
+    Prob,
+}
+
+impl QueryKind {
+    fn name(self) -> &'static str {
+        match self {
+            QueryKind::Check => "check",
+            QueryKind::Map => "map",
+            QueryKind::Holes => "holes",
+            QueryKind::Kfull => "kfull",
+            QueryKind::Prob => "prob",
+        }
+    }
+
+    /// Whether answers depend on the deployed network (vs profile only).
+    fn network_dependent(self) -> bool {
+        !matches!(self, QueryKind::Prob)
+    }
+}
+
+/// Resolved, validated query parameters — everything the digest and the
+/// compute step need.
+#[derive(Debug, Clone, Copy)]
+struct QueryParams {
+    theta: EffectiveAngle,
+    side: usize,
+    grid: usize,
+    k: usize,
+    density: f64,
+}
+
+fn theta_of(ctx: &ServerCtx, req: &Request) -> Result<EffectiveAngle, String> {
+    let deg: f64 = req.get("theta-deg", f64::NAN)?;
+    if deg.is_nan() {
+        return Ok(ctx.theta_default);
+    }
+    EffectiveAngle::new(deg.to_radians()).map_err(|e| e.to_string())
+}
+
+fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryParams, String> {
+    match kind {
+        QueryKind::Check => req.allow_only(&["theta-deg"])?,
+        QueryKind::Map => req.allow_only(&["theta-deg", "side"])?,
+        QueryKind::Holes => req.allow_only(&["theta-deg", "grid"])?,
+        QueryKind::Kfull => req.allow_only(&["theta-deg", "k", "grid"])?,
+        QueryKind::Prob => req.allow_only(&["theta-deg", "density"])?,
+    }
+    let params = QueryParams {
+        theta: theta_of(ctx, req)?,
+        side: req.get("side", 48usize)?,
+        grid: req.get("grid", 24usize)?,
+        k: req.get("k", 2usize)?,
+        density: req.get("density", 800.0f64)?,
+    };
+    if params.side == 0 || params.grid == 0 {
+        return Err("side/grid must be positive".to_string());
+    }
+    if !params.density.is_finite() || params.density <= 0.0 {
+        return Err(format!(
+            "density must be finite and positive, got {}",
+            params.density
+        ));
+    }
+    Ok(params)
+}
+
+/// The canonical cache key of a query against the current fleet state.
+/// Only answer-affecting inputs are digested — evaluation thread counts
+/// are excluded because sweeps are bit-identical at any thread count.
+fn digest(kind: QueryKind, params: &QueryParams, fleet: &Fleet) -> u64 {
+    let mut h = CanonicalHasher::new();
+    h.write_str(kind.name());
+    h.write_f64(params.theta.radians());
+    match kind {
+        QueryKind::Check => {}
+        QueryKind::Map => h.write_usize(params.side),
+        QueryKind::Holes => h.write_usize(params.grid),
+        QueryKind::Kfull => {
+            h.write_usize(params.k);
+            h.write_usize(params.grid);
+        }
+        QueryKind::Prob => h.write_f64(params.density),
+    }
+    h.write_u64(if kind.network_dependent() {
+        fleet.net_fp
+    } else {
+        fleet.profile_fp
+    });
+    h.finish()
+}
+
+fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams) -> String {
+    let theta = params.theta;
+    match kind {
+        QueryKind::Check => {
+            let report =
+                evaluate_dense_grid_parallel(&fleet.net, theta, Angle::ZERO, ctx.eval_threads);
+            format!(
+                "{} cameras\n{report}\nfull-view fraction {:.4}\n",
+                fleet.net.len(),
+                report.full_view_fraction()
+            )
+        }
+        QueryKind::Map => coverage_map_text(&fleet.net, theta, params.side),
+        QueryKind::Holes => hole_report_text(&find_holes(&fleet.net, theta, params.grid)),
+        QueryKind::Kfull => {
+            let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
+            let mut meeting = 0usize;
+            for_each_view_multiplicity(&fleet.net, &grid, theta, |_, multiplicity| {
+                if multiplicity >= params.k {
+                    meeting += 1;
+                }
+            });
+            format!(
+                "k-full-view k={} grid={}: fraction {:.4} ({meeting}/{} points)\n",
+                params.k,
+                params.grid,
+                meeting as f64 / grid.len() as f64,
+                grid.len()
+            )
+        }
+        QueryKind::Prob => {
+            let mut out = String::new();
+            let _ = writeln!(out, "density {}, {theta}", params.density);
+            let _ = writeln!(
+                out,
+                "P_N (Theorem 3) = {:.4}",
+                prob_point_meets_necessary_poisson(&fleet.profile, params.density, theta)
+            );
+            let _ = writeln!(
+                out,
+                "P_S (Theorem 4) = {:.4}",
+                prob_point_meets_sufficient_poisson(&fleet.profile, params.density, theta)
+            );
+            let _ = writeln!(
+                out,
+                "exact P(full-view) = {:.4}",
+                prob_point_full_view_poisson(&fleet.profile, params.density, theta)
+            );
+            out
+        }
+    }
+}
+
+/// Cache-or-queue execution of one query request.
+fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<String, String> {
+    let params = parse_query(ctx, req, kind)?;
+    let key = {
+        let fleet = ctx.fleet.read().expect("fleet lock");
+        digest(kind, &params, &fleet)
+    };
+    if let Some(hit) = ctx.cache.lock().expect("cache lock").get(key) {
+        return Ok(hit);
+    }
+    let (tx, rx) = mpsc::channel();
+    let job_ctx = Arc::clone(ctx);
+    ctx.queue
+        .submit(Box::new(move || {
+            // Re-derive the key inside the job: the fleet may have
+            // mutated since the lookup, and the cache entry must match
+            // the state the answer was computed from.
+            let (key, payload) = {
+                let fleet = job_ctx.fleet.read().expect("fleet lock");
+                (
+                    digest(kind, &params, &fleet),
+                    compute(&job_ctx, &fleet, kind, &params),
+                )
+            };
+            job_ctx.cache.lock().expect("cache lock").insert(
+                key,
+                payload.clone(),
+                kind.network_dependent(),
+            );
+            let _ = tx.send(payload);
+        }))
+        .map_err(|e| e.to_string())?;
+    rx.recv()
+        .map_err(|_| "worker dropped the job (shutting down?)".to_string())
+}
+
+fn run_fail(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["id"])?;
+    let id: usize = req.require("id")?;
+    let remaining = {
+        let mut fleet = ctx.fleet.write().expect("fleet lock");
+        if !fleet.net.remove_camera(id) {
+            return Err(format!(
+                "no camera with id {id} (fleet has {})",
+                fleet.net.len()
+            ));
+        }
+        fleet.net_fp = network_fingerprint(&fleet.net);
+        fleet.net.len()
+    };
+    let invalidated = ctx
+        .cache
+        .lock()
+        .expect("cache lock")
+        .invalidate_network_dependent();
+    Ok(format!(
+        "failed camera {id}; {remaining} cameras remain; invalidated {invalidated} cached results\n"
+    ))
+}
+
+fn run_move(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["id", "x", "y"])?;
+    let id: usize = req.require("id")?;
+    let x: f64 = req.require("x")?;
+    let y: f64 = req.require("y")?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err("x and y must be finite".to_string());
+    }
+    let position = {
+        let mut fleet = ctx.fleet.write().expect("fleet lock");
+        if !fleet.net.move_camera(id, Point::new(x, y)) {
+            return Err(format!(
+                "no camera with id {id} (fleet has {})",
+                fleet.net.len()
+            ));
+        }
+        fleet.net_fp = network_fingerprint(&fleet.net);
+        fleet.net.cameras()[id].position()
+    };
+    let invalidated = ctx
+        .cache
+        .lock()
+        .expect("cache lock")
+        .invalidate_network_dependent();
+    Ok(format!(
+        "moved camera {id} to {position}; invalidated {invalidated} cached results\n"
+    ))
+}
+
+fn run_reseed(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["seed", "n"])?;
+    let seed: u64 = req.require("seed")?;
+    let n: usize = req.get("n", ctx.reseed_n)?;
+    if n == 0 {
+        return Err("n must be positive".to_string());
+    }
+    let deployed = {
+        let mut fleet = ctx.fleet.write().expect("fleet lock");
+        let torus = *fleet.net.torus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = deploy_uniform(torus, &fleet.profile, n, &mut rng).map_err(|e| e.to_string())?;
+        fleet.net_fp = network_fingerprint(&net);
+        fleet.net = net;
+        fleet.net.len()
+    };
+    let invalidated = ctx
+        .cache
+        .lock()
+        .expect("cache lock")
+        .invalidate_network_dependent();
+    Ok(format!(
+        "reseeded fleet: {deployed} cameras from seed {seed}; invalidated {invalidated} cached results\n"
+    ))
+}
+
+fn render_stats(ctx: &ServerCtx) -> String {
+    let (cameras, groups) = {
+        let fleet = ctx.fleet.read().expect("fleet lock");
+        (fleet.net.len(), fleet.profile.group_count())
+    };
+    let cache = ctx.cache.lock().expect("cache lock").stats();
+    let snap = ctx.metrics.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "service: uptime_s={:.1} cameras={cameras} profile_groups={groups}",
+        snap.uptime_s
+    );
+    let _ = write!(out, "requests:");
+    for (endpoint, count) in &snap.counts {
+        let _ = write!(out, " {endpoint}={count}");
+    }
+    let _ = writeln!(out, " total={} rejected={}", snap.total, snap.rejected);
+    let _ = writeln!(
+        out,
+        "queue: depth={} capacity={} workers={}",
+        ctx.queue.depth(),
+        ctx.queue.capacity(),
+        ctx.queue.workers()
+    );
+    let _ = writeln!(
+        out,
+        "cache: entries={} capacity={} hits={} misses={} hit_rate={:.4} evictions={} invalidated={}",
+        cache.entries,
+        cache.capacity,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate(),
+        cache.evictions,
+        cache.invalidated
+    );
+    let fmt_q = |q: Option<f64>| q.map_or_else(|| "na".to_string(), |v| format!("{v:.3}"));
+    let _ = writeln!(
+        out,
+        "latency_ms: p50={} p99={} samples={}",
+        fmt_q(snap.p50_ms),
+        fmt_q(snap.p99_ms),
+        snap.samples
+    );
+    out
+}
+
+fn dispatch(ctx: &Arc<ServerCtx>, req: &Request) -> Result<String, String> {
+    match req.verb() {
+        "ping" => {
+            req.allow_only(&[])?;
+            Ok("pong\n".to_string())
+        }
+        "stats" => {
+            req.allow_only(&[])?;
+            Ok(render_stats(ctx))
+        }
+        "shutdown" => {
+            req.allow_only(&[])?;
+            Ok("shutting down: draining in-flight jobs\n".to_string())
+        }
+        "check" => run_query(ctx, req, QueryKind::Check),
+        "map" => run_query(ctx, req, QueryKind::Map),
+        "holes" => run_query(ctx, req, QueryKind::Holes),
+        "kfull" => run_query(ctx, req, QueryKind::Kfull),
+        "prob" => run_query(ctx, req, QueryKind::Prob),
+        "fail" => run_fail(ctx, req),
+        "move" => run_move(ctx, req),
+        "reseed" => run_reseed(ctx, req),
+        other => Err(format!(
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, fail, move, reseed, ping, shutdown)"
+        )),
+    }
+}

@@ -257,6 +257,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_clamps_to_one_worker_minimum() {
+        // `effective_threads` never resolves to zero, whatever mix of
+        // zero threads / zero chunks it is handed.
+        assert!(effective_threads(0, 16) >= 1);
+        assert_eq!(effective_threads(3, 0), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+        // And threads=0 sweeps run and stay bit-identical to serial.
+        let net = random_network(80, 11);
+        let grid = UnitGrid::new(Torus::unit(), 48);
+        let th = theta(PI / 3.0);
+        let serial = evaluate_grid(&net, th, &grid, Angle::ZERO);
+        assert_eq!(
+            evaluate_grid_parallel(&net, th, &grid, Angle::ZERO, 0),
+            serial
+        );
+        assert_eq!(
+            evaluate_grid_parallel_flat(&net, th, &grid, Angle::ZERO, 0),
+            serial
+        );
+    }
+
+    #[test]
     fn auto_thread_count_matches_serial() {
         let net = random_network(60, 7);
         let th = theta(PI / 4.0);

@@ -179,6 +179,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_clamps_to_one() {
+        // `with_threads(0)` means "one per CPU" and must never resolve to
+        // zero workers, even when the platform query fails.
+        let cfg = RunConfig::new(100).with_seed(3).with_threads(0);
+        assert!(cfg.effective_threads() >= 1);
+        let auto = run_trials_map(cfg, |s| s);
+        let one = run_trials_map(cfg.with_threads(1), |s| s);
+        assert_eq!(auto, one, "thread count must not change results");
+        assert_eq!(auto.len(), 100);
+        // The clamp also caps at the trial count.
+        assert_eq!(RunConfig::new(2).with_threads(64).effective_threads(), 2);
+        assert_eq!(RunConfig::new(0).with_threads(0).effective_threads(), 1);
+    }
+
+    #[test]
     fn all_seeds_distinct() {
         let v = run_trials_map(RunConfig::new(1000), |s| s);
         let set: HashSet<u64> = v.into_iter().collect();

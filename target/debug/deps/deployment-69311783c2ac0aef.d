@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deployment-69311783c2ac0aef.d: crates/bench/benches/deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeployment-69311783c2ac0aef.rmeta: crates/bench/benches/deployment.rs Cargo.toml
+
+crates/bench/benches/deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-1d2edddfed4cb0d4.d: crates/service/tests/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-1d2edddfed4cb0d4.rmeta: crates/service/tests/e2e.rs Cargo.toml
+
+crates/service/tests/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

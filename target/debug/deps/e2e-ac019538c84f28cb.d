@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-ac019538c84f28cb.d: crates/service/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-ac019538c84f28cb: crates/service/tests/e2e.rs
+
+crates/service/tests/e2e.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fullview_bench-0bc53545caa3cb98.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-0bc53545caa3cb98.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-0bc53545caa3cb98.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

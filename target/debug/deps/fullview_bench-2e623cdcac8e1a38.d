@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_bench-2e623cdcac8e1a38.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fullview_bench-2e623cdcac8e1a38: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fullview_core-2fb603a267a7fc09.d: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs Cargo.toml
+/root/repo/target/debug/deps/fullview_core-2fb603a267a7fc09.d: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/canon.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/render.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfullview_core-2fb603a267a7fc09.rmeta: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs Cargo.toml
+/root/repo/target/debug/deps/libfullview_core-2fb603a267a7fc09.rmeta: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/canon.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/render.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/barrier.rs:
+crates/core/src/canon.rs:
 crates/core/src/conditions.rs:
 crates/core/src/csa.rs:
 crates/core/src/densegrid.rs:
@@ -20,6 +21,7 @@ crates/core/src/numeric.rs:
 crates/core/src/path.rs:
 crates/core/src/poisson_theory.rs:
 crates/core/src/probabilistic.rs:
+crates/core/src/render.rs:
 crates/core/src/temporal.rs:
 crates/core/src/theta.rs:
 crates/core/src/uniform_theory.rs:

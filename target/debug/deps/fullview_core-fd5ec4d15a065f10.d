@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/fullview_core-fd5ec4d15a065f10.d: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
+/root/repo/target/debug/deps/fullview_core-fd5ec4d15a065f10.d: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/canon.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/render.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
 
-/root/repo/target/debug/deps/libfullview_core-fd5ec4d15a065f10.rlib: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
+/root/repo/target/debug/deps/libfullview_core-fd5ec4d15a065f10.rlib: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/canon.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/render.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
 
-/root/repo/target/debug/deps/libfullview_core-fd5ec4d15a065f10.rmeta: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
+/root/repo/target/debug/deps/libfullview_core-fd5ec4d15a065f10.rmeta: crates/core/src/lib.rs crates/core/src/barrier.rs crates/core/src/canon.rs crates/core/src/conditions.rs crates/core/src/csa.rs crates/core/src/densegrid.rs crates/core/src/dependence.rs crates/core/src/design.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/fullview.rs crates/core/src/holes.rs crates/core/src/kcov.rs crates/core/src/kfullview.rs crates/core/src/numeric.rs crates/core/src/path.rs crates/core/src/poisson_theory.rs crates/core/src/probabilistic.rs crates/core/src/render.rs crates/core/src/temporal.rs crates/core/src/theta.rs crates/core/src/uniform_theory.rs
 
 crates/core/src/lib.rs:
 crates/core/src/barrier.rs:
+crates/core/src/canon.rs:
 crates/core/src/conditions.rs:
 crates/core/src/csa.rs:
 crates/core/src/densegrid.rs:
@@ -22,6 +23,7 @@ crates/core/src/numeric.rs:
 crates/core/src/path.rs:
 crates/core/src/poisson_theory.rs:
 crates/core/src/probabilistic.rs:
+crates/core/src/render.rs:
 crates/core/src/temporal.rs:
 crates/core/src/theta.rs:
 crates/core/src/uniform_theory.rs:

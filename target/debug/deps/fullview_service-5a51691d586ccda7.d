@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fullview_service-5a51691d586ccda7.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_service-5a51691d586ccda7.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/metrics.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_coverage-2b5f7a7f638b3f8a.d: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_coverage-2b5f7a7f638b3f8a.rmeta: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+crates/bench/benches/grid_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fullview_bench-6ffae59389059ece.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-6ffae59389059ece.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-6ffae59389059ece.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

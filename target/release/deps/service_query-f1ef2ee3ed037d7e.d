@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_query-f1ef2ee3ed037d7e.d: crates/bench/benches/service_query.rs
+
+/root/repo/target/release/deps/service_query-f1ef2ee3ed037d7e: crates/bench/benches/service_query.rs
+
+crates/bench/benches/service_query.rs:
