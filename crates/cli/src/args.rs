@@ -1,14 +1,20 @@
 //! Minimal `--key value` argument parsing for `fvc`.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: a subcommand plus `--key value` options and
-/// bare `--flag`s.
+/// Subcommands that take a second positional word (an *action*), e.g.
+/// `fvc cluster serve`. Every other subcommand keeps rejecting stray
+/// positionals.
+pub const ACTION_SUBCOMMANDS: &[&str] = &["cluster"];
+
+/// A parsed command line: a subcommand (plus an action word for
+/// [`ACTION_SUBCOMMANDS`]), `--key value` options in the order given
+/// (repeats allowed), and bare `--flag`s.
 #[derive(Debug, Clone, Default)]
 pub struct Cli {
     subcommand: Option<String>,
-    options: BTreeMap<String, String>,
+    action: Option<String>,
+    options: Vec<(String, String)>,
     flags: Vec<String>,
 }
 
@@ -43,6 +49,11 @@ impl Cli {
                 cli.subcommand = iter.next();
             }
         }
+        if let (Some(sub), Some(next)) = (cli.subcommand.as_deref(), iter.peek()) {
+            if ACTION_SUBCOMMANDS.contains(&sub) && !next.starts_with("--") {
+                cli.action = iter.next();
+            }
+        }
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(ArgError(format!("unexpected positional argument '{arg}'")));
@@ -50,7 +61,7 @@ impl Cli {
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
                     let value = iter.next().expect("peeked");
-                    cli.options.insert(name.to_string(), value);
+                    cli.options.push((name.to_string(), value));
                 }
                 _ => cli.flags.push(name.to_string()),
             }
@@ -64,6 +75,13 @@ impl Cli {
         self.subcommand.as_deref()
     }
 
+    /// The action word after an [`ACTION_SUBCOMMANDS`] subcommand
+    /// (e.g. `serve` in `fvc cluster serve`), if given.
+    #[must_use]
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
+    }
+
     /// Whether a bare flag is present.
     #[must_use]
     pub fn flag(&self, name: &str) -> bool {
@@ -72,7 +90,15 @@ impl Cli {
 
     /// Every `--key value` option name present on the command line.
     pub fn option_names(&self) -> impl Iterator<Item = &str> {
-        self.options.keys().map(String::as_str)
+        self.options.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Every value given for a repeatable option, in command-line order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.options
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Every bare `--flag` name present on the command line.
@@ -92,9 +118,11 @@ impl Cli {
             if allowed.contains(&name) {
                 continue;
             }
-            let context = self
-                .subcommand()
-                .map_or_else(String::new, |s| format!(" for '{s}'"));
+            let context = match (self.subcommand(), self.action()) {
+                (Some(s), Some(a)) => format!(" for '{s} {a}'"),
+                (Some(s), None) => format!(" for '{s}'"),
+                _ => String::new(),
+            };
             let hint = did_you_mean(name, allowed)
                 .map_or_else(String::new, |c| format!(" (did you mean --{c}?)"));
             return Err(ArgError(format!("unknown option --{name}{context}{hint}")));
@@ -102,7 +130,9 @@ impl Cli {
         Ok(())
     }
 
-    /// A typed option with default.
+    /// A typed option with default. When an option repeats, the last
+    /// occurrence wins (repeat-aware commands read them all via
+    /// [`get_all`](Self::get_all)).
     ///
     /// # Errors
     ///
@@ -111,9 +141,9 @@ impl Cli {
     where
         T::Err: fmt::Display,
     {
-        match self.options.get(name) {
+        match self.options.iter().rev().find(|(k, _)| k == name) {
             None => Ok(default),
-            Some(v) => v
+            Some((_, v)) => v
                 .parse()
                 .map_err(|e| ArgError(format!("bad value for --{name}: {e}"))),
         }
@@ -185,6 +215,48 @@ mod tests {
     #[test]
     fn stray_positional_is_error() {
         assert!(Cli::parse(["csa", "oops"]).is_err());
+    }
+
+    #[test]
+    fn action_subcommands_take_one_action_word() {
+        let cli = Cli::parse(["cluster", "serve", "--addr", "127.0.0.1:0"]).unwrap();
+        assert_eq!(cli.subcommand(), Some("cluster"));
+        assert_eq!(cli.action(), Some("serve"));
+        assert_eq!(cli.get("addr", String::new()).unwrap(), "127.0.0.1:0");
+        // Only one action word: anything after it is still a stray.
+        assert!(Cli::parse(["cluster", "serve", "oops"]).is_err());
+        // The action is optional (the command reports its own usage).
+        let cli = Cli::parse(["cluster"]).unwrap();
+        assert_eq!(cli.action(), None);
+        // Non-action subcommands never absorb a positional.
+        assert!(Cli::parse(["map", "serve"]).is_err());
+    }
+
+    #[test]
+    fn repeated_options_keep_every_value_and_get_takes_the_last() {
+        let cli = Cli::parse([
+            "query",
+            "--req",
+            "ping",
+            "--req",
+            "map side=8",
+            "--addr",
+            "a",
+        ])
+        .unwrap();
+        let all: Vec<&str> = cli.get_all("req").collect();
+        assert_eq!(all, ["ping", "map side=8"]);
+        assert_eq!(cli.get("req", String::new()).unwrap(), "map side=8");
+        assert_eq!(cli.get_all("missing").count(), 0);
+    }
+
+    #[test]
+    fn reject_unknown_names_the_action_context() {
+        let cli = Cli::parse(["cluster", "serve", "--shrads", "a,b"]).unwrap();
+        let err = cli.reject_unknown(&["addr", "shards"]).unwrap_err();
+        assert!(err.0.contains("unknown option --shrads"), "{err}");
+        assert!(err.0.contains("for 'cluster serve'"), "{err}");
+        assert!(err.0.contains("did you mean --shards?"), "{err}");
     }
 
     #[test]

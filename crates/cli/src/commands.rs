@@ -6,6 +6,7 @@
 //! `--radius`, `--aov-deg`, `--n`, and `--seed`.
 
 use crate::args::{ArgError, Cli};
+use fullview_cluster::{ClusterConfig, Coordinator};
 use fullview_core::{
     analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
     find_holes, is_full_view_covered, max_cameras_below_necessary, min_cameras_for_guarantee,
@@ -34,7 +35,7 @@ use std::error::Error;
 /// Propagates argument and model errors with readable messages.
 pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
     if let Some(sub) = cli.subcommand() {
-        if let Some(allowed) = allowed_options(sub) {
+        if let Some(allowed) = allowed_options(sub, cli.action()) {
             cli.reject_unknown(allowed)?;
         }
     }
@@ -53,6 +54,7 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         Some("save") => cmd_save(cli),
         Some("serve") => cmd_serve(cli),
         Some("query") => cmd_query(cli),
+        Some("cluster") => cmd_cluster(cli),
         Some(other) => Err(Box::new(ArgError(format!(
             "unknown subcommand '{other}'\n{USAGE}"
         )))),
@@ -63,10 +65,11 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
     }
 }
 
-/// The options and flags each subcommand accepts; anything else is
+/// The options and flags each subcommand (and, for action subcommands
+/// like `cluster`, each `sub action` pair) accepts; anything else is
 /// rejected up front with a "did you mean" hint. `None` for a subcommand
-/// we do not know (its own error message follows in `run`).
-fn allowed_options(sub: &str) -> Option<&'static [&'static str]> {
+/// or action we do not know (its own error message follows in `run`).
+fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static str]> {
     const NETWORK: &[&str] = &[
         "theta-deg",
         "radius",
@@ -182,7 +185,21 @@ fn allowed_options(sub: &str) -> Option<&'static [&'static str]> {
             "queue",
             "cache",
         ],
-        "query" => &["addr", "req"],
+        "query" => &["addr", "req", "window"],
+        "cluster" => match action {
+            Some("serve") => &[
+                "addr",
+                "shards",
+                "chunks",
+                "inflight",
+                "retries",
+                "backoff-ms",
+                "backoff-cap-ms",
+                "snapshot-dir",
+            ],
+            Some("status") => &["addr"],
+            _ => return None,
+        },
         _ => return None,
     };
     debug_assert!(
@@ -225,10 +242,16 @@ COMMANDS:
              --out net.txt --n 1000 --radius 0.1 --aov-deg 90 [--seed 0]
   serve    run the coverage-evaluation daemon (TCP, line protocol)
              --addr 127.0.0.1:7411 --n 400 [--workers 2 --queue 64 --cache 128]
-  query    send one request to a running daemon and print the reply
-             --addr 127.0.0.1:7411 --req 'map side=24'   (also: check, holes,
-             kfull, prob, stats, fail id=N, move id=N x=X y=Y, reseed seed=S,
-             ping, shutdown)
+  query    send requests to a running daemon or cluster over one
+           persistent connection; repeat --req to pipeline several
+             --addr 127.0.0.1:7411 --req 'map side=24' --req stats
+             (also: check, holes, kfull, prob, fail id=N,
+             move id=N x=X y=Y, reseed seed=S, ping, shutdown)
+  cluster  front N daemons with a scatter-gather coordinator
+             serve  --shards 127.0.0.1:7411,127.0.0.1:7413
+                    [--addr 127.0.0.1:7412 --snapshot-dir DIR --chunks C
+                     --inflight W --retries R --backoff-ms B]
+             status [--addr 127.0.0.1:7412]
 
 Most commands accept --load FILE to analyse a saved network (see `save`)
 instead of generating a random one, and --profile FILE to use a
@@ -592,20 +615,107 @@ fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
 
 fn cmd_query(cli: &Cli) -> Result<(), Box<dyn Error>> {
     let addr: String = cli.get("addr", "127.0.0.1:7411".to_string())?;
-    let req: String = cli.get("req", String::new())?;
-    if req.is_empty() {
+    let reqs: Vec<&str> = cli.get_all("req").collect();
+    if reqs.is_empty() {
         return Err(Box::new(ArgError(
-            "--req REQUEST is required (e.g. --req 'map side=24')".into(),
+            "--req REQUEST is required (e.g. --req 'map side=24'; repeat to pipeline)".into(),
         )));
     }
-    let mut client = Client::connect(&addr)?;
-    match client.request(&req)? {
-        Response::Ok(payload) => {
-            print!("{payload}");
-            Ok(())
-        }
-        Response::Err(message) => Err(Box::new(ArgError(format!("server: {message}")))),
+    let window: usize = cli.get("window", 8usize)?;
+    if window == 0 {
+        return Err(Box::new(ArgError("--window must be positive".into())));
     }
+    // One persistent connection; all requests pipelined through it with a
+    // bounded in-flight window, answers printed in request order.
+    let mut client = Client::connect(&addr)?;
+    let responses = client.pipeline(&reqs, window)?;
+    let mut failures: Vec<String> = Vec::new();
+    for (req, response) in reqs.iter().zip(responses) {
+        match response {
+            Response::Ok(payload) => print!("{payload}"),
+            Response::Err(message) => failures.push(format!("'{req}': {message}")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(Box::new(ArgError(format!(
+            "server rejected {} of {} requests: {}",
+            failures.len(),
+            reqs.len(),
+            failures.join("; ")
+        ))))
+    }
+}
+
+/// Builds a [`ClusterConfig`] from `fvc cluster serve` options. Split
+/// from [`cmd_cluster_serve`] so the mapping is testable without binding
+/// sockets or blocking on the coordinator.
+fn cluster_config(cli: &Cli) -> Result<ClusterConfig, Box<dyn Error>> {
+    let raw: String = cli.get("shards", String::new())?;
+    let shard_addrs: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err(Box::new(ArgError(
+            "--shards ADDR[,ADDR...] is required (running fvc serve daemons to front)".into(),
+        )));
+    }
+    let mut config = ClusterConfig::new(shard_addrs);
+    config.addr = cli.get("addr", "127.0.0.1:7412".to_string())?;
+    config.chunks = cli.get("chunks", config.chunks)?;
+    config.max_inflight = cli.get("inflight", config.max_inflight)?;
+    config.retries = cli.get("retries", config.retries)?;
+    config.backoff_ms = cli.get("backoff-ms", config.backoff_ms)?;
+    config.backoff_cap_ms = cli.get("backoff-cap-ms", config.backoff_cap_ms)?;
+    let dir: String = cli.get("snapshot-dir", String::new())?;
+    if !dir.is_empty() {
+        config.snapshot_dir = Some(dir.into());
+    }
+    Ok(config)
+}
+
+fn cmd_cluster(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    match cli.action() {
+        Some("serve") => cmd_cluster_serve(cli),
+        Some("status") => cmd_cluster_status(cli),
+        Some(other) => Err(Box::new(ArgError(format!(
+            "unknown cluster action '{other}' (known: serve, status)"
+        )))),
+        None => Err(Box::new(ArgError(
+            "cluster needs an action: serve or status".into(),
+        ))),
+    }
+}
+
+fn cmd_cluster_serve(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let config = cluster_config(cli)?;
+    let shard_count = config.shard_addrs.len();
+    let coordinator = Coordinator::start(config)?;
+    let addr = coordinator.local_addr();
+    println!("fullview-cluster coordinator listening on {addr} ({shard_count} shards)");
+    println!("stop with: fvc query --addr {addr} --req shutdown");
+    coordinator.wait();
+    println!("fullview-cluster coordinator stopped");
+    Ok(())
+}
+
+fn cmd_cluster_status(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let addr: String = cli.get("addr", "127.0.0.1:7412".to_string())?;
+    let mut client = Client::connect(&addr)?;
+    let batch = client.pipeline(&["shards", "stats"], 2)?;
+    for response in batch {
+        match response {
+            Response::Ok(payload) => print!("{payload}"),
+            Response::Err(message) => {
+                return Err(Box::new(ArgError(format!("server: {message}"))));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -865,6 +975,115 @@ mod tests {
     #[test]
     fn query_requires_req() {
         assert!(run(&cli(&["query", "--addr", "127.0.0.1:1"])).is_err());
+    }
+
+    #[test]
+    fn query_pipelines_repeated_reqs_over_one_connection() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 40;
+        let server = Server::start(config).expect("start daemon");
+        let addr = server.local_addr().to_string();
+        run(&cli(&[
+            "query",
+            "--addr",
+            &addr,
+            "--req",
+            "ping",
+            "--req",
+            "map side=8",
+            "--req",
+            "stats",
+        ]))
+        .unwrap();
+        // A mid-batch rejection names the failing request and the rest
+        // still complete.
+        let err = run(&cli(&[
+            "query",
+            "--addr",
+            &addr,
+            "--req",
+            "ping",
+            "--req",
+            "map sidr=8",
+        ]))
+        .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("rejected 1 of 2"), "{message}");
+        assert!(message.contains("unknown parameter"), "{message}");
+        assert!(run(&cli(&[
+            "query", "--addr", &addr, "--req", "ping", "--window", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_config_maps_options() {
+        let config = cluster_config(&cli(&[
+            "cluster",
+            "serve",
+            "--addr",
+            "0.0.0.0:0",
+            "--shards",
+            "127.0.0.1:7411, 127.0.0.1:7413",
+            "--chunks",
+            "6",
+            "--inflight",
+            "2",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "10",
+            "--backoff-cap-ms",
+            "100",
+            "--snapshot-dir",
+            "/tmp/fvc-snap",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:0");
+        assert_eq!(config.shard_addrs, ["127.0.0.1:7411", "127.0.0.1:7413"]);
+        assert_eq!((config.chunks, config.max_inflight), (6, 2));
+        assert_eq!((config.retries, config.backoff_ms), (5, 10));
+        assert_eq!(config.backoff_cap_ms, 100);
+        assert_eq!(
+            config.snapshot_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/fvc-snap"))
+        );
+    }
+
+    #[test]
+    fn cluster_serve_requires_shards() {
+        let err = run(&cli(&["cluster", "serve"])).unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn cluster_actions_are_validated_with_hints() {
+        let err = run(&cli(&["cluster"])).unwrap_err();
+        assert!(err.to_string().contains("serve or status"), "{err}");
+        let err = run(&cli(&["cluster", "bogus"])).unwrap_err();
+        assert!(err.to_string().contains("unknown cluster action"), "{err}");
+        let err = run(&cli(&["cluster", "serve", "--shrads", "a"])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("for 'cluster serve'"), "{message}");
+        assert!(message.contains("did you mean --shards?"), "{message}");
+        let err = run(&cli(&["cluster", "status", "--adr", "a"])).unwrap_err();
+        assert!(err.to_string().contains("did you mean --addr?"), "{err}");
+    }
+
+    #[test]
+    fn cluster_status_reads_a_live_coordinator() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 30;
+        let shard = Server::start(config).expect("start daemon");
+        let coordinator =
+            Coordinator::start(ClusterConfig::new(vec![shard.local_addr().to_string()]))
+                .expect("start coordinator");
+        let addr = coordinator.local_addr().to_string();
+        run(&cli(&["cluster", "status", "--addr", &addr])).unwrap();
+        // The coordinator speaks the daemon protocol: plain query works.
+        run(&cli(&["query", "--addr", &addr, "--req", "map side=8"])).unwrap();
     }
 
     #[test]

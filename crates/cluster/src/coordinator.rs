@@ -1,0 +1,855 @@
+//! The cluster coordinator: a daemon-shaped front-end that scatters
+//! work across N `fullview-service` replicas and gathers byte-identical
+//! answers.
+//!
+//! ## Sharding model
+//!
+//! Every shard holds the **full fleet** (replicas of the same
+//! network/profile); the coordinator shards *query work*, not state:
+//!
+//! * `map` / `holes` / `kfull` — the grid index space `0..total` is cut
+//!   into contiguous row-major chunks ([`crate::merge::chunk_ranges`]),
+//!   each served by a shard through the daemon's ranged verbs (`cells`,
+//!   `mask`, `kcount`) and reassembled in chunk order. The engine's
+//!   backend-equivalence invariant makes each range bit-identical to the
+//!   same slice of a full sweep, so the merged answer is byte-identical
+//!   to a single daemon's.
+//! * `check` / `prob` — replica fan-out: any shard answers the whole
+//!   query; the coordinator round-robins for load balance.
+//! * `fail` / `move` / `reseed` — broadcast to every live shard, first
+//!   shard first (its rejection aborts the broadcast before divergence),
+//!   then the authority fingerprint and the snapshot are refreshed.
+//!
+//! ## Failover
+//!
+//! A transport failure marks a shard down; its chunks are reassigned to
+//! surviving shards in retry rounds with capped-backoff pauses.
+//! Reconnecting shards are fingerprint-checked against the *authority*
+//! state (established at startup, refreshed after every mutation) and
+//! resynced with the daemon's `restore` verb from the cluster snapshot
+//! before they serve again — a shard that cannot be proven identical
+//! never answers. The snapshot lives in `snapshot_dir`, which must be a
+//! path every daemon can read and write (shared filesystem; with all
+//! daemons on one host, any local directory).
+
+use crate::merge::{aggregate, chunk_ranges, parse_shard_stats, ShardStats};
+use crate::shard::{is_overload, ShardError, ShardState};
+use fullview_core::{coverage_map_from_glyphs, hole_report_text, holes_from_mask, kfull_text};
+use fullview_geom::Torus;
+use fullview_service::protocol::{self, Request};
+use fullview_service::Metrics;
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the coordinator is assembled.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Bind address for the client-facing listener (port `0` works).
+    pub addr: String,
+    /// Addresses of the `fullview-service` daemons to front.
+    pub shard_addrs: Vec<String>,
+    /// Chunks a ranged query is cut into (`0` = twice the shard count).
+    /// More chunks than shards keeps every shard busy when one runs
+    /// slow; results never depend on this number.
+    pub chunks: usize,
+    /// Pipelining window per shard connection: how many chunk requests
+    /// may be in flight before the first response is read.
+    pub max_inflight: usize,
+    /// Retry rounds for reassigning failed chunks / overload rejections.
+    pub retries: usize,
+    /// Base backoff before a down shard is re-tried, in milliseconds.
+    pub backoff_ms: u64,
+    /// Backoff cap in milliseconds (doubling stops here).
+    pub backoff_cap_ms: u64,
+    /// Directory for the cluster snapshot (shared with the daemons).
+    /// `None` disables snapshot/restore failover: a divergent shard
+    /// stays down instead of being resynced.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl ClusterConfig {
+    /// A config with the documented defaults: ephemeral loopback port,
+    /// chunks = 2× shards, window 4, 2 retries, 50 ms backoff capped at
+    /// 2 s, no snapshot dir.
+    #[must_use]
+    pub fn new(shard_addrs: Vec<String>) -> Self {
+        ClusterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shard_addrs,
+            chunks: 0,
+            max_inflight: 4,
+            retries: 2,
+            backoff_ms: 50,
+            backoff_cap_ms: 2_000,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// The canonical identity every serving shard must match, parsed from a
+/// daemon's `fingerprint` answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Authority {
+    net_fp: u64,
+    profile_fp: u64,
+    cameras: u64,
+    torus_side: f64,
+}
+
+fn parse_fingerprint(payload: &str) -> Result<Authority, String> {
+    let mut auth = Authority {
+        net_fp: 0,
+        profile_fp: 0,
+        cameras: 0,
+        torus_side: f64::NAN,
+    };
+    for tok in payload.split_whitespace() {
+        let Some((key, value)) = tok.split_once('=') else {
+            continue;
+        };
+        match key {
+            "net_fp" => auth.net_fp = value.parse().map_err(|e| format!("bad net_fp: {e}"))?,
+            "profile_fp" => {
+                auth.profile_fp = value.parse().map_err(|e| format!("bad profile_fp: {e}"))?;
+            }
+            "cameras" => auth.cameras = value.parse().map_err(|e| format!("bad cameras: {e}"))?,
+            "torus" => {
+                let hex = value
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("bad torus field '{value}'"))?;
+                auth.torus_side = u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad torus bits: {e}"))?;
+            }
+            _ => {}
+        }
+    }
+    if !auth.torus_side.is_finite() || auth.torus_side <= 0.0 {
+        return Err(format!(
+            "fingerprint payload lacks a usable torus side: {payload:?}"
+        ));
+    }
+    Ok(auth)
+}
+
+struct ClusterCtx {
+    cfg: ClusterConfig,
+    shards: Vec<Mutex<ShardState>>,
+    authority: Mutex<Option<Authority>>,
+    /// Round-robin cursor for replica fan-out queries.
+    rr: AtomicUsize,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ClusterCtx {
+    fn base(&self) -> Duration {
+        Duration::from_millis(self.cfg.backoff_ms.max(1))
+    }
+
+    fn cap(&self) -> Duration {
+        Duration::from_millis(self.cfg.backoff_cap_ms.max(self.cfg.backoff_ms).max(1))
+    }
+
+    fn snapshot_path(&self) -> Option<PathBuf> {
+        self.cfg
+            .snapshot_dir
+            .as_ref()
+            .map(|d| d.join("cluster.snap"))
+    }
+
+    fn chunk_count(&self) -> usize {
+        if self.cfg.chunks == 0 {
+            (2 * self.shards.len()).max(1)
+        } else {
+            self.cfg.chunks
+        }
+    }
+}
+
+/// A running coordinator. Shuts down its listener on drop; the shard
+/// daemons are independent processes and are left running.
+pub struct Coordinator {
+    ctx: Arc<ClusterCtx>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addr", &self.ctx.addr)
+            .field("shards", &self.ctx.shards.len())
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Binds the client-facing listener, connects to the shards,
+    /// establishes the authority fingerprint (resyncing divergent shards
+    /// from a fresh snapshot when a snapshot dir is configured), and
+    /// spawns the acceptor.
+    ///
+    /// # Errors
+    ///
+    /// Binding errors; [`io::ErrorKind::InvalidInput`] when no shard
+    /// address was given or no shard is reachable at startup.
+    pub fn start(cfg: ClusterConfig) -> io::Result<Coordinator> {
+        if cfg.shard_addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard address",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shards = cfg
+            .shard_addrs
+            .iter()
+            .map(|a| Mutex::new(ShardState::new(a.clone())))
+            .collect();
+        let ctx = Arc::new(ClusterCtx {
+            cfg,
+            shards,
+            authority: Mutex::new(None),
+            rr: AtomicUsize::new(0),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        initial_sync(&ctx).map_err(|m| io::Error::new(io::ErrorKind::InvalidInput, m))?;
+        let acceptor_ctx = Arc::clone(&ctx);
+        let acceptor = std::thread::spawn(move || accept_loop(&listener, &acceptor_ctx));
+        Ok(Coordinator {
+            ctx,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound client-facing address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// Initiates shutdown (equivalent to a client `shutdown` request).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.ctx);
+    }
+
+    /// Blocks until the coordinator has fully stopped.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            handle.join().expect("acceptor thread panicked");
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.ctx);
+        if let Some(handle) = self.acceptor.take() {
+            handle.join().expect("acceptor thread panicked");
+        }
+    }
+}
+
+fn initiate_shutdown(ctx: &ClusterCtx) {
+    if ctx.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let _ = TcpStream::connect(ctx.addr);
+}
+
+/// Startup: connect everywhere, adopt the first reachable shard's
+/// fingerprint as the authority, snapshot it, and resync the rest.
+fn initial_sync(ctx: &ClusterCtx) -> Result<(), String> {
+    let mut authority_shard = None;
+    for i in 0..ctx.shards.len() {
+        let mut state = ctx.shards[i].lock().expect("shard lock");
+        let (up, _) = state.ensure(ctx.base(), ctx.cap());
+        if !up {
+            continue;
+        }
+        let payload = state
+            .request("fingerprint", ctx.base(), ctx.cap())
+            .map_err(|e| format!("shard {}: {e}", state.addr()))?;
+        let auth = parse_fingerprint(&payload)?;
+        *ctx.authority.lock().expect("authority lock") = Some(auth);
+        authority_shard = Some(i);
+        if let Some(path) = ctx.snapshot_path() {
+            state
+                .request(
+                    &format!("snapshot path={}", path.display()),
+                    ctx.base(),
+                    ctx.cap(),
+                )
+                .map_err(|e| format!("startup snapshot on {}: {e}", state.addr()))?;
+        }
+        break;
+    }
+    let Some(first) = authority_shard else {
+        return Err("no shard reachable at startup".to_string());
+    };
+    // Everyone else must match the authority (or be restored onto it).
+    for i in 0..ctx.shards.len() {
+        if i != first {
+            let _ = ensure_shard(ctx, i);
+        }
+    }
+    Ok(())
+}
+
+/// Brings shard `i` to a serving state: connected *and* fingerprint-
+/// matched against the authority, restoring from the cluster snapshot
+/// when it diverges. Returns whether the shard may serve.
+fn ensure_shard(ctx: &ClusterCtx, i: usize) -> bool {
+    let mut state = ctx.shards[i].lock().expect("shard lock");
+    let (up, fresh) = state.ensure(ctx.base(), ctx.cap());
+    if !up {
+        return false;
+    }
+    if !fresh {
+        return true; // validated when it connected
+    }
+    let authority = *ctx.authority.lock().expect("authority lock");
+    let Some(auth) = authority else {
+        return true; // startup establishes it; nothing to compare yet
+    };
+    let verify = |state: &mut ShardState| -> Result<bool, ShardError> {
+        let payload = state.request("fingerprint", ctx.base(), ctx.cap())?;
+        let fp = parse_fingerprint(&payload).map_err(ShardError::Server)?;
+        Ok(fp.net_fp == auth.net_fp && fp.profile_fp == auth.profile_fp)
+    };
+    match verify(&mut state) {
+        Ok(true) => true,
+        Ok(false) => {
+            // Diverged (missed a mutation while down, or restarted with
+            // different state): restore the authority's snapshot.
+            let Some(path) = ctx.snapshot_path() else {
+                state.mark_down(ctx.base(), ctx.cap());
+                return false;
+            };
+            let restored = state
+                .request(
+                    &format!("restore path={}", path.display()),
+                    ctx.base(),
+                    ctx.cap(),
+                )
+                .and_then(|_| verify(&mut state));
+            match restored {
+                Ok(true) => true,
+                _ => {
+                    state.mark_down(ctx.base(), ctx.cap());
+                    false
+                }
+            }
+        }
+        Err(_) => false, // transport error already marked it down
+    }
+}
+
+fn live_shards(ctx: &ClusterCtx) -> Vec<usize> {
+    (0..ctx.shards.len())
+        .filter(|&i| ensure_shard(ctx, i))
+        .collect()
+}
+
+/// What happened to one scattered chunk.
+enum ChunkOutcome {
+    Done(String),
+    /// Transient (shard died or rejected for overload): reassign.
+    Retry,
+    /// The daemon rejected the request itself — the client's fault;
+    /// retrying elsewhere would fail identically.
+    Fatal(String),
+}
+
+/// Runs one shard's share of a scatter: pipeline the chunk requests over
+/// its persistent connection with the bounded in-flight window.
+fn serve_chunks(
+    ctx: &ClusterCtx,
+    shard_idx: usize,
+    chunk_idxs: &[usize],
+    lines: &[String],
+) -> Vec<(usize, ChunkOutcome)> {
+    let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
+    let refs: Vec<&str> = chunk_idxs.iter().map(|&c| lines[c].as_str()).collect();
+    match state.pipeline(&refs, ctx.cfg.max_inflight.max(1), ctx.base(), ctx.cap()) {
+        Err(_) => chunk_idxs
+            .iter()
+            .map(|&c| (c, ChunkOutcome::Retry))
+            .collect(),
+        Ok(responses) => chunk_idxs
+            .iter()
+            .zip(responses)
+            .map(|(&c, resp)| {
+                let outcome = match resp {
+                    fullview_service::Response::Ok(payload) => ChunkOutcome::Done(payload),
+                    fullview_service::Response::Err(m) if is_overload(&m) => ChunkOutcome::Retry,
+                    fullview_service::Response::Err(m) => ChunkOutcome::Fatal(m),
+                };
+                (c, outcome)
+            })
+            .collect(),
+    }
+}
+
+/// Scatter-gathers one ranged query: `make_line(lo, hi)` builds the
+/// per-chunk daemon request; the returned payloads are in chunk order
+/// (concatenation order == grid order). Chunks on failed shards are
+/// reassigned to survivors across up to `retries` extra rounds.
+fn scatter(
+    ctx: &ClusterCtx,
+    total: usize,
+    make_line: impl Fn(usize, usize) -> String,
+) -> Result<Vec<String>, String> {
+    let ranges = chunk_ranges(total, ctx.chunk_count());
+    let lines: Vec<String> = ranges.iter().map(|&(lo, hi)| make_line(lo, hi)).collect();
+    let mut results: Vec<Option<String>> = vec![None; ranges.len()];
+    for round in 0..=ctx.cfg.retries {
+        let pending: Vec<usize> = (0..ranges.len())
+            .filter(|&c| results[c].is_none())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        if round > 0 {
+            std::thread::sleep(ctx.base());
+        }
+        let live = live_shards(ctx);
+        if live.is_empty() {
+            continue; // maybe a backoff window expires before the last round
+        }
+        // Deterministic round-robin assignment of pending chunks.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+        for (j, &chunk) in pending.iter().enumerate() {
+            per_shard[j % live.len()].push(chunk);
+        }
+        let outcomes: Vec<Vec<(usize, ChunkOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = live
+                .iter()
+                .zip(&per_shard)
+                .filter(|(_, chunks)| !chunks.is_empty())
+                .map(|(&shard_idx, chunks)| {
+                    let lines = &lines;
+                    scope.spawn(move || serve_chunks(ctx, shard_idx, chunks, lines))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread panicked"))
+                .collect()
+        });
+        for (chunk, outcome) in outcomes.into_iter().flatten() {
+            match outcome {
+                ChunkOutcome::Done(payload) => results[chunk] = Some(payload),
+                ChunkOutcome::Retry => {}
+                ChunkOutcome::Fatal(m) => return Err(m),
+            }
+        }
+    }
+    results
+        .into_iter()
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| "no live shards (all replicas down or overloaded)".to_string())
+}
+
+/// Forwards a whole query to one live shard, round-robining across
+/// replicas and failing over on transport errors.
+fn forward_one(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
+    for round in 0..=ctx.cfg.retries {
+        if round > 0 {
+            std::thread::sleep(ctx.base());
+        }
+        let live = live_shards(ctx);
+        if live.is_empty() {
+            continue;
+        }
+        let start = ctx.rr.fetch_add(1, Ordering::Relaxed);
+        for k in 0..live.len() {
+            let shard_idx = live[(start + k) % live.len()];
+            let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
+            match state.request(line, ctx.base(), ctx.cap()) {
+                Ok(payload) => return Ok(payload),
+                Err(ShardError::Server(m)) if is_overload(&m) => continue,
+                Err(ShardError::Server(m)) => return Err(m),
+                Err(ShardError::Transport(_)) => continue,
+            }
+        }
+    }
+    Err("no live shards (all replicas down or overloaded)".to_string())
+}
+
+/// Re-reads the authority fingerprint from shard `i` (after a mutation)
+/// and refreshes the cluster snapshot so down shards resync to the *new*
+/// state when they return.
+fn refresh_authority_from(ctx: &ClusterCtx, i: usize) -> Result<(), String> {
+    let mut state = ctx.shards[i].lock().expect("shard lock");
+    let payload = state
+        .request("fingerprint", ctx.base(), ctx.cap())
+        .map_err(|e| e.to_string())?;
+    let auth = parse_fingerprint(&payload)?;
+    *ctx.authority.lock().expect("authority lock") = Some(auth);
+    if let Some(path) = ctx.snapshot_path() {
+        state
+            .request(
+                &format!("snapshot path={}", path.display()),
+                ctx.base(),
+                ctx.cap(),
+            )
+            .map_err(|e| format!("snapshot refresh: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Broadcasts a mutation. The first live shard goes alone: if it rejects
+/// (bad camera id, …) the broadcast aborts with zero divergence. A later
+/// shard failing is marked down and will resync from the refreshed
+/// snapshot when it reconnects.
+fn broadcast_mutation(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
+    let live = live_shards(ctx);
+    if live.is_empty() {
+        return Err("no live shards".to_string());
+    }
+    let mut applied_on: Option<(usize, String)> = None;
+    for &shard_idx in &live {
+        let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
+        match state.request(line, ctx.base(), ctx.cap()) {
+            Ok(payload) => {
+                if applied_on.is_none() {
+                    applied_on = Some((shard_idx, payload));
+                }
+            }
+            Err(ShardError::Server(m)) => {
+                if applied_on.is_none() {
+                    // Nothing mutated anywhere yet: clean client error.
+                    return Err(m);
+                }
+                // Replicas were identical, so a divergent verdict means
+                // this shard is not the replica we thought: force a
+                // reconnect + fingerprint resync before it serves again.
+                state.mark_down(ctx.base(), ctx.cap());
+            }
+            Err(ShardError::Transport(_)) => {} // already marked down
+        }
+    }
+    let (first, payload) = applied_on.ok_or_else(|| "no live shards".to_string())?;
+    refresh_authority_from(ctx, first)?;
+    Ok(payload)
+}
+
+fn render_cluster_stats(ctx: &ClusterCtx) -> String {
+    let live = live_shards(ctx);
+    let mut shard_stats: Vec<ShardStats> = Vec::new();
+    for &i in &live {
+        let mut state = ctx.shards[i].lock().expect("shard lock");
+        if let Ok(payload) = state.request("stats", ctx.base(), ctx.cap()) {
+            if let Ok(s) = parse_shard_stats(&payload) {
+                shard_stats.push(s);
+            }
+        }
+    }
+    let agg = aggregate(&shard_stats);
+    let authority = *ctx.authority.lock().expect("authority lock");
+    let snap = ctx.metrics.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster: shards={} up={} down={} uptime_s={:.1}",
+        ctx.shards.len(),
+        agg.shards_reporting,
+        ctx.shards.len() - agg.shards_reporting,
+        snap.uptime_s
+    );
+    if let Some(auth) = authority {
+        let _ = writeln!(
+            out,
+            "fleet: cameras={} net_fp={} profile_fp={}",
+            auth.cameras, auth.net_fp, auth.profile_fp
+        );
+    }
+    let _ = write!(out, "requests:");
+    for (endpoint, count) in &snap.counts {
+        let _ = write!(out, " {endpoint}={count}");
+    }
+    let _ = writeln!(out, " total={} rejected={}", snap.total, snap.rejected);
+    let _ = writeln!(
+        out,
+        "shards: total_requests={} rejected={} queue_depth={} queue_capacity={} \
+         cache_entries={} cache_hits={} cache_misses={} cache_hit_rate={:.4}",
+        agg.total_requests,
+        agg.rejected,
+        agg.queue_depth,
+        agg.queue_capacity,
+        agg.cache_entries,
+        agg.cache_hits,
+        agg.cache_misses,
+        agg.cache_hit_rate()
+    );
+    let fmt_q = |q: Option<f64>| q.map_or_else(|| "na".to_string(), |v| format!("{v:.3}"));
+    let _ = writeln!(
+        out,
+        "latency_ms: p50={} p99={} samples={}",
+        fmt_q(snap.p50_ms),
+        fmt_q(snap.p99_ms),
+        snap.samples
+    );
+    out
+}
+
+fn render_shards(ctx: &ClusterCtx) -> String {
+    let mut out = String::new();
+    for (i, shard) in ctx.shards.iter().enumerate() {
+        // Probe liveness (reconnect + resync if due) before reporting.
+        let serving = ensure_shard(ctx, i);
+        let state = shard.lock().expect("shard lock");
+        let _ = writeln!(
+            out,
+            "shard {i}: addr={} state={}",
+            state.addr(),
+            if serving { "up" } else { "down" }
+        );
+    }
+    out
+}
+
+/// Raw `theta-deg` pass-through: the coordinator forwards the client's
+/// token verbatim so the shards parse the identical value.
+fn theta_suffix(req: &Request) -> Result<String, String> {
+    let raw: String = req.get("theta-deg", String::new())?;
+    if raw.is_empty() {
+        Ok(String::new())
+    } else {
+        Ok(format!(" theta-deg={raw}"))
+    }
+}
+
+fn run_map(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "side"])?;
+    let side: usize = req.get("side", 48)?;
+    if side == 0 {
+        return Err("side/grid must be positive".to_string());
+    }
+    let theta = theta_suffix(req)?;
+    let glyphs = scatter(ctx, side * side, |lo, hi| {
+        format!("cells side={side} lo={lo} hi={hi}{theta}")
+    })?
+    .concat();
+    Ok(coverage_map_from_glyphs(side, &glyphs))
+}
+
+fn run_holes(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "grid"])?;
+    let grid: usize = req.get("grid", 24)?;
+    if grid == 0 {
+        return Err("side/grid must be positive".to_string());
+    }
+    let theta = theta_suffix(req)?;
+    let torus_side = ctx
+        .authority
+        .lock()
+        .expect("authority lock")
+        .ok_or("cluster has no authority state")?
+        .torus_side;
+    let mask_text = scatter(ctx, grid * grid, |lo, hi| {
+        format!("mask grid={grid} lo={lo} hi={hi}{theta}")
+    })?
+    .concat();
+    let covered: Vec<bool> = mask_text.chars().map(|c| c == '1').collect();
+    if covered.len() != grid * grid {
+        return Err(format!(
+            "gathered mask holds {} cells, want {}",
+            covered.len(),
+            grid * grid
+        ));
+    }
+    let report = holes_from_mask(Torus::with_side(torus_side), grid, &covered);
+    Ok(hole_report_text(&report))
+}
+
+fn run_kfull(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "k", "grid"])?;
+    let grid: usize = req.get("grid", 24)?;
+    let k: usize = req.get("k", 2)?;
+    if grid == 0 {
+        return Err("side/grid must be positive".to_string());
+    }
+    let theta = theta_suffix(req)?;
+    let counts = scatter(ctx, grid * grid, |lo, hi| {
+        format!("kcount k={k} grid={grid} lo={lo} hi={hi}{theta}")
+    })?;
+    let mut meeting = 0usize;
+    for payload in counts {
+        meeting += payload
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("bad kcount payload {payload:?}: {e}"))?;
+    }
+    Ok(kfull_text(k, grid, meeting, grid * grid))
+}
+
+fn run_fingerprint(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&[])?;
+    let auth = ctx
+        .authority
+        .lock()
+        .expect("authority lock")
+        .ok_or("cluster has no authority state")?;
+    Ok(format!(
+        "net_fp={} profile_fp={} cameras={} torus=0x{:016x}\n",
+        auth.net_fp,
+        auth.profile_fp,
+        auth.cameras,
+        auth.torus_side.to_bits()
+    ))
+}
+
+fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, String> {
+    match req.verb() {
+        "ping" => {
+            req.allow_only(&[])?;
+            Ok("pong\n".to_string())
+        }
+        "stats" => {
+            req.allow_only(&[])?;
+            Ok(render_cluster_stats(ctx))
+        }
+        "shards" => {
+            req.allow_only(&[])?;
+            Ok(render_shards(ctx))
+        }
+        "shutdown" => {
+            req.allow_only(&[])?;
+            Ok("shutting down coordinator (shards keep running)\n".to_string())
+        }
+        "fingerprint" => run_fingerprint(ctx, req),
+        "map" => run_map(ctx, req),
+        "holes" => run_holes(ctx, req),
+        "kfull" => run_kfull(ctx, req),
+        "check" => {
+            req.allow_only(&["theta-deg"])?;
+            forward_one(ctx, line)
+        }
+        "prob" => {
+            req.allow_only(&["theta-deg", "density"])?;
+            forward_one(ctx, line)
+        }
+        "fail" => {
+            req.allow_only(&["id"])?;
+            broadcast_mutation(ctx, line)
+        }
+        "move" => {
+            req.allow_only(&["id", "x", "y"])?;
+            broadcast_mutation(ctx, line)
+        }
+        "reseed" => {
+            req.allow_only(&["seed", "n"])?;
+            broadcast_mutation(ctx, line)
+        }
+        other => Err(format!(
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, ping, shutdown)"
+        )),
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<ClusterCtx>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let ctx = Arc::clone(ctx);
+                handlers.push(std::thread::spawn(move || handle_connection(&ctx, &stream)));
+            }
+            Err(_) => continue,
+        }
+    }
+    for handle in handlers {
+        handle.join().expect("connection handler panicked");
+    }
+}
+
+fn handle_connection(ctx: &Arc<ClusterCtx>, stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut carry: Vec<u8> = Vec::new();
+    while let Some(line) = protocol::read_request_line(stream, &mut carry, &ctx.shutdown) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let mut writer = stream;
+        match Request::parse(&line) {
+            Err(message) => {
+                ctx.metrics.record_rejected();
+                if protocol::write_err(&mut writer, &message).is_err() {
+                    return;
+                }
+            }
+            Ok(req) => {
+                let verb = req.verb().to_string();
+                match dispatch(ctx, &line, &req) {
+                    Ok(payload) => {
+                        ctx.metrics
+                            .record(&verb, started.elapsed().as_secs_f64() * 1e3);
+                        if protocol::write_ok(&mut writer, &payload).is_err() {
+                            return;
+                        }
+                        if verb == "shutdown" {
+                            initiate_shutdown(ctx);
+                            return;
+                        }
+                    }
+                    Err(message) => {
+                        ctx.metrics.record_rejected();
+                        if protocol::write_err(&mut writer, &message).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_parsing_roundtrips() {
+        let auth =
+            parse_fingerprint("net_fp=123 profile_fp=456 cameras=400 torus=0x3ff0000000000000\n")
+                .unwrap();
+        assert_eq!(
+            (auth.net_fp, auth.profile_fp, auth.cameras),
+            (123, 456, 400)
+        );
+        assert_eq!(auth.torus_side, 1.0);
+        assert!(parse_fingerprint("net_fp=1 profile_fp=2 cameras=3").is_err());
+        assert!(parse_fingerprint("net_fp=x torus=0x3ff0000000000000").is_err());
+    }
+
+    #[test]
+    fn starting_with_no_shards_or_unreachable_shards_fails_cleanly() {
+        let err = Coordinator::start(ClusterConfig::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Port 1: nothing listens; startup must fail, not hang.
+        let err =
+            Coordinator::start(ClusterConfig::new(vec!["127.0.0.1:1".to_string()])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("no shard reachable"), "{err}");
+    }
+}

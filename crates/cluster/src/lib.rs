@@ -1,0 +1,40 @@
+//! `fullview-cluster` — a sharded front-end for `fullview-service`.
+//!
+//! One daemon keeps one warm fleet; this crate scales that horizontally.
+//! A [`Coordinator`] fronts N daemons (shards) and speaks the *same*
+//! line protocol to clients, so `fvc query` works against a cluster
+//! unchanged. Shards are replicas: each holds the full
+//! [`CameraNetwork`](fullview_model::CameraNetwork), and the coordinator
+//! shards *work*, not state —
+//!
+//! * grid-range scatter for `map` / `holes` / `kfull` (the daemon's
+//!   ranged `cells` / `mask` / `kcount` verbs), merged back through
+//!   `fullview_core::render` so the answer is **byte-identical** to a
+//!   single daemon's;
+//! * round-robin replica fan-out for `check` / `prob`;
+//! * ordered broadcast for `fail` / `move` / `reseed` mutations.
+//!
+//! Requests to each shard travel over one persistent connection with
+//! bounded-window pipelining. Failed shards back off exponentially
+//! (capped), and a rejoining shard is fingerprint-checked against the
+//! cluster's authority state — restored from the warm snapshot when it
+//! diverges — before it serves again.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`shard`] — per-shard connection state: persistent pipelined
+//!   client, capped-backoff reconnects, transport/server error split.
+//! * [`merge`] — deterministic merging: chunk-range decomposition,
+//!   per-shard `stats` parsing, cluster-wide aggregation.
+//! * [`coordinator`] — the daemon-shaped front-end: scatter-gather,
+//!   failover, snapshot/restore resync, aggregated stats.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod merge;
+pub mod shard;
+
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use merge::{aggregate, chunk_ranges, parse_shard_stats, AggregateStats, ShardStats};
+pub use shard::{is_overload, ShardError, ShardState};

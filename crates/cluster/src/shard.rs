@@ -1,0 +1,236 @@
+//! Per-shard connection state: a persistent pipelined [`Client`] plus
+//! the capped-exponential-backoff reconnect machinery.
+//!
+//! A shard is always in one of two states:
+//!
+//! * **Up** — a live connection; queries and mutations go through it.
+//! * **Down** — the last transport operation failed. Reconnects are
+//!   attempted lazily (no background pinger) whenever the coordinator
+//!   next needs the shard, but never before `next_retry_at`; each failed
+//!   attempt doubles the delay up to the configured cap.
+//!
+//! Rejoining the cluster is not just reconnecting: the coordinator
+//! fingerprint-checks a freshly-connected shard against the authority
+//! state and issues a `restore` when they diverge (see
+//! `coordinator::ensure_shard`). This module only manages the transport.
+
+use fullview_service::{Client, Response};
+use std::time::{Duration, Instant};
+
+/// A failure talking to a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The connection died (or could not be established): the shard is
+    /// marked down and the work can be reassigned to another replica.
+    Transport(String),
+    /// The shard answered with an `err` frame: the request itself is bad
+    /// (or the shard is overloaded) — the connection stays up.
+    Server(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Transport(m) => write!(f, "transport: {m}"),
+            ShardError::Server(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Whether a server-side error message is the daemon's back-pressure
+/// signal (bounded queue full), i.e. worth retrying after a pause.
+#[must_use]
+pub fn is_overload(message: &str) -> bool {
+    message.contains("queue full")
+}
+
+/// One shard's connection state. The coordinator wraps each in a
+/// `Mutex`; scatter threads lock exactly one shard each, so no ordering
+/// discipline (and no deadlock) is needed.
+#[derive(Debug)]
+pub struct ShardState {
+    addr: String,
+    client: Option<Client>,
+    /// Earliest next reconnect attempt while down.
+    next_retry_at: Option<Instant>,
+    /// Delay to impose after the *next* failure (doubles, capped).
+    backoff: Duration,
+}
+
+impl ShardState {
+    /// A shard that has never been connected (first `ensure` connects).
+    #[must_use]
+    pub fn new(addr: String) -> Self {
+        ShardState {
+            addr,
+            client: None,
+            next_retry_at: None,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The daemon address this shard fronts.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a connection is currently established.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Drops the connection and schedules the next reconnect attempt
+    /// with doubled (capped) backoff.
+    pub fn mark_down(&mut self, base: Duration, cap: Duration) {
+        self.client = None;
+        let next = if self.backoff.is_zero() {
+            base.max(Duration::from_millis(1))
+        } else {
+            (self.backoff * 2).min(cap)
+        };
+        self.backoff = next;
+        self.next_retry_at = Some(Instant::now() + next);
+    }
+
+    /// Ensures a connection exists, reconnecting if the backoff window
+    /// has elapsed. Returns `true` when the shard ends up connected and
+    /// `Some(true)` in the tuple's second slot when this call freshly
+    /// (re)connected — the coordinator must fingerprint-check such a
+    /// shard before trusting it.
+    pub fn ensure(&mut self, base: Duration, cap: Duration) -> (bool, bool) {
+        if self.client.is_some() {
+            return (true, false);
+        }
+        if let Some(at) = self.next_retry_at {
+            if Instant::now() < at {
+                return (false, false);
+            }
+        }
+        match Client::connect(&self.addr) {
+            Ok(mut client) => {
+                let _ = client.set_timeout(Some(Duration::from_secs(60)));
+                self.client = Some(client);
+                self.backoff = Duration::ZERO;
+                self.next_retry_at = None;
+                (true, true)
+            }
+            Err(_) => {
+                self.mark_down(base, cap);
+                (false, false)
+            }
+        }
+    }
+
+    /// One request/response round-trip. A transport failure tears the
+    /// connection down (backoff scheduled by the caller via
+    /// [`mark_down`](Self::mark_down) semantics baked in here).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Transport`] when the connection died (shard now
+    /// down), [`ShardError::Server`] for an `err` frame.
+    pub fn request(
+        &mut self,
+        line: &str,
+        base: Duration,
+        cap: Duration,
+    ) -> Result<String, ShardError> {
+        let Some(client) = self.client.as_mut() else {
+            return Err(ShardError::Transport(format!(
+                "shard {} is down",
+                self.addr
+            )));
+        };
+        match client.request(line) {
+            Ok(Response::Ok(payload)) => Ok(payload),
+            Ok(Response::Err(message)) => Err(ShardError::Server(message)),
+            Err(e) => {
+                self.mark_down(base, cap);
+                Err(ShardError::Transport(e.to_string()))
+            }
+        }
+    }
+
+    /// Pipelines `lines` over the shard's connection with a bounded
+    /// in-flight window — the scatter fast path.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Transport`] when the connection died mid-batch (the
+    /// shard is marked down; the whole batch must be reassigned).
+    pub fn pipeline(
+        &mut self,
+        lines: &[&str],
+        max_inflight: usize,
+        base: Duration,
+        cap: Duration,
+    ) -> Result<Vec<Response>, ShardError> {
+        let Some(client) = self.client.as_mut() else {
+            return Err(ShardError::Transport(format!(
+                "shard {} is down",
+                self.addr
+            )));
+        };
+        match client.pipeline(lines, max_inflight) {
+            Ok(responses) => Ok(responses),
+            Err(e) => {
+                self.mark_down(base, cap);
+                Err(ShardError::Transport(e.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut s = ShardState::new("127.0.0.1:1".to_string());
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(35);
+        s.mark_down(base, cap);
+        assert_eq!(s.backoff, Duration::from_millis(10));
+        s.mark_down(base, cap);
+        assert_eq!(s.backoff, Duration::from_millis(20));
+        s.mark_down(base, cap);
+        assert_eq!(s.backoff, Duration::from_millis(35), "capped");
+        s.mark_down(base, cap);
+        assert_eq!(s.backoff, Duration::from_millis(35), "stays at cap");
+        assert!(!s.is_up());
+    }
+
+    #[test]
+    fn ensure_respects_the_retry_window() {
+        // Port 1 is never listening, so connects fail fast.
+        let mut s = ShardState::new("127.0.0.1:1".to_string());
+        let base = Duration::from_secs(60); // far future after first failure
+        let cap = Duration::from_secs(60);
+        let (up, fresh) = s.ensure(base, cap);
+        assert!(!up && !fresh);
+        // Within the window: no second connect attempt is made (would
+        // fail anyway, but the state must say "not yet").
+        let (up, fresh) = s.ensure(base, cap);
+        assert!(!up && !fresh);
+        assert_eq!(s.backoff, base, "only the first attempt backed off");
+    }
+
+    #[test]
+    fn requests_on_a_down_shard_fail_as_transport() {
+        let mut s = ShardState::new("127.0.0.1:1".to_string());
+        let base = Duration::from_millis(1);
+        let err = s.request("ping", base, base).unwrap_err();
+        assert!(matches!(err, ShardError::Transport(_)), "{err}");
+        let err = s.pipeline(&["ping"], 4, base, base).unwrap_err();
+        assert!(matches!(err, ShardError::Transport(_)), "{err}");
+    }
+
+    #[test]
+    fn overload_classifier_matches_the_daemon_message() {
+        assert!(is_overload("job queue full, retry later"));
+        assert!(!is_overload("unknown request 'zap'"));
+    }
+}

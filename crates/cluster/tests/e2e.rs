@@ -1,0 +1,264 @@
+//! Cluster end-to-end tests: real daemons on ephemeral loopback ports
+//! fronted by a real coordinator.
+//!
+//! Covers the ISSUE acceptance criteria: coordinator answers for `map`,
+//! `holes`, `kfull`, `check`, and `prob` are **byte-identical** to a
+//! single daemon's at 1, 2, and 4 shards; a shard that starts divergent
+//! is restored onto the authority state from the cluster snapshot; a
+//! killed shard degrades service without changing answers; a shard that
+//! rejects a broadcast mutation is forced down and resynced from the
+//! refreshed snapshot (the full failover state machine); and cluster
+//! stats aggregate per-shard counters.
+
+use fullview_cluster::{ClusterConfig, Coordinator};
+use fullview_model::{NetworkProfile, SensorSpec};
+use fullview_service::{Client, Server, ServiceConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const N: usize = 40;
+const SEED: u64 = 7;
+
+fn test_profile() -> NetworkProfile {
+    NetworkProfile::homogeneous(SensorSpec::new(0.15, 120f64.to_radians()).expect("valid spec"))
+}
+
+fn daemon(seed: u64, n: usize) -> Server {
+    let mut config = ServiceConfig::new(test_profile());
+    config.n = n;
+    config.seed = seed;
+    config.workers = 2;
+    Server::start(config).expect("daemon start")
+}
+
+fn spawn_shards(count: usize) -> (Vec<Server>, Vec<String>) {
+    let shards: Vec<Server> = (0..count).map(|_| daemon(SEED, N)).collect();
+    let addrs = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    (shards, addrs)
+}
+
+/// A per-test scratch directory for the cluster snapshot.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fvc-cluster-e2e-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn fast_config(addrs: Vec<String>, snapshot_dir: Option<PathBuf>) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(addrs);
+    cfg.backoff_ms = 1; // keep reconnect windows test-fast
+    cfg.backoff_cap_ms = 20;
+    cfg.snapshot_dir = snapshot_dir;
+    cfg
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    client
+}
+
+const QUERIES: &[&str] = &[
+    "check",
+    "map side=16",
+    "map side=13 theta-deg=60",
+    "holes grid=12",
+    "kfull k=1 grid=10",
+    "kfull k=2 grid=9 theta-deg=75",
+    "prob density=100",
+];
+
+#[test]
+fn cluster_answers_are_byte_identical_to_a_single_daemon_at_1_2_and_4_shards() {
+    let reference = daemon(SEED, N);
+    let mut ref_client = connect(reference.local_addr());
+    let expected: Vec<String> = QUERIES
+        .iter()
+        .map(|q| ref_client.request_ok(q).expect(q))
+        .collect();
+
+    for shard_count in [1usize, 2, 4] {
+        let (_shards, addrs) = spawn_shards(shard_count);
+        let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+        let mut client = connect(coordinator.local_addr());
+        for (query, want) in QUERIES.iter().zip(&expected) {
+            let got = client.request_ok(query).expect(query);
+            assert_eq!(
+                &got, want,
+                "{query} differs from the single daemon at {shard_count} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn divergent_shard_is_restored_onto_the_authority_state_at_startup() {
+    // Shard 0 carries the canonical state; shard 1 boots with a totally
+    // different fleet and must be resynced from the startup snapshot.
+    let shard_a = daemon(SEED, N);
+    let shard_b = daemon(99, 25);
+    let addrs = vec![
+        shard_a.local_addr().to_string(),
+        shard_b.local_addr().to_string(),
+    ];
+    let dir = scratch_dir("startup-resync");
+    let coordinator =
+        Coordinator::start(fast_config(addrs, Some(dir.clone()))).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    // Both shards serve; answers match a seed-7 daemon bit for bit even
+    // though half the chunks land on the restored shard.
+    let shards = client.request_ok("shards").expect("shards");
+    assert!(
+        shards.contains("shard 0:") && shards.contains("shard 1:"),
+        "{shards}"
+    );
+    assert!(!shards.contains("state=down"), "{shards}");
+
+    let reference = daemon(SEED, N);
+    let mut ref_client = connect(reference.local_addr());
+    let want = ref_client.request_ok("map side=16").unwrap();
+    assert_eq!(client.request_ok("map side=16").unwrap(), want);
+
+    // The restored shard now carries the authority fingerprint.
+    let mut direct_b = connect(shard_b.local_addr());
+    assert_eq!(
+        direct_b.request_ok("fingerprint").unwrap(),
+        client.request_ok("fingerprint").unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn killing_a_shard_degrades_service_without_changing_answers() {
+    let (mut shards, addrs) = spawn_shards(2);
+    let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    let before = client.request_ok("map side=16").unwrap();
+
+    drop(shards.remove(1)); // graceful daemon shutdown: shard 1 is gone
+
+    // All chunks reassign to the survivor; the merged bytes are unchanged.
+    let after = client.request_ok("map side=16").unwrap();
+    assert_eq!(before, after, "failover must not change answers");
+    let shards_text = client.request_ok("shards").expect("shards");
+    assert!(shards_text.contains("shard 0: ") && shards_text.contains("state=up"));
+    assert!(shards_text.contains("state=down"), "{shards_text}");
+
+    // Mutations still apply on the survivor.
+    let reply = client.request_ok("fail id=0").unwrap();
+    assert!(
+        reply.contains(&format!("{} cameras remain", N - 1)),
+        "{reply}"
+    );
+    let check = client.request_ok("check").unwrap();
+    assert!(
+        check.starts_with(&format!("{} cameras\n", N - 1)),
+        "{check}"
+    );
+}
+
+#[test]
+fn rejected_broadcast_forces_resync_through_the_refreshed_snapshot() {
+    let (shards, addrs) = spawn_shards(2);
+    let dir = scratch_dir("mutation-resync");
+    let coordinator =
+        Coordinator::start(fast_config(addrs, Some(dir.clone()))).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    // Sabotage shard 1 behind the coordinator's back: a direct client
+    // replaces its fleet entirely.
+    let mut direct_b = connect(shards[1].local_addr());
+    direct_b.request_ok("reseed seed=99 n=30").unwrap();
+
+    // The broadcast mutation succeeds on shard 0 but is rejected by the
+    // sabotaged shard (no camera 35 in a 30-camera fleet), which the
+    // coordinator answers by forcing that shard down.
+    let reply = client.request_ok("fail id=35").unwrap();
+    assert!(reply.contains("cameras remain"), "{reply}");
+
+    // The next query reconnects shard 1, sees the fingerprint mismatch,
+    // and restores it from the refreshed (post-mutation) snapshot.
+    let got = client.request_ok("map side=16").unwrap();
+    let reference = daemon(SEED, N);
+    let mut ref_client = connect(reference.local_addr());
+    ref_client.request_ok("fail id=35").unwrap();
+    let want = ref_client.request_ok("map side=16").unwrap();
+    assert_eq!(got, want, "post-failover map must match a lone daemon");
+
+    let shards_text = client.request_ok("shards").expect("shards");
+    assert!(!shards_text.contains("state=down"), "{shards_text}");
+    assert_eq!(
+        direct_b.request_ok("fingerprint").unwrap(),
+        client.request_ok("fingerprint").unwrap(),
+        "restored shard must carry the post-mutation authority fingerprint"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cluster_stats_aggregate_per_shard_counters() {
+    let (_shards, addrs) = spawn_shards(2);
+    let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    client.request_ok("map side=16").unwrap();
+    client.request_ok("map side=16").unwrap(); // scattered chunks hit shard caches
+    client.request_ok("kfull k=1 grid=10").unwrap();
+
+    let stats = client.request_ok("stats").unwrap();
+    assert!(stats.contains("cluster: shards=2 up=2 down=0"), "{stats}");
+    assert!(stats.contains(&format!("fleet: cameras={N}")), "{stats}");
+    let shard_line = stats
+        .lines()
+        .find(|l| l.starts_with("shards: "))
+        .unwrap_or_else(|| panic!("no shards line in:\n{stats}"));
+    let field = |name: &str| -> u64 {
+        shard_line
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} in {shard_line}"))
+    };
+    assert!(field("total_requests") > 0, "{shard_line}");
+    assert!(field("queue_capacity") > 0, "{shard_line}");
+    assert!(
+        field("cache_hits") > 0,
+        "repeated identical chunks must hit shard caches: {shard_line}"
+    );
+    // Coordinator-side verb counters cover the client's requests.
+    let requests = stats.lines().find(|l| l.starts_with("requests: ")).unwrap();
+    assert!(
+        requests.contains("map=2") && requests.contains("kfull=1"),
+        "{requests}"
+    );
+}
+
+#[test]
+fn coordinator_rejects_bad_requests_like_a_daemon() {
+    let (_shards, addrs) = spawn_shards(1);
+    let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    for (request, needle) in [
+        ("bogus", "unknown request"),
+        ("map sidr=16", "unknown parameter 'sidr'"),
+        ("map side=0", "side/grid must be positive"),
+        ("fail", "missing required parameter 'id'"),
+        ("fail id=999", "no camera with id 999"),
+    ] {
+        match client.request(request).expect(request) {
+            fullview_service::Response::Err(message) => {
+                assert!(message.contains(needle), "{request}: {message}");
+            }
+            fullview_service::Response::Ok(payload) => {
+                panic!("{request} unexpectedly ok: {payload}");
+            }
+        }
+    }
+    // The connection survives rejections, like the daemon's.
+    assert_eq!(client.request_ok("ping").unwrap(), "pong\n");
+}

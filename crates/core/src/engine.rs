@@ -134,6 +134,26 @@ impl GridTiling {
     pub fn grid_len(&self) -> usize {
         self.grid_side * self.grid_side
     }
+
+    /// The row-major grid-index interval `[min, max]` spanned by tile
+    /// `t`'s points (inclusive). Useful for rejecting tiles wholly
+    /// outside a contiguous index range without pinning their cell.
+    ///
+    /// Returns `None` for an empty tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    #[must_use]
+    pub fn tile_index_span(&self, t: usize) -> Option<(usize, usize)> {
+        let (cx, cy) = self.tile_cell(t);
+        let (c0, c1) = (self.starts[cx], self.starts[cx + 1]);
+        let (r0, r1) = (self.starts[cy], self.starts[cy + 1]);
+        if c0 == c1 || r0 == r1 {
+            return None;
+        }
+        Some((r0 * self.grid_side + c0, (r1 - 1) * self.grid_side + c1 - 1))
+    }
 }
 
 /// Whether the tile path is profitable for this network/grid pair: tiles
@@ -244,6 +264,64 @@ where
     });
 }
 
+/// [`sweep_grid`] restricted to the contiguous row-major index range
+/// `lo..hi` — the scatter unit of the sharded cluster layer, where each
+/// daemon evaluates only its assigned slice of the grid.
+///
+/// Per-point analyses are bit-identical to the full sweep (the same
+/// backend-equivalence invariant the differential tests pin down), so
+/// concatenating range results over a partition of `0..grid.len()`
+/// reproduces the full sweep exactly. Tiles wholly outside the range are
+/// skipped before their cell is pinned, so a `1/S` slice costs roughly
+/// `1/S` of the full sweep.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi > grid.len()`.
+pub fn sweep_grid_range<F>(net: &CameraNetwork, grid: &UnitGrid, lo: usize, hi: usize, mut f: F)
+where
+    F: FnMut(usize, Point, &CoverageView<'_>),
+{
+    assert!(
+        lo <= hi && hi <= grid.len(),
+        "range {lo}..{hi} out of bounds for a grid of {} points",
+        grid.len()
+    );
+    if lo == hi {
+        return;
+    }
+    let mut analyzer = PointAnalyzer::new();
+    if use_tiled(net, grid) {
+        let tiling = GridTiling::new(net.index(), grid);
+        let mut cursor = net.tile_cursor();
+        for t in 0..tiling.tile_count() {
+            let Some((min_idx, max_idx)) = tiling.tile_index_span(t) else {
+                continue;
+            };
+            if max_idx < lo || min_idx >= hi {
+                continue;
+            }
+            let (cx, cy) = tiling.tile_cell(t);
+            cursor.pin(cx, cy);
+            let query = CoverageQuery::tile(&cursor);
+            tiling.for_each_point_in_tile(t, |idx| {
+                if idx >= lo && idx < hi {
+                    let point = grid.point(idx);
+                    let view = analyzer.analyze_point_with(&query, point);
+                    f(idx, point, &view);
+                }
+            });
+        }
+    } else {
+        let query = CoverageQuery::whole(net);
+        for idx in lo..hi {
+            let point = grid.point(idx);
+            let view = analyzer.analyze_point_with(&query, point);
+            f(idx, point, &view);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +407,67 @@ mod tests {
             count += 1;
         });
         assert_eq!(count, grid.len());
+    }
+
+    #[test]
+    fn range_sweep_partitions_concatenate_to_the_full_sweep() {
+        let net = pseudo_random_net(100, 0.07);
+        let grid = UnitGrid::new(Torus::unit(), 21);
+        assert!(use_tiled(&net, &grid));
+        let mut full = vec![None; grid.len()];
+        sweep_grid(&net, &grid, |idx, _, view| {
+            full[idx] = Some(view.to_owned())
+        });
+
+        // Any partition of 0..len must reproduce the full sweep exactly.
+        for cuts in [vec![0, 441], vec![0, 100, 441], vec![0, 1, 220, 219, 441]] {
+            let mut sorted = cuts.clone();
+            sorted.sort_unstable();
+            let mut seen = vec![false; grid.len()];
+            for pair in sorted.windows(2) {
+                sweep_grid_range(&net, &grid, pair[0], pair[1], |idx, point, view| {
+                    assert!(!seen[idx], "index {idx} visited twice");
+                    seen[idx] = true;
+                    assert_eq!(view.to_owned(), analyze_point(&net, point));
+                    assert_eq!(Some(view.to_owned()), full[idx], "idx {idx}");
+                });
+            }
+            assert!(seen.iter().all(|&v| v), "partition {cuts:?} missed points");
+        }
+
+        // Empty and degenerate ranges are fine.
+        sweep_grid_range(&net, &grid, 7, 7, |_, _, _| panic!("empty range"));
+    }
+
+    #[test]
+    fn range_sweep_per_point_fallback() {
+        let net = CameraNetwork::new(Torus::unit(), Vec::new());
+        let grid = UnitGrid::new(Torus::unit(), 8);
+        assert!(!use_tiled(&net, &grid));
+        let mut count = 0;
+        sweep_grid_range(&net, &grid, 10, 30, |idx, _, view| {
+            assert!((10..30).contains(&idx));
+            assert_eq!(view.covering_cameras, 0);
+            count += 1;
+        });
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn tile_index_spans_cover_their_points() {
+        let net = pseudo_random_net(80, 0.08);
+        let grid = UnitGrid::new(Torus::unit(), 17);
+        let tiling = GridTiling::new(net.index(), &grid);
+        for t in 0..tiling.tile_count() {
+            match tiling.tile_index_span(t) {
+                None => assert_eq!(tiling.tile_point_count(t), 0),
+                Some((min_idx, max_idx)) => {
+                    tiling.for_each_point_in_tile(t, |idx| {
+                        assert!(idx >= min_idx && idx <= max_idx);
+                    });
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! covered cells, and reports the connected components of the remainder
 //! (4-connected, with torus wrap on both axes).
 
-use crate::engine::sweep_grid;
+use crate::engine::{sweep_grid, sweep_grid_range};
 use crate::theta::EffectiveAngle;
-use fullview_geom::{Point, UnitGrid};
+use fullview_geom::{Point, Torus, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::collections::VecDeque;
 use std::fmt;
@@ -73,26 +73,55 @@ impl fmt::Display for HoleReport {
     }
 }
 
-/// Finds the full-view coverage holes of `net` on a `grid_side ×
-/// grid_side` discretization.
+/// The full-view coverage mask of the row-major grid index range
+/// `lo..hi` on a `grid_side × grid_side` discretization — the scatter
+/// unit of the cluster layer's `holes` query. Concatenating range masks
+/// over a partition of `0..grid_side²` yields the exact mask
+/// [`find_holes`] computes, so [`holes_from_mask`] over the gathered
+/// mask reproduces the single-process report bit for bit.
 ///
 /// # Panics
 ///
-/// Panics if `grid_side == 0`.
+/// Panics if `grid_side == 0`, `lo > hi`, or `hi > grid_side²`.
 #[must_use]
-pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) -> HoleReport {
+pub fn full_view_mask_range(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    grid_side: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<bool> {
     assert!(grid_side > 0, "grid side must be positive");
     let grid = UnitGrid::new(*net.torus(), grid_side);
-    let k = grid_side;
-    // Tile-coherent sweep through the shared engine (visits points in
-    // tile order, hence indexed writes instead of a collect).
-    let mut covered = vec![false; grid.len()];
-    sweep_grid(net, &grid, |idx, _, view| {
-        covered[idx] = view.is_full_view(theta);
+    let mut covered = vec![false; hi - lo];
+    sweep_grid_range(net, &grid, lo, hi, |idx, _, view| {
+        covered[idx - lo] = view.is_full_view(theta);
     });
+    covered
+}
+
+/// Finds the connected holes of a precomputed full-view coverage mask
+/// (row-major, `covered[j * grid_side + i]` for column `i`, row `j`) —
+/// the gather half of [`find_holes`], split out so a cluster coordinator
+/// can run it on a mask assembled from per-shard
+/// [`full_view_mask_range`] results.
+///
+/// # Panics
+///
+/// Panics if `grid_side == 0` or `covered.len() != grid_side²`.
+#[must_use]
+pub fn holes_from_mask(torus: Torus, grid_side: usize, covered: &[bool]) -> HoleReport {
+    assert!(grid_side > 0, "grid side must be positive");
+    assert_eq!(
+        covered.len(),
+        grid_side * grid_side,
+        "mask must hold grid_side² cells"
+    );
+    let grid = UnitGrid::new(torus, grid_side);
+    let k = grid_side;
     let covered_count = covered.iter().filter(|c| **c).count();
 
-    let cell_area = net.torus().area() / (k * k) as f64;
+    let cell_area = torus.area() / (k * k) as f64;
     let mut visited = vec![false; covered.len()];
     let mut holes: Vec<Hole> = Vec::new();
     for start in 0..covered.len() {
@@ -136,6 +165,25 @@ pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) 
         holes,
         covered_fraction: covered_count as f64 / covered.len() as f64,
     }
+}
+
+/// Finds the full-view coverage holes of `net` on a `grid_side ×
+/// grid_side` discretization.
+///
+/// # Panics
+///
+/// Panics if `grid_side == 0`.
+#[must_use]
+pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) -> HoleReport {
+    assert!(grid_side > 0, "grid side must be positive");
+    let grid = UnitGrid::new(*net.torus(), grid_side);
+    // Tile-coherent sweep through the shared engine (visits points in
+    // tile order, hence indexed writes instead of a collect).
+    let mut covered = vec![false; grid.len()];
+    sweep_grid(net, &grid, |idx, _, view| {
+        covered[idx] = view.is_full_view(theta);
+    });
+    holes_from_mask(*net.torus(), grid_side, &covered)
 }
 
 #[cfg(test)]
@@ -234,5 +282,32 @@ mod tests {
     fn zero_grid_panics() {
         let net = CameraNetwork::new(Torus::unit(), Vec::new());
         let _ = find_holes(&net, theta(PI / 2.0), 0);
+    }
+
+    #[test]
+    fn mask_ranges_reassemble_the_find_holes_report() {
+        let net = spotty_network(&[(0.25, 0.25), (0.7, 0.6)]);
+        let th = theta(PI / 2.0);
+        let side = 18;
+        let total = side * side;
+        let direct = find_holes(&net, th, side);
+        for cuts in [
+            vec![0, total],
+            vec![0, 161, total],
+            vec![0, 1, 200, 201, total],
+        ] {
+            let mask: Vec<bool> = cuts
+                .windows(2)
+                .flat_map(|w| full_view_mask_range(&net, th, side, w[0], w[1]))
+                .collect();
+            let report = holes_from_mask(*net.torus(), side, &mask);
+            assert_eq!(report, direct, "partition {cuts:?} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid_side² cells")]
+    fn wrong_mask_length_panics() {
+        let _ = holes_from_mask(Torus::unit(), 4, &[false; 15]);
     }
 }

@@ -12,7 +12,7 @@
 //! circle is computed by a circular sweep over arc endpoints; the point
 //! is k-full-view covered iff that minimum is at least `k`.
 
-use crate::engine::sweep_grid;
+use crate::engine::{sweep_grid, sweep_grid_range};
 use crate::fullview::analyze_point;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, Point, UnitGrid, ANGLE_EPS};
@@ -50,6 +50,40 @@ pub fn for_each_view_multiplicity<F: FnMut(usize, usize)>(
             min_arc_depth(view.viewed_directions, theta.radians()) + colocated_bonus,
         );
     });
+}
+
+/// Counts the points of the row-major grid index range `lo..hi` whose
+/// view multiplicity is at least `k` — the scatter unit of the cluster
+/// layer's `kfull` query. Summing range counts over a partition of
+/// `0..grid.len()` equals the full-grid count, since each point's
+/// multiplicity depends only on the network.
+///
+/// `k = 0` counts every point in the range.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi > grid.len()`.
+#[must_use]
+pub fn count_k_view_range(
+    net: &CameraNetwork,
+    grid: &UnitGrid,
+    theta: EffectiveAngle,
+    k: usize,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    if k == 0 {
+        assert!(lo <= hi && hi <= grid.len(), "range out of bounds");
+        return hi - lo;
+    }
+    let mut meeting = 0usize;
+    sweep_grid_range(net, grid, lo, hi, |_, _, view| {
+        let colocated_bonus = usize::from(view.has_colocated_camera);
+        if min_arc_depth(view.viewed_directions, theta.radians()) + colocated_bonus >= k {
+            meeting += 1;
+        }
+    });
+    meeting
 }
 
 /// Whether every facing direction of `point` is watched by at least `k`
@@ -333,6 +367,26 @@ mod tests {
             prob_point_meets_necessary_k_poisson(&profile, 800.0, th, 0),
             1.0
         );
+    }
+
+    #[test]
+    fn range_counts_sum_to_the_full_count() {
+        let p = Point::new(0.5, 0.5);
+        let dirs: Vec<f64> = (0..9).map(|i| i as f64 * TAU / 9.0).collect();
+        let net = ring(p, &dirs);
+        let grid = UnitGrid::new(Torus::unit(), 15);
+        let th = theta(PI / 3.0);
+        for k in 0..3usize {
+            let mut full = 0usize;
+            for_each_view_multiplicity(&net, &grid, th, |_, m| full += usize::from(m >= k));
+            for cuts in [vec![0, 225], vec![0, 97, 225], vec![0, 1, 120, 121, 225]] {
+                let split: usize = cuts
+                    .windows(2)
+                    .map(|w| count_k_view_range(&net, &grid, th, k, w[0], w[1]))
+                    .sum();
+                assert_eq!(split, full, "k={k} partition {cuts:?}");
+            }
+        }
     }
 
     #[test]

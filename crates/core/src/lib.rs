@@ -92,7 +92,9 @@ pub use dependence::{
 pub use design::{
     max_cameras_below_necessary, min_cameras_for_guarantee, required_area_for_expected_fraction,
 };
-pub use engine::{for_each_grid_point, sweep_grid, use_tiled, CoverageQuery, GridTiling};
+pub use engine::{
+    for_each_grid_point, sweep_grid, sweep_grid_range, use_tiled, CoverageQuery, GridTiling,
+};
 pub use error::CoreError;
 pub use exact::{
     covering_count_pmf_poisson, covering_count_pmf_uniform, prob_point_full_view_poisson,
@@ -102,18 +104,21 @@ pub use fullview::{
     analyze_point, is_direction_safe, is_full_view_covered, is_full_view_covered_arcset,
     safe_directions, safe_fraction, unsafe_directions, CoverageView, PointAnalyzer, PointCoverage,
 };
-pub use holes::{find_holes, Hole, HoleReport};
+pub use holes::{find_holes, full_view_mask_range, holes_from_mask, Hole, HoleReport};
 pub use kcov::{implied_k, is_k_covered, k_covered_fraction, min_coverage_over_grid};
 pub use kfullview::{
-    for_each_view_multiplicity, is_k_full_view_covered, prob_point_meets_necessary_k_poisson,
-    view_multiplicity,
+    count_k_view_range, for_each_view_multiplicity, is_k_full_view_covered,
+    prob_point_meets_necessary_k_poisson, view_multiplicity,
 };
 pub use path::{evaluate_path, ExposedStretch, Path, PathCoverageReport};
 pub use poisson_theory::{
     prob_point_meets, prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
     q_closed_form, q_series, Condition,
 };
-pub use render::{coverage_map_text, hole_report_text};
+pub use render::{
+    coverage_glyphs_range, coverage_map_from_glyphs, coverage_map_text, hole_report_text,
+    kfull_text,
+};
 
 pub use probabilistic::{
     confident_covered_fraction, confident_point_coverage, confident_point_coverage_with,

@@ -8,12 +8,91 @@
 //! only decide where the bytes go.
 
 use crate::conditions::SectorPartition;
-use crate::engine::sweep_grid;
+use crate::engine::sweep_grid_range;
+use crate::fullview::CoverageView;
 use crate::holes::HoleReport;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::fmt::Write as _;
+
+/// The legend line shared by every rendering of the coverage-map glyphs.
+const MAP_LEGEND: &str =
+    "legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare";
+
+/// The coverage-map glyph of one point's analysis.
+fn glyph_of(
+    view: &CoverageView<'_>,
+    theta: EffectiveAngle,
+    necessary: &SectorPartition,
+    sufficient: &SectorPartition,
+) -> char {
+    if sufficient.is_satisfied_view(view) {
+        '#'
+    } else if view.is_full_view(theta) {
+        'F'
+    } else if necessary.is_satisfied_view(view) {
+        'n'
+    } else if view.covering_cameras > 0 {
+        '.'
+    } else {
+        ' '
+    }
+}
+
+/// The coverage-map glyphs of the row-major grid index range `lo..hi`
+/// on a `side × side` grid — the scatter unit of the cluster layer.
+/// Concatenating range results over a partition of `0..side²` yields the
+/// exact cell buffer of [`coverage_map_text`].
+///
+/// # Panics
+///
+/// Panics if `side == 0`, `lo > hi`, or `hi > side²`.
+#[must_use]
+pub fn coverage_glyphs_range(
+    net: &CameraNetwork,
+    theta: EffectiveAngle,
+    side: usize,
+    lo: usize,
+    hi: usize,
+) -> String {
+    assert!(side > 0, "map side must be positive");
+    let grid = UnitGrid::new(*net.torus(), side);
+    let necessary = SectorPartition::necessary(theta, Angle::ZERO);
+    let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
+    // Range sweeps visit points in tile order within the range, so render
+    // into an index-keyed buffer before flattening.
+    let mut cells = vec![' '; hi - lo];
+    sweep_grid_range(net, &grid, lo, hi, |idx, _, view| {
+        cells[idx - lo] = glyph_of(view, theta, &necessary, &sufficient);
+    });
+    cells.into_iter().collect()
+}
+
+/// Renders a full glyph buffer (as produced by [`coverage_glyphs_range`]
+/// over `0..side²`, or gathered from cluster shards) into the exact text
+/// of [`coverage_map_text`]: legend line, blank separator, then `side`
+/// `|…|`-framed rows, top row first.
+///
+/// # Panics
+///
+/// Panics if `glyphs` does not hold exactly `side²` characters.
+#[must_use]
+pub fn coverage_map_from_glyphs(side: usize, glyphs: &str) -> String {
+    let cells: Vec<char> = glyphs.chars().collect();
+    assert_eq!(
+        cells.len(),
+        side * side,
+        "glyph buffer must hold side² cells"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAP_LEGEND}\n");
+    for j in (0..side).rev() {
+        let row: String = cells[j * side..(j + 1) * side].iter().collect();
+        let _ = writeln!(out, "|{row}|");
+    }
+    out
+}
 
 /// The ASCII coverage map of `net` on a `side × side` grid — legend line,
 /// blank separator, then `side` rows (top row first), each `|…|`-framed.
@@ -27,36 +106,27 @@ use std::fmt::Write as _;
 /// Panics if `side == 0`.
 #[must_use]
 pub fn coverage_map_text(net: &CameraNetwork, theta: EffectiveAngle, side: usize) -> String {
-    assert!(side > 0, "map side must be positive");
-    let grid = UnitGrid::new(*net.torus(), side);
-    let necessary = SectorPartition::necessary(theta, Angle::ZERO);
-    let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare\n"
-    );
-    // Tile-coherent sweep through the shared engine; points arrive in tile
-    // order, so render into an index-keyed buffer before printing rows.
-    let mut cells = vec![' '; grid.len()];
-    sweep_grid(net, &grid, |idx, _, view| {
-        cells[idx] = if sufficient.is_satisfied_view(view) {
-            '#'
-        } else if view.is_full_view(theta) {
-            'F'
-        } else if necessary.is_satisfied_view(view) {
-            'n'
-        } else if view.covering_cameras > 0 {
-            '.'
-        } else {
-            ' '
-        };
-    });
-    for j in (0..side).rev() {
-        let row: String = cells[j * side..(j + 1) * side].iter().collect();
-        let _ = writeln!(out, "|{row}|");
-    }
-    out
+    coverage_map_from_glyphs(
+        side,
+        &coverage_glyphs_range(net, theta, side, 0, side * side),
+    )
+}
+
+/// The `fvc kfull` / service `kfull` summary line for `meeting` of
+/// `total` grid points watched from every direction by at least `k`
+/// cameras. Centralized so the single daemon and the cluster coordinator
+/// (which sums per-shard counts) emit identical bytes.
+///
+/// # Panics
+///
+/// Panics if `total == 0`.
+#[must_use]
+pub fn kfull_text(k: usize, grid_side: usize, meeting: usize, total: usize) -> String {
+    assert!(total > 0, "total grid points must be positive");
+    format!(
+        "k-full-view k={k} grid={grid_side}: fraction {:.4} ({meeting}/{total} points)\n",
+        meeting as f64 / total as f64
+    )
 }
 
 /// The hole summary as printed by `fvc holes`: the report line followed
@@ -120,6 +190,48 @@ mod tests {
         assert!(text.ends_with('\n'));
         // Deterministic: same input, same bytes.
         assert_eq!(text, coverage_map_text(&net, theta, 12));
+    }
+
+    #[test]
+    fn glyph_ranges_concatenate_to_the_full_map() {
+        let net = small_net();
+        let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+        let side = 14;
+        let total = side * side;
+        let full = coverage_map_text(&net, theta, side);
+        for cuts in [
+            vec![0, total],
+            vec![0, 50, total],
+            vec![0, 1, 99, 100, total],
+        ] {
+            let glyphs: String = cuts
+                .windows(2)
+                .map(|w| coverage_glyphs_range(&net, theta, side, w[0], w[1]))
+                .collect();
+            assert_eq!(
+                coverage_map_from_glyphs(side, &glyphs),
+                full,
+                "partition {cuts:?} must reassemble the exact map bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn kfull_text_format_is_stable() {
+        assert_eq!(
+            kfull_text(2, 24, 3, 576),
+            "k-full-view k=2 grid=24: fraction 0.0052 (3/576 points)\n"
+        );
+        assert_eq!(
+            kfull_text(1, 8, 64, 64),
+            "k-full-view k=1 grid=8: fraction 1.0000 (64/64 points)\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "side² cells")]
+    fn wrong_glyph_count_panics() {
+        let _ = coverage_map_from_glyphs(4, "too short");
     }
 
     #[test]

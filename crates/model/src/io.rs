@@ -12,6 +12,12 @@
 //! # x y orientation_rad radius aov_rad group
 //! 0.25 0.75 1.5708 0.12 1.5708 0
 //! ```
+//!
+//! Every float field also accepts a `0x`-prefixed 16-digit hex token
+//! carrying the exact IEEE-754 bit pattern. [`network_to_text_exact`] /
+//! [`profile_to_text_exact`] emit that form so a serialized fleet parses
+//! back *bit-identical* — the property the service's snapshot/restore
+//! path relies on to preserve canonical fingerprints across processes.
 
 use crate::camera::{Camera, GroupId};
 use crate::error::ModelError;
@@ -48,6 +54,25 @@ impl From<(usize, ModelError)> for ParseNetworkError {
     }
 }
 
+/// Formats a float as its exact IEEE-754 bit pattern (`0x`-prefixed,
+/// 16 hex digits), the lossless form accepted by every float field of
+/// the text formats.
+fn f64_to_exact(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+/// Parses a float field: either a plain decimal literal or the exact
+/// `0x`-prefixed bit-pattern form written by the `*_to_text_exact`
+/// serializers.
+fn f64_from_field(s: &str) -> Result<f64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("bad bit pattern: {e}"));
+    }
+    s.parse().map_err(|e| format!("{e}"))
+}
+
 /// Serializes a network to the text format (with a header comment).
 #[must_use]
 pub fn network_to_text(net: &CameraNetwork) -> String {
@@ -63,6 +88,34 @@ pub fn network_to_text(net: &CameraNetwork) -> String {
             cam.orientation().radians(),
             cam.spec().radius(),
             cam.spec().angle_of_view(),
+            cam.group().0
+        );
+    }
+    out
+}
+
+/// Serializes a network with exact bit-pattern float fields, so parsing
+/// the text back yields a bit-identical network (same canonical
+/// fingerprint). The decimal rendering rides along in a comment per line
+/// for human readers.
+#[must_use]
+pub fn network_to_text_exact(net: &CameraNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fullview camera network (exact bits): {} cameras",
+        net.len()
+    );
+    let _ = writeln!(out, "# x y orientation_rad radius aov_rad group");
+    for cam in net.cameras() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            f64_to_exact(cam.position().x),
+            f64_to_exact(cam.position().y),
+            f64_to_exact(cam.orientation().radians()),
+            f64_to_exact(cam.spec().radius()),
+            f64_to_exact(cam.spec().angle_of_view()),
             cam.group().0
         );
     }
@@ -92,7 +145,7 @@ pub fn network_from_text(torus: Torus, text: &str) -> Result<CameraNetwork, Pars
             });
         }
         let parse_f64 = |i: usize, name: &str| -> Result<f64, ParseNetworkError> {
-            fields[i].parse().map_err(|e| ParseNetworkError {
+            f64_from_field(fields[i]).map_err(|e| ParseNetworkError {
                 line: line_no,
                 message: format!("bad {name} '{}': {e}", fields[i]),
             })
@@ -146,6 +199,30 @@ pub fn profile_to_text(profile: &crate::NetworkProfile) -> String {
     out
 }
 
+/// Serializes a profile with exact bit-pattern float fields (see
+/// [`network_to_text_exact`]): parsing back is bit-identical, preserving
+/// the canonical profile fingerprint.
+#[must_use]
+pub fn profile_to_text_exact(profile: &crate::NetworkProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fullview network profile (exact bits): {} groups",
+        profile.group_count()
+    );
+    let _ = writeln!(out, "# fraction radius aov_rad");
+    for g in profile.groups() {
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            f64_to_exact(g.fraction()),
+            f64_to_exact(g.spec().radius()),
+            f64_to_exact(g.spec().angle_of_view())
+        );
+    }
+    out
+}
+
 /// Parses a heterogeneous profile from the text format written by
 /// [`profile_to_text`].
 ///
@@ -172,7 +249,7 @@ pub fn profile_from_text(text: &str) -> Result<crate::NetworkProfile, ParseNetwo
             });
         }
         let parse = |i: usize, name: &str| -> Result<f64, ParseNetworkError> {
-            fields[i].parse().map_err(|e| ParseNetworkError {
+            f64_from_field(fields[i]).map_err(|e| ParseNetworkError {
                 line: line_no,
                 message: format!("bad {name} '{}': {e}", fields[i]),
             })
@@ -383,6 +460,78 @@ mod tests {
             ),
         ];
         assert!(empirical_profile(&CameraNetwork::new(Torus::unit(), cams)).is_none());
+    }
+
+    #[test]
+    fn exact_network_roundtrip_is_bit_identical() {
+        // An awkward position that 9-decimal rounding would corrupt.
+        let spec = SensorSpec::new(0.1 + f64::EPSILON, PI / 3.0 + 1e-13).unwrap();
+        let net = CameraNetwork::new(
+            Torus::unit(),
+            vec![
+                Camera::new(
+                    Point::new(0.123_456_789_123_456_78, 1.0 - f64::EPSILON),
+                    Angle::new(1.0e-12),
+                    spec,
+                    GroupId(3),
+                ),
+                Camera::new(Point::new(0.0, 0.5), Angle::new(6.19), spec, GroupId(0)),
+            ],
+        );
+        let text = network_to_text_exact(&net);
+        let back = network_from_text(Torus::unit(), &text).unwrap();
+        assert_eq!(back.len(), net.len());
+        for (a, b) in back.cameras().iter().zip(net.cameras()) {
+            assert_eq!(a.position().x.to_bits(), b.position().x.to_bits());
+            assert_eq!(a.position().y.to_bits(), b.position().y.to_bits());
+            assert_eq!(
+                a.orientation().radians().to_bits(),
+                b.orientation().radians().to_bits()
+            );
+            assert_eq!(a.spec().radius().to_bits(), b.spec().radius().to_bits());
+            assert_eq!(
+                a.spec().angle_of_view().to_bits(),
+                b.spec().angle_of_view().to_bits()
+            );
+            assert_eq!(a.group(), b.group());
+        }
+        // The lossy decimal form would NOT round-trip this network.
+        let lossy = network_from_text(Torus::unit(), &network_to_text(&net)).unwrap();
+        assert_ne!(
+            lossy.cameras()[0].position().x.to_bits(),
+            net.cameras()[0].position().x.to_bits(),
+            "test premise: decimal rendering is lossy for this position"
+        );
+    }
+
+    #[test]
+    fn exact_profile_roundtrip_is_bit_identical() {
+        let profile = crate::NetworkProfile::builder()
+            .group(SensorSpec::new(0.08 + 1e-17, PI / 2.0).unwrap(), 1.0 / 3.0)
+            .group(SensorSpec::new(0.15, PI / 6.0).unwrap(), 2.0 / 3.0)
+            .build()
+            .unwrap();
+        let back = profile_from_text(&profile_to_text_exact(&profile)).unwrap();
+        assert_eq!(back.group_count(), profile.group_count());
+        for (a, b) in back.groups().iter().zip(profile.groups()) {
+            assert_eq!(a.fraction().to_bits(), b.fraction().to_bits());
+            assert_eq!(a.spec().radius().to_bits(), b.spec().radius().to_bits());
+            assert_eq!(
+                a.spec().angle_of_view().to_bits(),
+                b.spec().angle_of_view().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bit_patterns_are_rejected_with_line() {
+        let err = network_from_text(Torus::unit(), "0xzz 0.2 0.3 0.1 1.0 0").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bad x"), "{err}");
+        // A bit pattern decoding to a non-finite value is still rejected.
+        let nan = format!("0x{:016x} 0.2 0.3 0.1 1.0 0", f64::NAN.to_bits());
+        let err = network_from_text(Torus::unit(), &nan).unwrap_err();
+        assert!(err.message.contains("finite"), "{err}");
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use cursor::{CoverageProvider, TileCursor};
 pub use error::ModelError;
 pub use group::{GroupProfile, NetworkProfile, NetworkProfileBuilder};
 pub use io::{
-    empirical_profile, network_from_text, network_to_text, profile_from_text, profile_to_text,
-    ParseNetworkError,
+    empirical_profile, network_from_text, network_to_text, network_to_text_exact,
+    profile_from_text, profile_to_text, profile_to_text_exact, ParseNetworkError,
 };
 pub use network::{CameraNetwork, Covering};
 pub use spec::SensorSpec;

@@ -203,6 +203,63 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_capacity_nothing_is_evicted() {
+        // Filling to the bound exactly must not evict: the cache is full,
+        // not over-full. Off-by-one here would silently halve hit rates.
+        let mut c = ResultCache::new(3);
+        c.insert(1, "a".into(), true);
+        c.insert(2, "b".into(), true);
+        c.insert(3, "c".into(), true);
+        let s = c.stats();
+        assert_eq!((s.entries, s.evictions), (3, 0));
+        for k in 1..=3 {
+            assert!(c.get(k).is_some(), "entry {k} survived the exact fill");
+        }
+    }
+
+    #[test]
+    fn one_past_capacity_evicts_exactly_one() {
+        let mut c = ResultCache::new(3);
+        for k in 1..=3u64 {
+            c.insert(k, k.to_string(), true);
+        }
+        c.insert(4, "d".into(), true);
+        let s = c.stats();
+        assert_eq!((s.entries, s.evictions), (3, 1));
+        // Insertion order doubles as recency order here, so 1 is the LRU.
+        assert!(c.get(1).is_none(), "the oldest entry went");
+        for k in 2..=4 {
+            assert!(c.get(k).is_some(), "entry {k} stayed");
+        }
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_newest() {
+        let mut c = ResultCache::new(1);
+        for k in 0..5u64 {
+            c.insert(k, k.to_string(), k % 2 == 0);
+            assert_eq!(c.stats().entries, 1, "never more than one entry");
+            assert_eq!(c.get(k).as_deref(), Some(k.to_string().as_str()));
+        }
+        assert_eq!(c.stats().evictions, 4);
+    }
+
+    #[test]
+    fn refill_after_invalidation_respects_capacity() {
+        // Invalidation frees slots; the next fills must use them without
+        // evicting, and the bound must hold again afterwards.
+        let mut c = ResultCache::new(2);
+        c.insert(1, "net".into(), true);
+        c.insert(2, "theory".into(), false);
+        assert_eq!(c.invalidate_network_dependent(), 1);
+        c.insert(3, "net2".into(), true);
+        assert_eq!(c.stats().evictions, 0, "freed slot reused");
+        c.insert(4, "net3".into(), true);
+        assert_eq!(c.stats().evictions, 1, "bound enforced after refill");
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let mut c = ResultCache::new(0);
         c.insert(1, "a".into(), true);

@@ -59,6 +59,61 @@ impl Client {
         }
     }
 
+    /// Writes one request line without waiting for its response — the
+    /// send half of pipelining. Pair every `send` with a later
+    /// [`recv`](Self::recv); responses arrive in request order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the stream.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        let line = line.trim_end_matches('\n');
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next framed response — the receive half of pipelining.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Self::request).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        match protocol::read_response(&mut self.reader)? {
+            Some(response) => Ok(response),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )),
+        }
+    }
+
+    /// Pipelines `lines` over this connection with at most `max_inflight`
+    /// requests outstanding, returning the responses in request order.
+    /// The window bound keeps a slow consumer from forcing the server to
+    /// buffer unboundedly many byte-counted payloads.
+    ///
+    /// # Errors
+    ///
+    /// The first transport error aborts the batch (server-side `err`
+    /// frames are *not* errors — they come back as [`Response::Err`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight == 0`.
+    pub fn pipeline(&mut self, lines: &[&str], max_inflight: usize) -> io::Result<Vec<Response>> {
+        assert!(max_inflight > 0, "pipeline window must be positive");
+        let mut responses = Vec::with_capacity(lines.len());
+        let mut sent = 0usize;
+        while responses.len() < lines.len() {
+            while sent < lines.len() && sent - responses.len() < max_inflight {
+                self.send(lines[sent])?;
+                sent += 1;
+            }
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+
     /// [`request`](Self::request), with a server-side `err` frame turned
     /// into an `Err(message)` so tests and the CLI can `?` through both
     /// failure layers.

@@ -16,8 +16,11 @@
 //!   back-pressure point.
 //! * [`metrics`] — per-endpoint counters and latency quantiles behind
 //!   the `stats` endpoint.
+//! * [`snapshot`] — warm-state persistence: the fleet serialized with
+//!   exact bit patterns and verified canonical fingerprints.
 //! * [`server`] — the daemon: acceptor, connection handlers, dispatch.
-//! * [`client`] — the blocking client used by `fvc query` and tests.
+//! * [`client`] — the blocking client used by `fvc query`, the cluster
+//!   coordinator, and tests (supports bounded-window pipelining).
 //!
 //! ```no_run
 //! use fullview_service::{Client, Response, Server, ServiceConfig};
@@ -41,6 +44,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::{CacheStats, ResultCache};
 pub use client::Client;
@@ -48,3 +52,4 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{Request, Response};
 pub use queue::{JobQueue, SubmitError};
 pub use server::{Server, ServiceConfig};
+pub use snapshot::{read_snapshot, snapshot_from_text, snapshot_to_text, write_snapshot, Snapshot};

@@ -16,7 +16,24 @@ const LATENCY_BUCKETS: usize = 2_000;
 
 /// The endpoint names tracked by [`Metrics`], in reporting order.
 pub const ENDPOINTS: &[&str] = &[
-    "check", "map", "holes", "kfull", "prob", "stats", "fail", "move", "reseed", "ping", "shutdown",
+    "check",
+    "map",
+    "holes",
+    "kfull",
+    "prob",
+    "cells",
+    "mask",
+    "kcount",
+    "stats",
+    "fingerprint",
+    "snapshot",
+    "restore",
+    "fail",
+    "move",
+    "reseed",
+    "shards",
+    "ping",
+    "shutdown",
 ];
 
 #[derive(Debug)]

@@ -15,7 +15,9 @@
 //! full grammar.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Upper bound on a request line, to keep a hostile peer from growing an
 /// unbounded buffer.
@@ -138,6 +140,51 @@ pub fn write_err<W: Write>(w: &mut W, message: &str) -> io::Result<()> {
     let flat = message.replace('\n', " ");
     writeln!(w, "err {flat}")?;
     w.flush()
+}
+
+/// Reads the next `\n`-terminated request line from a connection whose
+/// read timeout is short, checking `shutdown` on every timeout so idle
+/// keep-alive connections cannot stall a drain. `carry` holds bytes read
+/// past the previous newline and must persist across calls on the same
+/// connection.
+///
+/// Returns `None` on EOF, shutdown, an oversized line
+/// ([`MAX_REQUEST_LINE`]), invalid UTF-8, or a transport error — all of
+/// which end the connection. Shared by the daemon's connection handler
+/// and the cluster coordinator's client-facing listener.
+pub fn read_request_line(
+    stream: &TcpStream,
+    carry: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Option<String> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+            let rest = carry.split_off(pos + 1);
+            let mut line = std::mem::replace(carry, rest);
+            line.pop(); // the newline
+            return String::from_utf8(line).ok();
+        }
+        if carry.len() > MAX_REQUEST_LINE {
+            return None;
+        }
+        match (&mut (&*stream)).read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
 }
 
 /// A response read back by the client codec.

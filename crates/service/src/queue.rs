@@ -249,6 +249,59 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_producers_reject_fast_and_never_oversubscribe() {
+        // A full queue must reject overflow *immediately* (no blocking)
+        // even with many producers racing, and the accepted count must
+        // exactly match capacity — the back-pressure contract the server
+        // relies on to answer "queue full, retry later" promptly.
+        let queue = Arc::new(JobQueue::new(1, 4));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        queue
+            .submit(Box::new(move || {
+                started_tx.send(()).expect("send");
+                gate_rx.recv().expect("gate");
+            }))
+            .expect("blocker");
+        started_rx.recv().expect("worker picked up blocker");
+
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let rejected_full = Arc::new(AtomicUsize::new(0));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..8)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let accepted = Arc::clone(&accepted);
+                let rejected_full = Arc::clone(&rejected_full);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let ran = Arc::clone(&ran);
+                        match queue.submit(Box::new(move || {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        })) {
+                            Ok(()) => accepted.fetch_add(1, Ordering::Relaxed),
+                            Err(SubmitError::Full) => rejected_full.fetch_add(1, Ordering::Relaxed),
+                            Err(SubmitError::ShuttingDown) => panic!("queue is open"),
+                        };
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        // The worker is still parked on the blocker, so nothing drained:
+        // accepts are bounded by exactly the queue capacity.
+        assert_eq!(accepted.load(Ordering::Relaxed), 4, "capacity honoured");
+        assert_eq!(rejected_full.load(Ordering::Relaxed), 28, "rest rejected");
+        assert_eq!(queue.depth(), 4);
+        gate_tx.send(()).expect("open gate");
+        queue.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 4, "every accepted job ran");
+    }
+
+    #[test]
     fn zero_workers_clamped_to_at_least_one() {
         let queue = JobQueue::new(0, 4);
         assert!(queue.workers() >= 1);

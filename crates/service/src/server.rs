@@ -19,10 +19,11 @@ use crate::cache::ResultCache;
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
 use crate::queue::JobQueue;
+use crate::snapshot::{read_snapshot, write_snapshot};
 use fullview_core::canon::{network_fingerprint, profile_fingerprint, CanonicalHasher};
 use fullview_core::{
-    coverage_map_text, find_holes, for_each_view_multiplicity, hole_report_text,
-    prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
+    count_k_view_range, coverage_glyphs_range, coverage_map_text, find_holes, full_view_mask_range,
+    hole_report_text, kfull_text, prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
     prob_point_meets_sufficient_poisson, EffectiveAngle,
 };
 use fullview_deploy::deploy_uniform;
@@ -32,8 +33,9 @@ use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
-use std::io::{self, Read};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -235,45 +237,11 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<ServerCtx>) {
     ctx.queue.shutdown();
 }
 
-/// Reads the next `\n`-terminated line, checking the shutdown flag on
-/// every read timeout so idle keep-alive connections cannot stall the
-/// drain. Returns `None` on EOF, shutdown, or an oversized line.
-fn next_line(stream: &TcpStream, carry: &mut Vec<u8>, ctx: &ServerCtx) -> Option<String> {
-    let mut chunk = [0u8; 1024];
-    loop {
-        if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
-            let rest = carry.split_off(pos + 1);
-            let mut line = std::mem::replace(carry, rest);
-            line.pop(); // the newline
-            return String::from_utf8(line).ok();
-        }
-        if carry.len() > protocol::MAX_REQUEST_LINE {
-            return None;
-        }
-        match (&mut (&*stream)).read(&mut chunk) {
-            Ok(0) => return None,
-            Ok(n) => carry.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return None,
-        }
-    }
-}
-
 fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut carry: Vec<u8> = Vec::new();
-    while let Some(line) = next_line(stream, &mut carry, ctx) {
+    while let Some(line) = protocol::read_request_line(stream, &mut carry, &ctx.shutdown) {
         if line.trim().is_empty() {
             continue;
         }
@@ -323,6 +291,15 @@ enum QueryKind {
     Holes,
     Kfull,
     Prob,
+    /// Raw coverage-map glyphs of a grid-index range — the cluster
+    /// coordinator's scatter unit for `map`.
+    Cells,
+    /// Full-view coverage mask (`'1'`/`'0'` per cell) of a grid-index
+    /// range — the scatter unit for `holes`.
+    Mask,
+    /// Count of k-full-view-covered points in a grid-index range — the
+    /// scatter unit for `kfull`.
+    Kcount,
 }
 
 impl QueryKind {
@@ -333,12 +310,28 @@ impl QueryKind {
             QueryKind::Holes => "holes",
             QueryKind::Kfull => "kfull",
             QueryKind::Prob => "prob",
+            QueryKind::Cells => "cells",
+            QueryKind::Mask => "mask",
+            QueryKind::Kcount => "kcount",
         }
     }
 
     /// Whether answers depend on the deployed network (vs profile only).
     fn network_dependent(self) -> bool {
         !matches!(self, QueryKind::Prob)
+    }
+
+    /// Whether the query takes `lo`/`hi` grid-index range parameters.
+    fn ranged(self) -> bool {
+        matches!(self, QueryKind::Cells | QueryKind::Mask | QueryKind::Kcount)
+    }
+
+    /// Total grid points of the discretization a range indexes into.
+    fn range_total(self, params: &QueryParams) -> usize {
+        match self {
+            QueryKind::Cells => params.side * params.side,
+            _ => params.grid * params.grid,
+        }
     }
 }
 
@@ -351,6 +344,10 @@ struct QueryParams {
     grid: usize,
     k: usize,
     density: f64,
+    /// Range start for ranged kinds (inclusive).
+    lo: usize,
+    /// Range end for ranged kinds (exclusive).
+    hi: usize,
 }
 
 fn theta_of(ctx: &ServerCtx, req: &Request) -> Result<EffectiveAngle, String> {
@@ -368,13 +365,18 @@ fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryP
         QueryKind::Holes => req.allow_only(&["theta-deg", "grid"])?,
         QueryKind::Kfull => req.allow_only(&["theta-deg", "k", "grid"])?,
         QueryKind::Prob => req.allow_only(&["theta-deg", "density"])?,
+        QueryKind::Cells => req.allow_only(&["theta-deg", "side", "lo", "hi"])?,
+        QueryKind::Mask => req.allow_only(&["theta-deg", "grid", "lo", "hi"])?,
+        QueryKind::Kcount => req.allow_only(&["theta-deg", "k", "grid", "lo", "hi"])?,
     }
-    let params = QueryParams {
+    let mut params = QueryParams {
         theta: theta_of(ctx, req)?,
         side: req.get("side", 48usize)?,
         grid: req.get("grid", 24usize)?,
         k: req.get("k", 2usize)?,
         density: req.get("density", 800.0f64)?,
+        lo: req.get("lo", 0usize)?,
+        hi: req.get("hi", usize::MAX)?,
     };
     if params.side == 0 || params.grid == 0 {
         return Err("side/grid must be positive".to_string());
@@ -384,6 +386,18 @@ fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryP
             "density must be finite and positive, got {}",
             params.density
         ));
+    }
+    if kind.ranged() {
+        let total = kind.range_total(&params);
+        if params.hi == usize::MAX {
+            params.hi = total;
+        }
+        if params.lo >= params.hi || params.hi > total {
+            return Err(format!(
+                "range [{}, {}) must be non-empty within the {total}-point grid",
+                params.lo, params.hi
+            ));
+        }
     }
     Ok(params)
 }
@@ -404,6 +418,16 @@ fn digest(kind: QueryKind, params: &QueryParams, fleet: &Fleet) -> u64 {
             h.write_usize(params.grid);
         }
         QueryKind::Prob => h.write_f64(params.density),
+        QueryKind::Cells => h.write_usize(params.side),
+        QueryKind::Mask => h.write_usize(params.grid),
+        QueryKind::Kcount => {
+            h.write_usize(params.k);
+            h.write_usize(params.grid);
+        }
+    }
+    if kind.ranged() {
+        h.write_usize(params.lo);
+        h.write_usize(params.hi);
     }
     h.write_u64(if kind.network_dependent() {
         fleet.net_fp
@@ -429,19 +453,23 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
         QueryKind::Holes => hole_report_text(&find_holes(&fleet.net, theta, params.grid)),
         QueryKind::Kfull => {
             let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
-            let mut meeting = 0usize;
-            for_each_view_multiplicity(&fleet.net, &grid, theta, |_, multiplicity| {
-                if multiplicity >= params.k {
-                    meeting += 1;
-                }
-            });
-            format!(
-                "k-full-view k={} grid={}: fraction {:.4} ({meeting}/{} points)\n",
-                params.k,
-                params.grid,
-                meeting as f64 / grid.len() as f64,
-                grid.len()
-            )
+            let meeting = count_k_view_range(&fleet.net, &grid, theta, params.k, 0, grid.len());
+            kfull_text(params.k, params.grid, meeting, grid.len())
+        }
+        QueryKind::Cells => {
+            coverage_glyphs_range(&fleet.net, theta, params.side, params.lo, params.hi)
+        }
+        QueryKind::Mask => {
+            full_view_mask_range(&fleet.net, theta, params.grid, params.lo, params.hi)
+                .into_iter()
+                .map(|covered| if covered { '1' } else { '0' })
+                .collect()
+        }
+        QueryKind::Kcount => {
+            let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
+            let meeting =
+                count_k_view_range(&fleet.net, &grid, theta, params.k, params.lo, params.hi);
+            format!("{meeting}\n")
         }
         QueryKind::Prob => {
             let mut out = String::new();
@@ -581,6 +609,68 @@ fn run_reseed(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     ))
 }
 
+/// The `fingerprint` verb: the canonical identity of the current fleet,
+/// used by the cluster coordinator to detect shard divergence. The torus
+/// side rides along as exact bits so the coordinator can reconstruct
+/// grid geometry (hole centroids) without guessing the region.
+fn run_fingerprint(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&[])?;
+    let fleet = ctx.fleet.read().expect("fleet lock");
+    Ok(format!(
+        "net_fp={} profile_fp={} cameras={} torus=0x{:016x}\n",
+        fleet.net_fp,
+        fleet.profile_fp,
+        fleet.net.len(),
+        fleet.net.torus().side().to_bits()
+    ))
+}
+
+/// The `snapshot` verb: persist the warm fleet to disk.
+fn run_snapshot(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["path"])?;
+    let path: String = req.require("path")?;
+    let (net_fp, profile_fp) = {
+        let fleet = ctx.fleet.read().expect("fleet lock");
+        write_snapshot(Path::new(&path), &fleet.profile, &fleet.net)
+            .map_err(|e| format!("snapshot to {path} failed: {e}"))?
+    };
+    Ok(format!(
+        "snapshot written to {path} (net_fp={net_fp} profile_fp={profile_fp})\n"
+    ))
+}
+
+/// The `restore` verb: adopt a snapshotted fleet. Network-dependent
+/// cache entries are invalidated only when the network fingerprint
+/// actually changes — restoring the state the daemon already holds keeps
+/// every cached result valid (keys embed the fingerprints, so this is
+/// hygiene, not correctness).
+fn run_restore(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+    req.allow_only(&["path"])?;
+    let path: String = req.require("path")?;
+    let snap = read_snapshot(Path::new(&path)).map_err(|e| format!("restore from {path}: {e}"))?;
+    let (cameras, changed) = {
+        let mut fleet = ctx.fleet.write().expect("fleet lock");
+        let changed = fleet.net_fp != snap.net_fp;
+        fleet.profile = snap.profile;
+        fleet.net = snap.net;
+        fleet.net_fp = snap.net_fp;
+        fleet.profile_fp = snap.profile_fp;
+        (fleet.net.len(), changed)
+    };
+    let invalidated = if changed {
+        ctx.cache
+            .lock()
+            .expect("cache lock")
+            .invalidate_network_dependent()
+    } else {
+        0
+    };
+    Ok(format!(
+        "restored {cameras} cameras from {path} (net_fp={} profile_fp={}); invalidated {invalidated} cached results\n",
+        snap.net_fp, snap.profile_fp
+    ))
+}
+
 fn render_stats(ctx: &ServerCtx) -> String {
     let (cameras, groups) = {
         let fleet = ctx.fleet.read().expect("fleet lock");
@@ -647,11 +737,17 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: &Request) -> Result<String, String> {
         "holes" => run_query(ctx, req, QueryKind::Holes),
         "kfull" => run_query(ctx, req, QueryKind::Kfull),
         "prob" => run_query(ctx, req, QueryKind::Prob),
+        "cells" => run_query(ctx, req, QueryKind::Cells),
+        "mask" => run_query(ctx, req, QueryKind::Mask),
+        "kcount" => run_query(ctx, req, QueryKind::Kcount),
         "fail" => run_fail(ctx, req),
         "move" => run_move(ctx, req),
         "reseed" => run_reseed(ctx, req),
+        "fingerprint" => run_fingerprint(ctx, req),
+        "snapshot" => run_snapshot(ctx, req),
+        "restore" => run_restore(ctx, req),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, fail, move, reseed, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, ping, shutdown)"
         )),
     }
 }

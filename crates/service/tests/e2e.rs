@@ -229,6 +229,114 @@ fn errors_are_reported_not_fatal() {
 }
 
 #[test]
+fn ranged_verbs_reassemble_to_the_unranged_answers() {
+    let server = Server::start(small_config()).expect("start");
+    let mut client = connect(&server);
+
+    // cells ranges concatenate to the glyphs inside the full map.
+    let map = client.request_ok("map side=12").unwrap();
+    let mut glyphs = String::new();
+    for (lo, hi) in [(0usize, 50usize), (50, 144)] {
+        glyphs.push_str(
+            &client
+                .request_ok(&format!("cells side=12 lo={lo} hi={hi}"))
+                .unwrap(),
+        );
+    }
+    // Reconstruct the map from gathered glyphs exactly like a coordinator.
+    assert_eq!(fullview_core::coverage_map_from_glyphs(12, &glyphs), map);
+
+    // mask ranges agree with the full-view mask behind `holes`.
+    let mask_a = client.request_ok("mask grid=10 lo=0 hi=37").unwrap();
+    let mask_b = client.request_ok("mask grid=10 lo=37 hi=100").unwrap();
+    let full = client.request_ok("mask grid=10").unwrap();
+    assert_eq!(format!("{mask_a}{mask_b}"), full);
+    assert_eq!(full.len(), 100);
+    assert!(full.chars().all(|c| c == '0' || c == '1'), "{full}");
+
+    // kcount ranges sum to the count inside the kfull text.
+    let kfull = client.request_ok("kfull k=1 grid=10").unwrap();
+    let sum: usize = [(0usize, 41usize), (41, 100)]
+        .iter()
+        .map(|(lo, hi)| {
+            client
+                .request_ok(&format!("kcount k=1 grid=10 lo={lo} hi={hi}"))
+                .unwrap()
+                .trim()
+                .parse::<usize>()
+                .unwrap()
+        })
+        .sum();
+    assert!(
+        kfull.contains(&format!("({sum}/100 points)")),
+        "{kfull} vs {sum}"
+    );
+
+    // Bad ranges are rejected with the range message.
+    for bad in ["cells side=12 lo=5 hi=5", "mask grid=10 lo=0 hi=101"] {
+        match client.request(bad).expect(bad) {
+            Response::Err(message) => assert!(message.contains("must be non-empty"), "{message}"),
+            Response::Ok(payload) => panic!("{bad} unexpectedly ok: {payload}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_fail_restore_preserves_fingerprint_and_cached_results() {
+    let server = Server::start(small_config()).expect("start");
+    let mut client = connect(&server);
+    let dir = std::env::temp_dir().join(format!("fvc-service-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("warm.snap");
+
+    // Warm the cache with a network-dependent and a theory entry.
+    let map_before = client.request_ok("map side=16").unwrap();
+    client.request_ok("prob density=100").unwrap();
+    let fp_before = client.request_ok("fingerprint").unwrap();
+    assert!(
+        fp_before.contains("net_fp=") && fp_before.contains("torus=0x"),
+        "{fp_before}"
+    );
+
+    let reply = client
+        .request_ok(&format!("snapshot path={}", path.display()))
+        .unwrap();
+    assert!(reply.contains("snapshot written"), "{reply}");
+
+    // Mutate, then restore the pre-mutation state.
+    client.request_ok("fail id=0").unwrap();
+    assert_ne!(client.request_ok("fingerprint").unwrap(), fp_before);
+    let reply = client
+        .request_ok(&format!("restore path={}", path.display()))
+        .unwrap();
+    assert!(reply.contains(&format!("restored {N} cameras")), "{reply}");
+    assert_eq!(
+        client.request_ok("fingerprint").unwrap(),
+        fp_before,
+        "restore must reproduce the canonical fingerprint bit for bit"
+    );
+
+    // The restored fleet recomputes the identical map, and the
+    // profile-keyed theory entry survived both the fail and the restore.
+    assert_eq!(client.request_ok("map side=16").unwrap(), map_before);
+    let hits_before = cache_counter(&mut client, "hits");
+    client.request_ok("prob density=100").unwrap();
+    assert_eq!(
+        cache_counter(&mut client, "hits"),
+        hits_before + 1,
+        "theory entry must survive snapshot/fail/restore"
+    );
+
+    // Restoring identical state is a no-op for the cache.
+    let reply = client
+        .request_ok(&format!("restore path={}", path.display()))
+        .unwrap();
+    assert!(reply.contains("invalidated 0 cached results"), "{reply}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn shutdown_request_drains_and_stops_the_server() {
     let server = Server::start(small_config()).expect("start");
     let addr = server.local_addr();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_query-00736e75e07253e8.d: crates/bench/benches/cluster_query.rs
+
+/root/repo/target/debug/deps/cluster_query-00736e75e07253e8: crates/bench/benches/cluster_query.rs
+
+crates/bench/benches/cluster_query.rs:

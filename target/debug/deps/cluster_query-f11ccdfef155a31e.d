@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_query-f11ccdfef155a31e.d: crates/bench/benches/cluster_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_query-f11ccdfef155a31e.rmeta: crates/bench/benches/cluster_query.rs Cargo.toml
+
+crates/bench/benches/cluster_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conditions-63d195f243e23a83.d: crates/bench/benches/conditions.rs
+
+/root/repo/target/debug/deps/conditions-63d195f243e23a83: crates/bench/benches/conditions.rs
+
+crates/bench/benches/conditions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conditions-e0d1b94a6d94c9d7.d: crates/bench/benches/conditions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconditions-e0d1b94a6d94c9d7.rmeta: crates/bench/benches/conditions.rs Cargo.toml
+
+crates/bench/benches/conditions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e0aa2ea83cb891d1.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e0aa2ea83cb891d1.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e0aa2ea83cb891d1.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-a9201f9d0d36cc7f.d: crates/bench/benches/deployment.rs
+
+/root/repo/target/debug/deps/deployment-a9201f9d0d36cc7f: crates/bench/benches/deployment.rs
+
+crates/bench/benches/deployment.rs:

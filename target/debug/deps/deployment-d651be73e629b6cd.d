@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deployment-d651be73e629b6cd.d: crates/bench/benches/deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeployment-d651be73e629b6cd.rmeta: crates/bench/benches/deployment.rs Cargo.toml
+
+crates/bench/benches/deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

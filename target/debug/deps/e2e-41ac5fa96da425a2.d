@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-41ac5fa96da425a2.d: crates/cluster/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-41ac5fa96da425a2: crates/cluster/tests/e2e.rs
+
+crates/cluster/tests/e2e.rs:

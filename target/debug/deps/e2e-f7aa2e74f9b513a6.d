@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-f7aa2e74f9b513a6.d: crates/cluster/tests/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-f7aa2e74f9b513a6.rmeta: crates/cluster/tests/e2e.rs Cargo.toml
+
+crates/cluster/tests/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c862512b801983a8.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c862512b801983a8: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-d316544c0c05d9bd.d: crates/bench/benches/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-d316544c0c05d9bd.rmeta: crates/bench/benches/extensions.rs Cargo.toml
+
+crates/bench/benches/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

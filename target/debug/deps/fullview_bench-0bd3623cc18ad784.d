@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_bench-0bd3623cc18ad784.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_bench-0bd3623cc18ad784.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

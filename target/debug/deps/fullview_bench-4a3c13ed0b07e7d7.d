@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_bench-4a3c13ed0b07e7d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fullview_bench-4a3c13ed0b07e7d7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

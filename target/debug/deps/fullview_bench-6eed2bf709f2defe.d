@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_bench-6eed2bf709f2defe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fullview_bench-6eed2bf709f2defe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_bench-80e9c11fd0cdbb92.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_bench-80e9c11fd0cdbb92.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

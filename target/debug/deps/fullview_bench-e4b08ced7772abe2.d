@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fullview_bench-e4b08ced7772abe2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-e4b08ced7772abe2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfullview_bench-e4b08ced7772abe2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

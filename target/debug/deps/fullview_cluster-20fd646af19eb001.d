@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fullview_cluster-20fd646af19eb001.d: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_cluster-20fd646af19eb001.rmeta: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coordinator.rs:
+crates/cluster/src/merge.rs:
+crates/cluster/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fullview_cluster-5459f19f7a45a900.d: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+/root/repo/target/debug/deps/libfullview_cluster-5459f19f7a45a900.rlib: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+/root/repo/target/debug/deps/libfullview_cluster-5459f19f7a45a900.rmeta: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coordinator.rs:
+crates/cluster/src/merge.rs:
+crates/cluster/src/shard.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fullview_cluster-88461fe9bf7074f2.d: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+/root/repo/target/debug/deps/fullview_cluster-88461fe9bf7074f2: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coordinator.rs:
+crates/cluster/src/merge.rs:
+crates/cluster/src/shard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fullview_point-617785582b4e16bc.d: crates/bench/benches/fullview_point.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfullview_point-617785582b4e16bc.rmeta: crates/bench/benches/fullview_point.rs Cargo.toml
+
+crates/bench/benches/fullview_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fullview_point-706b760a24ad8aef.d: crates/bench/benches/fullview_point.rs
+
+/root/repo/target/debug/deps/fullview_point-706b760a24ad8aef: crates/bench/benches/fullview_point.rs
+
+crates/bench/benches/fullview_point.rs:

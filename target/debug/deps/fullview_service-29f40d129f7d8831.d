@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/fullview_service-29f40d129f7d8831.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/fullview_service-29f40d129f7d8831.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
-/root/repo/target/debug/deps/fullview_service-29f40d129f7d8831: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/fullview_service-29f40d129f7d8831: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
@@ -9,3 +9,4 @@ crates/service/src/metrics.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
 crates/service/src/server.rs:
+crates/service/src/snapshot.rs:

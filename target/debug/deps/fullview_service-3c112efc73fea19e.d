@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/fullview_service-3c112efc73fea19e.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/fullview_service-3c112efc73fea19e.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
-/root/repo/target/debug/deps/libfullview_service-3c112efc73fea19e.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/libfullview_service-3c112efc73fea19e.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
-/root/repo/target/debug/deps/libfullview_service-3c112efc73fea19e.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/libfullview_service-3c112efc73fea19e.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
@@ -11,3 +11,4 @@ crates/service/src/metrics.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
 crates/service/src/server.rs:
+crates/service/src/snapshot.rs:

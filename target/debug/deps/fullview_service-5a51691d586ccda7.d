@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/fullview_service-5a51691d586ccda7.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+/root/repo/target/debug/deps/fullview_service-5a51691d586ccda7.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfullview_service-5a51691d586ccda7.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+/root/repo/target/debug/deps/libfullview_service-5a51691d586ccda7.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs Cargo.toml
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
@@ -9,6 +9,7 @@ crates/service/src/metrics.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
 crates/service/src/server.rs:
+crates/service/src/snapshot.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

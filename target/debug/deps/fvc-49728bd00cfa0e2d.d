@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fvc-49728bd00cfa0e2d.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/fvc-49728bd00cfa0e2d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

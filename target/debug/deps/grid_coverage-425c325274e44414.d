@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_coverage-425c325274e44414.d: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_coverage-425c325274e44414.rmeta: crates/bench/benches/grid_coverage.rs Cargo.toml
+
+crates/bench/benches/grid_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_coverage-86568bb8fde60594.d: crates/bench/benches/grid_coverage.rs
+
+/root/repo/target/debug/deps/grid_coverage-86568bb8fde60594: crates/bench/benches/grid_coverage.rs
+
+crates/bench/benches/grid_coverage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grid_sweep-3e486e3bc2432e27.d: crates/bench/benches/grid_sweep.rs
+
+/root/repo/target/debug/deps/grid_sweep-3e486e3bc2432e27: crates/bench/benches/grid_sweep.rs
+
+crates/bench/benches/grid_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

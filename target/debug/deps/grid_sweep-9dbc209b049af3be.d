@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/grid_sweep-9dbc209b049af3be.d: crates/bench/benches/grid_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_sweep-9dbc209b049af3be.rmeta: crates/bench/benches/grid_sweep.rs Cargo.toml
+
+crates/bench/benches/grid_sweep.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_query-23c69d95a4949b24.d: crates/bench/benches/service_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_query-23c69d95a4949b24.rmeta: crates/bench/benches/service_query.rs Cargo.toml
+
+crates/bench/benches/service_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_query-ad4f0e82460bae3d.d: crates/bench/benches/service_query.rs
+
+/root/repo/target/debug/deps/service_query-ad4f0e82460bae3d: crates/bench/benches/service_query.rs
+
+crates/bench/benches/service_query.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-1515da786400b3ce.d: crates/bench/benches/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-1515da786400b3ce.rmeta: crates/bench/benches/theory.rs Cargo.toml
+
+crates/bench/benches/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-3861a2449ab26c35.d: crates/bench/benches/theory.rs
+
+/root/repo/target/debug/deps/theory-3861a2449ab26c35: crates/bench/benches/theory.rs
+
+crates/bench/benches/theory.rs:

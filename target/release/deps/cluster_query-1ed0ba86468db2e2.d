@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_query-1ed0ba86468db2e2.d: crates/bench/benches/cluster_query.rs
+
+/root/repo/target/release/deps/cluster_query-1ed0ba86468db2e2: crates/bench/benches/cluster_query.rs
+
+crates/bench/benches/cluster_query.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fullview_bench-04e7795253625685.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-04e7795253625685.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfullview_bench-04e7795253625685.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

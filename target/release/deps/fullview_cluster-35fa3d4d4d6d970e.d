@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fullview_cluster-35fa3d4d4d6d970e.d: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+/root/repo/target/release/deps/libfullview_cluster-35fa3d4d4d6d970e.rlib: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+/root/repo/target/release/deps/libfullview_cluster-35fa3d4d4d6d970e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/coordinator.rs crates/cluster/src/merge.rs crates/cluster/src/shard.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coordinator.rs:
+crates/cluster/src/merge.rs:
+crates/cluster/src/shard.rs:

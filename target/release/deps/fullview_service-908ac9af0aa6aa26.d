@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/fullview_service-908ac9af0aa6aa26.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/fullview_service-908ac9af0aa6aa26.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
-/root/repo/target/release/deps/libfullview_service-908ac9af0aa6aa26.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/libfullview_service-908ac9af0aa6aa26.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
-/root/repo/target/release/deps/libfullview_service-908ac9af0aa6aa26.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/libfullview_service-908ac9af0aa6aa26.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/metrics.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs crates/service/src/snapshot.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
@@ -11,3 +11,4 @@ crates/service/src/metrics.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
 crates/service/src/server.rs:
+crates/service/src/snapshot.rs:
