@@ -19,6 +19,12 @@
 //! 3. **Parallel scaling.** 1/2/4 threads vs serial. On a single-core host
 //!    the parallel variants only show claiming overhead; speedups require
 //!    real cores.
+//! 4. **Incremental resweep.** After a single-camera move, re-evaluating
+//!    only the dirty tiles ([`IncrementalSweep::resweep_dirty`]) must be at
+//!    least [`MIN_INCREMENTAL_SPEEDUP`]× faster than a cold sweep on the
+//!    same grid — and bit-identical to it (asserted before timing). This
+//!    gate runs on the current measurements alone, so it holds on any
+//!    host regardless of the committed baseline.
 //!
 //! Set `FULLVIEW_BENCH_SWEEP_TABLE=1` to additionally print the
 //! tile-vs-flat timing table across grid sides (the EXPERIMENTS.md
@@ -28,8 +34,9 @@ use criterion::{BenchmarkId, Criterion};
 use fullview_bench::bench_network;
 use fullview_core::{
     evaluate_grid, use_tiled, EffectiveAngle, GridCoverageReport, GridEvaluator, GridTiling,
+    IncrementalSweep,
 };
-use fullview_geom::{Angle, Torus, UnitGrid};
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
 use fullview_model::CameraNetwork;
 use fullview_sim::{evaluate_grid_parallel, evaluate_grid_parallel_flat};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -177,6 +184,64 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Floor on the cold-sweep / dirty-resweep median ratio after a single
+/// camera move; the whole point of tile-dirty tracking.
+const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Cold full-grid sweeps vs dirty-tile resweeps after one camera move.
+///
+/// The resweep iteration toggles camera 0 between its seeded position and
+/// a fixed offset, marking the departure and arrival disks each time —
+/// exactly the daemon's `move` mutation path. Bit-identity with a cold
+/// rebuild is asserted for both toggle directions before any timing.
+fn bench_incremental(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
+    let grid_side = 96usize;
+    // Finer sensing areas than the sweep benches: dirty granularity is the
+    // spatial-index cell (sized by the fleet's max radius), and at
+    // s_c = 0.05 the index is 3×3 so any move dirties every tile. At
+    // s_c = 0.002 (radii ≈ 0.04–0.05) the index is 19×19 and a move
+    // dirties ~12 of 361 tiles — the regime the engine is built for.
+    let mut net = bench_network(1000, 0.002, 7);
+    let radius = net.cameras()[0].spec().radius();
+    let home = net.cameras()[0].position();
+    let away = Point::new((home.x + 0.31) % 1.0, (home.y + 0.17) % 1.0);
+
+    let mut sweep = IncrementalSweep::new(&net, theta, Angle::ZERO, grid_side);
+    for &(from, to) in &[(home, away), (away, home)] {
+        assert!(net.move_camera(0, to), "camera 0 exists");
+        sweep.mark_disk(from, radius);
+        sweep.mark_disk(to, radius);
+        let delta = sweep.resweep_dirty(&net);
+        assert!(!delta.rebuilt, "a move must repair, not rebuild");
+        let cold = IncrementalSweep::new(&net, theta, Angle::ZERO, grid_side);
+        assert_eq!(
+            sweep.report(),
+            cold.report(),
+            "dirty resweep diverged from a cold sweep"
+        );
+        assert_eq!(sweep.mask(), cold.mask(), "masks diverged");
+    }
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(IncrementalSweep::new(&net, theta, Angle::ZERO, grid_side)));
+    });
+    let mut at_home = true;
+    group.bench_function("resweep", |b| {
+        b.iter(|| {
+            let (from, to) = if at_home { (home, away) } else { (away, home) };
+            at_home = !at_home;
+            net.move_camera(0, to);
+            sweep.mark_disk(from, radius);
+            sweep.mark_disk(to, radius);
+            black_box(sweep.resweep_dirty(&net))
+        });
+    });
+    group.finish();
+}
+
 /// Extracts `(id, median_ns)` pairs from the committed baseline without a
 /// JSON dependency: the vendored harness writes one object per line with
 /// fixed key order.
@@ -260,6 +325,27 @@ fn regression_gate(criterion: &Criterion) {
         gated += 1;
     }
     println!("bench gate: {gated} tiled/flat pairs within tolerance");
+
+    // Incremental gate: compares the *current* run's cold and resweep
+    // medians, so it is host-independent and needs no baseline entry.
+    match (
+        lookup(&current, "incremental/cold"),
+        lookup(&current, "incremental/resweep"),
+    ) {
+        (Some(cold), Some(resweep)) => {
+            let speedup = cold / resweep;
+            println!(
+                "bench gate: incremental resweep speedup {speedup:.1}x \
+                 (floor {MIN_INCREMENTAL_SPEEDUP:.0}x)"
+            );
+            assert!(
+                speedup >= MIN_INCREMENTAL_SPEEDUP,
+                "dirty-tile resweep no longer pays: {speedup:.1}x < \
+                 {MIN_INCREMENTAL_SPEEDUP:.0}x over a cold sweep"
+            );
+        }
+        _ => println!("bench gate: incremental ids missing from current run, skipping"),
+    }
 }
 
 /// Manual median-of-N timing (seconds granularity is overkill here; the
@@ -312,6 +398,7 @@ fn main() {
     }
     let mut criterion = Criterion::default();
     bench_sweep(&mut criterion);
+    bench_incremental(&mut criterion);
     regression_gate(&criterion);
     criterion.final_summary();
 }

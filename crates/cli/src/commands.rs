@@ -27,6 +27,7 @@ use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
+use std::io::{self, Write as _};
 
 /// Runs the parsed command line; returns a process exit code message.
 ///
@@ -54,6 +55,7 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         Some("save") => cmd_save(cli),
         Some("serve") => cmd_serve(cli),
         Some("query") => cmd_query(cli),
+        Some("watch") => cmd_watch(cli),
         Some("cluster") => cmd_cluster(cli),
         Some(other) => Err(Box::new(ArgError(format!(
             "unknown subcommand '{other}'\n{USAGE}"
@@ -186,6 +188,7 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "cache",
         ],
         "query" => &["addr", "req", "window"],
+        "watch" => &["addr", "grid", "theta-deg", "count"],
         "cluster" => match action {
             Some("serve") => &[
                 "addr",
@@ -247,6 +250,10 @@ COMMANDS:
              --addr 127.0.0.1:7411 --req 'map side=24' --req stats
              (also: check, holes, kfull, prob, fail id=N,
              move id=N x=X y=Y, reseed seed=S, ping, shutdown)
+  watch    subscribe to live coverage deltas from a daemon or cluster;
+           prints the baseline then one frame per fleet mutation
+             --addr 127.0.0.1:7411 [--grid 24 --theta-deg 45 --count 0]
+             (--count N exits after N deltas; 0 streams forever)
   cluster  front N daemons with a scatter-gather coordinator
              serve  --shards 127.0.0.1:7411,127.0.0.1:7413
                     [--addr 127.0.0.1:7412 --snapshot-dir DIR --chunks C
@@ -646,6 +653,55 @@ fn cmd_query(cli: &Cli) -> Result<(), Box<dyn Error>> {
             failures.join("; ")
         ))))
     }
+}
+
+/// `fvc watch` — subscribe to a daemon's (or cluster's) delta stream and
+/// print frames as mutations land. The subscription holds the connection
+/// open, so this is a dedicated command rather than a `query` request.
+fn cmd_watch(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let addr: String = cli.get("addr", "127.0.0.1:7411".to_string())?;
+    let grid: usize = cli.get("grid", 24usize)?;
+    let count: usize = cli.get("count", 0usize)?;
+    let theta_deg: f64 = cli.get("theta-deg", f64::NAN)?;
+    let mut line = format!("watch grid={grid}");
+    if !theta_deg.is_nan() {
+        line.push_str(&format!(" theta-deg={theta_deg}"));
+    }
+    let mut client = Client::connect(&addr)?;
+    match client.request(&line)? {
+        Response::Ok(baseline) => print!("{baseline}"),
+        Response::Err(message) => {
+            return Err(Box::new(ArgError(format!("server: {message}"))));
+        }
+    }
+    // Frames arrive at mutation cadence, not print cadence: flush after
+    // every frame so pipes and files see each delta as it lands.
+    io::stdout().flush()?;
+    let mut seen = 0usize;
+    while count == 0 || seen < count {
+        match client.recv() {
+            Ok(Response::Ok(frame)) => {
+                print!("{frame}");
+                io::stdout().flush()?;
+                seen += 1;
+            }
+            Ok(Response::Err(message)) => {
+                return Err(Box::new(ArgError(format!("server: {message}"))));
+            }
+            Err(e) if count == 0 => {
+                // Open-ended stream: the server going away is the normal
+                // way a forever-watch ends.
+                eprintln!("watch ended: {e}");
+                break;
+            }
+            Err(e) => {
+                return Err(Box::new(ArgError(format!(
+                    "stream ended after {seen} of {count} deltas: {e}"
+                ))));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Builds a [`ClusterConfig`] from `fvc cluster serve` options. Split

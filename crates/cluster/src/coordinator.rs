@@ -711,6 +711,85 @@ fn run_fingerprint(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
     ))
 }
 
+/// Relays a `watch` subscription 1:1 to one live shard over a dedicated
+/// upstream connection, pumping every ok-frame (baseline + deltas)
+/// downstream until either side disconnects or the coordinator shuts
+/// down. Every shard sees every mutation (broadcast), so any single
+/// replica's delta stream is the cluster's delta stream.
+///
+/// Runs in the connection handler thread itself; the short upstream
+/// read timeout inside [`protocol::read_framed_response`] keeps the
+/// relay responsive to shutdown, so the acceptor's join cannot hang.
+///
+/// Returns `true` when the downstream connection is consumed (the
+/// subscription ran, or the socket broke) and the handler must retire;
+/// `false` when the subscription was rejected cleanly and the
+/// connection can keep serving ordinary requests.
+fn relay_watch(ctx: &ClusterCtx, line: &str, downstream: &TcpStream) -> bool {
+    let mut writer = downstream;
+    let live = live_shards(ctx);
+    let Some(&first) = live.first() else {
+        ctx.metrics.record_rejected();
+        return protocol::write_err(&mut writer, "no live shards").is_err();
+    };
+    // A fresh upstream connection: the pooled shard connection keeps
+    // serving queries while this one carries the subscription.
+    let addr = &ctx.cfg.shard_addrs[first];
+    let upstream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            ctx.metrics.record_rejected();
+            let msg = format!("shard {addr}: {e}");
+            return protocol::write_err(&mut writer, &msg).is_err();
+        }
+    };
+    let _ = upstream.set_nodelay(true);
+    let _ = upstream.set_read_timeout(Some(Duration::from_millis(200)));
+    let send = |stream: &TcpStream| -> io::Result<()> {
+        let mut w = stream;
+        use io::Write as _;
+        writeln!(w, "{line}")?;
+        w.flush()
+    };
+    if send(&upstream).is_err() {
+        ctx.metrics.record_rejected();
+        let msg = format!("shard {addr}: connection failed");
+        return protocol::write_err(&mut writer, &msg).is_err();
+    }
+    let mut carry: Vec<u8> = Vec::new();
+    // Baseline frame: forwarded verbatim; a shard rejection (bad grid,
+    // bad theta) is relayed as an err and the connection goes back to
+    // normal request/response service, matching the daemon's behavior.
+    match protocol::read_framed_response(&upstream, &mut carry, &ctx.shutdown) {
+        Some(fullview_service::Response::Ok(payload)) => {
+            if protocol::write_ok(&mut writer, &payload).is_err() {
+                return true;
+            }
+        }
+        Some(fullview_service::Response::Err(message)) => {
+            ctx.metrics.record_rejected();
+            return protocol::write_err(&mut writer, &message).is_err();
+        }
+        None => {
+            ctx.metrics.record_rejected();
+            let msg = format!("shard {addr}: closed during watch setup");
+            return protocol::write_err(&mut writer, &msg).is_err();
+        }
+    }
+    ctx.metrics.record("watch", 0.0);
+    while let Some(resp) = protocol::read_framed_response(&upstream, &mut carry, &ctx.shutdown) {
+        match resp {
+            fullview_service::Response::Ok(payload) => {
+                if protocol::write_ok(&mut writer, &payload).is_err() {
+                    return true;
+                }
+            }
+            fullview_service::Response::Err(_) => return true,
+        }
+    }
+    true
+}
+
 fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, String> {
     match req.verb() {
         "ping" => {
@@ -753,8 +832,11 @@ fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, Strin
             req.allow_only(&["seed", "n"])?;
             broadcast_mutation(ctx, line)
         }
+        // `watch` is intercepted in `handle_connection` (it needs the
+        // stream); reaching here means a non-connection context.
+        "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, watch, ping, shutdown)"
         )),
     }
 }
@@ -792,6 +874,19 @@ fn handle_connection(ctx: &Arc<ClusterCtx>, stream: &TcpStream) {
             Err(message) => {
                 ctx.metrics.record_rejected();
                 if protocol::write_err(&mut writer, &message).is_err() {
+                    return;
+                }
+            }
+            Ok(req) if req.verb() == "watch" => {
+                // The relay owns the connection until it ends; validate
+                // the parameter set here so typos fail fast instead of
+                // tying up an upstream connection.
+                if let Err(message) = req.allow_only(&["theta-deg", "grid"]) {
+                    ctx.metrics.record_rejected();
+                    if protocol::write_err(&mut writer, &message).is_err() {
+                        return;
+                    }
+                } else if relay_watch(ctx, &line, stream) {
                     return;
                 }
             }

@@ -262,3 +262,94 @@ fn coordinator_rejects_bad_requests_like_a_daemon() {
     // The connection survives rejections, like the daemon's.
     assert_eq!(client.request_ok("ping").unwrap(), "pong\n");
 }
+
+#[test]
+fn watch_relay_streams_deltas_through_the_coordinator() {
+    // A `watch` on the coordinator is relayed 1:1 to a shard; a mutation
+    // broadcast through the coordinator must surface as a delta frame on
+    // the watcher's connection.
+    let (_shards, addrs) = spawn_shards(2);
+    let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+    let mut watcher = connect(coordinator.local_addr());
+    let mut mutator = connect(coordinator.local_addr());
+
+    let baseline = watcher.request_ok("watch grid=10").expect("baseline");
+    assert!(baseline.starts_with("watching grid=10"), "{baseline}");
+    assert!(baseline.contains("seq=0"), "{baseline}");
+
+    mutator.request_ok("move id=1 x=0.2 y=0.8").expect("move");
+    let frame = match watcher.recv().expect("delta frame") {
+        fullview_service::Response::Ok(frame) => frame,
+        fullview_service::Response::Err(message) => panic!("err frame: {message}"),
+    };
+    assert!(frame.starts_with("delta cause=move"), "{frame}");
+    assert!(frame.contains("seq=1"), "{frame}");
+
+    // A second mutation keeps the stream flowing.
+    mutator.request_ok("fail id=0").expect("fail");
+    let frame = match watcher.recv().expect("second delta") {
+        fullview_service::Response::Ok(frame) => frame,
+        fullview_service::Response::Err(message) => panic!("err frame: {message}"),
+    };
+    assert!(frame.starts_with("delta cause=fail"), "{frame}");
+    assert!(frame.contains("seq=2"), "{frame}");
+
+    // A bad subscription is rejected without tying up the connection.
+    let mut bad = connect(coordinator.local_addr());
+    match bad.request("watch grid=0").expect("bad watch") {
+        fullview_service::Response::Err(message) => {
+            assert!(message.contains("side/grid must be positive"), "{message}");
+        }
+        fullview_service::Response::Ok(payload) => panic!("unexpectedly ok: {payload}"),
+    }
+    assert_eq!(bad.request_ok("ping").unwrap(), "pong\n");
+}
+
+#[test]
+fn rejected_mutations_abort_before_any_shard_diverges() {
+    // Mutation-path bugfix sweep: a mutation the daemons reject (unknown
+    // camera id) must abort on the first shard *before* any state
+    // changed anywhere — afterwards every shard still carries the
+    // identical fingerprint and a valid mutation still converges.
+    let (shards, addrs) = spawn_shards(2);
+    let coordinator = Coordinator::start(fast_config(addrs, None)).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    let mut direct: Vec<Client> = shards.iter().map(|s| connect(s.local_addr())).collect();
+    let fp_before: Vec<String> = direct
+        .iter_mut()
+        .map(|c| c.request_ok("fingerprint").expect("fingerprint"))
+        .collect();
+    assert_eq!(fp_before[0], fp_before[1], "replicas start identical");
+
+    for bad in ["fail id=999", "move id=999 x=0.5 y=0.5"] {
+        match client.request(bad).expect(bad) {
+            fullview_service::Response::Err(message) => {
+                assert!(message.contains("no camera with id 999"), "{message}");
+            }
+            fullview_service::Response::Ok(payload) => panic!("{bad} unexpectedly ok: {payload}"),
+        }
+    }
+
+    for (i, c) in direct.iter_mut().enumerate() {
+        assert_eq!(
+            c.request_ok("fingerprint").expect("fingerprint"),
+            fp_before[i],
+            "shard {i} mutated by a rejected broadcast"
+        );
+    }
+    assert_eq!(
+        client.request_ok("fingerprint").expect("fingerprint"),
+        fp_before[0],
+        "authority fingerprint must be untouched"
+    );
+
+    // The cluster still mutates and converges afterwards.
+    client.request_ok("fail id=0").expect("valid mutation");
+    let after: Vec<String> = direct
+        .iter_mut()
+        .map(|c| c.request_ok("fingerprint").expect("fingerprint"))
+        .collect();
+    assert_eq!(after[0], after[1], "replicas converged after the mutation");
+    assert_ne!(after[0], fp_before[0], "the valid mutation applied");
+}

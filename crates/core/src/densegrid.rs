@@ -139,6 +139,26 @@ impl GridCoverageReport {
         self.sufficient += other.sufficient;
     }
 
+    /// Removes a previously-merged part from this report — the exact
+    /// inverse of [`merge`](Self::merge), used by the incremental engine
+    /// to patch a cached total in place (subtract a tile's old tallies,
+    /// add its re-evaluated ones). Because every field is a plain integer
+    /// sum, `total.subtract(&old); total.merge(&new)` is bit-identical to
+    /// recomputing the total from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was not previously merged into this report (any
+    /// field would underflow).
+    pub fn subtract(&mut self, other: &GridCoverageReport) {
+        self.total_points -= other.total_points;
+        self.covered -= other.covered;
+        self.k_covered -= other.k_covered;
+        self.necessary -= other.necessary;
+        self.full_view -= other.full_view;
+        self.sufficient -= other.sufficient;
+    }
+
     fn fraction(&self, count: usize) -> f64 {
         if self.total_points == 0 {
             // Vacuous truth: an empty report satisfies every universal
@@ -216,12 +236,14 @@ impl GridEvaluator {
     /// Analyses one point through `provider` and folds every predicate
     /// into `report` — the single tally shared by the per-point and tiled
     /// evaluation paths, which is what makes their reports bit-identical.
+    /// Returns whether the point is full-view covered, so mask-building
+    /// callers share the exact same analysis.
     fn tally<P: CoverageProvider>(
         &mut self,
         provider: &P,
         point: Point,
         report: &mut GridCoverageReport,
-    ) {
+    ) -> bool {
         let view = self.analyzer.analyze_point_with(provider, point);
         report.total_points += 1;
         if view.covering_cameras >= 1 {
@@ -236,7 +258,8 @@ impl GridEvaluator {
         {
             report.necessary += 1;
         }
-        if view.is_full_view(self.theta) {
+        let full_view = view.is_full_view(self.theta);
+        if full_view {
             report.full_view += 1;
         }
         if self
@@ -245,6 +268,7 @@ impl GridEvaluator {
         {
             report.sufficient += 1;
         }
+        full_view
     }
 
     /// Evaluates every predicate at the grid points with indices in
@@ -318,6 +342,53 @@ impl GridEvaluator {
                 self.tally(&*cursor, grid.point(idx), &mut report);
             });
         }
+        report
+    }
+
+    /// Evaluates every predicate over the grid points of the single tile
+    /// `t`, additionally recording each point's full-view verdict in
+    /// `mask` (indexed by row-major grid index). This is the re-evaluation
+    /// unit of the incremental dirty-tile engine
+    /// ([`IncrementalSweep`](crate::IncrementalSweep)): it runs the exact
+    /// same per-point tally as [`evaluate_tiles`](Self::evaluate_tiles),
+    /// so per-tile reports merge to a total bit-identical to a cold
+    /// whole-grid sweep.
+    ///
+    /// Empty tiles return the empty report without pinning the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tiling.tile_count()`, the tiling does not match
+    /// `grid`, or `mask` is shorter than the grid.
+    #[must_use]
+    pub fn evaluate_tile_masked(
+        &mut self,
+        cursor: &mut TileCursor<'_>,
+        tiling: &GridTiling,
+        grid: &UnitGrid,
+        t: usize,
+        mask: &mut [bool],
+    ) -> GridCoverageReport {
+        assert_eq!(
+            tiling.grid_len(),
+            grid.len(),
+            "tiling does not match the grid"
+        );
+        assert!(
+            mask.len() >= grid.len(),
+            "mask of {} entries is shorter than the {}-point grid",
+            mask.len(),
+            grid.len()
+        );
+        let mut report = GridCoverageReport::default();
+        if tiling.tile_point_count(t) == 0 {
+            return report;
+        }
+        let (cx, cy) = tiling.tile_cell(t);
+        cursor.pin(cx, cy);
+        tiling.for_each_point_in_tile(t, |idx| {
+            mask[idx] = self.tally(&*cursor, grid.point(idx), &mut report);
+        });
         report
     }
 

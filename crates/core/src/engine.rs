@@ -26,8 +26,10 @@
 //!   index has more cells than the grid has points (e.g. an empty network,
 //!   whose index floors at 256×256 cells).
 
+use crate::densegrid::{GridCoverageReport, GridEvaluator};
 use crate::fullview::{CoverageView, PointAnalyzer};
-use fullview_geom::{Point, SpatialGrid, UnitGrid};
+use crate::theta::EffectiveAngle;
+use fullview_geom::{Angle, Point, SpatialGrid, Torus, UnitGrid};
 use fullview_model::{Camera, CameraNetwork, CoverageProvider, TileCursor};
 
 /// Maps a [`UnitGrid`] onto the cells of a [`SpatialGrid`]: every grid
@@ -322,11 +324,424 @@ where
     }
 }
 
+/// A bitset over the tile ids of a [`GridTiling`] recording which tiles a
+/// mutation may have changed — the work list of the incremental resweep.
+///
+/// Marking is an *over-approximation*: re-evaluating a clean tile always
+/// reproduces its stored tallies (per-point analysis is history-free), so
+/// extra marks cost time, never correctness. Missing a mark is the only
+/// bug class, which is why disks are mapped to tiles with the same
+/// per-axis window arithmetic the [`SpatialGrid`] radius queries use.
+#[derive(Debug, Clone)]
+pub struct DirtySet {
+    words: Vec<u64>,
+    tiles: usize,
+    marked: usize,
+}
+
+impl DirtySet {
+    /// An all-clean set over `tiles` tile ids.
+    #[must_use]
+    pub fn new(tiles: usize) -> Self {
+        DirtySet {
+            words: vec![0u64; tiles.div_ceil(64)],
+            tiles,
+            marked: 0,
+        }
+    }
+
+    /// Number of tile ids the set ranges over.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.tiles
+    }
+
+    /// Marks tile `t` dirty; returns whether it was newly marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    pub fn mark(&mut self, t: usize) -> bool {
+        assert!(t < self.tiles, "tile {t} out of range ({})", self.tiles);
+        let (word, bit) = (t / 64, 1u64 << (t % 64));
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.marked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks every tile dirty.
+    pub fn mark_all(&mut self) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let bits_here = (self.tiles - w * 64).min(64);
+            *word = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
+        }
+        self.marked = self.tiles;
+    }
+
+    /// Whether tile `t` is marked.
+    #[must_use]
+    pub fn is_marked(&self, t: usize) -> bool {
+        t < self.tiles && self.words[t / 64] & (1u64 << (t % 64)) != 0
+    }
+
+    /// Number of marked tiles.
+    #[must_use]
+    pub fn marked_count(&self) -> usize {
+        self.marked
+    }
+
+    /// Whether no tile is marked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.marked == 0
+    }
+
+    /// Unmarks everything.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.marked = 0;
+    }
+
+    /// Calls `f` with every marked tile id in ascending order.
+    pub fn for_each_marked<F: FnMut(usize)>(&self, mut f: F) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let t = w * 64 + bits.trailing_zeros() as usize;
+                f(t);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// What one [`IncrementalSweep::resweep_dirty`] repair changed — the raw
+/// material of the service layer's `watch` delta frames.
+#[derive(Debug, Clone, Default)]
+pub struct SweepDelta {
+    /// Tiles re-evaluated by this repair.
+    pub tiles_resweeped: usize,
+    /// Grid points re-evaluated by this repair.
+    pub points_resweeped: usize,
+    /// Grid indices that flipped to full-view covered.
+    pub flipped_on: Vec<usize>,
+    /// Grid indices that lost full-view coverage.
+    pub flipped_off: Vec<usize>,
+    /// The grid report before the repair.
+    pub before: GridCoverageReport,
+    /// The grid report after the repair (equal to the state's
+    /// [`report`](IncrementalSweep::report)).
+    pub after: GridCoverageReport,
+    /// Whether the repair fell back to a full rebuild (tiling geometry
+    /// changed, e.g. after `reseed`).
+    pub rebuilt: bool,
+}
+
+/// Incrementally-maintained dense-grid coverage state: per-tile
+/// [`GridCoverageReport`]s, the per-point full-view mask, and their
+/// running total, repaired tile-by-tile through a [`DirtySet`].
+///
+/// # The dirty-tracking invariant
+///
+/// After any sequence of [`mark_disk`](Self::mark_disk) /
+/// [`mark_all`](Self::mark_all) / [`invalidate`](Self::invalidate) calls
+/// that covers every mutation applied to the network since the last
+/// repair, [`resweep_dirty`](Self::resweep_dirty) leaves `report()` and
+/// `mask()` **bit-identical** to a freshly-built state
+/// ([`IncrementalSweep::new`]) over the same network. Two facts make this
+/// exact rather than approximate:
+///
+/// * a camera mutation can only change the analysis of points inside its
+///   old and new sensing disks, and a disk's grid points all live in the
+///   tiles [`mark_disk`](Self::mark_disk) marks (the same per-axis cell
+///   window arithmetic the spatial index's radius queries are
+///   brute-force-tested against);
+/// * per-point analysis is history-free and report totals are plain
+///   integer sums, so `total − old_tile + new_tile` equals the cold sum
+///   bit-for-bit.
+///
+/// `fail`/`move` mutations rebucket the spatial index in place without
+/// changing its cell geometry, so the tiling stays valid and repairs are
+/// proportional to the dirty area. A `reseed`-style replacement can change
+/// the index geometry; [`resweep_dirty`](Self::resweep_dirty) detects the
+/// mismatch and falls back to a full rebuild (still reporting the mask
+/// diff in its [`SweepDelta`]).
+#[derive(Debug, Clone)]
+pub struct IncrementalSweep {
+    theta: EffectiveAngle,
+    start_line: Angle,
+    grid: UnitGrid,
+    tiling: GridTiling,
+    cells: usize,
+    cell_len: f64,
+    torus: Torus,
+    evaluator: GridEvaluator,
+    tile_reports: Vec<GridCoverageReport>,
+    mask: Vec<bool>,
+    total: GridCoverageReport,
+    dirty: DirtySet,
+    needs_rebuild: bool,
+}
+
+impl IncrementalSweep {
+    /// Cold-builds the state for `net` over a `grid_side × grid_side`
+    /// grid: every tile evaluated once, mask and per-tile reports stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_side == 0`.
+    #[must_use]
+    pub fn new(
+        net: &CameraNetwork,
+        theta: EffectiveAngle,
+        start_line: Angle,
+        grid_side: usize,
+    ) -> Self {
+        assert!(grid_side > 0, "grid side must be positive");
+        let torus = *net.torus();
+        let grid = UnitGrid::new(torus, grid_side);
+        let index = net.index();
+        let tiling = GridTiling::new(index, &grid);
+        let mut state = IncrementalSweep {
+            theta,
+            start_line,
+            grid,
+            cells: index.cells_per_axis(),
+            cell_len: index.cell_len(),
+            torus,
+            evaluator: GridEvaluator::new(theta, start_line),
+            tile_reports: vec![GridCoverageReport::default(); tiling.tile_count()],
+            mask: vec![false; grid_side * grid_side],
+            total: GridCoverageReport::default(),
+            dirty: DirtySet::new(tiling.tile_count()),
+            tiling,
+            needs_rebuild: false,
+        };
+        state.cold_sweep(net);
+        state
+    }
+
+    /// Evaluates every tile from scratch into the stored reports/mask.
+    fn cold_sweep(&mut self, net: &CameraNetwork) {
+        let mut cursor = net.tile_cursor();
+        self.total = GridCoverageReport::default();
+        self.mask.fill(false);
+        for t in 0..self.tiling.tile_count() {
+            let report = self.evaluator.evaluate_tile_masked(
+                &mut cursor,
+                &self.tiling,
+                &self.grid,
+                t,
+                &mut self.mask,
+            );
+            self.total.merge(&report);
+            self.tile_reports[t] = report;
+        }
+        self.dirty.clear();
+        self.needs_rebuild = false;
+    }
+
+    /// The effective angle this state evaluates with.
+    #[must_use]
+    pub fn theta(&self) -> EffectiveAngle {
+        self.theta
+    }
+
+    /// The sector-condition start line this state evaluates with.
+    #[must_use]
+    pub fn start_line(&self) -> Angle {
+        self.start_line
+    }
+
+    /// Grid points per axis.
+    #[must_use]
+    pub fn grid_side(&self) -> usize {
+        self.grid.side_count()
+    }
+
+    /// The maintained whole-grid report. Only valid when
+    /// [`is_clean`](Self::is_clean); repair first after mutations.
+    #[must_use]
+    pub fn report(&self) -> &GridCoverageReport {
+        &self.total
+    }
+
+    /// The maintained per-point full-view mask (row-major grid order).
+    /// Only valid when [`is_clean`](Self::is_clean).
+    #[must_use]
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Whether the state has no pending dirty tiles or rebuild.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty() && !self.needs_rebuild
+    }
+
+    /// Whether `index` still has the cell geometry this state's tiling
+    /// was built from (in-place rebuckets preserve it; a fresh network
+    /// may not).
+    #[must_use]
+    pub fn geometry_matches(&self, index: &SpatialGrid) -> bool {
+        index.cells_per_axis() == self.cells
+            && index.cell_len().to_bits() == self.cell_len.to_bits()
+            && index.torus().side().to_bits() == self.torus.side().to_bits()
+    }
+
+    /// Marks dirty every tile whose cell could contain a grid point
+    /// within `radius` of `center` — call once with the old disk and once
+    /// with the new disk of each mutated camera.
+    ///
+    /// Uses the same per-axis window bounds as the spatial index's radius
+    /// queries (`⌊(frac − r)/len⌋ ..= ⌊(frac + r)/len + ε⌋`), so the
+    /// marked window is a proven superset of the cells holding affected
+    /// points. A window spanning the whole axis degrades to
+    /// [`mark_all`](Self::mark_all).
+    pub fn mark_disk(&mut self, center: Point, radius: f64) {
+        if self.needs_rebuild {
+            return;
+        }
+        let p = self.torus.wrap(center);
+        let cells = self.cells;
+        let clamp = |coord: f64| ((coord / self.cell_len) as usize).min(cells - 1);
+        let (cx, cy) = (clamp(p.x), clamp(p.y));
+        let span = |frac: f64| -> (isize, isize) {
+            let lo = ((frac - radius) / self.cell_len).floor() as isize;
+            let hi = ((frac + radius) / self.cell_len + 1e-12).floor() as isize;
+            (lo, hi)
+        };
+        let (dx_lo, dx_hi) = span(p.x - cx as f64 * self.cell_len);
+        let (dy_lo, dy_hi) = span(p.y - cy as f64 * self.cell_len);
+        if (dx_hi - dx_lo + 1).max(dy_hi - dy_lo + 1) >= cells as isize {
+            self.mark_all();
+            return;
+        }
+        let n = cells as isize;
+        for dy in dy_lo..=dy_hi {
+            let by = (cy as isize + dy).rem_euclid(n) as usize;
+            for dx in dx_lo..=dx_hi {
+                let bx = (cx as isize + dx).rem_euclid(n) as usize;
+                self.dirty.mark(by * cells + bx);
+            }
+        }
+    }
+
+    /// Marks every tile dirty (a mutation with unknown extent).
+    pub fn mark_all(&mut self) {
+        if !self.needs_rebuild {
+            self.dirty.mark_all();
+        }
+    }
+
+    /// Flags the state for a full rebuild on the next repair — for
+    /// wholesale network replacement (`reseed`/`restore`), where even the
+    /// index geometry may have changed.
+    pub fn invalidate(&mut self) {
+        self.needs_rebuild = true;
+    }
+
+    /// Repairs the state against the (already mutated) network: re-evaluates
+    /// exactly the dirty tiles and patches the total report and mask in
+    /// place, returning what changed. Falls back to a full rebuild when
+    /// the index geometry no longer matches the stored tiling (or
+    /// [`invalidate`](Self::invalidate) was called).
+    ///
+    /// Afterwards the state is clean and `report()`/`mask()` are
+    /// bit-identical to a cold [`IncrementalSweep::new`] over `net` — the
+    /// invariant the differential tests pin down.
+    pub fn resweep_dirty(&mut self, net: &CameraNetwork) -> SweepDelta {
+        if self.needs_rebuild || !self.geometry_matches(net.index()) {
+            return self.rebuild(net);
+        }
+        let mut delta = SweepDelta {
+            before: self.total.clone(),
+            ..SweepDelta::default()
+        };
+        if self.dirty.is_empty() {
+            delta.after = self.total.clone();
+            return delta;
+        }
+        let mut dirty_tiles = Vec::with_capacity(self.dirty.marked_count());
+        self.dirty.for_each_marked(|t| dirty_tiles.push(t));
+        self.dirty.clear();
+        let mut cursor = net.tile_cursor();
+        let mut old_bits: Vec<bool> = Vec::new();
+        for &t in &dirty_tiles {
+            old_bits.clear();
+            self.tiling
+                .for_each_point_in_tile(t, |idx| old_bits.push(self.mask[idx]));
+            let new_report = self.evaluator.evaluate_tile_masked(
+                &mut cursor,
+                &self.tiling,
+                &self.grid,
+                t,
+                &mut self.mask,
+            );
+            let old_report = std::mem::replace(&mut self.tile_reports[t], new_report.clone());
+            self.total.subtract(&old_report);
+            self.total.merge(&new_report);
+            delta.points_resweeped += new_report.total_points;
+            let mut i = 0;
+            self.tiling.for_each_point_in_tile(t, |idx| {
+                match (old_bits[i], self.mask[idx]) {
+                    (false, true) => delta.flipped_on.push(idx),
+                    (true, false) => delta.flipped_off.push(idx),
+                    _ => {}
+                }
+                i += 1;
+            });
+        }
+        delta.tiles_resweeped = dirty_tiles.len();
+        delta.after = self.total.clone();
+        delta
+    }
+
+    /// Full rebuild: re-derives the tiling from the network's current
+    /// index and cold-sweeps, diffing the old mask for the delta.
+    fn rebuild(&mut self, net: &CameraNetwork) -> SweepDelta {
+        let mut delta = SweepDelta {
+            before: self.total.clone(),
+            rebuilt: true,
+            ..SweepDelta::default()
+        };
+        let old_mask = std::mem::take(&mut self.mask);
+        let index = net.index();
+        self.cells = index.cells_per_axis();
+        self.cell_len = index.cell_len();
+        self.torus = *net.torus();
+        self.grid = UnitGrid::new(self.torus, self.grid.side_count());
+        self.tiling = GridTiling::new(index, &self.grid);
+        self.tile_reports = vec![GridCoverageReport::default(); self.tiling.tile_count()];
+        self.mask = vec![false; self.grid.len()];
+        self.dirty = DirtySet::new(self.tiling.tile_count());
+        self.cold_sweep(net);
+        for (idx, (&old, &new)) in old_mask.iter().zip(self.mask.iter()).enumerate() {
+            match (old, new) {
+                (false, true) => delta.flipped_on.push(idx),
+                (true, false) => delta.flipped_off.push(idx),
+                _ => {}
+            }
+        }
+        delta.tiles_resweeped = self.tiling.tile_count();
+        delta.points_resweeped = self.grid.len();
+        delta.after = self.total.clone();
+        delta
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fullview::analyze_point;
-    use fullview_geom::{Angle, Torus};
     use fullview_model::{GroupId, SensorSpec};
     use std::f64::consts::PI;
 
@@ -477,6 +892,177 @@ mod tests {
         for_each_grid_point(&net, &grid, |query, _, point| {
             assert_eq!(query.coverage_count(point), net.coverage_count(point));
         });
+    }
+
+    fn incremental_matches_cold(state: &IncrementalSweep, net: &CameraNetwork, ctx: &str) {
+        let cold = IncrementalSweep::new(net, state.theta(), Angle::ZERO, state.grid_side());
+        assert_eq!(state.report(), cold.report(), "{ctx}: report drifted");
+        assert_eq!(state.mask(), cold.mask(), "{ctx}: mask drifted");
+    }
+
+    #[test]
+    fn dirty_set_marks_counts_and_iterates() {
+        let mut d = DirtySet::new(130);
+        assert!(d.is_empty());
+        assert!(d.mark(0));
+        assert!(d.mark(129));
+        assert!(d.mark(64));
+        assert!(!d.mark(64), "re-mark is not newly marked");
+        assert_eq!(d.marked_count(), 3);
+        assert!(d.is_marked(129) && !d.is_marked(1));
+        let mut seen = Vec::new();
+        d.for_each_marked(|t| seen.push(t));
+        assert_eq!(seen, vec![0, 64, 129], "ascending order");
+        d.mark_all();
+        assert_eq!(d.marked_count(), 130);
+        let mut n = 0;
+        d.for_each_marked(|t| {
+            assert!(t < 130);
+            n += 1;
+        });
+        assert_eq!(n, 130, "mark_all must not leak tail bits");
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn incremental_cold_build_matches_sweep_grid() {
+        let net = pseudo_random_net(120, 0.07);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let state = IncrementalSweep::new(&net, theta, Angle::ZERO, 25);
+        let grid = UnitGrid::new(Torus::unit(), 25);
+        let mut evaluator = GridEvaluator::new(theta, Angle::ZERO);
+        let cold = evaluator.evaluate_grid(&net, &grid);
+        assert_eq!(state.report(), &cold);
+        let mut mask = vec![false; grid.len()];
+        sweep_grid(&net, &grid, |idx, _, view| {
+            mask[idx] = view.is_full_view(theta);
+        });
+        assert_eq!(state.mask(), &mask[..]);
+        assert!(state.is_clean());
+    }
+
+    #[test]
+    fn resweep_after_move_is_bit_identical_and_local() {
+        let mut net = pseudo_random_net(150, 0.06);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 30);
+        let total_tiles = net.index().cells_per_axis().pow(2);
+
+        let cam = net.cameras()[17];
+        let (old_pos, radius) = (cam.position(), cam.spec().radius());
+        let to = Point::new(0.81, 0.13);
+        assert!(net.move_camera(17, to));
+        state.mark_disk(old_pos, radius);
+        state.mark_disk(to, radius);
+        let delta = state.resweep_dirty(&net);
+        assert!(!delta.rebuilt);
+        assert!(delta.tiles_resweeped > 0 && delta.tiles_resweeped < total_tiles);
+        assert_eq!(delta.after, *state.report());
+        incremental_matches_cold(&state, &net, "after move");
+
+        // Flip lists must be consistent with the report delta.
+        let net_gain = delta.flipped_on.len() as isize - delta.flipped_off.len() as isize;
+        assert_eq!(
+            delta.after.full_view as isize - delta.before.full_view as isize,
+            net_gain
+        );
+    }
+
+    #[test]
+    fn resweep_after_fail_is_bit_identical() {
+        let mut net = pseudo_random_net(100, 0.08);
+        let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 24);
+        let victim = net.cameras()[42];
+        assert!(net.remove_camera(42));
+        state.mark_disk(victim.position(), victim.spec().radius());
+        let delta = state.resweep_dirty(&net);
+        assert!(!delta.rebuilt, "fail keeps index geometry");
+        assert!(
+            delta.flipped_on.is_empty(),
+            "losing a camera never adds coverage"
+        );
+        incremental_matches_cold(&state, &net, "after fail");
+    }
+
+    #[test]
+    fn geometry_change_falls_back_to_rebuild() {
+        let net = pseudo_random_net(80, 0.08);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 20);
+        // A freshly-deployed replacement with a different max radius has
+        // different index geometry.
+        let reseeded = pseudo_random_net(50, 0.15);
+        assert!(!state.geometry_matches(reseeded.index()));
+        state.invalidate();
+        let delta = state.resweep_dirty(&reseeded);
+        assert!(delta.rebuilt);
+        assert_eq!(delta.points_resweeped, 400);
+        incremental_matches_cold(&state, &reseeded, "after rebuild");
+    }
+
+    #[test]
+    fn random_mutation_sequence_stays_bit_identical() {
+        // The tentpole invariant end-to-end: an arbitrary interleaving of
+        // fail/move mutations with incremental repairs never drifts from a
+        // cold sweep.
+        let mut net = pseudo_random_net(130, 0.07);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 26);
+        for step in 0..12 {
+            let id = (step * 37) % net.len();
+            if step % 3 == 0 {
+                let victim = net.cameras()[id];
+                assert!(net.remove_camera(id));
+                state.mark_disk(victim.position(), victim.spec().radius());
+            } else {
+                let cam = net.cameras()[id];
+                let to = Point::new(
+                    (step as f64 * 0.271_828) % 1.0,
+                    (step as f64 * 0.141_421) % 1.0,
+                );
+                assert!(net.move_camera(id, to));
+                state.mark_disk(cam.position(), cam.spec().radius());
+                state.mark_disk(to, cam.spec().radius());
+            }
+            // Repair on every other step so some repairs batch two
+            // mutations' dirt.
+            if step % 2 == 1 {
+                state.resweep_dirty(&net);
+                incremental_matches_cold(&state, &net, &format!("step {step}"));
+            }
+        }
+        state.resweep_dirty(&net);
+        incremental_matches_cold(&state, &net, "final");
+    }
+
+    #[test]
+    fn seam_straddling_disk_marks_wrapped_tiles() {
+        // A camera at the torus corner: its disk wraps all four seams and
+        // the marked window must wrap with it.
+        let mut net = pseudo_random_net(90, 0.07);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 22);
+        let cam = net.cameras()[5];
+        let to = Point::new(0.001, 0.999);
+        assert!(net.move_camera(5, to));
+        state.mark_disk(cam.position(), cam.spec().radius());
+        state.mark_disk(to, cam.spec().radius());
+        state.resweep_dirty(&net);
+        incremental_matches_cold(&state, &net, "seam move");
+    }
+
+    #[test]
+    fn clean_resweep_is_a_no_op_delta() {
+        let net = pseudo_random_net(60, 0.09);
+        let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+        let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, 16);
+        let delta = state.resweep_dirty(&net);
+        assert_eq!(delta.tiles_resweeped, 0);
+        assert_eq!(delta.points_resweeped, 0);
+        assert!(delta.flipped_on.is_empty() && delta.flipped_off.is_empty());
+        assert_eq!(delta.before, delta.after);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Differential proptest harness for the incremental dirty-tile engine.
+//!
+//! Random interleavings of `fail`/`move`/`reseed` mutations and repair
+//! points, asserting after every repair that the incrementally-maintained
+//! [`IncrementalSweep`] report and mask are **bit-identical** to a cold
+//! rebuild over the same network — the tentpole invariant of the engine.
+//! Shrunk failures persist in `incremental.proptest-regressions`; the
+//! deterministic cases at the bottom pin interleavings that exercise each
+//! repair path (PR 1 triage pattern: pinned seeds outlive the runner).
+
+use fullview_core::{EffectiveAngle, IncrementalSweep};
+use fullview_deploy::deploy_uniform;
+use fullview_geom::{Angle, Point, Torus};
+use fullview_model::{CameraNetwork, NetworkProfile, SensorSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+/// One step of a mutation/query interleaving. Indices and coordinates are
+/// raw random draws; `apply` folds them into valid arguments against the
+/// current fleet so every generated sequence is executable.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Remove the camera at `raw % len` (skipped on an empty fleet).
+    Fail(usize),
+    /// Move the camera at `raw % len` to `(x, y)`.
+    Move(usize, f64, f64),
+    /// Replace the fleet with a fresh `n`-camera deployment from `seed` —
+    /// the geometry-changing mutation the repair must detect.
+    Reseed(u64, usize),
+    /// A query arrives: repair incrementally and check bit-identity.
+    Repair,
+}
+
+/// Weighted op mix (the vendored proptest has no `prop_oneof!`): 3/12
+/// fail, 4/12 move, 1/12 reseed, 4/12 repair.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0..12u32,
+        0..1_000_000usize,
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0..1_000_000u64,
+        20..120usize,
+    )
+        .prop_map(|(kind, raw, x, y, seed, n)| match kind {
+            0..=2 => Op::Fail(raw),
+            3..=6 => Op::Move(raw, x, y),
+            7 => Op::Reseed(seed, n),
+            _ => Op::Repair,
+        })
+}
+
+fn profile() -> NetworkProfile {
+    NetworkProfile::builder()
+        .group(SensorSpec::new(0.09, PI / 2.0).unwrap(), 0.6)
+        .group(SensorSpec::new(0.16, PI / 3.0).unwrap(), 0.4)
+        .build()
+        .unwrap()
+}
+
+fn deploy(seed: u64, n: usize) -> CameraNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    deploy_uniform(Torus::unit(), &profile(), n, &mut rng).unwrap()
+}
+
+fn assert_bit_identical(state: &IncrementalSweep, net: &CameraNetwork, ctx: &str) {
+    let cold = IncrementalSweep::new(net, state.theta(), Angle::ZERO, state.grid_side());
+    assert_eq!(
+        state.report(),
+        cold.report(),
+        "{ctx}: report drifted from cold sweep"
+    );
+    assert_eq!(
+        state.mask(),
+        cold.mask(),
+        "{ctx}: mask drifted from cold sweep"
+    );
+}
+
+/// Applies an op sequence, marking dirt exactly as the service layer does,
+/// and checks bit-identity at every repair point and at the end.
+fn run_sequence(seed: u64, n0: usize, grid_side: usize, theta: EffectiveAngle, ops: &[Op]) {
+    let mut net = deploy(seed, n0);
+    let mut state = IncrementalSweep::new(&net, theta, Angle::ZERO, grid_side);
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Fail(raw) => {
+                if net.is_empty() {
+                    continue;
+                }
+                let id = raw % net.len();
+                let victim = net.cameras()[id];
+                assert!(net.remove_camera(id));
+                state.mark_disk(victim.position(), victim.spec().radius());
+            }
+            Op::Move(raw, x, y) => {
+                if net.is_empty() {
+                    continue;
+                }
+                let id = raw % net.len();
+                let cam = net.cameras()[id];
+                let to = Point::new(x, y);
+                assert!(net.move_camera(id, to));
+                state.mark_disk(cam.position(), cam.spec().radius());
+                state.mark_disk(to, cam.spec().radius());
+            }
+            Op::Reseed(s, n) => {
+                net = deploy(s, n);
+                state.invalidate();
+            }
+            Op::Repair => {
+                let delta = state.resweep_dirty(&net);
+                assert_eq!(
+                    &delta.after,
+                    state.report(),
+                    "step {step}: delta/report mismatch"
+                );
+                assert_bit_identical(&state, &net, &format!("step {step}"));
+            }
+        }
+    }
+    let delta = state.resweep_dirty(&net);
+    assert_eq!(&delta.after, state.report(), "final delta/report mismatch");
+    assert_bit_identical(&state, &net, "final");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_interleavings_stay_bit_identical(
+        seed in 0..1_000_000u64,
+        n0 in 10..100usize,
+        grid_side in 8..32usize,
+        theta_frac in 0.15..0.95f64,
+        ops in prop::collection::vec(op_strategy(), 1..24),
+    ) {
+        let theta = EffectiveAngle::new(theta_frac * PI).unwrap();
+        run_sequence(seed, n0, grid_side, theta, &ops);
+    }
+}
+
+// ---------- pinned deterministic interleavings ----------
+
+/// Every mutation kind back-to-back with no intermediate repair, so one
+/// repair digests fail + move dirt and then a reseed forces the rebuild
+/// path on the next.
+#[test]
+fn pinned_fail_move_then_reseed() {
+    let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+    run_sequence(
+        7,
+        60,
+        24,
+        theta,
+        &[
+            Op::Fail(13),
+            Op::Move(5, 0.91, 0.02),
+            Op::Repair,
+            Op::Reseed(99, 35),
+            Op::Move(2, 0.5, 0.5),
+            Op::Repair,
+        ],
+    );
+}
+
+/// Shrink a fleet to empty through repeated failures: the index keeps its
+/// original geometry while the mask drains to all-false.
+#[test]
+fn pinned_drain_to_empty_fleet() {
+    let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+    let mut ops: Vec<Op> = Vec::new();
+    for i in 0..20 {
+        ops.push(Op::Fail(i * 3));
+        if i % 4 == 0 {
+            ops.push(Op::Repair);
+        }
+    }
+    run_sequence(3, 15, 12, theta, &ops);
+}
+
+/// Seam-hugging moves with a wide-radius profile: the dirty window wraps
+/// every torus seam and may degrade to mark_all.
+#[test]
+fn pinned_seam_and_wide_radius_moves() {
+    let theta = EffectiveAngle::new(PI / 2.0).unwrap();
+    run_sequence(
+        11,
+        25,
+        16,
+        theta,
+        &[
+            Op::Move(0, 0.999, 0.001),
+            Op::Move(1, 0.0, 0.0),
+            Op::Repair,
+            Op::Move(2, 0.001, 0.999),
+            Op::Repair,
+        ],
+    );
+}
+
+/// Reseed into a much denser fleet (different cell geometry) and keep
+/// mutating afterwards — the rebuilt tiling must accept incremental dirt.
+#[test]
+fn pinned_reseed_then_incremental_again() {
+    let theta = EffectiveAngle::new(PI / 4.0).unwrap();
+    run_sequence(
+        21,
+        20,
+        28,
+        theta,
+        &[
+            Op::Repair,
+            Op::Reseed(5, 110),
+            Op::Repair,
+            Op::Move(17, 0.25, 0.75),
+            Op::Fail(4),
+            Op::Repair,
+        ],
+    );
+}

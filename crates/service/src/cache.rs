@@ -1,15 +1,22 @@
-//! Content-addressed result cache with LRU eviction and selective
-//! invalidation.
+//! Content-addressed result cache with LRU eviction and staleness
+//! accounting.
 //!
 //! Keys are canonical digests (see [`fullview_core::canon`]) of the
-//! *inputs* a query's answer depends on: the query kind and parameters
-//! plus either the deployed network's fingerprint (for `check`, `map`,
-//! `holes`, `kfull`) or the profile's fingerprint (for theory-only
-//! `prob`). Because the fingerprint is part of the key, a mutated fleet
-//! can never be served a stale answer; explicit invalidation exists to
-//! reclaim the now-unreachable entries *and only those* — theory
-//! answers keyed on the unchanged profile survive every `fail`/`move`/
-//! `reseed`.
+//! *inputs* a query's answer depends on: the query kind and parameters.
+//! The fleet fingerprint the answer was computed against is **not**
+//! folded into the key; it rides on the entry instead, and every lookup
+//! presents the current fingerprint. An entry whose stored fingerprint
+//! matches is fresh; one that doesn't is *stale* — reported as a miss
+//! (the caller must recompute) but kept in place, because a `restore`
+//! that round-trips the fleet back to the old fingerprint makes the
+//! entry fresh again for free.
+//!
+//! Accounting is strict about the distinction PR 6 fixes: `evictions`
+//! counts **only** LRU displacement, `invalidated` counts **only**
+//! entries staled by a fleet mutation (each entry at most once per
+//! insertion, via a per-entry flag), and `stale` counts lookups that
+//! found a fingerprint-mismatched entry. Conflating the first two made
+//! the `stats` endpoint useless for sizing the cache.
 
 use std::collections::HashMap;
 
@@ -18,10 +25,30 @@ use std::collections::HashMap;
 struct Entry {
     payload: String,
     /// Whether the entry depends on the deployed network (as opposed to
-    /// the profile only) — the selector for mutation invalidation.
+    /// the profile only) — the selector for mutation accounting.
     network_dependent: bool,
+    /// Fingerprint of the state the payload was computed against: the
+    /// network fingerprint for network-dependent entries, the profile
+    /// fingerprint for theory entries.
+    fp: u64,
+    /// Set once [`ResultCache::note_mutation`] has counted this entry as
+    /// invalidated, so repeated mutations don't double-count it. Reset
+    /// on (re)insertion.
+    stale_counted: bool,
     /// Monotonic recency stamp for LRU eviction.
     last_used: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Entry present and its fingerprint matches the current state.
+    Fresh(String),
+    /// Entry present but computed against a different fingerprint; the
+    /// caller must recompute (counted as a miss *and* a stale lookup).
+    Stale,
+    /// No entry under this key.
+    Miss,
 }
 
 /// Counters exposed through the `stats` endpoint.
@@ -31,13 +58,18 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum entries before LRU eviction (0 = caching disabled).
     pub capacity: usize,
-    /// Lookups that returned a payload.
+    /// Lookups that returned a fresh payload.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that had to recompute (absent or stale entry).
     pub misses: u64,
-    /// Entries discarded to respect `capacity`.
+    /// The subset of `misses` where an entry existed but its
+    /// fingerprint no longer matched.
+    pub stale: u64,
+    /// Entries displaced by LRU pressure — **only** LRU, never
+    /// mutations.
     pub evictions: u64,
-    /// Entries discarded by mutation invalidation.
+    /// Entries staled by fleet mutations — **only** mutations, never
+    /// LRU; each entry counts at most once per insertion.
     pub invalidated: u64,
 }
 
@@ -63,6 +95,7 @@ pub struct ResultCache {
     entries: HashMap<u64, Entry>,
     hits: u64,
     misses: u64,
+    stale: u64,
     evictions: u64,
     invalidated: u64,
 }
@@ -78,32 +111,40 @@ impl ResultCache {
             entries: HashMap::new(),
             hits: 0,
             misses: 0,
+            stale: 0,
             evictions: 0,
             invalidated: 0,
         }
     }
 
-    /// Looks up a digest, counting the hit or miss and refreshing
-    /// recency on hit.
-    pub fn get(&mut self, key: u64) -> Option<String> {
+    /// Looks up a digest against the current fingerprint. A fresh hit
+    /// refreshes recency; a stale entry does **not** (it is dead weight
+    /// until recomputed or the fingerprint returns, so it should lose
+    /// LRU races).
+    pub fn get(&mut self, key: u64, current_fp: u64) -> Lookup {
         self.tick += 1;
         match self.entries.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if entry.fp == current_fp => {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                Some(entry.payload.clone())
+                Lookup::Fresh(entry.payload.clone())
+            }
+            Some(_) => {
+                self.misses += 1;
+                self.stale += 1;
+                Lookup::Stale
             }
             None => {
                 self.misses += 1;
-                None
+                Lookup::Miss
             }
         }
     }
 
-    /// Inserts a payload, evicting the least-recently-used entry when
-    /// full. `network_dependent` tags the entry for selective
-    /// invalidation.
-    pub fn insert(&mut self, key: u64, payload: String, network_dependent: bool) {
+    /// Inserts a payload computed against `fp`, evicting the
+    /// least-recently-used entry when full. `network_dependent` tags the
+    /// entry for mutation accounting.
+    pub fn insert(&mut self, key: u64, payload: String, network_dependent: bool, fp: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -119,20 +160,28 @@ impl ResultCache {
             Entry {
                 payload,
                 network_dependent,
+                fp,
+                stale_counted: false,
                 last_used: self.tick,
             },
         );
     }
 
-    /// Drops every network-dependent entry (after a `fail`/`move`/
-    /// `reseed` mutation), returning how many were removed. Profile-keyed
-    /// theory entries are untouched.
-    pub fn invalidate_network_dependent(&mut self) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, e| !e.network_dependent);
-        let removed = before - self.entries.len();
-        self.invalidated += removed as u64;
-        removed
+    /// Records a fleet mutation: counts every network-dependent entry
+    /// whose fingerprint no longer matches `current_net_fp` and that has
+    /// not already been counted since its insertion. Entries stay in
+    /// place — a later `restore` back to their fingerprint revives them.
+    /// Returns how many entries this mutation newly staled.
+    pub fn note_mutation(&mut self, current_net_fp: u64) -> usize {
+        let mut newly_staled = 0usize;
+        for entry in self.entries.values_mut() {
+            if entry.network_dependent && entry.fp != current_net_fp && !entry.stale_counted {
+                entry.stale_counted = true;
+                newly_staled += 1;
+            }
+        }
+        self.invalidated += newly_staled as u64;
+        newly_staled
     }
 
     /// Current counters.
@@ -143,6 +192,7 @@ impl ResultCache {
             capacity: self.capacity,
             hits: self.hits,
             misses: self.misses,
+            stale: self.stale,
             evictions: self.evictions,
             invalidated: self.invalidated,
         }
@@ -153,53 +203,104 @@ impl ResultCache {
 mod tests {
     use super::*;
 
+    const FP: u64 = 10;
+
+    fn fresh(c: &mut ResultCache, key: u64, fp: u64) -> Option<String> {
+        match c.get(key, fp) {
+            Lookup::Fresh(p) => Some(p),
+            _ => None,
+        }
+    }
+
     #[test]
     fn hit_and_miss_counters() {
         let mut c = ResultCache::new(4);
-        assert_eq!(c.get(1), None);
-        c.insert(1, "a".into(), true);
-        assert_eq!(c.get(1).as_deref(), Some("a"));
+        assert_eq!(c.get(1, FP), Lookup::Miss);
+        c.insert(1, "a".into(), true, FP);
+        assert_eq!(fresh(&mut c, 1, FP).as_deref(), Some("a"));
         let s = c.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.stale, s.entries), (1, 1, 0, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = ResultCache::new(2);
-        c.insert(1, "a".into(), true);
-        c.insert(2, "b".into(), true);
-        assert!(c.get(1).is_some()); // refresh 1: now 2 is LRU
-        c.insert(3, "c".into(), true);
+        c.insert(1, "a".into(), true, FP);
+        c.insert(2, "b".into(), true, FP);
+        assert!(fresh(&mut c, 1, FP).is_some()); // refresh 1: now 2 is LRU
+        c.insert(3, "c".into(), true, FP);
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.get(2).is_none(), "2 was least recently used");
-        assert!(c.get(1).is_some());
-        assert!(c.get(3).is_some());
+        assert_eq!(c.get(2, FP), Lookup::Miss, "2 was least recently used");
+        assert!(fresh(&mut c, 1, FP).is_some());
+        assert!(fresh(&mut c, 3, FP).is_some());
     }
 
     #[test]
     fn reinsert_same_key_does_not_evict() {
         let mut c = ResultCache::new(2);
-        c.insert(1, "a".into(), true);
-        c.insert(2, "b".into(), true);
-        c.insert(1, "a2".into(), true);
+        c.insert(1, "a".into(), true, FP);
+        c.insert(2, "b".into(), true, FP);
+        c.insert(1, "a2".into(), true, FP);
         assert_eq!(c.stats().evictions, 0);
-        assert_eq!(c.get(1).as_deref(), Some("a2"));
-        assert!(c.get(2).is_some());
+        assert_eq!(fresh(&mut c, 1, FP).as_deref(), Some("a2"));
+        assert!(fresh(&mut c, 2, FP).is_some());
     }
 
     #[test]
-    fn invalidation_is_selective() {
+    fn staleness_is_selective_and_reversible() {
+        // Two network entries, one theory entry. A mutation stales the
+        // network entries (lookups miss + count stale) but the theory
+        // entry, keyed on the unchanged profile fingerprint, survives.
+        // Restoring the original fingerprint revives the stale entries
+        // without recomputation.
+        let (net_fp0, net_fp1, profile_fp) = (10, 11, 77);
         let mut c = ResultCache::new(8);
-        c.insert(1, "net".into(), true);
-        c.insert(2, "net2".into(), true);
-        c.insert(3, "theory".into(), false);
-        assert_eq!(c.invalidate_network_dependent(), 2);
-        assert!(c.get(1).is_none());
-        assert!(c.get(2).is_none());
-        assert_eq!(c.get(3).as_deref(), Some("theory"), "theory survives");
-        assert_eq!(c.stats().invalidated, 2);
-        assert_eq!(c.invalidate_network_dependent(), 0, "idempotent");
+        c.insert(1, "net".into(), true, net_fp0);
+        c.insert(2, "net2".into(), true, net_fp0);
+        c.insert(3, "theory".into(), false, profile_fp);
+        assert_eq!(c.note_mutation(net_fp1), 2);
+        assert_eq!(c.get(1, net_fp1), Lookup::Stale);
+        assert_eq!(c.get(2, net_fp1), Lookup::Stale);
+        assert_eq!(
+            fresh(&mut c, 3, profile_fp).as_deref(),
+            Some("theory"),
+            "theory survives"
+        );
+        let s = c.stats();
+        assert_eq!((s.invalidated, s.stale, s.entries), (2, 2, 3));
+        assert_eq!(c.note_mutation(net_fp1), 0, "idempotent per mutation");
+        // The fingerprint round-trips (e.g. restore of a snapshot): the
+        // stale entries are fresh again, no recompute needed.
+        assert_eq!(fresh(&mut c, 1, net_fp0).as_deref(), Some("net"));
+        assert_eq!(fresh(&mut c, 2, net_fp0).as_deref(), Some("net2"));
+    }
+
+    #[test]
+    fn mutate_evict_mutate_keeps_the_counters_apart() {
+        // PR 6 regression: the old cache *removed* entries on mutation
+        // and bumped `invalidated`, so a mutate→evict→mutate sequence
+        // produced numbers that conflated LRU pressure with staleness.
+        // The sequence must now read: invalidated counts each staled
+        // entry exactly once, evictions counts only LRU displacement.
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into(), true, 10);
+        c.insert(2, "b".into(), true, 10);
+        assert_eq!(c.note_mutation(11), 2, "both entries staled");
+        let s = c.stats();
+        assert_eq!((s.invalidated, s.evictions, s.entries), (2, 0, 2));
+
+        // LRU displacement of a stale entry is an eviction, not another
+        // invalidation.
+        c.insert(3, "c".into(), true, 11);
+        let s = c.stats();
+        assert_eq!((s.invalidated, s.evictions, s.entries), (2, 1, 2));
+
+        // A second mutation counts only the not-yet-counted entry (3);
+        // the surviving already-counted entry (2 or 1) does not recount.
+        assert_eq!(c.note_mutation(12), 1);
+        let s = c.stats();
+        assert_eq!((s.invalidated, s.evictions), (3, 1));
     }
 
     #[test]
@@ -207,13 +308,16 @@ mod tests {
         // Filling to the bound exactly must not evict: the cache is full,
         // not over-full. Off-by-one here would silently halve hit rates.
         let mut c = ResultCache::new(3);
-        c.insert(1, "a".into(), true);
-        c.insert(2, "b".into(), true);
-        c.insert(3, "c".into(), true);
+        c.insert(1, "a".into(), true, FP);
+        c.insert(2, "b".into(), true, FP);
+        c.insert(3, "c".into(), true, FP);
         let s = c.stats();
         assert_eq!((s.entries, s.evictions), (3, 0));
         for k in 1..=3 {
-            assert!(c.get(k).is_some(), "entry {k} survived the exact fill");
+            assert!(
+                fresh(&mut c, k, FP).is_some(),
+                "entry {k} survived the exact fill"
+            );
         }
     }
 
@@ -221,15 +325,15 @@ mod tests {
     fn one_past_capacity_evicts_exactly_one() {
         let mut c = ResultCache::new(3);
         for k in 1..=3u64 {
-            c.insert(k, k.to_string(), true);
+            c.insert(k, k.to_string(), true, FP);
         }
-        c.insert(4, "d".into(), true);
+        c.insert(4, "d".into(), true, FP);
         let s = c.stats();
         assert_eq!((s.entries, s.evictions), (3, 1));
         // Insertion order doubles as recency order here, so 1 is the LRU.
-        assert!(c.get(1).is_none(), "the oldest entry went");
+        assert_eq!(c.get(1, FP), Lookup::Miss, "the oldest entry went");
         for k in 2..=4 {
-            assert!(c.get(k).is_some(), "entry {k} stayed");
+            assert!(fresh(&mut c, k, FP).is_some(), "entry {k} stayed");
         }
     }
 
@@ -237,33 +341,47 @@ mod tests {
     fn capacity_one_keeps_exactly_the_newest() {
         let mut c = ResultCache::new(1);
         for k in 0..5u64 {
-            c.insert(k, k.to_string(), k % 2 == 0);
+            c.insert(k, k.to_string(), k % 2 == 0, FP);
             assert_eq!(c.stats().entries, 1, "never more than one entry");
-            assert_eq!(c.get(k).as_deref(), Some(k.to_string().as_str()));
+            assert_eq!(
+                fresh(&mut c, k, FP).as_deref(),
+                Some(k.to_string().as_str())
+            );
         }
         assert_eq!(c.stats().evictions, 4);
     }
 
     #[test]
-    fn refill_after_invalidation_respects_capacity() {
-        // Invalidation frees slots; the next fills must use them without
-        // evicting, and the bound must hold again afterwards.
+    fn stale_lookups_do_not_refresh_recency() {
+        // A stale entry must lose the LRU race to a fresh one even when
+        // it was probed more recently: probing it is a miss, not a use.
         let mut c = ResultCache::new(2);
-        c.insert(1, "net".into(), true);
-        c.insert(2, "theory".into(), false);
-        assert_eq!(c.invalidate_network_dependent(), 1);
-        c.insert(3, "net2".into(), true);
-        assert_eq!(c.stats().evictions, 0, "freed slot reused");
-        c.insert(4, "net3".into(), true);
-        assert_eq!(c.stats().evictions, 1, "bound enforced after refill");
-        assert_eq!(c.stats().entries, 2);
+        c.insert(1, "old".into(), true, 10);
+        c.insert(2, "live".into(), true, 11);
+        c.note_mutation(11);
+        assert_eq!(c.get(1, 11), Lookup::Stale); // probe the stale entry last
+        c.insert(3, "new".into(), true, 11);
+        assert_eq!(c.get(1, 10), Lookup::Miss, "stale entry was the LRU victim");
+        assert!(fresh(&mut c, 2, 11).is_some());
+    }
+
+    #[test]
+    fn reinsertion_resets_the_stale_counted_flag() {
+        // Recomputing a staled entry re-arms it for the next mutation's
+        // accounting.
+        let mut c = ResultCache::new(4);
+        c.insert(1, "a".into(), true, 10);
+        assert_eq!(c.note_mutation(11), 1);
+        c.insert(1, "a'".into(), true, 11); // recomputed against fp 11
+        assert_eq!(c.note_mutation(12), 1, "recounted after reinsertion");
+        assert_eq!(c.stats().invalidated, 2);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = ResultCache::new(0);
-        c.insert(1, "a".into(), true);
-        assert!(c.get(1).is_none());
+        c.insert(1, "a".into(), true, FP);
+        assert_eq!(c.get(1, FP), Lookup::Miss);
         assert_eq!(c.stats().entries, 0);
     }
 }

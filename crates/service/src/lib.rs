@@ -46,7 +46,7 @@ pub mod queue;
 pub mod server;
 pub mod snapshot;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, Lookup, ResultCache};
 pub use client::Client;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{Request, Response};

@@ -187,6 +187,62 @@ pub fn read_request_line(
     }
 }
 
+/// Reads raw bytes into `carry` until it holds at least `want` bytes,
+/// with the same timeout/shutdown discipline as [`read_request_line`].
+/// Returns `false` on EOF, shutdown, or a transport error.
+fn fill_carry(stream: &TcpStream, carry: &mut Vec<u8>, want: usize, shutdown: &AtomicBool) -> bool {
+    let mut chunk = [0u8; 1024];
+    while carry.len() < want {
+        match (&mut (&*stream)).read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Reads one framed response from a short-read-timeout connection,
+/// checking `shutdown` on every timeout — the upstream half of the
+/// cluster coordinator's `watch` relay, where frames arrive at
+/// unpredictable times and a `BufRead`-based reader would lose carried
+/// bytes across timeouts. `carry` must persist across calls on the same
+/// connection.
+///
+/// Returns `None` on EOF, shutdown, a malformed or oversized frame, or
+/// a transport error — all of which end the relay.
+pub fn read_framed_response(
+    stream: &TcpStream,
+    carry: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Option<Response> {
+    let header = read_request_line(stream, carry, shutdown)?;
+    if let Some(msg) = header.strip_prefix("err ") {
+        return Some(Response::Err(msg.to_string()));
+    }
+    let len: usize = header.strip_prefix("ok ")?.trim().parse().ok()?;
+    if len > MAX_RESPONSE_BYTES {
+        return None;
+    }
+    if !fill_carry(stream, carry, len, shutdown) {
+        return None;
+    }
+    let rest = carry.split_off(len);
+    let payload = std::mem::replace(carry, rest);
+    String::from_utf8(payload).ok().map(Response::Ok)
+}
+
 /// A response read back by the client codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -308,6 +364,55 @@ mod tests {
             read_response(&mut reader).unwrap(),
             Some(Response::Err("boom with detail".to_string()))
         );
+    }
+
+    #[test]
+    fn framed_responses_survive_read_timeouts_and_split_frames() {
+        // The relay reader must reassemble frames that arrive split
+        // across reads and keep carried bytes across timeouts.
+        use std::net::TcpListener;
+        use std::time::Duration;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer_thread = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // First frame in two bursts with a pause inside the payload,
+            // so the reader times out mid-frame at least once.
+            peer.write_all(b"ok 11\nhello").unwrap();
+            peer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+            peer.write_all(b" world").unwrap();
+            // Then an err frame and a second ok frame back-to-back in
+            // one burst, exercising the carry across frame boundaries.
+            write_err(&mut peer, "nope").unwrap();
+            write_ok(&mut peer, "tail\n").unwrap();
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let shutdown = AtomicBool::new(false);
+        let mut carry = Vec::new();
+        assert_eq!(
+            read_framed_response(&stream, &mut carry, &shutdown),
+            Some(Response::Ok("hello world".to_string()))
+        );
+        assert_eq!(
+            read_framed_response(&stream, &mut carry, &shutdown),
+            Some(Response::Err("nope".to_string()))
+        );
+        assert_eq!(
+            read_framed_response(&stream, &mut carry, &shutdown),
+            Some(Response::Ok("tail\n".to_string()))
+        );
+        assert_eq!(
+            read_framed_response(&stream, &mut carry, &shutdown),
+            None,
+            "clean EOF"
+        );
+        writer_thread.join().unwrap();
     }
 
     #[test]

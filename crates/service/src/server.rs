@@ -3,33 +3,42 @@
 //! One process owns one fleet. The [`CameraNetwork`] (and with it the
 //! warm `SpatialGrid`/tile structures) is loaded or generated once at
 //! startup and lives behind an `RwLock`: queries take cheap read locks,
-//! mutations (`fail`, `move`, `reseed`) take the write lock, refresh the
-//! canonical fingerprint, and invalidate exactly the network-dependent
-//! cache entries.
+//! mutations (`fail`, `move`, `reseed`, `restore`) take the write lock,
+//! refresh the canonical fingerprint, mark the mutated sensing disks
+//! dirty in every warm [`IncrementalSweep`] state, and downgrade (not
+//! evict) the affected cache entries.
 //!
-//! Locking discipline: the fleet lock and the cache lock are **never
-//! held simultaneously** — every code path acquires, uses, and releases
-//! them sequentially, which makes lock-order deadlocks impossible. The
-//! price is a benign race: a query whose job runs concurrently with a
-//! mutation may insert a result keyed under the *pre-mutation*
-//! fingerprint; such an entry can never be looked up again (keys embed
-//! the fingerprint) and is reclaimed by LRU eviction.
+//! Dense-sweep queries (`check`, `holes`, `mask`) are served from a
+//! small registry of warm [`IncrementalSweep`] states: a mutation marks
+//! only the tiles its old/new sensing disks touch, and the next query
+//! re-evaluates exactly those tiles — bit-identical to a cold sweep (the
+//! invariant is differential-tested in `fullview-core`). `watch`
+//! subscribers receive a delta frame per mutation built from the same
+//! repair.
+//!
+//! Locking discipline (lock order: `watches` → `fleet` → `sweeps`; the
+//! cache lock is only ever held alone): a mutation applies the change,
+//! marks dirt, and repairs watched states all under one continuous fleet
+//! write section, so a concurrent query can never observe the
+//! post-mutation network without the mutation's dirt. The cache is
+//! looked up by digest *plus* current fingerprint; a job racing a
+//! mutation may insert a payload under the pre-mutation fingerprint,
+//! which later lookups simply report as stale and recompute.
 
-use crate::cache::ResultCache;
+use crate::cache::{Lookup, ResultCache};
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
 use crate::queue::JobQueue;
 use crate::snapshot::{read_snapshot, write_snapshot};
 use fullview_core::canon::{network_fingerprint, profile_fingerprint, CanonicalHasher};
 use fullview_core::{
-    count_k_view_range, coverage_glyphs_range, coverage_map_text, find_holes, full_view_mask_range,
-    hole_report_text, kfull_text, prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
-    prob_point_meets_sufficient_poisson, EffectiveAngle,
+    count_k_view_range, coverage_glyphs_range, coverage_map_text, dense_grid, hole_report_text,
+    holes_from_mask, kfull_text, prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
+    prob_point_meets_sufficient_poisson, EffectiveAngle, IncrementalSweep,
 };
 use fullview_deploy::deploy_uniform;
 use fullview_geom::{Angle, Point, UnitGrid};
 use fullview_model::{CameraNetwork, NetworkProfile};
-use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -56,7 +65,10 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Default effective angle θ; per-request `theta-deg` overrides it.
     pub theta: EffectiveAngle,
-    /// Threads per dense-grid sweep (`0` = one per CPU, never zero).
+    /// Threads per dense-grid sweep. Retained for configuration
+    /// compatibility: dense sweeps are now served from the warm
+    /// incremental engine, whose repairs are cheap enough that a thread
+    /// pool per sweep no longer pays for itself.
     pub eval_threads: usize,
     /// Worker pool size (`0` = one per CPU, never zero).
     pub workers: usize,
@@ -99,13 +111,164 @@ struct Fleet {
     profile_fp: u64,
 }
 
+/// Sweep-state identity: the two inputs that change the evaluation
+/// lattice — θ (as exact bits) and the grid side.
+type SweepKey = (u64, usize);
+
+fn sweep_key(theta: EffectiveAngle, grid_side: usize) -> SweepKey {
+    (theta.radians().to_bits(), grid_side)
+}
+
+const SWEEP_REGISTRY_CAP: usize = 8;
+
+struct SweepSlot {
+    key: SweepKey,
+    state: IncrementalSweep,
+    /// Pinned slots (those a `watch` subscriber depends on) are exempt
+    /// from LRU eviction, recomputed statelessly from the live
+    /// subscription list on every change to it.
+    pinned: bool,
+    last_used: u64,
+}
+
+/// A small LRU pool of warm [`IncrementalSweep`] states. Mutations mark
+/// dirt into *every* slot (marking is cheap — a few tile bits); queries
+/// repair only the slot they hit.
+struct SweepRegistry {
+    slots: Vec<SweepSlot>,
+    tick: u64,
+}
+
+impl SweepRegistry {
+    fn new() -> Self {
+        SweepRegistry {
+            slots: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Marks one sensing disk dirty in every warm state.
+    fn mark_disk_all(&mut self, center: Point, radius: f64) {
+        for slot in &mut self.slots {
+            slot.state.mark_disk(center, radius);
+        }
+    }
+
+    /// Invalidates every warm state (fleet replaced wholesale: `reseed`
+    /// or `restore` — the spatial-index geometry may have changed).
+    fn invalidate_all(&mut self) {
+        for slot in &mut self.slots {
+            slot.state.invalidate();
+        }
+    }
+
+    /// Pins the slot for `key` against LRU eviction (no-op when absent).
+    fn pin(&mut self, key: SweepKey) {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.key == key) {
+            slot.pinned = true;
+        }
+    }
+
+    /// Recomputes pinning from the set of keys still watched.
+    fn set_pins(&mut self, watched: &[SweepKey]) {
+        for slot in &mut self.slots {
+            slot.pinned = watched.contains(&slot.key);
+        }
+    }
+
+    /// The warm state for `(theta, side)`, building it cold on first
+    /// use. Evicts the least-recently-used unpinned slot when full; when
+    /// every slot is pinned the pool grows past the cap rather than
+    /// breaking a watcher.
+    fn get_or_build(
+        &mut self,
+        net: &CameraNetwork,
+        theta: EffectiveAngle,
+        side: usize,
+    ) -> &mut IncrementalSweep {
+        self.tick += 1;
+        let key = sweep_key(theta, side);
+        if let Some(i) = self.slots.iter().position(|s| s.key == key) {
+            self.slots[i].last_used = self.tick;
+            return &mut self.slots[i].state;
+        }
+        if self.slots.len() >= SWEEP_REGISTRY_CAP {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.pinned)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            if let Some(i) = victim {
+                self.slots.swap_remove(i);
+            }
+        }
+        let state = IncrementalSweep::new(net, theta, Angle::ZERO, side);
+        self.slots.push(SweepSlot {
+            key,
+            state,
+            pinned: false,
+            last_used: self.tick,
+        });
+        &mut self.slots.last_mut().expect("just pushed").state
+    }
+}
+
+/// One `watch` subscriber: a cloned connection the hub writes delta
+/// frames to. The original connection handler has returned; the hub
+/// owns the stream's lifetime.
+struct WatchSub {
+    key: SweepKey,
+    theta: EffectiveAngle,
+    grid: usize,
+    stream: TcpStream,
+    /// Per-subscriber frame counter (baseline is seq 0).
+    seq: u64,
+}
+
+/// Subscribers plus the last-emitted (fraction, hole count) per watched
+/// config, so each delta frame's *before* values continue exactly from
+/// the previous frame even when unrelated queries repaired the state in
+/// between.
+struct WatchHub {
+    subs: Vec<WatchSub>,
+    last: std::collections::HashMap<SweepKey, (f64, usize)>,
+}
+
+impl WatchHub {
+    fn new() -> Self {
+        WatchHub {
+            subs: Vec::new(),
+            last: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The distinct (key, θ, side) configurations currently watched.
+    fn watched_configs(&self) -> Vec<(SweepKey, EffectiveAngle, usize)> {
+        let mut configs: Vec<(SweepKey, EffectiveAngle, usize)> = Vec::new();
+        for sub in &self.subs {
+            if !configs.iter().any(|(k, _, _)| *k == sub.key) {
+                configs.push((sub.key, sub.theta, sub.grid));
+            }
+        }
+        configs
+    }
+}
+
 struct ServerCtx {
     fleet: RwLock<Fleet>,
     cache: Mutex<ResultCache>,
+    /// Warm incremental sweep states, keyed by (θ, grid side). Locked
+    /// only while `fleet` is already held (read for queries, write for
+    /// mutations), never the other way round.
+    sweeps: Mutex<SweepRegistry>,
+    /// Watch subscribers. Locked first by mutations (before `fleet`), so
+    /// delta emission is serialized in mutation order.
+    watches: Mutex<WatchHub>,
     metrics: Metrics,
     queue: JobQueue,
     theta_default: EffectiveAngle,
-    eval_threads: usize,
     reseed_n: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -160,10 +323,11 @@ impl Server {
                 profile_fp,
             }),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            sweeps: Mutex::new(SweepRegistry::new()),
+            watches: Mutex::new(WatchHub::new()),
             metrics: Metrics::new(),
             queue: JobQueue::new(config.workers, config.queue_capacity),
             theta_default: config.theta,
-            eval_threads: config.eval_threads,
             reseed_n: config.n.max(1),
             shutdown: AtomicBool::new(false),
             addr,
@@ -252,6 +416,23 @@ fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
                 ctx.metrics.record_rejected();
                 if protocol::write_err(&mut writer, &message).is_err() {
                     return;
+                }
+            }
+            Ok(req) if req.verb() == "watch" => {
+                // `watch` takes over the connection: on success the hub
+                // owns a clone of the stream and this handler retires.
+                match run_watch(ctx, &req, stream) {
+                    Ok(()) => {
+                        ctx.metrics
+                            .record("watch", started.elapsed().as_secs_f64() * 1e3);
+                        return;
+                    }
+                    Err(message) => {
+                        ctx.metrics.record_rejected();
+                        if protocol::write_err(&mut writer, &message).is_err() {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(req) => {
@@ -402,10 +583,13 @@ fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryP
     Ok(params)
 }
 
-/// The canonical cache key of a query against the current fleet state.
-/// Only answer-affecting inputs are digested — evaluation thread counts
-/// are excluded because sweeps are bit-identical at any thread count.
-fn digest(kind: QueryKind, params: &QueryParams, fleet: &Fleet) -> u64 {
+/// The canonical cache key of a query: kind plus answer-affecting
+/// parameters. The fleet fingerprint is deliberately *not* part of the
+/// key — it rides on the cache entry instead (see [`crate::cache`]), so
+/// a mutation downgrades entries to stale rather than stranding them
+/// under unreachable keys, and a `restore` back to a previous
+/// fingerprint revives them.
+fn digest(kind: QueryKind, params: &QueryParams) -> u64 {
     let mut h = CanonicalHasher::new();
     h.write_str(kind.name());
     h.write_f64(params.theta.radians());
@@ -429,20 +613,34 @@ fn digest(kind: QueryKind, params: &QueryParams, fleet: &Fleet) -> u64 {
         h.write_usize(params.lo);
         h.write_usize(params.hi);
     }
-    h.write_u64(if kind.network_dependent() {
-        fleet.net_fp
-    } else {
-        fleet.profile_fp
-    });
     h.finish()
 }
 
+/// The fingerprint a query kind's answers depend on.
+fn fp_for(fleet: &Fleet, kind: QueryKind) -> u64 {
+    if kind.network_dependent() {
+        fleet.net_fp
+    } else {
+        fleet.profile_fp
+    }
+}
+
+/// Computes a query answer. `check`, `holes`, and `mask` are served
+/// from the warm incremental engine (repairing only tiles dirtied since
+/// the last sweep); every other kind computes cold. Callers hold the
+/// fleet read lock; the sweeps lock is taken briefly inside (lock order
+/// `fleet` → `sweeps`).
 fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams) -> String {
     let theta = params.theta;
     match kind {
         QueryKind::Check => {
-            let report =
-                evaluate_dense_grid_parallel(&fleet.net, theta, Angle::ZERO, ctx.eval_threads);
+            let side = dense_grid(*fleet.net.torus(), fleet.net.len()).side_count();
+            let report = {
+                let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+                let state = sweeps.get_or_build(&fleet.net, theta, side);
+                state.resweep_dirty(&fleet.net);
+                state.report().clone()
+            };
             format!(
                 "{} cameras\n{report}\nfull-view fraction {:.4}\n",
                 fleet.net.len(),
@@ -450,7 +648,15 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
             )
         }
         QueryKind::Map => coverage_map_text(&fleet.net, theta, params.side),
-        QueryKind::Holes => hole_report_text(&find_holes(&fleet.net, theta, params.grid)),
+        QueryKind::Holes => {
+            let report = {
+                let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+                let state = sweeps.get_or_build(&fleet.net, theta, params.grid);
+                state.resweep_dirty(&fleet.net);
+                holes_from_mask(*fleet.net.torus(), params.grid, state.mask())
+            };
+            hole_report_text(&report)
+        }
         QueryKind::Kfull => {
             let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
             let meeting = count_k_view_range(&fleet.net, &grid, theta, params.k, 0, grid.len());
@@ -460,9 +666,12 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
             coverage_glyphs_range(&fleet.net, theta, params.side, params.lo, params.hi)
         }
         QueryKind::Mask => {
-            full_view_mask_range(&fleet.net, theta, params.grid, params.lo, params.hi)
-                .into_iter()
-                .map(|covered| if covered { '1' } else { '0' })
+            let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+            let state = sweeps.get_or_build(&fleet.net, theta, params.grid);
+            state.resweep_dirty(&fleet.net);
+            state.mask()[params.lo..params.hi]
+                .iter()
+                .map(|&covered| if covered { '1' } else { '0' })
                 .collect()
         }
         QueryKind::Kcount => {
@@ -494,27 +703,32 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
     }
 }
 
-/// Cache-or-queue execution of one query request.
+/// Cache-or-queue execution of one query request. A fresh entry (same
+/// digest, same fingerprint) is served directly; a stale or absent one
+/// recomputes through the job queue and repairs the cache entry in
+/// place.
 fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<String, String> {
     let params = parse_query(ctx, req, kind)?;
-    let key = {
+    let key = digest(kind, &params);
+    let current_fp = {
         let fleet = ctx.fleet.read().expect("fleet lock");
-        digest(kind, &params, &fleet)
+        fp_for(&fleet, kind)
     };
-    if let Some(hit) = ctx.cache.lock().expect("cache lock").get(key) {
+    if let Lookup::Fresh(hit) = ctx.cache.lock().expect("cache lock").get(key, current_fp) {
         return Ok(hit);
     }
     let (tx, rx) = mpsc::channel();
     let job_ctx = Arc::clone(ctx);
     ctx.queue
         .submit(Box::new(move || {
-            // Re-derive the key inside the job: the fleet may have
-            // mutated since the lookup, and the cache entry must match
-            // the state the answer was computed from.
-            let (key, payload) = {
+            // The fingerprint is read under the same fleet lock the
+            // answer is computed under, so the cache entry always tags
+            // the payload with the state it was computed from — even if
+            // the fleet mutated between the lookup and this job.
+            let (fp, payload) = {
                 let fleet = job_ctx.fleet.read().expect("fleet lock");
                 (
-                    digest(kind, &params, &fleet),
+                    fp_for(&fleet, kind),
                     compute(&job_ctx, &fleet, kind, &params),
                 )
             };
@@ -522,6 +736,7 @@ fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<Str
                 key,
                 payload.clone(),
                 kind.network_dependent(),
+                fp,
             );
             let _ = tx.send(payload);
         }))
@@ -530,25 +745,102 @@ fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<Str
         .map_err(|_| "worker dropped the job (shutting down?)".to_string())
 }
 
+/// Repairs every watched sweep state against the just-mutated fleet and
+/// builds one delta frame per watched configuration.
+///
+/// Must run with the watches lock held *and* inside the mutation's
+/// fleet-write section: marking dirt and repairing under the same write
+/// lock guarantees no concurrent query can observe the post-mutation
+/// network without the mutation's dirt (the silent-divergence bug this
+/// PR's sweep closes), and holding watches across the whole mutation
+/// serializes frames in mutation order.
+///
+/// Frame field order is fixed (see DESIGN.md): `delta cause=… grid=…
+/// theta-deg=… tiles=… points=… flipped_on=… flipped_off=…
+/// fraction_before=… fraction_after=… holes_before=… holes_after=…
+/// holes_opened=… holes_closed=… rebuilt=…`, with the per-subscriber
+/// `seq=…` appended at delivery.
+fn watch_frames(
+    ctx: &ServerCtx,
+    watches: &mut WatchHub,
+    fleet: &Fleet,
+    cause: &str,
+) -> Vec<(SweepKey, String)> {
+    if watches.subs.is_empty() {
+        return Vec::new();
+    }
+    let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+    let mut frames = Vec::new();
+    for (key, theta, grid) in watches.watched_configs() {
+        let state = sweeps.get_or_build(&fleet.net, theta, grid);
+        let delta = state.resweep_dirty(&fleet.net);
+        let fraction = state.report().full_view_fraction();
+        let holes = holes_from_mask(*fleet.net.torus(), grid, state.mask())
+            .holes
+            .len();
+        let (fraction_before, holes_before) =
+            watches.last.get(&key).copied().unwrap_or((fraction, holes));
+        let frame = format!(
+            "delta cause={cause} grid={grid} theta-deg={:.4} tiles={} points={} flipped_on={} flipped_off={} fraction_before={fraction_before:.6} fraction_after={fraction:.6} holes_before={holes_before} holes_after={holes} holes_opened={} holes_closed={} rebuilt={}",
+            theta.radians().to_degrees(),
+            delta.tiles_resweeped,
+            delta.points_resweeped,
+            delta.flipped_on.len(),
+            delta.flipped_off.len(),
+            holes.saturating_sub(holes_before),
+            holes_before.saturating_sub(holes),
+            delta.rebuilt,
+        );
+        watches.last.insert(key, (fraction, holes));
+        frames.push((key, frame));
+    }
+    frames
+}
+
+/// Writes each frame to its subscribers as a complete ok-framed
+/// response, pruning subscribers whose connection died and unpinning
+/// the sweep slots nobody watches any more. Runs under the watches
+/// lock, after the fleet write lock is released.
+fn deliver_frames(ctx: &ServerCtx, watches: &mut WatchHub, frames: &[(SweepKey, String)]) {
+    if frames.is_empty() {
+        return;
+    }
+    watches.subs.retain_mut(|sub| {
+        let Some((_, frame)) = frames.iter().find(|(key, _)| *key == sub.key) else {
+            return true;
+        };
+        sub.seq += 1;
+        let payload = format!("{frame} seq={}\n", sub.seq);
+        let mut writer = &sub.stream;
+        protocol::write_ok(&mut writer, &payload).is_ok()
+    });
+    let watched: Vec<SweepKey> = watches.subs.iter().map(|sub| sub.key).collect();
+    ctx.sweeps.lock().expect("sweep lock").set_pins(&watched);
+}
+
 fn run_fail(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     req.allow_only(&["id"])?;
     let id: usize = req.require("id")?;
-    let remaining = {
+    let mut watches = ctx.watches.lock().expect("watch lock");
+    let (remaining, net_fp, frames) = {
         let mut fleet = ctx.fleet.write().expect("fleet lock");
-        if !fleet.net.remove_camera(id) {
+        let Some(&victim) = fleet.net.cameras().get(id) else {
             return Err(format!(
                 "no camera with id {id} (fleet has {})",
                 fleet.net.len()
             ));
-        }
+        };
+        assert!(fleet.net.remove_camera(id), "id was just bounds-checked");
         fleet.net_fp = network_fingerprint(&fleet.net);
-        fleet.net.len()
+        ctx.sweeps
+            .lock()
+            .expect("sweep lock")
+            .mark_disk_all(victim.position(), victim.spec().radius());
+        let frames = watch_frames(ctx, &mut watches, &fleet, "fail");
+        (fleet.net.len(), fleet.net_fp, frames)
     };
-    let invalidated = ctx
-        .cache
-        .lock()
-        .expect("cache lock")
-        .invalidate_network_dependent();
+    let invalidated = ctx.cache.lock().expect("cache lock").note_mutation(net_fp);
+    deliver_frames(ctx, &mut watches, &frames);
     Ok(format!(
         "failed camera {id}; {remaining} cameras remain; invalidated {invalidated} cached results\n"
     ))
@@ -562,22 +854,31 @@ fn run_move(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     if !x.is_finite() || !y.is_finite() {
         return Err("x and y must be finite".to_string());
     }
-    let position = {
+    let mut watches = ctx.watches.lock().expect("watch lock");
+    let (position, net_fp, frames) = {
         let mut fleet = ctx.fleet.write().expect("fleet lock");
-        if !fleet.net.move_camera(id, Point::new(x, y)) {
+        let Some(&before) = fleet.net.cameras().get(id) else {
             return Err(format!(
                 "no camera with id {id} (fleet has {})",
                 fleet.net.len()
             ));
-        }
+        };
+        assert!(
+            fleet.net.move_camera(id, Point::new(x, y)),
+            "id was just bounds-checked"
+        );
         fleet.net_fp = network_fingerprint(&fleet.net);
-        fleet.net.cameras()[id].position()
+        let after = fleet.net.cameras()[id].position();
+        {
+            let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+            sweeps.mark_disk_all(before.position(), before.spec().radius());
+            sweeps.mark_disk_all(after, before.spec().radius());
+        }
+        let frames = watch_frames(ctx, &mut watches, &fleet, "move");
+        (after, fleet.net_fp, frames)
     };
-    let invalidated = ctx
-        .cache
-        .lock()
-        .expect("cache lock")
-        .invalidate_network_dependent();
+    let invalidated = ctx.cache.lock().expect("cache lock").note_mutation(net_fp);
+    deliver_frames(ctx, &mut watches, &frames);
     Ok(format!(
         "moved camera {id} to {position}; invalidated {invalidated} cached results\n"
     ))
@@ -590,20 +891,23 @@ fn run_reseed(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     if n == 0 {
         return Err("n must be positive".to_string());
     }
-    let deployed = {
+    let mut watches = ctx.watches.lock().expect("watch lock");
+    let (deployed, net_fp, frames) = {
         let mut fleet = ctx.fleet.write().expect("fleet lock");
         let torus = *fleet.net.torus();
         let mut rng = StdRng::seed_from_u64(seed);
         let net = deploy_uniform(torus, &fleet.profile, n, &mut rng).map_err(|e| e.to_string())?;
         fleet.net_fp = network_fingerprint(&net);
         fleet.net = net;
-        fleet.net.len()
+        // Wholesale replacement: the fleet size (and with it the dense
+        // grid and spatial-index geometry) may have changed, so every
+        // warm state rebuilds rather than repairs.
+        ctx.sweeps.lock().expect("sweep lock").invalidate_all();
+        let frames = watch_frames(ctx, &mut watches, &fleet, "reseed");
+        (fleet.net.len(), fleet.net_fp, frames)
     };
-    let invalidated = ctx
-        .cache
-        .lock()
-        .expect("cache lock")
-        .invalidate_network_dependent();
+    let invalidated = ctx.cache.lock().expect("cache lock").note_mutation(net_fp);
+    deliver_frames(ctx, &mut watches, &frames);
     Ok(format!(
         "reseeded fleet: {deployed} cameras from seed {seed}; invalidated {invalidated} cached results\n"
     ))
@@ -639,36 +943,90 @@ fn run_snapshot(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     ))
 }
 
-/// The `restore` verb: adopt a snapshotted fleet. Network-dependent
-/// cache entries are invalidated only when the network fingerprint
-/// actually changes — restoring the state the daemon already holds keeps
-/// every cached result valid (keys embed the fingerprints, so this is
-/// hygiene, not correctness).
+/// The `restore` verb: adopt a snapshotted fleet. When the network
+/// fingerprint actually changes, warm sweep states are invalidated and
+/// watchers get a delta frame; restoring the state the daemon already
+/// holds touches nothing. Cache entries are never removed — entries
+/// computed against the restored fingerprint become fresh again, and
+/// the mutation accounting counts only entries this restore staled.
 fn run_restore(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     req.allow_only(&["path"])?;
     let path: String = req.require("path")?;
     let snap = read_snapshot(Path::new(&path)).map_err(|e| format!("restore from {path}: {e}"))?;
-    let (cameras, changed) = {
+    let mut watches = ctx.watches.lock().expect("watch lock");
+    let (cameras, changed, frames) = {
         let mut fleet = ctx.fleet.write().expect("fleet lock");
         let changed = fleet.net_fp != snap.net_fp;
         fleet.profile = snap.profile;
         fleet.net = snap.net;
         fleet.net_fp = snap.net_fp;
         fleet.profile_fp = snap.profile_fp;
-        (fleet.net.len(), changed)
+        let frames = if changed {
+            ctx.sweeps.lock().expect("sweep lock").invalidate_all();
+            watch_frames(ctx, &mut watches, &fleet, "restore")
+        } else {
+            Vec::new()
+        };
+        (fleet.net.len(), changed, frames)
     };
     let invalidated = if changed {
         ctx.cache
             .lock()
             .expect("cache lock")
-            .invalidate_network_dependent()
+            .note_mutation(snap.net_fp)
     } else {
         0
     };
+    deliver_frames(ctx, &mut watches, &frames);
     Ok(format!(
         "restored {cameras} cameras from {path} (net_fp={} profile_fp={}); invalidated {invalidated} cached results\n",
         snap.net_fp, snap.profile_fp
     ))
+}
+
+/// The `watch` verb: registers the connection as a delta subscriber.
+///
+/// The baseline frame (seq 0) is written while the watches lock is
+/// held, so no mutation can slip between the baseline and the first
+/// delta. On success the connection belongs to the hub — the handler
+/// must stop reading from it and return.
+fn run_watch(ctx: &ServerCtx, req: &Request, stream: &TcpStream) -> Result<(), String> {
+    req.allow_only(&["theta-deg", "grid"])?;
+    let theta = theta_of(ctx, req)?;
+    let grid: usize = req.get("grid", 24usize)?;
+    if grid == 0 {
+        return Err("side/grid must be positive".to_string());
+    }
+    let sub_stream = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut watches = ctx.watches.lock().expect("watch lock");
+    let key = sweep_key(theta, grid);
+    let (fraction, holes) = {
+        let fleet = ctx.fleet.read().expect("fleet lock");
+        let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+        let state = sweeps.get_or_build(&fleet.net, theta, grid);
+        state.resweep_dirty(&fleet.net);
+        let fraction = state.report().full_view_fraction();
+        let holes = holes_from_mask(*fleet.net.torus(), grid, state.mask())
+            .holes
+            .len();
+        sweeps.pin(key);
+        (fraction, holes)
+    };
+    let baseline = format!(
+        "watching grid={grid} theta-deg={:.4} fraction={fraction:.6} holes={holes} seq=0\n",
+        theta.radians().to_degrees()
+    );
+    let mut writer = stream;
+    protocol::write_ok(&mut writer, &baseline).map_err(|e| e.to_string())?;
+    watches.last.insert(key, (fraction, holes));
+    watches.subs.push(WatchSub {
+        key,
+        theta,
+        grid,
+        stream: sub_stream,
+        seq: 0,
+    });
+    Ok(())
 }
 
 fn render_stats(ctx: &ServerCtx) -> String {
@@ -677,11 +1035,12 @@ fn render_stats(ctx: &ServerCtx) -> String {
         (fleet.net.len(), fleet.profile.group_count())
     };
     let cache = ctx.cache.lock().expect("cache lock").stats();
+    let watchers = ctx.watches.lock().expect("watch lock").subs.len();
     let snap = ctx.metrics.snapshot();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "service: uptime_s={:.1} cameras={cameras} profile_groups={groups}",
+        "service: uptime_s={:.1} cameras={cameras} profile_groups={groups} watchers={watchers}",
         snap.uptime_s
     );
     let _ = write!(out, "requests:");
@@ -698,11 +1057,12 @@ fn render_stats(ctx: &ServerCtx) -> String {
     );
     let _ = writeln!(
         out,
-        "cache: entries={} capacity={} hits={} misses={} hit_rate={:.4} evictions={} invalidated={}",
+        "cache: entries={} capacity={} hits={} misses={} stale={} hit_rate={:.4} evictions={} invalidated={}",
         cache.entries,
         cache.capacity,
         cache.hits,
         cache.misses,
+        cache.stale,
         cache.hit_rate(),
         cache.evictions,
         cache.invalidated
@@ -746,8 +1106,11 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: &Request) -> Result<String, String> {
         "fingerprint" => run_fingerprint(ctx, req),
         "snapshot" => run_snapshot(ctx, req),
         "restore" => run_restore(ctx, req),
+        // `watch` is intercepted in `handle_connection` (it needs the
+        // stream); reaching here means a non-connection context.
+        "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, watch, ping, shutdown)"
         )),
     }
 }

@@ -7,10 +7,14 @@
 //! invalidates only network-dependent entries (theory answers survive),
 //! and shutdown drains gracefully.
 
-use fullview_core::{coverage_map_text, EffectiveAngle};
+use fullview_core::{
+    coverage_map_text, find_holes, full_view_mask_range, hole_report_text, EffectiveAngle,
+};
 use fullview_deploy::deploy_uniform;
+use fullview_geom::{Angle, Point};
 use fullview_model::{NetworkProfile, SensorSpec};
 use fullview_service::{Client, Response, Server, ServiceConfig};
+use fullview_sim::evaluate_dense_grid_parallel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -334,6 +338,178 @@ fn snapshot_fail_restore_preserves_fingerprint_and_cached_results() {
     assert!(reply.contains("invalidated 0 cached results"), "{reply}");
 
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Parses the `key=value` tokens of a single-line watch/delta frame.
+fn frame_fields(frame: &str) -> HashMap<&str, &str> {
+    frame
+        .split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+#[test]
+fn watch_streams_a_delta_frame_per_mutation() {
+    let server = Server::start(small_config()).expect("start");
+    let mut watcher = connect(&server);
+    let mut mutator = connect(&server);
+
+    // Subscribing returns the baseline frame on the same connection.
+    let baseline = watcher.request_ok("watch grid=12").unwrap();
+    assert!(baseline.starts_with("watching grid=12"), "{baseline}");
+    let fields = frame_fields(&baseline);
+    assert_eq!(fields["seq"], "0");
+    let baseline_fraction = fields["fraction"].to_string();
+    let baseline_holes = fields["holes"].to_string();
+
+    // The subscription shows up in stats.
+    let stats = mutator.request_ok("stats").unwrap();
+    assert_eq!(stats_line(&stats, "service:")["watchers"], "1");
+
+    // A mutation on another connection pushes a delta to the watcher.
+    mutator.request_ok("move id=3 x=0.9 y=0.1").unwrap();
+    let frame = match watcher.recv().expect("delta frame") {
+        Response::Ok(frame) => frame,
+        Response::Err(message) => panic!("err frame: {message}"),
+    };
+    assert!(frame.starts_with("delta cause=move"), "{frame}");
+    let fields = frame_fields(&frame);
+    assert_eq!(fields["seq"], "1");
+    assert_eq!(fields["grid"], "12");
+    assert_eq!(
+        fields["fraction_before"], baseline_fraction,
+        "delta must continue from the baseline"
+    );
+    assert_eq!(fields["holes_before"], baseline_holes);
+    assert_eq!(fields["rebuilt"], "false", "a move repairs incrementally");
+    let tiles: usize = fields["tiles"].parse().unwrap();
+    assert!(tiles > 0, "a move must dirty at least one tile: {frame}");
+
+    // Queries between mutations repair the watched state but emit no
+    // frames; the next mutation's before-values still chain correctly.
+    mutator.request_ok("holes grid=12").unwrap();
+    mutator.request_ok("fail id=0").unwrap();
+    let frame = match watcher.recv().expect("second delta") {
+        Response::Ok(frame) => frame,
+        Response::Err(message) => panic!("err frame: {message}"),
+    };
+    let fields = frame_fields(&frame);
+    assert_eq!(fields["cause"], "fail");
+    assert_eq!(fields["seq"], "2");
+
+    // A reseed replaces the fleet wholesale: the delta reports a rebuild.
+    mutator.request_ok("reseed seed=11 n=30").unwrap();
+    let frame = match watcher.recv().expect("third delta") {
+        Response::Ok(frame) => frame,
+        Response::Err(message) => panic!("err frame: {message}"),
+    };
+    let fields = frame_fields(&frame);
+    assert_eq!((fields["cause"], fields["seq"]), ("reseed", "3"));
+    assert_eq!(fields["rebuilt"], "true", "{frame}");
+}
+
+#[test]
+fn incremental_answers_stay_byte_identical_after_mutations() {
+    // The tentpole acceptance check at the service layer: `check`,
+    // `holes`, and `mask` are served from the warm incremental engine
+    // after mutations dirty it, and every byte must match a cold
+    // library evaluation of the identically-mutated fleet.
+    let server = Server::start(small_config()).expect("start");
+    let mut client = connect(&server);
+
+    // Warm the incremental states pre-mutation.
+    client.request_ok("check").unwrap();
+    client.request_ok("holes grid=10").unwrap();
+    client.request_ok("mask grid=10").unwrap();
+
+    client.request_ok("move id=5 x=0.77 y=0.33").unwrap();
+    client.request_ok("fail id=2").unwrap();
+
+    let theta = EffectiveAngle::new(45f64.to_radians()).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut net =
+        deploy_uniform(fullview_geom::Torus::unit(), &test_profile(), N, &mut rng).unwrap();
+    assert!(net.move_camera(5, Point::new(0.77, 0.33)));
+    assert!(net.remove_camera(2));
+
+    let report = evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, 2);
+    let want_check = format!(
+        "{} cameras\n{report}\nfull-view fraction {:.4}\n",
+        net.len(),
+        report.full_view_fraction()
+    );
+    assert_eq!(client.request_ok("check").unwrap(), want_check);
+
+    let want_holes = hole_report_text(&find_holes(&net, theta, 10));
+    assert_eq!(client.request_ok("holes grid=10").unwrap(), want_holes);
+
+    let want_mask: String = full_view_mask_range(&net, theta, 10, 0, 100)
+        .into_iter()
+        .map(|covered| if covered { '1' } else { '0' })
+        .collect();
+    assert_eq!(client.request_ok("mask grid=10").unwrap(), want_mask);
+
+    // The repairs above were incremental, not silent rebuilds: the
+    // `stale` counter proves the warm entries were downgraded (not
+    // evicted) and recomputed in place.
+    let stats = client.request_ok("stats").unwrap();
+    let cache = stats_line(&stats, "cache:");
+    assert!(
+        cache["stale"].parse::<u64>().unwrap() > 0,
+        "mutations must downgrade entries to stale, not evict them: {stats}"
+    );
+}
+
+#[test]
+fn unknown_id_mutations_have_no_side_effects() {
+    // Mutation-path bugfix sweep: a rejected mutation must not touch the
+    // fingerprint, the cache, the warm sweep states, or the watch
+    // stream.
+    let server = Server::start(small_config()).expect("start");
+    let mut watcher = connect(&server);
+    let mut client = connect(&server);
+
+    watcher.request_ok("watch grid=12").unwrap();
+    client.request_ok("map side=16").unwrap();
+    let fp_before = client.request_ok("fingerprint").unwrap();
+    let invalidated_before = cache_counter(&mut client, "invalidated");
+
+    for bad in ["fail id=999", "move id=999 x=0.5 y=0.5"] {
+        match client.request(bad).expect(bad) {
+            Response::Err(message) => {
+                assert!(message.contains("no camera with id 999"), "{message}");
+            }
+            Response::Ok(payload) => panic!("{bad} unexpectedly ok: {payload}"),
+        }
+    }
+
+    assert_eq!(
+        client.request_ok("fingerprint").unwrap(),
+        fp_before,
+        "rejected mutations must not change the fleet"
+    );
+    assert_eq!(
+        cache_counter(&mut client, "invalidated"),
+        invalidated_before,
+        "rejected mutations must not stale cache entries"
+    );
+    let hits_before = cache_counter(&mut client, "hits");
+    client.request_ok("map side=16").unwrap();
+    assert_eq!(
+        cache_counter(&mut client, "hits"),
+        hits_before + 1,
+        "the cached map must still be fresh"
+    );
+
+    // The first frame the watcher sees is seq=1 from the first *valid*
+    // mutation — the rejected ones emitted nothing.
+    client.request_ok("move id=1 x=0.4 y=0.6").unwrap();
+    let frame = match watcher.recv().expect("delta after valid mutation") {
+        Response::Ok(frame) => frame,
+        Response::Err(message) => panic!("err frame: {message}"),
+    };
+    let fields = frame_fields(&frame);
+    assert_eq!((fields["cause"], fields["seq"]), ("move", "1"));
 }
 
 #[test]
