@@ -155,6 +155,38 @@ fn bench_sweep(c: &mut Criterion) {
             ))
         });
     });
+    // Two-stage mask screen vs pinned exact analyzer, both cold (fresh
+    // evaluator per iteration) on the tiled path: the sector-mask
+    // kernel's raison d'être, gated at MIN_MASK_SPEEDUP below.
+    {
+        let tiling = GridTiling::new(net.index(), &grid);
+        let tiles = tiling.tile_count();
+        let mut cursor = net.tile_cursor();
+        let mut mask_ev = GridEvaluator::new(theta, Angle::ZERO);
+        let mut exact_ev = GridEvaluator::new_exact(theta, Angle::ZERO);
+        let masked = mask_ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles);
+        let exact = exact_ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles);
+        assert_eq!(masked, exact, "mask-screened sweep diverged from exact");
+        let stats = mask_ev.screen_stats();
+        println!(
+            "mask screen: {}/{} points decided by stage 1 ({:.1}% screen rate)",
+            stats.screened,
+            stats.screened + stats.exact,
+            stats.screen_rate() * 100.0
+        );
+        group.bench_function("mask_cold", |b| {
+            b.iter(|| {
+                let mut ev = GridEvaluator::new(theta, Angle::ZERO);
+                black_box(ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles))
+            });
+        });
+        group.bench_function("exact_cold", |b| {
+            b.iter(|| {
+                let mut ev = GridEvaluator::new_exact(theta, Angle::ZERO);
+                black_box(ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles))
+            });
+        });
+    }
     for &threads in &[1usize, 2, 4] {
         // Bit-identity across backends is part of the contract benchmarked.
         let par: GridCoverageReport =
@@ -187,6 +219,11 @@ fn bench_sweep(c: &mut Criterion) {
 /// Floor on the cold-sweep / dirty-resweep median ratio after a single
 /// camera move; the whole point of tile-dirty tracking.
 const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Floor on the exact-sweep / mask-screened-sweep median ratio on the
+/// single-thread tiled path; the whole point of the sector-mask kernel.
+/// Compared on the *current* run's medians, so it is host-independent.
+const MIN_MASK_SPEEDUP: f64 = 5.0;
 
 /// Cold full-grid sweeps vs dirty-tile resweeps after one camera move.
 ///
@@ -346,6 +383,27 @@ fn regression_gate(criterion: &Criterion) {
         }
         _ => println!("bench gate: incremental ids missing from current run, skipping"),
     }
+
+    // Mask-kernel gate: like the incremental gate, compares the current
+    // run's own medians (exact vs mask-screened cold sweeps).
+    match (
+        lookup(&current, "grid_sweep/mask_cold"),
+        lookup(&current, "grid_sweep/exact_cold"),
+    ) {
+        (Some(mask), Some(exact)) => {
+            let speedup = exact / mask;
+            println!(
+                "bench gate: mask-screen speedup {speedup:.1}x \
+                 (floor {MIN_MASK_SPEEDUP:.0}x)"
+            );
+            assert!(
+                speedup >= MIN_MASK_SPEEDUP,
+                "sector-mask screen no longer pays: {speedup:.1}x < \
+                 {MIN_MASK_SPEEDUP:.0}x over the exact tiled sweep"
+            );
+        }
+        _ => println!("bench gate: mask/exact ids missing from current run, skipping"),
+    }
 }
 
 /// Manual median-of-N timing (seconds granularity is overkill here; the
@@ -389,12 +447,57 @@ fn sweep_table(net: &CameraNetwork, theta: EffectiveAngle) {
     println!();
 }
 
+/// Prints the stage-1 screen rate and cold-sweep timings per effective
+/// angle (the screen rate shrinks as θ does: more sectors must fill
+/// before the §IV certificate decides a point). Enabled with
+/// `FULLVIEW_BENCH_SCREEN_TABLE=1`; output feeds the EXPERIMENTS.md
+/// sector-mask section.
+fn screen_rate_table(net: &CameraNetwork) {
+    let grid = UnitGrid::new(Torus::unit(), 96);
+    let tiling = GridTiling::new(net.index(), &grid);
+    let tiles = tiling.tile_count();
+    println!("\n| θ (rad) | suf sectors | screen rate | exact ms | mask ms | speedup |");
+    println!("|---------|-------------|-------------|----------|---------|---------|");
+    for theta in [PI, PI / 2.0, PI / 4.0, PI / 8.0, PI / 16.0] {
+        let theta = EffectiveAngle::new(theta).expect("valid θ");
+        let mut cursor = net.tile_cursor();
+        let mut ev = GridEvaluator::new(theta, Angle::ZERO);
+        let masked = ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles);
+        let stats = ev.screen_stats();
+        let mut exact_ev = GridEvaluator::new_exact(theta, Angle::ZERO);
+        let exact_report = exact_ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles);
+        assert_eq!(masked, exact_report, "θ={}", theta.radians());
+        let exact_ns = time_median_ns(5, || {
+            let mut ev = GridEvaluator::new_exact(theta, Angle::ZERO);
+            ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles)
+        });
+        let mask_ns = time_median_ns(5, || {
+            let mut ev = GridEvaluator::new(theta, Angle::ZERO);
+            ev.evaluate_tiles(&mut cursor, &tiling, &grid, 0..tiles)
+        });
+        println!(
+            "| {:.4} | {} | {:.1}% | {:.1} | {:.1} | {:.1}x |",
+            theta.radians(),
+            theta.sufficient_sector_count(),
+            stats.screen_rate() * 100.0,
+            exact_ns / 1e6,
+            mask_ns / 1e6,
+            exact_ns / mask_ns
+        );
+    }
+    println!();
+}
+
 fn main() {
     allocation_audit();
     if std::env::var("FULLVIEW_BENCH_SWEEP_TABLE").as_deref() == Ok("1") {
         let theta = EffectiveAngle::new(PI / 4.0).expect("valid θ");
         let net = bench_network(1000, 0.05, 7);
         sweep_table(&net, theta);
+    }
+    if std::env::var("FULLVIEW_BENCH_SCREEN_TABLE").as_deref() == Ok("1") {
+        let net = bench_network(1000, 0.05, 7);
+        screen_rate_table(&net);
     }
     let mut criterion = Criterion::default();
     bench_sweep(&mut criterion);

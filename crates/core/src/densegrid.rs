@@ -11,6 +11,7 @@
 use crate::conditions::SectorPartition;
 use crate::engine::{use_tiled, GridTiling};
 use crate::fullview::PointAnalyzer;
+use crate::mask::{PointVerdict, ScreenMode, ScreenStats, SectorMaskKernel};
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, Point, Torus, UnitGrid};
 use fullview_model::{CameraNetwork, CoverageProvider, TileCursor};
@@ -32,6 +33,28 @@ pub fn dense_grid_point_count(n: usize) -> usize {
 #[must_use]
 pub fn dense_grid(torus: Torus, n: usize) -> UnitGrid {
     UnitGrid::with_at_least(torus, dense_grid_point_count(n))
+}
+
+/// The verdicts of all five per-point predicates at one grid point —
+/// the unit of exchange between the analysis engine and its consumers
+/// (report tallies, full-view masks, glyph rendering).
+///
+/// Produced either by the exact analyzer
+/// ([`GridEvaluator::point_flags_with`]) or by the sector-mask screen
+/// when it can decide the point; the two agree bit for bit by
+/// construction (see [`SectorMaskKernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointFlags {
+    /// Covered by at least one camera.
+    pub covered: bool,
+    /// Covered by at least `⌈π/θ⌉` cameras (§VII-B).
+    pub k_covered: bool,
+    /// Meets the §III necessary condition.
+    pub necessary: bool,
+    /// Full-view covered (Definition 1).
+    pub full_view: bool,
+    /// Meets the §IV sufficient condition.
+    pub sufficient: bool,
 }
 
 /// Per-grid-point coverage tallies from one sweep of a dense grid.
@@ -125,6 +148,16 @@ impl GridCoverageReport {
         self.sufficient == self.total_points
     }
 
+    /// Folds one point's predicate verdicts into the tallies.
+    pub fn record(&mut self, flags: &PointFlags) {
+        self.total_points += 1;
+        self.covered += usize::from(flags.covered);
+        self.k_covered += usize::from(flags.k_covered);
+        self.necessary += usize::from(flags.necessary);
+        self.full_view += usize::from(flags.full_view);
+        self.sufficient += usize::from(flags.sufficient);
+    }
+
     /// Accumulates another report's tallies into this one.
     ///
     /// The two reports must cover **disjoint** point sets (the caller's
@@ -214,6 +247,12 @@ pub struct GridEvaluator {
     k: usize,
     theta: EffectiveAngle,
     analyzer: PointAnalyzer,
+    /// The stage-1 mask screen; `None` runs the exact analyzer wholesale
+    /// (unsupported θ, or an evaluator built with
+    /// [`new_exact`](Self::new_exact) to serve as the differential
+    /// oracle).
+    kernel: Option<SectorMaskKernel>,
+    stats: ScreenStats,
 }
 
 impl GridEvaluator {
@@ -221,15 +260,64 @@ impl GridEvaluator {
     ///
     /// The sector conditions use `start_line` for their constructions
     /// (the paper's dashed radius; [`Angle::ZERO`] is the conventional
-    /// choice).
+    /// choice). Tiled evaluation screens each tile through the
+    /// [`SectorMaskKernel`] first and only runs the exact sort+gap
+    /// analyzer on the points the screen cannot decide; the per-point
+    /// paths ([`evaluate_range`](Self::evaluate_range),
+    /// [`point_flags_with`](Self::point_flags_with)) are always exact.
     #[must_use]
     pub fn new(theta: EffectiveAngle, start_line: Angle) -> Self {
+        let mut ev = Self::new_exact(theta, start_line);
+        ev.kernel = SectorMaskKernel::new(theta, start_line);
+        ev
+    }
+
+    /// Builds an evaluator with the mask screen disabled: every point
+    /// goes through the exact analyzer, even on the tiled paths. This is
+    /// the reference configuration differential tests and benchmarks
+    /// compare the screened engine against.
+    #[must_use]
+    pub fn new_exact(theta: EffectiveAngle, start_line: Angle) -> Self {
         GridEvaluator {
             necessary: SectorPartition::necessary(theta, start_line),
             sufficient: SectorPartition::sufficient(theta, start_line),
             k: theta.necessary_sector_count(),
             theta,
             analyzer: PointAnalyzer::new(),
+            kernel: None,
+            stats: ScreenStats::default(),
+        }
+    }
+
+    /// Running stage-1 screen statistics (points decided by the mask
+    /// screen vs. routed to the exact analyzer) accumulated over every
+    /// tiled evaluation since construction.
+    #[must_use]
+    pub fn screen_stats(&self) -> ScreenStats {
+        self.stats
+    }
+
+    /// Analyses one point through `provider` with the exact engine —
+    /// covering-camera gather, direction sort, gap scan — and returns
+    /// every predicate verdict. This is the stage-2 path of the two-stage
+    /// engine and the semantic definition the mask screen must agree
+    /// with.
+    pub fn point_flags_with<P: CoverageProvider>(
+        &mut self,
+        provider: &P,
+        point: Point,
+    ) -> PointFlags {
+        let view = self.analyzer.analyze_point_with(provider, point);
+        PointFlags {
+            covered: view.covering_cameras >= 1,
+            k_covered: view.covering_cameras >= self.k,
+            necessary: self
+                .necessary
+                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera),
+            full_view: view.is_full_view(self.theta),
+            sufficient: self
+                .sufficient
+                .is_satisfied_by(view.viewed_directions, view.has_colocated_camera),
         }
     }
 
@@ -244,31 +332,69 @@ impl GridEvaluator {
         point: Point,
         report: &mut GridCoverageReport,
     ) -> bool {
-        let view = self.analyzer.analyze_point_with(provider, point);
-        report.total_points += 1;
-        if view.covering_cameras >= 1 {
-            report.covered += 1;
+        let flags = self.point_flags_with(provider, point);
+        report.record(&flags);
+        flags.full_view
+    }
+
+    /// Produces every point's [`PointFlags`] for tile `t`, in
+    /// [`GridTiling::for_each_point_in_tile`] order: screens the whole
+    /// tile through the mask kernel when one is configured, then decides
+    /// each point from its verdict or falls back to the exact analyzer.
+    /// Empty tiles call `f` zero times without pinning the cursor.
+    ///
+    /// Every tiled evaluation funnels through here, so the kernel
+    /// integration (and its bit-identity obligations) live in exactly
+    /// one place.
+    pub(crate) fn for_each_point_flags_in_tile(
+        &mut self,
+        cursor: &mut TileCursor<'_>,
+        tiling: &GridTiling,
+        grid: &UnitGrid,
+        t: usize,
+        f: &mut dyn FnMut(usize, PointFlags),
+    ) {
+        if tiling.tile_point_count(t) == 0 {
+            return;
         }
-        if view.covering_cameras >= self.k {
-            report.k_covered += 1;
+        let (cx, cy) = tiling.tile_cell(t);
+        cursor.pin(cx, cy);
+        // Take the kernel out of `self` so the exact fallback can borrow
+        // `self` mutably while the kernel's verdicts are being read.
+        if let Some(mut kernel) = self.kernel.take() {
+            kernel.screen_tile(cursor, tiling, grid, t, ScreenMode::Report);
+            let mut local = 0usize;
+            tiling.for_each_point_in_tile(t, |idx| {
+                let flags = match kernel.verdict(local) {
+                    PointVerdict::Decided {
+                        count,
+                        suf_full,
+                        nec_full,
+                    } => {
+                        self.stats.screened += 1;
+                        PointFlags {
+                            covered: count >= 1,
+                            k_covered: count as usize >= self.k,
+                            necessary: nec_full,
+                            full_view: suf_full,
+                            sufficient: suf_full,
+                        }
+                    }
+                    PointVerdict::Undecided => {
+                        self.stats.exact += 1;
+                        self.point_flags_with(&*cursor, grid.point(idx))
+                    }
+                };
+                local += 1;
+                f(idx, flags);
+            });
+            self.kernel = Some(kernel);
+        } else {
+            tiling.for_each_point_in_tile(t, |idx| {
+                let flags = self.point_flags_with(&*cursor, grid.point(idx));
+                f(idx, flags);
+            });
         }
-        if self
-            .necessary
-            .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
-        {
-            report.necessary += 1;
-        }
-        let full_view = view.is_full_view(self.theta);
-        if full_view {
-            report.full_view += 1;
-        }
-        if self
-            .sufficient
-            .is_satisfied_by(view.viewed_directions, view.has_colocated_camera)
-        {
-            report.sufficient += 1;
-        }
-        full_view
     }
 
     /// Evaluates every predicate at the grid points with indices in
@@ -333,13 +459,8 @@ impl GridEvaluator {
         );
         let mut report = GridCoverageReport::default();
         for t in tiles {
-            if tiling.tile_point_count(t) == 0 {
-                continue;
-            }
-            let (cx, cy) = tiling.tile_cell(t);
-            cursor.pin(cx, cy);
-            tiling.for_each_point_in_tile(t, |idx| {
-                self.tally(&*cursor, grid.point(idx), &mut report);
+            self.for_each_point_flags_in_tile(cursor, tiling, grid, t, &mut |_idx, flags| {
+                report.record(&flags);
             });
         }
         report
@@ -381,13 +502,9 @@ impl GridEvaluator {
             grid.len()
         );
         let mut report = GridCoverageReport::default();
-        if tiling.tile_point_count(t) == 0 {
-            return report;
-        }
-        let (cx, cy) = tiling.tile_cell(t);
-        cursor.pin(cx, cy);
-        tiling.for_each_point_in_tile(t, |idx| {
-            mask[idx] = self.tally(&*cursor, grid.point(idx), &mut report);
+        self.for_each_point_flags_in_tile(cursor, tiling, grid, t, &mut |idx, flags| {
+            mask[idx] = flags.full_view;
+            report.record(&flags);
         });
         report
     }

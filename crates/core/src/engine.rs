@@ -26,7 +26,7 @@
 //!   index has more cells than the grid has points (e.g. an empty network,
 //!   whose index floors at 256×256 cells).
 
-use crate::densegrid::{GridCoverageReport, GridEvaluator};
+use crate::densegrid::{GridCoverageReport, GridEvaluator, PointFlags};
 use crate::fullview::{CoverageView, PointAnalyzer};
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, Point, SpatialGrid, Torus, UnitGrid};
@@ -135,6 +135,31 @@ impl GridTiling {
     #[must_use]
     pub fn grid_len(&self) -> usize {
         self.grid_side * self.grid_side
+    }
+
+    /// The contiguous run of grid columns owned by tile `t` — batch
+    /// kernels iterate this to lay out per-column scratch, visiting the
+    /// same points [`for_each_point_in_tile`](Self::for_each_point_in_tile)
+    /// does (columns inner, rows outer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    #[must_use]
+    pub fn tile_col_range(&self, t: usize) -> std::ops::Range<usize> {
+        let (cx, _) = self.tile_cell(t);
+        self.starts[cx]..self.starts[cx + 1]
+    }
+
+    /// The contiguous run of grid rows owned by tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tile_count()`.
+    #[must_use]
+    pub fn tile_row_range(&self, t: usize) -> std::ops::Range<usize> {
+        let (_, cy) = self.tile_cell(t);
+        self.starts[cy]..self.starts[cy + 1]
     }
 
     /// The row-major grid-index interval `[min, max]` spanned by tile
@@ -320,6 +345,78 @@ where
             let point = grid.point(idx);
             let view = analyzer.analyze_point_with(&query, point);
             f(idx, point, &view);
+        }
+    }
+}
+
+/// Sweeps the row-major index range `lo..hi`, handing each point's
+/// [`PointFlags`] to the callback — the flags-level counterpart of
+/// [`sweep_grid_range`] for consumers that only need the five predicate
+/// verdicts (hole masks, glyph maps) rather than the raw
+/// [`CoverageView`].
+///
+/// Because only verdicts are exposed, this entry point may run the
+/// two-stage engine: each tile is screened through the
+/// [`SectorMaskKernel`](crate::SectorMaskKernel) and only
+/// screen-undecided points pay for the exact analysis. Verdicts are
+/// bit-identical to evaluating [`sweep_grid_range`]'s views (that is the
+/// kernel's contract, pinned by the differential tests), so
+/// concatenating range results over a partition of `0..grid.len()`
+/// reproduces a full exact sweep.
+///
+/// The sector conditions use `start_line` for their constructions
+/// ([`Angle::ZERO`] is the conventional choice). Visits points in tile
+/// order — key results by the `usize` grid index.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi > grid.len()`.
+pub fn sweep_flags_range<F>(
+    net: &CameraNetwork,
+    grid: &UnitGrid,
+    theta: EffectiveAngle,
+    start_line: Angle,
+    lo: usize,
+    hi: usize,
+    mut f: F,
+) where
+    F: FnMut(usize, PointFlags),
+{
+    assert!(
+        lo <= hi && hi <= grid.len(),
+        "range {lo}..{hi} out of bounds for a grid of {} points",
+        grid.len()
+    );
+    if lo == hi {
+        return;
+    }
+    let mut evaluator = GridEvaluator::new(theta, start_line);
+    if use_tiled(net, grid) {
+        let tiling = GridTiling::new(net.index(), grid);
+        let mut cursor = net.tile_cursor();
+        for t in 0..tiling.tile_count() {
+            let Some((min_idx, max_idx)) = tiling.tile_index_span(t) else {
+                continue;
+            };
+            if max_idx < lo || min_idx >= hi {
+                continue;
+            }
+            evaluator.for_each_point_flags_in_tile(
+                &mut cursor,
+                &tiling,
+                grid,
+                t,
+                &mut |idx, flags| {
+                    if idx >= lo && idx < hi {
+                        f(idx, flags);
+                    }
+                },
+            );
+        }
+    } else {
+        for idx in lo..hi {
+            let flags = evaluator.point_flags_with(net, grid.point(idx));
+            f(idx, flags);
         }
     }
 }

@@ -252,7 +252,17 @@ impl PointAnalyzer {
 /// slice (by radians). Returns `2π` for an empty or singleton-free slice
 /// (zero angles); a single angle also yields `2π` minus nothing — the gap
 /// wraps all the way around, which is `2π`.
-pub(crate) fn largest_circular_gap(sorted: &[Angle]) -> f64 {
+///
+/// This is the inner predicate of [`CoverageView::is_full_view`]: a point
+/// is full-view covered iff the largest gap between its sorted viewed
+/// directions is at most `2θ` (Theorem 1). Public so property tests can
+/// pin it against a naive `O(n²)` reference.
+///
+/// # Panics
+///
+/// Does not panic, but the result is only meaningful when `sorted` really
+/// is sorted ascending by radians.
+pub fn largest_circular_gap(sorted: &[Angle]) -> f64 {
     match sorted.len() {
         0 => TAU,
         1 => TAU,

@@ -7,9 +7,9 @@
 //! covered cells, and reports the connected components of the remainder
 //! (4-connected, with torus wrap on both axes).
 
-use crate::engine::{sweep_grid, sweep_grid_range};
+use crate::engine::sweep_flags_range;
 use crate::theta::EffectiveAngle;
-use fullview_geom::{Point, Torus, UnitGrid};
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
 use fullview_model::CameraNetwork;
 use std::collections::VecDeque;
 use std::fmt;
@@ -94,8 +94,10 @@ pub fn full_view_mask_range(
     assert!(grid_side > 0, "grid side must be positive");
     let grid = UnitGrid::new(*net.torus(), grid_side);
     let mut covered = vec![false; hi - lo];
-    sweep_grid_range(net, &grid, lo, hi, |idx, _, view| {
-        covered[idx - lo] = view.is_full_view(theta);
+    // Flags-level sweep: only the full-view verdict is needed, so the
+    // two-stage mask-screened engine applies (bit-identical by contract).
+    sweep_flags_range(net, &grid, theta, Angle::ZERO, lo, hi, |idx, flags| {
+        covered[idx - lo] = flags.full_view;
     });
     covered
 }
@@ -177,12 +179,20 @@ pub fn holes_from_mask(torus: Torus, grid_side: usize, covered: &[bool]) -> Hole
 pub fn find_holes(net: &CameraNetwork, theta: EffectiveAngle, grid_side: usize) -> HoleReport {
     assert!(grid_side > 0, "grid side must be positive");
     let grid = UnitGrid::new(*net.torus(), grid_side);
-    // Tile-coherent sweep through the shared engine (visits points in
-    // tile order, hence indexed writes instead of a collect).
+    // Tile-coherent flags sweep through the two-stage engine (visits
+    // points in tile order, hence indexed writes instead of a collect).
     let mut covered = vec![false; grid.len()];
-    sweep_grid(net, &grid, |idx, _, view| {
-        covered[idx] = view.is_full_view(theta);
-    });
+    sweep_flags_range(
+        net,
+        &grid,
+        theta,
+        Angle::ZERO,
+        0,
+        grid.len(),
+        |idx, flags| {
+            covered[idx] = flags.full_view;
+        },
+    );
     holes_from_mask(*net.torus(), grid_side, &covered)
 }
 

@@ -58,7 +58,12 @@ pub fn for_each_view_multiplicity<F: FnMut(usize, usize)>(
 /// `0..grid.len()` equals the full-grid count, since each point's
 /// multiplicity depends only on the network.
 ///
-/// `k = 0` counts every point in the range.
+/// `k = 0` counts every point in the range. For supported
+/// configurations the count runs through the
+/// [`SectorMaskKernel`](crate::SectorMaskKernel)'s per-sector depth
+/// screen, paying for the exact arc sweep only on screen-undecided
+/// points; the answer is bit-identical to the wholesale exact sweep
+/// either way.
 ///
 /// # Panics
 ///
@@ -72,9 +77,24 @@ pub fn count_k_view_range(
     lo: usize,
     hi: usize,
 ) -> usize {
+    assert!(
+        lo <= hi && hi <= grid.len(),
+        "range {lo}..{hi} out of bounds for a grid of {} points",
+        grid.len()
+    );
     if k == 0 {
-        assert!(lo <= hi && hi <= grid.len(), "range out of bounds");
         return hi - lo;
+    }
+    let mut analyzer = crate::fullview::PointAnalyzer::new();
+    let mut exact = |cursor: &fullview_model::TileCursor<'_>, point: Point, want: usize| {
+        let view = analyzer.analyze_point_with(cursor, point);
+        let colocated_bonus = usize::from(view.has_colocated_camera);
+        min_arc_depth(view.viewed_directions, theta.radians()) + colocated_bonus >= want
+    };
+    if let Some(meeting) =
+        crate::mask::count_k_screened_range(net, grid, theta, k, lo, hi, &mut exact)
+    {
+        return meeting;
     }
     let mut meeting = 0usize;
     sweep_grid_range(net, grid, lo, hi, |_, _, view| {
@@ -110,8 +130,9 @@ pub fn is_k_full_view_covered(
 /// Circular sweep: each arc contributes a `+1` event at its start and a
 /// `−1` event just after its end; scanning events in angular order while
 /// carrying the wrap-around depth yields the running depth between
-/// events, whose minimum is the answer. Runs in `O(c log c)`.
-fn min_arc_depth(centers: &[Angle], half_width: f64) -> usize {
+/// events, whose minimum is the answer. Runs in `O(c log c)`. Public so
+/// property tests can pin it against a naive `O(n²)` reference.
+pub fn min_arc_depth(centers: &[Angle], half_width: f64) -> usize {
     if centers.is_empty() {
         return 0;
     }

@@ -64,6 +64,7 @@ mod fullview;
 mod holes;
 mod kcov;
 mod kfullview;
+mod mask;
 pub mod numeric;
 mod path;
 mod poisson_theory;
@@ -84,7 +85,7 @@ pub use csa::{
 };
 pub use densegrid::{
     dense_grid, dense_grid_point_count, evaluate_dense_grid, evaluate_grid, GridCoverageReport,
-    GridEvaluator,
+    GridEvaluator, PointFlags,
 };
 pub use dependence::{
     independence_approximation_error, partition_is_disjoint, prob_point_meets_dependent,
@@ -93,8 +94,8 @@ pub use design::{
     max_cameras_below_necessary, min_cameras_for_guarantee, required_area_for_expected_fraction,
 };
 pub use engine::{
-    for_each_grid_point, sweep_grid, sweep_grid_range, use_tiled, CoverageQuery, DirtySet,
-    GridTiling, IncrementalSweep, SweepDelta,
+    for_each_grid_point, sweep_flags_range, sweep_grid, sweep_grid_range, use_tiled, CoverageQuery,
+    DirtySet, GridTiling, IncrementalSweep, SweepDelta,
 };
 pub use error::CoreError;
 pub use exact::{
@@ -103,14 +104,16 @@ pub use exact::{
 };
 pub use fullview::{
     analyze_point, is_direction_safe, is_full_view_covered, is_full_view_covered_arcset,
-    safe_directions, safe_fraction, unsafe_directions, CoverageView, PointAnalyzer, PointCoverage,
+    largest_circular_gap, safe_directions, safe_fraction, unsafe_directions, CoverageView,
+    PointAnalyzer, PointCoverage,
 };
 pub use holes::{find_holes, full_view_mask_range, holes_from_mask, Hole, HoleReport};
 pub use kcov::{implied_k, is_k_covered, k_covered_fraction, min_coverage_over_grid};
 pub use kfullview::{
-    count_k_view_range, for_each_view_multiplicity, is_k_full_view_covered,
+    count_k_view_range, for_each_view_multiplicity, is_k_full_view_covered, min_arc_depth,
     prob_point_meets_necessary_k_poisson, view_multiplicity,
 };
+pub use mask::{PointVerdict, ScreenMode, ScreenStats, SectorMaskKernel};
 pub use path::{evaluate_path, ExposedStretch, Path, PathCoverageReport};
 pub use poisson_theory::{
     prob_point_meets, prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,

@@ -7,9 +7,8 @@
 //! here is what guarantees it: both front-ends call these functions and
 //! only decide where the bytes go.
 
-use crate::conditions::SectorPartition;
-use crate::engine::sweep_grid_range;
-use crate::fullview::CoverageView;
+use crate::densegrid::PointFlags;
+use crate::engine::sweep_flags_range;
 use crate::holes::HoleReport;
 use crate::theta::EffectiveAngle;
 use fullview_geom::{Angle, UnitGrid};
@@ -20,20 +19,15 @@ use std::fmt::Write as _;
 const MAP_LEGEND: &str =
     "legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare";
 
-/// The coverage-map glyph of one point's analysis.
-fn glyph_of(
-    view: &CoverageView<'_>,
-    theta: EffectiveAngle,
-    necessary: &SectorPartition,
-    sufficient: &SectorPartition,
-) -> char {
-    if sufficient.is_satisfied_view(view) {
+/// The coverage-map glyph of one point's predicate verdicts.
+fn glyph_of(flags: &PointFlags) -> char {
+    if flags.sufficient {
         '#'
-    } else if view.is_full_view(theta) {
+    } else if flags.full_view {
         'F'
-    } else if necessary.is_satisfied_view(view) {
+    } else if flags.necessary {
         'n'
-    } else if view.covering_cameras > 0 {
+    } else if flags.covered {
         '.'
     } else {
         ' '
@@ -58,13 +52,13 @@ pub fn coverage_glyphs_range(
 ) -> String {
     assert!(side > 0, "map side must be positive");
     let grid = UnitGrid::new(*net.torus(), side);
-    let necessary = SectorPartition::necessary(theta, Angle::ZERO);
-    let sufficient = SectorPartition::sufficient(theta, Angle::ZERO);
     // Range sweeps visit points in tile order within the range, so render
-    // into an index-keyed buffer before flattening.
+    // into an index-keyed buffer before flattening. The flags sweep runs
+    // the two-stage mask-screened engine; its verdicts (and hence the
+    // glyphs) are bit-identical to the exact per-view rendering.
     let mut cells = vec![' '; hi - lo];
-    sweep_grid_range(net, &grid, lo, hi, |idx, _, view| {
-        cells[idx - lo] = glyph_of(view, theta, &necessary, &sufficient);
+    sweep_flags_range(net, &grid, theta, Angle::ZERO, lo, hi, |idx, flags| {
+        cells[idx - lo] = glyph_of(&flags);
     });
     cells.into_iter().collect()
 }

@@ -127,6 +127,18 @@ impl Torus {
         let (ux, uy) = dir.unit_vector();
         self.wrap(p.translate(ux * distance, uy * distance))
     }
+
+    /// Wraps a single coordinate difference into `[-side/2, side/2)` — one
+    /// axis of [`displacement`](Self::displacement).
+    ///
+    /// Batch sweeps factor a tile's displacements per axis: wrapping each
+    /// column's `Δx` and each row's `Δy` once gives every `(column, row)`
+    /// pair's displacement as the wrapped pair, bit-identical to calling
+    /// `displacement` point by point.
+    #[must_use]
+    pub fn wrap_coord_delta(&self, d: f64) -> f64 {
+        wrap_delta(d, self.side)
+    }
 }
 
 impl Default for Torus {

@@ -54,15 +54,40 @@ impl CoverageProvider for CameraNetwork {
 
 /// One pinned candidate: everything the exact filter needs, laid out
 /// contiguously so the per-point loop never chases bucket pointers.
+///
+/// Exposed read-only through [`TileCursor::pinned_candidates`] so batch
+/// kernels can iterate the same snapshot the cursor filters with — same
+/// positions, same per-camera squared radii — and therefore reproduce the
+/// cursor's prefilter bit for bit.
 #[derive(Debug, Clone, Copy)]
-struct PinnedCamera {
+pub struct PinnedCamera {
     /// Index into `CameraNetwork::cameras`.
-    index: u32,
+    pub(crate) index: u32,
     /// Wrapped camera position (from the spatial index).
-    position: Point,
+    pub(crate) position: Point,
     /// This camera's own sensing radius, squared — a *tighter* prefilter
     /// than the per-point path's shared `max_radius`.
-    radius_sq: f64,
+    pub(crate) radius_sq: f64,
+}
+
+impl PinnedCamera {
+    /// Index into [`CameraNetwork::cameras`].
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index as usize
+    }
+
+    /// The wrapped camera position the cursor prefilters with.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// The camera's own sensing radius, squared.
+    #[must_use]
+    pub fn radius_sq(&self) -> f64 {
+        self.radius_sq
+    }
 }
 
 /// A cursor that pins one spatial-index cell's candidate cameras and
@@ -125,6 +150,16 @@ impl<'a> TileCursor<'a> {
     #[must_use]
     pub fn candidate_count(&self) -> usize {
         self.pinned.len()
+    }
+
+    /// The pinned candidate snapshot for the current cell, in the order
+    /// [`for_each_covering`](CoverageProvider::for_each_covering) visits it.
+    ///
+    /// Batch kernels read this to run the same `distance² ≤ radius²`
+    /// prefilter over whole tiles at once.
+    #[must_use]
+    pub fn pinned_candidates(&self) -> &[PinnedCamera] {
+        &self.pinned
     }
 
     /// Pins cell `(cx, cy)`: gathers the candidate cameras for queries

@@ -508,11 +508,15 @@ impl QueryKind {
     }
 
     /// Total grid points of the discretization a range indexes into.
-    fn range_total(self, params: &QueryParams) -> usize {
-        match self {
-            QueryKind::Cells => params.side * params.side,
-            _ => params.grid * params.grid,
-        }
+    /// `None` when the squared side overflows `usize` — the request is
+    /// bogus and must be answered with an `err` frame, not a panic (in
+    /// release the raw multiply would wrap and admit nonsense ranges).
+    fn range_total(self, params: &QueryParams) -> Option<usize> {
+        let side = match self {
+            QueryKind::Cells => params.side,
+            _ => params.grid,
+        };
+        side.checked_mul(side)
     }
 }
 
@@ -569,7 +573,15 @@ fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryP
         ));
     }
     if kind.ranged() {
-        let total = kind.range_total(&params);
+        let total = kind.range_total(&params).ok_or_else(|| {
+            format!(
+                "side/grid {} is too large: the squared point count overflows",
+                match kind {
+                    QueryKind::Cells => params.side,
+                    _ => params.grid,
+                }
+            )
+        })?;
         if params.hi == usize::MAX {
             params.hi = total;
         }

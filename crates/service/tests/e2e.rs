@@ -286,6 +286,46 @@ fn ranged_verbs_reassemble_to_the_unranged_answers() {
 }
 
 #[test]
+fn bad_ranges_get_err_frames_and_leave_the_daemon_serving() {
+    let server = Server::start(small_config()).expect("start");
+    let mut client = connect(&server);
+    let fp_before = client.request_ok("fingerprint").unwrap();
+
+    // side² wraps to 0 in a raw release-mode multiply (and panics in
+    // debug); the daemon must answer with an err frame instead.
+    let huge = 1usize << 32;
+    let cases = [
+        (format!("cells side={huge} lo=0 hi=10"), "overflows"),
+        (format!("mask grid={huge} lo=0 hi=10"), "overflows"),
+        (format!("kcount k=1 grid={huge} lo=0 hi=10"), "overflows"),
+        ("cells side=12 lo=9 hi=5".to_string(), "must be non-empty"),
+        ("mask grid=10 lo=0 hi=101".to_string(), "must be non-empty"),
+        (
+            "kcount k=1 grid=10 lo=100 hi=100".to_string(),
+            "must be non-empty",
+        ),
+    ];
+    for (request, needle) in &cases {
+        match client.request(request).expect(request) {
+            Response::Err(message) => {
+                assert!(message.contains(needle), "{request}: {message}");
+            }
+            Response::Ok(payload) => panic!("{request} unexpectedly ok: {payload}"),
+        }
+    }
+
+    // Same connection still serves, the fleet is untouched, and a fresh
+    // connection gets real answers — the worker pool never died.
+    assert_eq!(client.request_ok("fingerprint").unwrap(), fp_before);
+    let stats = client.request_ok("stats").unwrap();
+    let requests = stats_line(&stats, "requests:");
+    assert_eq!(requests["rejected"], cases.len().to_string());
+    let mut fresh = connect(&server);
+    let mask = fresh.request_ok("mask grid=10 lo=0 hi=100").unwrap();
+    assert_eq!(mask.len(), 100);
+}
+
+#[test]
 fn snapshot_fail_restore_preserves_fingerprint_and_cached_results() {
     let server = Server::start(small_config()).expect("start");
     let mut client = connect(&server);

@@ -40,6 +40,29 @@ fn parallel_equals_serial_for_all_thread_counts_and_seeds() {
 }
 
 #[test]
+fn mask_screened_parallel_matches_wholesale_exact() {
+    // The parallel sweep builds `GridEvaluator::new` internally, so it
+    // inherits the two-stage sector-mask kernel. Pin it against the
+    // wholesale exact per-point evaluator (`new_exact`, no screening at
+    // all) for every thread count — this crosses both the kernel/exact
+    // boundary and the serial/parallel boundary in one differential.
+    let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+    for (seed, phi) in [(1u64, PI), (9, 2.0 * PI), (77, PI / 6.0)] {
+        let net = network(120, seed, 0.15, phi);
+        let grid = UnitGrid::new(Torus::unit(), 48); // 2304 points
+        let exact = fullview_core::GridEvaluator::new_exact(theta, Angle::ZERO).evaluate_range(
+            &net,
+            &grid,
+            0..grid.len(),
+        );
+        for threads in [1usize, 2, 4] {
+            let par = evaluate_grid_parallel(&net, theta, &grid, Angle::ZERO, threads);
+            assert_eq!(par, exact, "threads={threads} seed={seed} phi={phi}");
+        }
+    }
+}
+
+#[test]
 fn dense_grid_wrapper_matches_core_wrapper() {
     let theta = EffectiveAngle::new(PI / 4.0).unwrap();
     let net = network(100, 7, 0.2, PI / 2.0);
