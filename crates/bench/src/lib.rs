@@ -13,7 +13,10 @@
 //! * `conditions` — necessary vs sufficient vs full-view per-point
 //!   predicates.
 //!
-//! This crate intentionally exports shared fixture builders only.
+//! Besides the fixture builders, the crate exports [`loadgen`], the
+//! open-loop load-generator subsystem behind `fvc bench load`.
+
+pub mod loadgen;
 
 use fullview_deploy::deploy_uniform;
 use fullview_geom::Torus;

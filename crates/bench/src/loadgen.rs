@@ -1,0 +1,547 @@
+//! Open-loop load generator for the serving layer (`fvc bench load`).
+//!
+//! K client threads each follow a fixed arrival schedule derived from
+//! the aggregate target rate — requests are sent when the *schedule*
+//! says so, not when the previous response returns, so a slow server
+//! cannot silently throttle the offered load (the closed-loop
+//! coordinated-omission trap). Latency is measured from the scheduled
+//! send time: queueing delay incurred by falling behind the schedule
+//! counts against the server, exactly as a real open arrival process
+//! would experience it.
+//!
+//! A [`sweep`] reruns the workload at geometrically increasing rates
+//! until the server saturates (completed-ok throughput falls below 90%
+//! of the offered rate, or more than 10% of requests are shed with
+//! `busy` frames), reporting the last sustainable step as the
+//! saturation throughput.
+//!
+//! Results append to the repo's `BENCH_sweep.json` in the same
+//! one-object-per-line shape the criterion-style benches use, so the
+//! existing baseline tooling (`parse_baseline`) reads them unchanged.
+
+use fullview_service::{Client, Response};
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One weighted entry of the request mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixEntry {
+    /// Short name (`check`, `map`, …) used in reports and mix specs.
+    pub name: String,
+    /// The request line sent on the wire.
+    pub line: String,
+    /// Relative weight within the mix.
+    pub weight: u32,
+}
+
+/// The read-verb templates a mix spec may name. Parameters are fixed so
+/// every sample of a verb is the same request — the spread in latency
+/// then measures the serving layer, not the workload.
+const MIX_VERBS: &[(&str, &str)] = &[
+    ("check", "check"),
+    ("prob", "prob"),
+    ("map", "map side=16"),
+    ("holes", "holes grid=16"),
+    ("kfull", "kfull k=2 grid=16"),
+    ("ping", "ping"),
+];
+
+/// Parses a `name=weight,name=weight` mix spec (`check=3,map=1`); a bare
+/// `name` means weight 1.
+///
+/// # Errors
+///
+/// Unknown verb names, malformed weights, zero total weight.
+pub fn parse_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
+    let mut mix = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, weight) = match part.split_once('=') {
+            Some((n, w)) => (
+                n.trim(),
+                w.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad weight in '{part}': {e}"))?,
+            ),
+            None => (part, 1),
+        };
+        let Some((_, line)) = MIX_VERBS.iter().find(|(v, _)| *v == name) else {
+            let known: Vec<&str> = MIX_VERBS.iter().map(|(v, _)| *v).collect();
+            return Err(format!(
+                "unknown mix verb '{name}' (known: {})",
+                known.join(", ")
+            ));
+        };
+        if weight > 0 {
+            mix.push(MixEntry {
+                name: name.to_string(),
+                line: (*line).to_string(),
+                weight,
+            });
+        }
+    }
+    if mix.is_empty() {
+        return Err("mix selects no requests (all weights zero?)".to_string());
+    }
+    Ok(mix)
+}
+
+/// How one load run is shaped.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon or coordinator address (`host:port`).
+    pub addr: String,
+    /// Concurrent client connections (each with its own identity
+    /// `load0`, `load1`, … declared via `hello client=`).
+    pub clients: usize,
+    /// Aggregate offered rate across all clients, requests/second.
+    pub rate: f64,
+    /// How long to offer load.
+    pub duration: Duration,
+    /// Weighted request mix.
+    pub mix: Vec<MixEntry>,
+}
+
+impl LoadConfig {
+    /// A config with the documented defaults: 4 clients, 200 req/s for
+    /// 2 s of an all-`check` mix.
+    #[must_use]
+    pub fn new(addr: String) -> Self {
+        LoadConfig {
+            addr,
+            clients: 4,
+            rate: 200.0,
+            duration: Duration::from_secs(2),
+            mix: parse_mix("check").expect("default mix parses"),
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Offered aggregate rate, requests/second.
+    pub target_rate: f64,
+    /// Client connections used.
+    pub clients: usize,
+    /// Requests sent.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// Admission-control sheds (`busy retry_after=` frames).
+    pub busy: u64,
+    /// Other `err` frames plus transport failures — protocol errors; a
+    /// healthy run has zero.
+    pub errors: u64,
+    /// Wall-clock from first scheduled send to last response.
+    pub elapsed: Duration,
+    /// Latency quantiles over `ok` responses, nanoseconds from the
+    /// *scheduled* send time (`None` when nothing succeeded).
+    pub p50_ns: Option<u64>,
+    /// 99th percentile, see [`p50_ns`](Self::p50_ns).
+    pub p99_ns: Option<u64>,
+    /// 99.9th percentile, see [`p50_ns`](Self::p50_ns).
+    pub p999_ns: Option<u64>,
+    /// Fastest `ok` response.
+    pub min_ns: Option<u64>,
+    /// Slowest `ok` response.
+    pub max_ns: Option<u64>,
+}
+
+impl LoadReport {
+    /// Completed-ok throughput, requests/second.
+    #[must_use]
+    pub fn achieved_rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ok as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of sent requests shed with `busy` frames.
+    #[must_use]
+    pub fn reject_rate(&self) -> f64 {
+        if self.sent > 0 {
+            self.busy as f64 / self.sent as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether this run exceeded the server's capacity: completed-ok
+    /// throughput below 90% of offered, or >10% of requests shed.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.achieved_rate() < 0.9 * self.target_rate || self.reject_rate() > 0.10
+    }
+
+    /// One human-readable summary line.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let ms = |q: Option<u64>| {
+            q.map_or_else(|| "na".to_string(), |ns| format!("{:.3}", ns as f64 / 1e6))
+        };
+        format!(
+            "rate={:.0}rps achieved={:.0}rps sent={} ok={} busy={} errors={} \
+             p50_ms={} p99_ms={} p999_ms={}{}",
+            self.target_rate,
+            self.achieved_rate(),
+            self.sent,
+            self.ok,
+            self.busy,
+            self.errors,
+            ms(self.p50_ns),
+            ms(self.p99_ns),
+            ms(self.p999_ns),
+            if self.saturated() { " SATURATED" } else { "" }
+        )
+    }
+}
+
+/// Nearest-rank quantile over an ascending-sorted sample set.
+fn quantile_ns(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// What one client thread brings home.
+#[derive(Debug, Default)]
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One client's share of the run: connect, introduce itself, then walk
+/// its arrival schedule. Client `id` owns arrival slots
+/// `id, id+K, id+2K, …` of the aggregate schedule, so the union of all
+/// clients offers exactly `rate` requests/second, evenly interleaved.
+fn run_client(cfg: &LoadConfig, id: usize, start: Instant) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let _ = client.set_timeout(Some(Duration::from_secs(30)));
+    let _ = client.request(&format!("hello client=load{id}"));
+    // Expanded weighted mix; successive slots stride through it so every
+    // client sends every verb, in proportion.
+    let schedule: Vec<&str> = cfg
+        .mix
+        .iter()
+        .flat_map(|e| std::iter::repeat_n(e.line.as_str(), e.weight as usize))
+        .collect();
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate.max(1e-9));
+    let mut slot = id; // aggregate arrival slot this client serves next
+    loop {
+        let scheduled = start + interval.mul_f64(slot as f64);
+        if scheduled.duration_since(start) >= cfg.duration {
+            break;
+        }
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let line = schedule[slot % schedule.len()];
+        tally.sent += 1;
+        match client.request(line) {
+            Ok(Response::Ok(_)) => {
+                tally.ok += 1;
+                // Nanoseconds since the *scheduled* arrival: lateness
+                // from falling behind counts as server queueing delay.
+                tally
+                    .latencies_ns
+                    .push(scheduled.elapsed().as_nanos() as u64);
+            }
+            Ok(Response::Err(m)) if m.contains("busy retry_after=") => tally.busy += 1,
+            Ok(Response::Err(_)) => tally.errors += 1,
+            Err(_) => {
+                tally.errors += 1;
+                // The connection died; reconnect for the rest of the
+                // schedule (a restarted daemon should not void the run).
+                match Client::connect(&cfg.addr) {
+                    Ok(c) => {
+                        client = c;
+                        let _ = client.set_timeout(Some(Duration::from_secs(30)));
+                        let _ = client.request(&format!("hello client=load{id}"));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        slot += cfg.clients;
+    }
+    tally
+}
+
+/// Offers `cfg.rate` requests/second from `cfg.clients` open-loop
+/// clients for `cfg.duration` and reports throughput, sheds, and
+/// schedule-anchored latency quantiles.
+///
+/// # Errors
+///
+/// Config errors (zero clients/rate, empty mix). Transport failures
+/// during the run are *counted*, not returned — a partially-reachable
+/// server is a result, not an error.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.clients == 0 {
+        return Err("need at least one client".to_string());
+    }
+    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+        return Err("rate must be positive and finite".to_string());
+    }
+    if cfg.mix.is_empty() {
+        return Err("empty request mix".to_string());
+    }
+    let started = Instant::now();
+    // Clients start on a common epoch slightly in the future so thread
+    // spawn jitter cannot skew the first arrivals.
+    let epoch = started + Duration::from_millis(20);
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|id| scope.spawn(move || run_client(cfg, id, epoch)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let elapsed = epoch.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        target_rate: cfg.rate,
+        clients: cfg.clients,
+        sent: 0,
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        elapsed,
+        p50_ns: None,
+        p99_ns: None,
+        p999_ns: None,
+        min_ns: None,
+        max_ns: None,
+    };
+    for tally in tallies {
+        report.sent += tally.sent;
+        report.ok += tally.ok;
+        report.busy += tally.busy;
+        report.errors += tally.errors;
+        latencies.extend(tally.latencies_ns);
+    }
+    latencies.sort_unstable();
+    report.p50_ns = quantile_ns(&latencies, 0.50);
+    report.p99_ns = quantile_ns(&latencies, 0.99);
+    report.p999_ns = quantile_ns(&latencies, 0.999);
+    report.min_ns = latencies.first().copied();
+    report.max_ns = latencies.last().copied();
+    Ok(report)
+}
+
+/// Rate sweep: rerun the workload at `cfg.rate * growth^step` until a
+/// step saturates (or `max_steps` runs). Returns every step's report in
+/// order; the last non-saturated step is the saturation throughput.
+///
+/// # Errors
+///
+/// As [`run_load`]; `growth` must exceed 1.
+pub fn sweep(cfg: &LoadConfig, growth: f64, max_steps: usize) -> Result<Vec<LoadReport>, String> {
+    if !growth.is_finite() || growth <= 1.0 {
+        return Err("sweep growth factor must be > 1".to_string());
+    }
+    let mut reports = Vec::new();
+    let mut step_cfg = cfg.clone();
+    for _ in 0..max_steps.max(1) {
+        let report = run_load(&step_cfg)?;
+        let done = report.saturated();
+        reports.push(report);
+        if done {
+            break;
+        }
+        step_cfg.rate *= growth;
+    }
+    Ok(reports)
+}
+
+/// Renders one `BENCH_sweep.json` entry for a load report. The leading
+/// keys match the criterion-style harness (`id`, `median_ns`, `min_ns`,
+/// `max_ns`, `iters_per_sample`, `samples`) so `parse_baseline` reads
+/// the line unchanged; load-specific fields follow.
+#[must_use]
+pub fn sweep_entry_json(id: &str, report: &LoadReport) -> String {
+    let ns = |q: Option<u64>| q.map_or(0.0, |v| v as f64);
+    format!(
+        "{{\"id\": \"{id}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+         \"iters_per_sample\": 1, \"samples\": {}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \
+         \"target_rps\": {:.1}, \"achieved_rps\": {:.1}, \"clients\": {}, \"sent\": {}, \
+         \"busy\": {}, \"errors\": {}}}",
+        ns(report.p50_ns),
+        ns(report.min_ns),
+        ns(report.max_ns),
+        report.ok,
+        ns(report.p99_ns),
+        ns(report.p999_ns),
+        report.target_rate,
+        report.achieved_rate(),
+        report.clients,
+        report.sent,
+        report.busy,
+        report.errors,
+    )
+}
+
+/// Appends (or in-place replaces, when `id` already exists) one entry in
+/// a `BENCH_sweep.json`-shaped file. Every other line is preserved
+/// byte-for-byte — the file is a hand-merged committed baseline, not a
+/// scratch artifact.
+///
+/// # Errors
+///
+/// I/O errors; a malformed file (no closing `]`).
+pub fn append_bench_entry(path: &Path, id: &str, entry: &str) -> io::Result<()> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::from("[\n]\n"),
+        Err(e) => return Err(e),
+    };
+    let needle = format!("\"id\": \"{id}\"");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if let Some(i) = lines.iter().position(|l| l.contains(&needle)) {
+        let had_comma = lines[i].trim_end().ends_with(',');
+        lines[i] = format!("  {entry}{}", if had_comma { "," } else { "" });
+        return std::fs::write(path, format!("{}\n", lines.join("\n")));
+    }
+    let close = lines
+        .iter()
+        .rposition(|l| l.trim() == "]")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no closing ']'"))?;
+    // The previous last entry needs a trailing comma before the new one.
+    if let Some(prev) = lines[..close]
+        .iter_mut()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+    {
+        if !prev.trim_end().ends_with('[') && !prev.trim_end().ends_with(',') {
+            prev.push(',');
+        }
+    }
+    lines.insert(close, format!("  {entry}"));
+    std::fs::write(path, format!("{}\n", lines.join("\n")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_specs_parse_with_weights_and_reject_unknown_verbs() {
+        let mix = parse_mix("check=3, map").unwrap();
+        assert_eq!(mix.len(), 2);
+        assert_eq!((mix[0].name.as_str(), mix[0].weight), ("check", 3));
+        assert_eq!(mix[1].line, "map side=16");
+        assert_eq!(mix[1].weight, 1);
+        let err = parse_mix("chekc").unwrap_err();
+        assert!(err.contains("unknown mix verb 'chekc'"), "{err}");
+        assert!(parse_mix("check=0").is_err(), "all-zero weights");
+        assert!(parse_mix("check=x").is_err(), "bad weight");
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_are_exact() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ns(&sorted, 0.50), Some(50));
+        assert_eq!(quantile_ns(&sorted, 0.99), Some(99));
+        assert_eq!(quantile_ns(&sorted, 0.999), Some(100));
+        assert_eq!(quantile_ns(&sorted, 1.0), Some(100));
+        assert_eq!(quantile_ns(&[], 0.5), None);
+        assert_eq!(quantile_ns(&[7], 0.5), Some(7));
+    }
+
+    #[test]
+    fn saturation_verdict_follows_throughput_and_rejects() {
+        let mut r = LoadReport {
+            target_rate: 100.0,
+            clients: 4,
+            sent: 100,
+            ok: 100,
+            busy: 0,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            p50_ns: Some(1),
+            p99_ns: Some(2),
+            p999_ns: Some(3),
+            min_ns: Some(1),
+            max_ns: Some(3),
+        };
+        assert!(!r.saturated(), "meets target, no sheds");
+        r.ok = 80; // 80 rps vs 100 offered
+        assert!(r.saturated(), "throughput collapsed");
+        r.ok = 100;
+        r.busy = 20;
+        r.sent = 120;
+        assert!(r.saturated(), "16% shed rate");
+    }
+
+    #[test]
+    fn sweep_entries_keep_the_baseline_parsable_prefix() {
+        let r = LoadReport {
+            target_rate: 200.0,
+            clients: 4,
+            sent: 400,
+            ok: 398,
+            busy: 2,
+            errors: 0,
+            elapsed: Duration::from_secs(2),
+            p50_ns: Some(1_500_000),
+            p99_ns: Some(9_000_000),
+            p999_ns: Some(12_000_000),
+            min_ns: Some(800_000),
+            max_ns: Some(12_000_000),
+        };
+        let entry = sweep_entry_json("bench_load/2x", &r);
+        assert!(entry.starts_with(
+            "{\"id\": \"bench_load/2x\", \"median_ns\": 1500000.0, \"min_ns\": 800000.0"
+        ));
+        assert!(entry.contains("\"iters_per_sample\": 1, \"samples\": 398"));
+        assert!(entry.contains("\"busy\": 2, \"errors\": 0}"));
+    }
+
+    #[test]
+    fn appending_preserves_existing_entries_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("fvc-loadgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let _ = std::fs::remove_file(&path);
+        append_bench_entry(&path, "a", "{\"id\": \"a\", \"median_ns\": 1.0}").unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, "[\n  {\"id\": \"a\", \"median_ns\": 1.0}\n]\n");
+        append_bench_entry(&path, "b", "{\"id\": \"b\", \"median_ns\": 2.0}").unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            second,
+            "[\n  {\"id\": \"a\", \"median_ns\": 1.0},\n  {\"id\": \"b\", \"median_ns\": 2.0}\n]\n"
+        );
+        // Same id again: replaced in place, neighbors untouched.
+        append_bench_entry(&path, "a", "{\"id\": \"a\", \"median_ns\": 9.0}").unwrap();
+        let third = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            third,
+            "[\n  {\"id\": \"a\", \"median_ns\": 9.0},\n  {\"id\": \"b\", \"median_ns\": 2.0}\n]\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

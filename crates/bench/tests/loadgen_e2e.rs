@@ -1,0 +1,75 @@
+//! End-to-end checks of the open-loop load generator against a real
+//! in-process daemon: the schedule offers the configured load, healthy
+//! servers produce zero protocol errors, and an admission-limited
+//! daemon sheds with `busy` frames that the generator counts as
+//! rejects, not errors.
+
+use fullview_bench::loadgen::{parse_mix, run_load, sweep, LoadConfig};
+use fullview_model::{NetworkProfile, SensorSpec};
+use fullview_service::{Server, ServiceConfig};
+use std::time::Duration;
+
+fn small_daemon(admit_rate: f64, admit_burst: f64) -> Server {
+    let profile = NetworkProfile::homogeneous(
+        SensorSpec::new(0.15, std::f64::consts::FRAC_PI_3).expect("valid spec"),
+    );
+    let mut cfg = ServiceConfig::new(profile);
+    cfg.n = 40;
+    cfg.workers = 2;
+    cfg.admit_rate = admit_rate;
+    cfg.admit_burst = admit_burst;
+    Server::start(cfg).expect("daemon starts")
+}
+
+#[test]
+fn open_loop_run_reports_throughput_and_quantiles_without_errors() {
+    let server = small_daemon(0.0, 8.0);
+    let mut cfg = LoadConfig::new(server.local_addr().to_string());
+    cfg.clients = 4;
+    cfg.rate = 200.0;
+    cfg.duration = Duration::from_millis(600);
+    cfg.mix = parse_mix("ping=3,check=1").unwrap();
+    let report = run_load(&cfg).expect("load run");
+    assert_eq!(report.errors, 0, "healthy daemon, zero protocol errors");
+    assert_eq!(report.busy, 0, "admission disabled");
+    assert!(report.sent >= 60, "offered load was sent: {}", report.sent);
+    assert_eq!(report.ok, report.sent, "every request answered ok");
+    let p50 = report.p50_ns.expect("latency samples");
+    let p99 = report.p99_ns.expect("latency samples");
+    let p999 = report.p999_ns.expect("latency samples");
+    assert!(p50 <= p99 && p99 <= p999, "monotone quantiles");
+    assert!(
+        report.min_ns.unwrap() <= p50 && p999 <= report.max_ns.unwrap(),
+        "quantiles inside the observed range"
+    );
+}
+
+#[test]
+fn admission_limited_daemon_sheds_as_busy_not_errors() {
+    // 5 tokens/s with a burst of 2 against ~100 offered rps: almost
+    // everything past the burst is shed.
+    let server = small_daemon(5.0, 2.0);
+    let mut cfg = LoadConfig::new(server.local_addr().to_string());
+    cfg.clients = 2;
+    cfg.rate = 100.0;
+    cfg.duration = Duration::from_millis(500);
+    cfg.mix = parse_mix("check").unwrap();
+    let report = run_load(&cfg).expect("load run");
+    assert_eq!(report.errors, 0, "sheds are busy frames, not errors");
+    assert!(report.busy > 0, "the admission gate engaged");
+    assert!(report.ok >= 2, "the burst allowance was admitted");
+    assert!(report.saturated(), "shed rate marks the run saturated");
+}
+
+#[test]
+fn sweep_stops_at_the_first_saturated_step() {
+    let server = small_daemon(20.0, 4.0);
+    let mut cfg = LoadConfig::new(server.local_addr().to_string());
+    cfg.clients = 2;
+    cfg.rate = 400.0; // far above the 20 rps admission ceiling
+    cfg.duration = Duration::from_millis(300);
+    cfg.mix = parse_mix("check").unwrap();
+    let reports = sweep(&cfg, 2.0, 4).expect("sweep");
+    assert_eq!(reports.len(), 1, "first step already saturates");
+    assert!(reports[0].saturated());
+}

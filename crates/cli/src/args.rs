@@ -5,7 +5,7 @@ use std::fmt;
 /// Subcommands that take a second positional word (an *action*), e.g.
 /// `fvc cluster serve`. Every other subcommand keeps rejecting stray
 /// positionals.
-pub const ACTION_SUBCOMMANDS: &[&str] = &["cluster"];
+pub const ACTION_SUBCOMMANDS: &[&str] = &["cluster", "bench"];
 
 /// A parsed command line: a subcommand (plus an action word for
 /// [`ACTION_SUBCOMMANDS`]), `--key value` options in the order given
@@ -230,6 +230,12 @@ mod tests {
         assert_eq!(cli.action(), None);
         // Non-action subcommands never absorb a positional.
         assert!(Cli::parse(["map", "serve"]).is_err());
+        // `bench` is the second action subcommand.
+        let cli = Cli::parse(["bench", "load", "--rate", "50"]).unwrap();
+        assert_eq!(cli.subcommand(), Some("bench"));
+        assert_eq!(cli.action(), Some("load"));
+        assert_eq!(cli.get("rate", 0.0f64).unwrap(), 50.0);
+        assert!(Cli::parse(["bench", "load", "oops"]).is_err());
     }
 
     #[test]

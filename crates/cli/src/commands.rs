@@ -6,6 +6,9 @@
 //! `--radius`, `--aov-deg`, `--n`, and `--seed`.
 
 use crate::args::{ArgError, Cli};
+use fullview_bench::loadgen::{
+    append_bench_entry, parse_mix, run_load, sweep, sweep_entry_json, LoadConfig,
+};
 use fullview_cluster::{ClusterConfig, Coordinator};
 use fullview_core::{
     analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
@@ -57,6 +60,7 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         Some("query") => cmd_query(cli),
         Some("watch") => cmd_watch(cli),
         Some("cluster") => cmd_cluster(cli),
+        Some("bench") => cmd_bench(cli),
         Some(other) => Err(Box::new(ArgError(format!(
             "unknown subcommand '{other}'\n{USAGE}"
         )))),
@@ -186,6 +190,8 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "workers",
             "queue",
             "cache",
+            "admit-rate",
+            "admit-burst",
         ],
         "query" => &["addr", "req", "window"],
         "watch" => &["addr", "grid", "theta-deg", "count"],
@@ -199,8 +205,24 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
                 "backoff-ms",
                 "backoff-cap-ms",
                 "snapshot-dir",
+                "replicas",
             ],
             Some("status") => &["addr"],
+            _ => return None,
+        },
+        "bench" => match action {
+            Some("load") => &[
+                "addr",
+                "clients",
+                "rate",
+                "duration-ms",
+                "mix",
+                "sweep",
+                "growth",
+                "max-steps",
+                "out",
+                "id",
+            ],
             _ => return None,
         },
         _ => return None,
@@ -245,6 +267,9 @@ COMMANDS:
              --out net.txt --n 1000 --radius 0.1 --aov-deg 90 [--seed 0]
   serve    run the coverage-evaluation daemon (TCP, line protocol)
              --addr 127.0.0.1:7411 --n 400 [--workers 2 --queue 64 --cache 128]
+             [--admit-rate R --admit-burst B]  per-client admission control
+             (R requests/s refill, burst B; 0 = no limit; clients identify
+             with 'hello client=NAME', unnamed traffic shares 'anon')
   query    send requests to a running daemon or cluster over one
            persistent connection; repeat --req to pipeline several
              --addr 127.0.0.1:7411 --req 'map side=24' --req stats
@@ -257,8 +282,17 @@ COMMANDS:
   cluster  front N daemons with a scatter-gather coordinator
              serve  --shards 127.0.0.1:7411,127.0.0.1:7413
                     [--addr 127.0.0.1:7412 --snapshot-dir DIR --chunks C
-                     --inflight W --retries R --backoff-ms B]
+                     --inflight W --retries R --backoff-ms B --replicas K]
+                    (--replicas K groups consecutive shards into replica
+                     sets: reads balance across the least-loaded live
+                     replica, mutations broadcast to every shard)
              status [--addr 127.0.0.1:7412]
+  bench    drive a daemon or cluster with an open-loop load generator
+             load   --addr 127.0.0.1:7411 [--clients 4 --rate 200
+                     --duration-ms 2000 --mix 'check=3,ping=1']
+                    [--sweep --growth 2 --max-steps 6]  step rate until
+                     saturation (achieved < 90% of target or >10% busy)
+                    [--out BENCH_sweep.json --id bench_load/default]
 
 Most commands accept --load FILE to analyse a saved network (see `save`)
 instead of generating a random one, and --profile FILE to use a
@@ -596,6 +630,8 @@ fn serve_config(cli: &Cli) -> Result<ServiceConfig, Box<dyn Error>> {
     config.workers = cli.get("workers", 2usize)?;
     config.queue_capacity = cli.get("queue", 64usize)?;
     config.cache_capacity = cli.get("cache", 128usize)?;
+    config.admit_rate = cli.get("admit-rate", config.admit_rate)?;
+    config.admit_burst = cli.get("admit-burst", config.admit_burst)?;
     let load: String = cli.get("load", String::new())?;
     if !load.is_empty() {
         let text = std::fs::read_to_string(&load)?;
@@ -727,6 +763,7 @@ fn cluster_config(cli: &Cli) -> Result<ClusterConfig, Box<dyn Error>> {
     config.retries = cli.get("retries", config.retries)?;
     config.backoff_ms = cli.get("backoff-ms", config.backoff_ms)?;
     config.backoff_cap_ms = cli.get("backoff-cap-ms", config.backoff_cap_ms)?;
+    config.replication = cli.get("replicas", config.replication)?;
     let dir: String = cli.get("snapshot-dir", String::new())?;
     if !dir.is_empty() {
         config.snapshot_dir = Some(dir.into());
@@ -770,6 +807,86 @@ fn cmd_cluster_status(cli: &Cli) -> Result<(), Box<dyn Error>> {
                 return Err(Box::new(ArgError(format!("server: {message}"))));
             }
         }
+    }
+    Ok(())
+}
+
+/// Builds a [`LoadConfig`] from `fvc bench load` options. Split from
+/// [`cmd_bench_load`] so the mapping is testable without a live daemon.
+fn load_config(cli: &Cli) -> Result<LoadConfig, Box<dyn Error>> {
+    let addr: String = cli.get("addr", "127.0.0.1:7411".to_string())?;
+    let mut config = LoadConfig::new(addr);
+    config.clients = cli.get("clients", config.clients)?;
+    config.rate = cli.get("rate", config.rate)?;
+    config.duration = std::time::Duration::from_millis(cli.get("duration-ms", 2000u64)?);
+    let mix: String = cli.get("mix", String::new())?;
+    if !mix.is_empty() {
+        config.mix = parse_mix(&mix).map_err(ArgError)?;
+    }
+    Ok(config)
+}
+
+fn cmd_bench(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    match cli.action() {
+        Some("load") => cmd_bench_load(cli),
+        Some(other) => Err(Box::new(ArgError(format!(
+            "unknown bench action '{other}' (known: load)"
+        )))),
+        None => Err(Box::new(ArgError("bench needs an action: load".into()))),
+    }
+}
+
+fn cmd_bench_load(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let config = load_config(cli)?;
+    let reports = if cli.flag("sweep") {
+        let growth: f64 = cli.get("growth", 2.0)?;
+        let max_steps: usize = cli.get("max-steps", 6usize)?;
+        if growth <= 1.0 {
+            return Err(Box::new(ArgError("--growth must be > 1".into())));
+        }
+        sweep(&config, growth, max_steps).map_err(ArgError)?
+    } else {
+        vec![run_load(&config).map_err(ArgError)?]
+    };
+    for report in &reports {
+        println!("{}", report.summary());
+    }
+    // The saturation throughput is the last step the server kept up with;
+    // when even the first step saturates, report that step's achieved rate.
+    let last = reports.last().expect("at least one report");
+    let best = reports
+        .iter()
+        .rev()
+        .find(|r| !r.saturated())
+        .unwrap_or(last);
+    if last.saturated() {
+        println!(
+            "saturation: reached at {:.0} rps target ({:.0} rps achieved)",
+            last.target_rate,
+            best.achieved_rate()
+        );
+    } else {
+        println!(
+            "saturation: not reached ({:.0} rps achieved at {:.0} rps target)",
+            best.achieved_rate(),
+            best.target_rate
+        );
+    }
+    // When the target keeps per-shard read tallies (a replicated
+    // coordinator), show how the reads spread across the replicas.
+    if let Ok(mut client) = Client::connect(&config.addr) {
+        if let Ok(stats) = client.request_ok("stats") {
+            if let Some(line) = stats.lines().find(|l| l.starts_with("reads: ")) {
+                println!("{line}");
+            }
+        }
+    }
+    let out: String = cli.get("out", String::new())?;
+    if !out.is_empty() {
+        let id: String = cli.get("id", "bench_load/default".to_string())?;
+        let entry = sweep_entry_json(&id, best);
+        append_bench_entry(std::path::Path::new(&out), &id, &entry)?;
+        println!("recorded '{id}' in {out}");
     }
     Ok(())
 }
@@ -1140,6 +1257,107 @@ mod tests {
         run(&cli(&["cluster", "status", "--addr", &addr])).unwrap();
         // The coordinator speaks the daemon protocol: plain query works.
         run(&cli(&["query", "--addr", &addr, "--req", "map side=8"])).unwrap();
+    }
+
+    #[test]
+    fn serve_config_maps_admission_options() {
+        let config =
+            serve_config(&cli(&["serve", "--admit-rate", "25", "--admit-burst", "4"])).unwrap();
+        assert!((config.admit_rate - 25.0).abs() < 1e-12);
+        assert!((config.admit_burst - 4.0).abs() < 1e-12);
+        // Admission defaults to off.
+        let config = serve_config(&cli(&["serve"])).unwrap();
+        assert!(config.admit_rate.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_config_maps_replicas() {
+        let config = cluster_config(&cli(&[
+            "cluster",
+            "serve",
+            "--shards",
+            "a,b,c,d",
+            "--replicas",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(config.replication, 2);
+        let config = cluster_config(&cli(&["cluster", "serve", "--shards", "a,b"])).unwrap();
+        assert_eq!(config.replication, 1);
+    }
+
+    #[test]
+    fn load_config_maps_options() {
+        let config = load_config(&cli(&[
+            "bench",
+            "load",
+            "--addr",
+            "127.0.0.1:9",
+            "--clients",
+            "6",
+            "--rate",
+            "350",
+            "--duration-ms",
+            "750",
+            "--mix",
+            "ping=3,check",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:9");
+        assert_eq!(config.clients, 6);
+        assert!((config.rate - 350.0).abs() < 1e-12);
+        assert_eq!(config.duration, std::time::Duration::from_millis(750));
+        let names: Vec<&str> = config.mix.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["ping", "check"]);
+        // A bad mix is rejected at parse time, not mid-run.
+        let err = load_config(&cli(&["bench", "load", "--mix", "nosuch"])).unwrap_err();
+        assert!(err.to_string().contains("unknown mix verb"), "{err}");
+    }
+
+    #[test]
+    fn bench_actions_are_validated_with_hints() {
+        let err = run(&cli(&["bench"])).unwrap_err();
+        assert!(err.to_string().contains("bench needs an action"), "{err}");
+        let err = run(&cli(&["bench", "bogus"])).unwrap_err();
+        assert!(err.to_string().contains("unknown bench action"), "{err}");
+        let err = run(&cli(&["bench", "load", "--clinets", "4"])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("for 'bench load'"), "{message}");
+        assert!(message.contains("did you mean --clients?"), "{message}");
+    }
+
+    #[test]
+    fn bench_load_runs_against_a_live_daemon_and_records_the_entry() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 40;
+        let server = Server::start(config).expect("start daemon");
+        let addr = server.local_addr().to_string();
+        let out = std::env::temp_dir().join(format!("fvc-cli-load-{}.json", std::process::id()));
+        let out_str = out.to_string_lossy().to_string();
+        run(&cli(&[
+            "bench",
+            "load",
+            "--addr",
+            &addr,
+            "--clients",
+            "2",
+            "--rate",
+            "60",
+            "--duration-ms",
+            "300",
+            "--mix",
+            "ping",
+            "--out",
+            &out_str,
+            "--id",
+            "cli_smoke",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).expect("entry file written");
+        assert!(text.contains("\"id\": \"cli_smoke\""), "{text}");
+        assert!(text.contains("\"p99_ns\""), "{text}");
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

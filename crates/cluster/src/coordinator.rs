@@ -15,15 +15,32 @@
 //!   same slice of a full sweep, so the merged answer is byte-identical
 //!   to a single daemon's.
 //! * `check` / `prob` — replica fan-out: any shard answers the whole
-//!   query; the coordinator round-robins for load balance.
+//!   query; the coordinator routes to the least-loaded live replica.
 //! * `fail` / `move` / `reseed` — broadcast to every live shard, first
 //!   shard first (its rejection aborts the broadcast before divergence),
-//!   then the authority fingerprint and the snapshot are refreshed.
+//!   then the authority fingerprint and the snapshot are refreshed and
+//!   every other replica that applied the mutation is fingerprint-
+//!   verified against the new authority (divergence marks it down for
+//!   resync).
+//!
+//! ## Replication
+//!
+//! With `replication = R`, the shard list is partitioned into
+//! consecutive *replica groups* of R shards. Chunk `c` of a ranged
+//! query has affinity to group `c % groups` (stable affinity keeps each
+//! daemon's result cache hot for its ranges); within the owning group
+//! the chunk goes to the **least-loaded live replica** (fewest in-flight
+//! requests, then fewest reads served, ties rotating), and when a whole
+//! group is down any live shard can stand in — every shard holds the
+//! full fleet, so any replica's answer is byte-identical.
 //!
 //! ## Failover
 //!
 //! A transport failure marks a shard down; its chunks are reassigned to
-//! surviving shards in retry rounds with capped-backoff pauses.
+//! surviving shards in retry rounds. A round that made *any* progress
+//! retries the remainder immediately — a read failing over to a sibling
+//! replica never waits out the reconnect backoff; the capped-backoff
+//! pause applies only when an entire round produced nothing.
 //! Reconnecting shards are fingerprint-checked against the *authority*
 //! state (established at startup, refreshed after every mutation) and
 //! resynced with the daemon's `restore` verb from the cluster snapshot
@@ -71,6 +88,11 @@ pub struct ClusterConfig {
     /// `None` disables snapshot/restore failover: a divergent shard
     /// stays down instead of being resynced.
     pub snapshot_dir: Option<PathBuf>,
+    /// Replicas per grid range: the shard list is partitioned into
+    /// consecutive groups of this size and ranged-read chunks are routed
+    /// within their owning group (clamped to `1..=shards`; `1` = every
+    /// shard its own group, the pre-replication behavior).
+    pub replication: usize,
 }
 
 impl ClusterConfig {
@@ -88,8 +110,34 @@ impl ClusterConfig {
             backoff_ms: 50,
             backoff_cap_ms: 2_000,
             snapshot_dir: None,
+            replication: 1,
         }
     }
+}
+
+/// The number of replica groups `shard_count` shards form at a
+/// (clamped) replication factor. Groups are consecutive runs of
+/// `replication` shards; a ragged tail forms a smaller final group.
+fn group_count_of(shard_count: usize, replication: usize) -> usize {
+    let r = replication.clamp(1, shard_count.max(1));
+    shard_count.div_ceil(r)
+}
+
+/// Which replica group a shard index belongs to.
+fn group_of_shard(shard: usize, shard_count: usize, replication: usize) -> usize {
+    shard / replication.clamp(1, shard_count.max(1))
+}
+
+/// Per-shard read-load accounting. Lives *outside* the shard mutexes so
+/// routing can observe a replica's load while a request is in flight on
+/// it (the shard lock is held for the duration of a pipeline).
+#[derive(Debug, Default)]
+struct ShardLoad {
+    /// Requests currently in flight on this shard.
+    inflight: AtomicUsize,
+    /// Read requests this shard has answered (the `reads:` stats line —
+    /// the replica read-balance evidence the load generator reports).
+    served: std::sync::atomic::AtomicU64,
 }
 
 /// The canonical identity every serving shard must match, parsed from a
@@ -141,8 +189,10 @@ fn parse_fingerprint(payload: &str) -> Result<Authority, String> {
 struct ClusterCtx {
     cfg: ClusterConfig,
     shards: Vec<Mutex<ShardState>>,
+    /// Parallel to `shards`: lock-free load counters for routing.
+    loads: Vec<ShardLoad>,
     authority: Mutex<Option<Authority>>,
-    /// Round-robin cursor for replica fan-out queries.
+    /// Rotation cursor breaking least-loaded ties between equal replicas.
     rr: AtomicUsize,
     metrics: Metrics,
     shutdown: AtomicBool,
@@ -152,6 +202,18 @@ struct ClusterCtx {
 impl ClusterCtx {
     fn base(&self) -> Duration {
         Duration::from_millis(self.cfg.backoff_ms.max(1))
+    }
+
+    fn replication(&self) -> usize {
+        self.cfg.replication.clamp(1, self.shards.len().max(1))
+    }
+
+    fn group_count(&self) -> usize {
+        group_count_of(self.shards.len(), self.cfg.replication)
+    }
+
+    fn group_of(&self, shard: usize) -> usize {
+        group_of_shard(shard, self.shards.len(), self.cfg.replication)
     }
 
     fn cap(&self) -> Duration {
@@ -209,14 +271,16 @@ impl Coordinator {
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let shards = cfg
+        let shards: Vec<Mutex<ShardState>> = cfg
             .shard_addrs
             .iter()
             .map(|a| Mutex::new(ShardState::new(a.clone())))
             .collect();
+        let loads = (0..shards.len()).map(|_| ShardLoad::default()).collect();
         let ctx = Arc::new(ClusterCtx {
             cfg,
             shards,
+            loads,
             authority: Mutex::new(None),
             rr: AtomicUsize::new(0),
             metrics: Metrics::new(),
@@ -361,6 +425,33 @@ fn live_shards(ctx: &ClusterCtx) -> Vec<usize> {
         .collect()
 }
 
+/// Picks the least-loaded shard among `candidates`: fewest in-flight
+/// requests first, fewest reads served as the tie-break, remaining ties
+/// broken by a rotating cursor so equal replicas alternate. `extra[s]`
+/// adds work assigned-but-not-yet-launched this round (the scatter
+/// assignment loop) to shard `s`'s score.
+fn pick_least_loaded(ctx: &ClusterCtx, candidates: &[usize], extra: &[usize]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let rot = ctx.rr.fetch_add(1, Ordering::Relaxed) % candidates.len();
+    let mut best: Option<(usize, (usize, u64))> = None;
+    for k in 0..candidates.len() {
+        let s = candidates[(rot + k) % candidates.len()];
+        let pending = extra.get(s).copied().unwrap_or(0);
+        let score = (
+            ctx.loads[s].inflight.load(Ordering::Relaxed) + pending,
+            ctx.loads[s].served.load(Ordering::Relaxed) + pending as u64,
+        );
+        // Strictly-less keeps the first candidate in rotation order on a
+        // tie, so back-to-back requests alternate across equal replicas.
+        if best.is_none_or(|(_, b)| score < b) {
+            best = Some((s, score));
+        }
+    }
+    best.map(|(s, _)| s)
+}
+
 /// What happened to one scattered chunk.
 enum ChunkOutcome {
     Done(String),
@@ -372,16 +463,21 @@ enum ChunkOutcome {
 }
 
 /// Runs one shard's share of a scatter: pipeline the chunk requests over
-/// its persistent connection with the bounded in-flight window.
+/// its persistent connection with the bounded in-flight window. Load
+/// counters bracket the pipeline so concurrent routing decisions see the
+/// work in flight.
 fn serve_chunks(
     ctx: &ClusterCtx,
     shard_idx: usize,
     chunk_idxs: &[usize],
     lines: &[String],
 ) -> Vec<(usize, ChunkOutcome)> {
+    ctx.loads[shard_idx]
+        .inflight
+        .fetch_add(chunk_idxs.len(), Ordering::Relaxed);
     let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
     let refs: Vec<&str> = chunk_idxs.iter().map(|&c| lines[c].as_str()).collect();
-    match state.pipeline(&refs, ctx.cfg.max_inflight.max(1), ctx.base(), ctx.cap()) {
+    let outcomes = match state.pipeline(&refs, ctx.cfg.max_inflight.max(1), ctx.base(), ctx.cap()) {
         Err(_) => chunk_idxs
             .iter()
             .map(|&c| (c, ChunkOutcome::Retry))
@@ -397,14 +493,32 @@ fn serve_chunks(
                 };
                 (c, outcome)
             })
-            .collect(),
-    }
+            .collect::<Vec<_>>(),
+    };
+    drop(state);
+    ctx.loads[shard_idx]
+        .inflight
+        .fetch_sub(chunk_idxs.len(), Ordering::Relaxed);
+    let done = outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, ChunkOutcome::Done(_)))
+        .count() as u64;
+    ctx.loads[shard_idx]
+        .served
+        .fetch_add(done, Ordering::Relaxed);
+    outcomes
 }
 
 /// Scatter-gathers one ranged query: `make_line(lo, hi)` builds the
 /// per-chunk daemon request; the returned payloads are in chunk order
-/// (concatenation order == grid order). Chunks on failed shards are
-/// reassigned to survivors across up to `retries` extra rounds.
+/// (concatenation order == grid order).
+///
+/// Chunk `c` is routed to the least-loaded live replica of its owning
+/// group `c % groups`; when the whole group is down, any live shard
+/// stands in (full replication makes any answer byte-identical). Chunks
+/// on failed shards are reassigned across up to `retries` extra rounds —
+/// a round that completed *any* chunk retries the rest immediately, so
+/// failing over to a live sibling never waits out a reconnect backoff.
 fn scatter(
     ctx: &ClusterCtx,
     total: usize,
@@ -413,6 +527,8 @@ fn scatter(
     let ranges = chunk_ranges(total, ctx.chunk_count());
     let lines: Vec<String> = ranges.iter().map(|&(lo, hi)| make_line(lo, hi)).collect();
     let mut results: Vec<Option<String>> = vec![None; ranges.len()];
+    let groups = ctx.group_count();
+    let mut progressed = true;
     for round in 0..=ctx.cfg.retries {
         let pending: Vec<usize> = (0..ranges.len())
             .filter(|&c| results[c].is_none())
@@ -420,24 +536,46 @@ fn scatter(
         if pending.is_empty() {
             break;
         }
-        if round > 0 {
+        // Only a fruitless round (nothing completed anywhere) earns a
+        // backoff pause; partial progress means a sibling replica is
+        // alive and the remainder should fail over to it immediately.
+        if round > 0 && !progressed {
             std::thread::sleep(ctx.base());
         }
+        progressed = false;
         let live = live_shards(ctx);
         if live.is_empty() {
             continue; // maybe a backoff window expires before the last round
         }
-        // Deterministic round-robin assignment of pending chunks.
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
-        for (j, &chunk) in pending.iter().enumerate() {
-            per_shard[j % live.len()].push(chunk);
+        // Route each pending chunk to the least-loaded live replica of
+        // its owning group; `assigned` counts this round's not-yet-
+        // launched work so the assignment itself stays balanced.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); ctx.shards.len()];
+        let mut assigned: Vec<usize> = vec![0; ctx.shards.len()];
+        for &chunk in &pending {
+            let owner = chunk % groups;
+            let siblings: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&s| ctx.group_of(s) == owner)
+                .collect();
+            let candidates = if siblings.is_empty() {
+                &live
+            } else {
+                &siblings
+            };
+            let Some(s) = pick_least_loaded(ctx, candidates, &assigned) else {
+                continue;
+            };
+            assigned[s] += 1;
+            per_shard[s].push(chunk);
         }
         let outcomes: Vec<Vec<(usize, ChunkOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = live
+            let handles: Vec<_> = per_shard
                 .iter()
-                .zip(&per_shard)
+                .enumerate()
                 .filter(|(_, chunks)| !chunks.is_empty())
-                .map(|(&shard_idx, chunks)| {
+                .map(|(shard_idx, chunks)| {
                     let lines = &lines;
                     scope.spawn(move || serve_chunks(ctx, shard_idx, chunks, lines))
                 })
@@ -449,7 +587,10 @@ fn scatter(
         });
         for (chunk, outcome) in outcomes.into_iter().flatten() {
             match outcome {
-                ChunkOutcome::Done(payload) => results[chunk] = Some(payload),
+                ChunkOutcome::Done(payload) => {
+                    results[chunk] = Some(payload);
+                    progressed = true;
+                }
                 ChunkOutcome::Retry => {}
                 ChunkOutcome::Fatal(m) => return Err(m),
             }
@@ -461,23 +602,30 @@ fn scatter(
         .ok_or_else(|| "no live shards (all replicas down or overloaded)".to_string())
 }
 
-/// Forwards a whole query to one live shard, round-robining across
-/// replicas and failing over on transport errors.
+/// Forwards a whole query to the least-loaded live shard, failing over
+/// across the remaining replicas within the round on transport errors.
 fn forward_one(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
     for round in 0..=ctx.cfg.retries {
         if round > 0 {
             std::thread::sleep(ctx.base());
         }
-        let live = live_shards(ctx);
-        if live.is_empty() {
-            continue;
-        }
-        let start = ctx.rr.fetch_add(1, Ordering::Relaxed);
-        for k in 0..live.len() {
-            let shard_idx = live[(start + k) % live.len()];
+        let mut remaining = live_shards(ctx);
+        while let Some(shard_idx) = pick_least_loaded(ctx, &remaining, &[]) {
+            remaining.retain(|&s| s != shard_idx);
+            ctx.loads[shard_idx]
+                .inflight
+                .fetch_add(1, Ordering::Relaxed);
             let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
-            match state.request(line, ctx.base(), ctx.cap()) {
-                Ok(payload) => return Ok(payload),
+            let outcome = state.request(line, ctx.base(), ctx.cap());
+            drop(state);
+            ctx.loads[shard_idx]
+                .inflight
+                .fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(payload) => {
+                    ctx.loads[shard_idx].served.fetch_add(1, Ordering::Relaxed);
+                    return Ok(payload);
+                }
                 Err(ShardError::Server(m)) if is_overload(&m) => continue,
                 Err(ShardError::Server(m)) => return Err(m),
                 Err(ShardError::Transport(_)) => continue,
@@ -519,12 +667,15 @@ fn broadcast_mutation(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
         return Err("no live shards".to_string());
     }
     let mut applied_on: Option<(usize, String)> = None;
+    let mut followers: Vec<usize> = Vec::new();
     for &shard_idx in &live {
         let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
         match state.request(line, ctx.base(), ctx.cap()) {
             Ok(payload) => {
                 if applied_on.is_none() {
                     applied_on = Some((shard_idx, payload));
+                } else {
+                    followers.push(shard_idx);
                 }
             }
             Err(ShardError::Server(m)) => {
@@ -542,6 +693,24 @@ fn broadcast_mutation(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
     }
     let (first, payload) = applied_on.ok_or_else(|| "no live shards".to_string())?;
     refresh_authority_from(ctx, first)?;
+    // Convergence check: every follower that applied the mutation must
+    // now fingerprint-match the refreshed authority. A mismatch (e.g. a
+    // daemon restarted between the broadcast and here) is marked down so
+    // the next `ensure_shard` restores it before it answers reads.
+    let auth = *ctx.authority.lock().expect("authority lock");
+    if let Some(auth) = auth {
+        for shard_idx in followers {
+            let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
+            let converged = state
+                .request("fingerprint", ctx.base(), ctx.cap())
+                .map_err(|e| e.to_string())
+                .and_then(|p| parse_fingerprint(&p))
+                .map(|fp| fp.net_fp == auth.net_fp && fp.profile_fp == auth.profile_fp);
+            if !matches!(converged, Ok(true)) {
+                state.mark_down(ctx.base(), ctx.cap());
+            }
+        }
+    }
     Ok(payload)
 }
 
@@ -580,6 +749,16 @@ fn render_cluster_stats(ctx: &ClusterCtx) -> String {
         let _ = write!(out, " {endpoint}={count}");
     }
     let _ = writeln!(out, " total={} rejected={}", snap.total, snap.rejected);
+    let _ = write!(
+        out,
+        "reads: replication={} groups={}",
+        ctx.replication(),
+        ctx.group_count()
+    );
+    for (i, load) in ctx.loads.iter().enumerate() {
+        let _ = write!(out, " shard{i}={}", load.served.load(Ordering::Relaxed));
+    }
+    let _ = writeln!(out);
     let _ = writeln!(
         out,
         "shards: total_requests={} rejected={} queue_depth={} queue_capacity={} \
@@ -612,8 +791,9 @@ fn render_shards(ctx: &ClusterCtx) -> String {
         let state = shard.lock().expect("shard lock");
         let _ = writeln!(
             out,
-            "shard {i}: addr={} state={}",
+            "shard {i}: addr={} group={} state={}",
             state.addr(),
+            ctx.group_of(i),
             if serving { "up" } else { "down" }
         );
     }
@@ -622,7 +802,7 @@ fn render_shards(ctx: &ClusterCtx) -> String {
 
 /// Raw `theta-deg` pass-through: the coordinator forwards the client's
 /// token verbatim so the shards parse the identical value.
-fn theta_suffix(req: &Request) -> Result<String, String> {
+fn theta_suffix(req: &Request<'_>) -> Result<String, String> {
     let raw: String = req.get("theta-deg", String::new())?;
     if raw.is_empty() {
         Ok(String::new())
@@ -631,7 +811,7 @@ fn theta_suffix(req: &Request) -> Result<String, String> {
     }
 }
 
-fn run_map(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+fn run_map(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["theta-deg", "side"])?;
     let side: usize = req.get("side", 48)?;
     if side == 0 {
@@ -645,7 +825,7 @@ fn run_map(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
     Ok(coverage_map_from_glyphs(side, &glyphs))
 }
 
-fn run_holes(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+fn run_holes(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["theta-deg", "grid"])?;
     let grid: usize = req.get("grid", 24)?;
     if grid == 0 {
@@ -674,7 +854,7 @@ fn run_holes(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
     Ok(hole_report_text(&report))
 }
 
-fn run_kfull(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+fn run_kfull(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["theta-deg", "k", "grid"])?;
     let grid: usize = req.get("grid", 24)?;
     let k: usize = req.get("k", 2)?;
@@ -695,7 +875,7 @@ fn run_kfull(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
     Ok(kfull_text(k, grid, meeting, grid * grid))
 }
 
-fn run_fingerprint(ctx: &ClusterCtx, req: &Request) -> Result<String, String> {
+fn run_fingerprint(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&[])?;
     let auth = ctx
         .authority
@@ -790,7 +970,7 @@ fn relay_watch(ctx: &ClusterCtx, line: &str, downstream: &TcpStream) -> bool {
     true
 }
 
-fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, String> {
+fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request<'_>) -> Result<String, String> {
     match req.verb() {
         "ping" => {
             req.allow_only(&[])?;
@@ -807,6 +987,15 @@ fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, Strin
         "shutdown" => {
             req.allow_only(&[])?;
             Ok("shutting down coordinator (shards keep running)\n".to_string())
+        }
+        // Load-generator clients introduce themselves to daemons with
+        // `hello client=`; the coordinator accepts it too (stateless —
+        // admission control lives on the daemons) so the same client
+        // code targets either.
+        "hello" => {
+            req.allow_only(&["client"])?;
+            let client: String = req.get("client", "anon".to_string())?;
+            Ok(format!("hello {client}\n"))
         }
         "fingerprint" => run_fingerprint(ctx, req),
         "map" => run_map(ctx, req),
@@ -836,7 +1025,7 @@ fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request) -> Result<String, Strin
         // stream); reaching here means a non-connection context.
         "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, watch, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, watch, hello, ping, shutdown)"
         )),
     }
 }
@@ -935,6 +1124,27 @@ mod tests {
         assert_eq!(auth.torus_side, 1.0);
         assert!(parse_fingerprint("net_fp=1 profile_fp=2 cameras=3").is_err());
         assert!(parse_fingerprint("net_fp=x torus=0x3ff0000000000000").is_err());
+    }
+
+    #[test]
+    fn replica_group_math_partitions_the_shard_list() {
+        // replication=1: every shard its own group (legacy behavior).
+        assert_eq!(group_count_of(4, 1), 4);
+        assert_eq!(group_of_shard(3, 4, 1), 3);
+        // replication=2 over 4 shards: [0,1] and [2,3].
+        assert_eq!(group_count_of(4, 2), 2);
+        assert_eq!(group_of_shard(0, 4, 2), 0);
+        assert_eq!(group_of_shard(1, 4, 2), 0);
+        assert_eq!(group_of_shard(2, 4, 2), 1);
+        assert_eq!(group_of_shard(3, 4, 2), 1);
+        // Ragged tail: 5 shards at replication=2 form a final group of 1.
+        assert_eq!(group_count_of(5, 2), 3);
+        assert_eq!(group_of_shard(4, 5, 2), 2);
+        // Over-replication clamps to one all-shard group; zero clamps to 1.
+        assert_eq!(group_count_of(3, 99), 1);
+        assert_eq!(group_of_shard(2, 3, 99), 0);
+        assert_eq!(group_count_of(3, 0), 3);
+        assert_eq!(group_count_of(0, 2), 0);
     }
 
     #[test]

@@ -37,11 +37,13 @@ impl std::fmt::Display for ShardError {
     }
 }
 
-/// Whether a server-side error message is the daemon's back-pressure
-/// signal (bounded queue full), i.e. worth retrying after a pause.
+/// Whether a server-side error message is one of the daemon's
+/// back-pressure signals — bounded queue full, or an admission-control
+/// `busy retry_after=` shed — i.e. worth retrying on a sibling replica
+/// or after a pause rather than surfacing to the client.
 #[must_use]
 pub fn is_overload(message: &str) -> bool {
-    message.contains("queue full")
+    message.contains("queue full") || message.contains("busy retry_after=")
 }
 
 /// One shard's connection state. The coordinator wraps each in a
@@ -229,8 +231,10 @@ mod tests {
     }
 
     #[test]
-    fn overload_classifier_matches_the_daemon_message() {
+    fn overload_classifier_matches_the_daemon_messages() {
         assert!(is_overload("job queue full, retry later"));
+        assert!(is_overload("busy retry_after=250"));
         assert!(!is_overload("unknown request 'zap'"));
+        assert!(!is_overload("missing required parameter 'id'"));
     }
 }

@@ -237,6 +237,118 @@ fn cluster_stats_aggregate_per_shard_counters() {
     );
 }
 
+/// Extracts `name=value` as u64 from a named stats line.
+fn stats_field(stats: &str, line_prefix: &str, name: &str) -> u64 {
+    let line = stats
+        .lines()
+        .find(|l| l.starts_with(line_prefix))
+        .unwrap_or_else(|| panic!("no '{line_prefix}' line in:\n{stats}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {name} in {line}"))
+}
+
+#[test]
+fn replicated_reads_spread_across_both_replicas_with_identical_bytes() {
+    // Tentpole acceptance (a): with two replicas of the same range, read
+    // verbs spread across both shards and every answer stays
+    // byte-identical to a lone daemon's.
+    let (_shards, addrs) = spawn_shards(2);
+    let mut cfg = fast_config(addrs, None);
+    cfg.replication = 2;
+    let coordinator = Coordinator::start(cfg).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    let reference = daemon(SEED, N);
+    let mut ref_client = connect(reference.local_addr());
+    for query in QUERIES {
+        let want = ref_client.request_ok(query).expect(query);
+        assert_eq!(
+            client.request_ok(query).expect(query),
+            want,
+            "{query} differs from the single daemon under replication"
+        );
+    }
+    // A few repeated fan-out reads so the rotation has room to balance.
+    for _ in 0..6 {
+        client.request_ok("check").unwrap();
+    }
+
+    let stats = client.request_ok("stats").unwrap();
+    assert_eq!(stats_field(&stats, "reads:", "replication"), 2);
+    assert_eq!(stats_field(&stats, "reads:", "groups"), 1);
+    let shard0 = stats_field(&stats, "reads:", "shard0");
+    let shard1 = stats_field(&stats, "reads:", "shard1");
+    assert!(
+        shard0 > 0 && shard1 > 0,
+        "both replicas must have served reads: shard0={shard0} shard1={shard1}"
+    );
+
+    // Both shards report membership in the single replica group.
+    let shards_text = client.request_ok("shards").unwrap();
+    assert!(shards_text.contains("shard 0:"), "{shards_text}");
+    for line in shards_text.lines() {
+        assert!(line.contains("group=0"), "{line}");
+        assert!(line.contains("state=up"), "{line}");
+    }
+}
+
+#[test]
+fn killing_a_replica_mid_window_loses_no_inflight_reads() {
+    // Tentpole acceptance (c): kill one replica while a bounded
+    // in-flight window has queued requests on the wire; every single
+    // request must be answered by the sibling, byte-identical to a lone
+    // daemon — zero drops, zero duplicates, zero error frames.
+    let (mut shards, addrs) = spawn_shards(2);
+    let mut cfg = fast_config(addrs, None);
+    cfg.replication = 2;
+    let coordinator = Coordinator::start(cfg).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    let reference = daemon(SEED, N);
+    let mut ref_client = connect(reference.local_addr());
+    let want_map = ref_client.request_ok("map side=16").unwrap();
+    let want_check = ref_client.request_ok("check").unwrap();
+
+    const WINDOW: usize = 6;
+    const TOTAL: usize = 24;
+    let lines: Vec<&str> = (0..TOTAL)
+        .map(|i| if i % 2 == 0 { "map side=16" } else { "check" })
+        .collect();
+    let mut responses: Vec<fullview_service::Response> = Vec::new();
+    let mut sent = 0usize;
+    let mut killed = false;
+    while responses.len() < TOTAL {
+        while sent < TOTAL && sent - responses.len() < WINDOW {
+            client.send(lines[sent]).expect("send");
+            sent += 1;
+        }
+        if !killed && responses.len() >= TOTAL / 2 {
+            // A full window is queued right now; replica 1 dies mid-load.
+            drop(shards.remove(1));
+            killed = true;
+        }
+        responses.push(client.recv().expect("every queued request answered"));
+    }
+    assert_eq!(responses.len(), TOTAL, "no drops");
+    for (i, resp) in responses.iter().enumerate() {
+        let want = if i % 2 == 0 { &want_map } else { &want_check };
+        match resp {
+            fullview_service::Response::Ok(payload) => {
+                assert_eq!(payload, want, "request {i} diverged after failover");
+            }
+            fullview_service::Response::Err(message) => {
+                panic!("request {i} failed instead of failing over: {message}");
+            }
+        }
+    }
+
+    let shards_text = client.request_ok("shards").unwrap();
+    assert!(shards_text.contains("state=down"), "{shards_text}");
+    assert!(shards_text.contains("state=up"), "{shards_text}");
+}
+
 #[test]
 fn coordinator_rejects_bad_requests_like_a_daemon() {
     let (_shards, addrs) = spawn_shards(1);

@@ -9,7 +9,10 @@
 //!
 //! Layering, bottom to top:
 //!
-//! * [`protocol`] — the request/response wire codec.
+//! * [`protocol`] — the request/response wire codec (zero-copy request
+//!   parsing: fields borrow from the line buffer).
+//! * [`admission`] — per-client token-bucket admission control in front
+//!   of the queue (`hello client=…` identity, `busy retry_after=` sheds).
 //! * [`cache`] — content-addressed result cache (canonical-digest keys,
 //!   LRU eviction, selective invalidation on fleet mutations).
 //! * [`queue`] — bounded job queue + worker pool; the daemon's single
@@ -38,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod metrics;
@@ -46,6 +50,7 @@ pub mod queue;
 pub mod server;
 pub mod snapshot;
 
+pub use admission::{AdmissionControl, AdmissionSnapshot, ANON_CLIENT};
 pub use cache::{CacheStats, Lookup, ResultCache};
 pub use client::Client;
 pub use metrics::{Metrics, MetricsSnapshot};

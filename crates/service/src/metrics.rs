@@ -1,8 +1,16 @@
 //! Live service metrics: per-endpoint request counts and a fixed-bucket
 //! latency histogram (reusing [`fullview_sim::Histogram`]) from which
 //! the `stats` endpoint reports p50/p99 service latencies.
+//!
+//! Recording is *sharded*: each connection-handler thread hashes to one
+//! of a fixed set of stripes, each with its own lock, so concurrent
+//! handlers never serialize on a single metrics mutex. `snapshot` merges
+//! the stripes (histograms via [`Histogram::merge`], which is
+//! sample-exact) — every recorded request appears in the snapshot
+//! exactly once, the invariant the 4-client hammer e2e test pins.
 
 use fullview_sim::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -13,6 +21,10 @@ use std::time::Instant;
 /// milliseconds and up) service times.
 const LATENCY_MAX_MS: f64 = 10_000.0;
 const LATENCY_BUCKETS: usize = 2_000;
+
+/// Lock stripes for concurrent recording. A small power of two: enough
+/// that a handful of handler threads rarely collide, cheap to merge.
+const STRIPES: usize = 8;
 
 /// The endpoint names tracked by [`Metrics`], in reporting order.
 pub const ENDPOINTS: &[&str] = &[
@@ -32,22 +44,33 @@ pub const ENDPOINTS: &[&str] = &[
     "move",
     "reseed",
     "shards",
+    "hello",
     "ping",
     "shutdown",
 ];
 
 #[derive(Debug)]
-struct MetricsInner {
+struct Stripe {
     counts: Vec<u64>,
-    rejected: u64,
     latency: Histogram,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            counts: vec![0; ENDPOINTS.len()],
+            latency: Histogram::new(0.0, LATENCY_MAX_MS, LATENCY_BUCKETS),
+        }
+    }
 }
 
 /// Shared, internally-synchronized metrics sink.
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
-    inner: Mutex<MetricsInner>,
+    stripes: Vec<Mutex<Stripe>>,
+    rejected: AtomicU64,
+    busy: AtomicU64,
 }
 
 /// A point-in-time snapshot for rendering `stats`.
@@ -60,6 +83,8 @@ pub struct MetricsSnapshot {
     /// Requests rejected before dispatch (unknown verb, parse error,
     /// queue full).
     pub rejected: u64,
+    /// Requests shed by admission control with a `busy` frame.
+    pub busy: u64,
     /// Total accepted requests.
     pub total: u64,
     /// Median service latency in milliseconds (`None` before the first
@@ -77,55 +102,73 @@ impl Default for Metrics {
     }
 }
 
+/// The stripe the current thread records into.
+fn stripe_of() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    (hasher.finish() as usize) % STRIPES
+}
+
 impl Metrics {
     /// A fresh sink with zeroed counters.
     #[must_use]
     pub fn new() -> Self {
         Metrics {
             started: Instant::now(),
-            inner: Mutex::new(MetricsInner {
-                counts: vec![0; ENDPOINTS.len()],
-                rejected: 0,
-                latency: Histogram::new(0.0, LATENCY_MAX_MS, LATENCY_BUCKETS),
-            }),
+            stripes: (0..STRIPES).map(|_| Mutex::new(Stripe::new())).collect(),
+            rejected: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
         }
     }
 
     /// Records one serviced request: which endpoint and how long it took
     /// end-to-end (parse to response ready).
     pub fn record(&self, endpoint: &str, latency_ms: f64) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut stripe = self.stripes[stripe_of()].lock().expect("metrics lock");
         if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
-            inner.counts[i] += 1;
+            stripe.counts[i] += 1;
         }
         // Guard against non-finite timings rather than panicking the
         // histogram: a clamped sample is better than a dead server.
         if latency_ms.is_finite() {
-            inner.latency.record(latency_ms.max(0.0));
+            stripe.latency.record(latency_ms.max(0.0));
         }
     }
 
     /// Records a request rejected before reaching an endpoint.
     pub fn record_rejected(&self) {
-        self.inner.lock().expect("metrics lock").rejected += 1;
+        self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshots every counter and the latency quantiles.
+    /// Records a request shed by admission control (`busy` frame).
+    pub fn record_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter and the latency quantiles, merging the
+    /// recording stripes sample-exactly.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics lock");
-        let counts: Vec<(&'static str, u64)> = ENDPOINTS
-            .iter()
-            .zip(&inner.counts)
-            .map(|(e, c)| (*e, *c))
-            .collect();
+        let mut counts = vec![0u64; ENDPOINTS.len()];
+        let mut latency = Histogram::new(0.0, LATENCY_MAX_MS, LATENCY_BUCKETS);
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("metrics lock");
+            for (sum, c) in counts.iter_mut().zip(&stripe.counts) {
+                *sum += c;
+            }
+            latency.merge(&stripe.latency);
+        }
+        let counts: Vec<(&'static str, u64)> =
+            ENDPOINTS.iter().zip(counts).map(|(e, c)| (*e, c)).collect();
         MetricsSnapshot {
             uptime_s: self.started.elapsed().as_secs_f64(),
             total: counts.iter().map(|(_, c)| c).sum(),
-            rejected: inner.rejected,
-            p50_ms: inner.latency.quantile(0.5),
-            p99_ms: inner.latency.quantile(0.99),
-            samples: inner.latency.total(),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            p50_ms: latency.quantile(0.5),
+            p99_ms: latency.quantile(0.99),
+            samples: latency.total(),
             counts,
         }
     }
@@ -134,6 +177,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn counts_per_endpoint_and_total() {
@@ -143,6 +187,7 @@ mod tests {
         m.record("prob", 0.1);
         m.record("nonsense", 0.1); // ignored endpoint, still timed
         m.record_rejected();
+        m.record_busy();
         let snap = m.snapshot();
         let get = |name| snap.counts.iter().find(|(e, _)| *e == name).unwrap().1;
         assert_eq!(get("map"), 2);
@@ -150,6 +195,7 @@ mod tests {
         assert_eq!(get("check"), 0);
         assert_eq!(snap.total, 3);
         assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.busy, 1);
         assert_eq!(snap.samples, 4);
     }
 
@@ -179,5 +225,31 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.samples, 2);
         assert!(snap.p99_ms.unwrap() <= LATENCY_MAX_MS);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        // Many threads hammer the sink at once; the merged snapshot must
+        // account for every single record — no lost updates across
+        // stripes, no double counting.
+        let m = Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        m.record("check", (t * 500 + i) as f64 * 0.01);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+        let snap = m.snapshot();
+        let check = snap.counts.iter().find(|(e, _)| *e == "check").unwrap().1;
+        assert_eq!(check, 8 * 500, "every record counted exactly once");
+        assert_eq!(snap.samples, 8 * 500);
+        assert!(snap.p50_ms.unwrap() <= snap.p99_ms.unwrap(), "monotone");
     }
 }

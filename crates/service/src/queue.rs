@@ -11,6 +11,14 @@
 //! Shutdown is *draining*: closing the queue stops new submissions, but
 //! workers finish everything already queued before exiting, so every
 //! connection that got its job accepted also gets its response.
+//!
+//! Dequeue is *fair-share per client*: jobs are held in one FIFO lane
+//! per client identity and workers pop lanes round-robin, so a client
+//! that managed to stuff the queue cannot also monopolize dequeue order
+//! — a light client's single queued job runs after at most one job per
+//! other active lane, not after the hot client's entire backlog. The
+//! global capacity bound (and the reject-fast contract) is unchanged:
+//! it counts jobs across all lanes.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -41,8 +49,41 @@ impl fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// One FIFO lane per client with queued work; empty lanes are
+    /// removed on pop so the list stays bounded by *active* clients.
+    lanes: Vec<(String, VecDeque<Job>)>,
+    /// Jobs across all lanes (the capacity bound).
+    queued: usize,
+    /// Next lane index to pop from (round-robin fairness).
+    cursor: usize,
     open: bool,
+}
+
+impl QueueState {
+    /// Pops the next job fair-share: the first non-empty lane at or
+    /// after the cursor, advancing the cursor past it.
+    fn pop(&mut self) -> Option<Job> {
+        let n = self.lanes.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            if let Some(job) = self.lanes[idx].1.pop_front() {
+                self.queued -= 1;
+                if self.lanes[idx].1.is_empty() {
+                    self.lanes.remove(idx);
+                    // The lane after the removed one slid into `idx`.
+                    self.cursor = if self.lanes.is_empty() {
+                        0
+                    } else {
+                        idx % self.lanes.len()
+                    };
+                } else {
+                    self.cursor = (idx + 1) % n;
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 struct Shared {
@@ -88,7 +129,9 @@ impl JobQueue {
         let capacity = capacity.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: Vec::new(),
+                queued: 0,
+                cursor: 0,
                 open: true,
             }),
             available: Condvar::new(),
@@ -107,21 +150,28 @@ impl JobQueue {
         }
     }
 
-    /// Enqueues a job for the pool.
+    /// Enqueues a job on `client`'s fair-share lane.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Full`] at capacity, [`SubmitError::ShuttingDown`]
-    /// after [`shutdown`](Self::shutdown).
-    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+    /// [`SubmitError::Full`] at capacity (counted across all lanes),
+    /// [`SubmitError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, client: &str, job: Job) -> Result<(), SubmitError> {
         let mut state = self.shared.state.lock().expect("queue lock");
         if !state.open {
             return Err(SubmitError::ShuttingDown);
         }
-        if state.jobs.len() >= self.capacity {
+        if state.queued >= self.capacity {
             return Err(SubmitError::Full);
         }
-        state.jobs.push_back(job);
+        if let Some((_, lane)) = state.lanes.iter_mut().find(|(name, _)| name == client) {
+            lane.push_back(job);
+        } else {
+            let mut lane = VecDeque::new();
+            lane.push_back(job);
+            state.lanes.push((client.to_string(), lane));
+        }
+        state.queued += 1;
         drop(state);
         self.shared.available.notify_one();
         Ok(())
@@ -130,7 +180,7 @@ impl JobQueue {
     /// Jobs currently waiting (not counting ones being executed).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.shared.state.lock().expect("queue lock").jobs.len()
+        self.shared.state.lock().expect("queue lock").queued
     }
 
     /// The queue bound.
@@ -171,7 +221,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut state = shared.state.lock().expect("queue lock");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some(job) = state.pop() {
                     break job;
                 }
                 if !state.open {
@@ -197,7 +247,7 @@ mod tests {
         for i in 0..10usize {
             let tx = tx.clone();
             queue
-                .submit(Box::new(move || tx.send(i * i).expect("send")))
+                .submit("anon", Box::new(move || tx.send(i * i).expect("send")))
                 .expect("submit");
         }
         drop(tx);
@@ -213,15 +263,21 @@ mod tests {
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
         queue
-            .submit(Box::new(move || {
-                started_tx.send(()).expect("send");
-                gate_rx.recv().expect("gate");
-            }))
+            .submit(
+                "anon",
+                Box::new(move || {
+                    started_tx.send(()).expect("send");
+                    gate_rx.recv().expect("gate");
+                }),
+            )
             .expect("blocker");
         started_rx.recv().expect("worker picked up blocker");
-        queue.submit(Box::new(|| {})).expect("slot 1");
-        queue.submit(Box::new(|| {})).expect("slot 2");
-        assert_eq!(queue.submit(Box::new(|| {})), Err(SubmitError::Full));
+        queue.submit("anon", Box::new(|| {})).expect("slot 1");
+        queue.submit("anon", Box::new(|| {})).expect("slot 2");
+        assert_eq!(
+            queue.submit("anon", Box::new(|| {})),
+            Err(SubmitError::Full)
+        );
         assert_eq!(queue.depth(), 2);
         gate_tx.send(()).expect("open gate");
         queue.shutdown();
@@ -235,15 +291,18 @@ mod tests {
         for _ in 0..32 {
             let counter = Arc::clone(&counter);
             queue
-                .submit(Box::new(move || {
-                    counter.fetch_add(1, Ordering::Relaxed);
-                }))
+                .submit(
+                    "anon",
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }),
+                )
                 .expect("submit");
         }
         queue.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 32, "every job ran");
         assert_eq!(
-            queue.submit(Box::new(|| {})),
+            queue.submit("anon", Box::new(|| {})),
             Err(SubmitError::ShuttingDown)
         );
     }
@@ -258,10 +317,13 @@ mod tests {
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
         queue
-            .submit(Box::new(move || {
-                started_tx.send(()).expect("send");
-                gate_rx.recv().expect("gate");
-            }))
+            .submit(
+                "anon",
+                Box::new(move || {
+                    started_tx.send(()).expect("send");
+                    gate_rx.recv().expect("gate");
+                }),
+            )
             .expect("blocker");
         started_rx.recv().expect("worker picked up blocker");
 
@@ -277,9 +339,12 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..4 {
                         let ran = Arc::clone(&ran);
-                        match queue.submit(Box::new(move || {
-                            ran.fetch_add(1, Ordering::Relaxed);
-                        })) {
+                        match queue.submit(
+                            "anon",
+                            Box::new(move || {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            }),
+                        ) {
                             Ok(()) => accepted.fetch_add(1, Ordering::Relaxed),
                             Err(SubmitError::Full) => rejected_full.fetch_add(1, Ordering::Relaxed),
                             Err(SubmitError::ShuttingDown) => panic!("queue is open"),
@@ -302,12 +367,55 @@ mod tests {
     }
 
     #[test]
+    fn dequeue_interleaves_lanes_round_robin() {
+        // With one worker parked on a gate, a hot client queues six jobs
+        // and a light client two. Dequeue must alternate lanes while
+        // both have work — the light client's jobs run 2nd and 4th, not
+        // 7th and 8th.
+        let queue = JobQueue::new(1, 16);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        queue
+            .submit(
+                "hog",
+                Box::new(move || {
+                    started_tx.send(()).expect("send");
+                    gate_rx.recv().expect("gate");
+                }),
+            )
+            .expect("blocker");
+        started_rx.recv().expect("worker picked up blocker");
+        let (order_tx, order_rx) = mpsc::channel::<&'static str>();
+        for _ in 0..6 {
+            let tx = order_tx.clone();
+            queue
+                .submit("hog", Box::new(move || tx.send("hog").expect("send")))
+                .expect("hog job");
+        }
+        for _ in 0..2 {
+            let tx = order_tx.clone();
+            queue
+                .submit("light", Box::new(move || tx.send("light").expect("send")))
+                .expect("light job");
+        }
+        drop(order_tx);
+        gate_tx.send(()).expect("open gate");
+        queue.shutdown();
+        let order: Vec<&str> = order_rx.iter().collect();
+        assert_eq!(
+            order,
+            vec!["hog", "light", "hog", "light", "hog", "hog", "hog", "hog"],
+            "light client's jobs interleave with the hog's backlog"
+        );
+    }
+
+    #[test]
     fn zero_workers_clamped_to_at_least_one() {
         let queue = JobQueue::new(0, 4);
         assert!(queue.workers() >= 1);
         let (tx, rx) = mpsc::channel();
         queue
-            .submit(Box::new(move || tx.send(42).expect("send")))
+            .submit("anon", Box::new(move || tx.send(42).expect("send")))
             .expect("submit");
         assert_eq!(rx.recv().expect("result"), 42);
         // Capacity is clamped too.

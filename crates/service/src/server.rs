@@ -25,6 +25,7 @@
 //! mutation may insert a payload under the pre-mutation fingerprint,
 //! which later lookups simply report as stale and recompute.
 
+use crate::admission::{AdmissionControl, ANON_CLIENT};
 use crate::cache::{Lookup, ResultCache};
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
@@ -76,6 +77,11 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
+    /// Admission-control refill rate in requests per second per client
+    /// identity (`0` disables the gate — the default).
+    pub admit_rate: f64,
+    /// Admission-control bucket capacity (burst allowance, clamped ≥ 1).
+    pub admit_burst: f64,
     /// A pre-built network (e.g. loaded from the text format). When set,
     /// it replaces generation; `reseed` still regenerates from
     /// `profile`/`n`.
@@ -98,6 +104,8 @@ impl ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 128,
+            admit_rate: 0.0,
+            admit_burst: 8.0,
             preloaded: None,
         }
     }
@@ -268,6 +276,7 @@ struct ServerCtx {
     watches: Mutex<WatchHub>,
     metrics: Metrics,
     queue: JobQueue,
+    admission: AdmissionControl,
     theta_default: EffectiveAngle,
     reseed_n: usize,
     shutdown: AtomicBool,
@@ -327,6 +336,7 @@ impl Server {
             watches: Mutex::new(WatchHub::new()),
             metrics: Metrics::new(),
             queue: JobQueue::new(config.workers, config.queue_capacity),
+            admission: AdmissionControl::new(config.admit_rate, config.admit_burst),
             theta_default: config.theta,
             reseed_n: config.n.max(1),
             shutdown: AtomicBool::new(false),
@@ -401,10 +411,22 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<ServerCtx>) {
     ctx.queue.shutdown();
 }
 
+/// The verbs that consume worker or mutation capacity and therefore
+/// pass through the admission gate. Administrative verbs (`ping`,
+/// `stats`, `hello`, `shutdown`) and the coordinator's resync verbs
+/// (`fingerprint`, `snapshot`, `restore`) are never shed — a throttled
+/// client must still be able to observe its own throttling.
+const ADMISSION_GATED: &[&str] = &[
+    "check", "map", "holes", "kfull", "prob", "cells", "mask", "kcount", "fail", "move", "reseed",
+];
+
 fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut carry: Vec<u8> = Vec::new();
+    // The connection's declared identity; `hello client=NAME` replaces
+    // it, everything before (or without) a hello shares the anon bucket.
+    let mut client = ANON_CLIENT.to_string();
     while let Some(line) = protocol::read_request_line(stream, &mut carry, &ctx.shutdown) {
         if line.trim().is_empty() {
             continue;
@@ -416,6 +438,27 @@ fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
                 ctx.metrics.record_rejected();
                 if protocol::write_err(&mut writer, &message).is_err() {
                     return;
+                }
+            }
+            Ok(req) if req.verb() == "hello" => {
+                match req.allow_only(&["client"]).and_then(|()| {
+                    let name: String = req.get("client", ANON_CLIENT.to_string())?;
+                    Ok(name)
+                }) {
+                    Ok(name) => {
+                        client = name;
+                        ctx.metrics
+                            .record("hello", started.elapsed().as_secs_f64() * 1e3);
+                        if protocol::write_ok(&mut writer, &format!("hello {client}\n")).is_err() {
+                            return;
+                        }
+                    }
+                    Err(message) => {
+                        ctx.metrics.record_rejected();
+                        if protocol::write_err(&mut writer, &message).is_err() {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(req) if req.verb() == "watch" => {
@@ -437,7 +480,18 @@ fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
             }
             Ok(req) => {
                 let verb = req.verb().to_string();
-                match dispatch(ctx, &req) {
+                if ADMISSION_GATED.contains(&verb.as_str()) {
+                    if let Err(retry_ms) = ctx.admission.admit(&client) {
+                        ctx.metrics.record_busy();
+                        if protocol::write_err(&mut writer, &format!("busy retry_after={retry_ms}"))
+                            .is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                match dispatch(ctx, &req, &client) {
                     Ok(payload) => {
                         ctx.metrics
                             .record(&verb, started.elapsed().as_secs_f64() * 1e3);
@@ -535,7 +589,7 @@ struct QueryParams {
     hi: usize,
 }
 
-fn theta_of(ctx: &ServerCtx, req: &Request) -> Result<EffectiveAngle, String> {
+fn theta_of(ctx: &ServerCtx, req: &Request<'_>) -> Result<EffectiveAngle, String> {
     let deg: f64 = req.get("theta-deg", f64::NAN)?;
     if deg.is_nan() {
         return Ok(ctx.theta_default);
@@ -543,7 +597,7 @@ fn theta_of(ctx: &ServerCtx, req: &Request) -> Result<EffectiveAngle, String> {
     EffectiveAngle::new(deg.to_radians()).map_err(|e| e.to_string())
 }
 
-fn parse_query(ctx: &ServerCtx, req: &Request, kind: QueryKind) -> Result<QueryParams, String> {
+fn parse_query(ctx: &ServerCtx, req: &Request<'_>, kind: QueryKind) -> Result<QueryParams, String> {
     match kind {
         QueryKind::Check => req.allow_only(&["theta-deg"])?,
         QueryKind::Map => req.allow_only(&["theta-deg", "side"])?,
@@ -719,7 +773,12 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
 /// digest, same fingerprint) is served directly; a stale or absent one
 /// recomputes through the job queue and repairs the cache entry in
 /// place.
-fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<String, String> {
+fn run_query(
+    ctx: &Arc<ServerCtx>,
+    req: &Request<'_>,
+    kind: QueryKind,
+    client: &str,
+) -> Result<String, String> {
     let params = parse_query(ctx, req, kind)?;
     let key = digest(kind, &params);
     let current_fp = {
@@ -732,26 +791,29 @@ fn run_query(ctx: &Arc<ServerCtx>, req: &Request, kind: QueryKind) -> Result<Str
     let (tx, rx) = mpsc::channel();
     let job_ctx = Arc::clone(ctx);
     ctx.queue
-        .submit(Box::new(move || {
-            // The fingerprint is read under the same fleet lock the
-            // answer is computed under, so the cache entry always tags
-            // the payload with the state it was computed from — even if
-            // the fleet mutated between the lookup and this job.
-            let (fp, payload) = {
-                let fleet = job_ctx.fleet.read().expect("fleet lock");
-                (
-                    fp_for(&fleet, kind),
-                    compute(&job_ctx, &fleet, kind, &params),
-                )
-            };
-            job_ctx.cache.lock().expect("cache lock").insert(
-                key,
-                payload.clone(),
-                kind.network_dependent(),
-                fp,
-            );
-            let _ = tx.send(payload);
-        }))
+        .submit(
+            client,
+            Box::new(move || {
+                // The fingerprint is read under the same fleet lock the
+                // answer is computed under, so the cache entry always tags
+                // the payload with the state it was computed from — even if
+                // the fleet mutated between the lookup and this job.
+                let (fp, payload) = {
+                    let fleet = job_ctx.fleet.read().expect("fleet lock");
+                    (
+                        fp_for(&fleet, kind),
+                        compute(&job_ctx, &fleet, kind, &params),
+                    )
+                };
+                job_ctx.cache.lock().expect("cache lock").insert(
+                    key,
+                    payload.clone(),
+                    kind.network_dependent(),
+                    fp,
+                );
+                let _ = tx.send(payload);
+            }),
+        )
         .map_err(|e| e.to_string())?;
     rx.recv()
         .map_err(|_| "worker dropped the job (shutting down?)".to_string())
@@ -830,7 +892,7 @@ fn deliver_frames(ctx: &ServerCtx, watches: &mut WatchHub, frames: &[(SweepKey, 
     ctx.sweeps.lock().expect("sweep lock").set_pins(&watched);
 }
 
-fn run_fail(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_fail(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["id"])?;
     let id: usize = req.require("id")?;
     let mut watches = ctx.watches.lock().expect("watch lock");
@@ -858,7 +920,7 @@ fn run_fail(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     ))
 }
 
-fn run_move(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_move(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["id", "x", "y"])?;
     let id: usize = req.require("id")?;
     let x: f64 = req.require("x")?;
@@ -896,7 +958,7 @@ fn run_move(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
     ))
 }
 
-fn run_reseed(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_reseed(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["seed", "n"])?;
     let seed: u64 = req.require("seed")?;
     let n: usize = req.get("n", ctx.reseed_n)?;
@@ -929,7 +991,7 @@ fn run_reseed(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
 /// used by the cluster coordinator to detect shard divergence. The torus
 /// side rides along as exact bits so the coordinator can reconstruct
 /// grid geometry (hole centroids) without guessing the region.
-fn run_fingerprint(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_fingerprint(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&[])?;
     let fleet = ctx.fleet.read().expect("fleet lock");
     Ok(format!(
@@ -942,7 +1004,7 @@ fn run_fingerprint(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
 }
 
 /// The `snapshot` verb: persist the warm fleet to disk.
-fn run_snapshot(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_snapshot(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["path"])?;
     let path: String = req.require("path")?;
     let (net_fp, profile_fp) = {
@@ -961,7 +1023,7 @@ fn run_snapshot(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
 /// holds touches nothing. Cache entries are never removed — entries
 /// computed against the restored fingerprint become fresh again, and
 /// the mutation accounting counts only entries this restore staled.
-fn run_restore(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
+fn run_restore(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["path"])?;
     let path: String = req.require("path")?;
     let snap = read_snapshot(Path::new(&path)).map_err(|e| format!("restore from {path}: {e}"))?;
@@ -1002,7 +1064,7 @@ fn run_restore(ctx: &ServerCtx, req: &Request) -> Result<String, String> {
 /// held, so no mutation can slip between the baseline and the first
 /// delta. On success the connection belongs to the hub — the handler
 /// must stop reading from it and return.
-fn run_watch(ctx: &ServerCtx, req: &Request, stream: &TcpStream) -> Result<(), String> {
+fn run_watch(ctx: &ServerCtx, req: &Request<'_>, stream: &TcpStream) -> Result<(), String> {
     req.allow_only(&["theta-deg", "grid"])?;
     let theta = theta_of(ctx, req)?;
     let grid: usize = req.get("grid", 24usize)?;
@@ -1059,7 +1121,11 @@ fn render_stats(ctx: &ServerCtx) -> String {
     for (endpoint, count) in &snap.counts {
         let _ = write!(out, " {endpoint}={count}");
     }
-    let _ = writeln!(out, " total={} rejected={}", snap.total, snap.rejected);
+    let _ = writeln!(
+        out,
+        " total={} rejected={} busy={}",
+        snap.total, snap.rejected, snap.busy
+    );
     let _ = writeln!(
         out,
         "queue: depth={} capacity={} workers={}",
@@ -1067,6 +1133,20 @@ fn render_stats(ctx: &ServerCtx) -> String {
         ctx.queue.capacity(),
         ctx.queue.workers()
     );
+    let adm = ctx.admission.snapshot();
+    let _ = write!(
+        out,
+        "admission: rate={} burst={} clients={} admitted={} busy={}",
+        adm.rate,
+        adm.burst,
+        adm.clients.len(),
+        adm.admitted,
+        adm.busy
+    );
+    for (name, admitted, busy) in &adm.clients {
+        let _ = write!(out, " {name}={admitted}/{busy}");
+    }
+    let _ = writeln!(out);
     let _ = writeln!(
         out,
         "cache: entries={} capacity={} hits={} misses={} stale={} hit_rate={:.4} evictions={} invalidated={}",
@@ -1090,7 +1170,7 @@ fn render_stats(ctx: &ServerCtx) -> String {
     out
 }
 
-fn dispatch(ctx: &Arc<ServerCtx>, req: &Request) -> Result<String, String> {
+fn dispatch(ctx: &Arc<ServerCtx>, req: &Request<'_>, client: &str) -> Result<String, String> {
     match req.verb() {
         "ping" => {
             req.allow_only(&[])?;
@@ -1104,25 +1184,27 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: &Request) -> Result<String, String> {
             req.allow_only(&[])?;
             Ok("shutting down: draining in-flight jobs\n".to_string())
         }
-        "check" => run_query(ctx, req, QueryKind::Check),
-        "map" => run_query(ctx, req, QueryKind::Map),
-        "holes" => run_query(ctx, req, QueryKind::Holes),
-        "kfull" => run_query(ctx, req, QueryKind::Kfull),
-        "prob" => run_query(ctx, req, QueryKind::Prob),
-        "cells" => run_query(ctx, req, QueryKind::Cells),
-        "mask" => run_query(ctx, req, QueryKind::Mask),
-        "kcount" => run_query(ctx, req, QueryKind::Kcount),
+        "check" => run_query(ctx, req, QueryKind::Check, client),
+        "map" => run_query(ctx, req, QueryKind::Map, client),
+        "holes" => run_query(ctx, req, QueryKind::Holes, client),
+        "kfull" => run_query(ctx, req, QueryKind::Kfull, client),
+        "prob" => run_query(ctx, req, QueryKind::Prob, client),
+        "cells" => run_query(ctx, req, QueryKind::Cells, client),
+        "mask" => run_query(ctx, req, QueryKind::Mask, client),
+        "kcount" => run_query(ctx, req, QueryKind::Kcount, client),
         "fail" => run_fail(ctx, req),
         "move" => run_move(ctx, req),
         "reseed" => run_reseed(ctx, req),
         "fingerprint" => run_fingerprint(ctx, req),
         "snapshot" => run_snapshot(ctx, req),
         "restore" => run_restore(ctx, req),
-        // `watch` is intercepted in `handle_connection` (it needs the
-        // stream); reaching here means a non-connection context.
+        // `hello` and `watch` are intercepted in `handle_connection`
+        // (they need the connection); reaching here means a
+        // non-connection context.
+        "hello" => Err("hello applies to a client connection".to_string()),
         "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, watch, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, watch, hello, ping, shutdown)"
         )),
     }
 }

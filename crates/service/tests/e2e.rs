@@ -553,6 +553,101 @@ fn unknown_id_mutations_have_no_side_effects() {
 }
 
 #[test]
+fn four_client_hammer_counts_every_request_exactly_once() {
+    // Regression for the striped metrics rewrite: four concurrent
+    // connections hammer the daemon and the merged `stats` snapshot must
+    // account for every request exactly once — no lost updates between
+    // stripes, no double counting, and monotone latency quantiles.
+    const CLIENTS: usize = 4;
+    const PINGS: usize = 25;
+    const MASKS: usize = 10;
+    const CHECKS: usize = 5;
+    let server = Server::start(small_config()).expect("start");
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut client = connect(&server);
+                for i in 0..PINGS.max(MASKS).max(CHECKS) {
+                    if i < PINGS {
+                        assert_eq!(client.request_ok("ping").unwrap(), "pong\n");
+                    }
+                    if i < MASKS {
+                        client.request_ok("mask grid=8").unwrap();
+                    }
+                    if i < CHECKS {
+                        client.request_ok("check").unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let mut client = connect(&server);
+    let stats = client.request_ok("stats").unwrap();
+    let requests = stats_line(&stats, "requests:");
+    assert_eq!(requests["ping"], (CLIENTS * PINGS).to_string());
+    assert_eq!(requests["mask"], (CLIENTS * MASKS).to_string());
+    assert_eq!(requests["check"], (CLIENTS * CHECKS).to_string());
+    assert_eq!(requests["rejected"], "0");
+    let latency = stats_line(&stats, "latency_ms:");
+    let samples: u64 = latency["samples"].parse().unwrap();
+    // The stats request itself records only after rendering its payload,
+    // so the sample count is exactly the hammered requests.
+    assert_eq!(samples, (CLIENTS * (PINGS + MASKS + CHECKS)) as u64);
+    let p50: f64 = latency["p50"].parse().unwrap();
+    let p99: f64 = latency["p99"].parse().unwrap();
+    assert!(
+        p50 <= p99,
+        "quantiles must be monotone: p50={p50} p99={p99}"
+    );
+}
+
+#[test]
+fn admission_gate_sheds_the_hot_client_but_serves_the_light_one() {
+    // Fairness acceptance: a saturating identity is shed with `busy`
+    // frames while a second, light identity's requests all complete on
+    // its own token bucket.
+    let mut config = small_config();
+    config.admit_rate = 2.0;
+    config.admit_burst = 3.0;
+    let server = Server::start(config).expect("start");
+
+    let mut hog = connect(&server);
+    assert_eq!(hog.request_ok("hello client=hog").unwrap(), "hello hog\n");
+    let mut hog_ok = 0u32;
+    let mut hog_busy = 0u32;
+    for _ in 0..30 {
+        match hog.request("check").expect("transport") {
+            Response::Ok(_) => hog_ok += 1,
+            Response::Err(message) => {
+                assert!(message.contains("busy retry_after="), "{message}");
+                let after = message.split("retry_after=").nth(1).unwrap();
+                assert!(after.parse::<u64>().unwrap() >= 1, "{message}");
+                hog_busy += 1;
+            }
+        }
+    }
+    assert!(hog_ok >= 3, "the burst allowance was admitted: {hog_ok}");
+    assert!(hog_busy > 0, "the hot client must have been shed");
+
+    // The light client's fresh bucket admits it despite the hot one.
+    let mut light = connect(&server);
+    light.request_ok("hello client=light").unwrap();
+    for _ in 0..3 {
+        light.request_ok("check").unwrap();
+    }
+
+    // Ungated verbs stay reachable even for the exhausted identity.
+    assert_eq!(hog.request_ok("ping").unwrap(), "pong\n");
+    let stats = hog.request_ok("stats").unwrap();
+    let requests = stats_line(&stats, "requests:");
+    assert_eq!(requests["busy"], hog_busy.to_string());
+    let admission = stats_line(&stats, "admission:");
+    assert_eq!(admission["rate"], "2");
+    assert_eq!(admission["hog"], format!("{hog_ok}/{hog_busy}"));
+    assert_eq!(admission["light"], "3/0");
+}
+
+#[test]
 fn shutdown_request_drains_and_stops_the_server() {
     let server = Server::start(small_config()).expect("start");
     let addr = server.local_addr();

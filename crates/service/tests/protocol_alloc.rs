@@ -1,0 +1,83 @@
+//! Allocation audit of the zero-copy request parser. A dedicated test
+//! binary (single test, no parallel siblings) so the global counting
+//! allocator sees only this test's allocations.
+//!
+//! The parser borrows every field from the input line; its only
+//! allocation is the one params `Vec`, sized up front by a counting
+//! pass. This regression test pins that budget: ≤ 1 allocation per
+//! parse of a parameterised line, 0 for a bare verb — a re-introduced
+//! per-token `String` (the pre-zero-copy shape: 2 per parameter plus
+//! the verb) trips it immediately.
+
+use fullview_service::protocol::Request;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn request_parse_allocates_at_most_the_params_vec() {
+    let eight_params = "move id=3 x=0.25 y=0.75 a=1 b=2 c=3 d=4 e=5".to_string();
+    let bare = "ping".to_string();
+    // Warm-up outside the measured window (lazy runtime init, etc.).
+    assert!(Request::parse(&eight_params).is_ok());
+    assert!(Request::parse(&bare).is_ok());
+
+    const ROUNDS: u64 = 100;
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        let req = Request::parse(&eight_params).expect("parses");
+        assert_eq!(req.verb(), "move");
+        std::hint::black_box(&req);
+    }
+    let with_params = allocations() - before;
+    assert!(
+        with_params <= ROUNDS,
+        "parse of an 8-param line must allocate at most the params Vec \
+         (1 per parse), got {with_params} over {ROUNDS} parses"
+    );
+
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        let req = Request::parse(&bare).expect("parses");
+        assert_eq!(req.verb(), "ping");
+        std::hint::black_box(&req);
+    }
+    let bare_allocs = allocations() - before;
+    assert_eq!(
+        bare_allocs, 0,
+        "a parameterless verb borrows everything: zero allocations"
+    );
+}

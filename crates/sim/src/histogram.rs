@@ -80,6 +80,37 @@ impl Histogram {
         &self.counts
     }
 
+    /// Adds every sample recorded into `other` to this histogram.
+    ///
+    /// Merging per-worker shards must lose nothing: the merged total is
+    /// exactly the sum of the shard totals, bin by bin — the invariant
+    /// the service's sharded metrics rely on so `stats` quantiles stay
+    /// consistent under concurrent recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histograms have different shapes (range bits or
+    /// bin count) — merging incompatible lattices would silently shift
+    /// samples between bins.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.hi.to_bits() == other.hi.to_bits()
+                && self.counts.len() == other.counts.len(),
+            "histogram shapes differ: [{}, {}] x{} vs [{}, {}] x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bin midpoints.
     ///
     /// # Panics
@@ -157,6 +188,47 @@ mod tests {
         assert!((p90 - 0.9).abs() < 0.02, "p90 {p90}");
         assert!(h.quantile(0.0).is_some());
         assert!(h.quantile(1.0).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn merge_equals_histogram_of_concatenated_samples() {
+        let a_samples = [0.1, 0.3, 0.6, 0.9];
+        let b_samples = [0.2, 0.6, 0.95, 0.99, 0.5];
+        let mut merged = Histogram::from_samples(0.0, 1.0, 8, a_samples);
+        merged.merge(&Histogram::from_samples(0.0, 1.0, 8, b_samples));
+        let all = Histogram::from_samples(0.0, 1.0, 8, a_samples.iter().chain(&b_samples).copied());
+        assert_eq!(merged, all, "merge must be sample-exact");
+        assert_eq!(merged.total(), 9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::from_samples(0.0, 1.0, 4, [0.25, 0.75]);
+        let before = h.clone();
+        h.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram shapes differ")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.merge(&Histogram::new(0.0, 1.0, 8));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        // p50 ≤ p99 ≤ p999 must hold for any sample set — the `stats`
+        // endpoint reports these side by side and a non-monotone pair
+        // would be an obvious lie.
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.017).sin().abs()).collect();
+        let h = Histogram::from_samples(0.0, 1.0, 64, samples);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
     }
 
     #[test]
