@@ -192,8 +192,9 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "cache",
             "admit-rate",
             "admit-burst",
+            "wal",
         ],
-        "query" => &["addr", "req", "window"],
+        "query" => &["addr", "req", "window", "deadline-ms"],
         "watch" => &["addr", "grid", "theta-deg", "count"],
         "cluster" => match action {
             Some("serve") => &[
@@ -204,6 +205,7 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
                 "retries",
                 "backoff-ms",
                 "backoff-cap-ms",
+                "breaker-threshold",
                 "snapshot-dir",
                 "replicas",
             ],
@@ -270,11 +272,16 @@ COMMANDS:
              [--admit-rate R --admit-burst B]  per-client admission control
              (R requests/s refill, burst B; 0 = no limit; clients identify
              with 'hello client=NAME', unnamed traffic shares 'anon')
+             [--wal PATH]  crash-safe persistence: restore PATH (snapshot)
+             + PATH.wal (journal) on start, journal every mutation before
+             applying; 'snapshot' (no path) checkpoints and truncates
   query    send requests to a running daemon or cluster over one
            persistent connection; repeat --req to pipeline several
              --addr 127.0.0.1:7411 --req 'map side=24' --req stats
              (also: check, holes, kfull, prob, fail id=N,
              move id=N x=X y=Y, reseed seed=S, ping, shutdown)
+             [--deadline-ms MS]  per-request budget appended to query
+             verbs; queued work past the budget is shed with an err
   watch    subscribe to live coverage deltas from a daemon or cluster;
            prints the baseline then one frame per fleet mutation
              --addr 127.0.0.1:7411 [--grid 24 --theta-deg 45 --count 0]
@@ -282,7 +289,10 @@ COMMANDS:
   cluster  front N daemons with a scatter-gather coordinator
              serve  --shards 127.0.0.1:7411,127.0.0.1:7413
                     [--addr 127.0.0.1:7412 --snapshot-dir DIR --chunks C
-                     --inflight W --retries R --backoff-ms B --replicas K]
+                     --inflight W --retries R --backoff-ms B --replicas K
+                     --breaker-threshold F]  (a shard's circuit breaker
+                     trips open after F consecutive failures and re-probes
+                     on a doubling cooldown capped at --backoff-cap-ms)
                     (--replicas K groups consecutive shards into replica
                      sets: reads balance across the least-loaded live
                      replica, mutations broadcast to every shard)
@@ -632,6 +642,10 @@ fn serve_config(cli: &Cli) -> Result<ServiceConfig, Box<dyn Error>> {
     config.cache_capacity = cli.get("cache", 128usize)?;
     config.admit_rate = cli.get("admit-rate", config.admit_rate)?;
     config.admit_burst = cli.get("admit-burst", config.admit_burst)?;
+    let wal: String = cli.get("wal", String::new())?;
+    if !wal.is_empty() {
+        config.wal = Some(wal.into());
+    }
     let load: String = cli.get("load", String::new())?;
     if !load.is_empty() {
         let text = std::fs::read_to_string(&load)?;
@@ -668,6 +682,26 @@ fn cmd_query(cli: &Cli) -> Result<(), Box<dyn Error>> {
     if window == 0 {
         return Err(Box::new(ArgError("--window must be positive".into())));
     }
+    // `--deadline-ms` decorates the query verbs only: budgets mean
+    // nothing to mutations, stats, or control verbs, and the server
+    // would reject the unknown parameter there.
+    let deadline_ms: u64 = cli.get("deadline-ms", u64::MAX)?;
+    let reqs: Vec<String> = reqs
+        .iter()
+        .map(|r| {
+            let verb = r.split_whitespace().next().unwrap_or("");
+            let budgeted = matches!(
+                verb,
+                "check" | "prob" | "map" | "holes" | "kfull" | "cells" | "mask" | "kcount"
+            );
+            if deadline_ms != u64::MAX && budgeted {
+                format!("{r} deadline_ms={deadline_ms}")
+            } else {
+                (*r).to_string()
+            }
+        })
+        .collect();
+    let reqs: Vec<&str> = reqs.iter().map(String::as_str).collect();
     // One persistent connection; all requests pipelined through it with a
     // bounded in-flight window, answers printed in request order.
     let mut client = Client::connect(&addr)?;
@@ -763,6 +797,7 @@ fn cluster_config(cli: &Cli) -> Result<ClusterConfig, Box<dyn Error>> {
     config.retries = cli.get("retries", config.retries)?;
     config.backoff_ms = cli.get("backoff-ms", config.backoff_ms)?;
     config.backoff_cap_ms = cli.get("backoff-cap-ms", config.backoff_cap_ms)?;
+    config.breaker_threshold = cli.get("breaker-threshold", config.breaker_threshold)?;
     config.replication = cli.get("replicas", config.replication)?;
     let dir: String = cli.get("snapshot-dir", String::new())?;
     if !dir.is_empty() {
@@ -1268,6 +1303,62 @@ mod tests {
         // Admission defaults to off.
         let config = serve_config(&cli(&["serve"])).unwrap();
         assert!(config.admit_rate.abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_config_maps_wal_path() {
+        let config = serve_config(&cli(&["serve", "--wal", "/tmp/fvc.snap"])).unwrap();
+        assert_eq!(
+            config.wal.as_deref(),
+            Some(std::path::Path::new("/tmp/fvc.snap"))
+        );
+        // Persistence defaults to off.
+        let config = serve_config(&cli(&["serve"])).unwrap();
+        assert!(config.wal.is_none());
+    }
+
+    #[test]
+    fn cluster_config_maps_breaker_threshold() {
+        let config = cluster_config(&cli(&[
+            "cluster",
+            "serve",
+            "--shards",
+            "a,b",
+            "--breaker-threshold",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(config.breaker_threshold, 5);
+        let config = cluster_config(&cli(&["cluster", "serve", "--shards", "a,b"])).unwrap();
+        assert_eq!(config.breaker_threshold, 3);
+    }
+
+    #[test]
+    fn query_deadline_decorates_query_verbs_only() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 40;
+        let server = Server::start(config).expect("start daemon");
+        let addr = server.local_addr().to_string();
+        // A generous budget decorates map/check but not ping/stats — the
+        // daemon would reject deadline_ms on the latter, so success here
+        // proves the decoration is selective.
+        run(&cli(&[
+            "query",
+            "--addr",
+            &addr,
+            "--deadline-ms",
+            "60000",
+            "--req",
+            "ping",
+            "--req",
+            "map side=8",
+            "--req",
+            "check",
+            "--req",
+            "stats",
+        ]))
+        .unwrap();
     }
 
     #[test]

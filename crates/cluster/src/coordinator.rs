@@ -50,7 +50,7 @@
 //! daemons on one host, any local directory).
 
 use crate::merge::{aggregate, chunk_ranges, parse_shard_stats, ShardStats};
-use crate::shard::{is_overload, ShardError, ShardState};
+use crate::shard::{is_overload, ShardError, ShardState, DEFAULT_BREAKER_THRESHOLD};
 use fullview_core::{coverage_map_from_glyphs, hole_report_text, holes_from_mask, kfull_text};
 use fullview_geom::Torus;
 use fullview_service::protocol::{self, Request};
@@ -80,10 +80,16 @@ pub struct ClusterConfig {
     pub max_inflight: usize,
     /// Retry rounds for reassigning failed chunks / overload rejections.
     pub retries: usize,
-    /// Base backoff before a down shard is re-tried, in milliseconds.
+    /// Base breaker cooldown before a tripped shard is re-probed, in
+    /// milliseconds (doubles on each re-trip).
     pub backoff_ms: u64,
-    /// Backoff cap in milliseconds (doubling stops here).
+    /// Cooldown cap in milliseconds (doubling stops here).
     pub backoff_cap_ms: u64,
+    /// Consecutive transport failures before a shard's circuit breaker
+    /// trips open (clamped to ≥ 1). Below the threshold every request
+    /// may still attempt a reconnect; once open, the shard is skipped
+    /// outright until the cooldown admits a half-open probe.
+    pub breaker_threshold: u32,
     /// Directory for the cluster snapshot (shared with the daemons).
     /// `None` disables snapshot/restore failover: a divergent shard
     /// stays down instead of being resynced.
@@ -109,6 +115,7 @@ impl ClusterConfig {
             retries: 2,
             backoff_ms: 50,
             backoff_cap_ms: 2_000,
+            breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
             snapshot_dir: None,
             replication: 1,
         }
@@ -274,7 +281,7 @@ impl Coordinator {
         let shards: Vec<Mutex<ShardState>> = cfg
             .shard_addrs
             .iter()
-            .map(|a| Mutex::new(ShardState::new(a.clone())))
+            .map(|a| Mutex::new(ShardState::with_threshold(a.clone(), cfg.breaker_threshold)))
             .collect();
         let loads = (0..shards.len()).map(|_| ShardLoad::default()).collect();
         let ctx = Arc::new(ClusterCtx {
@@ -509,6 +516,25 @@ fn serve_chunks(
     outcomes
 }
 
+/// The remaining-budget token forwarded to shards, or the shed error
+/// once the deadline has passed. Re-evaluated every retry round so the
+/// shards always see the budget that is actually left, not the one the
+/// client started with.
+fn deadline_suffix(deadline: Option<Instant>, now: Instant) -> Result<String, String> {
+    let Some(deadline) = deadline else {
+        return Ok(String::new());
+    };
+    let remaining = deadline.saturating_duration_since(now);
+    let remaining_ms = u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX);
+    if remaining_ms == 0 {
+        return Err(
+            "deadline exceeded: budget exhausted at the coordinator before the shards answered"
+                .to_string(),
+        );
+    }
+    Ok(format!(" deadline_ms={remaining_ms}"))
+}
+
 /// Scatter-gathers one ranged query: `make_line(lo, hi)` builds the
 /// per-chunk daemon request; the returned payloads are in chunk order
 /// (concatenation order == grid order).
@@ -519,13 +545,22 @@ fn serve_chunks(
 /// on failed shards are reassigned across up to `retries` extra rounds —
 /// a round that completed *any* chunk retries the rest immediately, so
 /// failing over to a live sibling never waits out a reconnect backoff.
+///
+/// With a `deadline`, every round rebuilds the chunk lines with the
+/// *remaining* budget as `deadline_ms=` so the shards shed queued work
+/// the coordinator could no longer use; once the budget is gone the
+/// query fails with a `deadline exceeded:` error instead of burning
+/// shard time on a dead answer. A shard's own `deadline exceeded:`
+/// rejection is final (not retried): a sibling would only waste more of
+/// an already-blown budget.
 fn scatter(
     ctx: &ClusterCtx,
     total: usize,
+    deadline: Option<Instant>,
     make_line: impl Fn(usize, usize) -> String,
 ) -> Result<Vec<String>, String> {
     let ranges = chunk_ranges(total, ctx.chunk_count());
-    let lines: Vec<String> = ranges.iter().map(|&(lo, hi)| make_line(lo, hi)).collect();
+    let base_lines: Vec<String> = ranges.iter().map(|&(lo, hi)| make_line(lo, hi)).collect();
     let mut results: Vec<Option<String>> = vec![None; ranges.len()];
     let groups = ctx.group_count();
     let mut progressed = true;
@@ -543,6 +578,14 @@ fn scatter(
             std::thread::sleep(ctx.base());
         }
         progressed = false;
+        let suffix = deadline_suffix(deadline, Instant::now())?;
+        let rebuilt: Vec<String>;
+        let lines: &[String] = if suffix.is_empty() {
+            &base_lines
+        } else {
+            rebuilt = base_lines.iter().map(|l| format!("{l}{suffix}")).collect();
+            &rebuilt
+        };
         let live = live_shards(ctx);
         if live.is_empty() {
             continue; // maybe a backoff window expires before the last round
@@ -576,7 +619,6 @@ fn scatter(
                 .enumerate()
                 .filter(|(_, chunks)| !chunks.is_empty())
                 .map(|(shard_idx, chunks)| {
-                    let lines = &lines;
                     scope.spawn(move || serve_chunks(ctx, shard_idx, chunks, lines))
                 })
                 .collect();
@@ -604,7 +646,10 @@ fn scatter(
 
 /// Forwards a whole query to the least-loaded live shard, failing over
 /// across the remaining replicas within the round on transport errors.
-fn forward_one(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
+/// With a `deadline`, each attempt carries the remaining budget as
+/// `deadline_ms=` (the base `line` must not already contain one) and an
+/// exhausted budget sheds with a `deadline exceeded:` error.
+fn forward_one(ctx: &ClusterCtx, line: &str, deadline: Option<Instant>) -> Result<String, String> {
     for round in 0..=ctx.cfg.retries {
         if round > 0 {
             std::thread::sleep(ctx.base());
@@ -612,11 +657,19 @@ fn forward_one(ctx: &ClusterCtx, line: &str) -> Result<String, String> {
         let mut remaining = live_shards(ctx);
         while let Some(shard_idx) = pick_least_loaded(ctx, &remaining, &[]) {
             remaining.retain(|&s| s != shard_idx);
+            let suffix = deadline_suffix(deadline, Instant::now())?;
+            let rebuilt: String;
+            let line_now: &str = if suffix.is_empty() {
+                line
+            } else {
+                rebuilt = format!("{line}{suffix}");
+                &rebuilt
+            };
             ctx.loads[shard_idx]
                 .inflight
                 .fetch_add(1, Ordering::Relaxed);
             let mut state = ctx.shards[shard_idx].lock().expect("shard lock");
-            let outcome = state.request(line, ctx.base(), ctx.cap());
+            let outcome = state.request(line_now, ctx.base(), ctx.cap());
             drop(state);
             ctx.loads[shard_idx]
                 .inflight
@@ -789,48 +842,70 @@ fn render_shards(ctx: &ClusterCtx) -> String {
         // Probe liveness (reconnect + resync if due) before reporting.
         let serving = ensure_shard(ctx, i);
         let state = shard.lock().expect("shard lock");
+        let breaker = state.breaker();
         let _ = writeln!(
             out,
-            "shard {i}: addr={} group={} state={}",
+            "shard {i}: addr={} group={} state={} breaker={} failures={} cooldown_ms={}",
             state.addr(),
             ctx.group_of(i),
-            if serving { "up" } else { "down" }
+            if serving { "up" } else { "down" },
+            breaker.state_name(Instant::now()),
+            breaker.consecutive_failures(),
+            breaker.cooldown().as_millis()
         );
     }
     out
 }
 
-/// Raw `theta-deg` pass-through: the coordinator forwards the client's
+/// Raw parameter pass-through: the coordinator forwards the client's
 /// token verbatim so the shards parse the identical value.
-fn theta_suffix(req: &Request<'_>) -> Result<String, String> {
-    let raw: String = req.get("theta-deg", String::new())?;
+fn raw_suffix(req: &Request<'_>, key: &str) -> Result<String, String> {
+    let raw: String = req.get(key, String::new())?;
     if raw.is_empty() {
         Ok(String::new())
     } else {
-        Ok(format!(" theta-deg={raw}"))
+        Ok(format!(" {key}={raw}"))
     }
 }
 
-fn run_map(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
-    req.allow_only(&["theta-deg", "side"])?;
+fn theta_suffix(req: &Request<'_>) -> Result<String, String> {
+    raw_suffix(req, "theta-deg")
+}
+
+/// The optional `deadline_ms=` budget as an absolute deadline anchored
+/// at `received` (when the coordinator read the request line), so queue
+/// and retry time spent inside the coordinator counts against it.
+fn parse_deadline(req: &Request<'_>, received: Instant) -> Result<Option<Instant>, String> {
+    // u64::MAX ms ≈ 584 My: the sentinel for "no deadline given".
+    let ms: u64 = req.get("deadline_ms", u64::MAX)?;
+    if ms == u64::MAX {
+        return Ok(None);
+    }
+    Ok(Some(received + Duration::from_millis(ms)))
+}
+
+fn run_map(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "side", "deadline_ms"])?;
     let side: usize = req.get("side", 48)?;
     if side == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
-    let glyphs = scatter(ctx, side * side, |lo, hi| {
+    let glyphs = scatter(ctx, side * side, deadline, |lo, hi| {
         format!("cells side={side} lo={lo} hi={hi}{theta}")
     })?
     .concat();
     Ok(coverage_map_from_glyphs(side, &glyphs))
 }
 
-fn run_holes(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
-    req.allow_only(&["theta-deg", "grid"])?;
+fn run_holes(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "grid", "deadline_ms"])?;
     let grid: usize = req.get("grid", 24)?;
     if grid == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
     let torus_side = ctx
         .authority
@@ -838,7 +913,7 @@ fn run_holes(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
         .expect("authority lock")
         .ok_or("cluster has no authority state")?
         .torus_side;
-    let mask_text = scatter(ctx, grid * grid, |lo, hi| {
+    let mask_text = scatter(ctx, grid * grid, deadline, |lo, hi| {
         format!("mask grid={grid} lo={lo} hi={hi}{theta}")
     })?
     .concat();
@@ -854,15 +929,16 @@ fn run_holes(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
     Ok(hole_report_text(&report))
 }
 
-fn run_kfull(ctx: &ClusterCtx, req: &Request<'_>) -> Result<String, String> {
-    req.allow_only(&["theta-deg", "k", "grid"])?;
+fn run_kfull(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<String, String> {
+    req.allow_only(&["theta-deg", "k", "grid", "deadline_ms"])?;
     let grid: usize = req.get("grid", 24)?;
     let k: usize = req.get("k", 2)?;
     if grid == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
-    let counts = scatter(ctx, grid * grid, |lo, hi| {
+    let counts = scatter(ctx, grid * grid, deadline, |lo, hi| {
         format!("kcount k={k} grid={grid} lo={lo} hi={hi}{theta}")
     })?;
     let mut meeting = 0usize;
@@ -970,7 +1046,12 @@ fn relay_watch(ctx: &ClusterCtx, line: &str, downstream: &TcpStream) -> bool {
     true
 }
 
-fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request<'_>) -> Result<String, String> {
+fn dispatch(
+    ctx: &ClusterCtx,
+    line: &str,
+    req: &Request<'_>,
+    received: Instant,
+) -> Result<String, String> {
     match req.verb() {
         "ping" => {
             req.allow_only(&[])?;
@@ -998,16 +1079,24 @@ fn dispatch(ctx: &ClusterCtx, line: &str, req: &Request<'_>) -> Result<String, S
             Ok(format!("hello {client}\n"))
         }
         "fingerprint" => run_fingerprint(ctx, req),
-        "map" => run_map(ctx, req),
-        "holes" => run_holes(ctx, req),
-        "kfull" => run_kfull(ctx, req),
+        "map" => run_map(ctx, req, received),
+        "holes" => run_holes(ctx, req, received),
+        "kfull" => run_kfull(ctx, req, received),
+        // check/prob rebuild the forwarded line from the parsed tokens
+        // (instead of forwarding `line` verbatim) so the client's
+        // `deadline_ms=` is replaced by the remaining budget per attempt.
         "check" => {
-            req.allow_only(&["theta-deg"])?;
-            forward_one(ctx, line)
+            req.allow_only(&["theta-deg", "deadline_ms"])?;
+            let deadline = parse_deadline(req, received)?;
+            let theta = theta_suffix(req)?;
+            forward_one(ctx, &format!("check{theta}"), deadline)
         }
         "prob" => {
-            req.allow_only(&["theta-deg", "density"])?;
-            forward_one(ctx, line)
+            req.allow_only(&["theta-deg", "density", "deadline_ms"])?;
+            let deadline = parse_deadline(req, received)?;
+            let theta = theta_suffix(req)?;
+            let density = raw_suffix(req, "density")?;
+            forward_one(ctx, &format!("prob{theta}{density}"), deadline)
         }
         "fail" => {
             req.allow_only(&["id"])?;
@@ -1053,7 +1142,23 @@ fn handle_connection(ctx: &Arc<ClusterCtx>, stream: &TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut carry: Vec<u8> = Vec::new();
-    while let Some(line) = protocol::read_request_line(stream, &mut carry, &ctx.shutdown) {
+    loop {
+        let read = protocol::read_request_line_checked(stream, &mut carry, &ctx.shutdown);
+        let line = match read {
+            protocol::LineRead::Line(line) => line,
+            protocol::LineRead::Closed => return,
+            rejected => {
+                // Oversized or non-UTF-8: the framing is lost, so answer
+                // with a distinct err and drop the connection — exactly
+                // like the daemons do.
+                ctx.metrics.record_rejected();
+                if let Some(message) = protocol::line_read_error(&rejected) {
+                    let mut writer = stream;
+                    let _ = protocol::write_err(&mut writer, &message);
+                }
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -1081,7 +1186,7 @@ fn handle_connection(ctx: &Arc<ClusterCtx>, stream: &TcpStream) {
             }
             Ok(req) => {
                 let verb = req.verb().to_string();
-                match dispatch(ctx, &line, &req) {
+                match dispatch(ctx, &line, &req, started) {
                     Ok(payload) => {
                         ctx.metrics
                             .record(&verb, started.elapsed().as_secs_f64() * 1e3);

@@ -15,15 +15,18 @@
 //! * ordered broadcast for `fail` / `move` / `reseed` mutations.
 //!
 //! Requests to each shard travel over one persistent connection with
-//! bounded-window pipelining. Failed shards back off exponentially
-//! (capped), and a rejoining shard is fingerprint-checked against the
+//! bounded-window pipelining. A per-shard circuit breaker trips after a
+//! threshold of consecutive failures and re-probes on a doubling capped
+//! cooldown, and a rejoining shard is fingerprint-checked against the
 //! cluster's authority state — restored from the warm snapshot when it
-//! diverges — before it serves again.
+//! diverges — before it serves again. Query verbs accept a
+//! `deadline_ms=` budget that the coordinator decays and forwards to
+//! the shards, shedding work that could no longer be used.
 //!
 //! Layering, bottom to top:
 //!
 //! * [`shard`] — per-shard connection state: persistent pipelined
-//!   client, capped-backoff reconnects, transport/server error split.
+//!   client, circuit-breaker reconnects, transport/server error split.
 //! * [`merge`] — deterministic merging: chunk-range decomposition,
 //!   per-shard `stats` parsing, cluster-wide aggregation.
 //! * [`coordinator`] — the daemon-shaped front-end: scatter-gather,
@@ -37,4 +40,4 @@ pub mod shard;
 
 pub use coordinator::{ClusterConfig, Coordinator};
 pub use merge::{aggregate, chunk_ranges, parse_shard_stats, AggregateStats, ShardStats};
-pub use shard::{is_overload, ShardError, ShardState};
+pub use shard::{is_deadline, is_overload, Breaker, BreakerState, ShardError, ShardState};

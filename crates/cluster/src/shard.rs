@@ -1,21 +1,40 @@
-//! Per-shard connection state: a persistent pipelined [`Client`] plus
-//! the capped-exponential-backoff reconnect machinery.
+//! Per-shard connection state: a persistent pipelined [`Client`] plus a
+//! per-shard **circuit breaker** governing reconnects.
 //!
-//! A shard is always in one of two states:
+//! A shard is always in one of two transport states:
 //!
 //! * **Up** — a live connection; queries and mutations go through it.
-//! * **Down** — the last transport operation failed. Reconnects are
-//!   attempted lazily (no background pinger) whenever the coordinator
-//!   next needs the shard, but never before `next_retry_at`; each failed
-//!   attempt doubles the delay up to the configured cap.
+//! * **Down** — the last transport operation failed (or the shard was
+//!   forced down for divergence). Reconnects are attempted lazily (no
+//!   background pinger) whenever the coordinator next needs the shard,
+//!   gated by the breaker.
+//!
+//! The breaker replaces bare capped backoff with the classic
+//! three-state machine:
+//!
+//! * **Closed** — failures are counted but attempts proceed; reaching
+//!   the consecutive-failure threshold trips the breaker.
+//! * **Open** — attempts are refused outright until the cooldown
+//!   expires (each re-trip doubles the cooldown up to the cap), so one
+//!   dead or flapping replica cannot stall a scatter round with
+//!   connect attempts.
+//! * **Half-open** — the cooldown expired; exactly one probe operation
+//!   is allowed through. Success closes the breaker (and resets the
+//!   cooldown), failure re-opens it with a doubled cooldown.
 //!
 //! Rejoining the cluster is not just reconnecting: the coordinator
 //! fingerprint-checks a freshly-connected shard against the authority
 //! state and issues a `restore` when they diverge (see
-//! `coordinator::ensure_shard`). This module only manages the transport.
+//! `coordinator::ensure_shard`) — that verification request is the
+//! half-open probe, so a shard that connects but cannot prove itself
+//! re-opens the breaker. This module only manages the transport.
 
 use fullview_service::{Client, Response};
 use std::time::{Duration, Instant};
+
+/// Consecutive transport failures before the breaker trips, unless
+/// overridden via [`ShardState::with_threshold`].
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
 
 /// A failure talking to a shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +65,127 @@ pub fn is_overload(message: &str) -> bool {
     message.contains("queue full") || message.contains("busy retry_after=")
 }
 
+/// Whether a server-side error is a deadline shed — the budget is
+/// already blown, so retrying on a sibling would only burn more of it.
+#[must_use]
+pub fn is_deadline(message: &str) -> bool {
+    message.starts_with("deadline")
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Attempts proceed; failures count toward the threshold.
+    Closed,
+    /// Attempts are refused until `until`.
+    Open {
+        /// When the cooldown expires and a half-open probe is allowed.
+        until: Instant,
+    },
+    /// One probe is in flight; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+/// The consecutive-failure circuit breaker gating one shard's
+/// reconnect/probe attempts.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    consecutive_failures: u32,
+    /// Cooldown for the *next* trip (doubles, capped). Zero = base.
+    cooldown: Duration,
+    state: BreakerState,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            consecutive_failures: 0,
+            cooldown: Duration::ZERO,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Whether an attempt may proceed at `now`. An expired open breaker
+    /// transitions to half-open and admits the caller as the probe; the
+    /// shard mutex serializes callers, so the probe's outcome is
+    /// recorded before anyone else can ask.
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A successful operation: closes the breaker and resets both the
+    /// failure count and the cooldown ladder.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.cooldown = Duration::ZERO;
+    }
+
+    /// A failed operation at `now`. Trips to open when the consecutive
+    /// count reaches the threshold — or immediately when the failure
+    /// *was* the half-open probe — doubling the cooldown up to `cap`.
+    pub fn record_failure(&mut self, now: Instant, base: Duration, cap: Duration) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trips = matches!(self.state, BreakerState::HalfOpen)
+            || self.consecutive_failures >= self.threshold;
+        if trips {
+            let next = if self.cooldown.is_zero() {
+                base.max(Duration::from_millis(1))
+            } else {
+                (self.cooldown * 2).min(cap.max(base))
+            };
+            self.cooldown = next;
+            self.state = BreakerState::Open { until: now + next };
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The state's wire name (`closed` / `open` / `half-open`).
+    #[must_use]
+    pub fn state_name(&self, now: Instant) -> &'static str {
+        match self.state {
+            BreakerState::Closed => "closed",
+            // An expired open breaker reads as half-open: the next
+            // attempt will be admitted as the probe.
+            BreakerState::Open { until } if now >= until => "half-open",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Consecutive failures since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// The cooldown the last trip imposed (zero before any trip).
+    #[must_use]
+    pub fn cooldown(&self) -> Duration {
+        self.cooldown
+    }
+}
+
 /// One shard's connection state. The coordinator wraps each in a
 /// `Mutex`; scatter threads lock exactly one shard each, so no ordering
 /// discipline (and no deadlock) is needed.
@@ -53,21 +193,25 @@ pub fn is_overload(message: &str) -> bool {
 pub struct ShardState {
     addr: String,
     client: Option<Client>,
-    /// Earliest next reconnect attempt while down.
-    next_retry_at: Option<Instant>,
-    /// Delay to impose after the *next* failure (doubles, capped).
-    backoff: Duration,
+    breaker: Breaker,
 }
 
 impl ShardState {
-    /// A shard that has never been connected (first `ensure` connects).
+    /// A shard that has never been connected (first `ensure` connects),
+    /// with the default breaker threshold.
     #[must_use]
     pub fn new(addr: String) -> Self {
+        Self::with_threshold(addr, DEFAULT_BREAKER_THRESHOLD)
+    }
+
+    /// Like [`new`](Self::new) with an explicit consecutive-failure
+    /// threshold (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threshold(addr: String, threshold: u32) -> Self {
         ShardState {
             addr,
             client: None,
-            next_retry_at: None,
-            backoff: Duration::ZERO,
+            breaker: Breaker::new(threshold),
         }
     }
 
@@ -83,51 +227,47 @@ impl ShardState {
         self.client.is_some()
     }
 
-    /// Drops the connection and schedules the next reconnect attempt
-    /// with doubled (capped) backoff.
-    pub fn mark_down(&mut self, base: Duration, cap: Duration) {
-        self.client = None;
-        let next = if self.backoff.is_zero() {
-            base.max(Duration::from_millis(1))
-        } else {
-            (self.backoff * 2).min(cap)
-        };
-        self.backoff = next;
-        self.next_retry_at = Some(Instant::now() + next);
+    /// Read access to the breaker (the `shards` verb reports its state).
+    #[must_use]
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
     }
 
-    /// Ensures a connection exists, reconnecting if the backoff window
-    /// has elapsed. Returns `true` when the shard ends up connected and
-    /// `Some(true)` in the tuple's second slot when this call freshly
-    /// (re)connected — the coordinator must fingerprint-check such a
-    /// shard before trusting it.
+    /// Drops the connection and records the failure with the breaker
+    /// (tripping it — and doubling the capped cooldown — per its rules).
+    pub fn mark_down(&mut self, base: Duration, cap: Duration) {
+        self.client = None;
+        self.breaker.record_failure(Instant::now(), base, cap);
+    }
+
+    /// Ensures a connection exists, reconnecting when the breaker
+    /// admits the attempt. Returns `(connected, fresh)`: `fresh` means
+    /// this call (re)connected — the coordinator must fingerprint-check
+    /// such a shard before trusting it, and that check's outcome (via
+    /// [`request`](Self::request) / [`mark_down`](Self::mark_down))
+    /// doubles as the breaker's half-open probe result.
     pub fn ensure(&mut self, base: Duration, cap: Duration) -> (bool, bool) {
         if self.client.is_some() {
             return (true, false);
         }
-        if let Some(at) = self.next_retry_at {
-            if Instant::now() < at {
-                return (false, false);
-            }
+        if !self.breaker.allow(Instant::now()) {
+            return (false, false);
         }
         match Client::connect(&self.addr) {
             Ok(mut client) => {
                 let _ = client.set_timeout(Some(Duration::from_secs(60)));
                 self.client = Some(client);
-                self.backoff = Duration::ZERO;
-                self.next_retry_at = None;
                 (true, true)
             }
             Err(_) => {
-                self.mark_down(base, cap);
+                self.breaker.record_failure(Instant::now(), base, cap);
                 (false, false)
             }
         }
     }
 
     /// One request/response round-trip. A transport failure tears the
-    /// connection down (backoff scheduled by the caller via
-    /// [`mark_down`](Self::mark_down) semantics baked in here).
+    /// connection down and feeds the breaker; a success closes it.
     ///
     /// # Errors
     ///
@@ -146,8 +286,15 @@ impl ShardState {
             )));
         };
         match client.request(line) {
-            Ok(Response::Ok(payload)) => Ok(payload),
-            Ok(Response::Err(message)) => Err(ShardError::Server(message)),
+            Ok(Response::Ok(payload)) => {
+                self.breaker.record_success();
+                Ok(payload)
+            }
+            Ok(Response::Err(message)) => {
+                // The transport worked; an err frame is an answer.
+                self.breaker.record_success();
+                Err(ShardError::Server(message))
+            }
             Err(e) => {
                 self.mark_down(base, cap);
                 Err(ShardError::Transport(e.to_string()))
@@ -176,7 +323,10 @@ impl ShardState {
             )));
         };
         match client.pipeline(lines, max_inflight) {
-            Ok(responses) => Ok(responses),
+            Ok(responses) => {
+                self.breaker.record_success();
+                Ok(responses)
+            }
             Err(e) => {
                 self.mark_down(base, cap);
                 Err(ShardError::Transport(e.to_string()))
@@ -189,35 +339,93 @@ impl ShardState {
 mod tests {
     use super::*;
 
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_millis(35);
+
     #[test]
-    fn backoff_doubles_and_caps() {
-        let mut s = ShardState::new("127.0.0.1:1".to_string());
-        let base = Duration::from_millis(10);
-        let cap = Duration::from_millis(35);
-        s.mark_down(base, cap);
-        assert_eq!(s.backoff, Duration::from_millis(10));
-        s.mark_down(base, cap);
-        assert_eq!(s.backoff, Duration::from_millis(20));
-        s.mark_down(base, cap);
-        assert_eq!(s.backoff, Duration::from_millis(35), "capped");
-        s.mark_down(base, cap);
-        assert_eq!(s.backoff, Duration::from_millis(35), "stays at cap");
-        assert!(!s.is_up());
+    fn breaker_trips_at_the_threshold_and_cooldown_doubles_capped() {
+        let mut b = Breaker::new(3);
+        let t0 = Instant::now();
+        b.record_failure(t0, BASE, CAP);
+        b.record_failure(t0, BASE, CAP);
+        assert!(b.allow(t0), "below threshold: still closed");
+        assert_eq!(b.state_name(t0), "closed");
+        b.record_failure(t0, BASE, CAP);
+        assert!(!b.allow(t0), "third consecutive failure trips it");
+        assert_eq!(b.cooldown(), Duration::from_millis(10));
+        assert_eq!(b.state_name(t0), "open");
+        // Expired cooldown: the next attempt is the half-open probe.
+        let after = t0 + Duration::from_millis(11);
+        assert_eq!(b.state_name(after), "half-open");
+        assert!(b.allow(after));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe failure re-opens immediately with a doubled cooldown.
+        b.record_failure(after, BASE, CAP);
+        assert_eq!(b.cooldown(), Duration::from_millis(20));
+        assert!(!b.allow(after));
+        // Another round: the cooldown caps.
+        let after2 = after + Duration::from_millis(21);
+        assert!(b.allow(after2));
+        b.record_failure(after2, BASE, CAP);
+        assert_eq!(b.cooldown(), Duration::from_millis(35), "capped");
+        let after3 = after2 + Duration::from_millis(36);
+        assert!(b.allow(after3));
+        b.record_failure(after3, BASE, CAP);
+        assert_eq!(b.cooldown(), Duration::from_millis(35), "stays at cap");
     }
 
     #[test]
-    fn ensure_respects_the_retry_window() {
-        // Port 1 is never listening, so connects fail fast.
-        let mut s = ShardState::new("127.0.0.1:1".to_string());
-        let base = Duration::from_secs(60); // far future after first failure
-        let cap = Duration::from_secs(60);
-        let (up, fresh) = s.ensure(base, cap);
+    fn probe_success_closes_and_resets_the_ladder() {
+        let mut b = Breaker::new(1);
+        let t0 = Instant::now();
+        b.record_failure(t0, BASE, CAP);
+        b.record_failure(t0 + CAP + BASE, BASE, CAP);
+        assert_eq!(b.cooldown(), Duration::from_millis(20), "doubled once");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(b.cooldown(), Duration::ZERO, "ladder reset");
+        // The next trip starts from base again.
+        b.record_failure(Instant::now(), BASE, CAP);
+        assert_eq!(b.cooldown(), BASE);
+    }
+
+    #[test]
+    fn ensure_respects_an_open_breaker() {
+        // Port 1 is never listening, so connects fail fast. Threshold 1
+        // trips on the first failure; the far-future cooldown then
+        // refuses the second attempt without connecting.
+        let mut s = ShardState::with_threshold("127.0.0.1:1".to_string(), 1);
+        let base = Duration::from_secs(60);
+        let (up, fresh) = s.ensure(base, base);
         assert!(!up && !fresh);
-        // Within the window: no second connect attempt is made (would
-        // fail anyway, but the state must say "not yet").
-        let (up, fresh) = s.ensure(base, cap);
-        assert!(!up && !fresh);
-        assert_eq!(s.backoff, base, "only the first attempt backed off");
+        assert!(matches!(s.breaker().state(), BreakerState::Open { .. }));
+        let (up, fresh) = s.ensure(base, base);
+        assert!(!up && !fresh, "open breaker refuses the attempt");
+        assert_eq!(
+            s.breaker().consecutive_failures(),
+            1,
+            "refused attempts are not failures"
+        );
+    }
+
+    #[test]
+    fn below_threshold_failures_keep_attempting() {
+        let mut s = ShardState::with_threshold("127.0.0.1:1".to_string(), 3);
+        let base = Duration::from_secs(60);
+        let (up, _) = s.ensure(base, base);
+        assert!(!up);
+        let (up, _) = s.ensure(base, base);
+        assert!(!up);
+        assert_eq!(s.breaker().consecutive_failures(), 2);
+        assert_eq!(
+            s.breaker().state(),
+            BreakerState::Closed,
+            "two failures at threshold 3: still closed, still attempting"
+        );
+        let (up, _) = s.ensure(base, base);
+        assert!(!up);
+        assert!(matches!(s.breaker().state(), BreakerState::Open { .. }));
     }
 
     #[test]
@@ -231,10 +439,14 @@ mod tests {
     }
 
     #[test]
-    fn overload_classifier_matches_the_daemon_messages() {
+    fn overload_and_deadline_classifiers_match_the_daemon_messages() {
         assert!(is_overload("job queue full, retry later"));
         assert!(is_overload("busy retry_after=250"));
         assert!(!is_overload("unknown request 'zap'"));
         assert!(!is_overload("missing required parameter 'id'"));
+        assert!(is_deadline(
+            "deadline exceeded: 5ms budget spent (7ms) before compute started"
+        ));
+        assert!(!is_deadline("missed the deadline")); // must be the daemon's prefix
     }
 }

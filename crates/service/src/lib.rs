@@ -49,6 +49,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
 pub use admission::{AdmissionControl, AdmissionSnapshot, ANON_CLIENT};
 pub use cache::{CacheStats, Lookup, ResultCache};
@@ -58,3 +59,4 @@ pub use protocol::{Request, Response};
 pub use queue::{JobQueue, SubmitError};
 pub use server::{Server, ServiceConfig};
 pub use snapshot::{read_snapshot, snapshot_from_text, snapshot_to_text, write_snapshot, Snapshot};
+pub use wal::{read_wal, wal_path_for, WalOp, WalRecord, WalWriter};

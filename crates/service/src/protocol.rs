@@ -20,8 +20,9 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Upper bound on a request line, to keep a hostile peer from growing an
-/// unbounded buffer.
-pub const MAX_REQUEST_LINE: usize = 4096;
+/// unbounded buffer. An oversized line is answered with an `err` frame
+/// (see [`LineRead::Oversized`]) before the connection closes.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
 
 /// Upper bound on an accepted response payload (client side).
 pub const MAX_RESPONSE_BYTES: usize = 16 * 1024 * 1024;
@@ -148,34 +149,54 @@ pub fn write_err<W: Write>(w: &mut W, message: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// The outcome of reading one request line — see
+/// [`read_request_line_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// The peer sent more than [`MAX_REQUEST_LINE`] bytes without a
+    /// newline. The server answers with an `err` frame and closes —
+    /// never silently, so a misconfigured client learns why.
+    Oversized,
+    /// The line was not valid UTF-8. Answered with an `err` frame, then
+    /// the connection closes.
+    Invalid,
+    /// EOF, shutdown, or a transport error — close without a frame.
+    Closed,
+}
+
 /// Reads the next `\n`-terminated request line from a connection whose
 /// read timeout is short, checking `shutdown` on every timeout so idle
 /// keep-alive connections cannot stall a drain. `carry` holds bytes read
 /// past the previous newline and must persist across calls on the same
 /// connection.
 ///
-/// Returns `None` on EOF, shutdown, an oversized line
-/// ([`MAX_REQUEST_LINE`]), invalid UTF-8, or a transport error — all of
-/// which end the connection. Shared by the daemon's connection handler
-/// and the cluster coordinator's client-facing listener.
-pub fn read_request_line(
+/// Shared by the daemon's connection handler and the cluster
+/// coordinator's client-facing listener; both answer
+/// [`LineRead::Oversized`]/[`LineRead::Invalid`] with an `err` frame
+/// before closing.
+pub fn read_request_line_checked(
     stream: &TcpStream,
     carry: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) -> Option<String> {
+) -> LineRead {
     let mut chunk = [0u8; 1024];
     loop {
         if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
             let rest = carry.split_off(pos + 1);
             let mut line = std::mem::replace(carry, rest);
             line.pop(); // the newline
-            return String::from_utf8(line).ok();
+            return match String::from_utf8(line) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::Invalid,
+            };
         }
         if carry.len() > MAX_REQUEST_LINE {
-            return None;
+            return LineRead::Oversized;
         }
         match (&mut (&*stream)).read(&mut chunk) {
-            Ok(0) => return None,
+            Ok(0) => return LineRead::Closed,
             Ok(n) => carry.extend_from_slice(&chunk[..n]),
             Err(e)
                 if matches!(
@@ -184,12 +205,40 @@ pub fn read_request_line(
                 ) =>
             {
                 if shutdown.load(Ordering::SeqCst) {
-                    return None;
+                    return LineRead::Closed;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return None,
+            Err(_) => return LineRead::Closed,
         }
+    }
+}
+
+/// [`read_request_line_checked`] collapsed to an `Option` for callers
+/// that cannot answer with an `err` frame (e.g. the watch relay's
+/// upstream reader, where the lines are server-generated headers).
+pub fn read_request_line(
+    stream: &TcpStream,
+    carry: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Option<String> {
+    match read_request_line_checked(stream, carry, shutdown) {
+        LineRead::Line(line) => Some(line),
+        _ => None,
+    }
+}
+
+/// The `err` frame text for a [`LineRead::Oversized`] /
+/// [`LineRead::Invalid`] outcome (`None` for the others). One place, so
+/// the daemon and the coordinator reject identically.
+#[must_use]
+pub fn line_read_error(outcome: &LineRead) -> Option<String> {
+    match outcome {
+        LineRead::Oversized => Some(format!(
+            "request line exceeds {MAX_REQUEST_LINE} bytes without a newline"
+        )),
+        LineRead::Invalid => Some("request line is not valid UTF-8".to_string()),
+        LineRead::Line(_) | LineRead::Closed => None,
     }
 }
 
@@ -419,6 +468,42 @@ mod tests {
             "clean EOF"
         );
         writer_thread.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_and_invalid_lines_are_distinct_outcomes() {
+        use std::net::TcpListener;
+        use std::time::Duration;
+
+        let run = |payload: Vec<u8>| -> LineRead {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let writer = std::thread::spawn(move || {
+                let (mut peer, _) = listener.accept().unwrap();
+                peer.write_all(&payload).unwrap();
+            });
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(20)))
+                .unwrap();
+            let shutdown = AtomicBool::new(false);
+            let mut carry = Vec::new();
+            let outcome = read_request_line_checked(&stream, &mut carry, &shutdown);
+            writer.join().unwrap();
+            outcome
+        };
+
+        assert_eq!(run(b"ping\n".to_vec()), LineRead::Line("ping".to_string()));
+        assert_eq!(run(vec![b'x'; MAX_REQUEST_LINE + 2]), LineRead::Oversized);
+        assert_eq!(run(b"\xff\xfe bad\n".to_vec()), LineRead::Invalid);
+        assert_eq!(run(b"no newline".to_vec()), LineRead::Closed, "EOF");
+        assert!(line_read_error(&LineRead::Oversized)
+            .unwrap()
+            .contains("exceeds"));
+        assert!(line_read_error(&LineRead::Invalid)
+            .unwrap()
+            .contains("UTF-8"));
+        assert!(line_read_error(&LineRead::Closed).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
 use crate::queue::JobQueue;
 use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{self, WalOp, WalRecord, WalWriter};
 use fullview_core::canon::{network_fingerprint, profile_fingerprint, CanonicalHasher};
 use fullview_core::{
     count_k_view_range, coverage_glyphs_range, coverage_map_text, dense_grid, hole_report_text,
@@ -45,7 +46,7 @@ use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -86,6 +87,13 @@ pub struct ServiceConfig {
     /// it replaces generation; `reseed` still regenerates from
     /// `profile`/`n`.
     pub preloaded: Option<CameraNetwork>,
+    /// Durability base path. When set, the daemon restores
+    /// `<wal>` (writing it first if absent), replays `<wal>.wal`, and
+    /// journals every accepted mutation there — fsync'd before the
+    /// fleet mutates — so a crash loses at most un-acknowledged
+    /// mutations. The `snapshot` verb (with the default path)
+    /// checkpoints: it rewrites `<wal>` and truncates the journal.
+    pub wal: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -107,8 +115,17 @@ impl ServiceConfig {
             admit_rate: 0.0,
             admit_burst: 8.0,
             preloaded: None,
+            wal: None,
         }
     }
+}
+
+/// The durability state: the snapshot base path plus the open journal.
+/// Lock order: the journal mutex is only ever taken while the fleet
+/// lock is already held (write for mutations, read for snapshots).
+struct WalState {
+    base: PathBuf,
+    writer: Mutex<WalWriter>,
 }
 
 /// The mutable fleet state guarded by the `RwLock`.
@@ -277,6 +294,8 @@ struct ServerCtx {
     metrics: Metrics,
     queue: JobQueue,
     admission: AdmissionControl,
+    /// Write-ahead journal (`--wal`); `None` runs without durability.
+    wal: Option<WalState>,
     theta_default: EffectiveAngle,
     reseed_n: usize,
     shutdown: AtomicBool,
@@ -307,26 +326,46 @@ impl Server {
     /// I/O errors from binding, or a deployment error from fleet
     /// generation (surfaced as [`io::ErrorKind::InvalidInput`]).
     pub fn start(config: ServiceConfig) -> io::Result<Server> {
-        let net = match config.preloaded {
+        let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+        let mut profile = config.profile;
+        let mut net = match config.preloaded {
             Some(net) => net,
             None => {
                 let mut rng = StdRng::seed_from_u64(config.seed);
-                deploy_uniform(
-                    fullview_geom::Torus::unit(),
-                    &config.profile,
-                    config.n,
-                    &mut rng,
-                )
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+                deploy_uniform(fullview_geom::Torus::unit(), &profile, config.n, &mut rng)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            }
+        };
+        // Crash recovery: restore the base snapshot (writing it first if
+        // absent, pinning the generated state), then replay the journal
+        // suffix not yet folded into it.
+        let wal = match &config.wal {
+            None => None,
+            Some(base) => {
+                if base.exists() {
+                    let snap = read_snapshot(base).map_err(invalid)?;
+                    profile = snap.profile;
+                    net = snap.net;
+                } else {
+                    write_snapshot(base, &profile, &net)?;
+                }
+                let wal_path = wal::wal_path_for(base);
+                let scan = wal::read_wal(&wal_path).map_err(invalid)?;
+                wal::replay_onto(&profile, &mut net, &scan.records).map_err(invalid)?;
+                let writer = WalWriter::open(&wal_path, &scan)?;
+                Some(WalState {
+                    base: base.clone(),
+                    writer: Mutex::new(writer),
+                })
             }
         };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let net_fp = network_fingerprint(&net);
-        let profile_fp = profile_fingerprint(&config.profile);
+        let profile_fp = profile_fingerprint(&profile);
         let ctx = Arc::new(ServerCtx {
             fleet: RwLock::new(Fleet {
-                profile: config.profile,
+                profile,
                 net,
                 net_fp,
                 profile_fp,
@@ -337,6 +376,7 @@ impl Server {
             metrics: Metrics::new(),
             queue: JobQueue::new(config.workers, config.queue_capacity),
             admission: AdmissionControl::new(config.admit_rate, config.admit_burst),
+            wal,
             theta_default: config.theta,
             reseed_n: config.n.max(1),
             shutdown: AtomicBool::new(false),
@@ -427,7 +467,21 @@ fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
     // The connection's declared identity; `hello client=NAME` replaces
     // it, everything before (or without) a hello shares the anon bucket.
     let mut client = ANON_CLIENT.to_string();
-    while let Some(line) = protocol::read_request_line(stream, &mut carry, &ctx.shutdown) {
+    loop {
+        let outcome = protocol::read_request_line_checked(stream, &mut carry, &ctx.shutdown);
+        let line = match outcome {
+            protocol::LineRead::Line(line) => line,
+            protocol::LineRead::Closed => return,
+            ref bad => {
+                // Oversized / non-UTF-8: answer with an err frame so the
+                // peer learns why, then drop the connection.
+                ctx.metrics.record_rejected();
+                let mut writer = stream;
+                let message = protocol::line_read_error(bad).expect("oversized or invalid");
+                let _ = protocol::write_err(&mut writer, &message);
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -587,6 +641,10 @@ struct QueryParams {
     lo: usize,
     /// Range end for ranged kinds (exclusive).
     hi: usize,
+    /// Optional latency budget (`deadline_ms=`). Deliberately *not*
+    /// part of the digest — the answer doesn't depend on it; it only
+    /// governs whether the work is shed with an `err deadline` frame.
+    deadline: Option<Duration>,
 }
 
 fn theta_of(ctx: &ServerCtx, req: &Request<'_>) -> Result<EffectiveAngle, String> {
@@ -599,15 +657,18 @@ fn theta_of(ctx: &ServerCtx, req: &Request<'_>) -> Result<EffectiveAngle, String
 
 fn parse_query(ctx: &ServerCtx, req: &Request<'_>, kind: QueryKind) -> Result<QueryParams, String> {
     match kind {
-        QueryKind::Check => req.allow_only(&["theta-deg"])?,
-        QueryKind::Map => req.allow_only(&["theta-deg", "side"])?,
-        QueryKind::Holes => req.allow_only(&["theta-deg", "grid"])?,
-        QueryKind::Kfull => req.allow_only(&["theta-deg", "k", "grid"])?,
-        QueryKind::Prob => req.allow_only(&["theta-deg", "density"])?,
-        QueryKind::Cells => req.allow_only(&["theta-deg", "side", "lo", "hi"])?,
-        QueryKind::Mask => req.allow_only(&["theta-deg", "grid", "lo", "hi"])?,
-        QueryKind::Kcount => req.allow_only(&["theta-deg", "k", "grid", "lo", "hi"])?,
+        QueryKind::Check => req.allow_only(&["theta-deg", "deadline_ms"])?,
+        QueryKind::Map => req.allow_only(&["theta-deg", "side", "deadline_ms"])?,
+        QueryKind::Holes => req.allow_only(&["theta-deg", "grid", "deadline_ms"])?,
+        QueryKind::Kfull => req.allow_only(&["theta-deg", "k", "grid", "deadline_ms"])?,
+        QueryKind::Prob => req.allow_only(&["theta-deg", "density", "deadline_ms"])?,
+        QueryKind::Cells => req.allow_only(&["theta-deg", "side", "lo", "hi", "deadline_ms"])?,
+        QueryKind::Mask => req.allow_only(&["theta-deg", "grid", "lo", "hi", "deadline_ms"])?,
+        QueryKind::Kcount => {
+            req.allow_only(&["theta-deg", "k", "grid", "lo", "hi", "deadline_ms"])?;
+        }
     }
+    let deadline_ms: u64 = req.get("deadline_ms", u64::MAX)?;
     let mut params = QueryParams {
         theta: theta_of(ctx, req)?,
         side: req.get("side", 48usize)?,
@@ -616,6 +677,7 @@ fn parse_query(ctx: &ServerCtx, req: &Request<'_>, kind: QueryKind) -> Result<Qu
         density: req.get("density", 800.0f64)?,
         lo: req.get("lo", 0usize)?,
         hi: req.get("hi", usize::MAX)?,
+        deadline: (deadline_ms != u64::MAX).then(|| Duration::from_millis(deadline_ms)),
     };
     if params.side == 0 || params.grid == 0 {
         return Err("side/grid must be positive".to_string());
@@ -779,7 +841,13 @@ fn run_query(
     kind: QueryKind,
     client: &str,
 ) -> Result<String, String> {
+    let received = Instant::now();
     let params = parse_query(ctx, req, kind)?;
+    // The deadline is absolute from receipt; a fresh cache hit is free
+    // and is served even with an exhausted budget — only queued compute
+    // is shed.
+    let deadline_at = params.deadline.map(|budget| received + budget);
+    let budget_ms = params.deadline.map_or(0, |d| d.as_millis() as u64);
     let key = digest(kind, &params);
     let current_fp = {
         let fleet = ctx.fleet.read().expect("fleet lock");
@@ -788,12 +856,25 @@ fn run_query(
     if let Lookup::Fresh(hit) = ctx.cache.lock().expect("cache lock").get(key, current_fp) {
         return Ok(hit);
     }
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::channel::<Result<String, String>>();
     let job_ctx = Arc::clone(ctx);
     ctx.queue
         .submit(
             client,
             Box::new(move || {
+                // Shed the job if its budget expired while it sat in the
+                // queue: computing an answer nobody is waiting for would
+                // only deepen an overload.
+                if let Some(at) = deadline_at {
+                    let now = Instant::now();
+                    if now >= at {
+                        let spent = now.duration_since(received).as_millis();
+                        let _ = tx.send(Err(format!(
+                            "deadline exceeded: {budget_ms}ms budget spent ({spent}ms) before compute started"
+                        )));
+                        return;
+                    }
+                }
                 // The fingerprint is read under the same fleet lock the
                 // answer is computed under, so the cache entry always tags
                 // the payload with the state it was computed from — even if
@@ -811,12 +892,12 @@ fn run_query(
                     kind.network_dependent(),
                     fp,
                 );
-                let _ = tx.send(payload);
+                let _ = tx.send(Ok(payload));
             }),
         )
         .map_err(|e| e.to_string())?;
     rx.recv()
-        .map_err(|_| "worker dropped the job (shutting down?)".to_string())
+        .map_err(|_| "worker dropped the job (shutting down?)".to_string())?
 }
 
 /// Repairs every watched sweep state against the just-mutated fleet and
@@ -892,6 +973,22 @@ fn deliver_frames(ctx: &ServerCtx, watches: &mut WatchHub, frames: &[(SweepKey, 
     ctx.sweeps.lock().expect("sweep lock").set_pins(&watched);
 }
 
+/// Journals one validated mutation — fsync'd — before the caller
+/// applies it. A journal write failure *rejects* the mutation
+/// (durability before availability). No-op without `--wal`. Callers
+/// hold the fleet write lock, so records land in application order.
+fn journal(ctx: &ServerCtx, pre_fp: u64, op: WalOp) -> Result<(), String> {
+    let Some(state) = &ctx.wal else {
+        return Ok(());
+    };
+    state
+        .writer
+        .lock()
+        .expect("wal lock")
+        .append(&WalRecord { pre_fp, op })
+        .map_err(|e| format!("journal append failed, mutation rejected: {e}"))
+}
+
 fn run_fail(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["id"])?;
     let id: usize = req.require("id")?;
@@ -904,6 +1001,7 @@ fn run_fail(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
                 fleet.net.len()
             ));
         };
+        journal(ctx, fleet.net_fp, WalOp::Fail { id })?;
         assert!(fleet.net.remove_camera(id), "id was just bounds-checked");
         fleet.net_fp = network_fingerprint(&fleet.net);
         ctx.sweeps
@@ -937,6 +1035,7 @@ fn run_move(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
                 fleet.net.len()
             ));
         };
+        journal(ctx, fleet.net_fp, WalOp::Move { id, x, y })?;
         assert!(
             fleet.net.move_camera(id, Point::new(x, y)),
             "id was just bounds-checked"
@@ -971,6 +1070,7 @@ fn run_reseed(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
         let torus = *fleet.net.torus();
         let mut rng = StdRng::seed_from_u64(seed);
         let net = deploy_uniform(torus, &fleet.profile, n, &mut rng).map_err(|e| e.to_string())?;
+        journal(ctx, fleet.net_fp, WalOp::Reseed { seed, n })?;
         fleet.net_fp = network_fingerprint(&net);
         fleet.net = net;
         // Wholesale replacement: the fleet size (and with it the dense
@@ -1003,18 +1103,45 @@ fn run_fingerprint(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String>
     ))
 }
 
-/// The `snapshot` verb: persist the warm fleet to disk.
+/// The `snapshot` verb: persist the warm fleet to disk. With `--wal`,
+/// `path` defaults to the journal's base snapshot, and snapshotting to
+/// the base is a **checkpoint**: the journal truncates once the
+/// snapshot rename lands. Both steps run under the fleet lock, so no
+/// mutation can slip between them; a crash in the window between them
+/// is healed on recovery by the replay chain skipping records the
+/// snapshot already contains.
 fn run_snapshot(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
     req.allow_only(&["path"])?;
-    let path: String = req.require("path")?;
-    let (net_fp, profile_fp) = {
-        let fleet = ctx.fleet.read().expect("fleet lock");
-        write_snapshot(Path::new(&path), &fleet.profile, &fleet.net)
-            .map_err(|e| format!("snapshot to {path} failed: {e}"))?
+    let path: String = match &ctx.wal {
+        Some(state) => req.get("path", state.base.display().to_string())?,
+        None => req.require("path")?,
     };
-    Ok(format!(
-        "snapshot written to {path} (net_fp={net_fp} profile_fp={profile_fp})\n"
-    ))
+    let is_checkpoint = ctx.wal.as_ref().is_some_and(|w| Path::new(&path) == w.base);
+    let (net_fp, profile_fp, truncated) = {
+        let fleet = ctx.fleet.read().expect("fleet lock");
+        let (net_fp, profile_fp) = write_snapshot(Path::new(&path), &fleet.profile, &fleet.net)
+            .map_err(|e| format!("snapshot to {path} failed: {e}"))?;
+        let truncated = if is_checkpoint {
+            let state = ctx.wal.as_ref().expect("checkpoint implies wal");
+            let mut writer = state.writer.lock().expect("wal lock");
+            let n = writer.records();
+            writer
+                .truncate()
+                .map_err(|e| format!("journal truncate failed: {e}"))?;
+            Some(n)
+        } else {
+            None
+        };
+        (net_fp, profile_fp, truncated)
+    };
+    match truncated {
+        Some(n) => Ok(format!(
+            "snapshot written to {path} (net_fp={net_fp} profile_fp={profile_fp}); journal truncated ({n} records checkpointed)\n"
+        )),
+        None => Ok(format!(
+            "snapshot written to {path} (net_fp={net_fp} profile_fp={profile_fp})\n"
+        )),
+    }
 }
 
 /// The `restore` verb: adopt a snapshotted fleet. When the network
@@ -1041,6 +1168,18 @@ fn run_restore(ctx: &ServerCtx, req: &Request<'_>) -> Result<String, String> {
         } else {
             Vec::new()
         };
+        // A wholesale restore resets the journal's chain: checkpoint
+        // immediately so recovery restarts from the restored state.
+        if let Some(state) = &ctx.wal {
+            write_snapshot(&state.base, &fleet.profile, &fleet.net)
+                .map_err(|e| format!("restore applied but checkpoint failed: {e}"))?;
+            state
+                .writer
+                .lock()
+                .expect("wal lock")
+                .truncate()
+                .map_err(|e| format!("restore applied but checkpoint failed: {e}"))?;
+        }
         (fleet.net.len(), changed, frames)
     };
     let invalidated = if changed {
@@ -1159,6 +1298,17 @@ fn render_stats(ctx: &ServerCtx) -> String {
         cache.evictions,
         cache.invalidated
     );
+    if let Some(state) = &ctx.wal {
+        let writer = state.writer.lock().expect("wal lock");
+        let _ = writeln!(
+            out,
+            "wal: base={} records={} appended={} truncations={}",
+            state.base.display(),
+            writer.records(),
+            writer.appended(),
+            writer.truncations()
+        );
+    }
     let fmt_q = |q: Option<f64>| q.map_or_else(|| "na".to_string(), |v| format!("{v:.3}"));
     let _ = writeln!(
         out,

@@ -20,10 +20,15 @@
 //! <profile_to_text_exact lines>
 //! @network
 //! <network_to_text_exact lines>
+//! @end
 //! ```
 //!
 //! Writes go through a `<path>.tmp` + rename so a crash mid-write never
-//! leaves a truncated snapshot at the published path.
+//! leaves a truncated snapshot at the published path; the mandatory
+//! `@end` trailer additionally rejects any file cut short by other
+//! means (partial copy, full disk) with a clear "truncated" error
+//! instead of a confusing parse failure — or worse, a silently smaller
+//! fleet.
 
 use fullview_core::canon::{network_fingerprint, profile_fingerprint};
 use fullview_geom::Torus;
@@ -64,6 +69,7 @@ pub fn snapshot_to_text(profile: &NetworkProfile, net: &CameraNetwork) -> String
     out.push_str(&profile_to_text_exact(profile));
     out.push_str("@network\n");
     out.push_str(&network_to_text_exact(net));
+    out.push_str("@end\n");
     out
 }
 
@@ -105,10 +111,15 @@ pub fn snapshot_from_text(text: &str) -> Result<Snapshot, String> {
     let mut profile_text = String::new();
     let mut network_text = String::new();
     let mut section: Option<&mut String> = None;
+    let mut ended = false;
     for line in lines {
+        if ended {
+            return Err("data after the '@end' trailer (snapshot corrupted?)".to_string());
+        }
         match line {
             "@profile" => section = Some(&mut profile_text),
             "@network" => section = Some(&mut network_text),
+            "@end" => ended = true,
             _ => match section {
                 Some(ref mut buf) => {
                     buf.push_str(line);
@@ -133,6 +144,9 @@ pub fn snapshot_from_text(text: &str) -> Result<Snapshot, String> {
                 }
             },
         }
+    }
+    if !ended {
+        return Err("truncated snapshot: missing '@end' trailer".to_string());
     }
     let side = torus_side.ok_or("missing 'torus' header")?;
     if !side.is_finite() || side <= 0.0 {
@@ -267,12 +281,39 @@ mod tests {
             .unwrap_err()
             .contains("malformed header"));
         assert!(
-            snapshot_from_text("# fullview snapshot v1\ntorus 0x3ff0000000000000\n")
+            snapshot_from_text("# fullview snapshot v1\ntorus 0x3ff0000000000000\n@end\n")
                 .unwrap_err()
                 .contains("missing 'net_fp'")
         );
         assert!(read_snapshot(Path::new("/nonexistent/nope.snap"))
             .unwrap_err()
             .contains("cannot read"));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        // Cutting a valid snapshot anywhere — line boundaries or
+        // mid-line — must fail loudly, never install a smaller fleet.
+        let (profile, net) = fixture();
+        let text = snapshot_to_text(&profile, &net);
+        assert!(text.ends_with("@end\n"));
+        let step = (text.len() / 23).max(1);
+        for cut in (0..text.len()).step_by(step) {
+            assert!(
+                snapshot_from_text(&text[..cut]).is_err(),
+                "truncation at byte {cut}/{} must be rejected",
+                text.len()
+            );
+        }
+        // Trailing garbage after the trailer is rejected too.
+        let appended = format!("{text}junk\n");
+        assert!(snapshot_from_text(&appended)
+            .unwrap_err()
+            .contains("after the '@end'"));
+        // And the dedicated truncation message names the cause.
+        let no_end = text.strip_suffix("@end\n").unwrap();
+        assert!(snapshot_from_text(no_end)
+            .unwrap_err()
+            .contains("truncated snapshot"));
     }
 }

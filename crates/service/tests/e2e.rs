@@ -678,3 +678,98 @@ fn programmatic_shutdown_via_drop_is_graceful() {
     client.request_ok("check").unwrap();
     drop(server); // must not hang or panic with a live client connected
 }
+
+#[test]
+fn wal_restart_replays_mutations_to_byte_identical_state() {
+    let dir = std::env::temp_dir().join(format!("fvc-wal-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let base = dir.join("fleet.snap");
+
+    // First life: journal three mutations, but never checkpoint.
+    let mut config = small_config();
+    config.wal = Some(base.clone());
+    let server = Server::start(config).expect("start");
+    let mut client = connect(&server);
+    client.request_ok("fail id=3").unwrap();
+    client.request_ok("move id=5 x=0.25 y=0.75").unwrap();
+    client.request_ok("reseed seed=11 n=50").unwrap();
+    let fp = client.request_ok("fingerprint").unwrap();
+    let map = client.request_ok("map side=16").unwrap();
+    drop(client);
+    drop(server);
+
+    // Second life: the startup snapshot plus the replayed journal must
+    // reproduce the pre-restart fleet bit for bit.
+    let mut config = small_config();
+    config.wal = Some(base.clone());
+    let server = Server::start(config).expect("restart with wal");
+    let mut client = connect(&server);
+    assert_eq!(client.request_ok("fingerprint").unwrap(), fp);
+    assert_eq!(client.request_ok("map side=16").unwrap(), map);
+    let stats = client.request_ok("stats").unwrap();
+    let wal = stats_line(&stats, "wal:");
+    assert_eq!(wal["records"], "3", "journal replayed all three records");
+
+    // Checkpointing folds the journal into the snapshot and truncates.
+    let reply = client.request_ok("snapshot").unwrap();
+    assert!(
+        reply.contains("journal truncated (3 records checkpointed)"),
+        "{reply}"
+    );
+    client.request_ok("fail id=0").unwrap();
+    let fp2 = client.request_ok("fingerprint").unwrap();
+    drop(client);
+    drop(server);
+
+    // Third life: snapshot (checkpointed) + one fresh journal record.
+    let mut config = small_config();
+    config.wal = Some(base.clone());
+    let server = Server::start(config).expect("restart after checkpoint");
+    let mut client = connect(&server);
+    assert_eq!(client.request_ok("fingerprint").unwrap(), fp2);
+    let stats = client.request_ok("stats").unwrap();
+    assert_eq!(stats_line(&stats, "wal:")["records"], "1");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_sheds_queued_work_but_serves_fresh_hits_and_generous_budgets() {
+    // One worker: jobs queue strictly behind the pipelined heavy maps,
+    // so the 1 ms budget is guaranteed spent before compute starts.
+    let mut config = small_config();
+    config.workers = 1;
+    let server = Server::start(config).expect("start");
+    let mut client = connect(&server);
+
+    // A generous budget on an idle daemon answers normally.
+    let ok = client.request_ok("check deadline_ms=60000").unwrap();
+    assert!(ok.contains("full-view fraction"), "{ok}");
+
+    // A second connection saturates the single worker with heavy maps
+    // (distinct sides defeat the cache); the tiny-budget prob then
+    // queues behind them and must be shed with the daemon's deadline
+    // err. One connection cannot show this: its requests are read
+    // sequentially, so a later request's clock starts after the earlier
+    // answers are already written.
+    let mut heavy = connect(&server);
+    let hog = std::thread::spawn(move || {
+        let reqs = ["map side=512", "map side=513", "map side=514"];
+        heavy.pipeline(&reqs, reqs.len()).expect("heavy pipeline")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    match client.request("prob density=150 deadline_ms=1").unwrap() {
+        Response::Err(message) => {
+            assert!(message.starts_with("deadline exceeded:"), "{message}");
+        }
+        other => panic!("tiny budget behind a busy worker must shed, got {other:?}"),
+    }
+    for resp in hog.join().expect("hog thread") {
+        assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    }
+
+    // The deadline is not part of the cache key: the answer computed
+    // above serves a repeat with an impossible budget from cache.
+    let hit = client.request_ok("check deadline_ms=1").unwrap();
+    assert_eq!(hit, ok, "fresh cache hits are free and never shed");
+}
