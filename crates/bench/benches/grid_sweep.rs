@@ -33,11 +33,12 @@
 use criterion::{BenchmarkId, Criterion};
 use fullview_bench::bench_network;
 use fullview_core::{
-    evaluate_grid, use_tiled, EffectiveAngle, GridCoverageReport, GridEvaluator, GridTiling,
-    IncrementalSweep,
+    evaluate_grid, sweep_flags_range, use_tiled, EffectiveAngle, GridCoverageReport, GridEvaluator,
+    GridTiling, IncrementalSweep,
 };
 use fullview_geom::{Angle, Point, Torus, UnitGrid};
-use fullview_model::CameraNetwork;
+use fullview_hier::sweep_flags_range_hier;
+use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
 use fullview_sim::{evaluate_grid_parallel, evaluate_grid_parallel_flat};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::f64::consts::PI;
@@ -216,6 +217,73 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// A dense omnidirectional fleet on an R2 low-discrepancy scatter: the
+/// regime the hierarchical prover is built for (wide overlap lets whole
+/// quadtree rectangles certify as fully covered). The directional
+/// [`bench_network`] profile stays on the mask benches untouched.
+fn dense_omni_network(n: usize, radius: f64) -> CameraNetwork {
+    let spec = SensorSpec::new(radius, std::f64::consts::TAU).expect("valid spec");
+    let cams: Vec<Camera> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let pos = Point::new(
+                (t * 0.754_877_666_246_693).fract(),
+                (t * 0.569_840_290_998_053 + 0.137).fract(),
+            );
+            Camera::new(pos, Angle::new(t * 2.399_963), spec, GroupId(i % 3))
+        })
+        .collect();
+    CameraNetwork::new(Torus::unit(), cams)
+}
+
+/// The hierarchical prover vs the mask-screened kernel, both cold, on a
+/// large grid (`hier`'s raison d'être: interior rectangles proved
+/// without visiting their points). Bit-identity is asserted before any
+/// timing; the speedup is gated at [`MIN_HIER_SPEEDUP`] below.
+fn bench_hier(c: &mut Criterion) {
+    let theta = EffectiveAngle::new(PI / 3.0).expect("valid θ");
+    let net = dense_omni_network(420, 0.12);
+    let side = 640usize;
+    let grid = UnitGrid::new(Torus::unit(), side);
+
+    let mut mask_full = 0usize;
+    sweep_flags_range(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+        mask_full += usize::from(f.full_view);
+    });
+    let mut hier_full = 0usize;
+    let stats = sweep_flags_range_hier(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+        hier_full += usize::from(f.full_view);
+    });
+    assert_eq!(mask_full, hier_full, "hier sweep diverged from the kernel");
+    assert!(
+        stats.points_proved > 0,
+        "prover proved nothing on the dense omni fleet: {stats}"
+    );
+    println!("hier prover at side {side}: {stats}");
+
+    let mut group = c.benchmark_group("grid_sweep");
+    group.sample_size(10);
+    group.bench_function("mask_cold_large", |b| {
+        b.iter(|| {
+            let mut full = 0usize;
+            sweep_flags_range(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+                full += usize::from(f.full_view);
+            });
+            black_box(full)
+        });
+    });
+    group.bench_function("hier_cold", |b| {
+        b.iter(|| {
+            let mut full = 0usize;
+            sweep_flags_range_hier(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+                full += usize::from(f.full_view);
+            });
+            black_box(full)
+        });
+    });
+    group.finish();
+}
+
 /// Floor on the cold-sweep / dirty-resweep median ratio after a single
 /// camera move; the whole point of tile-dirty tracking.
 const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
@@ -224,6 +292,11 @@ const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
 /// single-thread tiled path; the whole point of the sector-mask kernel.
 /// Compared on the *current* run's medians, so it is host-independent.
 const MIN_MASK_SPEEDUP: f64 = 5.0;
+
+/// Floor on the mask-kernel / hierarchical-prover median ratio on the
+/// large-grid dense-omni sweep; the whole point of the quadtree prover.
+/// Compared on the *current* run's medians, so it is host-independent.
+const MIN_HIER_SPEEDUP: f64 = 3.0;
 
 /// Cold full-grid sweeps vs dirty-tile resweeps after one camera move.
 ///
@@ -404,6 +477,27 @@ fn regression_gate(criterion: &Criterion) {
         }
         _ => println!("bench gate: mask/exact ids missing from current run, skipping"),
     }
+
+    // Hierarchical-prover gate: current-run medians again (mask kernel
+    // vs quadtree prover on the large dense-omni grid).
+    match (
+        lookup(&current, "grid_sweep/hier_cold"),
+        lookup(&current, "grid_sweep/mask_cold_large"),
+    ) {
+        (Some(hier), Some(mask)) => {
+            let speedup = mask / hier;
+            println!(
+                "bench gate: hier prover speedup {speedup:.1}x \
+                 (floor {MIN_HIER_SPEEDUP:.0}x)"
+            );
+            assert!(
+                speedup >= MIN_HIER_SPEEDUP,
+                "hierarchical prover no longer pays: {speedup:.1}x < \
+                 {MIN_HIER_SPEEDUP:.0}x over the mask kernel at large sides"
+            );
+        }
+        _ => println!("bench gate: hier/mask_large ids missing from current run, skipping"),
+    }
 }
 
 /// Manual median-of-N timing (seconds granularity is overkill here; the
@@ -501,6 +595,7 @@ fn main() {
     }
     let mut criterion = Criterion::default();
     bench_sweep(&mut criterion);
+    bench_hier(&mut criterion);
     bench_incremental(&mut criterion);
     regression_gate(&criterion);
     criterion.final_summary();

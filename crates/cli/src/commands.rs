@@ -11,15 +11,17 @@ use fullview_bench::loadgen::{
 };
 use fullview_cluster::{ClusterConfig, Coordinator};
 use fullview_core::{
-    analyze_point, classify_csa, critical_esr, csa_necessary, csa_one_coverage, csa_sufficient,
-    find_holes, is_full_view_covered, max_cameras_below_necessary, min_cameras_for_guarantee,
-    prob_point_full_view_poisson, prob_point_full_view_uniform, prob_point_meets_necessary_poisson,
-    prob_point_meets_sufficient_poisson, required_area_for_expected_fraction, sweep_grid,
-    unsafe_directions, EffectiveAngle, SectorPartition,
+    analyze_point, barrier_full_view, classify_csa, critical_esr, csa_necessary, csa_one_coverage,
+    csa_sufficient, dense_grid, find_holes, is_full_view_covered, max_cameras_below_necessary,
+    min_cameras_for_guarantee, prob_point_full_view_poisson, prob_point_full_view_uniform,
+    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson,
+    required_area_for_expected_fraction, sweep_grid, unsafe_directions, EffectiveAngle,
+    SectorPartition,
 };
 use fullview_core::{evaluate_path, Path};
 use fullview_deploy::{deploy_poisson, deploy_uniform};
 use fullview_geom::{Angle, Point, Torus, UnitGrid};
+use fullview_hier::{coverage_glyphs_range_hier, evaluate_grid_hier, find_holes_hier};
 use fullview_model::{
     empirical_profile, network_from_text, network_to_text, profile_from_text, CameraNetwork,
     NetworkProfile, SensorSpec,
@@ -49,6 +51,7 @@ pub fn run(cli: &Cli) -> Result<(), Box<dyn Error>> {
         Some("poisson") => cmd_poisson(cli),
         Some("map") => cmd_map(cli),
         Some("holes") => cmd_holes(cli),
+        Some("barrier") => cmd_barrier(cli),
         Some("plan") => cmd_plan(cli),
         Some("aim") => cmd_aim(cli),
         Some("point") => cmd_point(cli),
@@ -97,6 +100,7 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "profile",
             "load",
             "threads",
+            "hier",
         ],
         "poisson" => &[
             "density",
@@ -116,6 +120,7 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "profile",
             "load",
             "side",
+            "hier",
         ],
         "holes" => &[
             "theta-deg",
@@ -126,6 +131,18 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "profile",
             "load",
             "grid",
+            "hier",
+        ],
+        "barrier" => &[
+            "theta-deg",
+            "radius",
+            "aov-deg",
+            "n",
+            "seed",
+            "profile",
+            "load",
+            "grid",
+            "addr",
         ],
         "plan" => &["theta-deg", "radius", "aov-deg", "grid", "budget"],
         "aim" => &[
@@ -193,6 +210,8 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
             "admit-rate",
             "admit-burst",
             "wal",
+            "hier",
+            "max-cells",
         ],
         "query" => &["addr", "req", "window", "deadline-ms"],
         "watch" => &["addr", "grid", "theta-deg", "count"],
@@ -208,6 +227,7 @@ fn allowed_options(sub: &str, action: Option<&str>) -> Option<&'static [&'static
                 "breaker-threshold",
                 "snapshot-dir",
                 "replicas",
+                "max-cells",
             ],
             Some("status") => &["addr"],
             _ => return None,
@@ -253,6 +273,10 @@ COMMANDS:
              --n 900 --theta-deg 45 --radius 0.1 --aov-deg 90 [--side 48]
   holes    spatial full-view coverage holes of a random deployment
              --n 900 --theta-deg 45 --radius 0.1 --aov-deg 90 [--grid 24]
+  barrier  barrier full-view coverage: is there a full-view-covered
+           horizontal crossing path? (--addr asks a running daemon or
+           cluster instead — identical output bytes)
+             --n 900 --theta-deg 45 [--grid 24] [--addr 127.0.0.1:7411]
   plan     greedy deliberate placement to full-view cover the region
              --theta-deg 45 --radius 0.15 --aov-deg 90
   aim      re-orient a random deployment's cameras (fixed positions)
@@ -275,11 +299,15 @@ COMMANDS:
              [--wal PATH]  crash-safe persistence: restore PATH (snapshot)
              + PATH.wal (journal) on start, journal every mutation before
              applying; 'snapshot' (no path) checkpoints and truncates
+             [--hier]  answer grid queries through the hierarchical
+             prover (identical bytes; prover tallies under 'stats')
+             [--max-cells N]  reject grid requests over N cells with a
+             named err instead of attempting them
   query    send requests to a running daemon or cluster over one
            persistent connection; repeat --req to pipeline several
              --addr 127.0.0.1:7411 --req 'map side=24' --req stats
-             (also: check, holes, kfull, prob, fail id=N,
-             move id=N x=X y=Y, reseed seed=S, ping, shutdown)
+             (also: check, holes, kfull, prob, barrier grid=N,
+             fail id=N, move id=N x=X y=Y, reseed seed=S, ping, shutdown)
              [--deadline-ms MS]  per-request budget appended to query
              verbs; queued work past the budget is shed with an err
   watch    subscribe to live coverage deltas from a daemon or cluster;
@@ -296,6 +324,8 @@ COMMANDS:
                     (--replicas K groups consecutive shards into replica
                      sets: reads balance across the least-loaded live
                      replica, mutations broadcast to every shard)
+                    [--max-cells N]  coordinator-side grid budget: reject
+                     oversized ranged queries before scattering them
              status [--addr 127.0.0.1:7412]
   bench    drive a daemon or cluster with an open-loop load generator
              load   --addr 127.0.0.1:7411 [--clients 4 --rate 200
@@ -309,7 +339,10 @@ instead of generating a random one, and --profile FILE to use a
 heterogeneous mix (text format: one 'fraction radius aov_rad' per line).
 Dense-grid commands (check, poisson, failures) accept --threads N to
 parallelise the grid sweep (0 = one per CPU; results are identical for
-every thread count).";
+every thread count). map, holes, and check accept --hier to sweep via
+the hierarchical coverage prover: byte-identical output, large grids
+(sides in the tens of thousands) become practical, prover tallies print
+on stderr.";
 
 fn theta_of(cli: &Cli) -> Result<EffectiveAngle, Box<dyn Error>> {
     let deg: f64 = cli.get("theta-deg", 45.0)?;
@@ -455,7 +488,16 @@ fn cmd_check(cli: &Cli) -> Result<(), Box<dyn Error>> {
         net.len(),
         classify_csa(s_c, net.len().max(3), theta)
     );
-    let report = evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, threads_of(cli)?);
+    // `--hier` sweeps the same dense grid through the hierarchical
+    // prover: identical report bytes on stdout, prover stats on stderr.
+    let report = if cli.flag("hier") {
+        let grid = dense_grid(*net.torus(), net.len());
+        let (report, stats) = evaluate_grid_hier(&net, theta, &grid, Angle::ZERO);
+        eprintln!("hier: {stats}");
+        report
+    } else {
+        evaluate_dense_grid_parallel(&net, theta, Angle::ZERO, threads_of(cli)?)
+    };
     println!("{report}");
     println!(
         "exact per-point full-view probability (theory): {:.4}",
@@ -499,20 +541,30 @@ fn cmd_map(cli: &Cli) -> Result<(), Box<dyn Error>> {
     println!("legend: '#' sufficient, 'F' full-view, 'n' necessary, '.' covered, ' ' bare\n");
     // Tile-coherent sweep through the shared engine; points arrive in tile
     // order, so render into an index-keyed buffer before printing rows.
-    let mut cells = vec![' '; grid.len()];
-    sweep_grid(&net, &grid, |idx, _, view| {
-        cells[idx] = if sufficient.is_satisfied_view(view) {
-            '#'
-        } else if view.is_full_view(theta) {
-            'F'
-        } else if necessary.is_satisfied_view(view) {
-            'n'
-        } else if view.covering_cameras > 0 {
-            '.'
-        } else {
-            ' '
-        };
-    });
+    // `--hier` routes the sweep through the hierarchical prover instead
+    // (identical glyph bytes; prover stats go to stderr), which is what
+    // makes sides in the tens of thousands practical.
+    let cells: Vec<char> = if cli.flag("hier") {
+        let (glyphs, stats) = coverage_glyphs_range_hier(&net, theta, side, 0, side * side);
+        eprintln!("hier: {stats}");
+        glyphs.chars().collect()
+    } else {
+        let mut cells = vec![' '; grid.len()];
+        sweep_grid(&net, &grid, |idx, _, view| {
+            cells[idx] = if sufficient.is_satisfied_view(view) {
+                '#'
+            } else if view.is_full_view(theta) {
+                'F'
+            } else if necessary.is_satisfied_view(view) {
+                'n'
+            } else if view.covering_cameras > 0 {
+                '.'
+            } else {
+                ' '
+            };
+        });
+        cells
+    };
     for j in (0..side).rev() {
         let row: String = cells[j * side..(j + 1) * side].iter().collect();
         println!("|{row}|");
@@ -524,7 +576,15 @@ fn cmd_holes(cli: &Cli) -> Result<(), Box<dyn Error>> {
     let theta = theta_of(cli)?;
     let (_, net) = network_of(cli)?;
     let grid: usize = cli.get("grid", 24)?;
-    let report = find_holes(&net, theta, grid);
+    // `--hier`: same mask (hence the same report bytes) through the
+    // hierarchical prover; prover stats go to stderr.
+    let report = if cli.flag("hier") {
+        let (report, stats) = find_holes_hier(&net, theta, grid);
+        eprintln!("hier: {stats}");
+        report
+    } else {
+        find_holes(&net, theta, grid)
+    };
     println!("{report}");
     for (i, hole) in report.holes.iter().take(10).enumerate() {
         println!(
@@ -538,6 +598,38 @@ fn cmd_holes(cli: &Cli) -> Result<(), Box<dyn Error>> {
     if report.hole_count() > 10 {
         println!("  … and {} more", report.hole_count() - 10);
     }
+    Ok(())
+}
+
+/// `fvc barrier` — barrier (weak-barrier) full-view coverage: does a
+/// horizontal full-view-covered path cross the region? Runs locally on a
+/// generated/loaded network, or — with `--addr` — asks a running daemon
+/// or cluster coordinator and prints the identical bytes.
+fn cmd_barrier(cli: &Cli) -> Result<(), Box<dyn Error>> {
+    let grid: usize = cli.get("grid", 24)?;
+    let addr: String = cli.get("addr", String::new())?;
+    if !addr.is_empty() {
+        // Daemon mode: only theta and grid travel; the fleet lives
+        // server-side. Forward theta verbatim so both sides parse the
+        // identical token.
+        let theta_deg: f64 = cli.get("theta-deg", f64::NAN)?;
+        let mut line = format!("barrier grid={grid}");
+        if theta_deg.is_finite() {
+            line.push_str(&format!(" theta-deg={theta_deg}"));
+        }
+        let mut client = Client::connect(&addr)?;
+        return match client.request(&line)? {
+            Response::Ok(payload) => {
+                print!("{payload}");
+                Ok(())
+            }
+            Response::Err(message) => Err(Box::new(ArgError(format!("server: {message}")))),
+        };
+    }
+    let theta = theta_of(cli)?;
+    let (_, net) = network_of(cli)?;
+    let report = barrier_full_view(&net, theta, grid);
+    println!("{report}");
     Ok(())
 }
 
@@ -642,6 +734,8 @@ fn serve_config(cli: &Cli) -> Result<ServiceConfig, Box<dyn Error>> {
     config.cache_capacity = cli.get("cache", 128usize)?;
     config.admit_rate = cli.get("admit-rate", config.admit_rate)?;
     config.admit_burst = cli.get("admit-burst", config.admit_burst)?;
+    config.hier = cli.flag("hier");
+    config.max_cells = cli.get("max-cells", config.max_cells)?;
     let wal: String = cli.get("wal", String::new())?;
     if !wal.is_empty() {
         config.wal = Some(wal.into());
@@ -692,7 +786,15 @@ fn cmd_query(cli: &Cli) -> Result<(), Box<dyn Error>> {
             let verb = r.split_whitespace().next().unwrap_or("");
             let budgeted = matches!(
                 verb,
-                "check" | "prob" | "map" | "holes" | "kfull" | "cells" | "mask" | "kcount"
+                "check"
+                    | "prob"
+                    | "map"
+                    | "holes"
+                    | "kfull"
+                    | "cells"
+                    | "mask"
+                    | "kcount"
+                    | "barrier"
             );
             if deadline_ms != u64::MAX && budgeted {
                 format!("{r} deadline_ms={deadline_ms}")
@@ -799,6 +901,7 @@ fn cluster_config(cli: &Cli) -> Result<ClusterConfig, Box<dyn Error>> {
     config.backoff_cap_ms = cli.get("backoff-cap-ms", config.backoff_cap_ms)?;
     config.breaker_threshold = cli.get("breaker-threshold", config.breaker_threshold)?;
     config.replication = cli.get("replicas", config.replication)?;
+    config.max_cells = cli.get("max-cells", config.max_cells)?;
     let dir: String = cli.get("snapshot-dir", String::new())?;
     if !dir.is_empty() {
         config.snapshot_dir = Some(dir.into());
@@ -1001,6 +1104,40 @@ mod tests {
     #[test]
     fn holes_command_runs_small() {
         run(&cli(&["holes", "--n", "60", "--grid", "8"])).unwrap();
+    }
+
+    #[test]
+    fn hier_flag_runs_map_holes_check() {
+        run(&cli(&["map", "--n", "60", "--side", "12", "--hier"])).unwrap();
+        run(&cli(&["holes", "--n", "60", "--grid", "8", "--hier"])).unwrap();
+        run(&cli(&["check", "--n", "60", "--radius", "0.12", "--hier"])).unwrap();
+    }
+
+    #[test]
+    fn barrier_command_runs_small() {
+        run(&cli(&["barrier", "--n", "60", "--grid", "8"])).unwrap();
+    }
+
+    #[test]
+    fn barrier_command_queries_a_live_daemon() {
+        let profile = NetworkProfile::homogeneous(SensorSpec::new(0.15, 2.0).unwrap());
+        let mut config = ServiceConfig::new(profile);
+        config.n = 40;
+        let server = Server::start(config).expect("start daemon");
+        let addr = server.local_addr().to_string();
+        run(&cli(&[
+            "barrier",
+            "--addr",
+            &addr,
+            "--grid",
+            "8",
+            "--theta-deg",
+            "60",
+        ]))
+        .unwrap();
+        // Misspelled options keep the did-you-mean policy.
+        let err = run(&cli(&["barrier", "--gird", "8"])).unwrap_err();
+        assert!(err.to_string().contains("did you mean --grid?"), "{err}");
     }
 
     #[test]
@@ -1303,6 +1440,33 @@ mod tests {
         // Admission defaults to off.
         let config = serve_config(&cli(&["serve"])).unwrap();
         assert!(config.admit_rate.abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_config_maps_hier_and_max_cells() {
+        let config = serve_config(&cli(&["serve", "--hier", "--max-cells", "4096"])).unwrap();
+        assert!(config.hier);
+        assert_eq!(config.max_cells, 4096);
+        // Both default to off.
+        let config = serve_config(&cli(&["serve"])).unwrap();
+        assert!(!config.hier);
+        assert_eq!(config.max_cells, 0);
+    }
+
+    #[test]
+    fn cluster_config_maps_max_cells() {
+        let config = cluster_config(&cli(&[
+            "cluster",
+            "serve",
+            "--shards",
+            "a,b",
+            "--max-cells",
+            "1024",
+        ]))
+        .unwrap();
+        assert_eq!(config.max_cells, 1024);
+        let config = cluster_config(&cli(&["cluster", "serve", "--shards", "a,b"])).unwrap();
+        assert_eq!(config.max_cells, 0);
     }
 
     #[test]

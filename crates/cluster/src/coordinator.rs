@@ -99,6 +99,11 @@ pub struct ClusterConfig {
     /// within their owning group (clamped to `1..=shards`; `1` = every
     /// shard its own group, the pre-replication behavior).
     pub replication: usize,
+    /// Largest grid (`side × side` cells) a ranged query may request;
+    /// `0` disables the budget. Oversized requests are rejected with a
+    /// named `err` frame *before* any work is scattered, so one client
+    /// cannot stall the whole cluster with a runaway grid.
+    pub max_cells: usize,
 }
 
 impl ClusterConfig {
@@ -118,6 +123,7 @@ impl ClusterConfig {
             breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
             snapshot_dir: None,
             replication: 1,
+            max_cells: 0,
         }
     }
 }
@@ -884,12 +890,29 @@ fn parse_deadline(req: &Request<'_>, received: Instant) -> Result<Option<Instant
     Ok(Some(received + Duration::from_millis(ms)))
 }
 
+/// Enforces the coordinator's [`ClusterConfig::max_cells`] budget on a
+/// `side × side` request, mirroring the daemon's own named `err` frame
+/// so a budget rejection reads identically from either tier.
+fn check_cell_budget(ctx: &ClusterCtx, side: usize) -> Result<(), String> {
+    if ctx.cfg.max_cells == 0 {
+        return Ok(());
+    }
+    if side.checked_mul(side).is_none_or(|c| c > ctx.cfg.max_cells) {
+        return Err(format!(
+            "max-cells exceeded: {side}×{side} grid is over the {}-cell budget",
+            ctx.cfg.max_cells
+        ));
+    }
+    Ok(())
+}
+
 fn run_map(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<String, String> {
     req.allow_only(&["theta-deg", "side", "deadline_ms"])?;
     let side: usize = req.get("side", 48)?;
     if side == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    check_cell_budget(ctx, side)?;
     let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
     let glyphs = scatter(ctx, side * side, deadline, |lo, hi| {
@@ -905,6 +928,7 @@ fn run_holes(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<S
     if grid == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    check_cell_budget(ctx, grid)?;
     let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
     let torus_side = ctx
@@ -936,6 +960,7 @@ fn run_kfull(ctx: &ClusterCtx, req: &Request<'_>, received: Instant) -> Result<S
     if grid == 0 {
         return Err("side/grid must be positive".to_string());
     }
+    check_cell_budget(ctx, grid)?;
     let deadline = parse_deadline(req, received)?;
     let theta = theta_suffix(req)?;
     let counts = scatter(ctx, grid * grid, deadline, |lo, hi| {
@@ -1098,6 +1123,21 @@ fn dispatch(
             let density = raw_suffix(req, "density")?;
             forward_one(ctx, &format!("prob{theta}{density}"), deadline)
         }
+        // Barrier coverage is a whole-grid sweep with a connectivity
+        // pass on top — it does not decompose into index ranges, so it
+        // is forwarded whole to a single replica like check/prob.
+        "barrier" => {
+            req.allow_only(&["theta-deg", "grid", "deadline_ms"])?;
+            let grid: usize = req.get("grid", 24)?;
+            if grid == 0 {
+                return Err("side/grid must be positive".to_string());
+            }
+            check_cell_budget(ctx, grid)?;
+            let deadline = parse_deadline(req, received)?;
+            let theta = theta_suffix(req)?;
+            let grid_arg = raw_suffix(req, "grid")?;
+            forward_one(ctx, &format!("barrier{theta}{grid_arg}"), deadline)
+        }
         "fail" => {
             req.allow_only(&["id"])?;
             broadcast_mutation(ctx, line)
@@ -1114,7 +1154,7 @@ fn dispatch(
         // stream); reaching here means a non-connection context.
         "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, stats, shards, fingerprint, fail, move, reseed, watch, hello, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, barrier, stats, shards, fingerprint, fail, move, reseed, watch, hello, ping, shutdown)"
         )),
     }
 }

@@ -68,6 +68,8 @@ const QUERIES: &[&str] = &[
     "kfull k=1 grid=10",
     "kfull k=2 grid=9 theta-deg=75",
     "prob density=100",
+    "barrier grid=10",
+    "barrier grid=8 theta-deg=60",
 ];
 
 #[test]
@@ -534,4 +536,39 @@ fn breaker_state_is_reported_and_a_tripped_shard_recovers() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coordinator_max_cells_budget_rejects_before_scattering() {
+    let (_shards, addrs) = spawn_shards(1);
+    let mut cfg = fast_config(addrs, None);
+    cfg.max_cells = 256;
+    let coordinator = Coordinator::start(cfg).expect("coordinator");
+    let mut client = connect(coordinator.local_addr());
+
+    // Within budget: 12×12 = 144 ≤ 256.
+    let within = client.request_ok("map side=12").expect("small map");
+
+    // Over budget: the coordinator rejects with the daemon's named
+    // frame without dispatching a single chunk.
+    for query in [
+        "map side=17",
+        "holes grid=17",
+        "kfull k=1 grid=17",
+        "barrier grid=17",
+    ] {
+        match client.request(query).expect("send") {
+            fullview_service::Response::Err(message) => assert!(
+                message.contains("max-cells exceeded") && message.contains("256-cell budget"),
+                "'{query}': {message}"
+            ),
+            fullview_service::Response::Ok(payload) => {
+                panic!("'{query}' over budget was served: {payload}")
+            }
+        }
+    }
+
+    // Rejections are per-request: the connection keeps serving.
+    let again = client.request_ok("map side=12").expect("map after rejects");
+    assert_eq!(again, within, "served bytes changed after budget rejects");
 }

@@ -345,8 +345,9 @@ impl GridEvaluator {
     ///
     /// Every tiled evaluation funnels through here, so the kernel
     /// integration (and its bit-identity obligations) live in exactly
-    /// one place.
-    pub(crate) fn for_each_point_flags_in_tile(
+    /// one place. Public so out-of-crate hierarchical sweeps can route
+    /// their `Boundary` tiles through the very same funnel.
+    pub fn for_each_point_flags_in_tile(
         &mut self,
         cursor: &mut TileCursor<'_>,
         tiling: &GridTiling,

@@ -96,6 +96,29 @@ impl GridTiling {
         self.cells * self.cells
     }
 
+    /// Index cells per axis (`tile_count()` is its square). Hierarchical
+    /// consumers recurse over the `cells × cells` tile lattice and need
+    /// the axis extent to form tile-coordinate rectangles.
+    #[must_use]
+    pub fn cells_per_axis(&self) -> usize {
+        self.cells
+    }
+
+    /// The contiguous run of grid columns whose x-coordinate falls in
+    /// index-cell column `c` — the per-axis form of
+    /// [`tile_col_range`](Self::tile_col_range), addressed by cell
+    /// coordinate instead of tile id (rows are identical by symmetry:
+    /// cells and grid are square over the same torus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cells_per_axis()`.
+    #[must_use]
+    pub fn cell_axis_range(&self, c: usize) -> std::ops::Range<usize> {
+        assert!(c < self.cells, "cell column {c} out of {}", self.cells);
+        self.starts[c]..self.starts[c + 1]
+    }
+
     /// The index cell `(cx, cy)` of tile `t` (row-major tile ids).
     #[must_use]
     pub fn tile_cell(&self, t: usize) -> (usize, usize) {

@@ -102,6 +102,29 @@ pub fn full_view_mask_range(
     covered
 }
 
+/// [`full_view_mask_range`] with the flags sweep supplied by the caller:
+/// `sweep` must call its callback exactly once per index of `lo..hi` (any
+/// order) with that point's flags. The mask layout is shared with
+/// [`full_view_mask_range`], so any sweep whose flags are bit-identical
+/// to [`sweep_flags_range`] (e.g. the hierarchical prover) produces the
+/// identical mask.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn full_view_mask_range_with<F>(lo: usize, hi: usize, sweep: F) -> Vec<bool>
+where
+    F: FnOnce(&mut dyn FnMut(usize, crate::densegrid::PointFlags)),
+{
+    assert!(lo <= hi, "inverted range {lo}..{hi}");
+    let mut covered = vec![false; hi - lo];
+    sweep(&mut |idx, flags| {
+        covered[idx - lo] = flags.full_view;
+    });
+    covered
+}
+
 /// Finds the connected holes of a precomputed full-view coverage mask
 /// (row-major, `covered[j * grid_side + i]` for column `i`, row `j`) —
 /// the gather half of [`find_holes`], split out so a cluster coordinator

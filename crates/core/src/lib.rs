@@ -107,7 +107,9 @@ pub use fullview::{
     largest_circular_gap, safe_directions, safe_fraction, unsafe_directions, CoverageView,
     PointAnalyzer, PointCoverage,
 };
-pub use holes::{find_holes, full_view_mask_range, holes_from_mask, Hole, HoleReport};
+pub use holes::{
+    find_holes, full_view_mask_range, full_view_mask_range_with, holes_from_mask, Hole, HoleReport,
+};
 pub use kcov::{implied_k, is_k_covered, k_covered_fraction, min_coverage_over_grid};
 pub use kfullview::{
     count_k_view_range, for_each_view_multiplicity, is_k_full_view_covered, min_arc_depth,
@@ -120,8 +122,8 @@ pub use poisson_theory::{
     q_closed_form, q_series, Condition,
 };
 pub use render::{
-    coverage_glyphs_range, coverage_map_from_glyphs, coverage_map_text, hole_report_text,
-    kfull_text,
+    coverage_glyphs_range, coverage_glyphs_range_with, coverage_map_from_glyphs, coverage_map_text,
+    hole_report_text, kfull_text,
 };
 
 pub use probabilistic::{

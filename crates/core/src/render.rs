@@ -63,6 +63,29 @@ pub fn coverage_glyphs_range(
     cells.into_iter().collect()
 }
 
+/// [`coverage_glyphs_range`] with the flags sweep supplied by the caller:
+/// `sweep` must call its callback exactly once per index of `lo..hi` (any
+/// order) with that point's [`PointFlags`]. The glyph mapping and buffer
+/// layout are shared with [`coverage_glyphs_range`], so any sweep whose
+/// flags are bit-identical to [`sweep_flags_range`] (e.g. the
+/// hierarchical prover) renders byte-identical glyphs.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn coverage_glyphs_range_with<F>(lo: usize, hi: usize, sweep: F) -> String
+where
+    F: FnOnce(&mut dyn FnMut(usize, PointFlags)),
+{
+    assert!(lo <= hi, "inverted range {lo}..{hi}");
+    let mut cells = vec![' '; hi - lo];
+    sweep(&mut |idx, flags| {
+        cells[idx - lo] = glyph_of(&flags);
+    });
+    cells.into_iter().collect()
+}
+
 /// Renders a full glyph buffer (as produced by [`coverage_glyphs_range`]
 /// over `0..side²`, or gathered from cluster shards) into the exact text
 /// of [`coverage_map_text`]: legend line, blank separator, then `side`

@@ -1,0 +1,57 @@
+use fullview_core::{sweep_flags_range, EffectiveAngle};
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
+use fullview_hier::sweep_flags_range_hier;
+use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
+use std::f64::consts::{PI, TAU};
+use std::time::Instant;
+
+fn dense_network(n: usize, radius: f64, aov: f64) -> CameraNetwork {
+    let torus = Torus::unit();
+    let spec = SensorSpec::new(radius, aov).unwrap();
+    let cams: Vec<Camera> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let pos = Point::new(
+                (t * 0.754_877_666_246_693).fract(),
+                (t * 0.569_840_290_998_053 + 0.137).fract(),
+            );
+            Camera::new(pos, Angle::new(t * 2.399_963), spec, GroupId(i % 3))
+        })
+        .collect();
+    CameraNetwork::new(torus, cams)
+}
+
+fn main() {
+    for (n, r, aov, side) in [
+        (420usize, 0.12f64, TAU, 128usize),
+        (420, 0.12, TAU, 256),
+        (420, 0.12, TAU, 512),
+        (420, 0.12, TAU, 1024),
+        (420, 0.12, TAU, 2048),
+        (420, 0.12, PI, 1024),
+    ] {
+        let net = dense_network(n, r, aov);
+        let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+        let grid = UnitGrid::new(Torus::unit(), side);
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        sweep_flags_range(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+            acc += usize::from(f.full_view);
+        });
+        let mask_t = t0.elapsed();
+        let t1 = Instant::now();
+        let mut acc2 = 0usize;
+        let stats =
+            sweep_flags_range_hier(&net, &grid, theta, Angle::ZERO, 0, grid.len(), |_, f| {
+                acc2 += usize::from(f.full_view);
+            });
+        let hier_t = t1.elapsed();
+        assert_eq!(acc, acc2);
+        println!(
+            "n={n} r={r} aov={aov:.2} side={side}: mask {:?}  hier {:?}  speedup {:.2}x  [{stats}]",
+            mask_t,
+            hier_t,
+            mask_t.as_secs_f64() / hier_t.as_secs_f64()
+        );
+    }
+}

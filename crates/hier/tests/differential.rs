@@ -1,0 +1,322 @@
+//! The hier ⇄ exact differential: every hier-backed sweep must be
+//! **bit-identical** to the exact engine, which stays the oracle.
+//!
+//! Three families:
+//!
+//! * property differentials — random heterogeneous networks, effective
+//!   angles parked on sector-count boundaries, arbitrary ranged
+//!   sub-sweeps and tile geometries, pinning flags, k-counts, masks,
+//!   and glyph rows against `fullview-core`;
+//! * accounting invariants — every in-range point is either proven by a
+//!   certificate or visited exactly once, never both, never neither;
+//! * a deterministic dense deployment large enough that the point-space
+//!   recursion actually proves interior rectangles (`points_proved > 0`),
+//!   so the fast path itself — not just its fallbacks — is differential
+//!   tested.
+
+use fullview_core::{
+    count_k_view_range, coverage_glyphs_range, evaluate_grid, find_holes, full_view_mask_range,
+    sweep_flags_range, EffectiveAngle, GridEvaluator,
+};
+use fullview_geom::{Angle, Point, Torus, UnitGrid};
+use fullview_hier::{
+    count_k_view_range_hier, coverage_glyphs_range_hier, evaluate_grid_hier, find_holes_hier,
+    full_view_mask_range_hier, sweep_flags_range_hier,
+};
+use fullview_model::{Camera, CameraNetwork, GroupId, SensorSpec};
+use proptest::prelude::*;
+use std::f64::consts::{PI, TAU};
+
+// ---------- strategies (mirroring core's mask differential) ----------
+
+/// Heterogeneous cameras hitting the prover's case splits: generic
+/// sectors, omnidirectional φ ≈ 2π (the `aov_ok` fast branch), narrow
+/// slivers, and radii from sliver to index-degenerate.
+fn hetero_camera_strategy() -> impl Strategy<Value = Camera> {
+    (
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0.0..TAU,
+        (0usize..4, 0.0..1.0f64).prop_map(|(sel, u)| match sel {
+            0..=2 => 0.03 + u * 0.22,
+            _ => 0.25 + u * 0.20,
+        }),
+        (0usize..7, 0.0..1.0f64).prop_map(|(sel, u)| match sel {
+            0..=3 => 0.1 + u * (TAU - 0.1),
+            4 => PI - 1e-7 + u * 2e-7,
+            5 => TAU - 2e-9 * (1.0 - u),
+            _ => 0.05 + u * 0.25,
+        }),
+        0usize..4,
+    )
+        .prop_map(|(x, y, facing, r, phi, g)| {
+            Camera::new(
+                Point::new(x, y),
+                Angle::new(facing),
+                SensorSpec::new(r, phi).unwrap(),
+                GroupId(g),
+            )
+        })
+}
+
+fn hetero_network_strategy(max: usize) -> impl Strategy<Value = CameraNetwork> {
+    prop::collection::vec(hetero_camera_strategy(), 0..max)
+        .prop_map(|cams| CameraNetwork::new(Torus::unit(), cams))
+}
+
+/// Effective angles parked where the sector partitions are touchiest:
+/// θ = π (one necessary sector), exact divisors of 2π a few ulps either
+/// side of an integer sector count, and generic values.
+fn boundary_theta_strategy() -> impl Strategy<Value = EffectiveAngle> {
+    (0usize..10, 0.05..=1.0f64, 2usize..40, -4i32..=4).prop_map(|(sel, f, k, ulps)| {
+        let t = match sel {
+            0..=3 => f * PI,
+            4 => PI,
+            5 => TAU / 64.0,
+            6..=8 => ((TAU / k as f64) * (1.0 + f64::from(ulps) * 1e-15)).clamp(1e-3, PI),
+            _ => 0.021 + (f - 0.05) * 0.003,
+        };
+        EffectiveAngle::new(t).unwrap()
+    })
+}
+
+// ---------- deterministic dense deployments ----------
+
+/// Low-discrepancy golden-ratio scatter: dense enough that interior
+/// rectangles are provably covered, deterministic so failures replay.
+fn dense_network(n: usize, radius: f64, aov: f64) -> CameraNetwork {
+    let torus = Torus::unit();
+    let spec = SensorSpec::new(radius, aov).unwrap();
+    let cams: Vec<Camera> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let pos = Point::new(
+                (t * 0.754_877_666_246_693).fract(),
+                (t * 0.569_840_290_998_053 + 0.137).fract(),
+            );
+            Camera::new(pos, Angle::new(t * 2.399_963), spec, GroupId(i % 3))
+        })
+        .collect();
+    CameraNetwork::new(torus, cams)
+}
+
+/// Collects one hier flags sweep into an index-keyed vector, asserting
+/// each in-range index is emitted exactly once.
+fn hier_flags(
+    net: &CameraNetwork,
+    grid: &UnitGrid,
+    theta: EffectiveAngle,
+    lo: usize,
+    hi: usize,
+) -> (Vec<fullview_core::PointFlags>, fullview_hier::ProverStats) {
+    let mut got = vec![None; hi - lo];
+    let stats = sweep_flags_range_hier(net, grid, theta, Angle::ZERO, lo, hi, |idx, flags| {
+        assert!(idx >= lo && idx < hi, "idx {idx} outside {lo}..{hi}");
+        assert!(got[idx - lo].is_none(), "idx {idx} emitted twice");
+        got[idx - lo] = Some(flags);
+    });
+    let flags = got
+        .into_iter()
+        .map(|f| f.expect("every in-range index emitted"))
+        .collect();
+    (flags, stats)
+}
+
+// ---------- properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole differential: hier-backed flags, bit-identical to
+    /// the exact range sweep over an arbitrary sub-range, with every
+    /// in-range point either proven or visited (exactly once).
+    #[test]
+    fn hier_flags_sweep_matches_exact(
+        net in hetero_network_strategy(40),
+        theta in boundary_theta_strategy(),
+        side in 2usize..24,
+        a in 0.0..1.0f64,
+        b in 0.0..1.0f64,
+    ) {
+        let grid = UnitGrid::new(Torus::unit(), side);
+        let (fa, fb) = if a <= b { (a, b) } else { (b, a) };
+        let lo = (fa * grid.len() as f64) as usize;
+        let hi = ((fb * grid.len() as f64) as usize).min(grid.len());
+        let (got, stats) = hier_flags(&net, &grid, theta, lo, hi);
+        prop_assert_eq!(
+            stats.points_proved + stats.points_visited,
+            hi - lo,
+            "accounting must partition the range"
+        );
+        let mut exact_ev = GridEvaluator::new_exact(theta, Angle::ZERO);
+        for (off, flags) in got.iter().enumerate() {
+            let exact = exact_ev.point_flags_with(&net, grid.point(lo + off));
+            prop_assert_eq!(*flags, exact, "idx {}", lo + off);
+        }
+    }
+
+    /// Hier k-count against the core range count, all k including the
+    /// trivial 0 and values above any multiplicity present.
+    #[test]
+    fn hier_kcount_matches_core(
+        net in hetero_network_strategy(40),
+        theta in boundary_theta_strategy(),
+        k in 0usize..5,
+        side in 2usize..16,
+        a in 0.0..1.0f64,
+        b in 0.0..1.0f64,
+    ) {
+        let grid = UnitGrid::new(Torus::unit(), side);
+        let (fa, fb) = if a <= b { (a, b) } else { (b, a) };
+        let lo = (fa * grid.len() as f64) as usize;
+        let hi = ((fb * grid.len() as f64) as usize).min(grid.len());
+        let (got, stats) = count_k_view_range_hier(&net, &grid, theta, k, lo, hi);
+        let want = count_k_view_range(&net, &grid, theta, k, lo, hi);
+        prop_assert_eq!(got, want, "k={} side={} range={}..{}", k, side, lo, hi);
+        if k > 0 && lo < hi {
+            prop_assert_eq!(stats.points_proved + stats.points_visited, hi - lo);
+        }
+    }
+
+    /// The wire-visible wrappers: glyph rows and full-view masks must be
+    /// byte-identical to the core renderers the daemon verbs serve.
+    #[test]
+    fn hier_wrappers_match_core_bytes(
+        net in hetero_network_strategy(32),
+        theta in boundary_theta_strategy(),
+        side in 2usize..16,
+        a in 0.0..1.0f64,
+        b in 0.0..1.0f64,
+    ) {
+        let len = side * side;
+        let (fa, fb) = if a <= b { (a, b) } else { (b, a) };
+        let lo = (fa * len as f64) as usize;
+        let hi = ((fb * len as f64) as usize).min(len);
+        let (glyphs, _) = coverage_glyphs_range_hier(&net, theta, side, lo, hi);
+        prop_assert_eq!(glyphs, coverage_glyphs_range(&net, theta, side, lo, hi));
+        let (mask, _) = full_view_mask_range_hier(&net, theta, side, lo, hi);
+        prop_assert_eq!(mask, full_view_mask_range(&net, theta, side, lo, hi));
+    }
+}
+
+// ---------- deterministic dense cases ----------
+
+/// Side large enough that index tiles exceed the whole-tile kernel
+/// threshold, forcing point-space recursion — and dense enough that
+/// `FullyCovered` certificates actually fire.
+#[test]
+fn dense_omni_large_grid_proves_interior_rectangles() {
+    let net = dense_network(420, 0.12, TAU);
+    let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+    let side = 160;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    let (got, stats) = hier_flags(&net, &grid, theta, 0, grid.len());
+    assert!(
+        stats.points_proved > 0,
+        "dense omni deployment must prove some rectangles, stats: {stats}"
+    );
+    assert_eq!(stats.points_proved + stats.points_visited, grid.len());
+    let mut want = vec![None; grid.len()];
+    sweep_flags_range(
+        &net,
+        &grid,
+        theta,
+        Angle::ZERO,
+        0,
+        grid.len(),
+        |idx, flags| {
+            want[idx] = Some(flags);
+        },
+    );
+    for (idx, flags) in got.iter().enumerate() {
+        assert_eq!(*flags, want[idx].unwrap(), "idx {idx}");
+    }
+}
+
+/// Directional cameras: the `aov_ok` containment branch, plus empty
+/// regions (smaller n) exercising `Empty` certificates.
+#[test]
+fn sparse_directional_grid_matches_exact_and_proves_empties() {
+    let net = dense_network(70, 0.09, PI);
+    let theta = EffectiveAngle::new(PI / 2.0).unwrap();
+    let side = 144;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    let (got, stats) = hier_flags(&net, &grid, theta, 0, grid.len());
+    assert_eq!(stats.points_proved + stats.points_visited, grid.len());
+    let mut want = vec![None; grid.len()];
+    sweep_flags_range(
+        &net,
+        &grid,
+        theta,
+        Angle::ZERO,
+        0,
+        grid.len(),
+        |idx, flags| {
+            want[idx] = Some(flags);
+        },
+    );
+    for (idx, flags) in got.iter().enumerate() {
+        assert_eq!(*flags, want[idx].unwrap(), "idx {idx}");
+    }
+}
+
+/// The report- and hole-level wrappers at a side where certificates
+/// fire: identical tallies, identical rendered hole report.
+#[test]
+fn dense_reports_and_holes_match_core() {
+    let net = dense_network(420, 0.12, TAU);
+    let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+    let side = 160;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    let (report, _) = evaluate_grid_hier(&net, theta, &grid, Angle::ZERO);
+    assert_eq!(report, evaluate_grid(&net, theta, &grid, Angle::ZERO));
+    let (holes, _) = find_holes_hier(&net, theta, side);
+    assert_eq!(holes.to_string(), find_holes(&net, theta, side).to_string());
+}
+
+/// Hier k-count at a certificate-firing side, for the multiplicities
+/// the cluster `kfull` verb serves.
+#[test]
+fn dense_kcount_matches_core_at_scale() {
+    let net = dense_network(420, 0.12, TAU);
+    let theta = EffectiveAngle::new(PI / 3.0).unwrap();
+    let side = 128;
+    let grid = UnitGrid::new(Torus::unit(), side);
+    for k in [1usize, 2, 3] {
+        let (got, _) = count_k_view_range_hier(&net, &grid, theta, k, 0, grid.len());
+        assert_eq!(
+            got,
+            count_k_view_range(&net, &grid, theta, k, 0, grid.len()),
+            "k={k}"
+        );
+    }
+    // Ranged sub-sweeps partition-sum to the full count.
+    let third = grid.len() / 3;
+    let (c1, _) = count_k_view_range_hier(&net, &grid, theta, 1, 0, third);
+    let (c2, _) = count_k_view_range_hier(&net, &grid, theta, 1, third, 2 * third);
+    let (c3, _) = count_k_view_range_hier(&net, &grid, theta, 1, 2 * third, grid.len());
+    let (all, _) = count_k_view_range_hier(&net, &grid, theta, 1, 0, grid.len());
+    assert_eq!(c1 + c2 + c3, all);
+}
+
+/// Stats merging is plain summation; the Display line is stable.
+#[test]
+fn stats_merge_and_display() {
+    let mut a = fullview_hier::ProverStats {
+        nodes: 3,
+        proved_full: 1,
+        proved_empty: 1,
+        points_proved: 90,
+        points_visited: 10,
+        tiles_exact: 1,
+    };
+    let b = a;
+    a.merge(&b);
+    assert_eq!(a.nodes, 6);
+    assert_eq!(a.points_proved, 180);
+    assert!((a.proved_fraction() - 0.9).abs() < 1e-12);
+    assert_eq!(
+        b.to_string(),
+        "nodes 3 (full 1, empty 1), points proved 90 / visited 10, exact tiles 1"
+    );
+}

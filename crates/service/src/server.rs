@@ -34,9 +34,10 @@ use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::wal::{self, WalOp, WalRecord, WalWriter};
 use fullview_core::canon::{network_fingerprint, profile_fingerprint, CanonicalHasher};
 use fullview_core::{
-    count_k_view_range, coverage_glyphs_range, coverage_map_text, dense_grid, hole_report_text,
-    holes_from_mask, kfull_text, prob_point_full_view_poisson, prob_point_meets_necessary_poisson,
-    prob_point_meets_sufficient_poisson, EffectiveAngle, IncrementalSweep,
+    barrier_full_view, count_k_view_range, coverage_glyphs_range, coverage_map_text, dense_grid,
+    hole_report_text, holes_from_mask, kfull_text, prob_point_full_view_poisson,
+    prob_point_meets_necessary_poisson, prob_point_meets_sufficient_poisson, EffectiveAngle,
+    IncrementalSweep,
 };
 use fullview_deploy::deploy_uniform;
 use fullview_geom::{Angle, Point, UnitGrid};
@@ -83,6 +84,18 @@ pub struct ServiceConfig {
     pub admit_rate: f64,
     /// Admission-control bucket capacity (burst allowance, clamped ≥ 1).
     pub admit_burst: f64,
+    /// Serve dense-sweep queries (`check`, `map`, `holes`, `cells`,
+    /// `mask`, `kfull`, `kcount`) through the hierarchical certificate
+    /// prover instead of the flat engine. Answers are bit-identical
+    /// either way (differential-tested); the prover pays off at large
+    /// grid sides. Prover counters surface through `stats`.
+    pub hier: bool,
+    /// Largest discretization (in total grid cells, `side²`) a request
+    /// may ask for; `0` means unlimited. Over-budget requests are
+    /// rejected up front with a named `max-cells exceeded` err frame
+    /// instead of attempting an allocation that could take the daemon
+    /// down.
+    pub max_cells: usize,
     /// A pre-built network (e.g. loaded from the text format). When set,
     /// it replaces generation; `reseed` still regenerates from
     /// `profile`/`n`.
@@ -114,6 +127,8 @@ impl ServiceConfig {
             cache_capacity: 128,
             admit_rate: 0.0,
             admit_burst: 8.0,
+            hier: false,
+            max_cells: 0,
             preloaded: None,
             wal: None,
         }
@@ -296,6 +311,13 @@ struct ServerCtx {
     admission: AdmissionControl,
     /// Write-ahead journal (`--wal`); `None` runs without durability.
     wal: Option<WalState>,
+    /// Route dense sweeps through the hierarchical prover (`--hier`).
+    hier: bool,
+    /// Discretization budget in total cells (`--max-cells`; 0 = off).
+    max_cells: usize,
+    /// Prover counters accumulated across every hier-backed compute,
+    /// reported by the `stats` verb.
+    hier_stats: Mutex<fullview_hier::ProverStats>,
     theta_default: EffectiveAngle,
     reseed_n: usize,
     shutdown: AtomicBool,
@@ -377,6 +399,9 @@ impl Server {
             queue: JobQueue::new(config.workers, config.queue_capacity),
             admission: AdmissionControl::new(config.admit_rate, config.admit_burst),
             wal,
+            hier: config.hier,
+            max_cells: config.max_cells,
+            hier_stats: Mutex::new(fullview_hier::ProverStats::default()),
             theta_default: config.theta,
             reseed_n: config.n.max(1),
             shutdown: AtomicBool::new(false),
@@ -457,7 +482,8 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<ServerCtx>) {
 /// (`fingerprint`, `snapshot`, `restore`) are never shed — a throttled
 /// client must still be able to observe its own throttling.
 const ADMISSION_GATED: &[&str] = &[
-    "check", "map", "holes", "kfull", "prob", "cells", "mask", "kcount", "fail", "move", "reseed",
+    "check", "map", "holes", "kfull", "prob", "cells", "mask", "kcount", "barrier", "fail", "move",
+    "reseed",
 ];
 
 fn handle_connection(ctx: &Arc<ServerCtx>, stream: &TcpStream) {
@@ -589,6 +615,9 @@ enum QueryKind {
     /// Count of k-full-view-covered points in a grid-index range — the
     /// scatter unit for `kfull`.
     Kcount,
+    /// §VIII barrier full-view coverage: whether a chain of full-view
+    /// covered cells spans the region.
+    Barrier,
 }
 
 impl QueryKind {
@@ -602,6 +631,7 @@ impl QueryKind {
             QueryKind::Cells => "cells",
             QueryKind::Mask => "mask",
             QueryKind::Kcount => "kcount",
+            QueryKind::Barrier => "barrier",
         }
     }
 
@@ -667,6 +697,7 @@ fn parse_query(ctx: &ServerCtx, req: &Request<'_>, kind: QueryKind) -> Result<Qu
         QueryKind::Kcount => {
             req.allow_only(&["theta-deg", "k", "grid", "lo", "hi", "deadline_ms"])?;
         }
+        QueryKind::Barrier => req.allow_only(&["theta-deg", "grid", "deadline_ms"])?,
     }
     let deadline_ms: u64 = req.get("deadline_ms", u64::MAX)?;
     let mut params = QueryParams {
@@ -687,6 +718,24 @@ fn parse_query(ctx: &ServerCtx, req: &Request<'_>, kind: QueryKind) -> Result<Qu
             "density must be finite and positive, got {}",
             params.density
         ));
+    }
+    // The discretization budget: reject up front, before any grid
+    // allocation, with a *named* err frame the client can match on.
+    // Overflowing `side²` is over any finite budget by definition.
+    let dim = match kind {
+        QueryKind::Check | QueryKind::Prob => None,
+        QueryKind::Map | QueryKind::Cells => Some(params.side),
+        _ => Some(params.grid),
+    };
+    if ctx.max_cells > 0 {
+        if let Some(side) = dim {
+            if side.checked_mul(side).is_none_or(|c| c > ctx.max_cells) {
+                return Err(format!(
+                    "max-cells exceeded: {side}×{side} grid is over the {}-cell budget",
+                    ctx.max_cells
+                ));
+            }
+        }
     }
     if kind.ranged() {
         let total = kind.range_total(&params).ok_or_else(|| {
@@ -736,6 +785,7 @@ fn digest(kind: QueryKind, params: &QueryParams) -> u64 {
             h.write_usize(params.k);
             h.write_usize(params.grid);
         }
+        QueryKind::Barrier => h.write_usize(params.grid),
     }
     if kind.ranged() {
         h.write_usize(params.lo);
@@ -760,10 +810,24 @@ fn fp_for(fleet: &Fleet, kind: QueryKind) -> u64 {
 /// `fleet` → `sweeps`).
 fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams) -> String {
     let theta = params.theta;
+    // Fold one hier sweep's prover counters into the daemon totals the
+    // `stats` verb reports.
+    let note = |stats: fullview_hier::ProverStats| {
+        ctx.hier_stats
+            .lock()
+            .expect("hier stats lock")
+            .merge(&stats);
+    };
     match kind {
         QueryKind::Check => {
             let side = dense_grid(*fleet.net.torus(), fleet.net.len()).side_count();
-            let report = {
+            let report = if ctx.hier {
+                let grid = UnitGrid::new(*fleet.net.torus(), side);
+                let (report, stats) =
+                    fullview_hier::evaluate_grid_hier(&fleet.net, theta, &grid, Angle::ZERO);
+                note(stats);
+                report
+            } else {
                 let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
                 let state = sweeps.get_or_build(&fleet.net, theta, side);
                 state.resweep_dirty(&fleet.net);
@@ -775,9 +839,23 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
                 report.full_view_fraction()
             )
         }
-        QueryKind::Map => coverage_map_text(&fleet.net, theta, params.side),
+        QueryKind::Map => {
+            if ctx.hier {
+                let (text, stats) =
+                    fullview_hier::coverage_map_text_hier(&fleet.net, theta, params.side);
+                note(stats);
+                text
+            } else {
+                coverage_map_text(&fleet.net, theta, params.side)
+            }
+        }
         QueryKind::Holes => {
-            let report = {
+            let report = if ctx.hier {
+                let (report, stats) =
+                    fullview_hier::find_holes_hier(&fleet.net, theta, params.grid);
+                note(stats);
+                report
+            } else {
                 let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
                 let state = sweeps.get_or_build(&fleet.net, theta, params.grid);
                 state.resweep_dirty(&fleet.net);
@@ -787,26 +865,76 @@ fn compute(ctx: &ServerCtx, fleet: &Fleet, kind: QueryKind, params: &QueryParams
         }
         QueryKind::Kfull => {
             let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
-            let meeting = count_k_view_range(&fleet.net, &grid, theta, params.k, 0, grid.len());
+            let meeting = if ctx.hier {
+                let (meeting, stats) = fullview_hier::count_k_view_range_hier(
+                    &fleet.net,
+                    &grid,
+                    theta,
+                    params.k,
+                    0,
+                    grid.len(),
+                );
+                note(stats);
+                meeting
+            } else {
+                count_k_view_range(&fleet.net, &grid, theta, params.k, 0, grid.len())
+            };
             kfull_text(params.k, params.grid, meeting, grid.len())
         }
         QueryKind::Cells => {
-            coverage_glyphs_range(&fleet.net, theta, params.side, params.lo, params.hi)
+            if ctx.hier {
+                let (glyphs, stats) = fullview_hier::coverage_glyphs_range_hier(
+                    &fleet.net,
+                    theta,
+                    params.side,
+                    params.lo,
+                    params.hi,
+                );
+                note(stats);
+                glyphs
+            } else {
+                coverage_glyphs_range(&fleet.net, theta, params.side, params.lo, params.hi)
+            }
         }
         QueryKind::Mask => {
-            let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
-            let state = sweeps.get_or_build(&fleet.net, theta, params.grid);
-            state.resweep_dirty(&fleet.net);
-            state.mask()[params.lo..params.hi]
-                .iter()
-                .map(|&covered| if covered { '1' } else { '0' })
-                .collect()
+            if ctx.hier {
+                let (mask, stats) = fullview_hier::full_view_mask_range_hier(
+                    &fleet.net,
+                    theta,
+                    params.grid,
+                    params.lo,
+                    params.hi,
+                );
+                note(stats);
+                mask.iter()
+                    .map(|&covered| if covered { '1' } else { '0' })
+                    .collect()
+            } else {
+                let mut sweeps = ctx.sweeps.lock().expect("sweep lock");
+                let state = sweeps.get_or_build(&fleet.net, theta, params.grid);
+                state.resweep_dirty(&fleet.net);
+                state.mask()[params.lo..params.hi]
+                    .iter()
+                    .map(|&covered| if covered { '1' } else { '0' })
+                    .collect()
+            }
         }
         QueryKind::Kcount => {
             let grid = UnitGrid::new(*fleet.net.torus(), params.grid);
-            let meeting =
-                count_k_view_range(&fleet.net, &grid, theta, params.k, params.lo, params.hi);
+            let meeting = if ctx.hier {
+                let (meeting, stats) = fullview_hier::count_k_view_range_hier(
+                    &fleet.net, &grid, theta, params.k, params.lo, params.hi,
+                );
+                note(stats);
+                meeting
+            } else {
+                count_k_view_range(&fleet.net, &grid, theta, params.k, params.lo, params.hi)
+            };
             format!("{meeting}\n")
+        }
+        QueryKind::Barrier => {
+            let report = barrier_full_view(&fleet.net, theta, params.grid);
+            format!("{report}\n")
         }
         QueryKind::Prob => {
             let mut out = String::new();
@@ -1309,6 +1437,8 @@ fn render_stats(ctx: &ServerCtx) -> String {
             writer.truncations()
         );
     }
+    let hier_stats = *ctx.hier_stats.lock().expect("hier stats lock");
+    let _ = writeln!(out, "hier: enabled={} {hier_stats}", ctx.hier);
     let fmt_q = |q: Option<f64>| q.map_or_else(|| "na".to_string(), |v| format!("{v:.3}"));
     let _ = writeln!(
         out,
@@ -1342,6 +1472,7 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: &Request<'_>, client: &str) -> Result<Str
         "cells" => run_query(ctx, req, QueryKind::Cells, client),
         "mask" => run_query(ctx, req, QueryKind::Mask, client),
         "kcount" => run_query(ctx, req, QueryKind::Kcount, client),
+        "barrier" => run_query(ctx, req, QueryKind::Barrier, client),
         "fail" => run_fail(ctx, req),
         "move" => run_move(ctx, req),
         "reseed" => run_reseed(ctx, req),
@@ -1354,7 +1485,7 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: &Request<'_>, client: &str) -> Result<Str
         "hello" => Err("hello applies to a client connection".to_string()),
         "watch" => Err("watch requires a dedicated client connection".to_string()),
         other => Err(format!(
-            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, stats, fingerprint, snapshot, restore, fail, move, reseed, watch, hello, ping, shutdown)"
+            "unknown request '{other}' (known: check, map, holes, kfull, prob, cells, mask, kcount, barrier, stats, fingerprint, snapshot, restore, fail, move, reseed, watch, hello, ping, shutdown)"
         )),
     }
 }

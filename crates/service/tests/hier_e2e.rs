@@ -1,0 +1,147 @@
+//! End-to-end tests for the hierarchical-prover daemon path, the
+//! `barrier` verb, and the `max-cells` admission budget — all over real
+//! TCP on ephemeral ports.
+//!
+//! The hier contract is the strongest one the daemon makes: flipping
+//! `--hier` changes *zero* wire bytes. Every query answered by the
+//! prover-backed path is compared against a plain exact daemon serving
+//! the identically-seeded fleet.
+
+use fullview_core::{barrier_full_view, EffectiveAngle};
+use fullview_deploy::deploy_uniform;
+use fullview_model::{NetworkProfile, SensorSpec};
+use fullview_service::{Client, Response, Server, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const N: usize = 60;
+const SEED: u64 = 7;
+
+fn test_profile() -> NetworkProfile {
+    NetworkProfile::homogeneous(SensorSpec::new(0.15, 120f64.to_radians()).expect("valid spec"))
+}
+
+fn config_with(hier: bool, max_cells: usize) -> ServiceConfig {
+    let mut config = ServiceConfig::new(test_profile());
+    config.n = N;
+    config.seed = SEED;
+    config.workers = 2;
+    config.hier = hier;
+    config.max_cells = max_cells;
+    config
+}
+
+fn connect(server: &Server) -> Client {
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn hier_daemon_answers_are_byte_identical_to_the_exact_daemon() {
+    let exact = Server::start(config_with(false, 0)).expect("exact daemon");
+    let hier = Server::start(config_with(true, 0)).expect("hier daemon");
+    let mut exact_client = connect(&exact);
+    let mut hier_client = connect(&hier);
+
+    // Every grid-sweep verb, including the ranged scatter verbs the
+    // cluster coordinator rides, at a theta that lands on a sector
+    // boundary (45° → π/4 = 2θ boundary pressure).
+    for query in [
+        "check",
+        "map side=24",
+        "holes grid=16",
+        "kfull k=2 grid=16",
+        "cells side=20 lo=37 hi=311",
+        "mask grid=20 lo=0 hi=400",
+        "kcount k=1 grid=18 lo=5 hi=200",
+        "map side=24 theta-deg=60",
+        "barrier grid=12",
+    ] {
+        let want = exact_client.request_ok(query).expect(query);
+        let got = hier_client.request_ok(query).expect(query);
+        assert_eq!(got, want, "'{query}' bytes differ between hier and exact");
+    }
+
+    // The prover's work is visible through `stats` on the hier daemon
+    // and reported idle on the exact one.
+    let stats = hier_client.request_ok("stats").expect("stats");
+    let line = stats
+        .lines()
+        .find(|l| l.starts_with("hier: "))
+        .unwrap_or_else(|| panic!("no 'hier:' line in:\n{stats}"));
+    assert!(line.contains("enabled=true"), "{line}");
+    assert!(!line.contains("nodes 0 "), "prover never ran: {line}");
+    let stats = exact_client.request_ok("stats").expect("stats");
+    let line = stats
+        .lines()
+        .find(|l| l.starts_with("hier: "))
+        .expect("exact daemon also reports the hier line");
+    assert!(line.contains("enabled=false"), "{line}");
+}
+
+#[test]
+fn barrier_verb_matches_the_direct_library_call() {
+    let server = Server::start(config_with(false, 0)).expect("daemon");
+    let mut client = connect(&server);
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let net = deploy_uniform(fullview_geom::Torus::unit(), &test_profile(), N, &mut rng).unwrap();
+
+    for (query, theta_deg, grid) in [
+        ("barrier grid=12", 45.0, 12),
+        ("barrier grid=9 theta-deg=60", 60.0, 9),
+    ] {
+        let got = client.request_ok(query).expect(query);
+        let theta = EffectiveAngle::new(f64::to_radians(theta_deg)).unwrap();
+        let want = format!("{}\n", barrier_full_view(&net, theta, grid));
+        assert_eq!(got, want, "'{query}' differs from the direct call");
+    }
+
+    // The allowlist still rejects stray parameters with the shared hint.
+    let reply = client.request("barrier grid=12 side=9").expect("send");
+    match reply {
+        Response::Err(message) => {
+            assert!(message.contains("unknown parameter 'side'"), "{message}")
+        }
+        Response::Ok(payload) => panic!("stray parameter accepted: {payload}"),
+    }
+}
+
+#[test]
+fn max_cells_budget_rejects_oversized_grids_and_daemon_keeps_serving() {
+    let server = Server::start(config_with(true, 1_024)).expect("daemon");
+    let mut client = connect(&server);
+
+    // Within budget: 20×20 = 400 ≤ 1024.
+    let within = client.request_ok("map side=20").expect("small map");
+    assert!(!within.is_empty());
+
+    // Over budget: every sweep verb is rejected with the named frame,
+    // without the daemon attempting the allocation.
+    for query in [
+        "map side=64",
+        "cells side=64 lo=0 hi=1",
+        "mask grid=40 lo=0 hi=1",
+        "kcount k=1 grid=40 lo=0 hi=1",
+        "holes grid=40",
+        "kfull k=1 grid=40",
+        "barrier grid=40",
+    ] {
+        match client.request(query).expect("send") {
+            Response::Err(message) => assert!(
+                message.contains("max-cells exceeded") && message.contains("1024-cell budget"),
+                "'{query}': {message}"
+            ),
+            Response::Ok(payload) => panic!("'{query}' over budget was served: {payload}"),
+        }
+    }
+
+    // The rejection is per-request: the same connection keeps serving.
+    assert_eq!(client.request_ok("ping").expect("ping"), "pong\n");
+    let again = client.request_ok("map side=20").expect("map after rejects");
+    assert_eq!(again, within, "served bytes changed after budget rejects");
+}
